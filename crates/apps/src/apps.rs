@@ -1,0 +1,332 @@
+//! Structure-faithful PARSEC-like application instances.
+//!
+//! Costs are in abstract work units; what matters for Fig. 5 is the
+//! *ratio* of serial (I/O, sequential) work to parallel work and the
+//! pipeline structure, both taken from the published characterisations
+//! of the PARSEC suite (Bienia'11).
+
+use crate::model::{AppModel, Stage};
+
+/// bodytrack-like: per frame, a serial camera-image read, three
+/// parallel vision kernels (edge maps, likelihood evaluation, particle
+/// resampling weights), and a short serial model update. The serial
+/// read is ~7% of frame work — the pipeline bound sits near 13×, which
+/// is why the paper's OmpSs port reaches ~12× on 16 cores while the
+/// barrier version saturates near 8×.
+pub fn bodytrack(frames: usize) -> AppModel {
+    AppModel::new(
+        "bodytrack",
+        frames,
+        vec![
+            Stage::serial("read-frame", 60),
+            Stage::parallel("edge-maps", 260, 32),
+            Stage::parallel("likelihood", 420, 32),
+            Stage::parallel("resample", 120, 32),
+            Stage::serial("update-model", 10),
+        ],
+    )
+}
+
+/// facesim-like: per timestep, a serial state/mesh update and two large
+/// parallel solves (force computation, iterative positions). Serial
+/// fraction ~9.5% → pipeline bound ~10.5×, matching the paper's ~10×
+/// at 16 cores.
+pub fn facesim(frames: usize) -> AppModel {
+    AppModel::new(
+        "facesim",
+        frames,
+        vec![
+            Stage::serial("update-state", 85),
+            Stage::parallel("forces", 460, 32),
+            Stage::parallel("positions", 350, 32),
+        ],
+    )
+}
+
+/// ferret-like: the classic 6-stage similarity-search pipeline with
+/// serial load and output stages.
+pub fn ferret(frames: usize) -> AppModel {
+    AppModel::new(
+        "ferret",
+        frames,
+        vec![
+            Stage::serial("load", 40),
+            Stage::parallel("segment", 120, 16),
+            Stage::parallel("extract", 180, 16),
+            Stage::parallel("index", 240, 16),
+            Stage::parallel("rank", 160, 16),
+            Stage::serial("output", 30),
+        ],
+    )
+}
+
+/// dedup-like: compression pipeline with a heavy serial writer —
+/// the pathological case where even pipelining caps out early.
+pub fn dedup(frames: usize) -> AppModel {
+    AppModel::new(
+        "dedup",
+        frames,
+        vec![
+            Stage::serial("fragment", 50),
+            Stage::parallel("chunk", 200, 16),
+            Stage::parallel("compress", 300, 16),
+            Stage::serial("write", 150),
+        ],
+    )
+}
+
+/// streamcluster-like: pure do-all loops with barriers and a tiny
+/// serial re-centering step — the paper's "data-parallel applications
+/// … cannot benefit from tasks" case: both versions scale identically.
+pub fn streamcluster(frames: usize) -> AppModel {
+    AppModel::new(
+        "streamcluster",
+        frames,
+        vec![
+            Stage::parallel("distances", 500, 32),
+            Stage::serial("recenter", 8),
+        ],
+    )
+    .iterative()
+}
+
+/// x264-like: encode pipeline where motion estimation is loop-carried
+/// (each frame's search references the previous *reconstructed* frame),
+/// bounding the pipeline depth the dataflow version can exploit — tasks
+/// still help, but less than in bodytrack/ferret.
+pub fn x264(frames: usize) -> AppModel {
+    AppModel::new(
+        "x264",
+        frames,
+        vec![
+            Stage::serial("read-frame", 30),
+            Stage::parallel("motion-estimation", 400, 32).carried(),
+            Stage::parallel("encode-macroblocks", 300, 32),
+            Stage::serial("entropy+write", 70),
+        ],
+    )
+}
+
+/// fluidanimate-like: particle simulation timesteps with loop-carried
+/// frames (every cell's update needs the previous timestep everywhere)
+/// and a tiny serial rebin step. Like streamcluster, the dataflow port
+/// cannot pipeline — the paper's "cannot benefit" class.
+pub fn fluidanimate(frames: usize) -> AppModel {
+    AppModel::new(
+        "fluidanimate",
+        frames,
+        vec![
+            Stage::parallel("density+forces", 600, 32),
+            Stage::serial("rebin", 12),
+        ],
+    )
+    .iterative()
+}
+
+/// raytrace-like: fully independent frames behind a tiny serial camera
+/// update — near-perfect scaling for both models once frames overlap.
+pub fn raytrace(frames: usize) -> AppModel {
+    AppModel::new(
+        "raytrace",
+        frames,
+        vec![
+            Stage::serial("camera", 6),
+            Stage::parallel("trace-tiles", 700, 32),
+        ],
+    )
+}
+
+/// swaptions-like: pure Monte-Carlo pricing — independent work units
+/// behind a trivial serial scatter of simulation parameters; both
+/// programming models scale essentially perfectly.
+pub fn swaptions(frames: usize) -> AppModel {
+    AppModel::new(
+        "swaptions",
+        frames,
+        vec![
+            Stage::serial("distribute", 4),
+            Stage::parallel("simulate", 800, 32),
+        ],
+    )
+}
+
+/// vips-like: image-processing pipeline (load, demand-driven fused
+/// kernels, sink) — a ferret-class pipeline with a heavier input stage.
+pub fn vips(frames: usize) -> AppModel {
+    AppModel::new(
+        "vips",
+        frames,
+        vec![
+            Stage::serial("load-region", 55),
+            Stage::parallel("affine+conv", 380, 16),
+            Stage::parallel("recomb+sharpen", 260, 16),
+            Stage::serial("sink", 25),
+        ],
+    )
+}
+
+/// The ten ported applications (the paper ports 10 of PARSEC's 13).
+pub fn all_ports(frames: usize) -> Vec<AppModel> {
+    vec![
+        bodytrack(frames),
+        facesim(frames),
+        ferret(frames),
+        dedup(frames),
+        streamcluster(frames),
+        x264(frames),
+        fluidanimate(frames),
+        raytrace(frames),
+        swaptions(frames),
+        vips(frames),
+    ]
+}
+
+/// The two Fig. 5 applications.
+pub fn fig5_apps(frames: usize) -> Vec<AppModel> {
+    vec![bodytrack(frames), facesim(frames)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodytrack_serial_fraction_targets_the_paper_bound() {
+        let a = bodytrack(16);
+        let f = a.serial_fraction();
+        assert!((0.06..0.10).contains(&f), "serial fraction {f}");
+        let bound = a.pipeline_speedup_bound();
+        assert!((11.0..15.0).contains(&bound), "pipeline bound {bound}");
+    }
+
+    #[test]
+    fn facesim_bound_near_ten() {
+        let a = facesim(16);
+        let bound = a.pipeline_speedup_bound();
+        assert!((9.0..12.0).contains(&bound), "pipeline bound {bound}");
+    }
+
+    #[test]
+    fn dedup_is_writer_bound() {
+        let a = dedup(8);
+        assert!(a.pipeline_speedup_bound() < 4.0);
+    }
+
+    #[test]
+    fn streamcluster_is_almost_embarrassing() {
+        let a = streamcluster(8);
+        assert!(a.serial_fraction() < 0.02);
+    }
+
+    #[test]
+    fn x264_is_bounded_by_the_carried_stage() {
+        use crate::graphs::dataflow_graph;
+        use raa_runtime::{CorePool, ScheduleSimulator, SimPolicy};
+        let app = x264(12);
+        let g = dataflow_graph(&app);
+        let run = |cores| {
+            ScheduleSimulator::new(
+                &g,
+                CorePool::homogeneous(cores, 1.0),
+                SimPolicy::BottomLevel,
+            )
+            .run()
+            .makespan
+        };
+        let speedup16 = run(1) / run(16);
+        // The carried motion-estimation stage pipelines per chunk, so
+        // x264 still scales well, but the serial entropy stage plus the
+        // carried chain cap it below the embarrassing cases.
+        assert!(
+            (4.0..12.0).contains(&speedup16),
+            "x264 speedup {speedup16:.1}"
+        );
+    }
+
+    #[test]
+    fn raytrace_scales_nearly_perfectly() {
+        use crate::scaling::scaling_curve;
+        let c = scaling_curve(&raytrace(16), &[16]);
+        assert!(
+            c[0].dataflow > 13.0,
+            "raytrace dataflow {:.1}",
+            c[0].dataflow
+        );
+    }
+
+    #[test]
+    fn fluidanimate_ties_like_streamcluster() {
+        use crate::scaling::scaling_curve;
+        let c = scaling_curve(&fluidanimate(8), &[16]);
+        assert!(
+            (c[0].dataflow - c[0].pthreads).abs() < 2.0,
+            "iterative do-all should tie: {:.1} vs {:.1}",
+            c[0].dataflow,
+            c[0].pthreads
+        );
+    }
+
+    #[test]
+    fn ten_ports_mirror_the_papers_coverage() {
+        let ports = all_ports(4);
+        assert_eq!(ports.len(), 10, "the paper ports 10 of 13");
+        // Every port runs correctly through all three executors.
+        use crate::exec::{run_dataflow, run_pthreads, run_sequential};
+        use crate::model::StageKind;
+        for mut app in ports {
+            for s in &mut app.stages {
+                s.cost = s.cost.min(16);
+                if let StageKind::Parallel { chunks } = s.kind {
+                    s.kind = StageKind::Parallel {
+                        chunks: chunks.min(4),
+                    };
+                }
+            }
+            app.frames = 2;
+            let want = run_sequential(&app);
+            assert_eq!(run_pthreads(&app, 2), want, "{}", app.name);
+            assert_eq!(run_dataflow(&app, 2), want, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn swaptions_scales_like_raytrace() {
+        use crate::scaling::scaling_curve;
+        let c = scaling_curve(&swaptions(16), &[16]);
+        assert!(c[0].dataflow > 13.0);
+        assert!(c[0].pthreads > 10.0, "almost no serial work");
+    }
+
+    #[test]
+    fn vips_is_a_ferret_class_pipeline() {
+        use crate::scaling::scaling_curve;
+        let c = scaling_curve(&vips(16), &[16]);
+        assert!(
+            c[0].dataflow > c[0].pthreads + 2.0,
+            "{:.1} vs {:.1}",
+            c[0].dataflow,
+            c[0].pthreads
+        );
+    }
+
+    #[test]
+    fn all_apps_have_enough_chunks_for_16_cores() {
+        for app in [
+            bodytrack(4),
+            facesim(4),
+            ferret(4),
+            dedup(4),
+            x264(4),
+            fluidanimate(4),
+            raytrace(4),
+            swaptions(4),
+            vips(4),
+        ] {
+            for s in &app.stages {
+                if let crate::model::StageKind::Parallel { chunks } = s.kind {
+                    assert!(chunks >= 16, "{}/{} underslices", app.name, s.name);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The two execution structures as task graphs.
+//!
+//! * [`pthreads_graph`] — the native PARSEC style: a sequential frame
+//!   loop; inside a frame, each parallel stage is statically split into
+//!   one chunk per thread and closed with a barrier. Amdahl applies per
+//!   frame.
+//! * [`dataflow_graph`] — the OmpSs port: tasks depend only on their
+//!   data. Serial stages chain *with themselves* across frames (I/O
+//!   order, model state), so the serial read of frame f+1 overlaps the
+//!   parallel compute of frame f — the pipeline asynchrony Fig. 5
+//!   credits for the improved scalability.
+
+use raa_runtime::{TaskGraph, TaskId, TaskMeta};
+
+use crate::model::{AppModel, StageKind};
+
+/// Cost charged for each barrier episode in the pthread structure.
+pub const BARRIER_COST: u64 = 2;
+
+/// Build the barrier-style TDG as executed with `threads` threads
+/// (parallel stages statically partitioned into `threads` chunks).
+pub fn pthreads_graph(app: &AppModel, threads: usize) -> TaskGraph {
+    assert!(threads >= 1);
+    let mut g = TaskGraph::new();
+    let mut prev: Option<TaskId> = None;
+    for f in 0..app.frames {
+        for stage in &app.stages {
+            match stage.kind {
+                StageKind::Serial => {
+                    let mut m = TaskMeta::new(format!("{}[{f}]", stage.name));
+                    m.cost = stage.cost.max(1);
+                    let preds: Vec<TaskId> = prev.into_iter().collect();
+                    prev = Some(g.add_task(m, &preds));
+                }
+                StageKind::Parallel { .. } => {
+                    // Static partitioning: exactly one chunk per thread.
+                    let preds: Vec<TaskId> = prev.into_iter().collect();
+                    let chunks: Vec<TaskId> = (0..threads)
+                        .map(|c| {
+                            let mut m = TaskMeta::new(format!("{}[{f}.{c}]", stage.name));
+                            m.cost = stage.chunk_cost_at(c, threads).max(1);
+                            g.add_task(m, &preds)
+                        })
+                        .collect();
+                    let mut b = TaskMeta::new(format!("barrier-{}[{f}]", stage.name));
+                    b.cost = BARRIER_COST;
+                    prev = Some(g.add_task(b, &chunks));
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Build the dataflow TDG (thread-count independent: chunking comes
+/// from the data decomposition).
+pub fn dataflow_graph(app: &AppModel) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    // Last instance of each serial stage (self-chaining across frames).
+    let mut serial_prev: Vec<Option<TaskId>> = vec![None; app.stages.len()];
+    // Last instance of each carried parallel stage (per-chunk chaining).
+    let mut carried_prev: Vec<Vec<TaskId>> = vec![Vec::new(); app.stages.len()];
+    // For iterative apps, everything in frame f depends on frame f-1.
+    let mut last_frame_tail: Vec<TaskId> = Vec::new();
+    for f in 0..app.frames {
+        let mut prev_stage: Vec<TaskId> = if app.iterative {
+            last_frame_tail.clone()
+        } else {
+            Vec::new()
+        };
+        let first = prev_stage.clone();
+        for (si, stage) in app.stages.iter().enumerate() {
+            match stage.kind {
+                StageKind::Serial => {
+                    let mut m = TaskMeta::new(format!("{}[{f}]", stage.name));
+                    m.cost = stage.cost.max(1);
+                    let mut preds = prev_stage.clone();
+                    if let Some(p) = serial_prev[si] {
+                        preds.push(p);
+                    }
+                    let id = g.add_task(m, &preds);
+                    serial_prev[si] = Some(id);
+                    prev_stage = vec![id];
+                }
+                StageKind::Parallel { chunks } => {
+                    let same_chunking = prev_stage.len() == chunks && prev_stage != first;
+                    let ids: Vec<TaskId> = (0..chunks)
+                        .map(|c| {
+                            let mut m = TaskMeta::new(format!("{}[{f}.{c}]", stage.name));
+                            m.cost = stage.chunk_cost_at(c, chunks).max(1);
+                            // Point-to-point deps when the chunking
+                            // matches, else depend on the whole previous
+                            // stage.
+                            let mut preds: Vec<TaskId> = if same_chunking {
+                                vec![prev_stage[c]]
+                            } else {
+                                prev_stage.clone()
+                            };
+                            // Loop-carried parallel stages chain per
+                            // chunk across frames (x264-style).
+                            if stage.carried {
+                                if let Some(&p) = carried_prev[si].get(c) {
+                                    preds.push(p);
+                                }
+                            }
+                            g.add_task(m, &preds)
+                        })
+                        .collect();
+                    if stage.carried {
+                        carried_prev[si] = ids.clone();
+                    }
+                    prev_stage = ids;
+                }
+            }
+        }
+        last_frame_tail = prev_stage;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{bodytrack, streamcluster};
+    use raa_runtime::{CorePool, ScheduleSimulator, SimPolicy};
+
+    fn makespan(g: &TaskGraph, cores: usize) -> f64 {
+        ScheduleSimulator::new(g, CorePool::homogeneous(cores, 1.0), SimPolicy::BottomLevel)
+            .run()
+            .makespan
+    }
+
+    #[test]
+    fn pthread_graph_shape() {
+        let app = bodytrack(2);
+        let g = pthreads_graph(&app, 4);
+        // Per frame: 2 serial + 3 stages × (4 chunks + 1 barrier) = 17.
+        assert_eq!(g.len(), 2 * 17);
+        assert!(g.topo_order().is_some());
+        // Fully frame-serialised: exactly one source.
+        assert_eq!(g.sources().len(), 1);
+    }
+
+    #[test]
+    fn dataflow_graph_shape() {
+        let app = bodytrack(2);
+        let g = dataflow_graph(&app);
+        // Per frame: 2 serial + 3 × 32 chunks = 98.
+        assert_eq!(g.len(), 2 * 98);
+        assert!(g.topo_order().is_some());
+    }
+
+    #[test]
+    fn dataflow_overlaps_frames_pthreads_does_not() {
+        let app = bodytrack(8);
+        let pt = pthreads_graph(&app, 16);
+        let df = dataflow_graph(&app);
+        let pt_speedup = makespan(&pt, 1) / makespan(&pt, 16);
+        let df_speedup = makespan(&df, 1) / makespan(&df, 16);
+        assert!(
+            df_speedup > pt_speedup + 2.0,
+            "dataflow must overlap the serial stages: {df_speedup:.1} vs {pt_speedup:.1}"
+        );
+    }
+
+    #[test]
+    fn dataflow_serial_stages_still_ordered() {
+        let app = bodytrack(3);
+        let g = dataflow_graph(&app);
+        // Find the read-frame tasks and verify they form a chain.
+        let reads: Vec<TaskId> = g
+            .nodes()
+            .filter(|n| n.meta.label.starts_with("read-frame"))
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(reads.len(), 3);
+        assert!(g.node(reads[1]).preds.contains(&reads[0]));
+        assert!(g.node(reads[2]).preds.contains(&reads[1]));
+    }
+
+    #[test]
+    fn single_thread_makespans_match_total_work() {
+        let app = bodytrack(4);
+        let df = dataflow_graph(&app);
+        let m1 = makespan(&df, 1);
+        assert!(
+            (m1 - app.total_work() as f64).abs() < 1e-9,
+            "remainder-preserving chunking keeps totals: {m1} vs {}",
+            app.total_work()
+        );
+        let pt = pthreads_graph(&app, 1);
+        // Pthread version additionally pays the barriers.
+        let barriers = 4.0 * 3.0 * BARRIER_COST as f64;
+        assert!((makespan(&pt, 1) - (app.total_work() as f64 + barriers)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doall_app_gains_nothing_from_dataflow() {
+        // streamcluster: tiny serial stage, no pipeline to exploit — the
+        // paper's "cannot benefit" case.
+        let app = streamcluster(8);
+        let pt = pthreads_graph(&app, 16);
+        let df = dataflow_graph(&app);
+        let pt_speedup = makespan(&pt, 1) / makespan(&pt, 16);
+        let df_speedup = makespan(&df, 1) / makespan(&df, 16);
+        assert!(
+            (df_speedup - pt_speedup).abs() < 1.5,
+            "do-all apps should tie: {df_speedup:.1} vs {pt_speedup:.1}"
+        );
+    }
+}

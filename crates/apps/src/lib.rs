@@ -1,0 +1,52 @@
+//! # raa-apps — PARSEC-like applications, pthread-style vs dataflow
+//!
+//! §5 of the paper ports 10 of the 13 PARSEC benchmarks to the OmpSs
+//! task/dataflow model and compares usability and scalability against
+//! the native Pthreads versions (Fig. 5: bodytrack and facesim).  The
+//! finding: applications with **pipeline parallelism** win, because
+//! dataflow tasks let serial (I/O-bound) stages of later frames overlap
+//! with the parallel compute of earlier frames, while the Pthreads
+//! versions serialise frames with barriers.
+//!
+//! This crate reproduces the apparatus with *structure-faithful*
+//! mini-apps:
+//!
+//! * [`model`] — an application model: frames × stages, each stage
+//!   serial or parallel, with work costs;
+//! * [`apps`] — instances mirroring the parallel structure of bodytrack,
+//!   facesim, ferret and dedup;
+//! * [`graphs`] — the two execution structures as TDGs: barrier-style
+//!   (Pthreads) and dataflow (OmpSs);
+//! * [`exec`] — *real* threaded executors for both styles (correctness
+//!   demonstrators; timing claims come from the simulator);
+//! * [`scaling`] — the Fig. 5 sweep: both TDGs scheduled on 1..=16
+//!   virtual cores with [`raa_runtime::simsched`].
+
+//! ## Example
+//!
+//! ```
+//! use raa_apps::apps::bodytrack;
+//! use raa_apps::exec::{run_dataflow, run_pthreads, run_sequential};
+//! use raa_apps::scaling::scaling_curve;
+//!
+//! let mut app = bodytrack(2);
+//! for s in &mut app.stages { s.cost = s.cost.min(8); } // shrink for the doctest
+//!
+//! // Three executions, one checksum.
+//! let want = run_sequential(&app);
+//! assert_eq!(run_pthreads(&app, 2), want);
+//! assert_eq!(run_dataflow(&app, 2), want);
+//!
+//! // The Fig. 5 point: tasks out-scale barriers at 16 cores.
+//! let p = scaling_curve(&bodytrack(16), &[16])[0];
+//! assert!(p.dataflow > p.pthreads);
+//! ```
+
+pub mod apps;
+pub mod exec;
+pub mod graphs;
+pub mod model;
+pub mod scaling;
+
+pub use model::{AppModel, Stage, StageKind};
+pub use scaling::{scaling_curve, ScalingPoint};

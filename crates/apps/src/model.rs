@@ -1,0 +1,201 @@
+//! The application model: a per-frame pipeline of stages.
+
+/// How a stage executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageKind {
+    /// Must run alone, and in frame order (I/O, sequential updates).
+    Serial,
+    /// Data-parallel over `chunks` independent pieces.
+    Parallel { chunks: usize },
+}
+
+/// One pipeline stage.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    pub name: String,
+    /// Total work units for one frame of this stage (split across
+    /// chunks when parallel).
+    pub cost: u64,
+    pub kind: StageKind,
+    /// Loop-carried: this stage of frame f also depends on this stage of
+    /// frame f−1 (e.g. x264 motion estimation needs the previous
+    /// reconstructed frame). Serial stages are always self-chained; this
+    /// flag extends the same constraint to parallel stages.
+    pub carried: bool,
+}
+
+impl Stage {
+    pub fn serial(name: impl Into<String>, cost: u64) -> Self {
+        Stage {
+            name: name.into(),
+            cost,
+            kind: StageKind::Serial,
+            carried: false,
+        }
+    }
+
+    pub fn parallel(name: impl Into<String>, cost: u64, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        Stage {
+            name: name.into(),
+            cost,
+            kind: StageKind::Parallel { chunks },
+            carried: false,
+        }
+    }
+
+    /// Mark the stage loop-carried across frames.
+    pub fn carried(mut self) -> Self {
+        self.carried = true;
+        self
+    }
+
+    /// Work units of one chunk when run with the stage's own chunking
+    /// (uniform share; see [`Stage::chunk_cost_at`] for the exact
+    /// remainder-preserving split).
+    pub fn chunk_cost(&self) -> u64 {
+        match self.kind {
+            StageKind::Serial => self.cost,
+            StageKind::Parallel { chunks } => self.cost / chunks as u64,
+        }
+    }
+
+    /// Exact cost of chunk `c` when the stage is split into `parts`
+    /// chunks: distributes the remainder so the parts sum to `cost`.
+    pub fn chunk_cost_at(&self, c: usize, parts: usize) -> u64 {
+        let base = self.cost / parts as u64;
+        let extra = self.cost % parts as u64;
+        base + u64::from((c as u64) < extra)
+    }
+}
+
+/// A frames × stages application.
+#[derive(Clone, Debug)]
+pub struct AppModel {
+    pub name: String,
+    pub frames: usize,
+    pub stages: Vec<Stage>,
+    /// Loop-carried frames: every stage of frame f+1 depends on frame f
+    /// completing (iterative algorithms like streamcluster). Pipeline
+    /// overlap is then impossible even for the dataflow version — the
+    /// paper's "do-all applications cannot benefit from tasks" case.
+    pub iterative: bool,
+}
+
+impl AppModel {
+    pub fn new(name: impl Into<String>, frames: usize, stages: Vec<Stage>) -> Self {
+        assert!(frames >= 1 && !stages.is_empty());
+        AppModel {
+            name: name.into(),
+            frames,
+            stages,
+            iterative: false,
+        }
+    }
+
+    /// Mark the app iterative (loop-carried frame dependencies).
+    pub fn iterative(mut self) -> Self {
+        self.iterative = true;
+        self
+    }
+
+    /// Work units of one frame.
+    pub fn frame_work(&self) -> u64 {
+        self.stages.iter().map(|s| s.cost).sum()
+    }
+
+    /// Total work units.
+    pub fn total_work(&self) -> u64 {
+        self.frame_work() * self.frames as u64
+    }
+
+    /// Serial fraction of one frame (Amdahl's limiter for the barrier
+    /// execution).
+    pub fn serial_fraction(&self) -> f64 {
+        let serial: u64 = self
+            .stages
+            .iter()
+            .filter(|s| s.kind == StageKind::Serial)
+            .map(|s| s.cost)
+            .sum();
+        serial as f64 / self.frame_work() as f64
+    }
+
+    /// Upper bound on dataflow speedup: once pipelined, the serial
+    /// stages of successive frames chain, so throughput is capped by
+    /// total work / serial work.
+    pub fn pipeline_speedup_bound(&self) -> f64 {
+        1.0 / self.serial_fraction().max(1e-12)
+    }
+
+    /// Count of synchronisation constructs each programming model needs:
+    /// the paper's usability observation quantified. Pthreads needs a
+    /// barrier per stage boundary per frame plus explicit thread
+    /// management; the dataflow version needs one `depend` clause per
+    /// stage.
+    pub fn sync_constructs(&self) -> SyncCounts {
+        SyncCounts {
+            pthread_barriers: self.stages.len() * self.frames,
+            pthread_queue_ops: 2 * self.frames,
+            dataflow_clauses: self.stages.len(),
+        }
+    }
+}
+
+/// The usability metric (see [`AppModel::sync_constructs`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncCounts {
+    pub pthread_barriers: usize,
+    pub pthread_queue_ops: usize,
+    pub dataflow_clauses: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> AppModel {
+        AppModel::new(
+            "t",
+            10,
+            vec![
+                Stage::serial("read", 20),
+                Stage::parallel("work", 160, 16),
+                Stage::serial("write", 20),
+            ],
+        )
+    }
+
+    #[test]
+    fn work_accounting() {
+        let a = app();
+        assert_eq!(a.frame_work(), 200);
+        assert_eq!(a.total_work(), 2000);
+        assert!((a.serial_fraction() - 0.2).abs() < 1e-12);
+        assert!((a.pipeline_speedup_bound() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_cost_splits_parallel_stages() {
+        let a = app();
+        assert_eq!(a.stages[0].chunk_cost(), 20);
+        assert_eq!(a.stages[1].chunk_cost(), 10);
+    }
+
+    #[test]
+    fn chunk_cost_at_preserves_totals() {
+        let s = Stage::parallel("w", 263, 16);
+        for parts in [3usize, 7, 16, 32] {
+            let sum: u64 = (0..parts).map(|c| s.chunk_cost_at(c, parts)).sum();
+            assert_eq!(sum, 263, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn sync_constructs_favour_dataflow() {
+        let c = app().sync_constructs();
+        assert_eq!(c.dataflow_clauses, 3);
+        assert_eq!(c.pthread_barriers, 30);
+        assert!(c.pthread_barriers + c.pthread_queue_ops > 10 * c.dataflow_clauses);
+    }
+}

@@ -1,0 +1,110 @@
+//! The Fig. 5 sweep: speedup-vs-threads curves for both execution
+//! structures.
+
+use raa_runtime::{CorePool, ScheduleSimulator, SimPolicy};
+
+use crate::graphs::{dataflow_graph, pthreads_graph};
+use crate::model::AppModel;
+
+/// One point of a scalability curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingPoint {
+    pub threads: usize,
+    /// Speedup of the pthread (barrier) structure over its own 1-thread
+    /// execution.
+    pub pthreads: f64,
+    /// Speedup of the dataflow structure over its own 1-thread
+    /// execution.
+    pub dataflow: f64,
+}
+
+/// Compute the Fig. 5 curve for `app` at the given thread counts.
+pub fn scaling_curve(app: &AppModel, threads: &[usize]) -> Vec<ScalingPoint> {
+    let df = dataflow_graph(app);
+    let df_t1 = simulate(&df, 1);
+    let pt_t1 = simulate(&pthreads_graph(app, 1), 1);
+    threads
+        .iter()
+        .map(|&t| {
+            let pt = simulate(&pthreads_graph(app, t), t);
+            let d = simulate(&df, t);
+            ScalingPoint {
+                threads: t,
+                pthreads: pt_t1 / pt,
+                dataflow: df_t1 / d,
+            }
+        })
+        .collect()
+}
+
+fn simulate(g: &raa_runtime::TaskGraph, cores: usize) -> f64 {
+    ScheduleSimulator::new(g, CorePool::homogeneous(cores, 1.0), SimPolicy::BottomLevel)
+        .run()
+        .makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{bodytrack, facesim};
+
+    #[test]
+    fn bodytrack_matches_fig5_shape() {
+        let curve = scaling_curve(&bodytrack(16), &[2, 4, 8, 16]);
+        let at16 = curve.last().unwrap();
+        assert!(
+            (10.0..14.0).contains(&at16.dataflow),
+            "OmpSs bodytrack ≈12x at 16, got {:.1}",
+            at16.dataflow
+        );
+        assert!(
+            (6.0..9.0).contains(&at16.pthreads),
+            "Pthreads bodytrack saturates ≈7-8x, got {:.1}",
+            at16.pthreads
+        );
+        assert!(at16.dataflow > at16.pthreads + 3.0);
+    }
+
+    #[test]
+    fn facesim_matches_fig5_shape() {
+        let curve = scaling_curve(&facesim(16), &[2, 4, 8, 16]);
+        let at16 = curve.last().unwrap();
+        assert!(
+            (8.5..12.0).contains(&at16.dataflow),
+            "OmpSs facesim ≈10x at 16, got {:.1}",
+            at16.dataflow
+        );
+        assert!(
+            at16.pthreads < at16.dataflow,
+            "{} !< {}",
+            at16.pthreads,
+            at16.dataflow
+        );
+    }
+
+    #[test]
+    fn curves_are_monotonic_in_threads() {
+        for app in [bodytrack(12), facesim(12)] {
+            let curve = scaling_curve(&app, &[1, 2, 4, 8, 16]);
+            for w in curve.windows(2) {
+                assert!(
+                    w[1].dataflow >= w[0].dataflow - 1e-9,
+                    "{}: dataflow dipped: {w:?}",
+                    app.name
+                );
+                assert!(
+                    w[1].pthreads >= w[0].pthreads - 1e-9,
+                    "{}: pthreads dipped: {w:?}",
+                    app.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_speedup_is_one() {
+        let curve = scaling_curve(&bodytrack(4), &[1]);
+        assert!((curve[0].pthreads - 1.0).abs() < 1e-9);
+        assert!((curve[0].dataflow - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! Memory-hierarchy simulator benchmarks: raw cache access throughput
+//! and end-to-end machine simulation speed in both modes (events/sec of
+//! the simulator itself).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raa_sim::cache::Cache;
+use raa_sim::{HierarchyMode, Machine, MachineConfig};
+use raa_workloads::synthetic;
+use raa_workloads::TraceEvent;
+
+fn bench_cache_accesses(c: &mut Criterion) {
+    c.bench_function("sim/cache_100k_accesses", |b| {
+        b.iter_batched(
+            || Cache::new(512, 4),
+            |mut cache| {
+                for i in 0..100_000u64 {
+                    cache.access(i % 2048, i % 7 == 0);
+                }
+                cache.hits
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_machine_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/machine_50k_refs");
+    for (name, mode) in [
+        ("cache_only", HierarchyMode::CacheOnly),
+        ("hybrid", HierarchyMode::Hybrid),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new(
+                    MachineConfig::tiled(4, mode),
+                    vec![(4096, 4096 + (1 << 20))],
+                );
+                let streams: Vec<Box<dyn Iterator<Item = TraceEvent> + Send>> = (0..4)
+                    .map(|core| {
+                        Box::new(synthetic::strided_sweep(4096 + core * (1 << 18), 12_500, 4)) as _
+                    })
+                    .collect();
+                m.run_streams(streams).cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache_accesses, bench_machine_modes
+}
+criterion_main!(benches);

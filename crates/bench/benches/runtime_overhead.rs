@@ -1,0 +1,73 @@
+//! Microbenchmarks of the task runtime: spawn/complete throughput for
+//! independent and chained tasks, and raw dependency-tracker throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raa_runtime::deps::DepTracker;
+use raa_runtime::region::{Access, AccessMode, Region, RegionId, RegionRange};
+use raa_runtime::task::TaskId;
+use raa_runtime::{Runtime, RuntimeConfig};
+
+fn bench_independent_tasks(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    c.bench_function("runtime/spawn_1k_independent", |b| {
+        b.iter(|| {
+            for i in 0..1000 {
+                rt.task(format!("t{i}")).body(|| {}).spawn();
+            }
+            rt.taskwait();
+        })
+    });
+}
+
+fn bench_chained_tasks(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    c.bench_function("runtime/spawn_1k_chained", |b| {
+        b.iter(|| {
+            let h = rt.register("x", 0u64);
+            for _ in 0..1000 {
+                let h2 = h.clone();
+                rt.task("inc")
+                    .updates(&h)
+                    .body(move || {
+                        *h2.write() += 1;
+                    })
+                    .spawn();
+            }
+            rt.taskwait();
+        })
+    });
+}
+
+fn bench_dep_tracker(c: &mut Criterion) {
+    c.bench_function("deps/submit_10k_blocked_accesses", |b| {
+        b.iter_batched(
+            DepTracker::new,
+            |mut tracker| {
+                for i in 0..10_000u32 {
+                    let block = (i % 64) as u64;
+                    let access = Access {
+                        region: Region::new(
+                            RegionId(0),
+                            RegionRange::new(block * 100, (block + 1) * 100),
+                        ),
+                        mode: if i % 3 == 0 {
+                            AccessMode::Write
+                        } else {
+                            AccessMode::Read
+                        },
+                    };
+                    tracker.submit(TaskId(i), &[access]);
+                }
+                tracker
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_independent_tasks, bench_chained_tasks, bench_dep_tracker
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Schedule-simulator benchmarks: policy comparison on the §3.1
+//! workloads (simulation throughput + the ablation between policies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raa_runtime::graph::generators;
+use raa_runtime::simsched::{CorePool, DvfsArbiter, ScheduleSimulator, SimPolicy};
+
+fn bench_policies(c: &mut Criterion) {
+    let g = generators::cholesky(10, 600, 400, 300, 300);
+    let mut group = c.benchmark_group("simsched/cholesky10_32cores");
+    let policies = [
+        ("fifo", SimPolicy::Fifo),
+        ("bottom_level", SimPolicy::BottomLevel),
+        (
+            "criticality_rsu",
+            SimPolicy::CriticalityDvfs {
+                f_high: 1.3,
+                f_low: 0.9,
+                arbiter: DvfsArbiter::Rsu { latency: 0.5 },
+            },
+        ),
+        (
+            "criticality_sw",
+            SimPolicy::CriticalityDvfs {
+                f_high: 1.3,
+                f_low: 0.9,
+                arbiter: DvfsArbiter::Software { lock_cost: 6.0 },
+            },
+        ),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ScheduleSimulator::new(&g, CorePool::homogeneous(32, 1.0), policy)
+                    .run()
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_analysis(c: &mut Criterion) {
+    let g = generators::random_layered(40, 64, 10..500, 11);
+    c.bench_function("graph/bottom_levels_2560", |b| b.iter(|| g.bottom_levels()));
+    c.bench_function("graph/critical_path_2560", |b| b.iter(|| g.critical_path()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies, bench_graph_analysis
+}
+criterion_main!(benches);

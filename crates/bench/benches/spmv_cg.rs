@@ -1,0 +1,55 @@
+//! Solver benchmarks: SpMV throughput, full CG solves, and the FEIR
+//! recovery cost relative to an iteration (the Fig. 4 overhead story).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raa_solver::cg::{cg, pcg};
+use raa_solver::csr::Csr;
+use raa_solver::recovery::{recompute_residual, recover_x_block};
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = Csr::poisson2d(128, 128);
+    let n = a.n();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let mut y = vec![0.0; n];
+    c.bench_function("solver/spmv_16k", |b| b.iter(|| a.spmv(&x, &mut y)));
+}
+
+fn bench_cg_solve(c: &mut Criterion) {
+    let a = Csr::poisson2d(48, 48);
+    let b_vec: Vec<f64> = (0..a.n()).map(|i| 1.0 + (i % 7) as f64).collect();
+    let mut group = c.benchmark_group("solver/solve_2k_to_1e-8");
+    group.bench_function("cg", |b| b.iter(|| cg(&a, &b_vec, 1e-8, 5000, |_, _| {})));
+    group.bench_function("pcg_jacobi", |b| {
+        b.iter(|| pcg(&a, &b_vec, 1e-8, 5000, |_, _| {}))
+    });
+    group.finish();
+}
+
+fn bench_feir_recovery(c: &mut Criterion) {
+    let a = Csr::poisson2d(64, 64);
+    let n = a.n();
+    let b_vec: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mid = cg(&a, &b_vec, 0.0, 40, |_, _| {});
+    let r = recompute_residual(&a, &b_vec, &mid.x);
+    let block = 1024..1536;
+    c.bench_function("solver/feir_recover_512_block", |b| {
+        b.iter_batched(
+            || {
+                let mut x = mid.x.clone();
+                for e in &mut x[block.clone()] {
+                    *e = 0.0;
+                }
+                x
+            },
+            |x| recover_x_block(&a, &b_vec, &r, &x, block.clone(), 1e-13),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spmv, bench_cg_solve, bench_feir_recovery
+}
+criterion_main!(benches);

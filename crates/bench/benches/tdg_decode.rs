@@ -1,0 +1,77 @@
+//! TDG-construction throughput: the software dependency tracker (the
+//! real one, measured) vs the Task Superscalar hardware model — the
+//! paper's "new architecture components to support … the construction of
+//! the TDG".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raa_core::tsu::{software_decode, tsu_decode, SoftwareDecode, TsuConfig};
+use raa_runtime::deps::DepTracker;
+use raa_runtime::graph::generators;
+use raa_runtime::region::{Access, AccessMode, Region, RegionId, RegionRange};
+use raa_runtime::task::TaskId;
+
+fn bench_real_software_tracker(c: &mut Criterion) {
+    // The actual DepTracker on a cholesky-shaped access pattern: this is
+    // what calibrates the SoftwareDecode constants.
+    c.bench_function("tdg/deptracker_cholesky12", |b| {
+        b.iter_batched(
+            DepTracker::new,
+            |mut t| {
+                let tiles = 12u64;
+                let mut id = 0u32;
+                let tile = |i: u64, j: u64| Region {
+                    id: RegionId(i * tiles + j),
+                    range: RegionRange::ALL,
+                };
+                for k in 0..tiles {
+                    let acc = |r, m| Access { region: r, mode: m };
+                    t.submit(TaskId(id), &[acc(tile(k, k), AccessMode::ReadWrite)]);
+                    id += 1;
+                    for i in k + 1..tiles {
+                        t.submit(
+                            TaskId(id),
+                            &[
+                                acc(tile(k, k), AccessMode::Read),
+                                acc(tile(i, k), AccessMode::ReadWrite),
+                            ],
+                        );
+                        id += 1;
+                    }
+                    for i in k + 1..tiles {
+                        for j in k + 1..=i {
+                            t.submit(
+                                TaskId(id),
+                                &[
+                                    acc(tile(i, k), AccessMode::Read),
+                                    acc(tile(i, j), AccessMode::ReadWrite),
+                                ],
+                            );
+                            id += 1;
+                        }
+                    }
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_decode_models(c: &mut Criterion) {
+    let g = generators::cholesky(16, 1, 1, 1, 1);
+    let mut group = c.benchmark_group("tdg/decode_model_eval");
+    group.bench_function("software_model", |b| {
+        b.iter(|| software_decode(&g, SoftwareDecode::default()))
+    });
+    group.bench_function("tsu_model", |b| {
+        b.iter(|| tsu_decode(&g, TsuConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_real_software_tracker, bench_decode_models
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 3 counterparts as Criterion benchmarks: simulated-cycle counts
+//! are the figure's metric; these measure host throughput of the engine
+//! (how fast the simulation itself runs) per sorter.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raa_vector::{all_sorters, EngineCfg};
+use rand::prelude::*;
+
+fn keys(n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|_| rng.gen::<u32>() as u64).collect()
+}
+
+fn bench_sorters(c: &mut Criterion) {
+    let base = keys(1 << 12);
+    let mut group = c.benchmark_group("vector_sort_4k");
+    for sorter in all_sorters() {
+        group.bench_function(sorter.name(), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut k| sorter.sort(EngineCfg::new(64, 4), &mut k),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_vpi_impls(c: &mut Criterion) {
+    use raa_vector::engine::{VectorEngine, VpiImpl};
+    let mut group = c.benchmark_group("vpi_hardware_variant");
+    for (name, vpi) in [("serial", VpiImpl::Serial), ("parallel", VpiImpl::Parallel)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = VectorEngine::new(EngineCfg::new(64, 4).with_vpi(vpi));
+                    e.set_vl(64);
+                    let v = e.iota();
+                    (e, v)
+                },
+                |(mut e, v)| {
+                    for _ in 0..100 {
+                        let _ = e.vpi(&v);
+                    }
+                    e.cycles()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sorters, bench_vpi_impls
+}
+criterion_main!(benches);

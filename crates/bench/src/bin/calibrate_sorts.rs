@@ -1,0 +1,26 @@
+use raa_vector::*;
+use rand::prelude::*;
+fn keys(n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n).map(|_| rng.gen::<u32>() as u64).collect()
+}
+fn main() {
+    let n = 1 << 14;
+    for (mvl, lanes) in [
+        (8usize, 1usize),
+        (16, 1),
+        (32, 1),
+        (64, 1),
+        (16, 2),
+        (32, 4),
+        (64, 4),
+    ] {
+        print!("mvl={mvl:3} lanes={lanes} | ");
+        for s in all_sorters() {
+            let mut k = keys(n);
+            let c = s.sort(EngineCfg::new(mvl, lanes), &mut k);
+            print!("{}={:.1} ", s.name(), cycles_per_tuple(c, n));
+        }
+        println!();
+    }
+}

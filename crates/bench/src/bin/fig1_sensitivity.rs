@@ -1,0 +1,87 @@
+//! Design-space sensitivity of the Fig. 1 result: sweep the hybrid
+//! tile's SPM capacity and DMA quantum, and ablate the baseline's
+//! prefetcher — the knobs DESIGN.md calls out.
+//!
+//! Usage: `RAA_SCALE=small cargo run --release -p raa-bench --bin
+//! fig1_sensitivity [kernel]` (default kernel: mg).
+
+use raa_bench::{fmt_x, row, rule, scale_from_env};
+use raa_sim::{HierarchyMode, Machine, MachineConfig};
+use raa_workloads::{all_kernels, Kernel, KernelCfg};
+
+fn run(kernel: &dyn Kernel, cores: usize, tweak: impl Fn(&mut MachineConfig)) -> [f64; 3] {
+    let mk = |mode| {
+        let mut cfg = MachineConfig::tiled(cores, mode);
+        tweak(&mut cfg);
+        let mut m = Machine::new(cfg, kernel.space().spm_ranges());
+        m.run_kernel(kernel)
+    };
+    let cache = mk(HierarchyMode::CacheOnly);
+    let hybrid = mk(HierarchyMode::Hybrid);
+    [
+        hybrid.time_speedup_over(&cache),
+        hybrid.energy_speedup_over(&cache),
+        hybrid.traffic_speedup_over(&cache),
+    ]
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "mg".into());
+    let cores = 16;
+    let kernel = all_kernels(KernelCfg::new(cores, scale))
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(&which))
+        .unwrap_or_else(|| panic!("unknown kernel {which}"));
+
+    println!(
+        "Fig. 1 sensitivity — {} on {cores} cores ({scale:?} scale); hybrid-vs-baseline speedups",
+        kernel.name()
+    );
+    let w = [28, 10, 10, 10];
+    rule(62);
+    println!(
+        "{}",
+        row(
+            &[
+                "configuration".into(),
+                "time".into(),
+                "energy".into(),
+                "noc".into()
+            ],
+            &w
+        )
+    );
+    rule(62);
+    let print = |name: &str, r: [f64; 3]| {
+        println!(
+            "{}",
+            row(&[name.into(), fmt_x(r[0]), fmt_x(r[1]), fmt_x(r[2])], &w)
+        );
+    };
+
+    print("default", run(kernel.as_ref(), cores, |_| {}));
+    for &kib in &[16usize, 32, 128] {
+        print(
+            &format!("spm = {kib} KiB"),
+            run(kernel.as_ref(), cores, move |c| c.spm_bytes = kib * 1024),
+        );
+    }
+    for &tile in &[256u64, 4096] {
+        print(
+            &format!("dma tile = {tile} B"),
+            run(kernel.as_ref(), cores, move |c| c.dma_tile_bytes = tile),
+        );
+    }
+    print(
+        "baseline w/o prefetcher",
+        run(kernel.as_ref(), cores, |c| c.prefetcher = false),
+    );
+    print(
+        "L2 bank contention on",
+        run(kernel.as_ref(), cores, |c| c.l2_bank_contention = true),
+    );
+    rule(62);
+    println!("note: 'baseline w/o prefetcher' shows how much a strawman baseline");
+    println!("would inflate the hybrid hierarchy's apparent advantage.");
+}

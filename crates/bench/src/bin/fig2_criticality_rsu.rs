@@ -1,0 +1,154 @@
+//! Fig. 2 / §3.1 — criticality-aware DVFS through the Runtime Support
+//! Unit.
+//!
+//! Reproduces the two §3.1 claims:
+//!
+//! 1. Exploiting task criticality for DVFS "achiev[es] improvements over
+//!    static scheduling approaches that reach 6.6% and 20.0% in terms of
+//!    performance and EDP on a simulated 32-core processor".
+//! 2. "The cost of reconfiguring the hardware with a software-only
+//!    solution rises with the number of cores due to locks contention
+//!    and reconfiguration overhead" — the RSU's raison d'être (Fig. 2).
+//!
+//! Usage: `cargo run --release -p raa-bench --bin fig2_criticality_rsu`.
+
+use raa_bench::{fmt_pct, row, rule};
+use raa_core::rsu::{reconfig_storm, Arbitration};
+use raa_core::system::{fig2_workloads, heterogeneous_experiment, RaaSystem};
+
+fn main() {
+    let sys = RaaSystem::paper_32core();
+    let workloads = fig2_workloads();
+
+    println!("Fig. 2 / §3.1 — criticality-aware DVFS vs static (32 cores)");
+    rule(78);
+    let w = [14, 12, 12, 14, 13, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "workload".into(),
+                "perf".into(),
+                "EDP".into(),
+                "perf(sw)".into(),
+                "static>rand".into(),
+                "rsu-stall".into(),
+                "sw-stall".into(),
+            ],
+            &w
+        )
+    );
+    rule(78);
+    let report = sys.fig2_experiment(&workloads);
+    for r in &report.rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.workload.clone(),
+                    fmt_pct(r.perf_improvement),
+                    fmt_pct(r.edp_improvement),
+                    fmt_pct(r.sw_perf_improvement),
+                    fmt_pct(r.random_penalty),
+                    format!("{:.0}", r.rsu_stall),
+                    format!("{:.0}", r.sw_stall),
+                ],
+                &w
+            )
+        );
+    }
+    rule(78);
+    println!(
+        "{}",
+        row(
+            &[
+                "AVG".into(),
+                fmt_pct(report.avg_perf_improvement),
+                fmt_pct(report.avg_edp_improvement),
+                "".into(),
+                "".into(),
+                "".into(),
+                "".into(),
+            ],
+            &w
+        )
+    );
+    rule(78);
+
+    println!();
+    println!("Reconfiguration-storm sweep (the Fig. 2 motivation): mean grant latency");
+    let w2 = [8, 16, 16, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "cores".into(),
+                "software (cyc)".into(),
+                "RSU (cyc)".into(),
+                "ratio".into(),
+            ],
+            &w2
+        )
+    );
+    rule(56);
+    for cores in [8, 16, 32, 64, 128] {
+        let sw = reconfig_storm(cores, 8, Arbitration::Software { per_request: 30 });
+        let hw = reconfig_storm(cores, 8, Arbitration::Rsu { latency: 4 });
+        println!(
+            "{}",
+            row(
+                &[
+                    cores.to_string(),
+                    format!("{:.1}", sw.mean_latency),
+                    format!("{:.1}", hw.mean_latency),
+                    format!("{:.0}x", sw.mean_latency / hw.mean_latency),
+                ],
+                &w2
+            )
+        );
+    }
+    rule(56);
+
+    println!();
+    println!(
+        "Heterogeneous placement (24 LITTLE @0.8x + 8 big @1.6x): criticality-aware vs agnostic"
+    );
+    let w3 = [14, 12, 12];
+    println!(
+        "{}",
+        row(&["workload".into(), "perf".into(), "EDP".into()], &w3)
+    );
+    rule(42);
+    for r in heterogeneous_experiment(&workloads, 24, 8, 0.8, 1.6) {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.workload.clone(),
+                    fmt_pct(r.perf_improvement),
+                    fmt_pct(r.edp_improvement),
+                ],
+                &w3
+            )
+        );
+    }
+    rule(42);
+
+    if std::env::var("RAA_GANTT").as_deref() == Ok("1") {
+        use raa_runtime::{CorePool, ScheduleSimulator, SimPolicy};
+        let (name, g) = &workloads[1]; // chain+fans: the clearest picture
+        println!();
+        println!("Gantt ({name}, 16 cores, bottom-level order):");
+        let r =
+            ScheduleSimulator::new(g, CorePool::homogeneous(16, 1.0), SimPolicy::BottomLevel).run();
+        print!("{}", r.gantt(72));
+    }
+
+    println!("paper-vs-measured:");
+    println!("  paper : +6.6% performance, +20.0% EDP over static scheduling (32 cores)");
+    println!(
+        "  here  : {} performance, {} EDP (suite average)",
+        fmt_pct(report.avg_perf_improvement),
+        fmt_pct(report.avg_edp_improvement)
+    );
+}

@@ -1,0 +1,178 @@
+//! Fig. 3 — VSR sort speedups over the scalar baseline, across MVL and
+//! lane counts, plus the vectorised-sort comparison.
+//!
+//! Paper claims: "maximum speedups over a scalar baseline between 7.9x
+//! and 11.7x when a simple single-lane pipelined vector approach is
+//! used, and maximum speedups between 14.9x and 20.6x when as few as
+//! four parallel lanes are used"; VSR outperforms vectorised quicksort,
+//! bitonic mergesort and the earlier vectorised radix sort ("on average
+//! 3.4x better than the next-best"); CPT stays constant in n (O(k·n)).
+//!
+//! Usage: `cargo run --release -p raa-bench --bin fig3_vsr_sort`
+//! (`RAA_SCALE=small` shrinks the input).
+
+use raa_bench::{fmt_x, row, rule, scale_from_env};
+use raa_vector::engine::{VectorEngine, VpiImpl};
+use raa_vector::sort::scalar::ScalarQuicksort;
+use raa_vector::sort::vsr::{vsr_sort_pairs, vsr_sort_u64, VsrSort};
+use raa_vector::{all_sorters, cycles_per_tuple, EngineCfg, Sorter};
+use raa_workloads::Scale;
+use rand::prelude::*;
+
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<u32>() as u64).collect()
+}
+
+fn main() {
+    let n = match scale_from_env() {
+        Scale::Test => 1 << 12,
+        Scale::Small => 1 << 15,
+        Scale::Standard => 1 << 18,
+    };
+    let base = keys(n, 0xF163);
+    let mut k = base.clone();
+    let scalar_cycles = ScalarQuicksort.sort(EngineCfg::new(8, 1), &mut k);
+
+    println!("Fig. 3 — VSR sort speedup over the scalar baseline (n = {n})");
+    rule(58);
+    let w = [6, 8, 14, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "MVL".into(),
+                "lanes".into(),
+                "VSR cycles".into(),
+                "speedup".into(),
+                "CPT".into()
+            ],
+            &w
+        )
+    );
+    rule(58);
+    let mut lane1 = (f64::INFINITY, 0.0f64);
+    let mut lane4 = (f64::INFINITY, 0.0f64);
+    for &lanes in &[1usize, 2, 4] {
+        for &mvl in &[8usize, 16, 32, 64] {
+            if lanes > mvl {
+                continue;
+            }
+            let mut k = base.clone();
+            let c = VsrSort.sort(EngineCfg::new(mvl, lanes), &mut k);
+            let speedup = scalar_cycles as f64 / c as f64;
+            let track = if lanes == 1 { &mut lane1 } else { &mut lane4 };
+            track.0 = track.0.min(speedup);
+            track.1 = track.1.max(speedup);
+            println!(
+                "{}",
+                row(
+                    &[
+                        mvl.to_string(),
+                        lanes.to_string(),
+                        c.to_string(),
+                        fmt_x(speedup),
+                        format!("{:.1}", cycles_per_tuple(c, n)),
+                    ],
+                    &w
+                )
+            );
+        }
+    }
+    rule(58);
+
+    println!();
+    println!("Vectorised sorting algorithms at MVL=64, 4 lanes (CPT, lower is better):");
+    let w2 = [18, 12, 14];
+    println!(
+        "{}",
+        row(&["algorithm".into(), "CPT".into(), "vs VSR".into()], &w2)
+    );
+    rule(46);
+    let cfg = EngineCfg::new(64, 4);
+    let mut vsr_cpt = 0.0;
+    let mut results = Vec::new();
+    for s in all_sorters() {
+        let mut k = base.clone();
+        let c = s.sort(cfg, &mut k);
+        let cpt = cycles_per_tuple(c, n);
+        if s.name() == "vsr" {
+            vsr_cpt = cpt;
+        }
+        results.push((s.name(), cpt));
+    }
+    for (name, cpt) in &results {
+        println!(
+            "{}",
+            row(
+                &[name.to_string(), format!("{cpt:.1}"), fmt_x(cpt / vsr_cpt),],
+                &w2
+            )
+        );
+    }
+    rule(46);
+
+    println!();
+    println!("CPT flatness (VSR is O(k·n); MVL=64, 2 lanes):");
+    for &m in &[1usize << 12, 1 << 14, 1 << 16, 1 << 18] {
+        let mut k = keys(m, 7);
+        let c = VsrSort.sort(EngineCfg::new(64, 2), &mut k);
+        println!("  n = {m:>8}: CPT = {:.1}", cycles_per_tuple(c, m));
+    }
+
+    println!();
+    println!("Ablations at MVL=64, 4 lanes:");
+    {
+        // Serial vs lane-parallel VPI/VLU hardware.
+        let mut k1 = base.clone();
+        let serial = VsrSort.sort(EngineCfg::new(64, 4), &mut k1);
+        let mut k2 = base.clone();
+        let parallel = VsrSort.sort(EngineCfg::new(64, 4).with_vpi(VpiImpl::Parallel), &mut k2);
+        println!(
+            "  VPI/VLU hardware: serial unit CPT {:.1}, lane-parallel unit CPT {:.1} ({:.2}x)",
+            cycles_per_tuple(serial, n),
+            cycles_per_tuple(parallel, n),
+            serial as f64 / parallel as f64
+        );
+
+        // 64-bit keys: k doubles, CPT doubles (O(k·n)).
+        let mut e = VectorEngine::new(EngineCfg::new(64, 4));
+        let mut k64: Vec<u64> = base
+            .iter()
+            .map(|&k| k | (k.rotate_left(17) << 32))
+            .collect();
+        vsr_sort_u64(&mut e, &mut k64);
+        println!(
+            "  64-bit keys (8 passes): CPT {:.1} ({:.2}x the 32-bit CPT)",
+            cycles_per_tuple(e.cycles(), n),
+            cycles_per_tuple(e.cycles(), n) / vsr_cpt
+        );
+
+        // Key+payload tuples (the paper sorts records).
+        let mut e = VectorEngine::new(EngineCfg::new(64, 4));
+        let mut kk = base.clone();
+        let mut payload: Vec<u64> = (0..n as u64).collect();
+        vsr_sort_pairs(&mut e, &mut kk, &mut payload);
+        println!(
+            "  key+payload tuples: CPT {:.1} ({:.2}x keys-only)",
+            cycles_per_tuple(e.cycles(), n),
+            cycles_per_tuple(e.cycles(), n) / vsr_cpt
+        );
+    }
+
+    println!();
+    println!("paper-vs-measured:");
+    println!("  paper : 1-lane max speedups 7.9x..11.7x; 4-lane 14.9x..20.6x; VSR ~3.4x next-best vector sort");
+    println!(
+        "  here  : 1-lane {:.1}x..{:.1}x; 2-4 lane {:.1}x..{:.1}x; next-best vector sort {:.1}x VSR's CPT",
+        lane1.0,
+        lane1.1,
+        lane4.0,
+        lane4.1,
+        results
+            .iter()
+            .filter(|(n2, _)| *n2 != "vsr" && !n2.starts_with("scalar"))
+            .map(|(_, c)| c / vsr_cpt)
+            .fold(f64::INFINITY, f64::min)
+    );
+}

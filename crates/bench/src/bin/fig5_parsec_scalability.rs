@@ -1,0 +1,139 @@
+//! Fig. 5 — OmpSs (dataflow tasks) vs Pthreads scalability for
+//! bodytrack and facesim.
+//!
+//! Paper claims: on a 16-core machine, the task/dataflow ports improve
+//! scalability over the native Pthreads versions, "reaching a scaling
+//! factor of 12 and 10, respectively, when running with 16 cores",
+//! because asynchronous tasks overlap the serial (I/O) stages with
+//! computation; the Pthreads versions saturate earlier (Amdahl per
+//! frame).  Also reproduced: the do-all counter-case (streamcluster,
+//! "cannot benefit") and the usability table.
+//!
+//! Usage: `cargo run --release -p raa-bench --bin fig5_parsec_scalability`.
+
+use raa_apps::apps::{
+    bodytrack, dedup, facesim, ferret, fluidanimate, raytrace, streamcluster, swaptions, vips, x264,
+};
+use raa_apps::scaling::scaling_curve;
+use raa_bench::{row, rule};
+
+fn main() {
+    let threads = [1usize, 2, 4, 6, 8, 10, 12, 14, 16];
+    let frames = 24;
+    println!("Fig. 5 — scalability: dataflow tasks (OmpSs) vs barriers (Pthreads)");
+
+    let mut headline = Vec::new();
+    for app in [bodytrack(frames), facesim(frames)] {
+        println!();
+        println!(
+            "{} (serial fraction {:.1}%, pipeline bound {:.1}x):",
+            app.name,
+            app.serial_fraction() * 100.0,
+            app.pipeline_speedup_bound()
+        );
+        let w = [9, 12, 12];
+        println!(
+            "{}",
+            row(
+                &["threads".into(), "pthreads".into(), "dataflow".into()],
+                &w
+            )
+        );
+        rule(36);
+        let curve = scaling_curve(&app, &threads);
+        for p in &curve {
+            println!(
+                "{}",
+                row(
+                    &[
+                        p.threads.to_string(),
+                        format!("{:.2}x", p.pthreads),
+                        format!("{:.2}x", p.dataflow),
+                    ],
+                    &w
+                )
+            );
+        }
+        let last = curve.last().expect("non-empty sweep");
+        headline.push((app.name.clone(), last.pthreads, last.dataflow));
+    }
+
+    println!();
+    println!("Other ports (speedup at 16 threads):");
+    let w = [15, 12, 12, 26];
+    println!(
+        "{}",
+        row(
+            &[
+                "app".into(),
+                "pthreads".into(),
+                "dataflow".into(),
+                "paper's category".into()
+            ],
+            &w
+        )
+    );
+    rule(70);
+    for (app, category) in [
+        (ferret(frames), "pipeline: tasks win"),
+        (vips(frames), "pipeline: tasks win"),
+        (dedup(frames), "writer-bound pipeline"),
+        (x264(frames), "carried pipeline"),
+        (raytrace(frames), "independent frames"),
+        (swaptions(frames), "independent work"),
+        (streamcluster(frames), "do-all: no benefit"),
+        (fluidanimate(frames), "iterative: no benefit"),
+    ] {
+        let c = scaling_curve(&app, &[16]);
+        println!(
+            "{}",
+            row(
+                &[
+                    app.name.clone(),
+                    format!("{:.2}x", c[0].pthreads),
+                    format!("{:.2}x", c[0].dataflow),
+                    category.into(),
+                ],
+                &w
+            )
+        );
+    }
+
+    println!();
+    println!("Usability (synchronisation constructs the programmer writes):");
+    let w2 = [15, 20, 20];
+    println!(
+        "{}",
+        row(
+            &[
+                "app".into(),
+                "pthreads (barriers)".into(),
+                "dataflow (clauses)".into()
+            ],
+            &w2
+        )
+    );
+    rule(60);
+    for app in [bodytrack(frames), facesim(frames), ferret(frames)] {
+        let s = app.sync_constructs();
+        println!(
+            "{}",
+            row(
+                &[
+                    app.name.clone(),
+                    format!("{}", s.pthread_barriers + s.pthread_queue_ops),
+                    s.dataflow_clauses.to_string(),
+                ],
+                &w2
+            )
+        );
+    }
+
+    rule(70);
+    println!("paper-vs-measured:");
+    println!("  paper : bodytrack ~12x and facesim ~10x at 16 threads with OmpSs;");
+    println!("          Pthreads versions saturate earlier.");
+    for (name, pt, df) in headline {
+        println!("  here  : {name}: pthreads {pt:.1}x, dataflow {df:.1}x at 16 threads");
+    }
+}

@@ -1,0 +1,37 @@
+//! Dump a synthetic TDG as Graphviz DOT (criticality-coloured) — handy
+//! for inspecting the workloads the §3.1 experiments schedule.
+//!
+//! Usage: `cargo run -p raa-bench --bin tdg_dot -- <kind> [size]`
+//! where `kind` ∈ {chain, forkjoin, chainfans, cholesky, layered}.
+//! The DOT text goes to stdout: pipe into `dot -Tsvg`.
+
+use raa_runtime::graph::generators;
+use raa_runtime::TaskGraph;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let kind = args.next().unwrap_or_else(|| "cholesky".into());
+    let size: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let mut g: TaskGraph = match kind.as_str() {
+        "chain" => generators::chain(size, 10),
+        "forkjoin" => generators::fork_join(size, 10),
+        "chainfans" => generators::chain_with_fans(size, 3, 100, 30),
+        "cholesky" => generators::cholesky(size, 10, 6, 4, 4),
+        "layered" => generators::random_layered(size, 4, 5..50, 42),
+        other => {
+            eprintln!("unknown kind '{other}'; use chain/forkjoin/chainfans/cholesky/layered");
+            std::process::exit(2);
+        }
+    };
+    g.annotate_criticality(0);
+    let (cp, path) = g.critical_path();
+    eprintln!(
+        "# {} tasks, {} edges, critical path {} over {} tasks, avg parallelism {:.1}",
+        g.len(),
+        g.edge_count(),
+        cp,
+        path.len(),
+        g.avg_parallelism()
+    );
+    print!("{}", g.to_dot());
+}

@@ -1,0 +1,63 @@
+//! Workload characterization table: the reference-classification mix of
+//! each NAS-like kernel — the input the hybrid-hierarchy compiler model
+//! works from (the implicit "Table 1" behind Fig. 1).
+//!
+//! Usage: `RAA_SCALE=small cargo run --release -p raa-bench --bin
+//! workload_characterization`
+
+use raa_bench::{row, rule, scale_from_env};
+use raa_workloads::trace::TraceSummary;
+use raa_workloads::{all_kernels, KernelCfg};
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = 16;
+    println!("Workload characterization ({scale:?} scale, per core, core 0 of {cores})");
+    rule(100);
+    let w = [6, 12, 12, 10, 10, 12, 12, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "bench".into(),
+                "refs".into(),
+                "compute".into(),
+                "refs/cyc".into(),
+                "strided".into(),
+                "rand-known".into(),
+                "rand-unk".into(),
+                "footprint".into(),
+            ],
+            &w
+        )
+    );
+    rule(100);
+    for k in all_kernels(KernelCfg::new(cores, scale)) {
+        let s = TraceSummary::of(k.core_trace(0));
+        let pct = |x: u64| {
+            if s.mem_refs == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * x as f64 / s.mem_refs as f64)
+            }
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    k.name().into(),
+                    s.mem_refs.to_string(),
+                    s.compute_cycles.to_string(),
+                    format!("{:.3}", s.mem_intensity()),
+                    pct(s.strided),
+                    pct(s.random_noalias),
+                    pct(s.random_unknown),
+                    format!("{} KiB", k.space().footprint() / 1024),
+                ],
+                &w
+            )
+        );
+    }
+    rule(100);
+    println!("strided → SPM via packed DMA; rand-known → caches; rand-unk → filter + SDIR.");
+}

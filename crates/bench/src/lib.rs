@@ -1,0 +1,61 @@
+//! Shared helpers for the figure-regeneration harnesses.
+//!
+//! Each `fig*` binary regenerates one figure/table of the paper's
+//! evaluation and prints the same series the paper reports, plus a
+//! `paper-vs-measured` footer. Problem scale is selected with the
+//! `RAA_SCALE` environment variable (`test`, `small`, `standard`;
+//! default `standard` — the Fig. 1 configuration).
+
+use raa_workloads::Scale;
+
+/// Problem scale from the environment.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("RAA_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        Ok("small") => Scale::Small,
+        _ => Scale::Standard,
+    }
+}
+
+/// Print a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format a speedup as `1.23x`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Format a fraction as a signed percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:+.1}%", v * 100.0)
+}
+
+/// A crude fixed-width column printer for the harness tables.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_x(1.234), "1.23x");
+        assert_eq!(fmt_pct(0.147), "+14.7%");
+        assert_eq!(fmt_pct(-0.05), "-5.0%");
+    }
+
+    #[test]
+    fn row_aligns_right() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

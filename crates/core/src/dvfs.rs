@@ -1,0 +1,136 @@
+//! DVFS states: discrete frequency/voltage operating points.
+
+/// One operating point. Voltage scales near-linearly with frequency in
+/// the regime the paper targets, which is what makes dynamic power
+/// (`∝ C·V²·f`) effectively cubic in frequency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FreqState {
+    /// Frequency as a multiplier of nominal.
+    pub freq: f64,
+    /// Supply voltage as a multiplier of nominal.
+    pub voltage: f64,
+}
+
+impl FreqState {
+    /// An operating point with the default linear V-f mapping
+    /// `V = 0.6 + 0.4·f` (flattening at low f, as real V-f curves do).
+    pub fn at(freq: f64) -> Self {
+        assert!(freq > 0.0);
+        FreqState {
+            freq,
+            voltage: 0.6 + 0.4 * freq,
+        }
+    }
+
+    /// Relative dynamic power `V²·f` of this state.
+    pub fn dynamic_factor(&self) -> f64 {
+        self.voltage * self.voltage * self.freq
+    }
+}
+
+/// A table of selectable operating points, sorted by frequency.
+#[derive(Clone, Debug)]
+pub struct DvfsTable {
+    states: Vec<FreqState>,
+    /// Cycles a core is unavailable while switching states.
+    pub transition_cycles: u64,
+}
+
+impl DvfsTable {
+    /// A table from frequency multipliers (deduplicated, sorted).
+    pub fn from_freqs(freqs: &[f64], transition_cycles: u64) -> Self {
+        assert!(!freqs.is_empty());
+        let mut states: Vec<FreqState> = freqs.iter().map(|&f| FreqState::at(f)).collect();
+        states.sort_by(|a, b| a.freq.total_cmp(&b.freq));
+        states.dedup_by(|a, b| (a.freq - b.freq).abs() < 1e-12);
+        DvfsTable {
+            states,
+            transition_cycles,
+        }
+    }
+
+    /// The typical three-state table of the §3.1 experiments:
+    /// low / nominal / turbo.
+    pub fn low_nominal_turbo() -> Self {
+        Self::from_freqs(&[0.8, 1.0, 1.3], 50)
+    }
+
+    pub fn states(&self) -> &[FreqState] {
+        &self.states
+    }
+
+    pub fn lowest(&self) -> FreqState {
+        self.states[0]
+    }
+
+    pub fn highest(&self) -> FreqState {
+        *self.states.last().expect("non-empty")
+    }
+
+    /// The fastest state whose dynamic factor stays within
+    /// `budget_per_core`.
+    pub fn fastest_within(&self, budget_per_core: f64) -> Option<FreqState> {
+        self.states
+            .iter()
+            .rev()
+            .find(|s| s.dynamic_factor() <= budget_per_core)
+            .copied()
+    }
+
+    /// The nearest state at or above `freq` (else the highest).
+    pub fn at_least(&self, freq: f64) -> FreqState {
+        self.states
+            .iter()
+            .find(|s| s.freq >= freq - 1e-12)
+            .copied()
+            .unwrap_or_else(|| self.highest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_tracks_frequency() {
+        let s = FreqState::at(1.0);
+        assert!((s.voltage - 1.0).abs() < 1e-12);
+        let hi = FreqState::at(1.5);
+        let lo = FreqState::at(0.5);
+        assert!(hi.voltage > s.voltage && lo.voltage < s.voltage);
+    }
+
+    #[test]
+    fn dynamic_factor_superlinear() {
+        // Doubling frequency must more than double dynamic power.
+        let f1 = FreqState::at(1.0).dynamic_factor();
+        let f2 = FreqState::at(2.0).dynamic_factor();
+        assert!(f2 > 2.5 * f1, "{f2} vs {f1}");
+    }
+
+    #[test]
+    fn table_sorted_and_deduped() {
+        let t = DvfsTable::from_freqs(&[1.3, 0.8, 1.0, 0.8], 10);
+        let f: Vec<f64> = t.states().iter().map(|s| s.freq).collect();
+        assert_eq!(f, vec![0.8, 1.0, 1.3]);
+        assert_eq!(t.lowest().freq, 0.8);
+        assert_eq!(t.highest().freq, 1.3);
+    }
+
+    #[test]
+    fn fastest_within_budget() {
+        let t = DvfsTable::low_nominal_turbo();
+        let nominal = FreqState::at(1.0).dynamic_factor();
+        assert_eq!(t.fastest_within(nominal + 1e-9).unwrap().freq, 1.0);
+        assert_eq!(t.fastest_within(1e9).unwrap().freq, 1.3);
+        assert!(t.fastest_within(0.0).is_none());
+    }
+
+    #[test]
+    fn at_least_picks_next_state_up() {
+        let t = DvfsTable::low_nominal_turbo();
+        assert_eq!(t.at_least(0.9).freq, 1.0);
+        assert_eq!(t.at_least(1.0).freq, 1.0);
+        assert_eq!(t.at_least(2.0).freq, 1.3, "clamps to the highest");
+    }
+}

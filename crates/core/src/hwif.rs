@@ -1,0 +1,219 @@
+//! The runtime ↔ hardware interface.
+//!
+//! The narrow waist the paper advocates: instead of exposing hardware
+//! complexity to applications, the *runtime* talks to the hardware
+//! through a few verbs — criticality notifications and frequency
+//! requests in, grants and budget state out.  [`SimulatedHardware`]
+//! implements the interface over the [`crate::rsu::Rsu`] model; a real
+//! RAA chip would implement it in the Runtime Support Unit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::dvfs::{DvfsTable, FreqState};
+use crate::power::PowerParams;
+use crate::rsu::Rsu;
+use raa_runtime::{Criticality, TaskId, TaskObserver};
+
+/// What the runtime can ask of runtime-aware hardware.
+pub trait HardwareInterface: Send + Sync {
+    /// Inform the hardware that `task` (about to run on `core`) has the
+    /// given criticality; returns the operating point granted for it.
+    fn notify_task(&self, core: usize, task: TaskId, criticality: Criticality) -> FreqState;
+
+    /// Inform the hardware that `core` finished its task.
+    fn task_done(&self, core: usize);
+
+    /// Remaining power headroom.
+    fn power_headroom(&self) -> f64;
+}
+
+/// The simulated RAA hardware: an [`Rsu`] behind the interface.
+pub struct SimulatedHardware {
+    rsu: Mutex<Rsu>,
+    table: DvfsTable,
+}
+
+impl SimulatedHardware {
+    pub fn new(cores: usize, table: DvfsTable, power: PowerParams) -> Self {
+        SimulatedHardware {
+            rsu: Mutex::new(Rsu::new(cores, table.clone(), power)),
+            table,
+        }
+    }
+
+    /// Total frequency-change grants issued (diagnostics).
+    pub fn grants(&self) -> u64 {
+        self.rsu.lock().grants
+    }
+
+    /// Budget-forced demotions (diagnostics).
+    pub fn demotions(&self) -> u64 {
+        self.rsu.lock().demotions
+    }
+}
+
+impl HardwareInterface for SimulatedHardware {
+    fn notify_task(&self, core: usize, _task: TaskId, criticality: Criticality) -> FreqState {
+        let want = match criticality {
+            Criticality::Critical => self.table.highest(),
+            Criticality::NonCritical => self.table.lowest(),
+            // Unknown criticality runs at the nominal point.
+            Criticality::Auto => self.table.at_least(1.0),
+        };
+        self.rsu.lock().request(core, want)
+    }
+
+    fn task_done(&self, core: usize) {
+        self.rsu.lock().release(core);
+    }
+
+    fn power_headroom(&self) -> f64 {
+        let rsu = self.rsu.lock();
+        rsu.budget() - rsu.power_in_use()
+    }
+}
+
+/// The end-to-end loop the paper advocates: a [`TaskObserver`] plugged
+/// into the *real* [`raa_runtime::Runtime`] that forwards every task
+/// start/completion to the simulated RSU, which grants frequencies
+/// under the power budget.  Attach with
+/// `RuntimeConfig::with_workers(n).observer(driver)`.
+pub struct RsuDriver {
+    hw: SimulatedHardware,
+    /// Turbo grants observed (task started at the highest state).
+    pub turbo_grants: AtomicU64,
+    /// Low-power grants observed.
+    pub low_grants: AtomicU64,
+    /// All other grants.
+    pub other_grants: AtomicU64,
+}
+
+impl RsuDriver {
+    pub fn new(cores: usize) -> Arc<Self> {
+        Arc::new(RsuDriver {
+            hw: SimulatedHardware::new(
+                cores,
+                DvfsTable::low_nominal_turbo(),
+                PowerParams::nominal_budget(cores),
+            ),
+            turbo_grants: AtomicU64::new(0),
+            low_grants: AtomicU64::new(0),
+            other_grants: AtomicU64::new(0),
+        })
+    }
+
+    pub fn hardware(&self) -> &SimulatedHardware {
+        &self.hw
+    }
+
+    /// Total grants routed through the RSU.
+    pub fn grants(&self) -> u64 {
+        self.turbo_grants.load(Ordering::Relaxed)
+            + self.low_grants.load(Ordering::Relaxed)
+            + self.other_grants.load(Ordering::Relaxed)
+    }
+}
+
+impl TaskObserver for RsuDriver {
+    fn on_start(&self, worker: usize, task: TaskId, critical: bool) {
+        let crit = if critical {
+            Criticality::Critical
+        } else {
+            Criticality::NonCritical
+        };
+        let granted = self.hw.notify_task(worker, task, crit);
+        let table = DvfsTable::low_nominal_turbo();
+        if (granted.freq - table.highest().freq).abs() < 1e-9 {
+            self.turbo_grants.fetch_add(1, Ordering::Relaxed);
+        } else if (granted.freq - table.lowest().freq).abs() < 1e-9 {
+            self.low_grants.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.other_grants.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_complete(&self, worker: usize, _task: TaskId) {
+        self.hw.task_done(worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw(cores: usize) -> SimulatedHardware {
+        SimulatedHardware::new(
+            cores,
+            DvfsTable::low_nominal_turbo(),
+            PowerParams::nominal_budget(cores),
+        )
+    }
+
+    #[test]
+    fn critical_tasks_get_the_fastest_state() {
+        let h = hw(8);
+        let g = h.notify_task(0, TaskId(1), Criticality::Critical);
+        assert!((g.freq - 1.3).abs() < 1e-9);
+        let g = h.notify_task(1, TaskId(2), Criticality::NonCritical);
+        assert!((g.freq - 0.8).abs() < 1e-9);
+        let g = h.notify_task(2, TaskId(3), Criticality::Auto);
+        assert!((g.freq - 1.0).abs() < 1e-9);
+        assert_eq!(h.grants(), 3);
+    }
+
+    #[test]
+    fn headroom_shrinks_and_recovers() {
+        let h = hw(4);
+        let before = h.power_headroom();
+        h.notify_task(0, TaskId(0), Criticality::Critical);
+        let during = h.power_headroom();
+        assert!(during < before);
+        h.task_done(0);
+        assert!((h.power_headroom() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_demotes_excess_critical_tasks() {
+        let h = hw(4);
+        for c in 0..4 {
+            h.notify_task(c, TaskId(c as u32), Criticality::Critical);
+        }
+        assert!(h.demotions() >= 1);
+        assert!(h.power_headroom() >= -1e-9);
+    }
+
+    #[test]
+    fn rsu_driver_observes_a_real_runtime() {
+        use raa_runtime::{Criticality as C, Runtime, RuntimeConfig};
+        // Budget sized for 4 cores: a 2-worker runtime leaves turbo
+        // headroom for its critical tasks.
+        let driver = RsuDriver::new(4);
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).observer(driver.clone()));
+        for i in 0..40 {
+            rt.task(format!("t{i}"))
+                .criticality(if i % 4 == 0 {
+                    C::Critical
+                } else {
+                    C::NonCritical
+                })
+                .body(std::thread::yield_now)
+                .spawn();
+        }
+        rt.taskwait();
+        assert_eq!(driver.grants(), 40, "one grant per task");
+        assert!(
+            driver.turbo_grants.load(Ordering::Relaxed) >= 5,
+            "critical tasks should mostly get turbo"
+        );
+        assert!(
+            driver.low_grants.load(Ordering::Relaxed) >= 20,
+            "non-critical tasks run low-power"
+        );
+        // Everything released: full headroom back.
+        let full = driver.hardware().power_headroom();
+        assert!(full > 0.0);
+    }
+}

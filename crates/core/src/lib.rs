@@ -1,0 +1,52 @@
+//! # raa-core — the Runtime-Aware Architecture integration layer
+//!
+//! The paper's thesis: *"the runtime of the parallel application has to
+//! drive the design of future multi-cores"*.  This crate is where the
+//! pieces meet — the task runtime's knowledge (criticality, the TDG) is
+//! exposed to simulated hardware through a narrow interface, and the
+//! hardware (the **Runtime Support Unit** of Fig. 2) turns it into
+//! per-core DVFS decisions under a power budget:
+//!
+//! * [`dvfs`] — frequency/voltage states and transition costs;
+//! * [`power`] — dynamic/static power and the EDP/ED²P metrics of §3.1;
+//! * [`rsu`] — the RSU arbiter model and its software-only counterpart,
+//!   including the reconfiguration-storm experiment that motivates
+//!   hardware support (lock contention grows with core count);
+//! * [`hwif`] — the runtime ↔ hardware interface (criticality
+//!   notifications, frequency requests, budget queries);
+//! * [`system`] — [`system::RaaSystem`]: end-to-end §3.1 experiments
+//!   comparing static scheduling against criticality-aware DVFS with
+//!   software or RSU arbitration on simulated manycores, heterogeneous
+//!   (big.LITTLE) placement, and "what-if" replay of recorded TDGs;
+//! * [`tsu`] — the Task Superscalar decode pipeline: hardware support
+//!   for TDG construction (the paper's other named hardware component).
+
+//! ## Example
+//!
+//! ```
+//! use raa_core::system::{fig2_workloads, RaaSystem};
+//!
+//! let sys = RaaSystem::paper_32core();
+//! let (_, graph) = &fig2_workloads()[0]; // tiled Cholesky
+//! let static_run = sys.run_static(graph);
+//! let rsu_run = sys.run_rsu(graph);
+//! assert!(rsu_run.makespan < static_run.makespan);
+//! assert!(rsu_run.edp < static_run.edp);
+//! ```
+
+pub mod dvfs;
+pub mod hwif;
+pub mod power;
+pub mod profile;
+pub mod rsu;
+pub mod system;
+pub mod tsu;
+
+pub use dvfs::{DvfsTable, FreqState};
+pub use hwif::{HardwareInterface, RsuDriver, SimulatedHardware};
+pub use power::{edp, PowerParams};
+pub use profile::{apply_measured_costs, TimingRecorder};
+pub use rsu::{Arbitration, ReconfigStats, Rsu};
+pub use system::{
+    heterogeneous_experiment, whatif, Fig2Report, HeterogeneousRow, RaaSystem, WhatIfRow,
+};

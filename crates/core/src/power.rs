@@ -1,0 +1,86 @@
+//! Power and energy metrics for the §3.1 experiments.
+
+use crate::dvfs::FreqState;
+
+/// Chip-level power parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerParams {
+    /// Dynamic power coefficient: `P_dyn = c_dyn · V² · f` per busy core.
+    pub c_dyn: f64,
+    /// Static (leakage) power per core, always on.
+    pub c_static: f64,
+    /// Extra power of an idle-but-clocked core.
+    pub c_idle: f64,
+    /// Total chip power budget.
+    pub budget: f64,
+}
+
+impl PowerParams {
+    /// A budget that admits all `cores` running at nominal frequency
+    /// simultaneously (the standard §3.1 setup: turbo must steal from
+    /// somewhere).
+    pub fn nominal_budget(cores: usize) -> Self {
+        PowerParams {
+            c_dyn: 1.0,
+            c_static: 0.1,
+            c_idle: 0.05,
+            budget: cores as f64 * FreqState::at(1.0).dynamic_factor(),
+        }
+    }
+
+    /// Dynamic power of one core at `state`.
+    pub fn dynamic_power(&self, state: FreqState) -> f64 {
+        self.c_dyn * state.dynamic_factor()
+    }
+
+    /// How many cores can run at `state` inside the budget.
+    pub fn cores_within_budget(&self, state: FreqState) -> usize {
+        (self.budget / self.dynamic_power(state)).floor() as usize
+    }
+}
+
+/// Energy-delay product — the §3.1 figure of merit.
+pub fn edp(energy: f64, delay: f64) -> f64 {
+    energy * delay
+}
+
+/// Energy-delay² — the voltage-scaling-invariant variant.
+pub fn ed2p(energy: f64, delay: f64) -> f64 {
+    energy * delay * delay
+}
+
+/// Relative improvement of `new` over `base` (positive = better), for
+/// quantities where lower is better (time, energy, EDP).
+pub fn improvement(base: f64, new: f64) -> f64 {
+    (base - new) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_budget_fits_all_cores_at_nominal() {
+        let p = PowerParams::nominal_budget(32);
+        assert_eq!(p.cores_within_budget(FreqState::at(1.0)), 32);
+        assert!(p.cores_within_budget(FreqState::at(1.3)) < 32);
+        assert!(p.cores_within_budget(FreqState::at(0.8)) > 32);
+    }
+
+    #[test]
+    fn metrics() {
+        assert_eq!(edp(10.0, 2.0), 20.0);
+        assert_eq!(ed2p(10.0, 2.0), 40.0);
+        assert!((improvement(100.0, 80.0) - 0.2).abs() < 1e-12);
+        assert!(improvement(100.0, 120.0) < 0.0);
+    }
+
+    #[test]
+    fn dynamic_power_uses_voltage_squared() {
+        let p = PowerParams::nominal_budget(1);
+        let lo = p.dynamic_power(FreqState::at(0.8));
+        let hi = p.dynamic_power(FreqState::at(1.3));
+        // Cubic-ish: (1.3/0.8) = 1.625, power ratio must exceed 2.2.
+        assert!(hi / lo > 2.2, "ratio {}", hi / lo);
+    }
+}

@@ -1,0 +1,171 @@
+//! Execution profiling: measured task durations fed back into the
+//! simulators.
+//!
+//! The cost hints on a [`TaskGraph`] are programmer estimates; a
+//! runtime-aware system can do better — measure real executions and use
+//! *those* durations for what-if exploration and criticality analysis.
+//! [`TimingRecorder`] is a [`TaskObserver`] that timestamps every task
+//! body; [`apply_measured_costs`] rewrites a recorded graph's costs from
+//! the measurements.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use raa_runtime::{TaskGraph, TaskId, TaskObserver};
+
+/// Per-task measurement.
+#[derive(Clone, Copy, Debug, Default)]
+struct Sample {
+    started: Option<std::time::Duration>,
+    finished: Option<std::time::Duration>,
+    worker: usize,
+}
+
+/// Records wall-clock execution intervals for every task.
+pub struct TimingRecorder {
+    epoch: Instant,
+    samples: Mutex<Vec<Sample>>,
+}
+
+impl TimingRecorder {
+    pub fn new() -> Arc<Self> {
+        Arc::new(TimingRecorder {
+            epoch: Instant::now(),
+            samples: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn slot(samples: &mut Vec<Sample>, task: TaskId) -> &mut Sample {
+        let idx = task.index();
+        if samples.len() <= idx {
+            samples.resize(idx + 1, Sample::default());
+        }
+        &mut samples[idx]
+    }
+
+    /// Number of tasks with complete measurements.
+    pub fn measured(&self) -> usize {
+        self.samples
+            .lock()
+            .iter()
+            .filter(|s| s.started.is_some() && s.finished.is_some())
+            .count()
+    }
+
+    /// Duration of `task` in nanoseconds, if measured.
+    pub fn duration_ns(&self, task: TaskId) -> Option<u64> {
+        let samples = self.samples.lock();
+        let s = samples.get(task.index())?;
+        Some((s.finished? - s.started?).as_nanos() as u64)
+    }
+
+    /// The worker each task ran on (diagnostics).
+    pub fn worker_of(&self, task: TaskId) -> Option<usize> {
+        let samples = self.samples.lock();
+        samples
+            .get(task.index())
+            .filter(|s| s.finished.is_some())
+            .map(|s| s.worker)
+    }
+}
+
+impl TaskObserver for TimingRecorder {
+    fn on_start(&self, worker: usize, task: TaskId, _critical: bool) {
+        let t = self.epoch.elapsed();
+        let mut samples = self.samples.lock();
+        let s = Self::slot(&mut samples, task);
+        s.started = Some(t);
+        s.worker = worker;
+    }
+
+    fn on_complete(&self, _worker: usize, task: TaskId) {
+        let t = self.epoch.elapsed();
+        let mut samples = self.samples.lock();
+        Self::slot(&mut samples, task).finished = Some(t);
+    }
+}
+
+/// Rewrite a recorded graph's cost hints with measured durations
+/// (nanoseconds, floored at 1). Tasks without measurements keep their
+/// hints. Returns the number of costs replaced.
+pub fn apply_measured_costs(graph: &mut TaskGraph, timings: &TimingRecorder) -> usize {
+    let mut replaced = 0;
+    let ids: Vec<TaskId> = graph.nodes().map(|n| n.id).collect();
+    for id in ids {
+        if let Some(ns) = timings.duration_ns(id) {
+            graph.node_mut(id).meta.cost = ns.max(1);
+            replaced += 1;
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raa_runtime::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn records_every_task_and_feeds_the_graph() {
+        let rec = TimingRecorder::new();
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(2)
+                .record_graph(true)
+                .observer(rec.clone()),
+        );
+        // Two slow tasks, four fast ones, with dependencies.
+        let gate = rt.register("gate", 0u64);
+        for i in 0..2 {
+            let g = gate.clone();
+            rt.task(format!("slow{i}"))
+                .updates(&gate)
+                .body(move || {
+                    let _g = g.write();
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                })
+                .spawn();
+        }
+        for i in 0..4 {
+            rt.task(format!("fast{i}")).reads(&gate).body(|| {}).spawn();
+        }
+        rt.taskwait();
+        assert_eq!(rec.measured(), 6);
+
+        let mut g = rt.graph().expect("recorded");
+        assert!(g.nodes().all(|n| n.meta.cost == 1), "hints were defaults");
+        let replaced = apply_measured_costs(&mut g, &rec);
+        assert_eq!(replaced, 6);
+        // The slow tasks' measured costs dwarf the fast ones'.
+        let slow_min = g
+            .nodes()
+            .filter(|n| n.meta.label.starts_with("slow"))
+            .map(|n| n.meta.cost)
+            .min()
+            .expect("slow tasks exist");
+        let fast_max = g
+            .nodes()
+            .filter(|n| n.meta.label.starts_with("fast"))
+            .map(|n| n.meta.cost)
+            .max()
+            .expect("fast tasks exist");
+        assert!(
+            slow_min > 10 * fast_max.max(1),
+            "sleeping tasks must measure much larger: {slow_min} vs {fast_max}"
+        );
+        // Workers were attributed.
+        assert!(g
+            .nodes()
+            .all(|n| rec.worker_of(n.id).is_some_and(|w| w < 2)));
+    }
+
+    #[test]
+    fn unmeasured_tasks_keep_their_hints() {
+        let rec = TimingRecorder::new();
+        let mut g = raa_runtime::graph::generators::chain(3, 77);
+        let replaced = apply_measured_costs(&mut g, &rec);
+        assert_eq!(replaced, 0);
+        assert!(g.nodes().all(|n| n.meta.cost == 77));
+    }
+}

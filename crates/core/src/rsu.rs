@@ -1,0 +1,222 @@
+//! The Runtime Support Unit (Fig. 2) and its software-only counterpart.
+//!
+//! The RSU is a small hardware block that receives task-criticality
+//! notifications from the runtime and reconfigures per-core frequency
+//! under the chip power budget — "a criticality-aware turbo boost
+//! mechanism".  The paper's motivation for making it *hardware*: "the
+//! cost of reconfiguring the hardware with a software-only solution
+//! rises with the number of cores due to locks contention and
+//! reconfiguration overhead".  [`reconfig_storm`] quantifies exactly
+//! that: N cores requesting frequency changes around the same time,
+//! arbitrated either by a serialising software lock or by the parallel
+//! RSU pipeline.
+
+use crate::dvfs::{DvfsTable, FreqState};
+use crate::power::PowerParams;
+
+/// Who performs frequency-change requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arbitration {
+    /// Kernel/runtime path: a global lock plus `per_request` cycles of
+    /// driver work while holding it.
+    Software { per_request: u64 },
+    /// The RSU: fixed `latency` cycles, requests proceed in parallel
+    /// (the unit is pipelined).
+    Rsu { latency: u64 },
+}
+
+/// The RSU state: per-core grants under a power budget.
+#[derive(Clone, Debug)]
+pub struct Rsu {
+    table: DvfsTable,
+    power: PowerParams,
+    /// Granted operating state per core.
+    granted: Vec<FreqState>,
+    /// Sum of dynamic power currently granted.
+    in_use: f64,
+    pub grants: u64,
+    pub demotions: u64,
+}
+
+impl Rsu {
+    pub fn new(cores: usize, table: DvfsTable, power: PowerParams) -> Self {
+        let lowest = table.lowest();
+        let in_use = cores as f64 * power.dynamic_power(lowest);
+        Rsu {
+            table,
+            power,
+            granted: vec![lowest; cores],
+            in_use,
+            grants: 0,
+            demotions: 0,
+        }
+    }
+
+    /// Request `want` for `core` (criticality-driven). The RSU grants the
+    /// fastest state ≤ `want` that fits the remaining budget, demoting
+    /// to the lowest state if nothing fits. Returns the granted state.
+    pub fn request(&mut self, core: usize, want: FreqState) -> FreqState {
+        self.grants += 1;
+        let current = self.power.dynamic_power(self.granted[core]);
+        let headroom = self.power.budget - (self.in_use - current);
+        let granted = self
+            .table
+            .states()
+            .iter()
+            .rev()
+            .filter(|s| s.freq <= want.freq + 1e-12)
+            .find(|s| self.power.dynamic_power(**s) <= headroom)
+            .copied()
+            .unwrap_or_else(|| self.table.lowest());
+        if granted.freq < want.freq - 1e-12 {
+            self.demotions += 1;
+        }
+        self.in_use += self.power.dynamic_power(granted) - current;
+        self.granted[core] = granted;
+        granted
+    }
+
+    /// Release `core` back to the lowest state (task finished).
+    pub fn release(&mut self, core: usize) {
+        let current = self.power.dynamic_power(self.granted[core]);
+        let lowest = self.table.lowest();
+        self.in_use += self.power.dynamic_power(lowest) - current;
+        self.granted[core] = lowest;
+    }
+
+    /// Current granted state of a core.
+    pub fn granted(&self, core: usize) -> FreqState {
+        self.granted[core]
+    }
+
+    /// Total granted dynamic power (must never exceed the budget).
+    pub fn power_in_use(&self) -> f64 {
+        self.in_use
+    }
+
+    pub fn budget(&self) -> f64 {
+        self.power.budget
+    }
+}
+
+/// Outcome of a reconfiguration-storm simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconfigStats {
+    pub cores: usize,
+    /// Mean cycles from request to grant.
+    pub mean_latency: f64,
+    /// Worst-case cycles.
+    pub max_latency: u64,
+}
+
+/// Simulate `cores` cores each issuing one frequency-change request at
+/// cycle `core_index % spread` (a task-boundary storm), arbitrated by
+/// `arb`. Deterministic closed-form queueing.
+pub fn reconfig_storm(cores: usize, spread: u64, arb: Arbitration) -> ReconfigStats {
+    let mut total = 0u64;
+    let mut worst = 0u64;
+    match arb {
+        Arbitration::Software { per_request } => {
+            // Requests serialise on the lock in arrival order.
+            let mut lock_free = 0u64;
+            for c in 0..cores {
+                let arrive = (c as u64) % spread.max(1);
+                let start = lock_free.max(arrive);
+                let done = start + per_request;
+                lock_free = done;
+                let lat = done - arrive;
+                total += lat;
+                worst = worst.max(lat);
+            }
+        }
+        Arbitration::Rsu { latency } => {
+            for _ in 0..cores {
+                total += latency;
+                worst = worst.max(latency);
+            }
+        }
+    }
+    ReconfigStats {
+        cores,
+        mean_latency: total as f64 / cores.max(1) as f64,
+        max_latency: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rsu(cores: usize) -> Rsu {
+        Rsu::new(
+            cores,
+            DvfsTable::low_nominal_turbo(),
+            PowerParams::nominal_budget(cores),
+        )
+    }
+
+    #[test]
+    fn grants_turbo_until_budget_exhausted() {
+        let mut r = rsu(4); // budget = 4 × 1.0
+        let turbo = FreqState::at(1.3);
+        // Turbo dynamic factor ≈ 1.4 (V=1.12): three fit in 4.0.
+        let mut granted_turbo = 0;
+        for c in 0..4 {
+            if (r.request(c, turbo).freq - 1.3).abs() < 1e-9 {
+                granted_turbo += 1;
+            }
+        }
+        assert!(granted_turbo < 4, "budget must demote someone");
+        assert!(granted_turbo >= 1);
+        assert!(r.power_in_use() <= r.budget() + 1e-9);
+        assert!(r.demotions >= 1);
+    }
+
+    #[test]
+    fn release_frees_budget() {
+        // Budget 3.0 on 2 cores: one turbo grant fits, two do not.
+        let mut params = PowerParams::nominal_budget(2);
+        params.budget = 3.0;
+        let mut r = Rsu::new(2, DvfsTable::low_nominal_turbo(), params);
+        let turbo = FreqState::at(1.3);
+        assert!((r.request(0, turbo).freq - 1.3).abs() < 1e-9);
+        assert!(r.request(1, turbo).freq < 1.3, "second turbo demoted");
+        let before = r.power_in_use();
+        r.release(0);
+        assert!(r.power_in_use() < before);
+        // Now core 1's upgrade fits again.
+        let g = r.request(1, turbo);
+        assert!((g.freq - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn re_request_same_core_does_not_leak_budget() {
+        let mut r = rsu(2);
+        let turbo = FreqState::at(1.3);
+        for _ in 0..100 {
+            r.request(0, turbo);
+        }
+        assert!(r.power_in_use() <= r.budget() + 1e-9);
+        r.release(0);
+        r.release(1);
+        // Back to exactly two cores at the lowest state.
+        let lowest = 2.0 * PowerParams::nominal_budget(2).dynamic_power(FreqState::at(0.8));
+        assert!((r.power_in_use() - lowest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn software_latency_grows_with_cores_rsu_flat() {
+        let sw = |n| reconfig_storm(n, 8, Arbitration::Software { per_request: 30 });
+        let hw = |n| reconfig_storm(n, 8, Arbitration::Rsu { latency: 4 });
+        assert!(sw(64).mean_latency > 4.0 * sw(8).mean_latency);
+        assert_eq!(hw(64).mean_latency, hw(8).mean_latency);
+        assert!(sw(64).mean_latency > 50.0 * hw(64).mean_latency);
+    }
+
+    #[test]
+    fn storm_worst_case_is_last_in_line() {
+        let s = reconfig_storm(16, 1, Arbitration::Software { per_request: 10 });
+        assert_eq!(s.max_latency, 160);
+        assert_eq!(s.cores, 16);
+    }
+}

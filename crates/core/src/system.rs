@@ -1,0 +1,381 @@
+//! End-to-end §3.1 experiments: static scheduling vs criticality-aware
+//! DVFS, software vs RSU arbitration.
+
+use raa_runtime::simsched::{
+    CorePool, DvfsArbiter, PowerModel, ScheduleSimulator, SimPolicy, SimReport,
+};
+use raa_runtime::TaskGraph;
+
+use crate::power::improvement;
+
+/// A simulated runtime-aware manycore: geometry plus operating points.
+#[derive(Clone, Debug)]
+pub struct RaaSystem {
+    pub cores: usize,
+    /// Turbo frequency for critical tasks.
+    pub f_high: f64,
+    /// Energy-saving frequency for non-critical tasks.
+    pub f_low: f64,
+    /// Nominal frequency (the static baseline runs everything here).
+    pub f_nominal: f64,
+    /// Power model; the budget admits all cores at nominal.
+    pub power: PowerModel,
+    /// Software reconfiguration lock cost (time units).
+    pub sw_lock_cost: f64,
+    /// RSU grant latency (time units).
+    pub rsu_latency: f64,
+    /// Criticality slack as a fraction of the critical path: tasks whose
+    /// longest chain is within this margin of the critical path also
+    /// count as critical (slowing near-critical tasks would simply move
+    /// the critical path).
+    pub criticality_slack_frac: f64,
+}
+
+impl RaaSystem {
+    /// The paper's simulated 32-core processor.
+    pub fn paper_32core() -> Self {
+        Self::with_cores(32)
+    }
+
+    pub fn with_cores(cores: usize) -> Self {
+        RaaSystem {
+            cores,
+            f_high: 1.3,
+            f_low: 0.9,
+            f_nominal: 1.0,
+            power: PowerModel {
+                c_dyn: 1.0,
+                c_static: 0.08,
+                c_idle: 0.04,
+                budget: cores as f64, // all cores at nominal (f³ = 1)
+            },
+            sw_lock_cost: 6.0,
+            rsu_latency: 0.5,
+            criticality_slack_frac: 0.12,
+        }
+    }
+
+    /// Static baseline: every core at nominal frequency, bottom-level
+    /// list scheduling (a good static scheduler, not a strawman).
+    pub fn run_static(&self, g: &TaskGraph) -> SimReport {
+        ScheduleSimulator::new(
+            g,
+            CorePool::homogeneous(self.cores, self.f_nominal),
+            SimPolicy::BottomLevel,
+        )
+        .with_power(self.power)
+        .run()
+    }
+
+    /// Criticality-aware DVFS with the given arbitration path.
+    pub fn run_criticality(&self, g: &TaskGraph, arbiter: DvfsArbiter) -> SimReport {
+        let (cp, _) = g.critical_path();
+        let mut sim = ScheduleSimulator::new(
+            g,
+            CorePool::homogeneous(self.cores, self.f_nominal),
+            SimPolicy::CriticalityDvfs {
+                f_high: self.f_high,
+                f_low: self.f_low,
+                arbiter,
+            },
+        )
+        .with_power(self.power);
+        sim.criticality_slack = (cp as f64 * self.criticality_slack_frac) as u64;
+        sim.run()
+    }
+
+    /// Convenience: criticality DVFS through the RSU.
+    pub fn run_rsu(&self, g: &TaskGraph) -> SimReport {
+        self.run_criticality(
+            g,
+            DvfsArbiter::Rsu {
+                latency: self.rsu_latency,
+            },
+        )
+    }
+
+    /// Convenience: criticality DVFS through the software path.
+    pub fn run_software(&self, g: &TaskGraph) -> SimReport {
+        self.run_criticality(
+            g,
+            DvfsArbiter::Software {
+                lock_cost: self.sw_lock_cost,
+            },
+        )
+    }
+
+    /// Random-ready-order baseline at nominal frequency (what
+    /// criticality-blind scheduling degrades to on irregular graphs).
+    pub fn run_random(&self, g: &TaskGraph, seed: u64) -> SimReport {
+        ScheduleSimulator::new(
+            g,
+            CorePool::homogeneous(self.cores, self.f_nominal),
+            SimPolicy::RandomOrder { seed },
+        )
+        .with_power(self.power)
+        .run()
+    }
+
+    /// The full §3.1 comparison over a workload suite, averaging the
+    /// per-graph improvements (geometric-mean-free, like the paper's
+    /// averages).
+    pub fn fig2_experiment(&self, graphs: &[(&str, TaskGraph)]) -> Fig2Report {
+        let mut rows = Vec::with_capacity(graphs.len());
+        for (name, g) in graphs {
+            let stat = self.run_static(g);
+            let rsu = self.run_rsu(g);
+            let sw = self.run_software(g);
+            let rand = self.run_random(g, 0xF16_2);
+            rows.push(Fig2Row {
+                workload: name.to_string(),
+                perf_improvement: improvement(stat.makespan, rsu.makespan),
+                edp_improvement: improvement(stat.edp, rsu.edp),
+                sw_perf_improvement: improvement(stat.makespan, sw.makespan),
+                random_penalty: improvement(rand.makespan, stat.makespan),
+                rsu_stall: rsu.reconfig_stall,
+                sw_stall: sw.reconfig_stall,
+                reconfigs: rsu.reconfigs,
+            });
+        }
+        let n = rows.len().max(1) as f64;
+        Fig2Report {
+            avg_perf_improvement: rows.iter().map(|r| r.perf_improvement).sum::<f64>() / n,
+            avg_edp_improvement: rows.iter().map(|r| r.edp_improvement).sum::<f64>() / n,
+            rows,
+        }
+    }
+}
+
+/// Per-workload §3.1 results.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    pub workload: String,
+    /// Makespan improvement of criticality DVFS (RSU) over static.
+    pub perf_improvement: f64,
+    /// EDP improvement over static.
+    pub edp_improvement: f64,
+    /// Makespan improvement when the software path does the reconfig.
+    pub sw_perf_improvement: f64,
+    /// How much the bottom-level static scheduler already gains over a
+    /// random ready order (list-scheduling quality, separate from DVFS).
+    pub random_penalty: f64,
+    pub rsu_stall: f64,
+    pub sw_stall: f64,
+    pub reconfigs: u64,
+}
+
+/// The §3.1 headline numbers.
+#[derive(Clone, Debug)]
+pub struct Fig2Report {
+    pub rows: Vec<Fig2Row>,
+    pub avg_perf_improvement: f64,
+    pub avg_edp_improvement: f64,
+}
+
+/// Heterogeneous (big.LITTLE) placement experiment — the §3.1 claim
+/// that "critical tasks can be run in faster or accelerated cores while
+/// non critical tasks can be scheduled to slow cores without affecting
+/// the final performance and reducing overall energy consumption".
+#[derive(Clone, Debug)]
+pub struct HeterogeneousRow {
+    pub workload: String,
+    /// Makespan improvement of criticality-aware placement over the
+    /// criticality-agnostic scheduler on the same big.LITTLE pool.
+    pub perf_improvement: f64,
+    pub edp_improvement: f64,
+}
+
+/// Run the suite on a big.LITTLE pool (`fast` cores at `f_fast`, `slow`
+/// at `f_slow`), comparing criticality-aware placement with an agnostic
+/// list scheduler.
+pub fn heterogeneous_experiment(
+    graphs: &[(&str, TaskGraph)],
+    slow: usize,
+    fast: usize,
+    f_slow: f64,
+    f_fast: f64,
+) -> Vec<HeterogeneousRow> {
+    use raa_runtime::simsched::ScheduleSimulator;
+    let mut freqs = vec![f_slow; slow];
+    freqs.extend(vec![f_fast; fast]);
+    graphs
+        .iter()
+        .map(|(name, g)| {
+            let run = |policy| {
+                let (cp, _) = g.critical_path();
+                let mut sim =
+                    ScheduleSimulator::new(g, CorePool::heterogeneous(freqs.clone()), policy)
+                        .with_power(PowerModel {
+                            c_dyn: 1.0,
+                            c_static: 0.08,
+                            c_idle: 0.04,
+                            budget: f64::INFINITY,
+                        });
+                sim.criticality_slack = (cp as f64 * 0.12) as u64;
+                sim.run()
+            };
+            let agnostic = run(SimPolicy::BottomLevel);
+            let aware = run(SimPolicy::CriticalityPlacement);
+            HeterogeneousRow {
+                workload: name.to_string(),
+                perf_improvement: improvement(agnostic.makespan, aware.makespan),
+                edp_improvement: improvement(agnostic.edp, aware.edp),
+            }
+        })
+        .collect()
+}
+
+/// "What-if" replay: take the TDG a *real* [`raa_runtime::Runtime`]
+/// recorded (with `record_graph(true)`) and evaluate it on simulated
+/// machines — the runtime-aware feedback loop the paper envisions, where
+/// the runtime's own execution history drives architecture exploration.
+#[derive(Clone, Debug)]
+pub struct WhatIfRow {
+    pub cores: usize,
+    pub static_makespan: f64,
+    pub rsu_makespan: f64,
+    pub rsu_edp_improvement: f64,
+}
+
+/// Evaluate a recorded TDG across machine sizes: for each core count,
+/// the static schedule and the criticality-DVFS (RSU) schedule.
+pub fn whatif(graph: &TaskGraph, core_counts: &[usize]) -> Vec<WhatIfRow> {
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let sys = RaaSystem::with_cores(cores);
+            let stat = sys.run_static(graph);
+            let rsu = sys.run_rsu(graph);
+            WhatIfRow {
+                cores,
+                static_makespan: stat.makespan,
+                rsu_makespan: rsu.makespan,
+                rsu_edp_improvement: improvement(stat.edp, rsu.edp),
+            }
+        })
+        .collect()
+}
+
+/// The workload suite used by the Fig. 2 / §3.1 harness: heterogeneous
+/// TDGs with pronounced critical paths, the shapes task-based HPC codes
+/// exhibit.
+pub fn fig2_workloads() -> Vec<(&'static str, TaskGraph)> {
+    use raa_runtime::graph::generators;
+    vec![
+        ("cholesky-12", generators::cholesky(12, 600, 400, 300, 300)),
+        ("chain+fans", generators::chain_with_fans(24, 10, 500, 180)),
+        (
+            // Narrower than the machine: slack exists for the
+            // criticality policy to exploit (cf. the §3.1 workloads).
+            "layered",
+            generators::random_layered(24, 48, 100..600, 0x5EED),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn criticality_dvfs_beats_static_on_the_suite() {
+        let sys = RaaSystem::paper_32core();
+        let report = sys.fig2_experiment(&fig2_workloads());
+        assert!(
+            report.avg_perf_improvement > 0.02,
+            "expected a few percent performance gain, got {:.3}",
+            report.avg_perf_improvement
+        );
+        assert!(
+            report.avg_edp_improvement > 0.08,
+            "expected double-digit EDP gain, got {:.3}",
+            report.avg_edp_improvement
+        );
+    }
+
+    #[test]
+    fn rsu_no_worse_than_software_path() {
+        let sys = RaaSystem::paper_32core();
+        for (name, g) in fig2_workloads() {
+            let rsu = sys.run_rsu(&g);
+            let sw = sys.run_software(&g);
+            assert!(
+                rsu.makespan <= sw.makespan + 1e-9,
+                "{name}: RSU {} vs SW {}",
+                rsu.makespan,
+                sw.makespan
+            );
+            assert!(rsu.reconfig_stall < sw.reconfig_stall);
+        }
+    }
+
+    #[test]
+    fn software_overhead_grows_with_core_count() {
+        // The Fig. 2 motivation: sweep cores, watch the software path's
+        // stall grow while the RSU's stays proportional to reconfigs.
+        let g = raa_runtime::graph::generators::random_layered(30, 128, 50..300, 7);
+        let stall_ratio = |cores: usize| {
+            let sys = RaaSystem::with_cores(cores);
+            let sw = sys.run_software(&g);
+            let rsu = sys.run_rsu(&g);
+            sw.reconfig_stall / rsu.reconfig_stall.max(1e-9)
+        };
+        assert!(stall_ratio(64) > stall_ratio(8));
+    }
+
+    #[test]
+    fn heterogeneous_placement_helps_structured_graphs() {
+        let rows = heterogeneous_experiment(&fig2_workloads(), 24, 8, 0.8, 1.6);
+        // The structured DAGs must gain clearly; the saturated layered
+        // graph may tie.
+        let cholesky = rows.iter().find(|r| r.workload == "cholesky-12").unwrap();
+        assert!(
+            cholesky.perf_improvement > 0.10,
+            "cholesky gains from fast-core placement: {:.3}",
+            cholesky.perf_improvement
+        );
+        let avg: f64 = rows.iter().map(|r| r.perf_improvement).sum::<f64>() / rows.len() as f64;
+        assert!(avg > 0.05, "suite average {avg:.3}");
+    }
+
+    #[test]
+    fn whatif_replays_a_real_runtime_recording() {
+        use raa_runtime::{AccessMode, Runtime, RuntimeConfig};
+        // Record a small blocked pipeline on the real runtime.
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).record_graph(true));
+        let data = rt.register("d", vec![0u64; 64]);
+        for stage in 0..4u64 {
+            for b in 0..8u64 {
+                let d = data.clone();
+                rt.task(format!("s{stage}b{b}"))
+                    .region(data.sub(b * 8, (b + 1) * 8), AccessMode::ReadWrite)
+                    .cost(100)
+                    .body(move || {
+                        let _ = d.read().len();
+                    })
+                    .spawn();
+            }
+        }
+        rt.taskwait();
+        let g = rt.graph().expect("recorded");
+        assert_eq!(g.len(), 32);
+        let rows = whatif(&g, &[1, 4, 8]);
+        // More cores → shorter static makespan (8 independent chains).
+        assert!(rows[1].static_makespan < rows[0].static_makespan);
+        assert!(rows[2].static_makespan <= rows[1].static_makespan + 1e-9);
+        // The 1-core run equals total work.
+        assert!((rows[0].static_makespan - g.total_work() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_is_respected_via_makespan_monotonicity() {
+        // With an infinite budget the DVFS run can only get faster.
+        let sys = RaaSystem::paper_32core();
+        let mut unlimited = sys.clone();
+        unlimited.power.budget = f64::INFINITY;
+        let (_, g) = &fig2_workloads()[0];
+        let capped = sys.run_rsu(g);
+        let free = unlimited.run_rsu(g);
+        assert!(free.makespan <= capped.makespan + 1e-9);
+    }
+}

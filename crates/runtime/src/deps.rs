@@ -1,0 +1,374 @@
+//! Online dependency tracking.
+//!
+//! For every registered datum the tracker maintains a sorted list of
+//! disjoint segments, each carrying the id of its *last writer* and the
+//! *readers since that write*.  A new access splits segments at its range
+//! boundaries and collects edges exactly as a register scoreboard would:
+//!
+//! * a **read** depends on the last writer of every overlapped segment
+//!   (RAW);
+//! * a **write** depends on the last writer (WAW) *and* on every reader
+//!   since that write (WAR), then becomes the segment's last writer.
+//!
+//! This mirrors how OmpSs/Nanos builds the Task Dependency Graph from
+//! `in`/`out`/`inout` clauses at submission time.
+
+use std::collections::HashMap;
+
+use crate::region::{Access, RegionId, RegionRange};
+use crate::task::TaskId;
+
+/// One dependency-tracking segment: a half-open range plus its access
+/// history summary.
+#[derive(Clone, Debug)]
+struct Segment {
+    range: RegionRange,
+    last_writer: Option<TaskId>,
+    readers: Vec<TaskId>,
+}
+
+impl Segment {
+    fn fresh(range: RegionRange) -> Self {
+        Segment {
+            range,
+            last_writer: None,
+            readers: Vec::new(),
+        }
+    }
+}
+
+/// Per-datum segment list. Invariants: segments are sorted by `start`,
+/// disjoint, and jointly cover `[0, u64::MAX)`.
+#[derive(Clone, Debug)]
+struct RegionState {
+    segments: Vec<Segment>,
+}
+
+impl RegionState {
+    fn new() -> Self {
+        RegionState {
+            segments: vec![Segment::fresh(RegionRange::ALL)],
+        }
+    }
+
+    /// Split segments so that `at` is a segment boundary.
+    fn split_at(&mut self, at: u64) {
+        if at == 0 || at == u64::MAX {
+            return;
+        }
+        // First segment whose end lies beyond `at`; since the segments
+        // jointly cover [0, u64::MAX), it exists and contains `at` unless
+        // `at` is already one of its boundaries.
+        let idx = self.segments.partition_point(|s| s.range.end <= at);
+        let seg = &self.segments[idx];
+        if seg.range.start >= at {
+            return;
+        }
+        let mut right = seg.clone();
+        right.range = RegionRange::new(at, seg.range.end);
+        self.segments[idx].range = RegionRange::new(seg.range.start, at);
+        self.segments.insert(idx + 1, right);
+    }
+
+    /// Indices of segments overlapping `range` (after splitting, these are
+    /// exactly the segments fully contained in `range`).
+    fn overlapping(&self, range: RegionRange) -> std::ops::Range<usize> {
+        let lo = self
+            .segments
+            .partition_point(|s| s.range.end <= range.start);
+        let hi = self.segments.partition_point(|s| s.range.start < range.end);
+        lo..hi
+    }
+
+    /// Merge adjacent segments with identical state to bound growth.
+    fn coalesce(&mut self) {
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.drain(..) {
+            match out.last_mut() {
+                Some(prev)
+                    if prev.range.end == seg.range.start
+                        && prev.last_writer == seg.last_writer
+                        && prev.readers == seg.readers =>
+                {
+                    prev.range = RegionRange::new(prev.range.start, seg.range.end);
+                }
+                _ => out.push(seg),
+            }
+        }
+        self.segments = out;
+    }
+}
+
+/// The dependency tracker: datum id → segment list.
+#[derive(Default)]
+pub struct DepTracker {
+    regions: HashMap<RegionId, RegionState>,
+    /// Total number of edges ever produced (for stats).
+    edges_produced: u64,
+}
+
+impl DepTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the declared accesses of a newly submitted task and return
+    /// its predecessor set (deduplicated, self-edges removed).
+    pub fn submit(&mut self, task: TaskId, accesses: &[Access]) -> Vec<TaskId> {
+        let mut preds: Vec<TaskId> = Vec::new();
+        for access in accesses {
+            if access.region.range.is_empty() {
+                continue;
+            }
+            let state = self
+                .regions
+                .entry(access.region.id)
+                .or_insert_with(RegionState::new);
+            state.split_at(access.region.range.start);
+            state.split_at(access.region.range.end);
+            let idxs = state.overlapping(access.region.range);
+            for seg in &mut state.segments[idxs] {
+                debug_assert!(access.region.range.contains(&seg.range));
+                if access.mode.writes() {
+                    if let Some(w) = seg.last_writer {
+                        preds.push(w);
+                    }
+                    preds.extend_from_slice(&seg.readers);
+                    seg.last_writer = Some(task);
+                    seg.readers.clear();
+                } else {
+                    if let Some(w) = seg.last_writer {
+                        preds.push(w);
+                    }
+                    if !seg.readers.contains(&task) {
+                        seg.readers.push(task);
+                    }
+                }
+            }
+            state.coalesce();
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        preds.retain(|&p| p != task);
+        self.edges_produced += preds.len() as u64;
+        preds
+    }
+
+    /// Number of dependency edges produced so far.
+    pub fn edges_produced(&self) -> u64 {
+        self.edges_produced
+    }
+
+    /// Number of datums ever touched.
+    pub fn tracked_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Drop all history (e.g. between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.regions.clear();
+        self.edges_produced = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{Access, AccessMode, Region, RegionId};
+
+    fn acc(id: u64, start: u64, end: u64, mode: AccessMode) -> Access {
+        Access {
+            region: Region::new(RegionId(id), RegionRange::new(start, end)),
+            mode,
+        }
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut t = DepTracker::new();
+        let p = t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Write)]);
+        assert!(p.is_empty());
+        let p = t.submit(TaskId(1), &[acc(0, 0, 10, AccessMode::Read)]);
+        assert_eq!(p, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn war_dependency() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Read)]);
+        t.submit(TaskId(1), &[acc(0, 0, 10, AccessMode::Read)]);
+        let p = t.submit(TaskId(2), &[acc(0, 0, 10, AccessMode::Write)]);
+        assert_eq!(p, vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn waw_dependency() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Write)]);
+        let p = t.submit(TaskId(1), &[acc(0, 0, 10, AccessMode::Write)]);
+        assert_eq!(p, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn readers_cleared_after_write() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Read)]);
+        t.submit(TaskId(1), &[acc(0, 0, 10, AccessMode::Write)]);
+        // The next writer must depend only on t1 (WAW), not on the stale
+        // reader t0.
+        let p = t.submit(TaskId(2), &[acc(0, 0, 10, AccessMode::Write)]);
+        assert_eq!(p, vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn disjoint_ranges_are_independent() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Write)]);
+        let p = t.submit(TaskId(1), &[acc(0, 10, 20, AccessMode::Write)]);
+        assert!(p.is_empty(), "disjoint blocks must not conflict: {p:?}");
+    }
+
+    #[test]
+    fn partial_overlap_splits_segments() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Write)]);
+        t.submit(TaskId(1), &[acc(0, 10, 20, AccessMode::Write)]);
+        // Range straddling both writers depends on both.
+        let p = t.submit(TaskId(2), &[acc(0, 5, 15, AccessMode::Read)]);
+        assert_eq!(p, vec![TaskId(0), TaskId(1)]);
+        // Writing the straddle creates WAR on t2 and WAW on t0/t1 only in
+        // the overlapped parts.
+        let p = t.submit(TaskId(3), &[acc(0, 5, 15, AccessMode::Write)]);
+        assert_eq!(p, vec![TaskId(0), TaskId(1), TaskId(2)]);
+        // A reader of [0,5) still depends on t0, not t3.
+        let p = t.submit(TaskId(4), &[acc(0, 0, 5, AccessMode::Read)]);
+        assert_eq!(p, vec![TaskId(0)]);
+        // A reader of [5,8) now depends on t3.
+        let p = t.submit(TaskId(5), &[acc(0, 5, 8, AccessMode::Read)]);
+        assert_eq!(p, vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn different_region_ids_never_conflict() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Write)]);
+        let p = t.submit(TaskId(1), &[acc(1, 0, 10, AccessMode::ReadWrite)]);
+        assert!(p.is_empty());
+        assert_eq!(t.tracked_regions(), 2);
+    }
+
+    #[test]
+    fn inout_behaves_as_read_and_write() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Write)]);
+        let p = t.submit(TaskId(1), &[acc(0, 0, 10, AccessMode::ReadWrite)]);
+        assert_eq!(p, vec![TaskId(0)]);
+        let p = t.submit(TaskId(2), &[acc(0, 0, 10, AccessMode::ReadWrite)]);
+        assert_eq!(p, vec![TaskId(1)], "inout chains serialise");
+    }
+
+    #[test]
+    fn duplicate_predecessors_are_deduped() {
+        let mut t = DepTracker::new();
+        t.submit(
+            TaskId(0),
+            &[
+                acc(0, 0, 10, AccessMode::Write),
+                acc(1, 0, 10, AccessMode::Write),
+            ],
+        );
+        let p = t.submit(
+            TaskId(1),
+            &[
+                acc(0, 0, 10, AccessMode::Read),
+                acc(1, 0, 10, AccessMode::Read),
+            ],
+        );
+        assert_eq!(p, vec![TaskId(0)]);
+        assert_eq!(t.edges_produced(), 1);
+    }
+
+    #[test]
+    fn empty_range_is_ignored() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Write)]);
+        let p = t.submit(TaskId(1), &[acc(0, 5, 5, AccessMode::Write)]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn full_range_access_conflicts_with_blocks() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 16, AccessMode::Write)]);
+        t.submit(TaskId(1), &[acc(0, 16, 32, AccessMode::Write)]);
+        let whole = Access {
+            region: Region::new(RegionId(0), RegionRange::ALL),
+            mode: AccessMode::Read,
+        };
+        let p = t.submit(TaskId(2), &[whole]);
+        assert_eq!(p, vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Write)]);
+        t.reset();
+        let p = t.submit(TaskId(1), &[acc(0, 0, 10, AccessMode::Read)]);
+        assert!(p.is_empty());
+        assert_eq!(t.edges_produced(), 0);
+    }
+
+    #[test]
+    fn repeated_reader_not_duplicated_in_segment() {
+        let mut t = DepTracker::new();
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Read)]);
+        t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Read)]);
+        let p = t.submit(TaskId(1), &[acc(0, 0, 10, AccessMode::Write)]);
+        assert_eq!(p, vec![TaskId(0)]);
+    }
+
+    /// Oracle cross-check: a naive per-element tracker must agree with the
+    /// segment implementation on random access sequences.
+    #[test]
+    fn matches_naive_oracle_on_random_sequences() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for _ in 0..50 {
+            let mut fast = DepTracker::new();
+            // element -> (last_writer, readers)
+            let mut slow: Vec<(Option<TaskId>, Vec<TaskId>)> = vec![(None, Vec::new()); 64];
+            for tid in 0..40u32 {
+                let start = rng.gen_range(0..64u64);
+                let end = rng.gen_range(start..=64u64);
+                let mode = match rng.gen_range(0..3) {
+                    0 => AccessMode::Read,
+                    1 => AccessMode::Write,
+                    _ => AccessMode::ReadWrite,
+                };
+                let got = fast.submit(TaskId(tid), &[acc(7, start, end, mode)]);
+                let mut want: Vec<TaskId> = Vec::new();
+                for e in start..end {
+                    let cell = &mut slow[e as usize];
+                    if mode.writes() {
+                        if let Some(w) = cell.0 {
+                            want.push(w);
+                        }
+                        want.extend_from_slice(&cell.1);
+                        cell.0 = Some(TaskId(tid));
+                        cell.1.clear();
+                    } else {
+                        if let Some(w) = cell.0 {
+                            want.push(w);
+                        }
+                        cell.1.push(TaskId(tid));
+                    }
+                }
+                want.sort_unstable();
+                want.dedup();
+                want.retain(|&p| p != TaskId(tid));
+                assert_eq!(got, want, "tid={tid} [{start},{end}) {mode:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! The Task Dependency Graph (TDG).
+//!
+//! A [`TaskGraph`] is the explicit DAG the paper puts at the heart of a
+//! Runtime-Aware Architecture: nodes are tasks, edges are the RAW/WAR/WAW
+//! dependencies discovered by [`crate::deps::DepTracker`].  The graph
+//! supports the analyses the RAA hardware/runtime needs — topological
+//! order, top/bottom levels, critical-path extraction — plus synthetic
+//! generators used by the §3.1 power experiments.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::deps::DepTracker;
+use crate::task::{Criticality, TaskId, TaskMeta};
+
+/// One node of the TDG.
+#[derive(Clone, Debug)]
+pub struct TaskNode {
+    pub id: TaskId,
+    pub meta: TaskMeta,
+    pub preds: Vec<TaskId>,
+    pub succs: Vec<TaskId>,
+}
+
+/// An explicit task dependency graph.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    nodes: Vec<TaskNode>,
+}
+
+impl TaskGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task with explicit predecessors. Predecessor ids must already
+    /// exist; duplicate and self edges are ignored.
+    pub fn add_task(&mut self, meta: TaskMeta, preds: &[TaskId]) -> TaskId {
+        let id = TaskId(self.nodes.len() as u32);
+        let mut ps: Vec<TaskId> = preds
+            .iter()
+            .copied()
+            .filter(|p| p.index() < self.nodes.len())
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        for &p in &ps {
+            self.nodes[p.index()].succs.push(id);
+        }
+        self.nodes.push(TaskNode {
+            id,
+            meta,
+            preds: ps,
+            succs: Vec::new(),
+        });
+        id
+    }
+
+    /// Build a graph from a list of tasks with declared accesses, using the
+    /// same dependency discovery as the online runtime.
+    pub fn from_accesses(tasks: Vec<TaskMeta>) -> Self {
+        let mut g = TaskGraph::new();
+        let mut tracker = DepTracker::new();
+        for meta in tasks {
+            let id = TaskId(g.nodes.len() as u32);
+            let preds = tracker.submit(id, &meta.accesses);
+            g.add_task(meta, &preds);
+        }
+        g
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, id: TaskId) -> &TaskNode {
+        &self.nodes[id.index()]
+    }
+
+    pub fn node_mut(&mut self, id: TaskId) -> &mut TaskNode {
+        &mut self.nodes[id.index()]
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &TaskNode> {
+        self.nodes.iter()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.preds.len()).sum()
+    }
+
+    /// Entry tasks (no predecessors).
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.preds.is_empty())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Exit tasks (no successors).
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.succs.is_empty())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Kahn topological order. Returns `None` if the graph has a cycle
+    /// (impossible for graphs built by the tracker, possible for
+    /// hand-built ones).
+    pub fn topo_order(&self) -> Option<Vec<TaskId>> {
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.preds.len()).collect();
+        let mut queue: VecDeque<TaskId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.preds.is_empty())
+            .map(|n| n.id)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &s in &self.nodes[id.index()].succs {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        (order.len() == self.nodes.len()).then_some(order)
+    }
+
+    /// Bottom level of every task: the longest cost-weighted path from the
+    /// task (inclusive) to any sink.  The classic criticality metric — a
+    /// task is on the critical path iff its bottom level equals the graph's
+    /// critical path length along some chain.
+    pub fn bottom_levels(&self) -> Vec<u64> {
+        let order = self.topo_order().expect("TDG must be acyclic");
+        let mut bl = vec![0u64; self.nodes.len()];
+        for &id in order.iter().rev() {
+            let n = &self.nodes[id.index()];
+            let succ_max = n.succs.iter().map(|s| bl[s.index()]).max().unwrap_or(0);
+            bl[id.index()] = n.meta.cost + succ_max;
+        }
+        bl
+    }
+
+    /// Top level of every task: longest cost-weighted path from any source
+    /// to the task (exclusive of its own cost) — its earliest possible
+    /// start time on infinite resources.
+    pub fn top_levels(&self) -> Vec<u64> {
+        let order = self.topo_order().expect("TDG must be acyclic");
+        let mut tl = vec![0u64; self.nodes.len()];
+        for &id in &order {
+            let n = &self.nodes[id.index()];
+            let pred_max = n
+                .preds
+                .iter()
+                .map(|p| tl[p.index()] + self.nodes[p.index()].meta.cost)
+                .max()
+                .unwrap_or(0);
+            tl[id.index()] = pred_max;
+        }
+        tl
+    }
+
+    /// Critical path length (sum of costs along the longest chain) and one
+    /// witness chain from a source to a sink.
+    pub fn critical_path(&self) -> (u64, Vec<TaskId>) {
+        if self.nodes.is_empty() {
+            return (0, Vec::new());
+        }
+        let bl = self.bottom_levels();
+        let start = self
+            .nodes
+            .iter()
+            .filter(|n| n.preds.is_empty())
+            .max_by_key(|n| bl[n.id.index()])
+            .map(|n| n.id)
+            .expect("acyclic nonempty graph has a source");
+        let mut path = vec![start];
+        let mut cur = start;
+        loop {
+            let n = &self.nodes[cur.index()];
+            match n.succs.iter().max_by_key(|s| bl[s.index()]) {
+                Some(&next) => {
+                    path.push(next);
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        (bl[start.index()], path)
+    }
+
+    /// Total work: the sum of all task costs.
+    pub fn total_work(&self) -> u64 {
+        self.nodes.iter().map(|n| n.meta.cost).sum()
+    }
+
+    /// Mark every task whose bottom level is within `slack` of the longest
+    /// chain through it as [`Criticality::Critical`], the rest as
+    /// [`Criticality::NonCritical`] — the runtime-side analysis the RSU
+    /// consumes.  Respects explicit programmer annotations (non-`Auto`
+    /// values are preserved).
+    pub fn annotate_criticality(&mut self, slack: u64) {
+        let bl = self.bottom_levels();
+        let tl = self.top_levels();
+        let (cp, _) = self.critical_path();
+        for n in &mut self.nodes {
+            if n.meta.criticality != Criticality::Auto {
+                continue;
+            }
+            // A task is critical when the longest source→sink chain through
+            // it is within `slack` of the critical path.
+            let through = tl[n.id.index()] + bl[n.id.index()];
+            n.meta.criticality = if cp.saturating_sub(through) <= slack {
+                Criticality::Critical
+            } else {
+                Criticality::NonCritical
+            };
+        }
+    }
+
+    /// Average graph width: total work divided by critical-path length, an
+    /// upper bound on exploitable parallelism.
+    pub fn avg_parallelism(&self) -> f64 {
+        let (cp, _) = self.critical_path();
+        if cp == 0 {
+            return 0.0;
+        }
+        self.total_work() as f64 / cp as f64
+    }
+
+    /// Graphviz dot rendering (labels + criticality colouring), for
+    /// inspection and documentation.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph tdg {\n  rankdir=TB;\n");
+        for n in &self.nodes {
+            let color = match n.meta.criticality {
+                Criticality::Critical => "tomato",
+                Criticality::NonCritical => "lightblue",
+                Criticality::Auto => "gray90",
+            };
+            let _ = writeln!(
+                s,
+                "  {} [label=\"{} ({})\", style=filled, fillcolor={}];",
+                n.id.0, n.meta.label, n.meta.cost, color
+            );
+        }
+        for n in &self.nodes {
+            for &p in &n.preds {
+                let _ = writeln!(s, "  {} -> {};", p.0, n.id.0);
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Synthetic TDG generators used by the power-wall experiments and the
+/// scheduler benchmarks.
+pub mod generators {
+    use super::*;
+    use crate::region::{AccessMode, DataHandle, RegionRange};
+    use rand::prelude::*;
+
+    /// A pure chain of `n` tasks of cost `cost` — zero parallelism.
+    pub fn chain(n: usize, cost: u64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for i in 0..n {
+            let mut meta = TaskMeta::new(format!("chain[{i}]"));
+            meta.cost = cost;
+            let preds: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(g.add_task(meta, &preds));
+        }
+        g
+    }
+
+    /// Fork-join: a source, `width` independent tasks, a sink.
+    pub fn fork_join(width: usize, cost: u64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut src = TaskMeta::new("fork");
+        src.cost = cost;
+        let src = g.add_task(src, &[]);
+        let mids: Vec<TaskId> = (0..width)
+            .map(|i| {
+                let mut m = TaskMeta::new(format!("work[{i}]"));
+                m.cost = cost;
+                g.add_task(m, &[src])
+            })
+            .collect();
+        let mut sink = TaskMeta::new("join");
+        sink.cost = cost;
+        g.add_task(sink, &mids);
+        g
+    }
+
+    /// The §3.1 experiment shape: a long critical chain with bushels of
+    /// cheap non-critical tasks hanging off each chain link.  Criticality-
+    /// aware scheduling wins on exactly this topology: accelerating the
+    /// chain shortens the makespan, decelerating the bushels saves energy.
+    pub fn chain_with_fans(links: usize, fan: usize, chain_cost: u64, fan_cost: u64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for i in 0..links {
+            let mut meta = TaskMeta::new(format!("link[{i}]"));
+            meta.cost = chain_cost;
+            let preds: Vec<TaskId> = prev.into_iter().collect();
+            let link = g.add_task(meta, &preds);
+            for j in 0..fan {
+                let mut m = TaskMeta::new(format!("fan[{i}.{j}]"));
+                m.cost = fan_cost;
+                g.add_task(m, &[link]);
+            }
+            prev = Some(link);
+        }
+        g
+    }
+
+    /// Tiled Cholesky factorisation TDG (potrf/trsm/syrk/gemm over a
+    /// `tiles × tiles` lower-triangular tile matrix), with dependencies
+    /// discovered by the real tracker from per-tile `in`/`inout` clauses.
+    /// The canonical dense-linear-algebra TDG of the OmpSs literature.
+    pub fn cholesky(tiles: usize, potrf: u64, trsm: u64, syrk: u64, gemm: u64) -> TaskGraph {
+        // One region per tile (i,j), i >= j.
+        let handles: Vec<Vec<DataHandle<()>>> = (0..tiles)
+            .map(|i| {
+                (0..=i)
+                    .map(|j| DataHandle::new(format!("A[{i}][{j}]"), ()))
+                    .collect()
+            })
+            .collect();
+        let tile = |i: usize, j: usize| crate::region::Region {
+            id: handles[i][j].id(),
+            range: RegionRange::ALL,
+        };
+        let mut tasks: Vec<TaskMeta> = Vec::new();
+        let mut push = |label: String, cost: u64, accs: Vec<(usize, usize, AccessMode)>| {
+            let mut m = TaskMeta::new(label);
+            m.cost = cost;
+            m.accesses = accs
+                .into_iter()
+                .map(|(i, j, mode)| crate::region::Access {
+                    region: tile(i, j),
+                    mode,
+                })
+                .collect();
+            tasks.push(m);
+        };
+        for k in 0..tiles {
+            push(
+                format!("potrf[{k}]"),
+                potrf,
+                vec![(k, k, AccessMode::ReadWrite)],
+            );
+            for i in (k + 1)..tiles {
+                push(
+                    format!("trsm[{i}.{k}]"),
+                    trsm,
+                    vec![(k, k, AccessMode::Read), (i, k, AccessMode::ReadWrite)],
+                );
+            }
+            for i in (k + 1)..tiles {
+                for j in (k + 1)..=i {
+                    if i == j {
+                        push(
+                            format!("syrk[{i}.{k}]"),
+                            syrk,
+                            vec![(i, k, AccessMode::Read), (i, i, AccessMode::ReadWrite)],
+                        );
+                    } else {
+                        push(
+                            format!("gemm[{i}.{j}.{k}]"),
+                            gemm,
+                            vec![
+                                (i, k, AccessMode::Read),
+                                (j, k, AccessMode::Read),
+                                (i, j, AccessMode::ReadWrite),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        TaskGraph::from_accesses(tasks)
+    }
+
+    /// A random layered DAG: `layers` layers of `width` tasks; each task
+    /// depends on 1..=3 random tasks of the previous layer. Costs are drawn
+    /// from `cost_range`, heterogeneous like real applications.
+    pub fn random_layered(
+        layers: usize,
+        width: usize,
+        cost_range: std::ops::Range<u64>,
+        seed: u64,
+    ) -> TaskGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = TaskGraph::new();
+        let mut prev: Vec<TaskId> = Vec::new();
+        for l in 0..layers {
+            let mut cur = Vec::with_capacity(width);
+            for w in 0..width {
+                let mut m = TaskMeta::new(format!("t[{l}.{w}]"));
+                m.cost = rng.gen_range(cost_range.clone());
+                let preds: Vec<TaskId> = if prev.is_empty() {
+                    Vec::new()
+                } else {
+                    let k = rng.gen_range(1..=3usize.min(prev.len()));
+                    (0..k).map(|_| prev[rng.gen_range(0..prev.len())]).collect()
+                };
+                cur.push(g.add_task(m, &preds));
+            }
+            prev = cur;
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generators::*;
+    use super::*;
+
+    fn meta(cost: u64) -> TaskMeta {
+        let mut m = TaskMeta::new("t");
+        m.cost = cost;
+        m
+    }
+
+    #[test]
+    fn chain_critical_path_is_total_work() {
+        let g = chain(10, 5);
+        assert_eq!(g.len(), 10);
+        assert_eq!(g.edge_count(), 9);
+        let (cp, path) = g.critical_path();
+        assert_eq!(cp, 50);
+        assert_eq!(path.len(), 10);
+        assert!((g.avg_parallelism() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_join_parallelism() {
+        let g = fork_join(8, 10);
+        assert_eq!(g.len(), 10);
+        let (cp, path) = g.critical_path();
+        assert_eq!(cp, 30, "source + one mid + sink");
+        assert_eq!(path.len(), 3);
+        assert_eq!(g.total_work(), 100);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let g = random_layered(6, 8, 1..100, 42);
+        let order = g.topo_order().expect("layered graphs are acyclic");
+        let mut pos = vec![0usize; g.len()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for n in g.nodes() {
+            for p in &n.preds {
+                assert!(pos[p.index()] < pos[n.id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(meta(1), &[]);
+        let b = g.add_task(meta(1), &[a]);
+        // Manually corrupt into a cycle.
+        g.node_mut(a).preds.push(b);
+        g.node_mut(b).succs.push(a);
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn bottom_and_top_levels_on_diamond() {
+        // a -> {b(5), c(1)} -> d
+        let mut g = TaskGraph::new();
+        let a = g.add_task(meta(2), &[]);
+        let b = g.add_task(meta(5), &[a]);
+        let c = g.add_task(meta(1), &[a]);
+        let d = g.add_task(meta(3), &[b, c]);
+        let bl = g.bottom_levels();
+        assert_eq!(bl[a.index()], 2 + 5 + 3);
+        assert_eq!(bl[b.index()], 8);
+        assert_eq!(bl[c.index()], 4);
+        assert_eq!(bl[d.index()], 3);
+        let tl = g.top_levels();
+        assert_eq!(tl[a.index()], 0);
+        assert_eq!(tl[b.index()], 2);
+        assert_eq!(tl[c.index()], 2);
+        assert_eq!(tl[d.index()], 7);
+        let (cp, path) = g.critical_path();
+        assert_eq!(cp, 10);
+        assert_eq!(path, vec![a, b, d]);
+    }
+
+    #[test]
+    fn criticality_annotation_marks_long_chain() {
+        let mut g = chain_with_fans(5, 3, 100, 10);
+        g.annotate_criticality(0);
+        let crit: Vec<bool> = g
+            .nodes()
+            .map(|n| n.meta.criticality == Criticality::Critical)
+            .collect();
+        // Links are critical, fans are not.
+        let links: usize = g
+            .nodes()
+            .filter(|n| n.meta.label.starts_with("link"))
+            .map(|n| crit[n.id.index()] as usize)
+            .sum();
+        let fans_marked: usize = g
+            .nodes()
+            .filter(|n| n.meta.label.starts_with("fan"))
+            .map(|n| crit[n.id.index()] as usize)
+            .sum();
+        assert_eq!(links, 5);
+        // The last link has no chain successor, so the critical path ends
+        // in one of its fans: exactly those 3 fans tie the critical path.
+        // Fans of earlier links are dominated by the remaining chain.
+        assert_eq!(fans_marked, 3);
+    }
+
+    #[test]
+    fn explicit_annotation_is_preserved() {
+        let mut g = chain(3, 10);
+        g.node_mut(TaskId(1)).meta.criticality = Criticality::NonCritical;
+        g.annotate_criticality(0);
+        assert_eq!(
+            g.node(TaskId(1)).meta.criticality,
+            Criticality::NonCritical,
+            "programmer annotation must win"
+        );
+        assert_eq!(g.node(TaskId(0)).meta.criticality, Criticality::Critical);
+    }
+
+    #[test]
+    fn cholesky_shape() {
+        let t = 4;
+        let g = cholesky(t, 10, 6, 4, 4);
+        // Counts: potrf = t, trsm = t(t-1)/2, syrk = t(t-1)/2,
+        // gemm = t(t-1)(t-2)/6.
+        let expect = t + t * (t - 1) / 2 + t * (t - 1) / 2 + t * (t - 1) * (t - 2) / 6;
+        assert_eq!(g.len(), expect);
+        assert!(g.topo_order().is_some());
+        // First potrf is a source; last potrf is on the critical path end.
+        assert!(g.node(TaskId(0)).preds.is_empty());
+        let (cp, _) = g.critical_path();
+        assert!(cp >= (10 + 6 + 4) * (t as u64 - 1) + 10);
+        assert!(g.avg_parallelism() > 1.0);
+    }
+
+    #[test]
+    fn from_accesses_builds_raw_chain() {
+        use crate::region::{Access, AccessMode, DataHandle};
+        let h = DataHandle::new("x", ());
+        let mk = |mode| {
+            let mut m = TaskMeta::new("t");
+            m.accesses = vec![Access {
+                region: h.region(),
+                mode,
+            }];
+            m
+        };
+        let g = TaskGraph::from_accesses(vec![
+            mk(AccessMode::Write),
+            mk(AccessMode::Read),
+            mk(AccessMode::Read),
+            mk(AccessMode::Write),
+        ]);
+        assert_eq!(g.node(TaskId(1)).preds, vec![TaskId(0)]);
+        assert_eq!(g.node(TaskId(2)).preds, vec![TaskId(0)]);
+        // The final writer carries WAR edges from both readers plus the
+        // (not transitively reduced) WAW edge from the first writer.
+        assert_eq!(
+            g.node(TaskId(3)).preds,
+            vec![TaskId(0), TaskId(1), TaskId(2)]
+        );
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let g = chain(3, 1);
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph tdg"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 2;"));
+    }
+
+    #[test]
+    fn random_layered_is_reproducible() {
+        let a = random_layered(4, 4, 1..50, 7);
+        let b = random_layered(4, 4, 1..50, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.nodes().zip(b.nodes()) {
+            assert_eq!(x.meta.cost, y.meta.cost);
+            assert_eq!(x.preds, y.preds);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # raa-runtime — an OmpSs-like task dataflow runtime
+//!
+//! This crate is the central substrate of the Runtime-Aware Architecture
+//! (RAA) reproduction: a task-based dataflow runtime in the OmpSs /
+//! OpenMP-4.0 `depend` tradition.  Programs declare *tasks* with *data
+//! dependencies* over registered memory *regions*; the runtime builds the
+//! Task Dependency Graph (TDG) online, enforcing the classic RAW / WAR / WAW
+//! hazards exactly like a superscalar core enforces them between
+//! instructions — the paper's founding analogy ("handle the tasks in the
+//! same way as superscalar processors manage ILP").
+//!
+//! Two execution engines share the same TDG machinery:
+//!
+//! * [`Runtime`] — a real multithreaded executor with work-stealing worker
+//!   threads (used by the resilient CG solver and the PARSEC-like apps).
+//! * [`simsched::ScheduleSimulator`] — a deterministic virtual-time list
+//!   scheduler over N virtual cores with per-core DVFS and power
+//!   integration (used for the paper's §3.1 criticality/EDP experiment and
+//!   the Fig. 5 scalability curves).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use raa_runtime::{Runtime, RuntimeConfig};
+//!
+//! let rt = Runtime::new(RuntimeConfig::with_workers(2));
+//! let data = rt.register("x", vec![0u64; 8]);
+//!
+//! // Producer task: writes the whole region.
+//! {
+//!     let data = data.clone();
+//!     rt.task("produce")
+//!         .writes(&data)
+//!         .body(move || {
+//!             for (i, v) in data.write().iter_mut().enumerate() {
+//!                 *v = i as u64;
+//!             }
+//!         })
+//!         .spawn();
+//! }
+//!
+//! // Consumer task: the runtime orders it after the producer (RAW).
+//! let total = rt.register("total", 0u64);
+//! {
+//!     let (data, total) = (data.clone(), total.clone());
+//!     rt.task("consume")
+//!         .reads(&data)
+//!         .writes(&total)
+//!         .body(move || {
+//!             *total.write() = data.read().iter().sum();
+//!         })
+//!         .spawn();
+//! }
+//!
+//! rt.taskwait();
+//! assert_eq!(*total.read(), 28);
+//! ```
+
+pub mod blocked;
+pub mod criticality;
+pub mod deps;
+pub mod graph;
+pub mod pool;
+pub mod region;
+pub mod runtime;
+pub mod scheduler;
+pub mod simsched;
+pub mod stats;
+pub mod task;
+
+pub use blocked::Blocks;
+pub use graph::TaskGraph;
+pub use region::{AccessMode, DataHandle, Region, RegionRange};
+pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskObserver};
+pub use scheduler::SchedulerPolicy;
+pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};
+pub use task::{Criticality, TaskId, TaskMeta};

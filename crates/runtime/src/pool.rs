@@ -1,0 +1,305 @@
+//! The worker-thread pool.
+//!
+//! Workers loop: pop a ready task (policy-dependent, see
+//! [`crate::scheduler`]), execute it under `catch_unwind`, then hand the
+//! completion to the runtime, which may return newly released tasks to
+//! push.  Idle workers park on a condvar; spawners and completers wake
+//! them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::deque::{Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::scheduler::{ReadyQueues, ReadyTask};
+use crate::task::TaskId;
+
+thread_local! {
+    static CURRENT_WORKER: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The index of the worker thread we are currently running on, if any
+/// (used by execution observers to attribute tasks to cores).
+pub fn current_worker() -> Option<usize> {
+    CURRENT_WORKER.with(|c| c.get())
+}
+
+/// What a completed task reports back to the pool.
+pub struct Completion {
+    /// Tasks released by this completion, ready to run.
+    pub released: Vec<ReadyTask>,
+}
+
+/// The runtime side of the pool: told when a task body finishes (cleanly
+/// or by panic) and responds with the tasks that became ready.
+pub trait PoolClient: Send + Sync + 'static {
+    fn on_complete(&self, task: TaskId, panicked: Option<String>) -> Completion;
+}
+
+struct PoolShared {
+    queues: Arc<ReadyQueues>,
+    stealers: Vec<Stealer<ReadyTask>>,
+    idle_lock: Mutex<usize>,
+    idle_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Tasks executed per worker (load-balance diagnostics).
+    executed: Vec<std::sync::atomic::AtomicU64>,
+}
+
+/// A fixed set of worker threads bound to a [`ReadyQueues`].
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads executing tasks from `queues`, reporting
+    /// completions to `client`.
+    pub fn new(workers: usize, queues: Arc<ReadyQueues>, client: Arc<dyn PoolClient>) -> Self {
+        assert!(workers >= 1, "the pool needs at least one worker");
+        let deques: Vec<Deque<ReadyTask>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+        let stealers: Vec<Stealer<ReadyTask>> = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(PoolShared {
+            queues,
+            stealers,
+            idle_lock: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            executed: (0..workers)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(who, deque)| {
+                let shared = Arc::clone(&shared);
+                let client = Arc::clone(&client);
+                std::thread::Builder::new()
+                    .name(format!("raa-worker-{who}"))
+                    .spawn(move || worker_loop(who, deque, shared, client))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Tasks executed per worker so far.
+    pub fn per_worker_executed(&self) -> Vec<u64> {
+        self.shared
+            .executed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Push a ready task from outside the pool and wake a worker.
+    pub fn push_external(&self, task: ReadyTask) {
+        self.shared.queues.push(task, None);
+        self.wake_one();
+    }
+
+    /// Wake one parked worker (after pushing work).
+    pub fn wake_one(&self) {
+        let _g = self.shared.idle_lock.lock();
+        self.shared.idle_cv.notify_one();
+    }
+
+    /// Wake every parked worker.
+    pub fn wake_all(&self) {
+        let _g = self.shared.idle_lock.lock();
+        self.shared.idle_cv.notify_all();
+    }
+
+    /// Stop accepting work and join every worker. Queued-but-unexecuted
+    /// tasks are dropped.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.wake_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    who: usize,
+    deque: Deque<ReadyTask>,
+    shared: Arc<PoolShared>,
+    client: Arc<dyn PoolClient>,
+) {
+    CURRENT_WORKER.with(|c| c.set(Some(who)));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(task) = shared.queues.pop(who, Some(&deque), &shared.stealers) {
+            run_one(task, who, &deque, &shared, &client);
+            continue;
+        }
+        // Park: re-check under the idle lock so a concurrent push+notify
+        // cannot be missed.
+        let mut idle = shared.idle_lock.lock();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(task) = shared.queues.pop(who, Some(&deque), &shared.stealers) {
+            drop(idle);
+            run_one(task, who, &deque, &shared, &client);
+            continue;
+        }
+        *idle += 1;
+        shared.idle_cv.wait(&mut idle);
+        *idle -= 1;
+    }
+}
+
+fn run_one(
+    task: ReadyTask,
+    who: usize,
+    deque: &Deque<ReadyTask>,
+    shared: &PoolShared,
+    client: &Arc<dyn PoolClient>,
+) {
+    shared.executed[who].fetch_add(1, Ordering::Relaxed);
+    let id = task.id;
+    let body = task.body;
+    let panicked = match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(()) => None,
+        Err(payload) => Some(panic_message(payload)),
+    };
+    let completion = client.on_complete(id, panicked);
+    let n = completion.released.len();
+    for t in completion.released {
+        shared.queues.push(t, Some(deque));
+    }
+    if n > 0 {
+        // We will run one ourselves off the local deque; wake helpers for
+        // the rest.
+        let _g = shared.idle_lock.lock();
+        if n > 1 {
+            shared.idle_cv.notify_all();
+        } else {
+            shared.idle_cv.notify_one();
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerPolicy;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    struct CountingClient {
+        done: AtomicU64,
+        panics: AtomicU64,
+    }
+
+    impl PoolClient for CountingClient {
+        fn on_complete(&self, _task: TaskId, panicked: Option<String>) -> Completion {
+            if panicked.is_some() {
+                self.panics.fetch_add(1, Ordering::SeqCst);
+            }
+            self.done.fetch_add(1, Ordering::SeqCst);
+            Completion {
+                released: Vec::new(),
+            }
+        }
+    }
+
+    fn wait_until(pred: impl Fn() -> bool) {
+        let start = std::time::Instant::now();
+        while !pred() {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "timed out waiting for pool"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    fn ready(id: u32, body: impl FnOnce() + Send + 'static) -> ReadyTask {
+        ReadyTask {
+            id: TaskId(id),
+            priority: 0,
+            critical: false,
+            seq: 0,
+            body: Box::new(body),
+        }
+    }
+
+    #[test]
+    fn executes_pushed_tasks() {
+        let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
+        let client = Arc::new(CountingClient {
+            done: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
+        let pool = WorkerPool::new(3, queues, client.clone());
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..100 {
+            let hits = hits.clone();
+            pool.push_external(ready(i, move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        wait_until(|| client.done.load(Ordering::SeqCst) == 100);
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+        assert_eq!(client.panics.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn panicking_task_is_reported_not_fatal() {
+        let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::Fifo));
+        let client = Arc::new(CountingClient {
+            done: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
+        let pool = WorkerPool::new(1, queues, client.clone());
+        pool.push_external(ready(0, || panic!("boom")));
+        pool.push_external(ready(1, || {}));
+        wait_until(|| client.done.load(Ordering::SeqCst) == 2);
+        assert_eq!(client.panics.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
+        let client = Arc::new(CountingClient {
+            done: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
+        let mut pool = WorkerPool::new(4, queues, client);
+        pool.shutdown();
+        assert_eq!(pool.handles.len(), 0);
+        // Second shutdown is a no-op.
+        pool.shutdown();
+    }
+}

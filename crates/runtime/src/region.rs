@@ -1,0 +1,310 @@
+//! Data regions and access declarations.
+//!
+//! A *region* is the unit over which dependencies are declared, mirroring
+//! the `in`/`out`/`inout` clauses of OmpSs.  Every [`DataHandle`] owns one
+//! region id; blocked structures (e.g. the row blocks of a sparse matrix)
+//! declare sub-ranges of the same id so that tasks touching disjoint blocks
+//! stay independent.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Globally unique identifier for a registered datum.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u64);
+
+impl fmt::Debug for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+static NEXT_REGION_ID: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_region_id() -> RegionId {
+    RegionId(NEXT_REGION_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// A half-open element range `[start, end)` within a region.
+///
+/// Ranges are in *element* units, not bytes; the dependency tracker only
+/// needs overlap semantics, not layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct RegionRange {
+    pub start: u64,
+    pub end: u64,
+}
+
+impl RegionRange {
+    /// The range covering every element of a region.
+    pub const ALL: RegionRange = RegionRange {
+        start: 0,
+        end: u64::MAX,
+    };
+
+    /// A new half-open range. Panics if `start > end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "invalid range [{start}, {end})");
+        RegionRange { start, end }
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the range covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when `self` and `other` share at least one element.
+    /// Empty ranges overlap nothing.
+    pub fn overlaps(&self, other: &RegionRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// The intersection of two ranges, if non-empty.
+    pub fn intersect(&self, other: &RegionRange) -> Option<RegionRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(RegionRange { start, end })
+    }
+
+    /// True when `self` fully contains `other`.
+    pub fn contains(&self, other: &RegionRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+/// A region reference: a datum id plus an element range within it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Region {
+    pub id: RegionId,
+    pub range: RegionRange,
+}
+
+impl Region {
+    pub fn new(id: RegionId, range: RegionRange) -> Self {
+        Region { id, range }
+    }
+
+    /// True when the two references can carry a dependency.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.id == other.id && self.range.overlaps(&other.range)
+    }
+}
+
+/// How a task accesses a region — the OmpSs `in` / `out` / `inout` clauses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AccessMode {
+    /// `in`: the task only reads the region (RAW source ordering).
+    Read,
+    /// `out`: the task overwrites the region entirely.
+    Write,
+    /// `inout`: the task reads and updates the region.
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// True for `out` and `inout` accesses.
+    pub fn writes(&self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+
+    /// True for `in` and `inout` accesses.
+    pub fn reads(&self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
+    }
+}
+
+/// One declared access: region + mode. The unit the dependency tracker
+/// consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    pub region: Region,
+    pub mode: AccessMode,
+}
+
+struct HandleInner<T: ?Sized> {
+    id: RegionId,
+    name: String,
+    data: RwLock<T>,
+}
+
+/// A registered, shareable datum with a region identity.
+///
+/// The runtime orders tasks by their *declared* dependencies; the embedded
+/// `RwLock` additionally guarantees freedom from data races even if a task
+/// under-declares (the lock is virtually always uncontended when
+/// dependencies are declared correctly, so the cost is one atomic pair).
+pub struct DataHandle<T: ?Sized> {
+    inner: Arc<HandleInner<T>>,
+}
+
+impl<T> DataHandle<T> {
+    /// Register a fresh datum. Usually called through
+    /// [`crate::Runtime::register`].
+    pub fn new(name: impl Into<String>, value: T) -> Self {
+        DataHandle {
+            inner: Arc::new(HandleInner {
+                id: fresh_region_id(),
+                name: name.into(),
+                data: RwLock::new(value),
+            }),
+        }
+    }
+
+    /// Consume the handle and return the datum if this is the last clone.
+    pub fn try_unwrap(self) -> Result<T, DataHandle<T>> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.data.into_inner()),
+            Err(inner) => Err(DataHandle { inner }),
+        }
+    }
+}
+
+impl<T: ?Sized> DataHandle<T> {
+    /// The region id of this datum.
+    pub fn id(&self) -> RegionId {
+        self.inner.id
+    }
+
+    /// Human-readable name (used in TDG dumps).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The region covering the entire datum.
+    pub fn region(&self) -> Region {
+        Region::new(self.inner.id, RegionRange::ALL)
+    }
+
+    /// A sub-range region of this datum, for blocked dependencies.
+    pub fn sub(&self, start: u64, end: u64) -> Region {
+        Region::new(self.inner.id, RegionRange::new(start, end))
+    }
+
+    /// Shared access to the datum. Tasks should declare `reads` on an
+    /// overlapping region first.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.data.read()
+    }
+
+    /// Exclusive access to the datum. Tasks should declare `writes` on an
+    /// overlapping region first.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.data.write()
+    }
+}
+
+impl<T: ?Sized> Clone for DataHandle<T> {
+    fn clone(&self) -> Self {
+        DataHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: ?Sized> fmt::Debug for DataHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataHandle")
+            .field("id", &self.inner.id)
+            .field("name", &self.inner.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_overlap_basics() {
+        let a = RegionRange::new(0, 10);
+        let b = RegionRange::new(10, 20);
+        let c = RegionRange::new(5, 15);
+        assert!(!a.overlaps(&b), "touching ranges do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn range_intersection() {
+        let a = RegionRange::new(0, 10);
+        let c = RegionRange::new(5, 15);
+        assert_eq!(a.intersect(&c), Some(RegionRange::new(5, 10)));
+        let b = RegionRange::new(10, 20);
+        assert_eq!(a.intersect(&b), None);
+    }
+
+    #[test]
+    fn empty_range_overlaps_nothing() {
+        let e = RegionRange::new(5, 5);
+        assert!(e.is_empty());
+        assert!(!e.overlaps(&RegionRange::new(0, 10)));
+        assert!(!RegionRange::new(0, 10).overlaps(&e));
+    }
+
+    #[test]
+    fn range_contains() {
+        let big = RegionRange::new(0, 100);
+        assert!(big.contains(&RegionRange::new(0, 100)));
+        assert!(big.contains(&RegionRange::new(40, 60)));
+        assert!(!RegionRange::new(40, 60).contains(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_panics() {
+        let _ = RegionRange::new(3, 2);
+    }
+
+    #[test]
+    fn regions_on_distinct_data_never_conflict() {
+        let a = DataHandle::new("a", 0u32);
+        let b = DataHandle::new("b", 0u32);
+        assert_ne!(a.id(), b.id());
+        assert!(!a.region().overlaps(&b.region()));
+        assert!(a.region().overlaps(&a.region()));
+    }
+
+    #[test]
+    fn sub_regions_of_same_handle() {
+        let a = DataHandle::new("a", vec![0u8; 100]);
+        let lo = a.sub(0, 50);
+        let hi = a.sub(50, 100);
+        assert!(!lo.overlaps(&hi));
+        assert!(lo.overlaps(&a.region()));
+        assert!(hi.overlaps(&a.region()));
+    }
+
+    #[test]
+    fn handle_read_write_roundtrip() {
+        let h = DataHandle::new("v", vec![1, 2, 3]);
+        h.write().push(4);
+        assert_eq!(*h.read(), vec![1, 2, 3, 4]);
+        let h2 = h.clone();
+        assert_eq!(h.id(), h2.id());
+    }
+
+    #[test]
+    fn try_unwrap_returns_value_when_unique() {
+        let h = DataHandle::new("v", 7u8);
+        let h2 = h.clone();
+        let h = h.try_unwrap().expect_err("two clones alive");
+        drop(h2);
+        assert_eq!(h.try_unwrap().unwrap(), 7);
+    }
+
+    #[test]
+    fn access_mode_predicates() {
+        assert!(AccessMode::Read.reads() && !AccessMode::Read.writes());
+        assert!(!AccessMode::Write.reads() && AccessMode::Write.writes());
+        assert!(AccessMode::ReadWrite.reads() && AccessMode::ReadWrite.writes());
+    }
+}

@@ -1,0 +1,314 @@
+//! Ready-task scheduling policies.
+//!
+//! The runtime's ready pool is pluggable, because the paper's point is
+//! precisely that *scheduling policy* is a first-class architectural
+//! concern.  Policies:
+//!
+//! * [`SchedulerPolicy::Fifo`] — one global FIFO (the classic centralised
+//!   queue; the baseline Carbon-style hardware queue would accelerate).
+//! * [`SchedulerPolicy::Lifo`] — one global LIFO stack (depth-first).
+//! * [`SchedulerPolicy::WorkStealing`] — per-worker deques + a global
+//!   injector, Cilk/Nanos style. The default.
+//! * [`SchedulerPolicy::Priority`] — a global binary heap on task priority
+//!   (ties broken FIFO).
+//! * [`SchedulerPolicy::CriticalityAware`] — CATS-like: critical tasks go
+//!   to a dedicated queue served preferentially by the designated "fast"
+//!   workers; non-critical tasks are served by the rest.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::Mutex;
+
+use crate::task::{TaskBody, TaskId};
+
+/// Scheduling policy selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    Fifo,
+    Lifo,
+    #[default]
+    WorkStealing,
+    Priority,
+    /// `fast_workers` = number of workers that prefer the critical queue.
+    CriticalityAware {
+        fast_workers: usize,
+    },
+}
+
+/// A task that is ready to run, together with everything the scheduler
+/// needs to order it.
+pub struct ReadyTask {
+    pub id: TaskId,
+    pub priority: i32,
+    pub critical: bool,
+    pub seq: u64,
+    pub body: TaskBody,
+}
+
+impl std::fmt::Debug for ReadyTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadyTask")
+            .field("id", &self.id)
+            .field("priority", &self.priority)
+            .field("critical", &self.critical)
+            .finish()
+    }
+}
+
+/// Heap ordering wrapper: max priority first, then earliest submission.
+struct PrioEntry(ReadyTask);
+
+impl PartialEq for PrioEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.priority == other.0.priority && self.0.seq == other.0.seq
+    }
+}
+impl Eq for PrioEntry {}
+impl PartialOrd for PrioEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .priority
+            .cmp(&other.0.priority)
+            .then(other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// Global scheduling structures (per-worker deques live in the pool).
+pub struct ReadyQueues {
+    policy: SchedulerPolicy,
+    injector: Injector<ReadyTask>,
+    critical: Injector<ReadyTask>,
+    fifo: Mutex<VecDeque<ReadyTask>>,
+    lifo: Mutex<Vec<ReadyTask>>,
+    heap: Mutex<BinaryHeap<PrioEntry>>,
+    seq: AtomicU64,
+}
+
+impl ReadyQueues {
+    pub fn new(policy: SchedulerPolicy) -> Self {
+        ReadyQueues {
+            policy,
+            injector: Injector::new(),
+            critical: Injector::new(),
+            fifo: Mutex::new(VecDeque::new()),
+            lifo: Mutex::new(Vec::new()),
+            heap: Mutex::new(BinaryHeap::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Stamp a ready task with a global submission sequence number.
+    pub fn stamp(&self, mut t: ReadyTask) -> ReadyTask {
+        t.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        t
+    }
+
+    /// Push a ready task to the global structures. `local` is the current
+    /// worker's own deque when the push happens on a worker thread (used
+    /// by the work-stealing policy for locality).
+    pub fn push(&self, t: ReadyTask, local: Option<&Deque<ReadyTask>>) {
+        let t = self.stamp(t);
+        match self.policy {
+            SchedulerPolicy::Fifo => self.fifo.lock().push_back(t),
+            SchedulerPolicy::Lifo => self.lifo.lock().push(t),
+            SchedulerPolicy::WorkStealing => match local {
+                Some(deque) => deque.push(t),
+                None => self.injector.push(t),
+            },
+            SchedulerPolicy::Priority => self.heap.lock().push(PrioEntry(t)),
+            SchedulerPolicy::CriticalityAware { .. } => {
+                if t.critical {
+                    self.critical.push(t);
+                } else {
+                    self.injector.push(t);
+                }
+            }
+        }
+    }
+
+    /// Pop a task for worker `who`, given its local deque and the stealers
+    /// of every worker. Returns `None` when no work is visible (the caller
+    /// parks).
+    pub fn pop(
+        &self,
+        who: usize,
+        local: Option<&Deque<ReadyTask>>,
+        stealers: &[Stealer<ReadyTask>],
+    ) -> Option<ReadyTask> {
+        match self.policy {
+            SchedulerPolicy::Fifo => self.fifo.lock().pop_front(),
+            SchedulerPolicy::Lifo => self.lifo.lock().pop(),
+            SchedulerPolicy::Priority => self.heap.lock().pop().map(|e| e.0),
+            SchedulerPolicy::WorkStealing => {
+                if let Some(t) = local.and_then(|d| d.pop()) {
+                    return Some(t);
+                }
+                loop {
+                    match self.injector.steal() {
+                        Steal::Success(t) => return Some(t),
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+                // Steal from siblings, starting after ourselves to spread
+                // contention.
+                let n = stealers.len();
+                for off in 1..n.max(1) {
+                    let victim = (who + off) % n;
+                    loop {
+                        match stealers[victim].steal() {
+                            Steal::Success(t) => return Some(t),
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                }
+                None
+            }
+            SchedulerPolicy::CriticalityAware { fast_workers } => {
+                let fast = who < fast_workers;
+                let (first, second) = if fast {
+                    (&self.critical, &self.injector)
+                } else {
+                    (&self.injector, &self.critical)
+                };
+                for q in [first, second] {
+                    loop {
+                        match q.steal() {
+                            Steal::Success(t) => return Some(t),
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Best-effort emptiness check (for parking decisions).
+    pub fn looks_empty(&self) -> bool {
+        match self.policy {
+            SchedulerPolicy::Fifo => self.fifo.lock().is_empty(),
+            SchedulerPolicy::Lifo => self.lifo.lock().is_empty(),
+            SchedulerPolicy::Priority => self.heap.lock().is_empty(),
+            SchedulerPolicy::WorkStealing => self.injector.is_empty(),
+            SchedulerPolicy::CriticalityAware { .. } => {
+                self.injector.is_empty() && self.critical.is_empty()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(id: u32, priority: i32, critical: bool) -> ReadyTask {
+        ReadyTask {
+            id: TaskId(id),
+            priority,
+            critical,
+            seq: 0,
+            body: Box::new(|| {}),
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = ReadyQueues::new(SchedulerPolicy::Fifo);
+        q.push(rt(0, 0, false), None);
+        q.push(rt(1, 0, false), None);
+        q.push(rt(2, 0, false), None);
+        let ids: Vec<u32> = (0..3).map(|_| q.pop(0, None, &[]).unwrap().id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(q.pop(0, None, &[]).is_none());
+    }
+
+    #[test]
+    fn lifo_order() {
+        let q = ReadyQueues::new(SchedulerPolicy::Lifo);
+        for i in 0..3 {
+            q.push(rt(i, 0, false), None);
+        }
+        let ids: Vec<u32> = (0..3).map(|_| q.pop(0, None, &[]).unwrap().id.0).collect();
+        assert_eq!(ids, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn priority_order_with_fifo_ties() {
+        let q = ReadyQueues::new(SchedulerPolicy::Priority);
+        q.push(rt(0, 1, false), None);
+        q.push(rt(1, 5, false), None);
+        q.push(rt(2, 1, false), None);
+        q.push(rt(3, 5, false), None);
+        let ids: Vec<u32> = (0..4).map(|_| q.pop(0, None, &[]).unwrap().id.0).collect();
+        assert_eq!(ids, vec![1, 3, 0, 2], "priority desc, FIFO within ties");
+    }
+
+    #[test]
+    fn work_stealing_prefers_local_then_injector() {
+        let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
+        let local = Deque::new_lifo();
+        let stealers = [local.stealer()];
+        q.push(rt(0, 0, false), None); // goes to injector
+        q.push(rt(1, 0, false), Some(&local)); // local
+        let first = q.pop(0, Some(&local), &stealers).unwrap();
+        assert_eq!(first.id.0, 1, "local deque first");
+        let second = q.pop(0, Some(&local), &stealers).unwrap();
+        assert_eq!(second.id.0, 0);
+    }
+
+    #[test]
+    fn work_stealing_steals_from_sibling() {
+        let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
+        let w0 = Deque::new_lifo();
+        let w1 = Deque::new_lifo();
+        let stealers = [w0.stealer(), w1.stealer()];
+        q.push(rt(7, 0, false), Some(&w1));
+        // Worker 0 has nothing local and the injector is empty: it must
+        // steal worker 1's task.
+        let got = q.pop(0, Some(&w0), &stealers).unwrap();
+        assert_eq!(got.id.0, 7);
+    }
+
+    #[test]
+    fn criticality_queue_routing() {
+        let q = ReadyQueues::new(SchedulerPolicy::CriticalityAware { fast_workers: 1 });
+        q.push(rt(0, 0, false), None);
+        q.push(rt(1, 0, true), None);
+        // Fast worker 0 sees the critical task first.
+        assert_eq!(q.pop(0, None, &[]).unwrap().id.0, 1);
+        // Slow worker 1 sees the normal task.
+        assert_eq!(q.pop(1, None, &[]).unwrap().id.0, 0);
+        assert!(q.looks_empty());
+    }
+
+    #[test]
+    fn criticality_slow_worker_falls_back_to_critical() {
+        let q = ReadyQueues::new(SchedulerPolicy::CriticalityAware { fast_workers: 1 });
+        q.push(rt(3, 0, true), None);
+        // Nothing in the normal queue: the slow worker still takes the
+        // critical task rather than idling.
+        assert_eq!(q.pop(5, None, &[]).unwrap().id.0, 3);
+    }
+
+    #[test]
+    fn stamp_is_monotonic() {
+        let q = ReadyQueues::new(SchedulerPolicy::Fifo);
+        let a = q.stamp(rt(0, 0, false));
+        let b = q.stamp(rt(1, 0, false));
+        assert!(b.seq > a.seq);
+    }
+}

@@ -1,0 +1,83 @@
+//! Lightweight runtime counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters maintained by the runtime. All relaxed: they are
+/// diagnostics, not synchronisation.
+#[derive(Default, Debug)]
+pub struct RuntimeStats {
+    /// Tasks submitted.
+    pub spawned: AtomicU64,
+    /// Tasks completed.
+    pub completed: AtomicU64,
+    /// Dependency edges discovered.
+    pub edges: AtomicU64,
+    /// Tasks that were ready at submission (no pending predecessors).
+    pub ready_at_spawn: AtomicU64,
+    /// Tasks flagged critical at submission.
+    pub critical_tasks: AtomicU64,
+    /// Task bodies that panicked.
+    pub panicked: AtomicU64,
+}
+
+impl RuntimeStats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            spawned: self.spawned.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            edges: self.edges.load(Ordering::Relaxed),
+            ready_at_spawn: self.ready_at_spawn.load(Ordering::Relaxed),
+            critical_tasks: self.critical_tasks.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`RuntimeStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub spawned: u64,
+    pub completed: u64,
+    pub edges: u64,
+    pub ready_at_spawn: u64,
+    pub critical_tasks: u64,
+    pub panicked: u64,
+}
+
+impl StatsSnapshot {
+    /// Average dependency edges per task.
+    pub fn edges_per_task(&self) -> f64 {
+        if self.spawned == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.spawned as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = RuntimeStats::default();
+        RuntimeStats::bump(&s.spawned);
+        RuntimeStats::bump(&s.spawned);
+        RuntimeStats::bump(&s.edges);
+        let snap = s.snapshot();
+        assert_eq!(snap.spawned, 2);
+        assert_eq!(snap.edges, 1);
+        assert!((snap.edges_per_task() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_per_task_zero_when_empty() {
+        let snap = RuntimeStats::default().snapshot();
+        assert_eq!(snap.edges_per_task(), 0.0);
+    }
+}

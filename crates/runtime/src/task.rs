@@ -1,0 +1,110 @@
+//! Task identity and metadata.
+
+use std::fmt;
+
+use crate::region::Access;
+
+/// Dense task identifier, assigned in spawn order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Programmer-annotated criticality, as proposed in §3.1 of the paper
+/// ("task criticality can be simply annotated by the programmer").
+///
+/// [`Criticality::Auto`] defers to the runtime's bottom-level analysis when
+/// the TDG is known (the CATS-style policy of the schedule simulator).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum Criticality {
+    /// Let the runtime decide from the TDG shape.
+    #[default]
+    Auto,
+    /// On the critical path: prefer fast cores / high frequency.
+    Critical,
+    /// Off the critical path: may run slow to save energy.
+    NonCritical,
+}
+
+/// Static metadata carried by every task.
+#[derive(Clone, Debug)]
+pub struct TaskMeta {
+    /// Human-readable label (`"spmv[3]"`, `"fft-pass"`, ...).
+    pub label: String,
+    /// Declared region accesses, in declaration order.
+    pub accesses: Vec<Access>,
+    /// Cost hint in abstract work units (cycles at nominal frequency).
+    /// Used by the criticality analysis and the schedule simulator; the
+    /// real executor ignores it.
+    pub cost: u64,
+    /// Programmer criticality annotation.
+    pub criticality: Criticality,
+    /// Scheduling priority; higher runs earlier among ready tasks.
+    pub priority: i32,
+}
+
+impl TaskMeta {
+    pub fn new(label: impl Into<String>) -> Self {
+        TaskMeta {
+            label: label.into(),
+            accesses: Vec::new(),
+            cost: 1,
+            criticality: Criticality::Auto,
+            priority: 0,
+        }
+    }
+
+    /// True when any declared access writes.
+    pub fn has_writes(&self) -> bool {
+        self.accesses.iter().any(|a| a.mode.writes())
+    }
+}
+
+/// The closure payload of a real (executable) task.
+pub type TaskBody = Box<dyn FnOnce() + Send + 'static>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{AccessMode, DataHandle};
+
+    #[test]
+    fn meta_defaults() {
+        let m = TaskMeta::new("t");
+        assert_eq!(m.cost, 1);
+        assert_eq!(m.criticality, Criticality::Auto);
+        assert_eq!(m.priority, 0);
+        assert!(!m.has_writes());
+    }
+
+    #[test]
+    fn has_writes_detects_out_clauses() {
+        let h = DataHandle::new("x", 0u8);
+        let mut m = TaskMeta::new("t");
+        m.accesses.push(crate::region::Access {
+            region: h.region(),
+            mode: AccessMode::Read,
+        });
+        assert!(!m.has_writes());
+        m.accesses.push(crate::region::Access {
+            region: h.region(),
+            mode: AccessMode::ReadWrite,
+        });
+        assert!(m.has_writes());
+    }
+
+    #[test]
+    fn task_id_debug_format() {
+        assert_eq!(format!("{:?}", TaskId(42)), "t42");
+    }
+}

@@ -1,0 +1,194 @@
+//! Machine configuration.
+
+/// Which memory hierarchy the machine simulates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HierarchyMode {
+    /// Conventional baseline: private L1s + shared L2 + DRAM, directory
+    /// coherence. All references go through the caches.
+    CacheOnly,
+    /// The paper's hybrid hierarchy: per-tile SPMs alongside the L1s.
+    /// Strided references are tiled into the SPMs by DMA, random
+    /// references use the caches, unknown-alias references consult the
+    /// SPM directory + filter.
+    Hybrid,
+}
+
+/// Geometry, latency and sizing of the simulated machine. Defaults model
+/// the paper's 64-core tiled CMP.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of tiles (1 core + L1 + SPM per tile). Must be a square
+    /// number for the mesh (8×8 by default).
+    pub cores: usize,
+    pub mode: HierarchyMode,
+
+    // --- L1 (per tile) ---
+    /// L1 capacity in bytes (32 KiB).
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency (cycles).
+    pub l1_hit_lat: u64,
+    /// Enable the baseline's stride-prediction-table prefetcher
+    /// (default on; turn off for sensitivity studies — without it the
+    /// baseline is a strawman and the hybrid hierarchy's advantage is
+    /// overstated).
+    pub prefetcher: bool,
+    /// Latency of an L1 miss whose line the stride prefetcher already
+    /// has in flight.
+    pub prefetch_hit_lat: u64,
+
+    // --- SPM (per tile, hybrid mode) ---
+    /// Scratchpad capacity in bytes (64 KiB).
+    pub spm_bytes: usize,
+    /// SPM access latency (cycles). The physical array is faster than a
+    /// tagged cache, but pipelined cores hide hit latency either way, so
+    /// the model keeps it equal to the L1 — the hybrid hierarchy's wins
+    /// must come from miss handling, energy and traffic, not a free
+    /// per-access cycle.
+    pub spm_lat: u64,
+    /// DMA transfer quantum in bytes: setup costs are amortised over
+    /// this many bytes of streamed lines.
+    pub dma_tile_bytes: u64,
+    /// Fixed DMA programming/setup latency (cycles), charged once per
+    /// tile quantum; the bulk transfer itself is pipelined.
+    pub dma_setup_lat: u64,
+    /// Per-line pipelined DMA stream cost (cycles) the core observes on
+    /// an SPM fill (double buffering hides the full memory latency).
+    pub dma_per_line_lat: u64,
+
+    // --- shared L2 (banked, one bank per tile) ---
+    /// Total L2 capacity in bytes (16 MiB).
+    pub l2_bytes: usize,
+    pub l2_ways: usize,
+    /// L2 bank access latency (cycles), excluding NoC.
+    pub l2_hit_lat: u64,
+    /// Model L2 bank queueing: concurrent accesses to the same bank
+    /// serialise at `l2_service_lat` per request. Off by default (the
+    /// Fig. 1 calibration excludes queueing; turn on for contention
+    /// sensitivity studies).
+    pub l2_bank_contention: bool,
+    /// Bank occupancy per request when contention modelling is on.
+    pub l2_service_lat: u64,
+
+    // --- NoC ---
+    /// Per-hop latency (cycles).
+    pub noc_hop_lat: u64,
+    /// Flits per data (cache line) message, header included.
+    pub data_flits: u64,
+    /// Flits per control message.
+    pub ctrl_flits: u64,
+
+    // --- DRAM ---
+    /// DRAM access latency (cycles), excluding NoC.
+    pub dram_lat: u64,
+
+    /// Line size in bytes (fixed 64 in address math; kept for reports).
+    pub line_bytes: u64,
+}
+
+impl MachineConfig {
+    /// The paper's 64-core machine.
+    pub fn paper_64core(mode: HierarchyMode) -> Self {
+        Self::tiled(64, mode)
+    }
+
+    /// A tiled machine with `cores` tiles (any square count).
+    ///
+    /// The comparison is iso-capacity: the hybrid tile spends its SRAM
+    /// budget as 32 KiB L1 + 64 KiB SPM, while the cache-only baseline
+    /// spends the same 96 KiB entirely on its L1 — the baseline is not
+    /// handicapped by the silicon the SPM occupies.
+    pub fn tiled(cores: usize, mode: HierarchyMode) -> Self {
+        // 96 KiB needs 6 ways to keep the set count a power of two.
+        let (l1_bytes, l1_ways) = match mode {
+            HierarchyMode::Hybrid => (32 * 1024, 4),
+            HierarchyMode::CacheOnly => (96 * 1024, 6),
+        };
+        MachineConfig {
+            cores,
+            mode,
+            l1_bytes,
+            l1_ways,
+            l1_hit_lat: 2,
+            prefetcher: true,
+            prefetch_hit_lat: 2,
+            spm_bytes: 64 * 1024,
+            spm_lat: 2,
+            dma_tile_bytes: 1024,
+            dma_setup_lat: 24,
+            dma_per_line_lat: 2,
+            l2_bytes: 16 * 1024 * 1024,
+            l2_ways: 16,
+            l2_hit_lat: 12,
+            l2_bank_contention: false,
+            l2_service_lat: 4,
+            noc_hop_lat: 2,
+            data_flits: 5,
+            ctrl_flits: 1,
+            dram_lat: 120,
+            line_bytes: 64,
+        }
+    }
+
+    /// Mesh edge length (tiles are arranged in a √cores × √cores mesh;
+    /// non-square counts round the width up).
+    pub fn mesh_width(&self) -> usize {
+        (self.cores as f64).sqrt().ceil() as usize
+    }
+
+    /// L1 line count.
+    pub fn l1_lines(&self) -> usize {
+        self.l1_bytes / self.line_bytes as usize
+    }
+
+    /// L2 line count (whole distributed L2).
+    pub fn l2_lines(&self) -> usize {
+        self.l2_bytes / self.line_bytes as usize
+    }
+
+    /// Lines per DMA tile.
+    pub fn tile_lines(&self) -> u64 {
+        self.dma_tile_bytes / self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_defaults() {
+        let c = MachineConfig::paper_64core(HierarchyMode::Hybrid);
+        assert_eq!(c.cores, 64);
+        assert_eq!(c.mesh_width(), 8);
+        assert_eq!(c.l1_lines(), 512);
+        assert_eq!(c.l2_lines(), 262_144);
+        assert_eq!(c.tile_lines(), 16);
+    }
+
+    #[test]
+    fn baseline_is_iso_capacity() {
+        let hybrid = MachineConfig::paper_64core(HierarchyMode::Hybrid);
+        let cache = MachineConfig::paper_64core(HierarchyMode::CacheOnly);
+        assert_eq!(
+            cache.l1_bytes,
+            hybrid.l1_bytes + hybrid.spm_bytes,
+            "cache-only baseline gets the SPM's silicon back"
+        );
+    }
+
+    #[test]
+    fn non_square_mesh_rounds_up() {
+        let c = MachineConfig::tiled(10, HierarchyMode::CacheOnly);
+        assert_eq!(c.mesh_width(), 4);
+    }
+
+    #[test]
+    fn hierarchy_latencies_ordered() {
+        let c = MachineConfig::paper_64core(HierarchyMode::Hybrid);
+        assert!(c.spm_lat <= c.l1_hit_lat);
+        assert!(c.l1_hit_lat < c.l2_hit_lat);
+        assert!(c.l2_hit_lat < c.dram_lat);
+    }
+}

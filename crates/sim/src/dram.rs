@@ -1,0 +1,87 @@
+//! DRAM model: fixed access latency with open-row locality bonus and
+//! access counting.
+
+/// A simple banked DRAM behind the mesh's corner memory controllers.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    base_lat: u64,
+    /// Last row touched per bank (open-row hit detection).
+    open_rows: Vec<Option<u64>>,
+    pub accesses: u64,
+    pub row_hits: u64,
+}
+
+/// Bytes per DRAM row (8 KiB) — consecutive lines land in the same row.
+const ROW_BYTES: u64 = 8192;
+/// Row-hit accesses save this fraction of the base latency.
+const ROW_HIT_DISCOUNT_NUM: u64 = 2;
+const ROW_HIT_DISCOUNT_DEN: u64 = 5;
+
+impl Dram {
+    pub fn new(banks: usize, base_lat: u64) -> Self {
+        assert!(banks >= 1);
+        Dram {
+            base_lat,
+            open_rows: vec![None; banks],
+            accesses: 0,
+            row_hits: 0,
+        }
+    }
+
+    /// Access the line at byte address `line * 64`; returns the latency.
+    pub fn access(&mut self, line: u64) -> u64 {
+        self.accesses += 1;
+        let addr = line * 64;
+        let bank = (addr / ROW_BYTES) as usize % self.open_rows.len();
+        let row = addr / (ROW_BYTES * self.open_rows.len() as u64);
+        let hit = self.open_rows[bank] == Some(row);
+        self.open_rows[bank] = Some(row);
+        if hit {
+            self.row_hits += 1;
+            self.base_lat - self.base_lat * ROW_HIT_DISCOUNT_NUM / ROW_HIT_DISCOUNT_DEN
+        } else {
+            self.base_lat
+        }
+    }
+
+    /// Row hit ratio so far.
+    pub fn row_hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_a_row_miss() {
+        let mut d = Dram::new(4, 120);
+        assert_eq!(d.access(0), 120);
+        assert_eq!(d.row_hits, 0);
+    }
+
+    #[test]
+    fn same_row_hits_are_cheaper() {
+        let mut d = Dram::new(4, 120);
+        d.access(0);
+        let lat = d.access(1); // next line, same 8K row
+        assert_eq!(lat, 120 - 48);
+        assert_eq!(d.row_hits, 1);
+    }
+
+    #[test]
+    fn distant_lines_use_other_banks() {
+        let mut d = Dram::new(4, 120);
+        d.access(0);
+        // 8 KiB away: next bank, row miss there.
+        assert_eq!(d.access(ROW_BYTES / 64), 120);
+        // Returning to line 1 still hits bank 0's open row.
+        assert_eq!(d.access(1), 120 - 48);
+        assert!((d.row_hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

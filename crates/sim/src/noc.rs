@@ -1,0 +1,129 @@
+//! 2-D mesh network-on-chip model: XY routing distance, hop latency and
+//! flit-hop traffic accounting (the Fig. 1 "NoC traffic" metric).
+
+/// A 2-D mesh of `width × width` routers, one per tile, with memory
+/// controllers at the four corners.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    width: usize,
+    hop_lat: u64,
+    /// Total flits injected (what Fig. 1 plots the reduction of).
+    pub flits: u64,
+    /// Total flit-hops (traffic × distance — the energy-relevant metric).
+    pub flit_hops: u64,
+    /// Messages sent.
+    pub messages: u64,
+}
+
+impl Mesh {
+    pub fn new(width: usize, hop_lat: u64) -> Self {
+        assert!(width >= 1);
+        Mesh {
+            width,
+            hop_lat,
+            flits: 0,
+            flit_hops: 0,
+            messages: 0,
+        }
+    }
+
+    fn coords(&self, tile: usize) -> (usize, usize) {
+        (tile % self.width, tile / self.width)
+    }
+
+    /// Manhattan (XY-routed) hop distance between two tiles.
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// The mesh corner (memory controller) nearest to `tile`.
+    pub fn nearest_corner(&self, tile: usize) -> usize {
+        let w = self.width;
+        let corners = [0, w - 1, w * (w - 1), w * w - 1];
+        *corners
+            .iter()
+            .min_by_key(|&&c| self.hops(tile, c))
+            .expect("four corners")
+    }
+
+    /// Send a message of `flits` flits from `from` to `to`; returns the
+    /// traversal latency and records traffic. Messages to self are free.
+    pub fn send(&mut self, from: usize, to: usize, flits: u64) -> u64 {
+        let hops = self.hops(from, to);
+        if hops == 0 {
+            return 0;
+        }
+        self.messages += 1;
+        self.flits += flits;
+        self.flit_hops += flits * hops;
+        // Wormhole-ish: head latency + one cycle per extra flit.
+        hops * self.hop_lat + flits.saturating_sub(1)
+    }
+
+    /// Round trip: request of `req_flits` then response of `resp_flits`.
+    pub fn round_trip(&mut self, from: usize, to: usize, req_flits: u64, resp_flits: u64) -> u64 {
+        self.send(from, to, req_flits) + self.send(to, from, resp_flits)
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Average hop distance between distinct random tiles (analytic, for
+    /// sanity checks): 2·(w²−1)/(3·w) for an XY mesh.
+    pub fn avg_distance(&self) -> f64 {
+        let w = self.width as f64;
+        2.0 * (w * w - 1.0) / (3.0 * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_distances() {
+        let m = Mesh::new(8, 2);
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 7), 7);
+        assert_eq!(m.hops(0, 63), 14);
+        assert_eq!(m.hops(9, 18), 2); // (1,1) -> (2,2)
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let mut m = Mesh::new(4, 2);
+        assert_eq!(m.send(5, 5, 5), 0);
+        assert_eq!(m.flits, 0);
+        assert_eq!(m.messages, 0);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut m = Mesh::new(4, 2);
+        let lat = m.send(0, 3, 5); // 3 hops
+        assert_eq!(lat, 3 * 2 + 4);
+        assert_eq!(m.flits, 5);
+        assert_eq!(m.flit_hops, 15);
+        m.round_trip(0, 3, 1, 5);
+        assert_eq!(m.flits, 11);
+        assert_eq!(m.messages, 3);
+    }
+
+    #[test]
+    fn corners_are_nearest() {
+        let m = Mesh::new(8, 1);
+        assert_eq!(m.nearest_corner(0), 0);
+        assert_eq!(m.nearest_corner(63), 63);
+        assert_eq!(m.nearest_corner(9), 0); // (1,1) closest to (0,0)
+        assert_eq!(m.nearest_corner(14), 7); // (6,1) closest to (7,0)
+    }
+
+    #[test]
+    fn avg_distance_formula() {
+        let m = Mesh::new(8, 1);
+        assert!((m.avg_distance() - 5.25).abs() < 1e-12);
+    }
+}

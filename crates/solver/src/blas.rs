@@ -1,0 +1,90 @@
+//! Dense vector kernels used by the solvers.
+
+/// `xᵀ·y`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha·x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta·y` (the CG direction update).
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y = x` (counted copy, for checkpoints).
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// Split `0..n` into `blocks` near-equal contiguous ranges.
+pub fn block_ranges(n: usize, blocks: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(blocks >= 1);
+    let base = n / blocks;
+    let extra = n % blocks;
+    let mut out = Vec::with_capacity(blocks);
+    let mut start = 0;
+    for b in 0..blocks {
+        let len = base + usize::from(b < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 41.0]);
+    }
+
+    #[test]
+    fn xpby_is_the_cg_direction_update() {
+        let mut p = vec![2.0, 4.0];
+        xpby(&[1.0, 1.0], 0.5, &mut p);
+        assert_eq!(p, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn block_ranges_cover_exactly() {
+        for (n, blocks) in [(10, 3), (16, 4), (7, 7), (5, 2), (100, 1)] {
+            let rs = block_ranges(n, blocks);
+            assert_eq!(rs.len(), blocks);
+            assert_eq!(rs[0].start, 0);
+            assert_eq!(rs.last().unwrap().end, n);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // Near-equal: lengths differ by at most one.
+            let lens: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+            assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+        }
+    }
+}

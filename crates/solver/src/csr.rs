@@ -1,0 +1,293 @@
+//! Compressed Sparse Row matrices.
+
+use std::ops::Range;
+
+/// A CSR matrix over f64.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    n: usize,
+    rowptr: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from triplets `(row, col, value)`. Duplicate entries are
+    /// summed; rows/cols must be `< n`.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(r, c, v) in triplets {
+            assert!(r < n && c < n, "entry ({r},{c}) out of bounds for n={n}");
+            per_row[r].push((c, v));
+        }
+        let mut rowptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        rowptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = 0.0;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
+                    i += 1;
+                }
+                cols.push(c);
+                vals.push(v);
+            }
+            rowptr.push(cols.len());
+        }
+        Csr {
+            n,
+            rowptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// The 5-point 2-D Poisson/heat-diffusion operator on an `nx × ny`
+    /// grid: SPD with 4 on the diagonal and −1 for grid neighbours — the
+    /// synthetic stand-in for thermal FEM matrices like `thermal2`.
+    pub fn poisson2d(nx: usize, ny: usize) -> Self {
+        let n = nx * ny;
+        let mut t = Vec::with_capacity(5 * n);
+        let idx = |x: usize, y: usize| y * nx + x;
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y);
+                t.push((i, i, 4.0));
+                if x > 0 {
+                    t.push((i, idx(x - 1, y), -1.0));
+                }
+                if x + 1 < nx {
+                    t.push((i, idx(x + 1, y), -1.0));
+                }
+                if y > 0 {
+                    t.push((i, idx(x, y - 1), -1.0));
+                }
+                if y + 1 < ny {
+                    t.push((i, idx(x, y + 1), -1.0));
+                }
+            }
+        }
+        Csr::from_triplets(n, &t)
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Row `i` as `(cols, vals)` slices.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.rowptr[i];
+        let hi = self.rowptr[i + 1];
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// `y = A·x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// `y[rows] = (A·x)[rows]` for a row block (used by the blocked
+    /// task-parallel CG and the recovery algebra).
+    pub fn spmv_rows(&self, rows: Range<usize>, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        for i in rows {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// The principal submatrix `A[rows, rows]`, reindexed to
+    /// `0..rows.len()`. SPD whenever `A` is.
+    pub fn principal_submatrix(&self, rows: Range<usize>) -> Csr {
+        let base = rows.start;
+        let m = rows.len();
+        let mut t = Vec::new();
+        for i in rows.clone() {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if rows.contains(&c) {
+                    t.push((i - base, c - base, v));
+                }
+            }
+        }
+        Csr::from_triplets(m, &t)
+    }
+
+    /// `out = A[rows, outside]·x[outside]`: the coupling of a row block
+    /// to everything outside it (the `A_lo·x_o` term of the recovery).
+    pub fn coupling_times(&self, rows: Range<usize>, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; rows.len()];
+        for (k, i) in rows.clone().enumerate() {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if !rows.contains(&c) {
+                    out[k] += v * x[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural + numeric symmetry check.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let (rc, rv) = self.row(c);
+                match rc.binary_search(&i) {
+                    Ok(k) if (rv[k] - v).abs() <= tol => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Infinity norm of `A·x − b` (for exactness tests).
+    pub fn residual_inf(&self, x: &[f64], b: &[f64]) -> f64 {
+        let mut y = vec![0.0; self.n];
+        self.spmv(x, &mut y);
+        y.iter()
+            .zip(b)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sum_duplicates_and_sort() {
+        let a = Csr::from_triplets(2, &[(0, 1, 2.0), (0, 1, 3.0), (0, 0, 1.0), (1, 1, 4.0)]);
+        assert_eq!(a.nnz(), 3);
+        let (cols, vals) = a.row(0);
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn poisson_shape_and_symmetry() {
+        let a = Csr::poisson2d(8, 8);
+        assert_eq!(a.n(), 64);
+        // Interior rows have 5 entries; corners 3.
+        assert_eq!(a.row(0).0.len(), 3);
+        assert_eq!(a.row(9).0.len(), 5);
+        assert!(a.is_symmetric(0.0));
+        // Diagonal dominance (weak) ⇒ SPD for this operator.
+        for i in 0..a.n() {
+            let (cols, vals) = a.row(i);
+            let diag = vals[cols.iter().position(|&c| c == i).unwrap()];
+            let off: f64 = vals.iter().map(|v| v.abs()).sum::<f64>() - diag;
+            assert!(diag >= off);
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = Csr::poisson2d(4, 3);
+        let n = a.n();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let mut y = vec![0.0; n];
+        a.spmv(&x, &mut y);
+        // Dense reference.
+        for (i, &yi) in y.iter().enumerate() {
+            let mut want = 0.0;
+            for (j, &xj) in x.iter().enumerate() {
+                let (cols, vals) = a.row(i);
+                if let Some(k) = cols.iter().position(|&c| c == j) {
+                    want += vals[k] * xj;
+                }
+            }
+            assert!((yi - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmv_rows_matches_full() {
+        let a = Csr::poisson2d(6, 6);
+        let n = a.n();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut full = vec![0.0; n];
+        a.spmv(&x, &mut full);
+        let mut part = vec![0.0; n];
+        a.spmv_rows(10..20, &x, &mut part);
+        assert_eq!(&part[10..20], &full[10..20]);
+        assert!(part[..10].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn principal_submatrix_is_consistent() {
+        let a = Csr::poisson2d(5, 5);
+        let sub = a.principal_submatrix(5..15);
+        assert_eq!(sub.n(), 10);
+        assert!(sub.is_symmetric(0.0));
+        // sub[i][j] == a[i+5][j+5] for in-range columns.
+        let (c, v) = sub.row(0);
+        let (ac, av) = a.row(5);
+        let filtered: Vec<(usize, f64)> = ac
+            .iter()
+            .zip(av)
+            .filter(|(&cc, _)| (5..15).contains(&cc))
+            .map(|(&cc, &vv)| (cc - 5, vv))
+            .collect();
+        assert_eq!(
+            c.iter().copied().zip(v.iter().copied()).collect::<Vec<_>>(),
+            filtered
+        );
+    }
+
+    #[test]
+    fn coupling_plus_principal_equals_block_row() {
+        // (A x)[rows] == A_ll x_l + A_lo x_o.
+        let a = Csr::poisson2d(6, 4);
+        let n = a.n();
+        let rows = 6..14;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut full = vec![0.0; n];
+        a.spmv(&x, &mut full);
+        let sub = a.principal_submatrix(rows.clone());
+        let xl = &x[rows.clone()];
+        let mut local = vec![0.0; rows.len()];
+        sub.spmv(xl, &mut local);
+        let coupling = a.coupling_times(rows.clone(), &x);
+        for k in 0..rows.len() {
+            assert!(
+                (full[rows.start + k] - (local[k] + coupling[k])).abs() < 1e-12,
+                "row {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_inf_of_exact_solution_is_zero() {
+        let a = Csr::poisson2d(4, 4);
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut b = vec![0.0; 16];
+        a.spmv(&x, &mut b);
+        assert!(a.residual_inf(&x, &b) < 1e-12);
+    }
+}

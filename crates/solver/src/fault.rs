@@ -1,0 +1,72 @@
+//! DUE (Detected-but-Uncorrected Error) injection.
+//!
+//! A DUE is a detected data loss: ECC flags an uncorrectable word, a
+//! memory page is retired, etc.  The paper's fine-grained error model
+//! loses a *block* of one solver vector; detection is assumed (standard
+//! commodity-hardware machinery), so injection here means "the block's
+//! contents are gone and the solver knows which block".
+
+use std::ops::Range;
+
+/// Which solver vector the DUE hits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultTarget {
+    /// The iterate `x` — the interesting case: `x` is *not* derivable
+    /// from the other state without the interpolation algebra.
+    X,
+    /// The residual `r` — recoverable by direct recomputation
+    /// `r = b − A·x`.
+    R,
+}
+
+/// One scheduled DUE.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Iteration after which the fault strikes.
+    pub at_iter: usize,
+    /// Lost element range (block granularity).
+    pub block: Range<usize>,
+    pub target: FaultTarget,
+}
+
+impl FaultSpec {
+    pub fn new(at_iter: usize, block: Range<usize>, target: FaultTarget) -> Self {
+        assert!(!block.is_empty(), "a DUE must lose something");
+        FaultSpec {
+            at_iter,
+            block,
+            target,
+        }
+    }
+
+    /// Wipe the block (the lost data is unreadable; we model the freshly
+    /// re-mapped page as zeros). Returns the destroyed values for test
+    /// oracles.
+    pub fn inject(&self, v: &mut [f64]) -> Vec<f64> {
+        let lost = v[self.block.clone()].to_vec();
+        for e in &mut v[self.block.clone()] {
+            *e = 0.0;
+        }
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_zeroes_block_and_returns_lost() {
+        let spec = FaultSpec::new(10, 2..5, FaultTarget::X);
+        let mut v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let lost = spec.inject(&mut v);
+        assert_eq!(lost, vec![3.0, 4.0, 5.0]);
+        assert_eq!(v, vec![1.0, 2.0, 0.0, 0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lose something")]
+    fn empty_block_rejected() {
+        FaultSpec::new(0, 3..3, FaultTarget::R);
+    }
+}

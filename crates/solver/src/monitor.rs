@@ -1,0 +1,114 @@
+//! Convergence traces: the (time, iteration, residual) series Fig. 4
+//! plots.
+
+use std::time::Instant;
+
+/// One sample of solver progress.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Seconds since the solve started.
+    pub seconds: f64,
+    pub iteration: usize,
+    /// Absolute residual norm ‖r‖₂.
+    pub residual: f64,
+}
+
+/// A recorded convergence trace.
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceTrace {
+    pub label: String,
+    pub samples: Vec<Sample>,
+    /// Iteration at which the injected DUE struck (if any).
+    pub fault_iteration: Option<usize>,
+    /// Total wall-clock seconds of the solve.
+    pub total_seconds: f64,
+    pub converged: bool,
+}
+
+impl ConvergenceTrace {
+    pub fn new(label: impl Into<String>) -> Self {
+        ConvergenceTrace {
+            label: label.into(),
+            ..Default::default()
+        }
+    }
+
+    pub fn record(&mut self, start: Instant, iteration: usize, residual: f64) {
+        self.samples.push(Sample {
+            seconds: start.elapsed().as_secs_f64(),
+            iteration,
+            residual,
+        });
+    }
+
+    /// Time to reach a residual below `threshold` (the Fig. 4
+    /// convergence-time comparison), if ever.
+    pub fn time_to_converge(&self, threshold: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.residual < threshold)
+            .map(|s| s.seconds)
+    }
+
+    /// log10 of the residual at the sample nearest `seconds` (for
+    /// plotting the Fig. 4 curves on a shared time axis).
+    pub fn log_residual_at(&self, seconds: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.seconds <= seconds)
+            .map(|s| s.residual.max(f64::MIN_POSITIVE).log10())
+    }
+
+    /// Downsample to at most `k` evenly spaced samples (for printing).
+    pub fn downsample(&self, k: usize) -> Vec<Sample> {
+        if self.samples.len() <= k || k == 0 {
+            return self.samples.clone();
+        }
+        let step = self.samples.len() as f64 / k as f64;
+        (0..k)
+            .map(|i| self.samples[(i as f64 * step) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(res: &[f64]) -> ConvergenceTrace {
+        let mut t = ConvergenceTrace::new("t");
+        for (i, &r) in res.iter().enumerate() {
+            t.samples.push(Sample {
+                seconds: i as f64,
+                iteration: i,
+                residual: r,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn time_to_converge_finds_first_crossing() {
+        let t = trace_with(&[1.0, 0.1, 0.01, 0.001]);
+        assert_eq!(t.time_to_converge(0.05), Some(2.0));
+        assert_eq!(t.time_to_converge(1e-9), None);
+    }
+
+    #[test]
+    fn log_residual_at_takes_latest_before() {
+        let t = trace_with(&[1.0, 0.1, 0.01]);
+        assert_eq!(t.log_residual_at(1.5), Some(-1.0));
+        assert_eq!(t.log_residual_at(0.0), Some(0.0));
+        assert_eq!(t.log_residual_at(10.0), Some(-2.0));
+    }
+
+    #[test]
+    fn downsample_bounds() {
+        let t = trace_with(&[1.0; 100]);
+        assert_eq!(t.downsample(10).len(), 10);
+        assert_eq!(t.downsample(1000).len(), 100);
+        let t2 = trace_with(&[1.0, 0.5]);
+        assert_eq!(t2.downsample(10).len(), 2);
+    }
+}

@@ -1,0 +1,543 @@
+//! The Fig. 4 driver: one CG execution per resilience scheme.
+//!
+//! All schemes run the same CG recurrence on the same system and suffer
+//! the same single DUE (a lost block of `x`); they differ only in how
+//! they get back to a consistent state:
+//!
+//! * **Ideal** — no fault, no protection: the reference trajectory.
+//! * **Checkpoint** — periodic state copies; on the DUE, roll back and
+//!   redo the lost iterations (the classic backward recovery).
+//! * **LossyRestart** — zero the lost block, recompute `r = b − A·x`,
+//!   restart the Krylov space (`p = r`): cheap, but convergence slows.
+//! * **FEIR** — exact forward interpolation (see [`crate::recovery`]),
+//!   executed synchronously: the solver stalls for the local solve, then
+//!   continues *on the ideal trajectory*.
+//! * **AFEIR** — the same interpolation executed asynchronously as a
+//!   task off the critical path ([`raa_runtime`]): the main recurrence
+//!   keeps iterating (only the lost block's `x` updates are deferred),
+//!   so the visible overhead shrinks further.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use raa_runtime::{Runtime, RuntimeConfig};
+
+use crate::blas::{axpy, dot, norm2, xpby};
+use crate::csr::Csr;
+use crate::fault::{FaultSpec, FaultTarget};
+use crate::monitor::ConvergenceTrace;
+use crate::recovery::{interpolate_block, recompute_residual, recover_x_block};
+
+/// The five Fig. 4 schemes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    Ideal,
+    /// Checkpoint every `every` iterations.
+    Checkpoint {
+        every: usize,
+    },
+    /// Zero the lost block, recompute r, restart the Krylov space.
+    LossyRestart,
+    /// Like [`Scheme::LossyRestart`] but with a linear interpolation of
+    /// the lost block — the halfway house between zeroing and FEIR's
+    /// exact interpolation (an ablation of "how much does exactness
+    /// matter?").
+    LossyInterp,
+    Feir,
+    Afeir,
+}
+
+impl Scheme {
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Ideal => "Ideal".into(),
+            Scheme::Checkpoint { every } => format!("Ckpt-{every}"),
+            Scheme::LossyRestart => "LossyRestart".into(),
+            Scheme::LossyInterp => "LossyInterp".into(),
+            Scheme::Feir => "FEIR".into(),
+            Scheme::Afeir => "AFEIR".into(),
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ResilientCfg {
+    /// Poisson grid dimensions (n = nx·ny unknowns).
+    pub nx: usize,
+    pub ny: usize,
+    /// Relative residual tolerance.
+    pub tol: f64,
+    pub max_iters: usize,
+    /// Record a trace sample every this many iterations.
+    pub sample_every: usize,
+    /// Worker threads for the AFEIR recovery runtime.
+    pub workers: usize,
+    /// Inner tolerance of the recovery solve.
+    pub local_tol: f64,
+}
+
+impl Default for ResilientCfg {
+    fn default() -> Self {
+        ResilientCfg {
+            nx: 128,
+            ny: 128,
+            tol: 1e-9,
+            max_iters: 20_000,
+            sample_every: 1,
+            workers: 2,
+            local_tol: 1e-13,
+        }
+    }
+}
+
+/// Run one scheme with at most one DUE. `fault: None` gives the Ideal
+/// trajectory regardless of `scheme`'s protection (protection overheads
+/// still apply, e.g. checkpoint copies).
+pub fn run_scheme(
+    cfg: &ResilientCfg,
+    scheme: Scheme,
+    fault: Option<FaultSpec>,
+) -> ConvergenceTrace {
+    run_scheme_multi(cfg, scheme, fault.into_iter().collect())
+}
+
+/// Run one scheme through any number of DUEs (sorted by iteration).
+pub fn run_scheme_multi(
+    cfg: &ResilientCfg,
+    scheme: Scheme,
+    faults: Vec<FaultSpec>,
+) -> ConvergenceTrace {
+    let a = Arc::new(Csr::poisson2d(cfg.nx, cfg.ny));
+    let n = a.n();
+    // A smooth "thermal" right-hand side.
+    let b: Vec<f64> = (0..n)
+        .map(|i| 1.0 + 0.5 * ((i as f64) * 0.01).sin())
+        .collect();
+    run_scheme_on(cfg, scheme, faults, a, b)
+}
+
+/// Like [`run_scheme_multi`] on a caller-provided system.
+pub fn run_scheme_on(
+    cfg: &ResilientCfg,
+    scheme: Scheme,
+    mut faults: Vec<FaultSpec>,
+    a: Arc<Csr>,
+    b: Vec<f64>,
+) -> ConvergenceTrace {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    faults.sort_by_key(|f| f.at_iter);
+    for f in &faults {
+        assert!(f.block.end <= n);
+        assert_eq!(
+            f.target,
+            FaultTarget::X,
+            "the Fig. 4 experiment injects on x; lost r is recomputed trivially"
+        );
+    }
+    let mut trace = ConvergenceTrace::new(scheme.label());
+    let bnorm = norm2(&b).max(f64::MIN_POSITIVE);
+    let start = Instant::now();
+
+    // CG state.
+    let mut x = vec![0.0f64; n];
+    let mut r = b.clone();
+    let mut p = b.clone();
+    let mut q = vec![0.0f64; n];
+    let mut rr = dot(&r, &r);
+
+    // Checkpoint state.
+    let mut ckpt: Option<CkptState> = None;
+    if let Scheme::Checkpoint { .. } = scheme {
+        ckpt = Some(CkptState {
+            x: x.clone(),
+            r: r.clone(),
+            p: p.clone(),
+            rr,
+            iter: 0,
+        });
+    }
+
+    // AFEIR machinery: a runtime hosting the recovery task.
+    let rt = match scheme {
+        Scheme::Afeir => Some(Runtime::new(RuntimeConfig::with_workers(cfg.workers))),
+        _ => None,
+    };
+    let mut pending: Option<PendingRecovery> = None;
+
+    let mut fault_queue: std::collections::VecDeque<FaultSpec> = faults.into();
+    let mut iter = 0usize;
+    while iter < cfg.max_iters && rr.sqrt() / bnorm > cfg.tol {
+        // --- DUE strikes? ---
+        if fault_queue.front().is_some_and(|f| f.at_iter <= iter) {
+            let f = fault_queue.pop_front().expect("just checked");
+            trace.fault_iteration = Some(iter);
+            // A second DUE while an asynchronous recovery is in flight:
+            // merge the pending one synchronously first (the runtime
+            // would simply order the recovery tasks).
+            if let Some(pr) = pending.take() {
+                if let Some(rt) = rt.as_ref() {
+                    rt.taskwait();
+                }
+                let rec = pr.out.read().clone().expect("recovery completed");
+                for (k, i) in pr.block.clone().enumerate() {
+                    x[i] = rec[k] + pr.acc[k];
+                }
+            }
+            match scheme {
+                Scheme::Ideal => {
+                    // An unprotected run cannot continue after a DUE; the
+                    // Ideal curve is produced with fault=None. Treat an
+                    // injected fault as fatal for honesty.
+                    trace.total_seconds = start.elapsed().as_secs_f64();
+                    trace.converged = false;
+                    return trace;
+                }
+                Scheme::Checkpoint { .. } => {
+                    f.inject(&mut x);
+                    let c = ckpt.clone().expect("checkpoint scheme saves state");
+                    x = c.x;
+                    r = c.r;
+                    p = c.p;
+                    rr = c.rr;
+                    // Redo the lost iterations: rewind the counter so the
+                    // trace shows the residual jumping back.
+                    iter = c.iter;
+                }
+                Scheme::LossyRestart => {
+                    f.inject(&mut x);
+                    r = recompute_residual(&a, &b, &x);
+                    p = r.clone();
+                    rr = dot(&r, &r);
+                }
+                Scheme::LossyInterp => {
+                    f.inject(&mut x);
+                    let interp = interpolate_block(&x, f.block.clone());
+                    x[f.block.clone()].copy_from_slice(&interp);
+                    r = recompute_residual(&a, &b, &x);
+                    p = r.clone();
+                    rr = dot(&r, &r);
+                }
+                Scheme::Feir => {
+                    f.inject(&mut x);
+                    let rec = recover_x_block(&a, &b, &r, &x, f.block.clone(), cfg.local_tol);
+                    x[f.block.clone()].copy_from_slice(&rec);
+                    // r, p, rr all remain exactly valid: continue on the
+                    // ideal trajectory.
+                }
+                Scheme::Afeir => {
+                    f.inject(&mut x);
+                    let rt = rt.as_ref().expect("AFEIR has a runtime");
+                    // Snapshot the algebraic state the recovery needs;
+                    // the main loop keeps mutating the live vectors.
+                    let x_snap = x.clone();
+                    let r_snap = r.clone();
+                    let out = rt.register("recovered-block", None::<Vec<f64>>);
+                    {
+                        let (a, b, out, block, tol) = (
+                            Arc::clone(&a),
+                            b.clone(),
+                            out.clone(),
+                            f.block.clone(),
+                            cfg.local_tol,
+                        );
+                        rt.task("afeir-recovery")
+                            .writes(&out)
+                            .cost(block.len() as u64 * 100)
+                            .body(move || {
+                                let rec = recover_x_block(&a, &b, &r_snap, &x_snap, block, tol);
+                                *out.write() = Some(rec);
+                            })
+                            .spawn();
+                    }
+                    pending = Some(PendingRecovery {
+                        out,
+                        block: f.block.clone(),
+                        acc: vec![0.0; f.block.len()],
+                    });
+                }
+            }
+        }
+
+        // --- one CG iteration ---
+        a.spmv(&p, &mut q);
+        let alpha = rr / dot(&p, &q);
+        if let Some(pr) = pending.as_mut() {
+            // Defer the lost block's x update into the accumulator; the
+            // rest of x updates normally.
+            axpy(alpha, &p[..pr.block.start], &mut x[..pr.block.start]);
+            axpy(alpha, &p[pr.block.end..], &mut x[pr.block.end..]);
+            axpy(alpha, &p[pr.block.clone()], &mut pr.acc);
+        } else {
+            axpy(alpha, &p, &mut x);
+        }
+        axpy(-alpha, &q, &mut r);
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr;
+        xpby(&r, beta, &mut p);
+        rr = rr_new;
+        iter += 1;
+
+        // --- merge a finished asynchronous recovery ---
+        let merged = if let Some(pr) = pending.as_ref() {
+            if let Some(rec) = pr.out.read().as_ref() {
+                for (k, i) in pr.block.clone().enumerate() {
+                    x[i] = rec[k] + pr.acc[k];
+                }
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if merged {
+            pending = None;
+        }
+
+        // --- periodic checkpoint ---
+        if let Scheme::Checkpoint { every } = scheme {
+            if iter.is_multiple_of(every) {
+                let c = ckpt.as_mut().expect("initialised");
+                c.x.copy_from_slice(&x);
+                c.r.copy_from_slice(&r);
+                c.p.copy_from_slice(&p);
+                c.rr = rr;
+                c.iter = iter;
+            }
+        }
+
+        if iter.is_multiple_of(cfg.sample_every) {
+            trace.record(start, iter, rr.sqrt());
+        }
+    }
+
+    // A recovery still in flight at convergence must be merged before x
+    // is usable.
+    if let Some(pr) = pending.take() {
+        if let Some(rt) = rt.as_ref() {
+            rt.taskwait();
+        }
+        let rec = pr.out.read().clone().expect("taskwait completed recovery");
+        for (k, i) in pr.block.clone().enumerate() {
+            x[i] = rec[k] + pr.acc[k];
+        }
+    }
+
+    trace.total_seconds = start.elapsed().as_secs_f64();
+    trace.converged = rr.sqrt() / bnorm <= cfg.tol;
+    // Final integrity check: the solution actually solves the system.
+    if trace.converged {
+        let true_res = norm2(&recompute_residual(&a, &b, &x)) / bnorm;
+        assert!(
+            true_res <= cfg.tol * 100.0,
+            "{}: recurrence residual {:.3e} but true residual {:.3e}",
+            trace.label,
+            rr.sqrt() / bnorm,
+            true_res
+        );
+    }
+    trace
+}
+
+/// A rollback point for the checkpoint scheme.
+#[derive(Clone)]
+struct CkptState {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    p: Vec<f64>,
+    rr: f64,
+    iter: usize,
+}
+
+struct PendingRecovery {
+    out: raa_runtime::DataHandle<Option<Vec<f64>>>,
+    block: std::ops::Range<usize>,
+    acc: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ResilientCfg {
+        ResilientCfg {
+            nx: 48,
+            ny: 48,
+            tol: 1e-8,
+            max_iters: 5000,
+            sample_every: 1,
+            workers: 2,
+            local_tol: 1e-13,
+        }
+    }
+
+    fn fault_at(iter: usize) -> FaultSpec {
+        // Lose a mid-grid block of x.
+        FaultSpec::new(iter, 800..1000, FaultTarget::X)
+    }
+
+    #[test]
+    fn ideal_converges() {
+        let t = run_scheme(&small_cfg(), Scheme::Ideal, None);
+        assert!(t.converged);
+        assert!(t.fault_iteration.is_none());
+        assert!(!t.samples.is_empty());
+    }
+
+    #[test]
+    fn all_protected_schemes_converge_through_a_due() {
+        let cfg = small_cfg();
+        for scheme in [
+            Scheme::Checkpoint { every: 25 },
+            Scheme::LossyRestart,
+            Scheme::Feir,
+            Scheme::Afeir,
+        ] {
+            let t = run_scheme(&cfg, scheme, Some(fault_at(60)));
+            assert!(t.converged, "{} did not converge", t.label);
+            assert_eq!(t.fault_iteration, Some(60), "{}", t.label);
+        }
+    }
+
+    #[test]
+    fn feir_matches_ideal_iteration_count() {
+        let cfg = small_cfg();
+        let ideal = run_scheme(&cfg, Scheme::Ideal, None);
+        let feir = run_scheme(&cfg, Scheme::Feir, Some(fault_at(60)));
+        let ideal_iters = ideal.samples.last().unwrap().iteration;
+        let feir_iters = feir.samples.last().unwrap().iteration;
+        assert!(
+            ideal_iters.abs_diff(feir_iters) <= 2,
+            "exact recovery must not change the trajectory: {ideal_iters} vs {feir_iters}"
+        );
+    }
+
+    #[test]
+    fn lossy_restart_needs_more_iterations_than_feir() {
+        let cfg = small_cfg();
+        let feir = run_scheme(&cfg, Scheme::Feir, Some(fault_at(60)));
+        let lossy = run_scheme(&cfg, Scheme::LossyRestart, Some(fault_at(60)));
+        let fi = feir.samples.last().unwrap().iteration;
+        let li = lossy.samples.last().unwrap().iteration;
+        assert!(
+            li > fi,
+            "restart must pay in convergence: feir={fi}, lossy={li}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_redoes_iterations() {
+        let cfg = small_cfg();
+        let ideal = run_scheme(&cfg, Scheme::Ideal, None);
+        let ck = run_scheme(&cfg, Scheme::Checkpoint { every: 25 }, Some(fault_at(60)));
+        // 60 − 50 = 10 iterations redone: total recorded samples exceed
+        // the ideal count.
+        assert!(ck.samples.len() > ideal.samples.len());
+        assert!(ck.converged);
+    }
+
+    #[test]
+    fn afeir_converges_with_late_fault() {
+        // Fault close to convergence: recovery may still be in flight
+        // when the loop exits; the final merge must handle it.
+        let cfg = small_cfg();
+        let ideal = run_scheme(&cfg, Scheme::Ideal, None);
+        let last = ideal.samples.last().unwrap().iteration;
+        let t = run_scheme(&cfg, Scheme::Afeir, Some(fault_at(last - 3)));
+        assert!(t.converged);
+    }
+
+    #[test]
+    fn residual_jumps_only_for_lossy_and_checkpoint() {
+        let cfg = small_cfg();
+        let jump = |t: &ConvergenceTrace| {
+            let f = t.fault_iteration.unwrap();
+            // Largest residual increase after the fault sample.
+            t.samples
+                .windows(2)
+                .filter(|w| w[0].iteration >= f.saturating_sub(1))
+                .map(|w| w[1].residual / w[0].residual)
+                .fold(0.0f64, f64::max)
+        };
+        let feir = run_scheme(&cfg, Scheme::Feir, Some(fault_at(60)));
+        let lossy = run_scheme(&cfg, Scheme::LossyRestart, Some(fault_at(60)));
+        assert!(
+            jump(&lossy) > jump(&feir).max(10.0),
+            "lossy jump {} vs feir jump {}",
+            jump(&lossy),
+            jump(&feir)
+        );
+    }
+
+    #[test]
+    fn lossy_interp_sits_between_zeroing_and_feir() {
+        let cfg = small_cfg();
+        let feir = run_scheme(&cfg, Scheme::Feir, Some(fault_at(60)));
+        let interp = run_scheme(&cfg, Scheme::LossyInterp, Some(fault_at(60)));
+        let zero = run_scheme(&cfg, Scheme::LossyRestart, Some(fault_at(60)));
+        let it = |t: &crate::monitor::ConvergenceTrace| t.samples.last().unwrap().iteration;
+        assert!(interp.converged);
+        // The Krylov restart dominates the penalty, so the better initial
+        // guess buys only a modest (sometimes zero) improvement — allow a
+        // small wobble but never a material regression.
+        assert!(
+            it(&interp) <= it(&zero) + 5,
+            "interpolation must not be materially worse than zeroing: {} vs {}",
+            it(&interp),
+            it(&zero)
+        );
+        assert!(
+            it(&interp) >= it(&feir),
+            "approximate interpolation cannot beat exactness: {} vs {}",
+            it(&interp),
+            it(&feir)
+        );
+    }
+
+    #[test]
+    fn multiple_dues_survived_by_every_protected_scheme() {
+        let cfg = small_cfg();
+        let faults = vec![
+            FaultSpec::new(40, 500..640, FaultTarget::X),
+            FaultSpec::new(90, 1200..1400, FaultTarget::X),
+            FaultSpec::new(130, 100..220, FaultTarget::X),
+        ];
+        for scheme in [
+            Scheme::Checkpoint { every: 25 },
+            Scheme::LossyRestart,
+            Scheme::LossyInterp,
+            Scheme::Feir,
+            Scheme::Afeir,
+        ] {
+            let t = run_scheme_multi(&cfg, scheme, faults.clone());
+            assert!(t.converged, "{} died under 3 DUEs", t.label);
+        }
+    }
+
+    #[test]
+    fn feir_unaffected_by_three_faults() {
+        let cfg = small_cfg();
+        let ideal = run_scheme(&cfg, Scheme::Ideal, None);
+        let faults = vec![
+            FaultSpec::new(30, 500..640, FaultTarget::X),
+            FaultSpec::new(70, 1200..1400, FaultTarget::X),
+            FaultSpec::new(110, 100..220, FaultTarget::X),
+        ];
+        let feir = run_scheme_multi(&cfg, Scheme::Feir, faults);
+        let it = |t: &crate::monitor::ConvergenceTrace| t.samples.last().unwrap().iteration;
+        assert!(
+            it(&feir).abs_diff(it(&ideal)) <= 3,
+            "exact recovery x3 must stay on trajectory: {} vs {}",
+            it(&feir),
+            it(&ideal)
+        );
+    }
+
+    #[test]
+    fn ideal_run_with_injected_fault_fails_honestly() {
+        let t = run_scheme(&small_cfg(), Scheme::Ideal, Some(fault_at(10)));
+        assert!(!t.converged);
+    }
+}

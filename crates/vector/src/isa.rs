@@ -1,0 +1,484 @@
+//! An explicit instruction layer over the vector engine.
+//!
+//! The HPCA'15 work frames VPI/VLU as *architecture extensions* — new
+//! instructions in a vector ISA.  This module provides that framing: a
+//! [`VectorOp`] instruction set with a register file (32 vector + 8 mask
+//! registers and a scalar accumulator), an interpreter ([`IsaMachine`])
+//! that executes programs against a flat memory, and an assembly-style
+//! `Display`.  Cycle accounting comes from the same engine/timing model
+//! the sort kernels use.
+//!
+//! ```
+//! use raa_vector::isa::{IsaMachine, VectorOp::*};
+//! use raa_vector::EngineCfg;
+//!
+//! // y[0..8] += x[0..8] (x at 0, y at 8)
+//! let prog = [SetVl { n: 8 }, Ld { dst: 0, addr: 0 }, Ld { dst: 1, addr: 8 },
+//!             Add { dst: 2, a: 0, b: 1 }, St { src: 2, addr: 8 }];
+//! let mut mem: Vec<u64> = (0..16).collect();
+//! let mut m = IsaMachine::new(EngineCfg::new(8, 2));
+//! m.run(&prog, &mut mem);
+//! assert_eq!(&mem[8..16], &[8, 10, 12, 14, 16, 18, 20, 22]);
+//! assert!(m.cycles() > 0);
+//! ```
+
+use std::fmt;
+
+use crate::engine::{EngineCfg, Mask, VectorEngine, Vreg};
+
+/// Vector-ISA instructions. Registers are indices into the machine's
+/// register file (`v0..v31`, `m0..m7`); memory operands are element
+/// addresses into the program's flat memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VectorOp {
+    /// Set the vector length (clamped to MVL).
+    SetVl {
+        n: usize,
+    },
+    /// Unit-stride load: `v[dst] = mem[addr .. addr+vl]`.
+    Ld {
+        dst: u8,
+        addr: usize,
+    },
+    /// Strided load: `v[dst][i] = mem[addr + i*stride]`.
+    LdStride {
+        dst: u8,
+        addr: usize,
+        stride: usize,
+    },
+    /// Indexed gather: `v[dst][i] = mem[base + v[idx][i]]`.
+    LdIdx {
+        dst: u8,
+        base: usize,
+        idx: u8,
+    },
+    /// Unit-stride store: `mem[addr .. addr+vl] = v[src]`.
+    St {
+        src: u8,
+        addr: usize,
+    },
+    /// Indexed scatter: `mem[base + v[idx][i]] = v[src][i]`.
+    StIdx {
+        src: u8,
+        base: usize,
+        idx: u8,
+    },
+    /// Masked indexed scatter.
+    StIdxMasked {
+        src: u8,
+        base: usize,
+        idx: u8,
+        m: u8,
+    },
+    /// Broadcast an immediate.
+    Splat {
+        dst: u8,
+        imm: u64,
+    },
+    /// `v[dst] = [0, 1, …, vl-1]`.
+    Iota {
+        dst: u8,
+    },
+    Add {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Sub {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    And {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Min {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Max {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    /// Logical shift right by immediate.
+    ShrI {
+        dst: u8,
+        a: u8,
+        imm: u32,
+    },
+    /// Logical shift left by immediate.
+    ShlI {
+        dst: u8,
+        a: u8,
+        imm: u32,
+    },
+    /// `m[m_dst][i] = v[a][i] < v[b][i]`.
+    CmpLt {
+        m_dst: u8,
+        a: u8,
+        b: u8,
+    },
+    /// Select `a` where mask set else `b`.
+    Merge {
+        dst: u8,
+        a: u8,
+        b: u8,
+        m: u8,
+    },
+    /// Pack mask-selected elements to the front; element count goes to
+    /// the scalar accumulator.
+    Compress {
+        dst: u8,
+        a: u8,
+        m: u8,
+    },
+    /// Sum-reduce into the scalar accumulator.
+    RedSum {
+        a: u8,
+    },
+    /// **Vector Prior Instances** (the paper's instruction).
+    Vpi {
+        dst: u8,
+        a: u8,
+    },
+    /// **Vector Last Unique** (the paper's instruction).
+    Vlu {
+        m_dst: u8,
+        a: u8,
+    },
+}
+
+impl fmt::Display for VectorOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use VectorOp::*;
+        match *self {
+            SetVl { n } => write!(f, "setvl   {n}"),
+            Ld { dst, addr } => write!(f, "vld     v{dst}, [{addr}]"),
+            LdStride { dst, addr, stride } => {
+                write!(f, "vlds    v{dst}, [{addr}], stride={stride}")
+            }
+            LdIdx { dst, base, idx } => write!(f, "vldx    v{dst}, [{base} + v{idx}]"),
+            St { src, addr } => write!(f, "vst     v{src}, [{addr}]"),
+            StIdx { src, base, idx } => write!(f, "vstx    v{src}, [{base} + v{idx}]"),
+            StIdxMasked { src, base, idx, m } => {
+                write!(f, "vstx    v{src}, [{base} + v{idx}], m{m}")
+            }
+            Splat { dst, imm } => write!(f, "vsplat  v{dst}, #{imm}"),
+            Iota { dst } => write!(f, "viota   v{dst}"),
+            Add { dst, a, b } => write!(f, "vadd    v{dst}, v{a}, v{b}"),
+            Sub { dst, a, b } => write!(f, "vsub    v{dst}, v{a}, v{b}"),
+            And { dst, a, b } => write!(f, "vand    v{dst}, v{a}, v{b}"),
+            Min { dst, a, b } => write!(f, "vmin    v{dst}, v{a}, v{b}"),
+            Max { dst, a, b } => write!(f, "vmax    v{dst}, v{a}, v{b}"),
+            ShrI { dst, a, imm } => write!(f, "vsrl    v{dst}, v{a}, #{imm}"),
+            ShlI { dst, a, imm } => write!(f, "vsll    v{dst}, v{a}, #{imm}"),
+            CmpLt { m_dst, a, b } => write!(f, "vcmplt  m{m_dst}, v{a}, v{b}"),
+            Merge { dst, a, b, m } => write!(f, "vmerge  v{dst}, v{a}, v{b}, m{m}"),
+            Compress { dst, a, m } => write!(f, "vcprs   v{dst}, v{a}, m{m}"),
+            RedSum { a } => write!(f, "vredsum acc, v{a}"),
+            Vpi { dst, a } => write!(f, "vpi     v{dst}, v{a}"),
+            Vlu { m_dst, a } => write!(f, "vlu     m{m_dst}, v{a}"),
+        }
+    }
+}
+
+/// Render a program as assembly listing.
+pub fn disassemble(prog: &[VectorOp]) -> String {
+    prog.iter()
+        .enumerate()
+        .map(|(i, op)| format!("{i:>4}: {op}\n"))
+        .collect()
+}
+
+/// The ISA interpreter: a register file around a [`VectorEngine`].
+pub struct IsaMachine {
+    engine: VectorEngine,
+    v: Vec<Option<Vreg>>,
+    m: Vec<Option<Mask>>,
+    /// Scalar accumulator (reductions, compress counts).
+    pub acc: u64,
+}
+
+impl IsaMachine {
+    pub fn new(cfg: EngineCfg) -> Self {
+        IsaMachine {
+            engine: VectorEngine::new(cfg),
+            v: vec![None; 32],
+            m: vec![None; 8],
+            acc: 0,
+        }
+    }
+
+    /// Accumulated simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.engine.cycles()
+    }
+
+    /// The underlying engine (instruction counts etc.).
+    pub fn engine(&self) -> &VectorEngine {
+        &self.engine
+    }
+
+    fn vr(&self, r: u8) -> &Vreg {
+        self.v[r as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("read of undefined register v{r}"))
+    }
+
+    fn mr(&self, r: u8) -> &Mask {
+        self.m[r as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("read of undefined mask m{r}"))
+    }
+
+    /// Execute one instruction against `mem`.
+    pub fn exec(&mut self, op: VectorOp, mem: &mut [u64]) {
+        use VectorOp::*;
+        match op {
+            SetVl { n } => {
+                self.engine.set_vl(n);
+            }
+            Ld { dst, addr } => {
+                let r = self.engine.load(&mem[addr..]);
+                self.v[dst as usize] = Some(r);
+            }
+            LdStride { dst, addr, stride } => {
+                let r = self.engine.load_strided(mem, addr, stride);
+                self.v[dst as usize] = Some(r);
+            }
+            LdIdx { dst, base, idx } => {
+                let idx = self.vr(idx).clone();
+                let r = self.engine.gather(&mem[base..], &idx);
+                self.v[dst as usize] = Some(r);
+            }
+            St { src, addr } => {
+                let r = self.vr(src).clone();
+                self.engine.store(&mut mem[addr..], &r);
+            }
+            StIdx { src, base, idx } => {
+                let (r, i) = (self.vr(src).clone(), self.vr(idx).clone());
+                self.engine.scatter(&mut mem[base..], &i, &r);
+            }
+            StIdxMasked { src, base, idx, m } => {
+                let (r, i, msk) = (
+                    self.vr(src).clone(),
+                    self.vr(idx).clone(),
+                    self.mr(m).clone(),
+                );
+                self.engine.scatter_masked(&mut mem[base..], &i, &r, &msk);
+            }
+            Splat { dst, imm } => {
+                let r = self.engine.splat(imm);
+                self.v[dst as usize] = Some(r);
+            }
+            Iota { dst } => {
+                let r = self.engine.iota();
+                self.v[dst as usize] = Some(r);
+            }
+            Add { dst, a, b } => self.binop(dst, a, b, |e, x, y| e.add(x, y)),
+            Sub { dst, a, b } => self.binop(dst, a, b, |e, x, y| e.sub(x, y)),
+            And { dst, a, b } => self.binop(dst, a, b, |e, x, y| e.and(x, y)),
+            Min { dst, a, b } => self.binop(dst, a, b, |e, x, y| e.min(x, y)),
+            Max { dst, a, b } => self.binop(dst, a, b, |e, x, y| e.max(x, y)),
+            ShrI { dst, a, imm } => {
+                let x = self.vr(a).clone();
+                let r = self.engine.shr(&x, imm);
+                self.v[dst as usize] = Some(r);
+            }
+            ShlI { dst, a, imm } => {
+                let x = self.vr(a).clone();
+                let r = self.engine.shl(&x, imm);
+                self.v[dst as usize] = Some(r);
+            }
+            CmpLt { m_dst, a, b } => {
+                let (x, y) = (self.vr(a).clone(), self.vr(b).clone());
+                let r = self.engine.cmp_lt(&x, &y);
+                self.m[m_dst as usize] = Some(r);
+            }
+            Merge { dst, a, b, m } => {
+                let (x, y, msk) = (self.vr(a).clone(), self.vr(b).clone(), self.mr(m).clone());
+                let r = self.engine.merge(&x, &y, &msk);
+                self.v[dst as usize] = Some(r);
+            }
+            Compress { dst, a, m } => {
+                let (x, msk) = (self.vr(a).clone(), self.mr(m).clone());
+                let (r, n) = self.engine.compress(&x, &msk);
+                self.v[dst as usize] = Some(r);
+                self.acc = n as u64;
+            }
+            RedSum { a } => {
+                let x = self.vr(a).clone();
+                self.acc = self.engine.reduce_sum(&x);
+            }
+            Vpi { dst, a } => {
+                let x = self.vr(a).clone();
+                let r = self.engine.vpi(&x);
+                self.v[dst as usize] = Some(r);
+            }
+            Vlu { m_dst, a } => {
+                let x = self.vr(a).clone();
+                let r = self.engine.vlu(&x);
+                self.m[m_dst as usize] = Some(r);
+            }
+        }
+    }
+
+    fn binop(
+        &mut self,
+        dst: u8,
+        a: u8,
+        b: u8,
+        f: impl FnOnce(&mut VectorEngine, &Vreg, &Vreg) -> Vreg,
+    ) {
+        let (x, y) = (self.vr(a).clone(), self.vr(b).clone());
+        let r = f(&mut self.engine, &x, &y);
+        self.v[dst as usize] = Some(r);
+    }
+
+    /// Execute a whole program.
+    pub fn run(&mut self, prog: &[VectorOp], mem: &mut [u64]) {
+        for &op in prog {
+            self.exec(op, mem);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VectorOp::*;
+    use super::*;
+
+    #[test]
+    fn axpy_program() {
+        // y += x over strips, with the strip loop outside the ISA.
+        let n = 32;
+        let mut mem: Vec<u64> = (0..2 * n as u64).collect();
+        let mut m = IsaMachine::new(EngineCfg::new(8, 2));
+        let mut i = 0;
+        while i < n {
+            let vl = 8.min(n - i);
+            m.run(
+                &[
+                    SetVl { n: vl },
+                    Ld { dst: 0, addr: i },
+                    Ld {
+                        dst: 1,
+                        addr: n + i,
+                    },
+                    Add { dst: 2, a: 0, b: 1 },
+                    St {
+                        src: 2,
+                        addr: n + i,
+                    },
+                ],
+                &mut mem,
+            );
+            i += vl;
+        }
+        for i in 0..n {
+            assert_eq!(mem[n + i], (i + n + i) as u64);
+        }
+    }
+
+    #[test]
+    fn histogram_pass_with_vpi_vlu() {
+        // One VSR histogram strip, written as assembly: count digit
+        // occurrences of 8 keys into a 4-bucket table at base 16.
+        let mut mem = vec![0u64; 32];
+        mem[..8].copy_from_slice(&[1, 3, 1, 0, 3, 3, 2, 1]);
+        let prog = [
+            SetVl { n: 8 },
+            Ld { dst: 0, addr: 0 }, // keys
+            LdIdx {
+                dst: 1,
+                base: 16,
+                idx: 0,
+            }, // current counts
+            Vpi { dst: 2, a: 0 },   // prior instances
+            Add { dst: 3, a: 1, b: 2 },
+            Splat { dst: 4, imm: 1 },
+            Add { dst: 3, a: 3, b: 4 },
+            Vlu { m_dst: 0, a: 0 },
+            StIdxMasked {
+                src: 3,
+                base: 16,
+                idx: 0,
+                m: 0,
+            },
+        ];
+        let mut m = IsaMachine::new(EngineCfg::new(8, 1));
+        m.run(&prog, &mut mem);
+        assert_eq!(&mem[16..20], &[1, 3, 1, 3], "histogram of the keys");
+        let counts = m.engine().counts();
+        assert_eq!(counts.vpi, 1);
+        assert_eq!(counts.vlu, 1);
+    }
+
+    #[test]
+    fn compress_and_reduce_set_the_accumulator() {
+        let mut mem: Vec<u64> = (0..8).collect();
+        let prog = [
+            SetVl { n: 8 },
+            Ld { dst: 0, addr: 0 },
+            Splat { dst: 1, imm: 4 },
+            CmpLt {
+                m_dst: 0,
+                a: 0,
+                b: 1,
+            },
+            Compress { dst: 2, a: 0, m: 0 },
+        ];
+        let mut m = IsaMachine::new(EngineCfg::new(8, 1));
+        m.run(&prog, &mut mem);
+        assert_eq!(m.acc, 4, "four elements below the pivot");
+        m.exec(RedSum { a: 0 }, &mut mem);
+        assert_eq!(m.acc, 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined register")]
+    fn reading_undefined_register_panics() {
+        let mut m = IsaMachine::new(EngineCfg::new(8, 1));
+        let mut mem = vec![0u64; 8];
+        m.exec(Add { dst: 0, a: 5, b: 6 }, &mut mem);
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let prog = [
+            SetVl { n: 8 },
+            Vpi { dst: 2, a: 0 },
+            Vlu { m_dst: 0, a: 0 },
+            StIdxMasked {
+                src: 3,
+                base: 16,
+                idx: 0,
+                m: 0,
+            },
+        ];
+        let asm = disassemble(&prog);
+        assert!(asm.contains("vpi     v2, v0"));
+        assert!(asm.contains("vlu     m0, v0"));
+        assert!(asm.contains("vstx    v3, [16 + v0], m0"));
+    }
+
+    #[test]
+    fn cycles_match_direct_engine_use() {
+        // The ISA layer must charge exactly what direct engine calls do.
+        let mut mem: Vec<u64> = (0..16).collect();
+        let mut isa = IsaMachine::new(EngineCfg::new(8, 2));
+        isa.run(
+            &[SetVl { n: 8 }, Ld { dst: 0, addr: 0 }, Vpi { dst: 1, a: 0 }],
+            &mut mem,
+        );
+        let mut direct = VectorEngine::new(EngineCfg::new(8, 2));
+        direct.set_vl(8);
+        let v = direct.load(&mem[..8]);
+        let _ = direct.vpi(&v);
+        assert_eq!(isa.cycles(), direct.cycles());
+    }
+}

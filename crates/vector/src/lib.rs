@@ -1,0 +1,59 @@
+//! # raa-vector — a vector ISA engine with VPI/VLU and VSR sort
+//!
+//! §3.2 of the paper presents **VSR sort** (Hayes et al., HPCA'15): a
+//! vectorised radix sort enabled by two new vector instructions,
+//!
+//! * **VPI** (*vector prior instances*) — for each element, how many
+//!   earlier elements of the same register hold the same value;
+//! * **VLU** (*vector last unique*) — a mask marking the last occurrence
+//!   of each distinct value in the register.
+//!
+//! Together they resolve the intra-register conflicts of a histogram/
+//! permute radix pass, removing the replicated bookkeeping of earlier
+//! vector radix sorts.
+//!
+//! This crate implements the whole experimental apparatus of Fig. 3:
+//!
+//! * [`engine::VectorEngine`] — an interpreted vector unit with
+//!   configurable maximum vector length (MVL) and parallel lanes, and a
+//!   per-instruction cycle model ([`timing`]), including serial and
+//!   lane-parallel VPI/VLU hardware variants;
+//! * [`sort`] — VSR sort plus the comparison points: classic vectorised
+//!   radix (replicated counters), vectorised bitonic mergesort,
+//!   vectorised quicksort, and scalar quicksort/radix baselines with an
+//!   in-order scalar cost model.
+//!
+//! All sorts really sort (tests check against `slice::sort`); cycle
+//! counts come from the timing model, mirroring the original paper's
+//! simulator methodology.
+
+//! ## Example
+//!
+//! ```
+//! use raa_vector::engine::{VectorEngine, Vreg};
+//! use raa_vector::sort::vsr::vsr_sort;
+//! use raa_vector::EngineCfg;
+//!
+//! // The paper's instructions on a toy register…
+//! let mut e = VectorEngine::new(EngineCfg::new(8, 1));
+//! e.set_vl(8);
+//! let v = Vreg(vec![3, 1, 3, 3, 1, 7, 3, 1]);
+//! assert_eq!(e.vpi(&v).0, vec![0, 0, 1, 2, 1, 0, 3, 2]);
+//! assert_eq!(e.vlu(&v).popcount(), 3); // three distinct values
+//!
+//! // …and the sort they enable.
+//! let mut keys = vec![9u64, 2, 7, 2, 0, 5];
+//! vsr_sort(&mut e, &mut keys);
+//! assert_eq!(keys, vec![0, 2, 2, 5, 7, 9]);
+//! assert!(e.cycles() > 0);
+//! ```
+
+pub mod engine;
+pub mod isa;
+pub mod sort;
+pub mod timing;
+
+pub use engine::{EngineCfg, Mask, VectorEngine, VpiImpl, Vreg};
+pub use isa::{disassemble, IsaMachine, VectorOp};
+pub use sort::{all_sorters, cycles_per_tuple, Sorter};
+pub use timing::{InstrClass, InstrCounts, Timing};

@@ -1,0 +1,214 @@
+//! The sorting algorithms of the Fig. 3 comparison.
+//!
+//! Every vectorised sort executes *through the engine* (so cycle counts
+//! come from the timing model) and really sorts its input; the scalar
+//! baselines count their own operations against an in-order core model.
+
+pub mod bitonic;
+pub mod scalar;
+pub mod vquick;
+pub mod vradix;
+pub mod vsr;
+
+use crate::engine::{EngineCfg, VectorEngine};
+
+/// A sorting algorithm measured in cycles.
+pub trait Sorter {
+    /// Display name ("vsr", "vquick", ...).
+    fn name(&self) -> &'static str;
+
+    /// Sort `keys` ascending and return the simulated cycle count.
+    fn sort(&self, cfg: EngineCfg, keys: &mut Vec<u64>) -> u64;
+
+    /// True for algorithms that use the vector engine (false for scalar
+    /// baselines, which ignore the engine configuration).
+    fn is_vector(&self) -> bool {
+        true
+    }
+}
+
+/// Cycles per tuple: the paper's figure-of-merit for Fig. 3.
+pub fn cycles_per_tuple(cycles: u64, n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        cycles as f64 / n as f64
+    }
+}
+
+/// All sorters in the Fig. 3 comparison: VSR, the three vectorised
+/// baselines, and the two scalar baselines.
+pub fn all_sorters() -> Vec<Box<dyn Sorter>> {
+    vec![
+        Box::new(vsr::VsrSort),
+        Box::new(vradix::VRadixSort),
+        Box::new(bitonic::BitonicSort),
+        Box::new(vquick::VQuickSort),
+        Box::new(scalar::ScalarQuicksort),
+        Box::new(scalar::ScalarRadix),
+    ]
+}
+
+/// Run a vector sort body with a fresh engine and return the cycle
+/// count (convenience for callers measuring ad-hoc kernels).
+pub fn with_engine(cfg: EngineCfg, f: impl FnOnce(&mut VectorEngine)) -> u64 {
+    let mut e = VectorEngine::new(cfg);
+    f(&mut e);
+    e.cycles()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use rand::prelude::*;
+
+    /// Deterministic random 32-bit keys widened to u64.
+    pub fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<u32>() as u64).collect()
+    }
+
+    /// Keys with heavy duplication (stress for VPI/VLU paths).
+    pub fn dup_keys(n: usize, distinct: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..distinct)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn all_sorters_sort_random_input() {
+        for s in all_sorters() {
+            for &n in &[0usize, 1, 2, 7, 64, 257, 1000] {
+                let mut keys = random_keys(n, 42);
+                let mut want = keys.clone();
+                want.sort_unstable();
+                let cycles = s.sort(EngineCfg::new(16, 2), &mut keys);
+                assert_eq!(keys, want, "{} failed on n={}", s.name(), n);
+                if n > 1 {
+                    assert!(cycles > 0, "{} reported zero cycles", s.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_sorters_handle_duplicates() {
+        for s in all_sorters() {
+            let mut keys = dup_keys(500, 7, 1);
+            let mut want = keys.clone();
+            want.sort_unstable();
+            s.sort(EngineCfg::new(32, 4), &mut keys);
+            assert_eq!(keys, want, "{} failed on duplicate-heavy input", s.name());
+        }
+    }
+
+    #[test]
+    fn all_sorters_handle_presorted_and_reverse() {
+        for s in all_sorters() {
+            let mut asc: Vec<u64> = (0..300).collect();
+            let want = asc.clone();
+            s.sort(EngineCfg::new(16, 1), &mut asc);
+            assert_eq!(asc, want, "{} broke sorted input", s.name());
+
+            let mut desc: Vec<u64> = (0..300).rev().collect();
+            s.sort(EngineCfg::new(16, 1), &mut desc);
+            assert_eq!(desc, want, "{} failed reverse input", s.name());
+        }
+    }
+
+    #[test]
+    fn vsr_is_fastest_vector_sort_at_scale() {
+        let cfg = EngineCfg::new(64, 4);
+        let keys = random_keys(1 << 14, 3);
+        let mut best: Option<(&'static str, u64)> = None;
+        let mut vsr_cycles = 0;
+        for s in all_sorters().iter().filter(|s| s.is_vector()) {
+            let mut k = keys.clone();
+            let c = s.sort(cfg, &mut k);
+            if s.name() == "vsr" {
+                vsr_cycles = c;
+            }
+            if best.is_none() || c < best.unwrap().1 {
+                best = Some((s.name(), c));
+            }
+        }
+        assert_eq!(
+            best.unwrap().0,
+            "vsr",
+            "VSR must be the fastest vector sort ({best:?})"
+        );
+        assert!(vsr_cycles > 0);
+    }
+
+    #[test]
+    fn vsr_beats_scalar_by_large_factor() {
+        let n = 1 << 14;
+        let keys = random_keys(n, 9);
+        let mut k1 = keys.clone();
+        let vsr = vsr::VsrSort.sort(EngineCfg::new(64, 1), &mut k1);
+        let mut k2 = keys.clone();
+        let sq = scalar::ScalarQuicksort.sort(EngineCfg::new(64, 1), &mut k2);
+        let speedup = sq as f64 / vsr as f64;
+        assert!(
+            speedup > 5.0,
+            "single-lane VSR should be >5x over scalar, got {speedup:.1}"
+        );
+    }
+
+    #[test]
+    fn vsr_cpt_is_flat_in_n() {
+        // The paper's O(k·n) claim: CPT constant as input grows.
+        let cfg = EngineCfg::new(64, 2);
+        let cpt = |n: usize| {
+            let mut k = random_keys(n, 5);
+            cycles_per_tuple(vsr::VsrSort.sort(cfg, &mut k), n)
+        };
+        let small = cpt(1 << 12);
+        let large = cpt(1 << 16);
+        assert!(
+            (large - small).abs() / small < 0.05,
+            "CPT must be flat: {small:.1} vs {large:.1}"
+        );
+    }
+
+    #[test]
+    fn scalar_quicksort_cpt_grows_with_n() {
+        let cpt = |n: usize| {
+            let mut k = random_keys(n, 5);
+            cycles_per_tuple(
+                scalar::ScalarQuicksort.sort(EngineCfg::new(8, 1), &mut k),
+                n,
+            )
+        };
+        assert!(cpt(1 << 14) > cpt(1 << 10) * 1.15);
+    }
+
+    #[test]
+    fn more_lanes_speed_up_vsr() {
+        let keys = random_keys(1 << 13, 8);
+        let run = |lanes| {
+            let mut k = keys.clone();
+            vsr::VsrSort.sort(EngineCfg::new(64, lanes), &mut k)
+        };
+        let l1 = run(1);
+        let l2 = run(2);
+        let l4 = run(4);
+        assert!(l1 > l2 && l2 > l4, "lanes must help: {l1} {l2} {l4}");
+    }
+
+    #[test]
+    fn longer_mvl_speeds_up_vsr() {
+        let keys = random_keys(1 << 13, 8);
+        let run = |mvl| {
+            let mut k = keys.clone();
+            vsr::VsrSort.sort(EngineCfg::new(mvl, 1), &mut k)
+        };
+        let m8 = run(8);
+        let m64 = run(64);
+        assert!(m8 > m64, "MVL amortises startup: {m8} vs {m64}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Cycle timing model for the vector engine.
+//!
+//! The model follows classic vector-machine timing with **chaining**:
+//! element-wise ALU results chain into consumers, so an ALU instruction
+//! costs only its issue/startup overhead — throughput is bounded by the
+//! structural resources, which do pay per-element costs:
+//!
+//! * the memory port (unit-stride: one element per lane-cycle; indexed
+//!   gather/scatter to cache-resident tables likewise, to spilled tables
+//!   3× — the penalty that sinks replicated-bookkeeping radix sorts),
+//! * the VPI/VLU unit (element-serial in the cheap hardware variant,
+//!   lane-parallel with a conflict-resolution network in the aggressive
+//!   one — the two design points of the HPCA'15 proposal), and
+//! * the compress/expand crossbar.
+//!
+//! Scalar code is modelled as an in-order core, matching the original
+//! evaluation's scalar baseline.
+
+/// Instruction classes, for both costing and statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum InstrClass {
+    /// Element-wise ALU op (add, sub, shifts, logicals, compares, merges).
+    /// Fully chained: costs startup only.
+    Arith,
+    /// Mask manipulation (popcount, mask logicals). Chained.
+    MaskOp,
+    /// Unit-stride or constant-stride load/store.
+    MemUnit,
+    /// Indexed gather/scatter.
+    MemIndexed,
+    /// Compress/expand.
+    Compress,
+    /// Reduction to scalar.
+    Reduce,
+    /// Vector Prior Instances.
+    Vpi,
+    /// Vector Last Unique.
+    Vlu,
+    /// Scalar bookkeeping instructions executed between vector ops.
+    Scalar,
+}
+
+/// All class counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstrCounts {
+    pub arith: u64,
+    pub mask_op: u64,
+    pub mem_unit: u64,
+    pub mem_indexed: u64,
+    pub compress: u64,
+    pub reduce: u64,
+    pub vpi: u64,
+    pub vlu: u64,
+    pub scalar: u64,
+}
+
+impl InstrCounts {
+    pub fn bump(&mut self, class: InstrClass) {
+        match class {
+            InstrClass::Arith => self.arith += 1,
+            InstrClass::MaskOp => self.mask_op += 1,
+            InstrClass::MemUnit => self.mem_unit += 1,
+            InstrClass::MemIndexed => self.mem_indexed += 1,
+            InstrClass::Compress => self.compress += 1,
+            InstrClass::Reduce => self.reduce += 1,
+            InstrClass::Vpi => self.vpi += 1,
+            InstrClass::Vlu => self.vlu += 1,
+            InstrClass::Scalar => self.scalar += 1,
+        }
+    }
+
+    /// Total vector instructions (scalar excluded).
+    pub fn vector_total(&self) -> u64 {
+        self.arith
+            + self.mask_op
+            + self.mem_unit
+            + self.mem_indexed
+            + self.compress
+            + self.reduce
+            + self.vpi
+            + self.vlu
+    }
+}
+
+/// Timing constants.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Fixed issue overhead per vector instruction (chaining hides the
+    /// rest of the latency).
+    pub startup: u64,
+    /// Indexed accesses whose table fits in `spill_bytes` run at one
+    /// element per lane-cycle; larger tables (cache-resident no more)
+    /// pay `spill_factor`× per element. This is what penalises the
+    /// classic vector radix sort's replicated bookkeeping (the VSR
+    /// paper's key observation).
+    pub spill_bytes: usize,
+    pub spill_factor: u64,
+    /// Extra constant cycles for the lane-parallel VPI/VLU conflict
+    /// network.
+    pub vpi_network: u64,
+    /// Cycles per scalar bookkeeping instruction (in-order core).
+    pub scalar_op: u64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            startup: 2,
+            spill_bytes: 2048,
+            spill_factor: 3,
+            vpi_network: 6,
+            scalar_op: 1,
+        }
+    }
+}
+
+impl Timing {
+    /// Cycle cost of one vector instruction of `class` at vector length
+    /// `vl` on `lanes` lanes. `vpi_parallel` selects the VPI/VLU
+    /// hardware variant; `spill` marks indexed accesses whose table
+    /// exceeds [`Timing::spill_bytes`].
+    pub fn cost(
+        &self,
+        class: InstrClass,
+        vl: usize,
+        lanes: usize,
+        vpi_parallel: bool,
+        spill: bool,
+    ) -> u64 {
+        let per_lane = vl.div_ceil(lanes) as u64;
+        match class {
+            InstrClass::Arith | InstrClass::MaskOp => self.startup,
+            InstrClass::MemUnit => self.startup + per_lane,
+            InstrClass::MemIndexed => {
+                let f = if spill { self.spill_factor } else { 1 };
+                self.startup + per_lane * f
+            }
+            InstrClass::Compress => self.startup + per_lane * 3 / 2,
+            InstrClass::Reduce => self.startup + per_lane + (lanes as u64).trailing_zeros() as u64,
+            InstrClass::Vpi | InstrClass::Vlu => {
+                if vpi_parallel {
+                    self.startup + per_lane + self.vpi_network
+                } else {
+                    // Element-serial hardware: one element per cycle
+                    // regardless of lanes.
+                    self.startup + vl as u64
+                }
+            }
+            InstrClass::Scalar => self.scalar_op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_are_chained() {
+        let t = Timing::default();
+        assert_eq!(t.cost(InstrClass::Arith, 64, 1, false, false), t.startup);
+        assert_eq!(t.cost(InstrClass::Arith, 8, 4, false, false), t.startup);
+        assert_eq!(t.cost(InstrClass::MaskOp, 64, 2, false, false), t.startup);
+    }
+
+    #[test]
+    fn memory_scales_with_lanes() {
+        let t = Timing::default();
+        assert_eq!(t.cost(InstrClass::MemUnit, 64, 1, false, false), 2 + 64);
+        assert_eq!(t.cost(InstrClass::MemUnit, 64, 4, false, false), 2 + 16);
+    }
+
+    #[test]
+    fn serial_vpi_ignores_lanes() {
+        let t = Timing::default();
+        assert_eq!(
+            t.cost(InstrClass::Vpi, 64, 1, false, false),
+            t.cost(InstrClass::Vpi, 64, 4, false, false)
+        );
+        assert_eq!(t.cost(InstrClass::Vpi, 64, 4, false, false), 2 + 64);
+    }
+
+    #[test]
+    fn parallel_vpi_scales_with_lanes_plus_network() {
+        let t = Timing::default();
+        let serial = t.cost(InstrClass::Vpi, 64, 4, false, false);
+        let parallel = t.cost(InstrClass::Vpi, 64, 4, true, false);
+        assert!(parallel < serial);
+        assert_eq!(parallel, 2 + 16 + 6);
+    }
+
+    #[test]
+    fn spilled_gathers_cost_more_than_cached() {
+        let t = Timing::default();
+        let cached = t.cost(InstrClass::MemIndexed, 32, 2, false, false);
+        let spilled = t.cost(InstrClass::MemIndexed, 32, 2, false, true);
+        assert_eq!(cached, 2 + 16, "cached gather = unit-stride rate");
+        assert_eq!(spilled, 2 + 48, "spilled gather pays 3x");
+        // Compress pays the crossbar factor.
+        assert_eq!(t.cost(InstrClass::Compress, 32, 2, false, false), 2 + 24);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = InstrCounts::default();
+        c.bump(InstrClass::Arith);
+        c.bump(InstrClass::Arith);
+        c.bump(InstrClass::Vpi);
+        c.bump(InstrClass::Scalar);
+        assert_eq!(c.arith, 2);
+        assert_eq!(c.vpi, 1);
+        assert_eq!(c.vector_total(), 3);
+        assert_eq!(c.scalar, 1);
+    }
+
+    #[test]
+    fn partial_vector_length_rounds_up_lanes() {
+        let t = Timing::default();
+        // vl=5 on 4 lanes: ceil(5/4)=2 per-lane steps.
+        assert_eq!(t.cost(InstrClass::MemUnit, 5, 4, false, false), 2 + 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! CG — conjugate gradient (NAS CG): sparse matrix–vector products with a
+//! random sparsity pattern, plus the vector kernels of the CG iteration.
+//!
+//! The dominant loop is the SpMV `q = A·p`:
+//!
+//! ```text
+//! for i in my_rows:
+//!     for j in rowptr[i] .. rowptr[i+1]:
+//!         q[i] += vals[j] * p[colidx[j]]     // p gathered: unknown alias
+//! ```
+//!
+//! `rowptr`, `colidx`, `vals` and `q` stream with stride 1 (compiler maps
+//! them to the SPM); the gather `p[colidx[j]]` is irregular *and* `p` is
+//! itself SPM-mapped for the vector kernels, so the gather is the
+//! paper's [`RefClass::RandomUnknown`] case the hybrid protocol exists
+//! for.
+
+use super::{chunked, mix64, Kernel, KernelCfg, Scale};
+use crate::layout::{AddressSpace, ArrayDecl, ArrayId};
+use crate::trace::{MemRef, RefClass, TraceEvent};
+
+/// CG kernel instance. See the module docs for the access pattern.
+pub struct Cg {
+    cfg: KernelCfg,
+    n: u64,
+    nnz_per_row: u64,
+    iters: usize,
+    space: AddressSpace,
+    rowptr: ArrayId,
+    colidx: ArrayId,
+    vals: ArrayId,
+    p: ArrayId,
+    q: ArrayId,
+    x: ArrayId,
+    r: ArrayId,
+}
+
+impl Cg {
+    pub fn new(cfg: KernelCfg) -> Self {
+        let (n, nnz_per_row, iters) = match cfg.scale {
+            Scale::Test => (256, 4, 2),
+            Scale::Small => (4096, 8, 4),
+            Scale::Standard => (16384, 12, 8),
+        };
+        let n = (n / cfg.cores as u64).max(4) * cfg.cores as u64;
+        let mut space = AddressSpace::new();
+        let rowptr = space.alloc("rowptr", (n + 1) * 8, true);
+        let colidx = space.alloc("colidx", n * nnz_per_row * 4, true);
+        let vals = space.alloc("vals", n * nnz_per_row * 8, true);
+        // The compiler's cost model keeps `p` in the cache hierarchy:
+        // it is gathered by every row, and serving those word-sized
+        // unknown-alias reads from remote scratchpads would cost a NoC
+        // round trip each — the caches' replication is the right home
+        // for read-shared gathered data.
+        let p = space.alloc("p", n * 8, false);
+        let q = space.alloc("q", n * 8, true);
+        let x = space.alloc("x", n * 8, true);
+        let r = space.alloc("r", n * 8, true);
+        Cg {
+            cfg,
+            n,
+            nnz_per_row,
+            iters,
+            space,
+            rowptr,
+            colidx,
+            vals,
+            p,
+            q,
+            x,
+            r,
+        }
+    }
+
+    fn arr(&self, id: ArrayId) -> &ArrayDecl {
+        self.space.get(id)
+    }
+}
+
+impl Kernel for Cg {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn core_trace(&self, core: usize) -> Box<dyn Iterator<Item = TraceEvent> + Send + '_> {
+        assert!(core < self.cfg.cores);
+        let rows = self.n / self.cfg.cores as u64;
+        let row0 = core as u64 * rows;
+        let nnz = self.nnz_per_row;
+        let n = self.n;
+        let seed = self.cfg.seed;
+        let (rowptr, colidx, vals, p, q, x, r) = (
+            self.arr(self.rowptr).clone(),
+            self.arr(self.colidx).clone(),
+            self.arr(self.vals).clone(),
+            self.arr(self.p).clone(),
+            self.arr(self.q).clone(),
+            self.arr(self.x).clone(),
+            self.arr(self.r).clone(),
+        );
+        chunked(self.iters, move |_it| {
+            let mut ev = Vec::with_capacity((rows * (3 * nnz + 3) + rows * 6) as usize);
+            // SpMV q[my rows] = A * p
+            for i in row0..row0 + rows {
+                ev.push(TraceEvent::Mem(MemRef::load(
+                    rowptr.elem(i, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+                for j in 0..nnz {
+                    let k = i * nnz + j;
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        colidx.elem(k, 4),
+                        4,
+                        RefClass::Strided,
+                    )));
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        vals.elem(k, 8),
+                        8,
+                        RefClass::Strided,
+                    )));
+                    // The gather: pseudo-random column within a band
+                    // around the diagonal — FEM/thermal matrices are
+                    // banded, so most gathers stay near the row's own
+                    // partition. Aliasing is still unknown to the
+                    // compiler.
+                    let band = (n / 16).max(8);
+                    let off = mix64(seed ^ (i << 20) ^ j) % (2 * band);
+                    let col = (i + n + off - band) % n;
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        p.elem(col, 8),
+                        8,
+                        RefClass::RandomUnknown,
+                    )));
+                    ev.push(TraceEvent::Compute(2));
+                }
+                ev.push(TraceEvent::Mem(MemRef::store(
+                    q.elem(i, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+            }
+            // dot(p, q) over my partition.
+            for i in row0..row0 + rows {
+                ev.push(TraceEvent::Mem(MemRef::load(
+                    p.elem(i, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Mem(MemRef::load(
+                    q.elem(i, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Compute(1));
+            }
+            // x += alpha p ; r -= alpha q (fused sweep).
+            for i in row0..row0 + rows {
+                ev.push(TraceEvent::Mem(MemRef::load(
+                    x.elem(i, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Mem(MemRef::load(
+                    r.elem(i, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Mem(MemRef::store(
+                    x.elem(i, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Mem(MemRef::store(
+                    r.elem(i, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Compute(2));
+            }
+            ev
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSummary;
+
+    #[test]
+    fn mix_of_strided_and_unknown() {
+        let cg = Cg::new(KernelCfg::new(4, Scale::Test));
+        let s = TraceSummary::of(cg.core_trace(0));
+        assert!(s.random_unknown > 0, "the gather must be unknown-alias");
+        assert!(s.strided > s.random_unknown, "row structures dominate");
+        assert_eq!(s.random_noalias, 0);
+    }
+
+    #[test]
+    fn gathers_stay_inside_p() {
+        let cg = Cg::new(KernelCfg::new(2, Scale::Test));
+        let p = cg.arr(cg.p).clone();
+        for ev in cg.core_trace(1) {
+            if let TraceEvent::Mem(m) = ev {
+                if m.class == RefClass::RandomUnknown {
+                    assert!(p.contains(m.addr), "gather outside p: {:#x}", m.addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cores_partition_disjoint_rows() {
+        let cg = Cg::new(KernelCfg::new(4, Scale::Test));
+        let q = cg.arr(cg.q).clone();
+        let stores = |c: usize| -> Vec<u64> {
+            cg.core_trace(c)
+                .filter_map(|e| match e {
+                    TraceEvent::Mem(m) if m.is_store && q.contains(m.addr) => Some(m.addr),
+                    _ => None,
+                })
+                .collect()
+        };
+        let s0 = stores(0);
+        let s1 = stores(1);
+        assert!(!s0.is_empty());
+        assert!(s0.iter().all(|a| !s1.contains(a)));
+    }
+
+    #[test]
+    fn all_arrays_but_p_spm_mapped() {
+        let cg = Cg::new(KernelCfg::new(2, Scale::Test));
+        assert_eq!(cg.space().spm_ranges().len(), 6);
+        assert!(!cg.arr(cg.p).spm_mapped, "gathered vector stays cached");
+    }
+}

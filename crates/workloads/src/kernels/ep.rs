@@ -1,0 +1,135 @@
+//! EP — embarrassingly parallel (NAS EP): Gaussian-pair generation.
+//!
+//! EP is register-resident: long stretches of pure computation with only
+//! a sporadic constant-table load and a rare counter update.  It is the
+//! paper's control case — "even for benchmarks with minimal accesses to
+//! the SPM (as in the case of EP), performance, energy consumption and
+//! NoC traffic are not degraded" — so the hybrid hierarchy must neither
+//! help nor hurt here.
+
+use super::{chunked, mix64, Kernel, KernelCfg, Scale};
+use crate::layout::{AddressSpace, ArrayId};
+use crate::trace::{MemRef, RefClass, TraceEvent};
+
+/// EP kernel instance.
+pub struct Ep {
+    cfg: KernelCfg,
+    batches: usize,
+    space: AddressSpace,
+    table: ArrayId,
+    counts: ArrayId,
+}
+
+/// Batches are chunked in groups of this many to bound per-chunk allocation.
+const BATCHES_PER_CHUNK: usize = 256;
+
+impl Ep {
+    pub fn new(cfg: KernelCfg) -> Self {
+        let batches = match cfg.scale {
+            Scale::Test => 256,
+            Scale::Small => 2_048,
+            Scale::Standard => 20_480,
+        };
+        let mut space = AddressSpace::new();
+        // A small constant table (log/sqrt coefficients) and the 10-bin
+        // annulus counters.
+        let table = space.alloc("table", 128 * 8, true);
+        let counts = space.alloc("counts", 10 * 8, false);
+        Ep {
+            cfg,
+            batches,
+            space,
+            table,
+            counts,
+        }
+    }
+}
+
+impl Kernel for Ep {
+    fn name(&self) -> &'static str {
+        "EP"
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn core_trace(&self, core: usize) -> Box<dyn Iterator<Item = TraceEvent> + Send + '_> {
+        assert!(core < self.cfg.cores);
+        let table = self.space.get(self.table).clone();
+        let counts = self.space.get(self.counts).clone();
+        let seed = self.cfg.seed ^ ((core as u64) << 32);
+        let chunks = self.batches.div_ceil(BATCHES_PER_CHUNK);
+        let batches = self.batches;
+        chunked(chunks, move |c| {
+            let lo = c * BATCHES_PER_CHUNK;
+            let hi = ((c + 1) * BATCHES_PER_CHUNK).min(batches);
+            let mut ev = Vec::with_capacity((hi - lo) * 3);
+            for b in lo..hi {
+                // The Box–Muller style batch: dominated by arithmetic;
+                // the RNG state and coefficients live in registers.
+                ev.push(TraceEvent::Compute(60));
+                // A coefficient block reload at batch-block boundaries.
+                if b % 16 == 0 {
+                    let t = mix64(seed ^ b as u64) % 128;
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        table.elem(t, 8),
+                        8,
+                        RefClass::Strided,
+                    )));
+                }
+                // Every 32nd batch lands a sample in an annulus bin.
+                if b % 32 == 0 {
+                    let bin = mix64(seed ^ (b as u64) << 8) % 10;
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        counts.elem(bin, 8),
+                        8,
+                        RefClass::RandomNoAlias,
+                    )));
+                    ev.push(TraceEvent::Mem(MemRef::store(
+                        counts.elem(bin, 8),
+                        8,
+                        RefClass::RandomNoAlias,
+                    )));
+                }
+            }
+            ev
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSummary;
+
+    #[test]
+    fn compute_dominates_memory() {
+        let ep = Ep::new(KernelCfg::new(4, Scale::Test));
+        let s = TraceSummary::of(ep.core_trace(0));
+        assert!(
+            s.mem_intensity() < 0.01,
+            "EP must be compute-bound, got {} refs/cycle",
+            s.mem_intensity()
+        );
+        assert!(s.compute_cycles >= 256 * 60);
+    }
+
+    #[test]
+    fn counter_updates_are_noalias_random() {
+        let ep = Ep::new(KernelCfg::new(2, Scale::Test));
+        let s = TraceSummary::of(ep.core_trace(1));
+        assert!(s.random_noalias > 0);
+        assert_eq!(s.random_unknown, 0, "EP has no unknown-alias accesses");
+    }
+
+    #[test]
+    fn footprint_is_tiny() {
+        let ep = Ep::new(KernelCfg::new(64, Scale::Standard));
+        assert!(ep.space().footprint() < 16 * 1024);
+    }
+}

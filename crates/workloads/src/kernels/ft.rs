@@ -1,0 +1,209 @@
+//! FT — 3-D FFT (NAS FT): butterfly passes with compile-time-known
+//! strides plus twiddle-factor tables.
+//!
+//! Every access is affine in the loop indices, so the compiler classifies
+//! the whole kernel [`RefClass::Strided`] and tiles it into the
+//! scratchpads — FT is the best case for the hybrid hierarchy.
+
+use super::{chunked, Kernel, KernelCfg, Scale};
+use crate::layout::{AddressSpace, ArrayId};
+use crate::trace::{MemRef, RefClass, TraceEvent};
+
+/// FT kernel instance.
+pub struct Ft {
+    cfg: KernelCfg,
+    /// Total complex points (power of two).
+    n: u64,
+    stages: u32,
+    space: AddressSpace,
+    u: ArrayId,
+    twiddle: ArrayId,
+}
+
+impl Ft {
+    pub fn new(cfg: KernelCfg) -> Self {
+        let log_n: u32 = match cfg.scale {
+            Scale::Test => 10,
+            Scale::Small => 14,
+            Scale::Standard => 17,
+        };
+        let n = 1u64 << log_n;
+        assert!(
+            cfg.cores as u64 <= n / 2,
+            "FT needs at least two butterflies per core"
+        );
+        let mut space = AddressSpace::new();
+        let u = space.alloc("u", n * 16, true); // complex f64
+        let twiddle = space.alloc("twiddle", (n / 2) * 16, true);
+        Ft {
+            cfg,
+            n,
+            stages: log_n,
+            space,
+            u,
+            twiddle,
+        }
+    }
+}
+
+impl Kernel for Ft {
+    fn name(&self) -> &'static str {
+        "FT"
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn core_trace(&self, core: usize) -> Box<dyn Iterator<Item = TraceEvent> + Send + '_> {
+        assert!(core < self.cfg.cores);
+        let n = self.n;
+        let cores = self.cfg.cores as u64;
+        let u = self.space.get(self.u).clone();
+        let tw = self.space.get(self.twiddle).clone();
+        let half = n / 2;
+        let elems_per_core = n / cores;
+        let local_stages = elems_per_core.trailing_zeros();
+        let e0 = core as u64 * elems_per_core;
+        // Distributed FFT structure: all stages whose stride fits inside
+        // the core's own element block run locally; one all-to-all
+        // transpose re-localises the data; the remaining (cross-core)
+        // stages then also run on local indices. Chunks: local stages,
+        // the transpose, then the rest.
+        let total_chunks = self.stages as usize + 1;
+        chunked(total_chunks, move |chunk| {
+            let mut ev = Vec::with_capacity((elems_per_core * 3) as usize);
+            if chunk == local_stages as usize {
+                // The transpose: read own block, scatter to the
+                // bit-reversed-across-cores layout (cross-core traffic,
+                // once).
+                for k in 0..elems_per_core {
+                    let src = e0 + k;
+                    // Destination block rotates by element phase.
+                    let dst_core = (core as u64 + 1 + k % cores.max(1)) % cores;
+                    let dst = dst_core * elems_per_core + k;
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        u.elem(src, 16),
+                        8,
+                        RefClass::Strided,
+                    )));
+                    ev.push(TraceEvent::Mem(MemRef::store(
+                        u.elem(dst, 16),
+                        8,
+                        RefClass::Strided,
+                    )));
+                    ev.push(TraceEvent::Compute(1));
+                }
+                return ev;
+            }
+            // A butterfly stage over the core's own block.
+            let s = if chunk < local_stages as usize {
+                chunk as u32
+            } else {
+                chunk as u32 - 1
+            };
+            let stride = 1u64 << (s % local_stages.max(1));
+            let half_block = elems_per_core / 2;
+            for b in 0..half_block {
+                let group = b / stride;
+                let pos = b % stride;
+                let i = e0 + group * stride * 2 + pos;
+                let j = i + stride;
+                ev.push(TraceEvent::Mem(MemRef::load(
+                    u.elem(i, 16),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Mem(MemRef::load(
+                    u.elem(j, 16),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Mem(MemRef::load(
+                    tw.elem((pos * (half / stride.max(1))) % half, 16),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Compute(12));
+                ev.push(TraceEvent::Mem(MemRef::store(
+                    u.elem(i, 16),
+                    8,
+                    RefClass::Strided,
+                )));
+                ev.push(TraceEvent::Mem(MemRef::store(
+                    u.elem(j, 16),
+                    8,
+                    RefClass::Strided,
+                )));
+            }
+            ev
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSummary;
+
+    #[test]
+    fn fully_strided() {
+        let ft = Ft::new(KernelCfg::new(4, Scale::Test));
+        let s = TraceSummary::of(ft.core_trace(0));
+        assert_eq!(s.random_noalias + s.random_unknown, 0);
+        assert!(s.strided > 0);
+        // 10 butterfly stages × 128 butterflies/core × 5 refs, plus the
+        // transpose (256 elems × 2 refs).
+        assert_eq!(s.mem_refs, 10 * 128 * 5 + 256 * 2);
+    }
+
+    #[test]
+    fn transpose_scatters_across_blocks() {
+        let ft = Ft::new(KernelCfg::new(4, Scale::Test));
+        let u = ft.space.get(ft.u).clone();
+        let elems_per_core = ft.n / 4;
+        let own = |a: u64| (a - u.base) / 16 / elems_per_core == 0;
+        // Core 0's transpose stores must leave its own block.
+        let mut cross = 0;
+        for ev in ft.core_trace(0) {
+            if let TraceEvent::Mem(m) = ev {
+                if m.is_store && u.contains(m.addr) && !own(m.addr) {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross > 0, "the transpose must cross blocks");
+    }
+
+    #[test]
+    fn butterfly_partners_differ_by_stride() {
+        let ft = Ft::new(KernelCfg::new(2, Scale::Test));
+        let u = ft.space.get(ft.u).clone();
+        // In stage 0 the two loads of each butterfly are 16 bytes apart.
+        let loads: Vec<u64> = ft
+            .core_trace(0)
+            .filter_map(|e| match e {
+                TraceEvent::Mem(m) if !m.is_store && u.contains(m.addr) => Some(m.addr),
+                _ => None,
+            })
+            .take(2)
+            .collect();
+        assert_eq!(loads[1] - loads[0], 16);
+    }
+
+    #[test]
+    fn indices_in_bounds_across_all_stages() {
+        let ft = Ft::new(KernelCfg::new(4, Scale::Test));
+        for c in 0..4 {
+            for ev in ft.core_trace(c) {
+                if let TraceEvent::Mem(m) = ev {
+                    assert!(ft.space.locate(m.addr).is_some(), "oob {:#x}", m.addr);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! IS — integer sort (NAS IS): bucket-histogram key ranking.
+//!
+//! The key array streams with stride 1 (SPM-mapped); the histogram
+//! updates `hist[key[i]]++` and the final scatter `out[rank] = key` are
+//! data-dependent.  Because the compiler cannot prove the bucket/scatter
+//! addresses distinct from the SPM-mapped key stream, they are classified
+//! [`RefClass::RandomUnknown`] and exercise the hybrid protocol's filter
+//! path heavily — IS is the stress case for unknown-alias handling.
+
+use super::{chunked, mix64, Kernel, KernelCfg, Scale};
+use crate::layout::{AddressSpace, ArrayId};
+use crate::trace::{MemRef, RefClass, TraceEvent};
+
+/// IS kernel instance.
+pub struct Is {
+    cfg: KernelCfg,
+    n: u64,
+    buckets: u64,
+    space: AddressSpace,
+    keys: ArrayId,
+    hist: ArrayId,
+    out: ArrayId,
+}
+
+impl Is {
+    pub fn new(cfg: KernelCfg) -> Self {
+        let (n, buckets) = match cfg.scale {
+            Scale::Test => (1 << 10, 1 << 6),
+            Scale::Small => (1 << 14, 1 << 10),
+            Scale::Standard => (1 << 19, 1 << 12),
+        };
+        let n = (n / cfg.cores as u64).max(2) * cfg.cores as u64;
+        let mut space = AddressSpace::new();
+        let keys = space.alloc("keys", n * 4, true);
+        let hist = space.alloc("hist", buckets * 4, false);
+        let out = space.alloc("out", n * 4, false);
+        Is {
+            cfg,
+            n,
+            buckets,
+            space,
+            keys,
+            hist,
+            out,
+        }
+    }
+
+    /// The key value at position `i` (test hook; the trace inlines it).
+    #[cfg(test)]
+    fn key_at(&self, i: u64) -> u64 {
+        mix64(self.cfg.seed ^ i) % self.buckets
+    }
+}
+
+impl Kernel for Is {
+    fn name(&self) -> &'static str {
+        "IS"
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn core_trace(&self, core: usize) -> Box<dyn Iterator<Item = TraceEvent> + Send + '_> {
+        assert!(core < self.cfg.cores);
+        let cores = self.cfg.cores as u64;
+        let per_core = self.n / cores;
+        let i0 = core as u64 * per_core;
+        let seed = self.cfg.seed;
+        let buckets = self.buckets;
+        let bpc = (buckets / cores).max(1);
+        let keys = self.space.get(self.keys).clone();
+        let hist = self.space.get(self.hist).clone();
+        let out = self.space.get(self.out).clone();
+        // Chunk 0: histogram build; chunk 1: prefix sum over my buckets;
+        // chunk 2: rank & scatter.
+        chunked(3, move |phase| {
+            let mut ev = Vec::new();
+            match phase {
+                0 => {
+                    ev.reserve((per_core * 4) as usize);
+                    for i in i0..i0 + per_core {
+                        let k = mix64(seed ^ i) % buckets;
+                        ev.push(TraceEvent::Mem(MemRef::load(
+                            keys.elem(i, 4),
+                            4,
+                            RefClass::Strided,
+                        )));
+                        ev.push(TraceEvent::Mem(MemRef::load(
+                            hist.elem(k, 4),
+                            4,
+                            RefClass::RandomUnknown,
+                        )));
+                        ev.push(TraceEvent::Mem(MemRef::store(
+                            hist.elem(k, 4),
+                            4,
+                            RefClass::RandomUnknown,
+                        )));
+                        ev.push(TraceEvent::Compute(1));
+                    }
+                }
+                1 => {
+                    let b0 = core as u64 * bpc;
+                    let hi = (b0 + bpc).min(buckets);
+                    ev.reserve(((hi.saturating_sub(b0)) * 2) as usize);
+                    for b in b0..hi {
+                        ev.push(TraceEvent::Mem(MemRef::load(
+                            hist.elem(b, 4),
+                            4,
+                            RefClass::Strided,
+                        )));
+                        ev.push(TraceEvent::Mem(MemRef::store(
+                            hist.elem(b, 4),
+                            4,
+                            RefClass::Strided,
+                        )));
+                        ev.push(TraceEvent::Compute(1));
+                    }
+                }
+                _ => {
+                    ev.reserve((per_core * 4) as usize);
+                    for i in i0..i0 + per_core {
+                        let k = mix64(seed ^ i) % buckets;
+                        ev.push(TraceEvent::Mem(MemRef::load(
+                            keys.elem(i, 4),
+                            4,
+                            RefClass::Strided,
+                        )));
+                        ev.push(TraceEvent::Mem(MemRef::load(
+                            hist.elem(k, 4),
+                            4,
+                            RefClass::RandomUnknown,
+                        )));
+                        // Scatter to the ranked position: approximate the
+                        // rank with a hash so the trace stays stateless.
+                        let pos = mix64(seed ^ (i << 1) ^ 0xDEAD) % keys_len(&out);
+                        ev.push(TraceEvent::Mem(MemRef::store(
+                            out.elem(pos, 4),
+                            4,
+                            RefClass::RandomUnknown,
+                        )));
+                        ev.push(TraceEvent::Compute(1));
+                    }
+                }
+            }
+            ev
+        })
+    }
+}
+
+fn keys_len(out: &crate::layout::ArrayDecl) -> u64 {
+    out.bytes / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSummary;
+
+    #[test]
+    fn heavy_unknown_alias_traffic() {
+        let is = Is::new(KernelCfg::new(4, Scale::Test));
+        let s = TraceSummary::of(is.core_trace(0));
+        assert!(
+            s.random_unknown as f64 > 0.4 * s.mem_refs as f64,
+            "IS stresses the filter path: {}/{}",
+            s.random_unknown,
+            s.mem_refs
+        );
+        assert!(s.strided > 0);
+    }
+
+    #[test]
+    fn histogram_hits_stay_in_hist() {
+        let is = Is::new(KernelCfg::new(2, Scale::Test));
+        let hist = is.space.get(is.hist).clone();
+        let out = is.space.get(is.out).clone();
+        for ev in is.core_trace(0) {
+            if let TraceEvent::Mem(m) = ev {
+                if m.class == RefClass::RandomUnknown {
+                    assert!(
+                        hist.contains(m.addr) || out.contains(m.addr),
+                        "unknown ref outside hist/out: {:#x}",
+                        m.addr
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keys_distribute_over_buckets() {
+        let is = Is::new(KernelCfg::new(2, Scale::Test));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..is.n {
+            seen.insert(is.key_at(i));
+        }
+        assert!(
+            seen.len() as u64 > is.buckets / 2,
+            "keys must spread over buckets"
+        );
+    }
+}

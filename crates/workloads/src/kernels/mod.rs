@@ -1,0 +1,159 @@
+//! The six NAS-like kernels of the Fig. 1 experiment.
+
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod mg;
+pub mod sp;
+
+use crate::layout::AddressSpace;
+use crate::trace::TraceEvent;
+
+/// Problem-size class, loosely mirroring the NAS class system but scaled
+/// to trace-driven simulation budgets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scale {
+    /// Minimal sizes for unit tests (hundreds of refs per core).
+    Test,
+    /// Quick experiments (thousands of refs per core).
+    Small,
+    /// The Fig. 1 configuration (on the order of 1e5 refs per core).
+    #[default]
+    Standard,
+}
+
+/// Common kernel configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelCfg {
+    /// Number of cores the work is partitioned over.
+    pub cores: usize,
+    /// Problem size class.
+    pub scale: Scale,
+    /// Seed for the deterministic pseudo-random parts (sparsity patterns,
+    /// keys, ...).
+    pub seed: u64,
+}
+
+impl Default for KernelCfg {
+    fn default() -> Self {
+        KernelCfg {
+            cores: 64,
+            scale: Scale::Standard,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl KernelCfg {
+    pub fn new(cores: usize, scale: Scale) -> Self {
+        KernelCfg {
+            cores,
+            scale,
+            ..Default::default()
+        }
+    }
+}
+
+/// A workload kernel: an address-space layout plus one lazily generated
+/// trace per core.
+pub trait Kernel: Send + Sync {
+    /// Short NAS-style name ("CG", "EP", ...).
+    fn name(&self) -> &'static str;
+
+    /// The array layout (the hybrid machine programs its SPM directory
+    /// from the SPM-mapped ranges declared here).
+    fn space(&self) -> &AddressSpace;
+
+    /// Number of cores this kernel was configured for.
+    fn cores(&self) -> usize;
+
+    /// The reference stream of one core. Streams of different cores may
+    /// be consumed concurrently and are deterministic.
+    fn core_trace(&self, core: usize) -> Box<dyn Iterator<Item = TraceEvent> + Send + '_>;
+}
+
+/// Instantiate all six kernels in the Fig. 1 order (CG EP FT IS MG SP).
+pub fn all_kernels(cfg: KernelCfg) -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(cg::Cg::new(cfg)),
+        Box::new(ep::Ep::new(cfg)),
+        Box::new(ft::Ft::new(cfg)),
+        Box::new(is::Is::new(cfg)),
+        Box::new(mg::Mg::new(cfg)),
+        Box::new(sp::Sp::new(cfg)),
+    ]
+}
+
+/// Build a lazily chunked trace: `make(chunk)` is called once per chunk
+/// index, keeping at most one chunk materialised per live iterator.
+/// Chunks are sweeps/phases of the BSP kernels, so a [`TraceEvent::Barrier`]
+/// is emitted after each one.
+pub(crate) fn chunked<F>(chunks: usize, make: F) -> Box<dyn Iterator<Item = TraceEvent> + Send>
+where
+    F: Fn(usize) -> Vec<TraceEvent> + Send + 'static,
+{
+    Box::new((0..chunks).flat_map(move |c| {
+        let mut v = make(c);
+        v.push(TraceEvent::Barrier);
+        v.into_iter()
+    }))
+}
+
+/// SplitMix64: a tiny stateless mixer used for deterministic
+/// pseudo-random indices (sparsity patterns, keys) without dragging an
+/// RNG through iterator state.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSummary;
+
+    #[test]
+    fn all_kernels_instantiate_and_stream() {
+        let cfg = KernelCfg::new(4, Scale::Test);
+        for k in all_kernels(cfg) {
+            assert_eq!(k.cores(), 4);
+            let s = TraceSummary::of(k.core_trace(0));
+            assert!(s.mem_refs > 0 || k.name() == "EP", "{} empty", k.name());
+            assert!(!k.space().arrays().is_empty());
+        }
+    }
+
+    #[test]
+    fn kernel_names_match_fig1_order() {
+        let names: Vec<&str> = all_kernels(KernelCfg::new(2, Scale::Test))
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(names, vec!["CG", "EP", "FT", "IS", "MG", "SP"]);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let cfg = KernelCfg::new(2, Scale::Test);
+        for (a, b) in all_kernels(cfg).iter().zip(all_kernels(cfg).iter()) {
+            let ta: Vec<_> = a.core_trace(1).collect();
+            let tb: Vec<_> = b.core_trace(1).collect();
+            assert_eq!(ta, tb, "{} not deterministic", a.name());
+        }
+    }
+
+    #[test]
+    fn scales_order_trace_sizes() {
+        for mk in [
+            |c| Box::new(cg::Cg::new(c)) as Box<dyn Kernel>,
+            |c| Box::new(is::Is::new(c)) as Box<dyn Kernel>,
+        ] {
+            let small = TraceSummary::of(mk(KernelCfg::new(2, Scale::Test)).core_trace(0)).mem_refs;
+            let big = TraceSummary::of(mk(KernelCfg::new(2, Scale::Small)).core_trace(0)).mem_refs;
+            assert!(big > small, "Small must exceed Test ({big} vs {small})");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! SP — scalar pentadiagonal solver (NAS SP): ADI line solves along the
+//! three grid dimensions.
+//!
+//! Each time step factorises and solves pentadiagonal systems along x,
+//! then y, then z lines.  All accesses are affine with dimension-dependent
+//! strides (1, d, d²) — strided for the compiler, and a good test that the
+//! SPM tiling pays off even for large strides.
+
+use super::{chunked, Kernel, KernelCfg, Scale};
+use crate::layout::{AddressSpace, ArrayId};
+use crate::trace::{MemRef, RefClass, TraceEvent};
+
+/// SP kernel instance.
+pub struct Sp {
+    cfg: KernelCfg,
+    dim: u64,
+    steps: usize,
+    space: AddressSpace,
+    u: ArrayId,
+    lhs: ArrayId,
+    rhs: ArrayId,
+}
+
+impl Sp {
+    pub fn new(cfg: KernelCfg) -> Self {
+        let (dim, steps) = match cfg.scale {
+            Scale::Test => (8u64, 1),
+            Scale::Small => (16, 2),
+            Scale::Standard => (32, 8),
+        };
+        let cells = dim * dim * dim;
+        let mut space = AddressSpace::new();
+        let u = space.alloc("u", cells * 8, true);
+        let lhs = space.alloc("lhs", cells * 8 * 5, true); // 5 diagonals
+        let rhs = space.alloc("rhs", cells * 8, true);
+        Sp {
+            cfg,
+            dim,
+            steps,
+            space,
+            u,
+            lhs,
+            rhs,
+        }
+    }
+}
+
+impl Kernel for Sp {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn core_trace(&self, core: usize) -> Box<dyn Iterator<Item = TraceEvent> + Send + '_> {
+        assert!(core < self.cfg.cores);
+        let d = self.dim;
+        let cores = self.cfg.cores as u64;
+        let u = self.space.get(self.u).clone();
+        let lhs = self.space.get(self.lhs).clone();
+        let rhs = self.space.get(self.rhs).clone();
+        // 3 directional sweeps per time step; lines of each sweep are
+        // distributed over cores.
+        let steps = self.steps;
+        chunked(steps * 3, move |chunk| {
+            let dir = chunk % 3;
+            let stride = match dir {
+                0 => 1,     // x lines
+                1 => d,     // y lines
+                _ => d * d, // z lines
+            };
+            let lines = d * d;
+            let per_core = (lines / cores).max(1);
+            let l0 = (core as u64 * per_core).min(lines);
+            let l1 = (l0 + per_core).min(lines);
+            let mut ev = Vec::with_capacity(((l1 - l0) * d * 7) as usize);
+            for line in l0..l1 {
+                // Base cell of this line: enumerate the plane orthogonal
+                // to the sweep direction.
+                let base = match dir {
+                    0 => line * d,                      // (0, y, z)
+                    1 => (line / d) * d * d + line % d, // (x, 0, z)
+                    _ => line,                          // (x, y, 0)
+                };
+                // Thomas-style forward elimination then back substitution.
+                for i in 0..d {
+                    let cell = base + i * stride;
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        lhs.elem(cell * 5, 8),
+                        8,
+                        RefClass::Strided,
+                    )));
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        lhs.elem(cell * 5 + 1, 8),
+                        8,
+                        RefClass::Strided,
+                    )));
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        rhs.elem(cell, 8),
+                        8,
+                        RefClass::Strided,
+                    )));
+                    ev.push(TraceEvent::Compute(9));
+                    ev.push(TraceEvent::Mem(MemRef::store(
+                        rhs.elem(cell, 8),
+                        8,
+                        RefClass::Strided,
+                    )));
+                }
+                for i in (0..d).rev() {
+                    let cell = base + i * stride;
+                    ev.push(TraceEvent::Mem(MemRef::load(
+                        rhs.elem(cell, 8),
+                        8,
+                        RefClass::Strided,
+                    )));
+                    ev.push(TraceEvent::Compute(6));
+                    ev.push(TraceEvent::Mem(MemRef::store(
+                        u.elem(cell, 8),
+                        8,
+                        RefClass::Strided,
+                    )));
+                }
+            }
+            ev
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSummary;
+
+    #[test]
+    fn fully_strided() {
+        let sp = Sp::new(KernelCfg::new(4, Scale::Test));
+        let s = TraceSummary::of(sp.core_trace(0));
+        assert!(s.mem_refs > 0);
+        assert_eq!(s.random_noalias + s.random_unknown, 0);
+        assert!(s.stores > 0 && s.loads > s.stores);
+    }
+
+    #[test]
+    fn three_sweep_directions_use_three_strides() {
+        let sp = Sp::new(KernelCfg::new(1, Scale::Test));
+        let u = sp.space.get(sp.u).clone();
+        // Collect the u-store addresses of the first line of each sweep
+        // and check consecutive-element distances.
+        let stores: Vec<u64> = sp
+            .core_trace(0)
+            .filter_map(|e| match e {
+                TraceEvent::Mem(m) if m.is_store && u.contains(m.addr) => Some(m.addr),
+                _ => None,
+            })
+            .collect();
+        // Back substitution walks lines in reverse, so deltas are
+        // negative; magnitude should be 8 (x), 8·8 (y), 8·64 (z) at the
+        // appropriate phases.
+        let d: i64 = stores[0] as i64 - stores[1] as i64;
+        assert_eq!(d, 8, "x sweep is unit stride (reversed)");
+    }
+
+    #[test]
+    fn all_addresses_in_bounds() {
+        let sp = Sp::new(KernelCfg::new(4, Scale::Test));
+        for c in 0..4 {
+            for ev in sp.core_trace(c) {
+                if let TraceEvent::Mem(m) = ev {
+                    assert!(sp.space.locate(m.addr).is_some(), "oob {:#x}", m.addr);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # raa-workloads — NAS-like memory reference stream generators
+//!
+//! The paper's memory-wall experiment (Fig. 1) runs six NAS Parallel
+//! Benchmarks on a simulated 64-core processor. We cannot ship the NAS
+//! binaries, so this crate generates *access-pattern-faithful* reference
+//! streams for the dominant loop nests of each kernel:
+//!
+//! | kernel | dominant pattern | SPM-friendly? |
+//! |--------|------------------|---------------|
+//! | CG     | SpMV: strided row structures + random gather of `p`      | partly |
+//! | EP     | register-resident RNG, almost no memory traffic           | no (and needs none) |
+//! | FT     | FFT passes: strided butterflies + twiddle tables          | fully |
+//! | IS     | histogram ranking: strided keys + random bucket updates   | partly |
+//! | MG     | 27-point stencil sweeps over a grid hierarchy             | fully |
+//! | SP     | pentadiagonal line solves along x/y/z                     | fully |
+//!
+//! Every memory reference carries the *compiler classification* of the
+//! hybrid-memory work the paper builds on (Alvarez et al., ISCA'15):
+//! [`RefClass::Strided`] references are tiled into scratchpads,
+//! [`RefClass::RandomNoAlias`] references go to the cache hierarchy, and
+//! [`RefClass::RandomUnknown`] references (e.g. `p[colidx[j]]`, which may
+//! alias an SPM-mapped range) must be resolved by the hardware
+//! filter/directory at run time.
+//!
+//! Streams are deterministic (seeded) and lazily generated, so a 64-core
+//! trace never materialises in memory.
+
+pub mod kernels;
+pub mod layout;
+pub mod synthetic;
+pub mod trace;
+pub mod validate;
+
+pub use kernels::{all_kernels, Kernel, KernelCfg, Scale};
+pub use layout::{AddressSpace, ArrayDecl, ArrayId};
+pub use trace::{MemRef, RefClass, TraceEvent};
+pub use validate::{validate_kernel, ValidationReport};

@@ -1,0 +1,135 @@
+//! Synthetic reference streams for unit tests and ablation studies.
+
+use crate::kernels::mix64;
+use crate::layout::AddressSpace;
+use crate::trace::{MemRef, RefClass, TraceEvent};
+
+/// A pure unit-stride read/write sweep over `n` 8-byte elements starting
+/// at `base`, classified strided. `write_every` inserts a store after
+/// every that-many loads (0 = loads only).
+pub fn strided_sweep(
+    base: u64,
+    n: u64,
+    write_every: u64,
+) -> impl Iterator<Item = TraceEvent> + Send {
+    (0..n).flat_map(move |i| {
+        let addr = base + i * 8;
+        let mut v = vec![TraceEvent::Mem(MemRef::load(addr, 8, RefClass::Strided))];
+        if write_every > 0 && i % write_every == write_every - 1 {
+            v.push(TraceEvent::Mem(MemRef::store(addr, 8, RefClass::Strided)));
+        }
+        v
+    })
+}
+
+/// `n` uniformly random 8-byte loads within `[base, base + span)`,
+/// classified with the given class. Deterministic in `seed`.
+pub fn random_refs(
+    base: u64,
+    span: u64,
+    n: u64,
+    class: RefClass,
+    seed: u64,
+) -> impl Iterator<Item = TraceEvent> + Send {
+    let slots = (span / 8).max(1);
+    (0..n).map(move |i| {
+        let off = mix64(seed ^ i) % slots;
+        TraceEvent::Mem(MemRef::load(base + off * 8, 8, class))
+    })
+}
+
+/// A mixed stream: `strided_frac` (0..=100, percent) of references are
+/// strided over one array, the rest random-unknown over another.  Used by
+/// the hybrid-hierarchy ablation to sweep the classification mix.
+pub fn mixed_stream(
+    strided_pct: u64,
+    n: u64,
+    seed: u64,
+) -> (AddressSpace, impl Iterator<Item = TraceEvent> + Send) {
+    assert!(strided_pct <= 100);
+    let mut space = AddressSpace::new();
+    let s = space.alloc("stream", n.max(1) * 8, true);
+    let r = space.alloc("random", 1 << 16, false);
+    let (sd, rd) = (space.get(s).clone(), space.get(r).clone());
+    let iter = (0..n).map(move |i| {
+        if mix64(seed ^ i) % 100 < strided_pct {
+            TraceEvent::Mem(MemRef::load(sd.elem(i, 8), 8, RefClass::Strided))
+        } else {
+            let off = mix64(seed ^ (i << 7)) % (rd.bytes / 8);
+            TraceEvent::Mem(MemRef::load(rd.elem(off, 8), 8, RefClass::RandomUnknown))
+        }
+    });
+    (space, iter)
+}
+
+/// A pointer-chase style stream with poor locality: `n` dependent random
+/// loads over `span` bytes (worst case for any cache).
+pub fn pointer_chase(
+    base: u64,
+    span: u64,
+    n: u64,
+    seed: u64,
+) -> impl Iterator<Item = TraceEvent> + Send {
+    let slots = (span / 8).max(1);
+    let mut cur = seed;
+    (0..n).map(move |_| {
+        cur = mix64(cur);
+        let addr = base + (cur % slots) * 8;
+        TraceEvent::Mem(MemRef::load(addr, 8, RefClass::RandomNoAlias))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSummary;
+
+    #[test]
+    fn strided_sweep_addresses_ascend() {
+        let addrs: Vec<u64> = strided_sweep(4096, 10, 0)
+            .filter_map(|e| e.as_mem().map(|m| m.addr))
+            .collect();
+        assert_eq!(addrs.len(), 10);
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 8);
+        }
+    }
+
+    #[test]
+    fn write_every_inserts_stores() {
+        let s = TraceSummary::of(strided_sweep(0, 12, 4));
+        assert_eq!(s.loads, 12);
+        assert_eq!(s.stores, 3);
+    }
+
+    #[test]
+    fn random_refs_stay_in_span() {
+        for ev in random_refs(8192, 1024, 200, RefClass::RandomUnknown, 1) {
+            let m = ev.as_mem().unwrap();
+            assert!(m.addr >= 8192 && m.addr < 8192 + 1024);
+        }
+    }
+
+    #[test]
+    fn mixed_stream_ratio_roughly_holds() {
+        let (_, it) = mixed_stream(70, 10_000, 3);
+        let s = TraceSummary::of(it);
+        let frac = s.strided_fraction();
+        assert!((frac - 0.7).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn mixed_stream_extremes() {
+        let (_, it) = mixed_stream(100, 500, 3);
+        assert!((TraceSummary::of(it).strided_fraction() - 1.0).abs() < 1e-12);
+        let (_, it) = mixed_stream(0, 500, 3);
+        assert_eq!(TraceSummary::of(it).strided_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pointer_chase_is_deterministic() {
+        let a: Vec<_> = pointer_chase(0, 4096, 50, 9).collect();
+        let b: Vec<_> = pointer_chase(0, 4096, 50, 9).collect();
+        assert_eq!(a, b);
+    }
+}

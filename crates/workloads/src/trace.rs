@@ -1,0 +1,179 @@
+//! Trace event model: classified memory references + compute gaps.
+
+/// The compiler's static classification of a memory reference, following
+/// the hybrid-memory coherence protocol of the paper (§2):
+///
+/// * `Strided` — affine accesses the compiler tiles into the scratchpad
+///   via a software cache (DMA in/out per tile).
+/// * `RandomNoAlias` — irregular accesses proven not to alias any
+///   SPM-mapped array: served directly by the cache hierarchy.
+/// * `RandomUnknown` — irregular accesses with *unknown aliasing hazards*
+///   against SPM-mapped data: the hardware filter + SPM directory decide
+///   at execution which memory holds the valid copy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RefClass {
+    Strided,
+    RandomNoAlias,
+    RandomUnknown,
+}
+
+/// A single memory reference from a core's instruction stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRef {
+    /// Byte address.
+    pub addr: u64,
+    /// Access width in bytes (4 or 8 in these kernels).
+    pub size: u8,
+    /// Store (true) or load (false).
+    pub is_store: bool,
+    /// Static classification.
+    pub class: RefClass,
+}
+
+impl MemRef {
+    pub fn load(addr: u64, size: u8, class: RefClass) -> Self {
+        MemRef {
+            addr,
+            size,
+            is_store: false,
+            class,
+        }
+    }
+
+    pub fn store(addr: u64, size: u8, class: RefClass) -> Self {
+        MemRef {
+            addr,
+            size,
+            is_store: true,
+            class,
+        }
+    }
+
+    /// The 64-byte cache line containing this reference.
+    pub fn line(&self) -> u64 {
+        self.addr >> 6
+    }
+}
+
+/// One event of a core's trace: a memory reference, `n` cycles of pure
+/// computation, or a bulk-synchronous barrier (the NAS kernels are BSP:
+/// sweeps/phases are separated by barriers, and the machine must not
+/// let cores race ahead into the next sweep).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    Mem(MemRef),
+    Compute(u32),
+    Barrier,
+}
+
+impl TraceEvent {
+    pub fn as_mem(&self) -> Option<&MemRef> {
+        match self {
+            TraceEvent::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Summary statistics of a trace (used by tests and the workload tables).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    pub mem_refs: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub strided: u64,
+    pub random_noalias: u64,
+    pub random_unknown: u64,
+    pub compute_cycles: u64,
+    pub barriers: u64,
+}
+
+impl TraceSummary {
+    /// Accumulate one event.
+    pub fn add(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Barrier => self.barriers += 1,
+            TraceEvent::Compute(c) => self.compute_cycles += *c as u64,
+            TraceEvent::Mem(m) => {
+                self.mem_refs += 1;
+                if m.is_store {
+                    self.stores += 1;
+                } else {
+                    self.loads += 1;
+                }
+                match m.class {
+                    RefClass::Strided => self.strided += 1,
+                    RefClass::RandomNoAlias => self.random_noalias += 1,
+                    RefClass::RandomUnknown => self.random_unknown += 1,
+                }
+            }
+        }
+    }
+
+    /// Summarise a whole stream.
+    pub fn of(events: impl Iterator<Item = TraceEvent>) -> Self {
+        let mut s = TraceSummary::default();
+        for ev in events {
+            s.add(&ev);
+        }
+        s
+    }
+
+    /// Fraction of memory references classified strided.
+    pub fn strided_fraction(&self) -> f64 {
+        if self.mem_refs == 0 {
+            0.0
+        } else {
+            self.strided as f64 / self.mem_refs as f64
+        }
+    }
+
+    /// Memory references per compute cycle (memory intensity).
+    pub fn mem_intensity(&self) -> f64 {
+        if self.compute_cycles == 0 {
+            f64::INFINITY
+        } else {
+            self.mem_refs as f64 / self.compute_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction() {
+        assert_eq!(MemRef::load(0, 8, RefClass::Strided).line(), 0);
+        assert_eq!(MemRef::load(63, 1, RefClass::Strided).line(), 0);
+        assert_eq!(MemRef::load(64, 8, RefClass::Strided).line(), 1);
+        assert_eq!(MemRef::load(6400, 8, RefClass::Strided).line(), 100);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let events = vec![
+            TraceEvent::Mem(MemRef::load(0, 8, RefClass::Strided)),
+            TraceEvent::Mem(MemRef::store(8, 8, RefClass::RandomUnknown)),
+            TraceEvent::Compute(10),
+            TraceEvent::Mem(MemRef::load(16, 4, RefClass::RandomNoAlias)),
+        ];
+        let s = TraceSummary::of(events.into_iter());
+        assert_eq!(s.mem_refs, 3);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.strided, 1);
+        assert_eq!(s.random_noalias, 1);
+        assert_eq!(s.random_unknown, 1);
+        assert_eq!(s.compute_cycles, 10);
+        assert!((s.strided_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = TraceSummary::of(std::iter::empty());
+        assert_eq!(s.mem_refs, 0);
+        assert_eq!(s.strided_fraction(), 0.0);
+        assert!(s.mem_intensity().is_infinite());
+    }
+}

@@ -1,0 +1,163 @@
+//! Trace validators: structural invariants every kernel must satisfy
+//! before it is worth simulating.
+
+use crate::kernels::Kernel;
+use crate::trace::{RefClass, TraceEvent};
+
+/// The outcome of validating one kernel.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    pub cores_checked: usize,
+    pub events: u64,
+    pub mem_refs: u64,
+    pub barriers_per_core: Vec<u64>,
+}
+
+/// Validate a kernel's traces:
+///
+/// 1. every memory reference lands inside a declared array;
+/// 2. `RandomNoAlias` references never touch SPM-mapped arrays (that
+///    would be a compiler misclassification — proven-no-alias accesses
+///    to mapped data cannot exist by definition);
+/// 3. every core emits the same number of barriers (BSP kernels would
+///    deadlock otherwise);
+/// 4. traces are reproducible (two generations are identical).
+pub fn validate_kernel(kernel: &dyn Kernel) -> Result<ValidationReport, String> {
+    let mut report = ValidationReport {
+        cores_checked: kernel.cores(),
+        ..Default::default()
+    };
+    let space = kernel.space();
+    for core in 0..kernel.cores() {
+        let mut barriers = 0u64;
+        for (i, ev) in kernel.core_trace(core).enumerate() {
+            report.events += 1;
+            match ev {
+                TraceEvent::Barrier => barriers += 1,
+                TraceEvent::Compute(_) => {}
+                TraceEvent::Mem(m) => {
+                    report.mem_refs += 1;
+                    let arr = space.locate(m.addr).ok_or_else(|| {
+                        format!(
+                            "{}: core {core} event {i}: address {:#x} outside every array",
+                            kernel.name(),
+                            m.addr
+                        )
+                    })?;
+                    if m.class == RefClass::RandomNoAlias && arr.spm_mapped {
+                        return Err(format!(
+                            "{}: core {core} event {i}: proven-no-alias reference into \
+                             SPM-mapped array '{}' — misclassification",
+                            kernel.name(),
+                            arr.name
+                        ));
+                    }
+                }
+            }
+        }
+        report.barriers_per_core.push(barriers);
+    }
+    if report.barriers_per_core.windows(2).any(|w| w[0] != w[1]) {
+        return Err(format!(
+            "{}: unequal barrier counts across cores: {:?}",
+            kernel.name(),
+            report.barriers_per_core
+        ));
+    }
+    // Determinism: re-generate core 0 and compare.
+    let a: Vec<TraceEvent> = kernel.core_trace(0).collect();
+    let b: Vec<TraceEvent> = kernel.core_trace(0).collect();
+    if a != b {
+        return Err(format!("{}: trace is not deterministic", kernel.name()));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{all_kernels, KernelCfg, Scale};
+    use crate::layout::AddressSpace;
+    use crate::trace::MemRef;
+
+    #[test]
+    fn all_shipped_kernels_validate() {
+        for scale in [Scale::Test, Scale::Small] {
+            for k in all_kernels(KernelCfg::new(4, scale)) {
+                let r = validate_kernel(k.as_ref()).unwrap_or_else(|e| panic!("{e}"));
+                assert_eq!(r.cores_checked, 4);
+                assert!(r.events > 0);
+            }
+        }
+    }
+
+    /// A deliberately broken kernel to prove the validator bites.
+    struct Broken {
+        space: AddressSpace,
+        mode: u8,
+    }
+
+    impl Broken {
+        fn new(mode: u8) -> Self {
+            let mut space = AddressSpace::new();
+            space.alloc("mapped", 4096, true);
+            Broken { space, mode }
+        }
+    }
+
+    impl Kernel for Broken {
+        fn name(&self) -> &'static str {
+            "BROKEN"
+        }
+        fn space(&self) -> &AddressSpace {
+            &self.space
+        }
+        fn cores(&self) -> usize {
+            2
+        }
+        fn core_trace(&self, core: usize) -> Box<dyn Iterator<Item = TraceEvent> + Send + '_> {
+            let base = self.space.get(crate::layout::ArrayId(0)).base;
+            let evs: Vec<TraceEvent> = match self.mode {
+                // Out-of-bounds address.
+                0 => vec![TraceEvent::Mem(MemRef::load(
+                    base + (1 << 20),
+                    8,
+                    RefClass::Strided,
+                ))],
+                // No-alias reference into a mapped array.
+                1 => vec![TraceEvent::Mem(MemRef::load(
+                    base,
+                    8,
+                    RefClass::RandomNoAlias,
+                ))],
+                // Mismatched barrier counts.
+                _ => {
+                    if core == 0 {
+                        vec![TraceEvent::Barrier, TraceEvent::Barrier]
+                    } else {
+                        vec![TraceEvent::Barrier]
+                    }
+                }
+            };
+            Box::new(evs.into_iter())
+        }
+    }
+
+    #[test]
+    fn validator_rejects_out_of_bounds() {
+        let err = validate_kernel(&Broken::new(0)).unwrap_err();
+        assert!(err.contains("outside every array"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_misclassification() {
+        let err = validate_kernel(&Broken::new(1)).unwrap_err();
+        assert!(err.contains("misclassification"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_barrier_mismatch() {
+        let err = validate_kernel(&Broken::new(2)).unwrap_err();
+        assert!(err.contains("unequal barrier counts"), "{err}");
+    }
+}

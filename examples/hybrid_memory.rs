@@ -1,0 +1,62 @@
+//! Run one NAS-like kernel on the simulated 16-core machine with both
+//! memory hierarchies and print the Fig. 1-style comparison plus the
+//! component breakdown.
+//!
+//! Run: `cargo run --release -p raa-examples --bin hybrid_memory [kernel]`
+//! where `kernel` is one of cg, ep, ft, is, mg, sp (default: mg).
+
+use raa_sim::{HierarchyMode, Machine, MachineConfig};
+use raa_workloads::{all_kernels, KernelCfg, Scale};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "mg".into());
+    let cfg = KernelCfg::new(16, Scale::Small);
+    let kernel = all_kernels(cfg)
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(&which))
+        .unwrap_or_else(|| panic!("unknown kernel {which}; use cg/ep/ft/is/mg/sp"));
+
+    println!(
+        "kernel {} on a 16-core tiled CMP (arrays: {})",
+        kernel.name(),
+        kernel
+            .space()
+            .arrays()
+            .iter()
+            .map(|a| format!("{}{}", a.name, if a.spm_mapped { "→SPM" } else { "" }))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut reports = Vec::new();
+    for mode in [HierarchyMode::CacheOnly, HierarchyMode::Hybrid] {
+        let mut m = Machine::new(MachineConfig::tiled(16, mode), kernel.space().spm_ranges());
+        let r = m.run_kernel(kernel.as_ref());
+        println!("\n{mode:?}:");
+        println!("  cycles        {:>12}", r.cycles);
+        println!("  energy (nJ)   {:>12.1}", r.energy.total());
+        println!(
+            "    l1 {:.0}  spm {:.0}  l2 {:.0}  dram {:.0}  noc {:.0}  dir {:.0}  leak {:.0}",
+            r.energy.l1,
+            r.energy.spm,
+            r.energy.l2,
+            r.energy.dram,
+            r.energy.noc,
+            r.energy.directory,
+            r.energy.leakage
+        );
+        println!("  NoC flits     {:>12}", r.noc_flits);
+        println!(
+            "  L1 {}/{} hits/misses; SPM {}/{} hits/fills; DRAM {}",
+            r.l1_hits, r.l1_misses, r.spm_hits, r.spm_fills, r.dram_accesses
+        );
+        reports.push(r);
+    }
+    let (cache, hybrid) = (&reports[0], &reports[1]);
+    println!(
+        "\nhybrid vs cache-only: time {:.2}x, energy {:.2}x, NoC traffic {:.2}x",
+        hybrid.time_speedup_over(cache),
+        hybrid.energy_speedup_over(cache),
+        hybrid.traffic_speedup_over(cache)
+    );
+}

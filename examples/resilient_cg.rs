@@ -1,0 +1,44 @@
+//! A CG solve that survives a detected-uncorrected error: the lost
+//! block of the iterate is reconstructed *exactly* from r = b − A·x.
+//!
+//! Run: `cargo run --release -p raa-examples --bin resilient_cg`
+
+use raa_solver::fault::{FaultSpec, FaultTarget};
+use raa_solver::resilient::{run_scheme, ResilientCfg, Scheme};
+
+fn main() {
+    let cfg = ResilientCfg {
+        nx: 96,
+        ny: 96,
+        tol: 1e-9,
+        max_iters: 10_000,
+        sample_every: 1,
+        workers: 2,
+        local_tol: 1e-13,
+    };
+    let n = cfg.nx * cfg.ny;
+    let fault = FaultSpec::new(120, (n / 4)..(n / 4 + n / 10), FaultTarget::X);
+
+    println!(
+        "CG on a {}x{} Poisson system; DUE wipes x[{}..{}] at iteration {}",
+        cfg.nx, cfg.ny, fault.block.start, fault.block.end, fault.at_iter
+    );
+    for scheme in [
+        Scheme::Ideal,
+        Scheme::Feir,
+        Scheme::Afeir,
+        Scheme::LossyRestart,
+    ] {
+        let fault = (scheme != Scheme::Ideal).then(|| fault.clone());
+        let t = run_scheme(&cfg, scheme, fault);
+        println!(
+            "  {:<14} converged={:<5} iterations={:<5} wall={:.3}s",
+            t.label,
+            t.converged,
+            t.samples.last().map(|s| s.iteration).unwrap_or(0),
+            t.total_seconds
+        );
+    }
+    println!("\nFEIR/AFEIR match the ideal iteration count: the recovery is exact,");
+    println!("so no convergence is sacrificed; the lossy restart pays extra iterations.");
+}

@@ -1,0 +1,59 @@
+//! Sort a million tuples with VSR sort through the vector engine and
+//! show the VPI/VLU instructions at work.
+//!
+//! Run: `cargo run --release -p raa-examples --bin vsr_sort`
+
+use raa_vector::engine::{VectorEngine, Vreg};
+use raa_vector::sort::vsr::vsr_sort;
+use raa_vector::{cycles_per_tuple, EngineCfg, InstrClass};
+use rand::prelude::*;
+
+fn main() {
+    // First, the instructions themselves on a toy register.
+    let mut e = VectorEngine::new(EngineCfg::new(8, 1));
+    e.set_vl(8);
+    let v = Vreg(vec![3, 1, 3, 3, 1, 7, 3, 1]);
+    let prior = e.vpi(&v);
+    let last = e.vlu(&v);
+    println!("input : {:?}", v.0);
+    println!("VPI   : {:?}   (prior instances of each value)", prior.0);
+    println!(
+        "VLU   : {:?}   (last instance marked)",
+        last.0.iter().map(|&b| b as u8).collect::<Vec<_>>()
+    );
+
+    // Then the full sort.
+    let n = 1 << 20;
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut keys: Vec<u64> = (0..n).map(|_| rng.gen::<u32>() as u64).collect();
+    let mut want = keys.clone();
+    want.sort_unstable();
+
+    let mut engine = VectorEngine::new(EngineCfg::new(64, 4));
+    let wall = std::time::Instant::now();
+    vsr_sort(&mut engine, &mut keys);
+    let host = wall.elapsed();
+    assert_eq!(keys, want, "VSR must actually sort");
+
+    let counts = engine.counts();
+    println!(
+        "\nsorted {n} tuples: {} simulated cycles (CPT {:.1}), host time {host:.2?}",
+        engine.cycles(),
+        cycles_per_tuple(engine.cycles(), n)
+    );
+    println!(
+        "vector instructions: {} total ({} VPI, {} VLU, {} gathers/scatters, {} unit-stride)",
+        counts.vector_total(),
+        counts.vpi,
+        counts.vlu,
+        counts.mem_indexed,
+        counts.mem_unit
+    );
+    println!(
+        "cycle breakdown: mem-indexed {}, VPI {}, VLU {}, mem-unit {}",
+        engine.class_cycles(InstrClass::MemIndexed),
+        engine.class_cycles(InstrClass::Vpi),
+        engine.class_cycles(InstrClass::Vlu),
+        engine.class_cycles(InstrClass::MemUnit),
+    );
+}

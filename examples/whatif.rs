@@ -1,0 +1,79 @@
+//! "What-if" architecture exploration from a *recorded* execution: run a
+//! real task-parallel CG on this machine, capture the TDG the runtime
+//! discovered, and replay it on simulated manycores — the runtime-aware
+//! feedback loop the paper envisions.
+//!
+//! Run: `cargo run --release -p raa-examples --bin whatif`
+
+use std::sync::Arc;
+
+use raa_core::profile::{apply_measured_costs, TimingRecorder};
+use raa_core::system::whatif;
+use raa_runtime::{CorePool, Runtime, RuntimeConfig, ScheduleSimulator, SimPolicy};
+use raa_solver::cg::cg_tasks;
+use raa_solver::csr::Csr;
+
+fn main() {
+    // 1. Real execution, recorded and *timed* (measured durations feed
+    //    the replay, not programmer hints).
+    let timings = TimingRecorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(2)
+            .record_graph(true)
+            .observer(timings.clone()),
+    );
+    let a = Csr::poisson2d(24, 24);
+    let n = a.n();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let res = cg_tasks(&rt, Arc::new(a), &b, 8, 1e-8, 2000);
+    let mut g = rt.graph().expect("recording enabled");
+    let measured = apply_measured_costs(&mut g, &timings);
+    println!("measured durations applied to {measured} tasks");
+    println!(
+        "real run: CG converged in {} iterations; runtime discovered a TDG of {} tasks / {} edges",
+        res.iterations,
+        g.len(),
+        g.edge_count()
+    );
+    let (cp, _) = g.critical_path();
+    println!(
+        "critical path {} work units of {} total (avg parallelism {:.1})",
+        cp,
+        g.total_work(),
+        g.avg_parallelism()
+    );
+
+    // 2. Replay on simulated machines.
+    println!("\nwhat-if: the same TDG on simulated manycores");
+    println!(
+        "{:>6} {:>16} {:>14} {:>14}",
+        "cores", "static makespan", "RSU makespan", "RSU EDP gain"
+    );
+    for row in whatif(&g, &[1, 2, 4, 8, 16, 32]) {
+        println!(
+            "{:>6} {:>16.0} {:>14.0} {:>13.1}%",
+            row.cores,
+            row.static_makespan,
+            row.rsu_makespan,
+            row.rsu_edp_improvement * 100.0
+        );
+    }
+
+    // 3. A Gantt of one iteration's worth of tasks on 8 cores.
+    let small = {
+        // First ~3 iterations of the recorded graph.
+        let mut sub = raa_runtime::TaskGraph::new();
+        for node in g.nodes().take(3 * (g.len() / res.iterations.max(1))) {
+            sub.add_task(node.meta.clone(), &node.preds);
+        }
+        sub
+    };
+    let r = ScheduleSimulator::new(
+        &small,
+        CorePool::homogeneous(8, 1.0),
+        SimPolicy::BottomLevel,
+    )
+    .run();
+    println!("\nGantt of the first iterations on 8 simulated cores:");
+    print!("{}", r.gantt(64));
+}

@@ -1,0 +1,375 @@
+//! Cross-crate integration tests: every figure's directional claim,
+//! exercised through the public APIs end-to-end.
+
+use std::sync::Arc;
+
+use raa_core::system::{fig2_workloads, RaaSystem};
+use raa_runtime::{Runtime, RuntimeConfig};
+use raa_sim::{HierarchyMode, Machine, MachineConfig};
+use raa_solver::cg::{cg, cg_tasks};
+use raa_solver::csr::Csr;
+use raa_solver::fault::{FaultSpec, FaultTarget};
+use raa_solver::resilient::{run_scheme, ResilientCfg, Scheme};
+use raa_vector::sort::scalar::ScalarQuicksort;
+use raa_vector::sort::vsr::VsrSort;
+use raa_vector::{all_sorters, EngineCfg, Sorter};
+use raa_workloads::{all_kernels, KernelCfg, Scale};
+
+// ---------- Fig. 1 ----------
+
+fn fig1_speedups(name: &str) -> (f64, f64, f64) {
+    let cfg = KernelCfg::new(16, Scale::Small);
+    let kernel = all_kernels(cfg)
+        .into_iter()
+        .find(|k| k.name() == name)
+        .expect("kernel exists");
+    let run = |mode| {
+        let mut m = Machine::new(MachineConfig::tiled(16, mode), kernel.space().spm_ranges());
+        m.run_kernel(kernel.as_ref())
+    };
+    let cache = run(HierarchyMode::CacheOnly);
+    let hybrid = run(HierarchyMode::Hybrid);
+    (
+        hybrid.time_speedup_over(&cache),
+        hybrid.energy_speedup_over(&cache),
+        hybrid.traffic_speedup_over(&cache),
+    )
+}
+
+#[test]
+fn fig1_hybrid_helps_the_strided_kernels() {
+    for name in ["MG", "SP", "FT"] {
+        let (t, e, n) = fig1_speedups(name);
+        assert!(t > 1.1, "{name} time speedup {t}");
+        assert!(e > 1.1, "{name} energy speedup {e}");
+        assert!(n > 1.1, "{name} traffic speedup {n}");
+    }
+}
+
+#[test]
+fn fig1_ep_is_unaffected() {
+    let (t, e, n) = fig1_speedups("EP");
+    for (metric, v) in [("time", t), ("energy", e), ("traffic", n)] {
+        assert!(
+            (v - 1.0).abs() < 0.06,
+            "EP {metric} must stay ~1.0, got {v}"
+        );
+    }
+}
+
+#[test]
+fn fig1_no_kernel_is_substantially_degraded() {
+    for k in ["CG", "EP", "FT", "IS", "MG", "SP"] {
+        let (t, e, _) = fig1_speedups(k);
+        assert!(t > 0.93, "{k} time regressed: {t}");
+        assert!(e > 0.93, "{k} energy regressed: {e}");
+    }
+}
+
+// ---------- Fig. 2 / §3.1 ----------
+
+#[test]
+fn fig2_criticality_dvfs_improves_perf_and_edp() {
+    let sys = RaaSystem::paper_32core();
+    let report = sys.fig2_experiment(&fig2_workloads());
+    assert!(
+        report.avg_perf_improvement > 0.03,
+        "perf {:.3}",
+        report.avg_perf_improvement
+    );
+    assert!(
+        report.avg_edp_improvement > 0.10,
+        "EDP {:.3}",
+        report.avg_edp_improvement
+    );
+}
+
+#[test]
+fn fig2_rsu_beats_software_reconfiguration() {
+    let sys = RaaSystem::paper_32core();
+    for (name, g) in fig2_workloads() {
+        let rsu = sys.run_rsu(&g);
+        let sw = sys.run_software(&g);
+        assert!(rsu.reconfig_stall < sw.reconfig_stall, "{name}");
+    }
+}
+
+// ---------- Fig. 3 ----------
+
+#[test]
+fn fig3_vsr_beats_scalar_and_vector_competitors() {
+    let n = 1 << 13;
+    let keys: Vec<u64> = (0..n)
+        .map(|i| {
+            let mut z = i as u64 ^ 0xA5A5;
+            z = z.wrapping_mul(0x9E3779B97F4A7C15);
+            (z >> 16) & 0xFFFF_FFFF
+        })
+        .collect();
+    let cfg = EngineCfg::new(64, 4);
+    let mut k = keys.clone();
+    let vsr = VsrSort.sort(cfg, &mut k);
+    let mut k2 = keys.clone();
+    let scalar = ScalarQuicksort.sort(cfg, &mut k2);
+    assert_eq!(k, k2);
+    assert!(
+        scalar as f64 / vsr as f64 > 8.0,
+        "4-lane VSR speedup {}",
+        scalar as f64 / vsr as f64
+    );
+    for s in all_sorters().iter().filter(|s| s.is_vector()) {
+        let mut k3 = keys.clone();
+        let c = s.sort(cfg, &mut k3);
+        assert!(c >= vsr, "{} ({c}) beat VSR ({vsr})", s.name());
+    }
+}
+
+// ---------- Fig. 4 ----------
+
+#[test]
+fn fig4_scheme_ordering_holds() {
+    let cfg = ResilientCfg {
+        nx: 48,
+        ny: 48,
+        tol: 1e-8,
+        max_iters: 5000,
+        sample_every: 1,
+        workers: 2,
+        local_tol: 1e-13,
+    };
+    let ideal = run_scheme(&cfg, Scheme::Ideal, None);
+    let n = cfg.nx * cfg.ny;
+    let fault = || Some(FaultSpec::new(60, (n / 3)..(n / 3 + 200), FaultTarget::X));
+    let feir = run_scheme(&cfg, Scheme::Feir, fault());
+    let afeir = run_scheme(&cfg, Scheme::Afeir, fault());
+    let lossy = run_scheme(&cfg, Scheme::LossyRestart, fault());
+    let ckpt = run_scheme(&cfg, Scheme::Checkpoint { every: 25 }, fault());
+
+    let iters = |t: &raa_solver::ConvergenceTrace| t.samples.last().unwrap().iteration;
+    let work = |t: &raa_solver::ConvergenceTrace| t.samples.len();
+    assert!(feir.converged && afeir.converged && lossy.converged && ckpt.converged);
+    // Exact recoveries keep the ideal trajectory.
+    assert!(iters(&feir).abs_diff(iters(&ideal)) <= 2);
+    assert!(iters(&afeir).abs_diff(iters(&ideal)) <= 2);
+    // The lossy restart converges slower; the checkpoint redoes work.
+    assert!(iters(&lossy) > iters(&feir) + 10);
+    assert!(work(&ckpt) > work(&ideal));
+}
+
+// ---------- Fig. 5 ----------
+
+#[test]
+fn fig5_dataflow_scales_past_pthreads() {
+    use raa_apps::apps::{bodytrack, facesim};
+    use raa_apps::scaling::scaling_curve;
+    for (app, df_band) in [(bodytrack(16), 10.0..14.5), (facesim(16), 8.5..12.0)] {
+        let c = scaling_curve(&app, &[16]);
+        let p = c[0];
+        assert!(
+            df_band.contains(&p.dataflow),
+            "{}: dataflow {:.1} outside {:?}",
+            app.name,
+            p.dataflow,
+            df_band
+        );
+        assert!(
+            p.dataflow > p.pthreads + 2.5,
+            "{}: {:.1} vs {:.1}",
+            app.name,
+            p.dataflow,
+            p.pthreads
+        );
+    }
+}
+
+// ---------- cross-cutting: the runtime under real numeric load ----------
+
+#[test]
+fn task_parallel_cg_is_numerically_faithful() {
+    let a = Csr::poisson2d(20, 20);
+    let n = a.n();
+    let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 17) as f64 - 8.0).collect();
+    let mut b = vec![0.0; n];
+    a.spmv(&x_true, &mut b);
+
+    let seq = cg(&a, &b, 1e-10, 4000, |_, _| {});
+    let rt = Runtime::new(RuntimeConfig::with_workers(3));
+    let par = cg_tasks(&rt, Arc::new(a), &b, 5, 1e-10, 4000);
+    assert!(seq.converged && par.converged);
+    let diff = seq
+        .x
+        .iter()
+        .zip(&par.x)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(diff < 1e-7, "max component diff {diff}");
+}
+
+#[test]
+fn runtime_executes_the_fig2_graph_shapes_correctly() {
+    // Execute a cholesky-shaped dependency pattern on the real runtime
+    // (tile regions) and check the dependency edge count matches the
+    // offline graph builder.
+    use raa_runtime::graph::generators;
+    let offline = generators::cholesky(5, 10, 6, 4, 4);
+    let rt = Runtime::new(RuntimeConfig::with_workers(2).record_graph(true));
+    let t = 5usize;
+    let tiles: Vec<Vec<_>> = (0..t)
+        .map(|i| {
+            (0..=i)
+                .map(|j| rt.register(format!("A[{i}][{j}]"), 0u64))
+                .collect()
+        })
+        .collect();
+    use raa_runtime::AccessMode;
+    for k in 0..t {
+        rt.task(format!("potrf[{k}]"))
+            .region(tiles[k][k].region(), AccessMode::ReadWrite)
+            .body(|| {})
+            .spawn();
+        for i in k + 1..t {
+            rt.task(format!("trsm[{i}.{k}]"))
+                .region(tiles[k][k].region(), AccessMode::Read)
+                .region(tiles[i][k].region(), AccessMode::ReadWrite)
+                .body(|| {})
+                .spawn();
+        }
+        for i in k + 1..t {
+            for j in k + 1..=i {
+                let mut task = rt
+                    .task(format!("upd[{i}.{j}.{k}]"))
+                    .region(tiles[i][k].region(), AccessMode::Read)
+                    .region(tiles[i][j].region(), AccessMode::ReadWrite);
+                if i != j {
+                    task = task.region(tiles[j][k].region(), AccessMode::Read);
+                }
+                task.body(|| {}).spawn();
+            }
+        }
+    }
+    rt.taskwait();
+    let online = rt.graph().expect("recorded");
+    assert_eq!(online.len(), offline.len());
+    assert_eq!(online.edge_count(), offline.edge_count());
+}
+
+// ---------- runtime-aware integration: the feedback loops ----------
+
+#[test]
+fn measured_profile_feeds_whatif_replay() {
+    use raa_core::profile::{apply_measured_costs, TimingRecorder};
+    use raa_core::system::whatif;
+
+    let timings = TimingRecorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(2)
+            .record_graph(true)
+            .observer(timings.clone()),
+    );
+    // A blocked pipeline with unequal stage times.
+    let data = rt.register("d", vec![0u64; 32]);
+    for stage in 0..3u64 {
+        for b in 0..4u64 {
+            let d = data.clone();
+            rt.task(format!("s{stage}b{b}"))
+                .region(
+                    d.sub(b * 8, (b + 1) * 8),
+                    raa_runtime::AccessMode::ReadWrite,
+                )
+                .body(move || {
+                    if stage == 1 {
+                        std::thread::sleep(std::time::Duration::from_millis(8));
+                    }
+                })
+                .spawn();
+        }
+    }
+    rt.taskwait();
+    let mut g = rt.graph().expect("recorded");
+    assert_eq!(apply_measured_costs(&mut g, &timings), 12);
+    let rows = whatif(&g, &[1, 4]);
+    assert!(rows[1].static_makespan < rows[0].static_makespan);
+    // The slow stage dominates the measured critical path.
+    let (cp, _) = g.critical_path();
+    assert!(cp as f64 > 0.5 * rows[0].static_makespan / 4.0);
+}
+
+#[test]
+fn tsu_hardware_decode_beats_the_real_tracker_constants() {
+    use raa_core::tsu::{software_decode, tsu_decode, SoftwareDecode, TsuConfig};
+    use raa_runtime::graph::generators;
+    // The recorded CG graph shape: heavy edges per task.
+    let g = generators::cholesky(10, 1, 1, 1, 1);
+    let sw = software_decode(&g, SoftwareDecode::default());
+    let hw = tsu_decode(&g, TsuConfig::default());
+    assert!(hw.cycles * 20 < sw.cycles);
+}
+
+#[test]
+fn heterogeneous_placement_and_locality_compose_with_real_recordings() {
+    use raa_runtime::simsched::{CorePool, ScheduleSimulator, SimPolicy};
+    // Record a real blocked computation, then schedule it on a
+    // big.LITTLE machine with and without criticality placement.
+    let rt = Runtime::new(RuntimeConfig::with_workers(2).record_graph(true));
+    let chain = rt.register("c", 0u64);
+    for i in 0..20 {
+        let c = chain.clone();
+        rt.task(format!("link{i}"))
+            .updates(&chain)
+            .cost(100)
+            .body(move || {
+                *c.write() += 1;
+            })
+            .spawn();
+        for j in 0..3 {
+            rt.task(format!("fan{i}.{j}"))
+                .reads(&chain)
+                .cost(30)
+                .body(|| {})
+                .spawn();
+        }
+    }
+    rt.taskwait();
+    let g = rt.graph().expect("recorded");
+    let mut freqs = vec![0.8; 6];
+    freqs.push(2.0);
+    let aware = ScheduleSimulator::new(
+        &g,
+        CorePool::heterogeneous(freqs.clone()),
+        SimPolicy::CriticalityPlacement,
+    )
+    .run();
+    let blind =
+        ScheduleSimulator::new(&g, CorePool::heterogeneous(freqs), SimPolicy::BottomLevel).run();
+    assert!(
+        aware.makespan < blind.makespan,
+        "{} vs {}",
+        aware.makespan,
+        blind.makespan
+    );
+}
+
+#[test]
+fn task_based_afeir_full_stack() {
+    use raa_solver::afeir_tasks::{cg_afeir_tasks, AfeirTasksCfg};
+    use raa_solver::fault::{FaultSpec, FaultTarget};
+    let a = Csr::poisson2d(20, 20);
+    let n = a.n();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64 * 0.5).collect();
+    let ideal = cg(&a, &b, 1e-9, 3000, |_, _| {});
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let res = cg_afeir_tasks(
+        &rt,
+        Arc::new(a),
+        &b,
+        FaultSpec::new(30, 150..260, FaultTarget::X),
+        &AfeirTasksCfg {
+            blocks: 5,
+            tol: 1e-9,
+            max_iters: 3000,
+            local_tol: 1e-13,
+        },
+    );
+    assert!(res.converged);
+    assert!(res.iterations.abs_diff(ideal.iterations) <= 2);
+}

@@ -1,0 +1,405 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use raa_runtime::deps::DepTracker;
+use raa_runtime::graph::TaskGraph;
+use raa_runtime::region::{Access, AccessMode, Region, RegionId, RegionRange};
+use raa_runtime::simsched::{CorePool, ScheduleSimulator, SimPolicy};
+use raa_runtime::task::{TaskId, TaskMeta};
+use raa_solver::csr::Csr;
+use raa_solver::recovery::{recompute_residual, reconstruction_error, recover_x_block};
+use raa_vector::{all_sorters, EngineCfg};
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (0u64..4, 0u64..64, 1u64..32, 0..3u8).prop_map(|(id, start, len, mode)| Access {
+        region: Region::new(RegionId(id), RegionRange::new(start, start + len)),
+        mode: match mode {
+            0 => AccessMode::Read,
+            1 => AccessMode::Write,
+            _ => AccessMode::ReadWrite,
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Graphs built from arbitrary access sequences are acyclic and
+    /// edges always point backwards (no task depends on a later one).
+    #[test]
+    fn tdg_from_accesses_is_acyclic(accs in prop::collection::vec(
+        prop::collection::vec(access_strategy(), 0..4), 1..40)
+    ) {
+        let tasks: Vec<TaskMeta> = accs
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let mut m = TaskMeta::new(format!("t{i}"));
+                m.accesses = a;
+                m
+            })
+            .collect();
+        let g = TaskGraph::from_accesses(tasks);
+        let order = g.topo_order();
+        prop_assert!(order.is_some());
+        for node in g.nodes() {
+            for p in &node.preds {
+                prop_assert!(p.0 < node.id.0, "edge must point backwards");
+            }
+        }
+    }
+
+    /// The dependency tracker serialises writers: for any access
+    /// sequence on one region, two writers are always ordered through
+    /// a chain of dependencies.
+    #[test]
+    fn writers_to_same_range_are_ordered(modes in prop::collection::vec(0..3u8, 2..30)) {
+        let mut t = DepTracker::new();
+        let mut writers = Vec::new();
+        let mut reach: Vec<Vec<bool>> = Vec::new(); // reach[i][j]: j reaches i
+        for (i, m) in modes.iter().enumerate() {
+            let mode = match m { 0 => AccessMode::Read, 1 => AccessMode::Write, _ => AccessMode::ReadWrite };
+            let preds = t.submit(TaskId(i as u32), &[Access {
+                region: Region::new(RegionId(0), RegionRange::new(0, 10)),
+                mode,
+            }]);
+            let mut row = vec![false; i + 1];
+            for p in preds {
+                row[p.index()] = true;
+                for j in 0..=p.index() {
+                    if reach[p.index()][j] {
+                        row[j] = true;
+                    }
+                }
+            }
+            row[i] = true;
+            reach.push(row);
+            if mode.writes() {
+                writers.push(i);
+            }
+        }
+        for w in writers.windows(2) {
+            prop_assert!(
+                reach[w[1]][w[0]],
+                "writer {} must (transitively) depend on writer {}",
+                w[1],
+                w[0]
+            );
+        }
+    }
+
+    /// Every sorter sorts arbitrary inputs on arbitrary engine shapes.
+    #[test]
+    fn all_sorters_sort_anything(
+        mut keys in prop::collection::vec(0u64..=u32::MAX as u64, 0..300),
+        mvl_exp in 1u32..7,
+        lane_exp in 0u32..3,
+    ) {
+        let mvl = 1usize << mvl_exp;
+        let lanes = (1usize << lane_exp).min(mvl);
+        let mut want = keys.clone();
+        want.sort_unstable();
+        for s in all_sorters() {
+            let mut k = keys.clone();
+            s.sort(EngineCfg::new(mvl, lanes), &mut k);
+            prop_assert_eq!(&k, &want, "{} mvl={} lanes={}", s.name(), mvl, lanes);
+        }
+        keys.clear();
+    }
+
+    /// The schedule simulator never violates dependencies and never
+    /// finishes faster than the critical path or total-work bounds.
+    #[test]
+    fn simsched_respects_lower_bounds(
+        layers in 2usize..8,
+        width in 1usize..8,
+        cores in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        use raa_runtime::graph::generators;
+        let g = generators::random_layered(layers, width, 1..50, seed);
+        let r = ScheduleSimulator::new(&g, CorePool::homogeneous(cores, 1.0), SimPolicy::BottomLevel).run();
+        let (cp, _) = g.critical_path();
+        prop_assert!(r.makespan + 1e-9 >= cp as f64, "faster than the critical path");
+        prop_assert!(
+            r.makespan + 1e-9 >= g.total_work() as f64 / cores as f64,
+            "faster than total work allows"
+        );
+        for node in g.nodes() {
+            for &p in &node.preds {
+                let p_end = r.start_times[p.index()] + g.node(p).meta.cost as f64;
+                prop_assert!(r.start_times[node.id.index()] >= p_end - 1e-9);
+            }
+        }
+    }
+
+    /// FEIR reconstruction is exact for arbitrary lost blocks and
+    /// solver states.
+    #[test]
+    fn feir_recovery_is_exact(
+        iters in 1usize..60,
+        block_start in 0usize..300,
+        block_len in 8usize..80,
+    ) {
+        let a = Csr::poisson2d(20, 20);
+        let n = a.n();
+        let block = block_start.min(n - block_len)..(block_start.min(n - block_len) + block_len);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) - 11.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let mid = raa_solver::cg::cg(&a, &b, 0.0, iters, |_, _| {});
+        let r = recompute_residual(&a, &b, &mid.x);
+        let mut x = mid.x.clone();
+        let lost = x[block.clone()].to_vec();
+        for e in &mut x[block.clone()] {
+            *e = 0.0;
+        }
+        let rec = recover_x_block(&a, &b, &r, &x, block, 1e-13);
+        prop_assert!(reconstruction_error(&rec, &lost) < 1e-8);
+    }
+
+    /// Region range algebra: overlap is symmetric and consistent with
+    /// intersection.
+    #[test]
+    fn range_overlap_algebra(a in 0u64..100, b in 0u64..100, c in 0u64..100, d in 0u64..100) {
+        let r1 = RegionRange::new(a.min(b), a.max(b));
+        let r2 = RegionRange::new(c.min(d), c.max(d));
+        prop_assert_eq!(r1.overlaps(&r2), r2.overlaps(&r1));
+        prop_assert_eq!(r1.overlaps(&r2), r1.intersect(&r2).is_some());
+        if let Some(i) = r1.intersect(&r2) {
+            prop_assert!(r1.contains(&i) && r2.contains(&i));
+        }
+    }
+}
+
+// ---------- second round: hardware-model invariants ----------
+
+use raa_sim::cache::Cache;
+use raa_sim::{HierarchyMode, Machine, MachineConfig};
+use raa_vector::engine::{VectorEngine, Vreg};
+use raa_workloads::trace::{MemRef, RefClass, TraceEvent};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The set-associative cache behaves exactly like a naive
+    /// fully-keyed LRU model of the same geometry (hits/misses per
+    /// access), for any access sequence.
+    #[test]
+    fn cache_matches_naive_lru_oracle(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        // 4 sets × 2 ways with the hashed index; the oracle mirrors the
+        // same set function.
+        let mut cache = Cache::new(8, 2);
+        // oracle: per set, list of (line, last_use), capacity 2.
+        let mut oracle: Vec<Vec<(u64, usize)>> = vec![Vec::new(); 4];
+        let set_of = |line: u64| ((line ^ (line >> 2) ^ (line >> 4)) as usize) & 3;
+        for (t, &(line, store)) in accesses.iter().enumerate() {
+            let set = &mut oracle[set_of(line)];
+            let hit_oracle = if let Some(e) = set.iter_mut().find(|e| e.0 == line) {
+                e.1 = t;
+                true
+            } else {
+                if set.len() == 2 {
+                    let (idx, _) = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.1)
+                        .expect("full set");
+                    set.remove(idx);
+                }
+                set.push((line, t));
+                false
+            };
+            let hit_real = matches!(cache.access(line, store), raa_sim::cache::AccessResult::Hit);
+            prop_assert_eq!(hit_real, hit_oracle, "access {} line {}", t, line);
+        }
+    }
+
+    /// VPI and VLU match their definitional oracles on arbitrary
+    /// registers, and compose: an element is a "last unique" iff its VPI
+    /// value equals (occurrences of its value) − 1.
+    #[test]
+    fn vpi_vlu_match_definitions(values in prop::collection::vec(0u64..16, 1..64)) {
+        let vl = values.len();
+        let mut e = VectorEngine::new(raa_vector::EngineCfg::new(64, 2));
+        e.set_vl(vl);
+        let v = Vreg(values.clone());
+        let vpi = e.vpi(&v);
+        let vlu = e.vlu(&v);
+        for i in 0..vl {
+            let prior = values[..i].iter().filter(|&&x| x == values[i]).count() as u64;
+            prop_assert_eq!(vpi.0[i], prior, "VPI at {}", i);
+            let later = values[i + 1..].iter().any(|&x| x == values[i]);
+            prop_assert_eq!(vlu.0[i], !later, "VLU at {}", i);
+            let total = values.iter().filter(|&&x| x == values[i]).count() as u64;
+            prop_assert_eq!(vlu.0[i], vpi.0[i] == total - 1, "composition at {}", i);
+        }
+    }
+
+    /// The machine serves every reference through exactly one path
+    /// (conservation), in both hierarchy modes, for arbitrary classified
+    /// streams.
+    #[test]
+    fn machine_conserves_references(
+        refs in prop::collection::vec((0u64..4096u64, 0u8..3, any::<bool>()), 1..400),
+        hybrid in any::<bool>(),
+    ) {
+        let mode = if hybrid { HierarchyMode::Hybrid } else { HierarchyMode::CacheOnly };
+        // Map addresses into two arrays: [0,16K) mapped, [16K,32K) not.
+        let mut m = Machine::new(MachineConfig::tiled(4, mode), vec![(0, 16384)]);
+        let events: Vec<TraceEvent> = refs
+            .iter()
+            .map(|&(a, cls, store)| {
+                let class = match cls {
+                    0 => RefClass::Strided,
+                    1 => RefClass::RandomNoAlias,
+                    _ => RefClass::RandomUnknown,
+                };
+                let addr = (a * 8) % 32768;
+                TraceEvent::Mem(if store {
+                    MemRef::store(addr, 8, class)
+                } else {
+                    MemRef::load(addr, 8, class)
+                })
+            })
+            .collect();
+        let n = events.len() as u64;
+        let r = m.run_streams(vec![Box::new(events.into_iter())]);
+        prop_assert_eq!(r.mem_refs, n);
+        prop_assert_eq!(
+            r.l1_hits + r.l1_misses + r.spm_hits + r.spm_fills,
+            n,
+            "every reference must be served exactly once"
+        );
+        prop_assert!(r.cycles >= n, "each reference costs at least one cycle");
+    }
+
+    /// Linear interpolation of a lost block is always bounded by the
+    /// surviving boundary values.
+    #[test]
+    fn interpolation_stays_within_boundary_values(
+        vals in prop::collection::vec(-100.0f64..100.0, 4..50),
+        start in 1usize..20,
+        len in 1usize..20,
+    ) {
+        use raa_solver::recovery::interpolate_block;
+        let n = vals.len();
+        let start = start.min(n - 2);
+        let len = len.min(n - 1 - start);
+        let block = start..start + len;
+        let rec = interpolate_block(&vals, block.clone());
+        let lo = vals[start - 1].min(vals[block.end.min(n - 1)]);
+        let hi = vals[start - 1].max(vals[block.end.min(n - 1)]);
+        for v in rec {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    /// Online criticality bottom levels never exceed the exact offline
+    /// values and converge to them once the whole graph is known.
+    #[test]
+    fn online_criticality_is_a_monotone_lower_bound(
+        layers in 2usize..7,
+        width in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        use raa_runtime::criticality::OnlineCriticality;
+        use raa_runtime::graph::generators;
+        let g = generators::random_layered(layers, width, 1..40, seed);
+        let exact = g.bottom_levels();
+        let mut oc = OnlineCriticality::new(0.9);
+        for node in g.nodes() {
+            oc.submit(node.id, node.meta.cost, &node.preds);
+            // Estimates are lower bounds throughout construction.
+            for seen in g.nodes().take_while(|n| n.id <= node.id) {
+                prop_assert!(oc.bottom_level(seen.id) <= exact[seen.id.index()]);
+            }
+        }
+        for node in g.nodes() {
+            prop_assert_eq!(oc.bottom_level(node.id), exact[node.id.index()]);
+        }
+    }
+}
+
+// ---------- third round: API-surface invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Blocks` always partitions exactly: disjoint, covering, and
+    /// block_of agrees with the ranges.
+    #[test]
+    fn blocks_partition_exactly(n in 1usize..200, blocks in 1usize..16) {
+        use raa_runtime::{Blocks, Runtime, RuntimeConfig};
+        let blocks = blocks.min(n);
+        let rt = Runtime::new(RuntimeConfig::with_workers(1));
+        let b = Blocks::register(&rt, "v", vec![0u8; n], blocks);
+        prop_assert_eq!(b.blocks(), blocks);
+        prop_assert_eq!(b.len(), n);
+        let mut covered = 0usize;
+        for i in 0..blocks {
+            let r = b.range(i);
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+            for e in r.clone() {
+                prop_assert_eq!(b.block_of(e), i);
+            }
+            for j in i + 1..blocks {
+                prop_assert!(!b.region(i).overlaps(&b.region(j)));
+            }
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    /// The ISA interpreter and direct engine calls charge identical
+    /// cycles for equivalent programs.
+    #[test]
+    fn isa_cycle_parity(vl in 1usize..32, seed in 0u64..100) {
+        use raa_vector::engine::VectorEngine;
+        use raa_vector::isa::{IsaMachine, VectorOp};
+        use raa_vector::EngineCfg;
+        let cfg = EngineCfg::new(32, 2);
+        let mut mem: Vec<u64> = (0..64).map(|i| i ^ seed).collect();
+        let mut isa = IsaMachine::new(cfg);
+        isa.run(
+            &[
+                VectorOp::SetVl { n: vl },
+                VectorOp::Ld { dst: 0, addr: 0 },
+                VectorOp::Vpi { dst: 1, a: 0 },
+                VectorOp::Vlu { m_dst: 0, a: 0 },
+                VectorOp::RedSum { a: 1 },
+            ],
+            &mut mem,
+        );
+        let mut direct = VectorEngine::new(cfg);
+        direct.set_vl(vl);
+        let v = direct.load(&mem[..vl.max(1)]);
+        let p = direct.vpi(&v);
+        let _ = direct.vlu(&v);
+        let _ = direct.reduce_sum(&p);
+        prop_assert_eq!(isa.cycles(), direct.cycles());
+    }
+
+    /// Gantt output is rectangular and only ever uses the two cell
+    /// glyphs.
+    #[test]
+    fn gantt_is_well_formed(layers in 1usize..6, width in 1usize..6, cores in 1usize..5) {
+        use raa_runtime::graph::generators;
+        use raa_runtime::{CorePool, ScheduleSimulator, SimPolicy};
+        let g = generators::random_layered(layers, width, 1..20, 9);
+        let r = ScheduleSimulator::new(&g, CorePool::homogeneous(cores, 1.0), SimPolicy::Fifo)
+            .run();
+        let text = r.gantt(32);
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), cores);
+        for l in lines {
+            let bar = l.split('|').nth(1).expect("row has bars");
+            prop_assert_eq!(bar.len(), 32);
+            prop_assert!(bar.chars().all(|c| c == '#' || c == '.'));
+        }
+        // Some busy time must appear somewhere.
+        prop_assert!(text.contains('#'));
+    }
+}
