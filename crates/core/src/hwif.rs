@@ -89,6 +89,10 @@ pub struct RsuDriver {
     pub low_grants: AtomicU64,
     /// All other grants.
     pub other_grants: AtomicU64,
+    /// Attempts that panicked after their grant was issued; each one
+    /// released its core so a retried attempt re-negotiates from a
+    /// clean RSU state instead of leaking the budget share.
+    pub fault_events: AtomicU64,
 }
 
 impl RsuDriver {
@@ -102,6 +106,7 @@ impl RsuDriver {
             turbo_grants: AtomicU64::new(0),
             low_grants: AtomicU64::new(0),
             other_grants: AtomicU64::new(0),
+            fault_events: AtomicU64::new(0),
         })
     }
 
@@ -136,6 +141,14 @@ impl TaskObserver for RsuDriver {
     }
 
     fn on_complete(&self, worker: usize, _task: TaskId) {
+        self.hw.task_done(worker);
+    }
+
+    fn on_fault(&self, worker: usize, _task: TaskId) {
+        // A panicked attempt never reaches `on_complete`; without this
+        // release the core's frequency grant would leak across retries
+        // and the RSU budget would slowly starve the healthy workers.
+        self.fault_events.fetch_add(1, Ordering::Relaxed);
         self.hw.task_done(worker);
     }
 }
@@ -215,5 +228,22 @@ mod tests {
         // Everything released: full headroom back.
         let full = driver.hardware().power_headroom();
         assert!(full > 0.0);
+    }
+
+    #[test]
+    fn panicking_task_releases_its_grant() {
+        use raa_runtime::{Runtime, RuntimeConfig};
+        let driver = RsuDriver::new(4);
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).observer(driver.clone()));
+        let full = driver.hardware().power_headroom();
+        rt.task("boom").body(|| panic!("kaput")).spawn();
+        rt.task("fine").body(|| {}).spawn();
+        let report = rt.try_taskwait().unwrap_err();
+        assert_eq!(report.len(), 1);
+        assert_eq!(driver.fault_events.load(Ordering::Relaxed), 1);
+        assert!(
+            (driver.hardware().power_headroom() - full).abs() < 1e-9,
+            "the panicked attempt must release its core's grant"
+        );
     }
 }

@@ -125,7 +125,7 @@ impl RaaSystem {
             let stat = self.run_static(g);
             let rsu = self.run_rsu(g);
             let sw = self.run_software(g);
-            let rand = self.run_random(g, 0xF16_2);
+            let rand = self.run_random(g, 0xF162);
             rows.push(Fig2Row {
                 workload: name.to_string(),
                 perf_improvement: improvement(stat.makespan, rsu.makespan),

@@ -1,0 +1,486 @@
+//! Fault injection and failure reporting for the task runtime.
+//!
+//! Three pieces live here:
+//!
+//! * [`FaultPlan`] — a seeded, deterministic injection plan. Given a task
+//!   id and attempt number it decides (by hashing, not by shared mutable
+//!   state) whether that execution panics, stalls, or proceeds; given a
+//!   worker id and its executed-task count it decides whether the worker
+//!   thread dies. Determinism means a campaign run with a fixed seed
+//!   injects exactly the same faults every time, which is what makes the
+//!   fault-injection campaign (`fig4x_fault_campaign`) reproducible.
+//! * [`RetryPolicy`] — capped exponential backoff for re-executing tasks
+//!   that were declared idempotent (see `TaskBuilder::idempotent`).
+//! * [`TaskError`] / [`TaskFailure`] / [`FaultReport`] — the typed error
+//!   report returned by `Runtime::try_taskwait`, carrying every failed
+//!   task with its label, attempt count and cause chain (a task poisoned
+//!   by an upstream failure names its source).
+//!
+//! The paper's resilience story (§4) assumes detected errors; this module
+//! is the runtime-level half of that machinery: detection is the panic /
+//! heartbeat boundary, recovery is retry + poisoned-region propagation.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::task::TaskId;
+
+// ------------------------------------------------------------ fault plan
+
+/// What the plan injects at one task-execution boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The attempt panics before the user body runs (a crashed task).
+    Panic,
+    /// The attempt sleeps before running (a stalled task; it still
+    /// succeeds, but trips the worker watchdog's stall detector).
+    Stall(Duration),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct WorkerKill {
+    worker: usize,
+    /// Fires when the worker's executed-task counter equals this value.
+    after: u64,
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Decisions are pure functions of `(seed, task, attempt)` — repeated
+/// runs with the same seed and the same spawn order inject identical
+/// faults. Panic and stall decisions are independent per attempt, so a
+/// retried task is *not* doomed to repeat its fault; the optional
+/// [`FaultPlan::max_panics_per_task`] cap guarantees an upper bound on
+/// injected panics per task, which in turn guarantees survival under a
+/// sufficiently deep [`RetryPolicy`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    panic_rate: f64,
+    max_panics_per_task: u32,
+    stall_rate: f64,
+    stall: Duration,
+    kills: Vec<WorkerKill>,
+}
+
+const PANIC_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+const STALL_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_rate: 0.0,
+            max_panics_per_task: u32::MAX,
+            stall_rate: 0.0,
+            stall: Duration::from_millis(2),
+            kills: Vec::new(),
+        }
+    }
+
+    /// Probability that any given task attempt panics before its body.
+    pub fn panic_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Cap injected panics per task: attempts at index `>= cap` are never
+    /// panicked, so an idempotent task with `retries(cap)` always
+    /// survives injection.
+    pub fn max_panics_per_task(mut self, cap: u32) -> Self {
+        self.max_panics_per_task = cap;
+        self
+    }
+
+    /// Probability that an attempt stalls for `stall` before running.
+    pub fn stall_rate(mut self, rate: f64, stall: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.stall_rate = rate;
+        self.stall = stall;
+        self
+    }
+
+    /// Kill worker `worker`'s thread right after it has executed
+    /// `after_executed` tasks. The dying worker drains its local queue
+    /// back to the shared pool first, so no tasks are lost.
+    pub fn kill_worker(mut self, worker: usize, after_executed: u64) -> Self {
+        self.kills.push(WorkerKill {
+            worker,
+            after: after_executed,
+        });
+        self
+    }
+
+    /// The plan's seed (diagnostics).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decide what happens to `task`'s execution attempt number `attempt`
+    /// (0 = first run, 1 = first retry, ...).
+    pub fn decide(&self, task: TaskId, attempt: u32) -> Option<InjectedFault> {
+        let key = ((task.0 as u64) << 32) | attempt as u64;
+        // Pre-mix the seed before folding in the key: a plain
+        // `seed ^ key` collides across neighbouring (seed, attempt)
+        // pairs (2042 ^ 0 == 2043 ^ 1), making adjacent campaign trials
+        // replay permutations of each other's faults.
+        if self.panic_rate > 0.0
+            && attempt < self.max_panics_per_task
+            && unit(mix(mix(self.seed ^ PANIC_SALT) ^ key)) < self.panic_rate
+        {
+            return Some(InjectedFault::Panic);
+        }
+        if self.stall_rate > 0.0 && unit(mix(mix(self.seed ^ STALL_SALT) ^ key)) < self.stall_rate {
+            return Some(InjectedFault::Stall(self.stall));
+        }
+        None
+    }
+
+    /// True when a worker that has executed exactly `executed` tasks is
+    /// scheduled to die. Exact equality makes each kill fire once even
+    /// though the executed counter keeps growing across a respawn.
+    pub fn should_kill(&self, worker: usize, executed: u64) -> bool {
+        self.kills
+            .iter()
+            .any(|k| k.worker == worker && k.after == executed)
+    }
+
+    /// True when the plan injects worker deaths at all.
+    pub fn kills_workers(&self) -> bool {
+        !self.kills.is_empty()
+    }
+}
+
+// ---------------------------------------------------------- retry policy
+
+/// Per-task retry with capped exponential backoff.
+///
+/// `max_attempts` counts every execution including the first, so the
+/// default of 1 disables retry entirely. Only tasks declared idempotent
+/// (`TaskBuilder::idempotent`) are ever re-executed; a panicking
+/// non-idempotent task fails immediately and poisons its written regions.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total execution attempts per task, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub backoff_factor: f64,
+    /// Upper bound on any single backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: Duration::from_micros(200),
+            backoff_factor: 2.0,
+            backoff_cap: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `retries` re-executions after the first attempt.
+    pub fn retries(retries: u32) -> Self {
+        RetryPolicy {
+            max_attempts: retries + 1,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style backoff override.
+    pub fn backoff(mut self, base: Duration, factor: f64, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_factor = factor;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// The delay before re-enqueueing a task that has failed
+    /// `failed_attempts` times (>= 1).
+    pub fn backoff_after(&self, failed_attempts: u32) -> Duration {
+        let exp = failed_attempts.saturating_sub(1).min(20) as i32;
+        let secs = self.backoff_base.as_secs_f64() * self.backoff_factor.powi(exp);
+        Duration::from_secs_f64(secs).min(self.backoff_cap)
+    }
+}
+
+// ------------------------------------------------------------- watchdog
+
+/// Worker-watchdog configuration (see `pool.rs`): a monitor thread that
+/// detects dead workers (their `alive` flag dropped) and stalled workers
+/// (heartbeat frozen mid-task past `stall_timeout`), respawning dead ones
+/// when `respawn` is set or degrading to fewer workers otherwise.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Run the watchdog thread at all.
+    pub enabled: bool,
+    /// Monitor period.
+    pub interval: Duration,
+    /// A busy worker whose heartbeat is frozen this long counts stalled.
+    pub stall_timeout: Duration,
+    /// Replace dead workers (true) or degrade to fewer workers (false).
+    pub respawn: bool,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: false,
+            interval: Duration::from_millis(2),
+            stall_timeout: Duration::from_millis(100),
+            respawn: true,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// An enabled watchdog with default timing.
+    pub fn enabled() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style respawn toggle.
+    pub fn respawn(mut self, respawn: bool) -> Self {
+        self.respawn = respawn;
+        self
+    }
+
+    /// Builder-style stall-timeout override.
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+}
+
+// -------------------------------------------------------- typed failures
+
+/// Why a task failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError {
+    /// The body panicked on its final attempt; the payload message.
+    Panicked(String),
+    /// The task never ran its body: an upstream failure poisoned a region
+    /// it reads, so it failed fast. `source` is the task whose failure
+    /// poisoned the region (itself possibly a `Poisoned` victim — follow
+    /// the chain through the report).
+    Poisoned {
+        source: TaskId,
+        source_label: String,
+    },
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            TaskError::Poisoned {
+                source,
+                source_label,
+            } => write!(f, "poisoned by {source:?} '{source_label}'"),
+        }
+    }
+}
+
+/// One failed task in a [`FaultReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskFailure {
+    pub task: TaskId,
+    pub label: String,
+    /// Execution attempts that ran (0 for tasks that failed fast).
+    pub attempts: u32,
+    pub error: TaskError,
+}
+
+impl fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.attempts {
+            0 => write!(f, "{:?} '{}': {}", self.task, self.label, self.error),
+            n => write!(
+                f,
+                "{:?} '{}': {} (after {} attempt{})",
+                self.task,
+                self.label,
+                self.error,
+                n,
+                if n == 1 { "" } else { "s" }
+            ),
+        }
+    }
+}
+
+/// Everything that failed between two taskwaits, returned by
+/// `Runtime::try_taskwait`. Failures appear in completion order; poisoned
+/// victims reference their poisoning source so cause chains can be
+/// followed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    pub failures: Vec<TaskFailure>,
+}
+
+impl FaultReport {
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Failures whose body actually panicked (fault roots).
+    pub fn panicked(&self) -> impl Iterator<Item = &TaskFailure> {
+        self.failures
+            .iter()
+            .filter(|f| matches!(f.error, TaskError::Panicked(_)))
+    }
+
+    /// Failures that were skipped because of upstream poison (victims).
+    pub fn poisoned(&self) -> impl Iterator<Item = &TaskFailure> {
+        self.failures
+            .iter()
+            .filter(|f| matches!(f.error, TaskError::Poisoned { .. }))
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} task(s) failed:", self.failures.len())?;
+        for failure in &self.failures {
+            writeln!(f, "  {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FaultReport {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = FaultPlan::new(42).panic_rate(0.3);
+        let b = FaultPlan::new(42).panic_rate(0.3);
+        for t in 0..200u32 {
+            for attempt in 0..3 {
+                assert_eq!(a.decide(TaskId(t), attempt), b.decide(TaskId(t), attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn panic_rate_roughly_respected() {
+        let plan = FaultPlan::new(7).panic_rate(0.25);
+        let hits = (0..4000u32)
+            .filter(|&t| plan.decide(TaskId(t), 0) == Some(InjectedFault::Panic))
+            .count();
+        let frac = hits as f64 / 4000.0;
+        assert!((0.2..0.3).contains(&frac), "observed rate {frac}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).panic_rate(0.5);
+        let b = FaultPlan::new(2).panic_rate(0.5);
+        let same = (0..256u32)
+            .filter(|&t| a.decide(TaskId(t), 0) == b.decide(TaskId(t), 0))
+            .count();
+        assert!(same < 256, "seeds must change the injection pattern");
+    }
+
+    #[test]
+    fn max_panics_caps_attempts() {
+        let plan = FaultPlan::new(3).panic_rate(1.0).max_panics_per_task(2);
+        assert_eq!(plan.decide(TaskId(0), 0), Some(InjectedFault::Panic));
+        assert_eq!(plan.decide(TaskId(0), 1), Some(InjectedFault::Panic));
+        assert_eq!(plan.decide(TaskId(0), 2), None, "attempt 2 must survive");
+    }
+
+    #[test]
+    fn stall_decision_carries_duration() {
+        let plan = FaultPlan::new(9).stall_rate(1.0, Duration::from_millis(5));
+        assert_eq!(
+            plan.decide(TaskId(11), 0),
+            Some(InjectedFault::Stall(Duration::from_millis(5)))
+        );
+    }
+
+    #[test]
+    fn kill_fires_exactly_at_count() {
+        let plan = FaultPlan::new(0).kill_worker(1, 10);
+        assert!(!plan.should_kill(1, 9));
+        assert!(plan.should_kill(1, 10));
+        assert!(!plan.should_kill(1, 11), "a kill must not re-fire");
+        assert!(!plan.should_kill(0, 10));
+        assert!(plan.kills_workers());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::retries(5).backoff(
+            Duration::from_millis(1),
+            2.0,
+            Duration::from_millis(5),
+        );
+        assert_eq!(p.max_attempts, 6);
+        assert_eq!(p.backoff_after(1), Duration::from_millis(1));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(2));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(4));
+        assert_eq!(p.backoff_after(4), Duration::from_millis(5), "capped");
+        assert_eq!(p.backoff_after(10), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn default_policy_disables_retry() {
+        assert_eq!(RetryPolicy::default().max_attempts, 1);
+    }
+
+    #[test]
+    fn report_display_lists_labels_and_chains() {
+        let report = FaultReport {
+            failures: vec![
+                TaskFailure {
+                    task: TaskId(3),
+                    label: "spmv[1]".into(),
+                    attempts: 2,
+                    error: TaskError::Panicked("boom".into()),
+                },
+                TaskFailure {
+                    task: TaskId(5),
+                    label: "dot".into(),
+                    attempts: 0,
+                    error: TaskError::Poisoned {
+                        source: TaskId(3),
+                        source_label: "spmv[1]".into(),
+                    },
+                },
+            ],
+        };
+        let text = report.to_string();
+        assert!(text.contains("2 task(s) failed"));
+        assert!(text.contains("t3 'spmv[1]': panicked: boom (after 2 attempts)"));
+        assert!(text.contains("t5 'dot': poisoned by t3 'spmv[1]'"));
+        assert_eq!(report.panicked().count(), 1);
+        assert_eq!(report.poisoned().count(), 1);
+    }
+}

@@ -59,6 +59,7 @@
 pub mod blocked;
 pub mod criticality;
 pub mod deps;
+pub mod fault;
 pub mod graph;
 pub mod pool;
 pub mod region;
@@ -69,9 +70,13 @@ pub mod stats;
 pub mod task;
 
 pub use blocked::Blocks;
+pub use fault::{
+    FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
+};
 pub use graph::TaskGraph;
 pub use region::{AccessMode, DataHandle, Region, RegionRange};
 pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskObserver};
 pub use scheduler::SchedulerPolicy;
 pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};
-pub use task::{Criticality, TaskId, TaskMeta};
+pub use stats::StatsSnapshot;
+pub use task::{Criticality, ExecBody, TaskId, TaskMeta};

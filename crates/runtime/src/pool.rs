@@ -3,19 +3,36 @@
 //! Workers loop: pop a ready task (policy-dependent, see
 //! [`crate::scheduler`]), execute it under `catch_unwind`, then hand the
 //! completion to the runtime, which may return newly released tasks to
-//! push.  Idle workers park on a condvar; spawners and completers wake
-//! them.
+//! push and/or a retry directive (re-enqueue after a backoff).  Idle
+//! workers park on a condvar; spawners and completers wake them.
+//!
+//! Fault tolerance lives in three places here:
+//!
+//! * every worker maintains a *heartbeat* counter and a *busy* flag;
+//! * an optional **watchdog** thread (see [`crate::fault::WatchdogConfig`])
+//!   scans them: a worker whose `alive` flag dropped is respawned (or the
+//!   pool degrades to fewer workers), and a busy worker with a frozen
+//!   heartbeat past the stall timeout is counted as stalled;
+//! * a **retry timer** thread parks delayed re-executions until their
+//!   backoff deadline, then pushes them back into the ready queues.
+//!
+//! An injected worker death (via [`crate::fault::FaultPlan::kill_worker`])
+//! drains the dying worker's local deque back to the shared queues before
+//! the thread exits, so queued tasks are never lost.
 
+use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 
+use crate::fault::{FaultPlan, WatchdogConfig};
 use crate::scheduler::{ReadyQueues, ReadyTask};
-use crate::task::TaskId;
+use crate::task::{ExecBody, TaskId};
 
 thread_local! {
     static CURRENT_WORKER: std::cell::Cell<Option<usize>> =
@@ -32,12 +49,44 @@ pub fn current_worker() -> Option<usize> {
 pub struct Completion {
     /// Tasks released by this completion, ready to run.
     pub released: Vec<ReadyTask>,
+    /// Re-enqueue this task after the backoff (retry of a failed
+    /// idempotent task).
+    pub retry: Option<(ReadyTask, Duration)>,
+}
+
+impl Completion {
+    /// A completion that only releases successors.
+    pub fn released(released: Vec<ReadyTask>) -> Self {
+        Completion {
+            released,
+            retry: None,
+        }
+    }
 }
 
 /// The runtime side of the pool: told when a task body finishes (cleanly
-/// or by panic) and responds with the tasks that became ready.
+/// or by panic) and responds with the tasks that became ready. The spent
+/// body is handed back so the client can decide to retry it.
 pub trait PoolClient: Send + Sync + 'static {
-    fn on_complete(&self, task: TaskId, panicked: Option<String>) -> Completion;
+    fn on_complete(&self, task: TaskId, panicked: Option<String>, body: ExecBody) -> Completion;
+}
+
+/// Fault-related pool counters (merged into
+/// [`crate::stats::StatsSnapshot`] by `Runtime::stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolFaultStats {
+    pub worker_deaths: u64,
+    pub worker_respawns: u64,
+    pub worker_stalls: u64,
+}
+
+/// Pool construction options beyond the worker count.
+#[derive(Clone, Default)]
+pub struct PoolOptions {
+    /// Injected worker deaths (panic/stall injection happens at the task
+    /// layer, in the runtime's body instrumentation).
+    pub plan: Option<Arc<FaultPlan>>,
+    pub watchdog: WatchdogConfig,
 }
 
 struct PoolShared {
@@ -46,32 +95,96 @@ struct PoolShared {
     idle_lock: Mutex<usize>,
     idle_cv: Condvar,
     shutdown: AtomicBool,
-    /// Tasks executed per worker (load-balance diagnostics).
-    executed: Vec<std::sync::atomic::AtomicU64>,
+    /// Tasks executed per worker (load-balance diagnostics and the kill
+    /// trigger for injected worker deaths).
+    executed: Vec<AtomicU64>,
+    /// Bumped by a worker every loop iteration and task start; the
+    /// watchdog reads it to detect stalls.
+    heartbeats: Vec<AtomicU64>,
+    /// True while the worker is inside a task body.
+    busy: Vec<AtomicBool>,
+    /// Dropped by a dying worker; the watchdog respawns or degrades.
+    alive: Vec<AtomicBool>,
+    deaths: AtomicU64,
+    respawns: AtomicU64,
+    stalls: AtomicU64,
+    plan: Option<Arc<FaultPlan>>,
+    watchdog: WatchdogConfig,
+    /// Sender into the retry-timer thread; taken (disconnecting the
+    /// timer) at shutdown.
+    retry_tx: Mutex<Option<mpsc::Sender<(ReadyTask, Instant)>>>,
+}
+
+impl PoolShared {
+    fn wake_one_locked(&self) {
+        let _g = self.idle_lock.lock();
+        self.idle_cv.notify_one();
+    }
+
+    fn wake_all_locked(&self) {
+        let _g = self.idle_lock.lock();
+        self.idle_cv.notify_all();
+    }
+
+    /// Hand a retry to the timer thread, or push it immediately when the
+    /// timer is gone (shutdown in progress).
+    fn schedule_retry(&self, task: ReadyTask, delay: Duration) {
+        let deadline = Instant::now() + delay;
+        let rejected = {
+            let tx = self.retry_tx.lock();
+            match tx.as_ref() {
+                Some(tx) => match tx.send((task, deadline)) {
+                    Ok(()) => None,
+                    Err(mpsc::SendError((task, _))) => Some(task),
+                },
+                None => Some(task),
+            }
+        };
+        if let Some(task) = rejected {
+            self.queues.push(task, None);
+            self.wake_one_locked();
+        }
+    }
 }
 
 /// A fixed set of worker threads bound to a [`ReadyQueues`].
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
+    workers: usize,
     handles: Vec<JoinHandle<()>>,
+    timer: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl WorkerPool {
     /// Spawn `workers` threads executing tasks from `queues`, reporting
     /// completions to `client`.
-    pub fn new(workers: usize, queues: Arc<ReadyQueues>, client: Arc<dyn PoolClient>) -> Self {
+    pub fn new(
+        workers: usize,
+        queues: Arc<ReadyQueues>,
+        client: Arc<dyn PoolClient>,
+        options: PoolOptions,
+    ) -> Self {
         assert!(workers >= 1, "the pool needs at least one worker");
         let deques: Vec<Deque<ReadyTask>> = (0..workers).map(|_| Deque::new_lifo()).collect();
         let stealers: Vec<Stealer<ReadyTask>> = deques.iter().map(|d| d.stealer()).collect();
+        let (retry_tx, retry_rx) = mpsc::channel();
         let shared = Arc::new(PoolShared {
             queues,
             stealers,
             idle_lock: Mutex::new(0),
             idle_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            executed: (0..workers)
-                .map(|_| std::sync::atomic::AtomicU64::new(0))
-                .collect(),
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            busy: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            alive: (0..workers).map(|_| AtomicBool::new(true)).collect(),
+            deaths: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            plan: options.plan,
+            watchdog: options.watchdog,
+            retry_tx: Mutex::new(Some(retry_tx)),
         });
         let handles = deques
             .into_iter()
@@ -81,16 +194,43 @@ impl WorkerPool {
                 let client = Arc::clone(&client);
                 std::thread::Builder::new()
                     .name(format!("raa-worker-{who}"))
-                    .spawn(move || worker_loop(who, deque, shared, client))
+                    .spawn(move || worker_loop(who, Some(deque), shared, client))
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        WorkerPool { shared, handles }
+        let timer = {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("raa-retry-timer".into())
+                    .spawn(move || retry_timer_loop(retry_rx, shared))
+                    .expect("failed to spawn retry timer"),
+            )
+        };
+        let watchdog = if shared.watchdog.enabled {
+            let shared = Arc::clone(&shared);
+            let client = Arc::clone(&client);
+            Some(
+                std::thread::Builder::new()
+                    .name("raa-watchdog".into())
+                    .spawn(move || watchdog_loop(shared, client))
+                    .expect("failed to spawn watchdog"),
+            )
+        } else {
+            None
+        };
+        WorkerPool {
+            shared,
+            workers,
+            handles,
+            timer,
+            watchdog,
+        }
     }
 
-    /// Number of workers.
+    /// Number of workers the pool was built with.
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.workers
     }
 
     /// Tasks executed per worker so far.
@@ -102,6 +242,24 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Worker death / respawn / stall counters.
+    pub fn fault_stats(&self) -> PoolFaultStats {
+        PoolFaultStats {
+            worker_deaths: self.shared.deaths.load(Ordering::Relaxed),
+            worker_respawns: self.shared.respawns.load(Ordering::Relaxed),
+            worker_stalls: self.shared.stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Workers currently marked alive.
+    pub fn alive_workers(&self) -> usize {
+        self.shared
+            .alive
+            .iter()
+            .filter(|a| a.load(Ordering::SeqCst))
+            .count()
+    }
+
     /// Push a ready task from outside the pool and wake a worker.
     pub fn push_external(&self, task: ReadyTask) {
         self.shared.queues.push(task, None);
@@ -110,23 +268,29 @@ impl WorkerPool {
 
     /// Wake one parked worker (after pushing work).
     pub fn wake_one(&self) {
-        let _g = self.shared.idle_lock.lock();
-        self.shared.idle_cv.notify_one();
+        self.shared.wake_one_locked();
     }
 
     /// Wake every parked worker.
     pub fn wake_all(&self) {
-        let _g = self.shared.idle_lock.lock();
-        self.shared.idle_cv.notify_all();
+        self.shared.wake_all_locked();
     }
 
     /// Stop accepting work and join every worker. Queued-but-unexecuted
     /// tasks are dropped.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Disconnect the retry timer so it drains and exits.
+        *self.shared.retry_tx.lock() = None;
         self.wake_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        if let Some(t) = self.timer.take() {
+            let _ = t.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
         }
     }
 }
@@ -139,7 +303,7 @@ impl Drop for WorkerPool {
 
 fn worker_loop(
     who: usize,
-    deque: Deque<ReadyTask>,
+    local: Option<Deque<ReadyTask>>,
     shared: Arc<PoolShared>,
     client: Arc<dyn PoolClient>,
 ) {
@@ -148,8 +312,12 @@ fn worker_loop(
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if let Some(task) = shared.queues.pop(who, Some(&deque), &shared.stealers) {
-            run_one(task, who, &deque, &shared, &client);
+        shared.heartbeats[who].fetch_add(1, Ordering::Relaxed);
+        if let Some(task) = shared.queues.pop(who, local.as_ref(), &shared.stealers) {
+            run_one(task, who, local.as_ref(), &shared, &client);
+            if injected_death(who, &local, &shared) {
+                return;
+            }
             continue;
         }
         // Park: re-check under the idle lock so a concurrent push+notify
@@ -158,9 +326,12 @@ fn worker_loop(
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if let Some(task) = shared.queues.pop(who, Some(&deque), &shared.stealers) {
+        if let Some(task) = shared.queues.pop(who, local.as_ref(), &shared.stealers) {
             drop(idle);
-            run_one(task, who, &deque, &shared, &client);
+            run_one(task, who, local.as_ref(), &shared, &client);
+            if injected_death(who, &local, &shared) {
+                return;
+            }
             continue;
         }
         *idle += 1;
@@ -169,24 +340,62 @@ fn worker_loop(
     }
 }
 
+/// Check the fault plan for an injected worker death; when it fires,
+/// drain the local deque back to the shared queues (no task loss), mark
+/// the worker dead and tell the caller to exit the thread.
+fn injected_death(who: usize, local: &Option<Deque<ReadyTask>>, shared: &PoolShared) -> bool {
+    let Some(plan) = &shared.plan else {
+        return false;
+    };
+    if !plan.should_kill(who, shared.executed[who].load(Ordering::Relaxed)) {
+        return false;
+    }
+    // Refuse to die when nobody could pick up the remaining work: this
+    // is the last alive worker and the watchdog will not respawn it.
+    let others_alive = shared
+        .alive
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| *i != who && a.load(Ordering::SeqCst))
+        .count();
+    let will_respawn = shared.watchdog.enabled && shared.watchdog.respawn;
+    if others_alive == 0 && !will_respawn {
+        return false;
+    }
+    if let Some(deque) = local {
+        while let Some(task) = deque.pop() {
+            shared.queues.push(task, None);
+        }
+    }
+    shared.alive[who].store(false, Ordering::SeqCst);
+    shared.deaths.fetch_add(1, Ordering::Relaxed);
+    shared.wake_all_locked();
+    true
+}
+
 fn run_one(
     task: ReadyTask,
     who: usize,
-    deque: &Deque<ReadyTask>,
+    local: Option<&Deque<ReadyTask>>,
     shared: &PoolShared,
     client: &Arc<dyn PoolClient>,
 ) {
     shared.executed[who].fetch_add(1, Ordering::Relaxed);
-    let id = task.id;
-    let body = task.body;
-    let panicked = match catch_unwind(AssertUnwindSafe(body)) {
+    shared.heartbeats[who].fetch_add(1, Ordering::Relaxed);
+    shared.busy[who].store(true, Ordering::Relaxed);
+    let ReadyTask { id, mut body, .. } = task;
+    let panicked = match catch_unwind(AssertUnwindSafe(|| body.run())) {
         Ok(()) => None,
         Err(payload) => Some(panic_message(payload)),
     };
-    let completion = client.on_complete(id, panicked);
+    shared.busy[who].store(false, Ordering::Relaxed);
+    let completion = client.on_complete(id, panicked, body);
     let n = completion.released.len();
     for t in completion.released {
-        shared.queues.push(t, Some(deque));
+        shared.queues.push(t, local);
+    }
+    if let Some((t, delay)) = completion.retry {
+        shared.schedule_retry(t, delay);
     }
     if n > 0 {
         // We will run one ourselves off the local deque; wake helpers for
@@ -197,6 +406,126 @@ fn run_one(
         } else {
             shared.idle_cv.notify_one();
         }
+    }
+}
+
+// ----------------------------------------------------------- retry timer
+
+/// Heap entry ordered by deadline (earliest first under `BinaryHeap`'s
+/// max-heap by reversing the comparison).
+struct Delayed {
+    at: Instant,
+    task: ReadyTask,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at)
+    }
+}
+
+fn retry_timer_loop(rx: mpsc::Receiver<(ReadyTask, Instant)>, shared: Arc<PoolShared>) {
+    let mut pending: BinaryHeap<Delayed> = BinaryHeap::new();
+    loop {
+        let now = Instant::now();
+        let mut fired = 0usize;
+        while pending.peek().is_some_and(|d| d.at <= now) {
+            let d = pending.pop().expect("peeked");
+            shared.queues.push(d.task, None);
+            fired += 1;
+        }
+        if fired > 0 {
+            let _g = shared.idle_lock.lock();
+            if fired > 1 {
+                shared.idle_cv.notify_all();
+            } else {
+                shared.idle_cv.notify_one();
+            }
+        }
+        let timeout = pending
+            .peek()
+            .map(|d| d.at.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(50))
+            .max(Duration::from_micros(100));
+        match rx.recv_timeout(timeout) {
+            Ok((task, at)) => pending.push(Delayed { at, task }),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Shutdown: release anything still parked so no task is silently
+    // lost (the runtime waits for outstanding work before shutdown, so
+    // this is normally empty).
+    let leftover = pending.len();
+    for d in pending {
+        shared.queues.push(d.task, None);
+    }
+    if leftover > 0 {
+        shared.wake_all_locked();
+    }
+}
+
+// -------------------------------------------------------------- watchdog
+
+fn watchdog_loop(shared: Arc<PoolShared>, client: Arc<dyn PoolClient>) {
+    let n = shared.alive.len();
+    let mut last_beat: Vec<(u64, Instant)> = (0..n)
+        .map(|i| (shared.heartbeats[i].load(Ordering::Relaxed), Instant::now()))
+        .collect();
+    let mut flagged_stalled = vec![false; n];
+    let mut replacements: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.watchdog.interval);
+        for who in 0..n {
+            if !shared.alive[who].load(Ordering::SeqCst) {
+                if shared.watchdog.respawn && !shared.shutdown.load(Ordering::SeqCst) {
+                    // Respawn: same worker index (counters continue), but
+                    // no local deque — the dead thread's deque is gone and
+                    // its stealer slot must stay valid, so replacements
+                    // feed from the shared structures only.
+                    shared.alive[who].store(true, Ordering::SeqCst);
+                    shared.respawns.fetch_add(1, Ordering::Relaxed);
+                    let s = Arc::clone(&shared);
+                    let c = Arc::clone(&client);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("raa-worker-{who}r"))
+                        .spawn(move || worker_loop(who, None, s, c))
+                        .expect("failed to respawn worker");
+                    replacements.push(handle);
+                }
+                continue;
+            }
+            let beat = shared.heartbeats[who].load(Ordering::Relaxed);
+            let (prev, since) = last_beat[who];
+            if beat != prev {
+                last_beat[who] = (beat, Instant::now());
+                flagged_stalled[who] = false;
+            } else if shared.busy[who].load(Ordering::Relaxed)
+                && !flagged_stalled[who]
+                && since.elapsed() >= shared.watchdog.stall_timeout
+            {
+                // Busy with a frozen heartbeat: the task is stalled. The
+                // worker is not replaced (it is alive and will finish);
+                // work-stealing siblings absorb the queue in the
+                // meantime. One count per stall episode.
+                flagged_stalled[who] = true;
+                shared.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    for h in replacements {
+        let _ = h.join();
     }
 }
 
@@ -223,15 +552,25 @@ mod tests {
     }
 
     impl PoolClient for CountingClient {
-        fn on_complete(&self, _task: TaskId, panicked: Option<String>) -> Completion {
+        fn on_complete(
+            &self,
+            _task: TaskId,
+            panicked: Option<String>,
+            _body: ExecBody,
+        ) -> Completion {
             if panicked.is_some() {
                 self.panics.fetch_add(1, Ordering::SeqCst);
             }
             self.done.fetch_add(1, Ordering::SeqCst);
-            Completion {
-                released: Vec::new(),
-            }
+            Completion::released(Vec::new())
         }
+    }
+
+    fn counting() -> Arc<CountingClient> {
+        Arc::new(CountingClient {
+            done: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        })
     }
 
     fn wait_until(pred: impl Fn() -> bool) {
@@ -251,18 +590,15 @@ mod tests {
             priority: 0,
             critical: false,
             seq: 0,
-            body: Box::new(body),
+            body: ExecBody::once(body),
         }
     }
 
     #[test]
     fn executes_pushed_tasks() {
         let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
-        let client = Arc::new(CountingClient {
-            done: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-        });
-        let pool = WorkerPool::new(3, queues, client.clone());
+        let client = counting();
+        let pool = WorkerPool::new(3, queues, client.clone(), PoolOptions::default());
         let hits = Arc::new(AtomicU64::new(0));
         for i in 0..100 {
             let hits = hits.clone();
@@ -278,11 +614,8 @@ mod tests {
     #[test]
     fn panicking_task_is_reported_not_fatal() {
         let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::Fifo));
-        let client = Arc::new(CountingClient {
-            done: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-        });
-        let pool = WorkerPool::new(1, queues, client.clone());
+        let client = counting();
+        let pool = WorkerPool::new(1, queues, client.clone(), PoolOptions::default());
         pool.push_external(ready(0, || panic!("boom")));
         pool.push_external(ready(1, || {}));
         wait_until(|| client.done.load(Ordering::SeqCst) == 2);
@@ -292,14 +625,112 @@ mod tests {
     #[test]
     fn shutdown_joins_workers() {
         let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
-        let client = Arc::new(CountingClient {
-            done: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-        });
-        let mut pool = WorkerPool::new(4, queues, client);
+        let client = counting();
+        let mut pool = WorkerPool::new(4, queues, client, PoolOptions::default());
         pool.shutdown();
         assert_eq!(pool.handles.len(), 0);
         // Second shutdown is a no-op.
         pool.shutdown();
+    }
+
+    #[test]
+    fn killed_worker_tasks_complete_via_respawn() {
+        let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
+        let client = counting();
+        let plan = FaultPlan::new(1).kill_worker(0, 5).kill_worker(1, 5);
+        let options = PoolOptions {
+            plan: Some(Arc::new(plan)),
+            watchdog: WatchdogConfig::enabled(),
+        };
+        let pool = WorkerPool::new(2, queues, client.clone(), options);
+        for i in 0..100 {
+            pool.push_external(ready(i, || {}));
+        }
+        wait_until(|| client.done.load(Ordering::SeqCst) == 100);
+        // The watchdog respawn lags the death by up to one interval.
+        wait_until(|| {
+            let stats = pool.fault_stats();
+            stats.worker_deaths >= 1 && stats.worker_respawns == stats.worker_deaths
+        });
+    }
+
+    #[test]
+    fn killed_worker_degrades_without_losing_tasks() {
+        // Respawn disabled: the pool degrades to one worker but still
+        // finishes everything.
+        let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
+        let client = counting();
+        let plan = FaultPlan::new(1).kill_worker(1, 3);
+        let options = PoolOptions {
+            plan: Some(Arc::new(plan)),
+            watchdog: WatchdogConfig::enabled().respawn(false),
+        };
+        let pool = WorkerPool::new(2, queues, client.clone(), options);
+        for i in 0..200 {
+            pool.push_external(ready(i, || std::thread::sleep(Duration::from_micros(50))));
+        }
+        wait_until(|| client.done.load(Ordering::SeqCst) == 200);
+        let stats = pool.fault_stats();
+        assert_eq!(stats.worker_respawns, 0);
+        if stats.worker_deaths > 0 {
+            assert_eq!(pool.alive_workers(), 1);
+        }
+    }
+
+    #[test]
+    fn retry_directive_reenqueues_after_backoff() {
+        struct RetryOnce {
+            done: AtomicU64,
+            retried: AtomicU64,
+        }
+        impl PoolClient for RetryOnce {
+            fn on_complete(
+                &self,
+                task: TaskId,
+                panicked: Option<String>,
+                body: ExecBody,
+            ) -> Completion {
+                if panicked.is_some() && self.retried.load(Ordering::SeqCst) == 0 {
+                    self.retried.fetch_add(1, Ordering::SeqCst);
+                    return Completion {
+                        released: Vec::new(),
+                        retry: Some((
+                            ReadyTask {
+                                id: task,
+                                priority: 0,
+                                critical: false,
+                                seq: 0,
+                                body,
+                            },
+                            Duration::from_millis(1),
+                        )),
+                    };
+                }
+                self.done.fetch_add(1, Ordering::SeqCst);
+                Completion::released(Vec::new())
+            }
+        }
+        let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
+        let client = Arc::new(RetryOnce {
+            done: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+        });
+        let pool = WorkerPool::new(1, queues, client.clone(), PoolOptions::default());
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = runs.clone();
+        pool.push_external(ReadyTask {
+            id: TaskId(0),
+            priority: 0,
+            critical: false,
+            seq: 0,
+            body: ExecBody::retryable(move || {
+                if r.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("first attempt fails");
+                }
+            }),
+        });
+        wait_until(|| client.done.load(Ordering::SeqCst) == 1);
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        assert_eq!(client.retried.load(Ordering::SeqCst), 1);
     }
 }

@@ -1,28 +1,58 @@
 //! The public runtime façade: spawn tasks, declare dependencies, wait.
+//!
+//! Fault tolerance (see [`crate::fault`]) threads through here:
+//!
+//! * every task body is wrapped with a *preflight* that fails fast on
+//!   poisoned input regions and applies the configured fault-injection
+//!   plan (deterministic panics / stalls, for campaigns);
+//! * a panicking task declared idempotent is re-enqueued by the
+//!   [`RetryPolicy`] with capped exponential backoff;
+//! * a task that settles as failed **poisons the regions it declared as
+//!   written**: downstream readers fail fast with a structured
+//!   [`TaskError::Poisoned`] instead of consuming garbage, and the poison
+//!   propagates transitively. A later task that fully overwrites a
+//!   poisoned range (`out` access) cleanses it — recovery tasks use
+//!   exactly this to repair data after a failure.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::criticality::OnlineCriticality;
 use crate::deps::DepTracker;
+use crate::fault::{
+    FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
+};
 use crate::graph::TaskGraph;
-use crate::pool::{Completion, PoolClient, WorkerPool};
+use crate::pool::{Completion, PoolClient, PoolOptions, WorkerPool};
 use crate::region::{Access, AccessMode, DataHandle, Region};
 use crate::scheduler::{ReadyQueues, ReadyTask, SchedulerPolicy};
-use crate::stats::{RuntimeStats, StatsSnapshot};
-use crate::task::{Criticality, TaskBody, TaskId, TaskMeta};
+use crate::stats::{RuntimeStats, StatsSnapshot, RETRY_HIST_BUCKETS};
+use crate::task::{Criticality, ExecBody, TaskBody, TaskId, TaskMeta};
 
 /// Observation hooks around task execution — the attachment point for
 /// runtime-aware hardware models (e.g. the RSU in `raa-core`): the
 /// runtime notifies the hardware when a task starts on a worker (with
 /// its criticality) and when it completes.
+///
+/// A task skipped because of a poisoned input, or killed by an injected
+/// pre-body panic, is never reported: from the hardware's perspective it
+/// did not execute. A retried task reports one start/complete pair per
+/// successful attempt (failed attempts report nothing).
 pub trait TaskObserver: Send + Sync + 'static {
     /// Called on the worker thread immediately before the body runs.
     fn on_start(&self, worker: usize, task: TaskId, critical: bool);
     /// Called on the worker thread after the body finished.
     fn on_complete(&self, worker: usize, task: TaskId);
+    /// Called on the worker thread when the body panics; `on_complete`
+    /// is *not* called for that attempt. Observers holding per-core
+    /// state keyed by `on_start` (e.g. an RSU frequency grant) must
+    /// release it here or it leaks across retries.
+    fn on_fault(&self, worker: usize, task: TaskId) {
+        let _ = (worker, task);
+    }
 }
 
 /// Runtime construction parameters.
@@ -40,6 +70,12 @@ pub struct RuntimeConfig {
     pub criticality_threshold: f64,
     /// Optional execution observer (see [`TaskObserver`]).
     pub observer: Option<Arc<dyn TaskObserver>>,
+    /// Retry policy for idempotent tasks (default: no retry).
+    pub retry: RetryPolicy,
+    /// Deterministic fault-injection plan (default: none).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Worker watchdog (default: disabled).
+    pub watchdog: WatchdogConfig,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -50,6 +86,9 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("record_graph", &self.record_graph)
             .field("criticality_threshold", &self.criticality_threshold)
             .field("observer", &self.observer.is_some())
+            .field("retry", &self.retry)
+            .field("fault_plan", &self.fault_plan.is_some())
+            .field("watchdog", &self.watchdog)
             .finish()
     }
 }
@@ -64,6 +103,9 @@ impl Default for RuntimeConfig {
             record_graph: false,
             criticality_threshold: 0.9,
             observer: None,
+            retry: RetryPolicy::default(),
+            fault_plan: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -94,14 +136,53 @@ impl RuntimeConfig {
         self.observer = Some(obs);
         self
     }
+
+    /// Builder-style retry policy for idempotent tasks.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Builder-style watchdog configuration.
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
 }
 
 struct TaskEntry {
     pending: usize,
     succs: Vec<TaskId>,
-    body: Option<TaskBody>,
+    body: Option<ExecBody>,
     priority: i32,
     critical: bool,
+    label: String,
+    idempotent: bool,
+    /// Execution attempts that have failed so far.
+    attempts: u32,
+    /// Set when an upstream failure poisoned a region this task reads;
+    /// the preflight then skips the body and the task settles as failed.
+    poisoned_by: Option<(TaskId, String)>,
+    /// Declared regions, split by direction (poison bookkeeping).
+    reads: Vec<Region>,
+    writes: Vec<Region>,
+    /// Exempt from poison and injection: taskwait sentinels must always
+    /// run, or the waiter would hang.
+    exempt: bool,
+}
+
+/// A region range contaminated by a failed writer.
+#[derive(Clone)]
+struct PoisonedRegion {
+    region: Region,
+    source: TaskId,
+    source_label: String,
 }
 
 struct Inner {
@@ -110,6 +191,7 @@ struct Inner {
     tasks: HashMap<u32, TaskEntry>,
     next_id: u32,
     recorded: Option<Vec<(TaskMeta, Vec<TaskId>)>>,
+    poisoned: Vec<PoisonedRegion>,
 }
 
 struct WaitState {
@@ -120,22 +202,239 @@ struct Shared {
     inner: Mutex<Inner>,
     wait: Mutex<WaitState>,
     wait_cv: Condvar,
-    panics: Mutex<Vec<String>>,
+    failures: Mutex<Vec<TaskFailure>>,
     stats: RuntimeStats,
+    retry: RetryPolicy,
+    /// Monotonic fast-path flag: set when any poison was ever recorded,
+    /// so clean runs never take the inner lock in the preflight. Only
+    /// [`Runtime::clear_poison`] resets it.
+    has_poison: AtomicBool,
+}
+
+/// Remove `w` from the poison list (a task overwrites the range, making
+/// its previous contents irrelevant). Partial overlaps leave the
+/// uncovered remainder poisoned.
+fn cleanse(poisoned: &mut Vec<PoisonedRegion>, w: &Region) {
+    let mut i = 0;
+    while i < poisoned.len() {
+        if !poisoned[i].region.overlaps(w) {
+            i += 1;
+            continue;
+        }
+        let entry = poisoned.swap_remove(i);
+        // Remainders lie outside `w`, so they can never match it again
+        // when the scan reaches them.
+        if entry.region.range.start < w.range.start {
+            let mut left = entry.clone();
+            left.region.range.end = w.range.start;
+            poisoned.push(left);
+        }
+        if entry.region.range.end > w.range.end {
+            let mut right = entry;
+            right.region.range.start = w.range.end;
+            poisoned.push(right);
+        }
+        // Do not advance: swap_remove moved a new element into slot `i`.
+    }
+}
+
+/// Record the failed task's written regions as poisoned and mark every
+/// in-flight task reading them, so they fail fast instead of consuming
+/// garbage. Readers of a failed writer always carry a RAW edge on it, so
+/// none of them can already be executing.
+fn poison_writes(inner: &mut Inner, source: TaskId, label: &str, writes: &[Region]) {
+    if writes.is_empty() {
+        return;
+    }
+    for w in writes {
+        inner.poisoned.push(PoisonedRegion {
+            region: *w,
+            source,
+            source_label: label.to_string(),
+        });
+    }
+    for e in inner.tasks.values_mut() {
+        if e.exempt || e.poisoned_by.is_some() {
+            continue;
+        }
+        if e.reads.iter().any(|r| writes.iter().any(|w| r.overlaps(w))) {
+            e.poisoned_by = Some((source, label.to_string()));
+        }
+    }
+}
+
+/// Runs on the worker thread before the user body. Returns `false` when
+/// the body must be skipped (poisoned input); panics when the fault plan
+/// injects a panic for this attempt.
+fn preflight(shared: &Weak<Shared>, tid: TaskId, exempt: bool, plan: Option<&FaultPlan>) -> bool {
+    if exempt {
+        return true;
+    }
+    let Some(shared) = shared.upgrade() else {
+        return true;
+    };
+    if shared.has_poison.load(Ordering::Acquire) {
+        let inner = shared.inner.lock();
+        if inner
+            .tasks
+            .get(&tid.0)
+            .is_some_and(|e| e.poisoned_by.is_some())
+        {
+            return false;
+        }
+    }
+    if let Some(plan) = plan {
+        let attempt = {
+            let inner = shared.inner.lock();
+            inner.tasks.get(&tid.0).map_or(0, |e| e.attempts)
+        };
+        match plan.decide(tid, attempt) {
+            Some(InjectedFault::Panic) => {
+                panic!("injected fault: {tid:?} attempt {attempt}");
+            }
+            Some(InjectedFault::Stall(d)) => std::thread::sleep(d),
+            None => {}
+        }
+    }
+    true
+}
+
+/// Wrap a task body with the preflight (poison fail-fast + fault
+/// injection) and the observer notifications. The injected panic fires
+/// *before* the user body, so under pure injection even a read-modify-
+/// write body never runs half-way — which is what makes declaring such
+/// tasks idempotent sound in fault campaigns.
+fn instrument(
+    body: ExecBody,
+    tid: TaskId,
+    critical: bool,
+    exempt: bool,
+    shared: Weak<Shared>,
+    observer: Option<Arc<dyn TaskObserver>>,
+    plan: Option<Arc<FaultPlan>>,
+) -> ExecBody {
+    match body {
+        ExecBody::Once(f) => {
+            let f = f.expect("a fresh task body must be present");
+            ExecBody::once(move || {
+                if !preflight(&shared, tid, exempt, plan.as_deref()) {
+                    return;
+                }
+                run_observed(f, &observer, tid, critical);
+            })
+        }
+        ExecBody::Retryable(f) => ExecBody::retryable(move || {
+            if !preflight(&shared, tid, exempt, plan.as_deref()) {
+                return;
+            }
+            run_observed(&*f, &observer, tid, critical);
+        }),
+    }
+}
+
+/// Run `f` bracketed by observer callbacks: `on_start` before, then
+/// `on_complete` on success or `on_fault` if `f` unwinds (via an armed
+/// drop guard, so the notification survives the panic propagating to
+/// the pool's `catch_unwind`).
+fn run_observed(
+    f: impl FnOnce(),
+    observer: &Option<Arc<dyn TaskObserver>>,
+    tid: TaskId,
+    critical: bool,
+) {
+    let Some(obs) = observer else {
+        f();
+        return;
+    };
+    struct FaultGuard<'a> {
+        obs: &'a dyn TaskObserver,
+        worker: usize,
+        tid: TaskId,
+        armed: bool,
+    }
+    impl Drop for FaultGuard<'_> {
+        fn drop(&mut self) {
+            if self.armed {
+                self.obs.on_fault(self.worker, self.tid);
+            }
+        }
+    }
+    let worker = crate::pool::current_worker().unwrap_or(0);
+    obs.on_start(worker, tid, critical);
+    let mut guard = FaultGuard {
+        obs: obs.as_ref(),
+        worker,
+        tid,
+        armed: true,
+    };
+    f();
+    guard.armed = false;
+    drop(guard);
+    obs.on_complete(worker, tid);
 }
 
 impl PoolClient for Shared {
-    fn on_complete(&self, task: TaskId, panicked: Option<String>) -> Completion {
-        if let Some(msg) = panicked {
-            self.panics.lock().push(msg);
-            RuntimeStats::bump(&self.stats.panicked);
-        }
+    fn on_complete(&self, task: TaskId, panicked: Option<String>, body: ExecBody) -> Completion {
+        let mut failure: Option<TaskFailure> = None;
         let released = {
             let mut inner = self.inner.lock();
+            if panicked.is_some() {
+                RuntimeStats::bump(&self.stats.panicked);
+                let e = inner
+                    .tasks
+                    .get_mut(&task.0)
+                    .expect("completed task must be registered");
+                e.attempts += 1;
+                if e.idempotent && body.is_retryable() && e.attempts < self.retry.max_attempts {
+                    // Retry: the task stays registered and outstanding;
+                    // the pool re-enqueues the body after the backoff.
+                    RuntimeStats::bump(&self.stats.retried);
+                    let delay = self.retry.backoff_after(e.attempts);
+                    let retry_task = ReadyTask {
+                        id: task,
+                        priority: e.priority,
+                        critical: e.critical,
+                        seq: 0,
+                        body,
+                    };
+                    return Completion {
+                        released: Vec::new(),
+                        retry: Some((retry_task, delay)),
+                    };
+                }
+            }
             let entry = inner
                 .tasks
                 .remove(&task.0)
                 .expect("completed task must be registered");
+            if let Some(msg) = panicked {
+                failure = Some(TaskFailure {
+                    task,
+                    label: entry.label.clone(),
+                    attempts: entry.attempts,
+                    error: TaskError::Panicked(msg),
+                });
+            } else if let Some((source, source_label)) = entry.poisoned_by.clone() {
+                RuntimeStats::bump(&self.stats.poisoned_tasks);
+                failure = Some(TaskFailure {
+                    task,
+                    label: entry.label.clone(),
+                    attempts: entry.attempts,
+                    error: TaskError::Poisoned {
+                        source,
+                        source_label,
+                    },
+                });
+            } else {
+                // Tasks that ran to success: bucket by failed attempts.
+                let bucket = (entry.attempts as usize).min(RETRY_HIST_BUCKETS - 1);
+                RuntimeStats::bump(&self.stats.retry_hist[bucket]);
+            }
+            if failure.is_some() {
+                RuntimeStats::bump(&self.stats.failed_tasks);
+                poison_writes(&mut inner, task, &entry.label, &entry.writes);
+                self.has_poison.store(true, Ordering::Release);
+            }
             let mut released = Vec::new();
             for succ in entry.succs {
                 let e = inner
@@ -156,6 +455,9 @@ impl PoolClient for Shared {
             }
             released
         };
+        if let Some(f) = failure {
+            self.failures.lock().push(f);
+        }
         RuntimeStats::bump(&self.stats.completed);
         {
             let mut w = self.wait.lock();
@@ -164,7 +466,7 @@ impl PoolClient for Shared {
                 self.wait_cv.notify_all();
             }
         }
-        Completion { released }
+        Completion::released(released)
     }
 }
 
@@ -187,16 +489,23 @@ impl Runtime {
                 tasks: HashMap::new(),
                 next_id: 0,
                 recorded: config.record_graph.then(Vec::new),
+                poisoned: Vec::new(),
             }),
             wait: Mutex::new(WaitState { outstanding: 0 }),
             wait_cv: Condvar::new(),
-            panics: Mutex::new(Vec::new()),
+            failures: Mutex::new(Vec::new()),
             stats: RuntimeStats::default(),
+            retry: config.retry,
+            has_poison: AtomicBool::new(false),
         });
         let pool = WorkerPool::new(
             config.workers,
             queues,
             Arc::clone(&shared) as Arc<dyn PoolClient>,
+            PoolOptions {
+                plan: config.fault_plan.clone(),
+                watchdog: config.watchdog,
+            },
         );
         Runtime {
             shared,
@@ -205,9 +514,15 @@ impl Runtime {
         }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool was built with.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Workers currently alive (smaller than [`Runtime::workers`] after a
+    /// death without respawn).
+    pub fn alive_workers(&self) -> usize {
+        self.pool.alive_workers()
     }
 
     /// The active configuration.
@@ -230,9 +545,18 @@ impl Runtime {
         }
     }
 
-    /// Submit a task with explicit metadata and body. Usually reached via
-    /// [`Runtime::task`].
+    /// Submit a task with explicit metadata and a one-shot body. Usually
+    /// reached via [`Runtime::task`].
     pub fn spawn_task(&self, meta: TaskMeta, body: TaskBody) -> TaskId {
+        self.spawn_exec(meta, ExecBody::Once(Some(body)))
+    }
+
+    /// Submit a task with explicit metadata and executable payload.
+    pub fn spawn_exec(&self, meta: TaskMeta, body: ExecBody) -> TaskId {
+        self.spawn_inner(meta, body, false)
+    }
+
+    fn spawn_inner(&self, meta: TaskMeta, body: ExecBody, exempt: bool) -> TaskId {
         // Count the task as outstanding *before* it becomes visible in the
         // dependency table: a predecessor completing concurrently could
         // otherwise release and finish it before the increment.
@@ -254,20 +578,48 @@ impl Runtime {
             if let Some(rec) = inner.recorded.as_mut() {
                 rec.push((meta.clone(), preds.clone()));
             }
-            // Hardware observation: wrap the body so the observer sees
-            // start/complete on the executing worker.
-            let body: TaskBody = match &self.config.observer {
-                None => body,
-                Some(obs) => {
-                    let obs = Arc::clone(obs);
-                    Box::new(move || {
-                        let worker = crate::pool::current_worker().unwrap_or(0);
-                        obs.on_start(worker, tid, critical);
-                        body();
-                        obs.on_complete(worker, tid);
-                    })
-                }
+            let reads: Vec<Region> = meta
+                .accesses
+                .iter()
+                .filter(|a| a.mode.reads())
+                .map(|a| a.region)
+                .collect();
+            let writes: Vec<Region> = meta
+                .accesses
+                .iter()
+                .filter(|a| a.mode.writes())
+                .map(|a| a.region)
+                .collect();
+            // A task reading an already-poisoned range is doomed at
+            // spawn; a clean task that fully overwrites a poisoned range
+            // (`out` access: no read of the old contents) cleanses it.
+            let poisoned_by = if exempt {
+                None
+            } else {
+                reads.iter().find_map(|r| {
+                    inner
+                        .poisoned
+                        .iter()
+                        .find(|p| p.region.overlaps(r))
+                        .map(|p| (p.source, p.source_label.clone()))
+                })
             };
+            if !exempt && poisoned_by.is_none() {
+                for a in &meta.accesses {
+                    if a.mode == AccessMode::Write {
+                        cleanse(&mut inner.poisoned, &a.region);
+                    }
+                }
+            }
+            let body = instrument(
+                body,
+                tid,
+                critical,
+                exempt,
+                Arc::downgrade(&self.shared),
+                self.config.observer.clone(),
+                self.config.fault_plan.clone(),
+            );
             let mut pending = 0usize;
             for p in &preds {
                 if let Some(e) = inner.tasks.get_mut(&p.0) {
@@ -279,7 +631,7 @@ impl Runtime {
             self.shared
                 .stats
                 .edges
-                .fetch_add(preds.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(preds.len() as u64, Ordering::Relaxed);
             RuntimeStats::bump(&self.shared.stats.spawned);
             if critical {
                 RuntimeStats::bump(&self.shared.stats.critical_tasks);
@@ -290,6 +642,13 @@ impl Runtime {
                 body: None,
                 priority: meta.priority,
                 critical,
+                label: meta.label.clone(),
+                idempotent: meta.idempotent,
+                attempts: 0,
+                poisoned_by,
+                reads,
+                writes,
+                exempt,
             };
             let ready = if pending == 0 {
                 RuntimeStats::bump(&self.shared.stats.ready_at_spawn);
@@ -322,7 +681,11 @@ impl Runtime {
     }
 
     /// Like [`Runtime::taskwait_on`] for an explicit region (e.g. one
-    /// block of a larger datum).
+    /// block of a larger datum). Returns even when the region was
+    /// poisoned by a failure — the sentinel is exempt from poison (and
+    /// from fault injection), so the waiter cannot hang; inspect
+    /// [`Runtime::try_taskwait`] or [`Runtime::poisoned_regions`] to
+    /// learn about the failure.
     pub fn taskwait_on_region(&self, region: Region) {
         let done = Arc::new((Mutex::new(false), Condvar::new()));
         let signal = Arc::clone(&done);
@@ -331,13 +694,14 @@ impl Runtime {
             region,
             mode: AccessMode::ReadWrite,
         });
-        self.spawn_task(
+        self.spawn_inner(
             meta,
-            Box::new(move || {
+            ExecBody::once(move || {
                 let (lock, cv) = &*signal;
                 *lock.lock() = true;
                 cv.notify_all();
             }),
+            true,
         );
         let (lock, cv) = &*done;
         let mut finished = lock.lock();
@@ -346,29 +710,30 @@ impl Runtime {
         }
     }
 
-    /// Block until every task spawned so far has completed. Panics
-    /// (propagating the first message) if any task panicked. Must not be
-    /// called from inside a task body.
+    /// Block until every task spawned so far has completed. Panics with
+    /// the full [`FaultReport`] if any task failed. Must not be called
+    /// from inside a task body.
     pub fn taskwait(&self) {
-        if let Err(panics) = self.try_taskwait() {
-            panic!("task panicked: {}", panics[0]);
+        if let Err(report) = self.try_taskwait() {
+            panic!("{report}");
         }
     }
 
-    /// Like [`Runtime::taskwait`], but reports task panics as an error
-    /// instead of propagating them.
-    pub fn try_taskwait(&self) -> Result<(), Vec<String>> {
+    /// Like [`Runtime::taskwait`], but reports failures as a structured
+    /// [`FaultReport`] (every failed task with label, attempt count and
+    /// cause chain) instead of panicking.
+    pub fn try_taskwait(&self) -> Result<(), FaultReport> {
         {
             let mut w = self.shared.wait.lock();
             while w.outstanding > 0 {
                 self.wait_cv_wait(&mut w);
             }
         }
-        let panics: Vec<String> = std::mem::take(&mut *self.shared.panics.lock());
-        if panics.is_empty() {
+        let failures: Vec<TaskFailure> = std::mem::take(&mut *self.shared.failures.lock());
+        if failures.is_empty() {
             Ok(())
         } else {
-            Err(panics)
+            Err(FaultReport { failures })
         }
     }
 
@@ -376,9 +741,38 @@ impl Runtime {
         self.shared.wait_cv.wait(w);
     }
 
-    /// Runtime counters snapshot.
+    /// Region ranges currently poisoned by failed writers.
+    pub fn poisoned_regions(&self) -> Vec<Region> {
+        self.shared
+            .inner
+            .lock()
+            .poisoned
+            .iter()
+            .map(|p| p.region)
+            .collect()
+    }
+
+    /// Forget all poison: the caller asserts the data has been repaired
+    /// out-of-band (e.g. recomputed from a checkpoint). Pending tasks that
+    /// were already marked as victims are unmarked and will run.
+    pub fn clear_poison(&self) {
+        let mut inner = self.shared.inner.lock();
+        inner.poisoned.clear();
+        for e in inner.tasks.values_mut() {
+            e.poisoned_by = None;
+        }
+        self.shared.has_poison.store(false, Ordering::Release);
+    }
+
+    /// Runtime counters snapshot, including the pool's worker fault
+    /// counters (deaths / respawns / stalls).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        let mut snap = self.shared.stats.snapshot();
+        let pf = self.pool.fault_stats();
+        snap.worker_deaths = pf.worker_deaths;
+        snap.worker_respawns = pf.worker_respawns;
+        snap.worker_stalls = pf.worker_stalls;
+        snap
     }
 
     /// Tasks executed per worker (load-balance diagnostics).
@@ -416,7 +810,7 @@ impl Drop for Runtime {
 pub struct TaskBuilder<'rt> {
     rt: &'rt Runtime,
     meta: TaskMeta,
-    body: Option<TaskBody>,
+    body: Option<ExecBody>,
 }
 
 impl<'rt> TaskBuilder<'rt> {
@@ -472,16 +866,25 @@ impl<'rt> TaskBuilder<'rt> {
         self
     }
 
-    /// The task body.
+    /// The task body (one-shot; never re-executed).
     pub fn body(mut self, f: impl FnOnce() + Send + 'static) -> Self {
-        self.body = Some(Box::new(f));
+        self.body = Some(ExecBody::once(f));
+        self
+    }
+
+    /// An idempotent task body: the programmer promises that re-running
+    /// it is safe, which lets the [`RetryPolicy`] re-execute the task
+    /// after a panic instead of failing it.
+    pub fn idempotent(mut self, f: impl Fn() + Send + Sync + 'static) -> Self {
+        self.meta.idempotent = true;
+        self.body = Some(ExecBody::retryable(f));
         self
     }
 
     /// Submit the task. Panics if no body was provided.
     pub fn spawn(self) -> TaskId {
         let body = self.body.expect("task needs a body before spawn()");
-        self.rt.spawn_task(self.meta, body)
+        self.rt.spawn_exec(self.meta, body)
     }
 }
 
@@ -489,7 +892,7 @@ impl<'rt> TaskBuilder<'rt> {
 mod tests {
     use super::*;
     use crate::task::Criticality;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
     fn rt(workers: usize) -> Runtime {
         Runtime::new(RuntimeConfig::with_workers(workers))
@@ -511,6 +914,7 @@ mod tests {
         assert_eq!(s.spawned, 1);
         assert_eq!(s.completed, 1);
         assert_eq!(s.ready_at_spawn, 1);
+        assert_eq!(s.retry_hist[0], 1, "a clean run lands in bucket 0");
     }
 
     #[test]
@@ -682,8 +1086,13 @@ mod tests {
         rt.task("boom").body(|| panic!("kaput")).spawn();
         let err = rt.try_taskwait().unwrap_err();
         assert_eq!(err.len(), 1);
-        assert!(err[0].contains("kaput"));
+        assert_eq!(err.failures[0].label, "boom");
+        assert!(matches!(
+            &err.failures[0].error,
+            TaskError::Panicked(msg) if msg.contains("kaput")
+        ));
         assert_eq!(rt.stats().panicked, 1);
+        assert_eq!(rt.stats().failed_tasks, 1);
         // Runtime stays usable.
         let ok = Arc::new(AtomicU64::new(0));
         let o = ok.clone();
@@ -697,11 +1106,239 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "task panicked")]
+    #[should_panic(expected = "task(s) failed")]
     fn taskwait_panics_on_task_panic() {
         let rt = rt(1);
         rt.task("boom").body(|| panic!("inner")).spawn();
         rt.taskwait();
+    }
+
+    #[test]
+    fn all_panics_reported_with_labels() {
+        // Satellite (a): the report lists *every* panic, not just the
+        // first, each with its task label.
+        let rt = rt(2);
+        rt.task("first-bad").body(|| panic!("one")).spawn();
+        rt.task("fine").body(|| {}).spawn();
+        rt.task("second-bad").body(|| panic!("two")).spawn();
+        let err = rt.try_taskwait().unwrap_err();
+        assert_eq!(err.len(), 2, "both panics must be reported");
+        let mut labels: Vec<&str> = err.failures.iter().map(|f| f.label.as_str()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec!["first-bad", "second-bad"]);
+        for f in &err.failures {
+            assert!(matches!(f.error, TaskError::Panicked(_)));
+            assert_eq!(f.attempts, 1);
+        }
+        assert_eq!(err.panicked().count(), 2);
+    }
+
+    #[test]
+    fn idempotent_retry_recovers() {
+        // Inject exactly two panics into the only task; with three
+        // allowed retries it must recover and run the body exactly once.
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(2)
+                .retry(RetryPolicy::retries(4))
+                .fault_plan(FaultPlan::new(11).panic_rate(1.0).max_panics_per_task(2)),
+        );
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = runs.clone();
+        rt.task("flaky")
+            .idempotent(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            })
+            .spawn();
+        rt.try_taskwait().expect("retries must recover");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "body ran once (injected panics fire pre-body)"
+        );
+        let s = rt.stats();
+        assert_eq!(s.panicked, 2);
+        assert_eq!(s.retried, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.failed_tasks, 0);
+        assert_eq!(s.retry_hist[2], 1, "settled after two failed attempts");
+    }
+
+    #[test]
+    fn exhausted_retries_fail_with_attempt_count() {
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(1)
+                .retry(RetryPolicy::retries(1))
+                .fault_plan(FaultPlan::new(5).panic_rate(1.0)),
+        );
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = runs.clone();
+        rt.task("doomed")
+            .idempotent(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            })
+            .spawn();
+        let err = rt.try_taskwait().unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err.failures[0].attempts, 2, "first run + one retry");
+        assert!(matches!(
+            &err.failures[0].error,
+            TaskError::Panicked(msg) if msg.contains("injected fault")
+        ));
+        assert_eq!(runs.load(Ordering::SeqCst), 0, "injection fires pre-body");
+        assert_eq!(rt.stats().retried, 1);
+        assert_eq!(rt.stats().failed_tasks, 1);
+    }
+
+    #[test]
+    fn non_idempotent_failure_poisons_readers_transitively() {
+        let rt = rt(2);
+        let x = rt.register("x", 0u64);
+        let y = rt.register("y", 0u64);
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let x = x.clone();
+            rt.task("a")
+                .writes(&x)
+                .body(move || {
+                    *x.write() = 1;
+                    panic!("a dies");
+                })
+                .spawn();
+        }
+        {
+            let (x, y, ran) = (x.clone(), y.clone(), ran.clone());
+            rt.task("b")
+                .reads(&x)
+                .writes(&y)
+                .body(move || {
+                    let _ = *x.read();
+                    *y.write() = 2;
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })
+                .spawn();
+        }
+        {
+            let (y, ran) = (y.clone(), ran.clone());
+            rt.task("c")
+                .reads(&y)
+                .body(move || {
+                    let _ = *y.read();
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })
+                .spawn();
+        }
+        let err = rt.try_taskwait().unwrap_err();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "victims must not run");
+        assert_eq!(err.len(), 3);
+        assert_eq!(err.panicked().count(), 1);
+        assert_eq!(err.poisoned().count(), 2);
+        let b = err.failures.iter().find(|f| f.label == "b").unwrap();
+        assert!(matches!(
+            &b.error,
+            TaskError::Poisoned { source_label, .. } if source_label == "a"
+        ));
+        let c = err.failures.iter().find(|f| f.label == "c").unwrap();
+        assert!(matches!(
+            &c.error,
+            TaskError::Poisoned { source_label, .. } if source_label == "b"
+        ));
+        assert_eq!(rt.stats().poisoned_tasks, 2);
+        assert_eq!(rt.stats().failed_tasks, 3);
+        assert_eq!(rt.poisoned_regions().len(), 2, "x and y are poisoned");
+    }
+
+    #[test]
+    fn overwriting_task_cleanses_poison() {
+        let rt = rt(2);
+        let x = rt.register("x", 0u64);
+        {
+            let x = x.clone();
+            rt.task("bad-writer")
+                .writes(&x)
+                .body(move || {
+                    *x.write() = 13;
+                    panic!("corrupted");
+                })
+                .spawn();
+        }
+        let _ = rt.try_taskwait().unwrap_err();
+        assert_eq!(rt.poisoned_regions().len(), 1);
+        // A fresh writer overwrites the whole region: poison is gone and
+        // readers work again.
+        {
+            let x = x.clone();
+            rt.task("repair")
+                .writes(&x)
+                .body(move || *x.write() = 7)
+                .spawn();
+        }
+        let seen = Arc::new(AtomicU64::new(0));
+        {
+            let (x, seen) = (x.clone(), seen.clone());
+            rt.task("reader")
+                .reads(&x)
+                .body(move || {
+                    seen.store(*x.read(), Ordering::SeqCst);
+                })
+                .spawn();
+        }
+        rt.try_taskwait().expect("repaired region must be clean");
+        assert!(rt.poisoned_regions().is_empty());
+        assert_eq!(seen.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn taskwait_on_returns_despite_poisoned_region() {
+        let rt = rt(2);
+        let x = rt.register("x", 0u64);
+        {
+            let x = x.clone();
+            rt.task("bad")
+                .writes(&x)
+                .body(move || {
+                    *x.write() = 1;
+                    panic!("dead writer");
+                })
+                .spawn();
+        }
+        // The sentinel is exempt from poison: this must not hang or
+        // count as a failed task.
+        rt.taskwait_on(&x);
+        let err = rt.try_taskwait().unwrap_err();
+        assert_eq!(err.len(), 1, "only the real task failed");
+        assert_eq!(err.failures[0].label, "bad");
+    }
+
+    #[test]
+    fn clear_poison_unmarks_pending_victims() {
+        let rt = rt(2);
+        let x = rt.register("x", 0u64);
+        {
+            let x = x.clone();
+            rt.task("bad")
+                .writes(&x)
+                .body(move || {
+                    *x.write() = 1;
+                    panic!("boom");
+                })
+                .spawn();
+        }
+        let _ = rt.try_taskwait().unwrap_err();
+        rt.clear_poison();
+        assert!(rt.poisoned_regions().is_empty());
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let (x, ran) = (x.clone(), ran.clone());
+            rt.task("reader")
+                .reads(&x)
+                .body(move || {
+                    let _ = *x.read();
+                    ran.store(1, Ordering::SeqCst);
+                })
+                .spawn();
+        }
+        rt.try_taskwait().expect("poison was cleared");
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -974,6 +1611,59 @@ mod tests {
         assert!(ev
             .iter()
             .any(|&(_, id, c, k)| id == TaskId(0) && c && k == "start"));
+    }
+
+    #[test]
+    fn observer_on_fault_fires_per_panicked_attempt() {
+        #[derive(Default)]
+        struct Counter {
+            starts: AtomicU32,
+            dones: AtomicU32,
+            faults: AtomicU32,
+        }
+        impl crate::runtime::TaskObserver for Counter {
+            fn on_start(&self, _worker: usize, _task: TaskId, _critical: bool) {
+                self.starts.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_complete(&self, _worker: usize, _task: TaskId) {
+                self.dones.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_fault(&self, _worker: usize, _task: TaskId) {
+                self.faults.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let obs = Arc::new(Counter::default());
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(2)
+                .observer(obs.clone())
+                .retry(RetryPolicy::retries(2)),
+        );
+        // The body itself panics on the first attempt (unlike a
+        // preflight-injected fault, which fires before `on_start`).
+        let tries = Arc::new(AtomicU32::new(0));
+        {
+            let tries = Arc::clone(&tries);
+            rt.task("flaky")
+                .idempotent(move || {
+                    if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("first attempt dies");
+                    }
+                })
+                .spawn();
+        }
+        rt.taskwait();
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+        assert_eq!(
+            obs.starts.load(Ordering::SeqCst),
+            2,
+            "both attempts started"
+        );
+        assert_eq!(
+            obs.faults.load(Ordering::SeqCst),
+            1,
+            "first attempt faulted"
+        );
+        assert_eq!(obs.dones.load(Ordering::SeqCst), 1, "retry completed");
     }
 
     #[test]

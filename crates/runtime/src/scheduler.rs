@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::Mutex;
 
-use crate::task::{TaskBody, TaskId};
+use crate::task::{ExecBody, TaskId};
 
 /// Scheduling policy selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -44,7 +44,7 @@ pub struct ReadyTask {
     pub priority: i32,
     pub critical: bool,
     pub seq: u64,
-    pub body: TaskBody,
+    pub body: ExecBody,
 }
 
 impl std::fmt::Debug for ReadyTask {
@@ -221,7 +221,7 @@ mod tests {
             priority,
             critical,
             seq: 0,
-            body: Box::new(|| {}),
+            body: ExecBody::once(|| {}),
         }
     }
 

@@ -2,6 +2,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Buckets of the retry histogram: index = failed attempts a task needed
+/// before settling (0 = clean first run), last bucket clamps the tail.
+pub const RETRY_HIST_BUCKETS: usize = 8;
+
 /// Monotonic counters maintained by the runtime. All relaxed: they are
 /// diagnostics, not synchronisation.
 #[derive(Default, Debug)]
@@ -16,12 +20,27 @@ pub struct RuntimeStats {
     pub ready_at_spawn: AtomicU64,
     /// Tasks flagged critical at submission.
     pub critical_tasks: AtomicU64,
-    /// Task bodies that panicked.
+    /// Task attempts that panicked (injected or real; counts every
+    /// attempt, so one task retried twice contributes two).
     pub panicked: AtomicU64,
+    /// Re-executions scheduled by the retry policy.
+    pub retried: AtomicU64,
+    /// Tasks that settled as failed (panicked out of retries, or
+    /// poisoned).
+    pub failed_tasks: AtomicU64,
+    /// Failed tasks that never ran: skipped due to an upstream poisoned
+    /// region (subset of `failed_tasks`).
+    pub poisoned_tasks: AtomicU64,
+    /// Settled tasks bucketed by how many failed attempts they needed.
+    pub retry_hist: [AtomicU64; RETRY_HIST_BUCKETS],
 }
 
 impl RuntimeStats {
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut retry_hist = [0u64; RETRY_HIST_BUCKETS];
+        for (out, c) in retry_hist.iter_mut().zip(&self.retry_hist) {
+            *out = c.load(Ordering::Relaxed);
+        }
         StatsSnapshot {
             spawned: self.spawned.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -29,6 +48,13 @@ impl RuntimeStats {
             ready_at_spawn: self.ready_at_spawn.load(Ordering::Relaxed),
             critical_tasks: self.critical_tasks.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            failed_tasks: self.failed_tasks.load(Ordering::Relaxed),
+            poisoned_tasks: self.poisoned_tasks.load(Ordering::Relaxed),
+            retry_hist,
+            worker_deaths: 0,
+            worker_respawns: 0,
+            worker_stalls: 0,
         }
     }
 
@@ -37,7 +63,8 @@ impl RuntimeStats {
     }
 }
 
-/// A point-in-time copy of [`RuntimeStats`].
+/// A point-in-time copy of [`RuntimeStats`], with the worker-pool fault
+/// counters merged in by `Runtime::stats`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StatsSnapshot {
     pub spawned: u64,
@@ -46,6 +73,17 @@ pub struct StatsSnapshot {
     pub ready_at_spawn: u64,
     pub critical_tasks: u64,
     pub panicked: u64,
+    pub retried: u64,
+    pub failed_tasks: u64,
+    pub poisoned_tasks: u64,
+    pub retry_hist: [u64; RETRY_HIST_BUCKETS],
+    /// Worker threads that died (injected or real), from the watchdog.
+    pub worker_deaths: u64,
+    /// Replacement workers the watchdog spawned.
+    pub worker_respawns: u64,
+    /// Stall episodes the watchdog flagged (busy worker, frozen
+    /// heartbeat).
+    pub worker_stalls: u64,
 }
 
 impl StatsSnapshot {
@@ -79,5 +117,17 @@ mod tests {
     fn edges_per_task_zero_when_empty() {
         let snap = RuntimeStats::default().snapshot();
         assert_eq!(snap.edges_per_task(), 0.0);
+    }
+
+    #[test]
+    fn retry_histogram_roundtrips() {
+        let s = RuntimeStats::default();
+        RuntimeStats::bump(&s.retry_hist[0]);
+        RuntimeStats::bump(&s.retry_hist[0]);
+        RuntimeStats::bump(&s.retry_hist[3]);
+        let snap = s.snapshot();
+        assert_eq!(snap.retry_hist[0], 2);
+        assert_eq!(snap.retry_hist[3], 1);
+        assert_eq!(snap.retry_hist[7], 0);
     }
 }

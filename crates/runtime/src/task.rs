@@ -1,6 +1,7 @@
 //! Task identity and metadata.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::region::Access;
 
@@ -51,6 +52,9 @@ pub struct TaskMeta {
     pub criticality: Criticality,
     /// Scheduling priority; higher runs earlier among ready tasks.
     pub priority: i32,
+    /// The programmer promises re-executing the body is safe; the retry
+    /// policy only re-runs tasks carrying this flag.
+    pub idempotent: bool,
 }
 
 impl TaskMeta {
@@ -61,6 +65,7 @@ impl TaskMeta {
             cost: 1,
             criticality: Criticality::Auto,
             priority: 0,
+            idempotent: false,
         }
     }
 
@@ -72,6 +77,53 @@ impl TaskMeta {
 
 /// The closure payload of a real (executable) task.
 pub type TaskBody = Box<dyn FnOnce() + Send + 'static>;
+
+/// The executable payload a task carries through the scheduler: either a
+/// one-shot closure (the default; consumed on first run) or a re-runnable
+/// closure for tasks declared idempotent, which retry policies may
+/// execute again after a failed attempt.
+pub enum ExecBody {
+    /// Runs at most once; the `Option` is taken on execution.
+    Once(Option<TaskBody>),
+    /// May run any number of times.
+    Retryable(Arc<dyn Fn() + Send + Sync + 'static>),
+}
+
+impl ExecBody {
+    /// A one-shot body.
+    pub fn once(f: impl FnOnce() + Send + 'static) -> Self {
+        ExecBody::Once(Some(Box::new(f)))
+    }
+
+    /// A re-runnable body.
+    pub fn retryable(f: impl Fn() + Send + Sync + 'static) -> Self {
+        ExecBody::Retryable(Arc::new(f))
+    }
+
+    /// Execute the payload. Panics if a [`ExecBody::Once`] body is run a
+    /// second time — the runtime only re-runs retryable bodies.
+    pub fn run(&mut self) {
+        match self {
+            ExecBody::Once(f) => (f.take().expect("a once-body must not run twice"))(),
+            ExecBody::Retryable(f) => f(),
+        }
+    }
+
+    /// True when the body may be executed again after a failure.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ExecBody::Retryable(_))
+    }
+}
+
+impl fmt::Debug for ExecBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecBody::Once(Some(_)) => f.write_str("ExecBody::Once"),
+            ExecBody::Once(None) => f.write_str("ExecBody::Once(<spent>)"),
+            ExecBody::Retryable(_) => f.write_str("ExecBody::Retryable"),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,275 @@
+//! Cross-layer fault-injection integration tests: seeded panic injection
+//! across every scheduler policy, watchdog kill/respawn/degrade through
+//! the public `Runtime` façade, stall detection, and a property test
+//! that retry never violates dependency order.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use raa_runtime::{
+    Criticality, FaultPlan, RetryPolicy, Runtime, RuntimeConfig, SchedulerPolicy, StatsSnapshot,
+    TaskId, TaskObserver, WatchdogConfig,
+};
+
+const POLICIES: [SchedulerPolicy; 5] = [
+    SchedulerPolicy::Fifo,
+    SchedulerPolicy::Lifo,
+    SchedulerPolicy::WorkStealing,
+    SchedulerPolicy::Priority,
+    SchedulerPolicy::CriticalityAware { fast_workers: 1 },
+];
+
+/// Run 8 dependency chains of 25 read-modify-write tasks each under the
+/// given policy and plan; return the final chain values and the stats.
+///
+/// The bodies are RMW accumulators declared idempotent — sound because
+/// injected panics fire before the body starts (crash-before-start).
+fn chains_under_injection(policy: SchedulerPolicy, plan: FaultPlan) -> (Vec<u64>, StatsSnapshot) {
+    const CHAINS: usize = 8;
+    const LEN: u64 = 25;
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(3)
+            .policy(policy)
+            .retry(RetryPolicy::retries(3))
+            .fault_plan(plan),
+    );
+    let handles: Vec<_> = (0..CHAINS)
+        .map(|c| rt.register(format!("chain{c}"), 0u64))
+        .collect();
+    for step in 1..=LEN {
+        for (c, h) in handles.iter().enumerate() {
+            let h = h.clone();
+            rt.task(format!("c{c}s{step}"))
+                .updates(&h)
+                .priority((c % 3) as i32)
+                .criticality(if c == 0 {
+                    Criticality::Critical
+                } else {
+                    Criticality::Auto
+                })
+                .idempotent(move || *h.write() += step)
+                .spawn();
+        }
+    }
+    rt.taskwait();
+    let vals = handles.iter().map(|h| *h.read()).collect();
+    (vals, rt.stats())
+}
+
+#[test]
+fn injected_panics_with_retry_are_absorbed_under_every_policy() {
+    let expected = (1..=25u64).sum::<u64>();
+    for policy in POLICIES {
+        let plan = FaultPlan::new(9).panic_rate(0.25).max_panics_per_task(2);
+        let (vals, stats) = chains_under_injection(policy, plan);
+        assert!(
+            vals.iter().all(|&v| v == expected),
+            "{policy:?}: chain sums {vals:?} != {expected}"
+        );
+        assert_eq!(stats.failed_tasks, 0, "{policy:?}: no task may fail");
+        assert!(
+            stats.panicked > 0,
+            "{policy:?}: the plan must actually fire"
+        );
+        assert_eq!(
+            stats.retried, stats.panicked,
+            "{policy:?}: every injected panic is retried"
+        );
+    }
+}
+
+#[test]
+fn injection_is_deterministic_per_seed_across_policies() {
+    // Injection keys on task ids, which the host assigns in spawn
+    // order — so the same seed injects the same faults no matter how
+    // the scheduler interleaves execution.
+    let counts: Vec<u64> = POLICIES
+        .iter()
+        .map(|&policy| {
+            let plan = FaultPlan::new(1234).panic_rate(0.2).max_panics_per_task(2);
+            chains_under_injection(policy, plan).1.panicked
+        })
+        .collect();
+    assert!(counts[0] > 0);
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "same seed, same spawn order => same injected panics, got {counts:?}"
+    );
+}
+
+fn run_counted_tasks(rt: &Runtime, tasks: usize, work: Duration) -> Arc<AtomicU64> {
+    let done = Arc::new(AtomicU64::new(0));
+    for i in 0..tasks {
+        let done = Arc::clone(&done);
+        rt.task(format!("t{i}"))
+            .body(move || {
+                std::thread::sleep(work);
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .spawn();
+    }
+    done
+}
+
+#[test]
+fn killed_workers_respawn_without_losing_tasks() {
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(3)
+            .fault_plan(FaultPlan::new(5).kill_worker(0, 30).kill_worker(1, 60))
+            .watchdog(WatchdogConfig::enabled()),
+    );
+    let done = run_counted_tasks(&rt, 400, Duration::from_micros(20));
+    rt.taskwait();
+    assert_eq!(done.load(Ordering::SeqCst), 400, "no task may be lost");
+    // The respawn can lag the death by a watchdog interval.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = rt.stats();
+        if stats.worker_deaths >= 1 && stats.worker_respawns == stats.worker_deaths {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watchdog never evened out: deaths={} respawns={}",
+            stats.worker_deaths,
+            stats.worker_respawns
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(rt.alive_workers(), rt.workers());
+}
+
+#[test]
+fn killed_worker_degrades_the_pool_without_losing_tasks() {
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(3)
+            .fault_plan(FaultPlan::new(5).kill_worker(1, 20))
+            .watchdog(WatchdogConfig::enabled().respawn(false)),
+    );
+    let done = run_counted_tasks(&rt, 300, Duration::from_micros(20));
+    rt.taskwait();
+    assert_eq!(done.load(Ordering::SeqCst), 300, "no task may be lost");
+    let stats = rt.stats();
+    assert_eq!(stats.worker_deaths, 1, "the kill must fire");
+    assert_eq!(stats.worker_respawns, 0, "respawn is disabled");
+    assert_eq!(rt.alive_workers(), 2, "the pool runs degraded");
+}
+
+#[test]
+fn stalled_workers_trip_the_heartbeat_watchdog() {
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(2)
+            .fault_plan(FaultPlan::new(77).stall_rate(0.02, Duration::from_millis(40)))
+            .watchdog(WatchdogConfig::enabled().stall_timeout(Duration::from_millis(8))),
+    );
+    let done = run_counted_tasks(&rt, 200, Duration::from_micros(10));
+    rt.taskwait();
+    assert_eq!(done.load(Ordering::SeqCst), 200);
+    assert!(
+        rt.stats().worker_stalls >= 1,
+        "a 40ms injected stall must trip an 8ms heartbeat timeout"
+    );
+}
+
+// ------------------------------------------------- dependency invariant
+
+/// Observer recording a single global order of start/complete/fault
+/// events (kind 0/1/2).
+#[derive(Default)]
+struct EventLog {
+    events: Mutex<Vec<(u8, TaskId)>>,
+}
+
+impl TaskObserver for EventLog {
+    fn on_start(&self, _worker: usize, task: TaskId, _critical: bool) {
+        self.events.lock().unwrap().push((0, task));
+    }
+    fn on_complete(&self, _worker: usize, task: TaskId) {
+        self.events.lock().unwrap().push((1, task));
+    }
+    fn on_fault(&self, _worker: usize, task: TaskId) {
+        self.events.lock().unwrap().push((2, task));
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Retried tasks never execute before their dependencies complete:
+    /// every start event of a task — including attempts that then panic
+    /// inside the body — appears after its predecessor's (unique,
+    /// successful) complete event.
+    #[test]
+    fn retried_tasks_never_run_before_their_dependencies(
+        seed in 0u64..1_000_000,
+        chains in 1usize..5,
+        len in 2usize..7,
+    ) {
+        let log = Arc::new(EventLog::default());
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(3)
+                .observer(log.clone())
+                .retry(RetryPolicy::retries(2)),
+        );
+        // (task, predecessor) pairs; roughly a quarter of the bodies
+        // panic on their first attempt (visible to the observer, unlike
+        // preflight-injected panics).
+        let mut deps: Vec<(TaskId, TaskId)> = Vec::new();
+        let mut flaky_tasks = 0u32;
+        for c in 0..chains {
+            let h = rt.register(format!("chain{c}"), 0u64);
+            let mut prev: Option<TaskId> = None;
+            for s in 0..len {
+                let flaky = splitmix(seed ^ ((c * 100 + s) as u64)).is_multiple_of(4);
+                flaky_tasks += flaky as u32;
+                let attempts = AtomicU32::new(0);
+                let h2 = h.clone();
+                let tid = rt
+                    .task(format!("c{c}s{s}"))
+                    .updates(&h)
+                    .idempotent(move || {
+                        if attempts.fetch_add(1, Ordering::SeqCst) == 0 && flaky {
+                            panic!("flaky first attempt");
+                        }
+                        *h2.write() += 1;
+                    })
+                    .spawn();
+                if let Some(p) = prev {
+                    deps.push((tid, p));
+                }
+                prev = Some(tid);
+            }
+        }
+        rt.taskwait();
+        let stats = rt.stats();
+        prop_assert_eq!(stats.failed_tasks, 0);
+        prop_assert_eq!(stats.retried as u32, flaky_tasks);
+
+        let events = log.events.lock().unwrap();
+        let completes = events.iter().filter(|&&(k, _)| k == 1).count();
+        prop_assert_eq!(completes, chains * len);
+        for &(task, pred) in &deps {
+            let pred_done = events
+                .iter()
+                .position(|&(k, t)| k == 1 && t == pred)
+                .expect("predecessor completed");
+            let first_start = events
+                .iter()
+                .position(|&(k, t)| k == 0 && t == task)
+                .expect("task started");
+            prop_assert!(
+                first_start > pred_done,
+                "task {:?} started (event {}) before its dependency {:?} completed (event {})",
+                task, first_start, pred, pred_done
+            );
+        }
+    }
+}

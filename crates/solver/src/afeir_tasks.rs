@@ -17,7 +17,6 @@
 //!    task touching `x[block]` waits on it through the ordinary
 //!    dependence system; everything else streams past.
 
-use std::ops::Range;
 use std::sync::Arc;
 
 use raa_runtime::{AccessMode, Runtime};
@@ -109,7 +108,7 @@ pub fn cg_afeir_tasks(
                 Arc::clone(&b_vec),
                 &x,
                 &r,
-                fault.block.clone(),
+                &fault,
                 local_tol,
             );
         }
@@ -123,10 +122,10 @@ pub fn cg_afeir_tasks(
                     q.sub(range.start as u64, range.end as u64),
                     AccessMode::Write,
                 )
-                .body(move || {
+                .idempotent(move || {
                     let pv = p.read();
                     let mut qv = q.write();
-                    a.spmv_rows(range, &pv, &mut qv);
+                    a.spmv_rows(range.clone(), &pv, &mut qv);
                 })
                 .spawn();
         }
@@ -142,10 +141,10 @@ pub fn cg_afeir_tasks(
                     AccessMode::Read,
                 )
                 .region(pq_parts.sub(bi as u64, bi as u64 + 1), AccessMode::Write)
-                .body(move || {
+                .idempotent(move || {
                     let pv = p.read();
                     let qv = q.read();
-                    parts.write()[bi] = dot(&pv[range.clone()], &qv[range]);
+                    parts.write()[bi] = dot(&pv[range.clone()], &qv[range.clone()]);
                 })
                 .spawn();
         }
@@ -154,7 +153,7 @@ pub fn cg_afeir_tasks(
             rt.task("alpha")
                 .reads(&pq_parts)
                 .updates(&scalars)
-                .body(move || {
+                .idempotent(move || {
                     let pq: f64 = parts.read().iter().sum();
                     let mut s = scalars.write();
                     s.alpha = s.rr / pq;
@@ -188,12 +187,12 @@ pub fn cg_afeir_tasks(
                     r.sub(range.start as u64, range.end as u64),
                     AccessMode::ReadWrite,
                 )
-                .body(move || {
+                .idempotent(move || {
                     let alpha = scalars.read().alpha;
                     let pv = p.read();
                     let qv = q.read();
                     axpy(alpha, &pv[range.clone()], &mut x.write()[range.clone()]);
-                    axpy(-alpha, &qv[range.clone()], &mut r.write()[range]);
+                    axpy(-alpha, &qv[range.clone()], &mut r.write()[range.clone()]);
                 })
                 .spawn();
         }
@@ -205,9 +204,9 @@ pub fn cg_afeir_tasks(
                     AccessMode::Read,
                 )
                 .region(rr_parts.sub(bi as u64, bi as u64 + 1), AccessMode::Write)
-                .body(move || {
+                .idempotent(move || {
                     let rv = r.read();
-                    parts.write()[bi] = dot(&rv[range.clone()], &rv[range]);
+                    parts.write()[bi] = dot(&rv[range.clone()], &rv[range.clone()]);
                 })
                 .spawn();
         }
@@ -216,7 +215,7 @@ pub fn cg_afeir_tasks(
             rt.task("beta")
                 .reads(&rr_parts)
                 .updates(&scalars)
-                .body(move || {
+                .idempotent(move || {
                     let rr_new: f64 = parts.read().iter().sum();
                     let mut s = scalars.write();
                     s.beta = rr_new / s.rr;
@@ -236,10 +235,10 @@ pub fn cg_afeir_tasks(
                     p.sub(range.start as u64, range.end as u64),
                     AccessMode::ReadWrite,
                 )
-                .body(move || {
+                .idempotent(move || {
                     let beta = scalars.read().beta;
                     let rv = r.read();
-                    xpby(&rv[range.clone()], beta, &mut p.write()[range]);
+                    xpby(&rv[range.clone()], beta, &mut p.write()[range.clone()]);
                 })
                 .spawn();
         }
@@ -262,7 +261,10 @@ pub fn cg_afeir_tasks(
     }
 }
 
-/// Wipe the block, then submit snapshot + recovery tasks.
+/// Corrupt `x` per the spec, then — for *detected* faults — submit
+/// snapshot + recovery tasks. A silent fault ([`crate::fault::FaultMode`]
+/// `BitFlip`) injects the corruption and returns: the solver was never
+/// told, so no recovery may run (that is what makes it an SDC).
 ///
 /// Important detail: the DUE is injected *between* iterations (the state
 /// is algebraically consistent: `r = b − A·x`), so the snapshot task —
@@ -278,17 +280,19 @@ fn inject_and_recover(
     b: Arc<Vec<f64>>,
     x: &raa_runtime::DataHandle<Vec<f64>>,
     r: &raa_runtime::DataHandle<Vec<f64>>,
-    block: Range<usize>,
+    fault: &FaultSpec,
     local_tol: f64,
 ) {
-    // The DUE itself: the block's contents are gone. (Done inline — the
-    // "hardware" lost the data; this is not a task.)
+    // The fault itself: done inline — the "hardware" corrupted the data;
+    // this is not a task.
     {
         let mut xv = x.write();
-        for e in &mut xv[block.clone()] {
-            *e = 0.0;
-        }
+        fault.inject(&mut xv);
     }
+    if !fault.mode.is_detected() {
+        return;
+    }
+    let block = fault.block.clone();
     // Snapshot task: cheap copy of r[block] and x-outside. Carries the
     // WAR edges so the solver only waits a memcpy.
     let snap = rt.register("recovery-snapshot", (Vec::new(), Vec::new()));
@@ -301,10 +305,10 @@ fn inject_and_recover(
                 AccessMode::Read,
             )
             .writes(&snap)
-            .body(move || {
+            .idempotent(move || {
                 let xv = x.read();
                 let rv = r.read();
-                *snap.write() = (xv.clone(), rv[block].to_vec());
+                *snap.write() = (xv.clone(), rv[block.clone()].to_vec());
             })
             .spawn();
     }
@@ -319,14 +323,14 @@ fn inject_and_recover(
                 x.sub(block.start as u64, block.end as u64),
                 AccessMode::Write,
             )
-            .body(move || {
+            .idempotent(move || {
                 let (x_snap, r_block) = snap.read().clone();
                 // Rebuild the full-r view the algebra expects: only
                 // r[block] is read by recover_x_block.
                 let mut r_full = vec![0.0; x_snap.len()];
                 r_full[block.clone()].copy_from_slice(&r_block);
                 let rec = recover_x_block(&a, &b, &r_full, &x_snap, block.clone(), local_tol);
-                x.write()[block].copy_from_slice(&rec);
+                x.write()[block.clone()].copy_from_slice(&rec);
             })
             .spawn();
     }

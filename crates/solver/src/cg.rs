@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use raa_runtime::{AccessMode, Runtime};
+use raa_runtime::{AccessMode, FaultReport, Runtime};
 
 use crate::blas::{axpy, block_ranges, dot, norm2, xpby};
 use crate::csr::Csr;
@@ -115,6 +115,14 @@ pub fn pcg(
 /// split into `blocks` row blocks; SpMV, AXPY and partial dot products
 /// are tasks with per-block dependencies, exactly the OmpSs formulation
 /// the paper's resilience work (§4) schedules its recoveries into.
+///
+/// Every task is declared **idempotent**, so a `RetryPolicy` can
+/// re-execute attempts killed by injected faults. That declaration is
+/// sound under the runtime's fault injection because injected panics
+/// fire in the preflight, *before* the body runs — an attempt either
+/// never touches its data or runs to completion. (Some bodies, e.g. the
+/// `x += αp` update, are read-modify-write and would not survive a
+/// mid-body crash; the injection model is crash-before-start.)
 pub fn cg_tasks(
     rt: &Runtime,
     a: Arc<Csr>,
@@ -123,6 +131,24 @@ pub fn cg_tasks(
     tol: f64,
     max_iters: usize,
 ) -> CgResult {
+    match try_cg_tasks(rt, a, b, blocks, tol, max_iters) {
+        Ok(res) => res,
+        Err(report) => panic!("{report}"),
+    }
+}
+
+/// [`cg_tasks`], but task failures (exhausted retries under fault
+/// injection, poisoned downstream reads) surface as a typed
+/// [`FaultReport`] instead of a panic — the entry point fault-injection
+/// campaigns drive.
+pub fn try_cg_tasks(
+    rt: &Runtime,
+    a: Arc<Csr>,
+    b: &[f64],
+    blocks: usize,
+    tol: f64,
+    max_iters: usize,
+) -> Result<CgResult, FaultReport> {
     let n = a.n();
     assert_eq!(b.len(), n);
     let ranges = block_ranges(n, blocks);
@@ -150,10 +176,10 @@ pub fn cg_tasks(
                     AccessMode::Write,
                 )
                 .cost((range.len() * 5) as u64)
-                .body(move || {
+                .idempotent(move || {
                     let pv = p.read();
                     let mut qv = q.write();
-                    a.spmv_rows(range, &pv, &mut qv);
+                    a.spmv_rows(range.clone(), &pv, &mut qv);
                 })
                 .spawn();
         }
@@ -171,10 +197,10 @@ pub fn cg_tasks(
                 )
                 .region(pq_parts.sub(bi as u64, bi as u64 + 1), AccessMode::Write)
                 .cost(range.len() as u64)
-                .body(move || {
+                .idempotent(move || {
                     let pv = p.read();
                     let qv = q.read();
-                    parts.write()[bi] = dot(&pv[range.clone()], &qv[range]);
+                    parts.write()[bi] = dot(&pv[range.clone()], &qv[range.clone()]);
                 })
                 .spawn();
         }
@@ -185,7 +211,7 @@ pub fn cg_tasks(
                 .reads(&pq_parts)
                 .updates(&scalars)
                 .cost(blocks as u64)
-                .body(move || {
+                .idempotent(move || {
                     let pq: f64 = parts.read().iter().sum();
                     let mut s = scalars.write();
                     s.alpha = s.rr / pq;
@@ -221,12 +247,12 @@ pub fn cg_tasks(
                     AccessMode::ReadWrite,
                 )
                 .cost(range.len() as u64 * 2)
-                .body(move || {
+                .idempotent(move || {
                     let alpha = scalars.read().alpha;
                     let pv = p.read();
                     let qv = q.read();
                     axpy(alpha, &pv[range.clone()], &mut x.write()[range.clone()]);
-                    axpy(-alpha, &qv[range.clone()], &mut r.write()[range]);
+                    axpy(-alpha, &qv[range.clone()], &mut r.write()[range.clone()]);
                 })
                 .spawn();
         }
@@ -240,9 +266,9 @@ pub fn cg_tasks(
                 )
                 .region(rr_parts.sub(bi as u64, bi as u64 + 1), AccessMode::Write)
                 .cost(range.len() as u64)
-                .body(move || {
+                .idempotent(move || {
                     let rv = r.read();
-                    parts.write()[bi] = dot(&rv[range.clone()], &rv[range]);
+                    parts.write()[bi] = dot(&rv[range.clone()], &rv[range.clone()]);
                 })
                 .spawn();
         }
@@ -253,7 +279,7 @@ pub fn cg_tasks(
                 .reads(&rr_parts)
                 .updates(&scalars)
                 .cost(blocks as u64)
-                .body(move || {
+                .idempotent(move || {
                     let rr_new: f64 = parts.read().iter().sum();
                     let mut s = scalars.write();
                     s.beta = rr_new / s.rr;
@@ -274,10 +300,10 @@ pub fn cg_tasks(
                     AccessMode::ReadWrite,
                 )
                 .cost(range.len() as u64)
-                .body(move || {
+                .idempotent(move || {
                     let beta = scalars.read().beta;
                     let rv = r.read();
-                    xpby(&rv[range.clone()], beta, &mut p.write()[range]);
+                    xpby(&rv[range.clone()], beta, &mut p.write()[range.clone()]);
                 })
                 .spawn();
         }
@@ -285,17 +311,23 @@ pub fn cg_tasks(
         // scalar chain (OmpSs `taskwait on`), so long-running tasks from
         // earlier iterations — e.g. an AFEIR recovery — keep overlapping.
         rt.taskwait_on(&scalars);
+        // A poisoned region means a task exhausted its retries: the
+        // scalar recurrence can no longer be trusted, so stop spawning
+        // iterations and let `try_taskwait` assemble the report.
+        if !rt.poisoned_regions().is_empty() {
+            break;
+        }
         rr = scalars.read().rr;
         iter += 1;
     }
-    rt.taskwait();
+    rt.try_taskwait()?;
     let xv = x.read().clone();
-    CgResult {
+    Ok(CgResult {
         converged: rr.sqrt() / bnorm <= tol,
         rel_residual: rr.sqrt() / bnorm,
         x: xv,
         iterations: iter,
-    }
+    })
 }
 
 /// Host-visible CG scalar state shared between reduction tasks.

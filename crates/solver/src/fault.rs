@@ -1,14 +1,22 @@
-//! DUE (Detected-but-Uncorrected Error) injection.
+//! Error injection into solver vectors.
 //!
-//! A DUE is a detected data loss: ECC flags an uncorrectable word, a
-//! memory page is retired, etc.  The paper's fine-grained error model
-//! loses a *block* of one solver vector; detection is assumed (standard
-//! commodity-hardware machinery), so injection here means "the block's
-//! contents are gone and the solver knows which block".
+//! Two error classes from the paper's resilience taxonomy (§4):
+//!
+//! * **DUE** (Detected-but-Uncorrected Error) — a detected data loss: ECC
+//!   flags an uncorrectable word, a memory page is retired, etc.
+//!   Detection is assumed (standard commodity-hardware machinery), so
+//!   injection means "the data is gone and the solver knows where".
+//!   [`FaultMode::BlockWipe`] loses a whole block of a vector (the
+//!   paper's fine-grained model); [`FaultMode::MultiBitDue`] loses a few
+//!   scattered words inside the block.
+//! * **SDC** (Silent Data Corruption) — an undetected single-bit flip
+//!   ([`FaultMode::BitFlip`]): the value remains readable but is wrong,
+//!   and *no* recovery is triggered. Campaigns use it to measure how far
+//!   an unnoticed flip drags the solution before the residual betrays it.
 
 use std::ops::Range;
 
-/// Which solver vector the DUE hits.
+/// Which solver vector the fault hits.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FaultTarget {
     /// The iterate `x` — the interesting case: `x` is *not* derivable
@@ -19,35 +27,102 @@ pub enum FaultTarget {
     R,
 }
 
-/// One scheduled DUE.
+/// How the fault corrupts the targeted range.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FaultMode {
+    /// DUE: the whole block is unreadable; the freshly re-mapped page
+    /// reads as zeros. The historical (and default) model.
+    #[default]
+    BlockWipe,
+    /// SDC: flip one bit of the first word of the block. Undetected —
+    /// recovery machinery must not be told about it.
+    BitFlip { bit: u32 },
+    /// DUE: `words` evenly spaced words inside the block are lost
+    /// (zeroed), the rest of the block survives.
+    MultiBitDue { words: usize },
+}
+
+impl FaultMode {
+    /// True when the hardware reports the error (DUE): recovery may act.
+    /// False for SDC — the solver has no idea anything happened.
+    pub fn is_detected(&self) -> bool {
+        !matches!(self, FaultMode::BitFlip { .. })
+    }
+}
+
+/// One scheduled fault.
 #[derive(Clone, Debug)]
 pub struct FaultSpec {
     /// Iteration after which the fault strikes.
     pub at_iter: usize,
-    /// Lost element range (block granularity).
+    /// Affected element range (block granularity).
     pub block: Range<usize>,
     pub target: FaultTarget,
+    pub mode: FaultMode,
 }
 
 impl FaultSpec {
+    /// A block-wipe DUE (the default mode; see [`FaultSpec::mode`]).
     pub fn new(at_iter: usize, block: Range<usize>, target: FaultTarget) -> Self {
         assert!(!block.is_empty(), "a DUE must lose something");
         FaultSpec {
             at_iter,
             block,
             target,
+            mode: FaultMode::default(),
         }
     }
 
-    /// Wipe the block (the lost data is unreadable; we model the freshly
-    /// re-mapped page as zeros). Returns the destroyed values for test
-    /// oracles.
-    pub fn inject(&self, v: &mut [f64]) -> Vec<f64> {
-        let lost = v[self.block.clone()].to_vec();
-        for e in &mut v[self.block.clone()] {
-            *e = 0.0;
+    /// Builder-style corruption-mode override.
+    pub fn mode(mut self, mode: FaultMode) -> Self {
+        if let FaultMode::MultiBitDue { words } = mode {
+            assert!(words >= 1, "a multi-bit DUE must lose at least one word");
         }
-        lost
+        self.mode = mode;
+        self
+    }
+
+    /// Indices this fault will corrupt, in ascending order.
+    pub fn affected(&self) -> Vec<usize> {
+        match self.mode {
+            FaultMode::BlockWipe => self.block.clone().collect(),
+            FaultMode::BitFlip { .. } => vec![self.block.start],
+            FaultMode::MultiBitDue { words } => {
+                let len = self.block.len();
+                let n = words.min(len);
+                // Evenly spaced across the block, always including start.
+                (0..n).map(|k| self.block.start + k * len / n).collect()
+            }
+        }
+    }
+
+    /// Corrupt `v` according to the mode. Returns the original values of
+    /// every touched element (in [`FaultSpec::affected`] order) for test
+    /// oracles and campaign diagnostics.
+    pub fn inject(&self, v: &mut [f64]) -> Vec<f64> {
+        match self.mode {
+            FaultMode::BlockWipe => {
+                let lost = v[self.block.clone()].to_vec();
+                for e in &mut v[self.block.clone()] {
+                    *e = 0.0;
+                }
+                lost
+            }
+            FaultMode::BitFlip { bit } => {
+                let i = self.block.start;
+                let old = v[i];
+                v[i] = f64::from_bits(old.to_bits() ^ (1u64 << (bit % 64)));
+                vec![old]
+            }
+            FaultMode::MultiBitDue { .. } => {
+                let idx = self.affected();
+                let lost: Vec<f64> = idx.iter().map(|&i| v[i]).collect();
+                for &i in &idx {
+                    v[i] = 0.0;
+                }
+                lost
+            }
+        }
     }
 }
 
@@ -68,5 +143,60 @@ mod tests {
     #[should_panic(expected = "must lose something")]
     fn empty_block_rejected() {
         FaultSpec::new(0, 3..3, FaultTarget::R);
+    }
+
+    #[test]
+    fn default_mode_is_block_wipe_and_detected() {
+        let spec = FaultSpec::new(0, 0..4, FaultTarget::X);
+        assert_eq!(spec.mode, FaultMode::BlockWipe);
+        assert!(spec.mode.is_detected());
+        assert_eq!(spec.affected(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_word_silently() {
+        let spec = FaultSpec::new(3, 1..4, FaultTarget::X).mode(FaultMode::BitFlip { bit: 52 });
+        assert!(!spec.mode.is_detected(), "an SDC is silent");
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        let lost = spec.inject(&mut v);
+        assert_eq!(lost, vec![2.0]);
+        assert_ne!(v[1], 2.0, "the bit flip must change the value");
+        assert_eq!((v[0], v[2], v[3]), (1.0, 3.0, 4.0), "neighbours intact");
+        // Flipping the same bit again restores the original.
+        spec.inject(&mut v);
+        assert_eq!(v[1], 2.0);
+    }
+
+    #[test]
+    fn multi_bit_due_wipes_spread_words_only() {
+        let spec =
+            FaultSpec::new(0, 2..10, FaultTarget::R).mode(FaultMode::MultiBitDue { words: 3 });
+        assert!(spec.mode.is_detected());
+        let idx = spec.affected();
+        assert_eq!(idx.len(), 3);
+        assert!(idx.iter().all(|&i| (2..10).contains(&i)));
+        assert_eq!(idx[0], 2, "the block start is always hit");
+        let mut v: Vec<f64> = (0..12).map(|i| i as f64 + 1.0).collect();
+        let orig = v.clone();
+        let lost = spec.inject(&mut v);
+        assert_eq!(lost.len(), 3);
+        for i in 0..12 {
+            if idx.contains(&i) {
+                assert_eq!(v[i], 0.0);
+            } else {
+                assert_eq!(v[i], orig[i], "untouched words survive");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bit_due_caps_at_block_len() {
+        let spec =
+            FaultSpec::new(0, 4..6, FaultTarget::X).mode(FaultMode::MultiBitDue { words: 10 });
+        assert_eq!(
+            spec.affected(),
+            vec![4, 5],
+            "cannot lose more than the block"
+        );
     }
 }

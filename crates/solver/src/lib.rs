@@ -57,8 +57,8 @@ pub mod recovery;
 pub mod resilient;
 
 pub use afeir_tasks::{cg_afeir_tasks, AfeirTasksCfg, AfeirTasksResult};
-pub use cg::{cg, pcg, CgResult};
+pub use cg::{cg, pcg, try_cg_tasks, CgResult};
 pub use csr::Csr;
-pub use fault::{FaultSpec, FaultTarget};
+pub use fault::{FaultMode, FaultSpec, FaultTarget};
 pub use monitor::ConvergenceTrace;
 pub use resilient::{run_scheme, run_scheme_multi, ResilientCfg, Scheme};

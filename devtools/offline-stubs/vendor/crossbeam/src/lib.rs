@@ -1,0 +1,144 @@
+//! Offline functional stub of `crossbeam`, covering the `deque` API the
+//! RAA workspace uses. Backed by `Mutex<VecDeque>` — correct, not fast.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Result of a steal attempt.
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A worker-owned deque (LIFO or FIFO pops from the owner's side).
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+        lifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: true,
+            }
+        }
+
+        pub fn new_fifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: false,
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            locked(&self.q).push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            let mut q = locked(&self.q);
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            locked(&self.q).is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            locked(&self.q).len()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    /// A handle that steals from the opposite end of a [`Worker`].
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.q).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            locked(&self.q).is_empty()
+        }
+    }
+
+    /// A global FIFO injector queue.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            locked(&self.q).push_back(task);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.q).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            locked(&self.q).is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            locked(&self.q).len()
+        }
+    }
+}

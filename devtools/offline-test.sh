@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Run cargo against the offline stub crates in devtools/offline-stubs.
+# Usage: devtools/offline-test.sh <cargo subcommand and args>
+set -euo pipefail
+root="$(cd "$(dirname "$0")/.." && pwd)"
+export CARGO_NET_OFFLINE=true
+exec cargo \
+    --config "source.crates-io.replace-with='offline-stubs'" \
+    --config "source.offline-stubs.directory='${root}/devtools/offline-stubs/vendor'" \
+    "$@"
