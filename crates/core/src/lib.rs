@@ -43,7 +43,10 @@ pub mod system;
 pub mod tsu;
 
 pub use dvfs::{DvfsTable, FreqState};
-pub use hwif::{HardwareInterface, RsuDriver, SimulatedHardware};
+pub use hwif::{
+    HardwareInterface, MachineCheck, MachineCheckObserver, MceRouter, MceSeverity, RegionMap,
+    RsuDriver, SimulatedHardware,
+};
 pub use power::{edp, PowerParams};
 pub use profile::{apply_measured_costs, TimingRecorder};
 pub use rsu::{Arbitration, ReconfigStats, Rsu};

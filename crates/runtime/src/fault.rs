@@ -270,6 +270,13 @@ impl WatchdogConfig {
         self.stall_timeout = timeout;
         self
     }
+
+    /// Builder-style heartbeat (monitor period) override.
+    pub fn interval(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "the watchdog must sleep between scans");
+        self.interval = interval;
+        self
+    }
 }
 
 // -------------------------------------------------------- typed failures
@@ -301,6 +308,8 @@ impl fmt::Display for TaskError {
     }
 }
 
+impl std::error::Error for TaskError {}
+
 /// One failed task in a [`FaultReport`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaskFailure {
@@ -325,6 +334,14 @@ impl fmt::Display for TaskFailure {
                 if n == 1 { "" } else { "s" }
             ),
         }
+    }
+}
+
+impl std::error::Error for TaskFailure {
+    /// The underlying [`TaskError`], so `?`-style propagation keeps the
+    /// cause chain walkable via `Error::source()`.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -453,6 +470,43 @@ mod tests {
     #[test]
     fn default_policy_disables_retry() {
         assert_eq!(RetryPolicy::default().max_attempts, 1);
+    }
+
+    #[test]
+    fn task_errors_are_std_errors_with_source_chain() {
+        let failure = TaskFailure {
+            task: TaskId(5),
+            label: "dot".into(),
+            attempts: 0,
+            error: TaskError::Poisoned {
+                source: TaskId(3),
+                source_label: "spmv[1]".into(),
+            },
+        };
+        // `?`-style propagation into a boxed error must work…
+        let boxed: Box<dyn std::error::Error> = Box::new(failure.clone());
+        assert!(boxed.to_string().contains("poisoned by t3"));
+        // …and the cause chain must reach the underlying TaskError.
+        let source = std::error::Error::source(&failure).expect("failure has a source");
+        assert_eq!(source.to_string(), failure.error.to_string());
+        let leaf: Box<dyn std::error::Error> = Box::new(failure.error.clone());
+        assert!(std::error::Error::source(leaf.as_ref()).is_none());
+    }
+
+    #[test]
+    fn watchdog_builder_overrides_timing() {
+        let w = WatchdogConfig::enabled()
+            .interval(Duration::from_millis(7))
+            .stall_timeout(Duration::from_millis(40))
+            .respawn(false);
+        assert!(w.enabled);
+        assert_eq!(w.interval, Duration::from_millis(7));
+        assert_eq!(w.stall_timeout, Duration::from_millis(40));
+        assert!(!w.respawn);
+        // Defaults are unchanged by the new builders.
+        let d = WatchdogConfig::default();
+        assert_eq!(d.interval, Duration::from_millis(2));
+        assert_eq!(d.stall_timeout, Duration::from_millis(100));
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
 pub use graph::TaskGraph;
-pub use region::{AccessMode, DataHandle, Region, RegionRange};
+pub use region::{AccessMode, DataHandle, Region, RegionId, RegionRange};
 pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskObserver};
 pub use scheduler::SchedulerPolicy;
 pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};

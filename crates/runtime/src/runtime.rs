@@ -154,6 +154,29 @@ impl RuntimeConfig {
         self.watchdog = watchdog;
         self
     }
+
+    /// Per-task retry budget for idempotent tasks: `retries`
+    /// re-executions after the first attempt (0 disables retry, the
+    /// default). Shorthand for `retry(RetryPolicy::retries(..))` that
+    /// keeps the default backoff.
+    pub fn retry_budget(mut self, retries: u32) -> Self {
+        self.retry.max_attempts = retries + 1;
+        self
+    }
+
+    /// Override the watchdog's stall timeout in place (a busy worker
+    /// whose heartbeat is frozen this long counts as stalled). Composes
+    /// with [`RuntimeConfig::watchdog`] in either order.
+    pub fn stall_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.watchdog = self.watchdog.stall_timeout(timeout);
+        self
+    }
+
+    /// Override the watchdog's heartbeat monitor period in place.
+    pub fn heartbeat_interval(mut self, interval: std::time::Duration) -> Self {
+        self.watchdog = self.watchdog.interval(interval);
+        self
+    }
 }
 
 struct TaskEntry {
@@ -752,6 +775,27 @@ impl Runtime {
             .collect()
     }
 
+    /// Poison `region` from *outside* the task graph — the machine-check
+    /// entry point: hardware (see `raa-core`'s `MceRouter`) detected an
+    /// uncorrectable error in the memory backing this region. Pending
+    /// readers fail fast with a typed [`TaskError::Poisoned`] whose
+    /// source is the synthetic hardware task id [`Runtime::HW_SOURCE`];
+    /// a later task that fully overwrites the range (`Write` access)
+    /// cleanses it — exactly how FEIR/AFEIR recovery tasks repair data
+    /// lost to a DUE.
+    pub fn poison_region(&self, region: Region, label: impl Into<String>) {
+        let label = label.into();
+        {
+            let mut inner = self.shared.inner.lock();
+            poison_writes(&mut inner, Self::HW_SOURCE, &label, &[region]);
+        }
+        self.shared.has_poison.store(true, Ordering::Release);
+    }
+
+    /// Synthetic source id for failures originating in hardware rather
+    /// than in a task (see [`Runtime::poison_region`]).
+    pub const HW_SOURCE: TaskId = TaskId(u32::MAX);
+
     /// Forget all poison: the caller asserts the data has been repaired
     /// out-of-band (e.g. recomputed from a checkpoint). Pending tasks that
     /// were already marked as victims are unmarked and will run.
@@ -957,6 +1001,83 @@ mod tests {
         assert_eq!(counter.load(Ordering::SeqCst), 64);
         assert_eq!(rt.stats().edges, 0);
         assert_eq!(rt.stats().ready_at_spawn, 64);
+    }
+
+    #[test]
+    fn config_conveniences_map_to_policy_and_watchdog() {
+        let c = RuntimeConfig::with_workers(2)
+            .retry_budget(3)
+            .stall_timeout(std::time::Duration::from_millis(60))
+            .heartbeat_interval(std::time::Duration::from_millis(5));
+        assert_eq!(c.retry.max_attempts, 4);
+        assert_eq!(
+            c.retry.backoff_base,
+            RetryPolicy::default().backoff_base,
+            "shorthand keeps default backoff"
+        );
+        assert_eq!(
+            c.watchdog.stall_timeout,
+            std::time::Duration::from_millis(60)
+        );
+        assert_eq!(c.watchdog.interval, std::time::Duration::from_millis(5));
+        // Defaults unchanged when the conveniences are not used.
+        let d = RuntimeConfig::with_workers(1);
+        assert_eq!(d.retry.max_attempts, 1);
+        assert_eq!(
+            d.watchdog.stall_timeout,
+            std::time::Duration::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn hardware_poison_fails_readers_and_recovery_write_cleanses() {
+        let rt = rt(2);
+        let data = rt.register("v", vec![0.0f64; 64]);
+        // Machine check: a DUE lost elements 16..32.
+        rt.poison_region(data.sub(16, 32), "l2 DUE @0x1400");
+        assert_eq!(rt.poisoned_regions().len(), 1);
+        // A reader of the lost range fails fast, typed.
+        let d = data.clone();
+        rt.task("consume")
+            .reads(&data)
+            .body(move || {
+                let _ = d.read();
+            })
+            .spawn();
+        let report = rt.try_taskwait().expect_err("reader must be poisoned");
+        assert_eq!(report.len(), 1);
+        match &report.failures[0].error {
+            TaskError::Poisoned {
+                source,
+                source_label,
+            } => {
+                assert_eq!(*source, Runtime::HW_SOURCE);
+                assert!(source_label.contains("l2 DUE"));
+            }
+            e => panic!("expected hardware poison, got {e}"),
+        }
+        // A recovery task that fully overwrites the range cleanses it.
+        let d = data.clone();
+        rt.task("recover")
+            .region(data.sub(16, 32), AccessMode::Write)
+            .body(move || {
+                let mut v = d.write();
+                for e in &mut v[16..32] {
+                    *e = 1.0;
+                }
+            })
+            .spawn();
+        rt.taskwait();
+        assert!(rt.poisoned_regions().is_empty(), "overwrite cleanses");
+        // Readers run normally again.
+        let d = data.clone();
+        rt.task("reread")
+            .reads(&data)
+            .body(move || {
+                assert_eq!(d.read()[20], 1.0);
+            })
+            .spawn();
+        assert!(rt.try_taskwait().is_ok());
     }
 
     #[test]

@@ -197,6 +197,13 @@ impl Cache {
         false
     }
 
+    /// Currently valid lines, in way order — the fault-injection /
+    /// patrol-scrub population (what ECC actually protects is whatever
+    /// is resident right now).
+    pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.data.iter().filter(|w| w.valid).map(|w| w.line)
+    }
+
     /// Miss ratio so far.
     pub fn miss_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -329,6 +336,19 @@ mod tests {
             "hashed indexing should retain most of the 64-line stream, hits={}",
             c.hits
         );
+    }
+
+    #[test]
+    fn resident_lines_tracks_fills_and_invalidations() {
+        let mut c = Cache::new(8, 2);
+        for l in [3u64, 9, 17] {
+            c.access(l, false);
+        }
+        let mut lines: Vec<u64> = c.resident_lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![3, 9, 17]);
+        c.invalidate(9);
+        assert_eq!(c.resident_lines().count(), 2);
     }
 
     #[test]

@@ -24,6 +24,16 @@ pub struct EnergyModel {
     /// realistic ~30-40% of the total on these workloads — this couples
     /// the energy metric to execution time, as in real chips.
     pub leak_core_cycle: f64,
+    /// SECDED syndrome computation on a word access (the always-on tax
+    /// of an ECC-protected array — a small fraction of the access).
+    pub ecc_check: f64,
+    /// Correcting a flagged single-bit error (rewrite of the word).
+    pub ecc_correct: f64,
+    /// Patrol scrubber visiting one word (read + check + conditional
+    /// writeback, amortised).
+    pub scrub_word: f64,
+    /// CRC check of one NoC packet at the receiver.
+    pub crc_check: f64,
 }
 
 impl Default for EnergyModel {
@@ -38,6 +48,10 @@ impl Default for EnergyModel {
             filter_lookup: 0.008,
             dma_setup: 0.05,
             leak_core_cycle: 0.05,
+            ecc_check: 0.003,
+            ecc_correct: 0.06,
+            scrub_word: 0.012,
+            crc_check: 0.015,
         }
     }
 }
@@ -54,6 +68,12 @@ pub struct EnergyBreakdown {
     pub filter: f64,
     pub dma: f64,
     pub leakage: f64,
+    /// ECC syndrome checks + corrections (demand path).
+    pub ecc: f64,
+    /// Patrol-scrub sweeps.
+    pub scrub: f64,
+    /// NoC CRC checks (including retransmissions).
+    pub crc: f64,
 }
 
 impl EnergyBreakdown {
@@ -68,6 +88,9 @@ impl EnergyBreakdown {
             + self.filter
             + self.dma
             + self.leakage
+            + self.ecc
+            + self.scrub
+            + self.crc
     }
 
     /// Add another breakdown in place.
@@ -81,6 +104,9 @@ impl EnergyBreakdown {
         self.filter += other.filter;
         self.dma += other.dma;
         self.leakage += other.leakage;
+        self.ecc += other.ecc;
+        self.scrub += other.scrub;
+        self.crc += other.crc;
     }
 }
 
@@ -108,8 +134,22 @@ mod tests {
             filter: 7.0,
             dma: 8.0,
             leakage: 9.0,
+            ecc: 10.0,
+            scrub: 11.0,
+            crc: 12.0,
         };
-        assert!((b.total() - 45.0).abs() < 1e-12);
+        assert!((b.total() - 78.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resilience_events_are_cheap_relative_to_accesses() {
+        // The ECC/scrub tax must stay a small fraction of the access it
+        // protects, or the substrate would dominate the Fig. 1 ratios.
+        let m = EnergyModel::default();
+        assert!(m.ecc_check < 0.1 * m.spm_access);
+        assert!(m.ecc_correct < m.l1_access);
+        assert!(m.scrub_word < m.spm_access);
+        assert!(m.crc_check < m.l2_access);
     }
 
     #[test]

@@ -1,0 +1,776 @@
+//! Hardware-level fault substrate: bit flips, SECDED ECC, patrol
+//! scrubbing and NoC CRC.
+//!
+//! The paper's resilience story (§4) *assumes* detected errors — "DUEs
+//! arrive detected from hardware" — but detection has to be earned by a
+//! mechanism. This module is that mechanism for the simulated machine:
+//!
+//! * [`secded`] — a real Hamming (72,64) single-error-correct /
+//!   double-error-detect code over 64-bit words. Single flips are
+//!   corrected in place, double flips raise a DUE, and three or more
+//!   flips *miscorrect silently* — the true SDCs the ABFT layer in
+//!   `raa-solver` exists to catch.
+//! * [`BitFaultPlan`] — seeded, deterministic bit-level upsets: each
+//!   codeword bit of each protected word flips per epoch with a raw
+//!   rate, decided by hashing `(seed, structure, word, epoch, bit)` the
+//!   same way the runtime's `FaultPlan` hashes task attempts. Fixed seed
+//!   ⇒ bit-identical campaigns.
+//! * [`EccDomain`] — one protected structure (L1 lines, SPM lines, DRAM
+//!   rows): accumulates upsets per word, classifies them through the
+//!   *actual* SECDED decoder on access and on patrol scrub, and charges
+//!   check/correct/scrub energy to [`crate::energy::EnergyBreakdown`].
+//!   Scrubbing at a short interval repairs single flips before a second
+//!   upset can pair with them — the corrected/DUE/silent mix as a
+//!   function of scrub interval is the campaign's central table.
+//! * [`CrcLink`] — NoC packets carry a CRC; corrupted packets are
+//!   detected and retransmitted (bounded retries) over the existing
+//!   [`crate::noc::Mesh`], with the retry traffic and check energy
+//!   accounted.
+//!
+//! What this module deliberately does *not* do is tell anyone about
+//! ≥3-bit errors: [`EccVerdict::Silent`] exists only in the ground-truth
+//! statistics. Surfacing corrected/DUE events to the runtime is
+//! `raa-core::hwif`'s job (`MachineCheck`); catching the silent ones is
+//! the solver's (ABFT checksums + residual probing).
+
+use std::collections::HashMap;
+
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::noc::Mesh;
+
+// ---------------------------------------------------------------- hashing
+
+/// splitmix64-style finalizer (same construction as the runtime's
+/// `FaultPlan`): decisions are pure functions of their coordinates.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// ----------------------------------------------------------------- SECDED
+
+/// Hamming (72,64) SEC-DED over 64-bit words.
+///
+/// Layout: codeword bits 1..=71 hold the Hamming code (check bits at the
+/// power-of-two positions 1,2,4,8,16,32,64; the remaining 64 positions
+/// hold data), bit 0 is the overall parity that upgrades SEC to SEC-DED.
+///
+/// Decode behaviour (the oracle-verified contract):
+/// * any **single** flipped codeword bit is corrected to the original;
+/// * any **double** flip is detected as a DUE and never miscorrected;
+/// * **three or more** flips can alias a single-bit syndrome and
+///   miscorrect — silently corrupt data — exactly the residual SDC class
+///   real SECDED memories leak.
+pub mod secded {
+    /// Bits per codeword: 64 data + 7 check + 1 overall parity.
+    pub const CODEWORD_BITS: u32 = 72;
+
+    /// What the decoder reports for one word.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum EccOutcome {
+        /// Syndrome clean: the word is (believed) intact.
+        Clean,
+        /// A single-bit error was corrected at this codeword position.
+        Corrected(u32),
+        /// Detected-uncorrectable error: the data is lost, but the loss
+        /// is *known* — the machine-check path can act on it.
+        Due,
+    }
+
+    fn is_check_pos(p: u32) -> bool {
+        p.is_power_of_two()
+    }
+
+    /// Encode a 64-bit word into a 72-bit SECDED codeword.
+    pub fn encode(data: u64) -> u128 {
+        let mut cw: u128 = 0;
+        let mut d = 0u32;
+        for p in 1..CODEWORD_BITS {
+            if is_check_pos(p) {
+                continue;
+            }
+            if (data >> d) & 1 == 1 {
+                cw |= 1u128 << p;
+            }
+            d += 1;
+        }
+        for c in [1u32, 2, 4, 8, 16, 32, 64] {
+            let mut parity = 0u32;
+            for p in 1..CODEWORD_BITS {
+                if p & c != 0 && (cw >> p) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                cw |= 1u128 << c;
+            }
+        }
+        if cw.count_ones() % 2 == 1 {
+            cw |= 1; // overall parity bit
+        }
+        cw
+    }
+
+    /// Decode a possibly corrupted codeword: returns the (corrected when
+    /// possible) data word and the decoder's verdict.
+    pub fn decode(mut cw: u128) -> (u64, EccOutcome) {
+        let mut syndrome = 0u32;
+        for p in 1..CODEWORD_BITS {
+            if (cw >> p) & 1 == 1 {
+                syndrome ^= p;
+            }
+        }
+        let parity_even = cw.count_ones().is_multiple_of(2);
+        let outcome = match (syndrome, parity_even) {
+            (0, true) => EccOutcome::Clean,
+            (0, false) => {
+                // Only the overall parity bit flipped.
+                cw ^= 1;
+                EccOutcome::Corrected(0)
+            }
+            (s, false) if s < CODEWORD_BITS => {
+                cw ^= 1u128 << s;
+                EccOutcome::Corrected(s)
+            }
+            // Odd number of flips (>= 3) whose syndrome points outside
+            // the codeword: the error betrayed itself.
+            (_, false) => EccOutcome::Due,
+            // Even flip count with a non-zero syndrome: the double-error
+            // signature.
+            (_, true) => EccOutcome::Due,
+        };
+        (extract(cw), outcome)
+    }
+
+    /// Pull the 64 data bits back out of a codeword.
+    pub fn extract(cw: u128) -> u64 {
+        let mut data = 0u64;
+        let mut d = 0u32;
+        for p in 1..CODEWORD_BITS {
+            if is_check_pos(p) {
+                continue;
+            }
+            if (cw >> p) & 1 == 1 {
+                data |= 1u64 << d;
+            }
+            d += 1;
+        }
+        data
+    }
+}
+
+// ----------------------------------------------------------- fault plan
+
+/// Which protected structure a word (or packet) lives in. Part of every
+/// injection decision and of the machine-check events `raa-core` builds
+/// from ECC verdicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemStructure {
+    L1,
+    L2,
+    Spm,
+    Dram,
+    Noc,
+}
+
+impl MemStructure {
+    fn salt(self) -> u64 {
+        match self {
+            MemStructure::L1 => 0x9E37_79B9_7F4A_7C15,
+            MemStructure::L2 => 0xC2B2_AE3D_27D4_EB4F,
+            MemStructure::Spm => 0x1656_67B1_9E37_79F9,
+            MemStructure::Dram => 0x2545_F491_4F6C_DD1D,
+            MemStructure::Noc => 0x8563_9728_3F4A_9C11,
+        }
+    }
+}
+
+/// A seeded, deterministic bit-upset plan: every codeword bit of every
+/// protected word flips with probability `rate` per epoch, decided by
+/// hashing — no shared RNG state, so domains can be injected in any
+/// order and campaigns replay bit-identically.
+#[derive(Clone, Copy, Debug)]
+pub struct BitFaultPlan {
+    seed: u64,
+    rate: f64,
+}
+
+impl BitFaultPlan {
+    pub fn new(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        BitFaultPlan { seed, rate }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mask of codeword bits that flip in `word` of `structure`
+    /// during `epoch`.
+    pub fn flips(&self, structure: MemStructure, word: u64, epoch: u64) -> u128 {
+        if self.rate <= 0.0 {
+            return 0;
+        }
+        let base = mix(self.seed ^ structure.salt()) ^ mix(word).rotate_left(17) ^ epoch;
+        let mut mask = 0u128;
+        for bit in 0..secded::CODEWORD_BITS {
+            if unit(mix(base
+                ^ ((bit as u64) << 56)
+                ^ epoch.wrapping_mul(0x9E37_79B9)))
+                < self.rate
+            {
+                mask |= 1u128 << bit;
+            }
+        }
+        mask
+    }
+}
+
+// ------------------------------------------------------------ ECC domain
+
+/// Ground-truth classification of one ECC check. `Silent` is what the
+/// decoder *cannot* see — it thought it corrected (or saw nothing) but
+/// the data is wrong. Only the campaign's ground truth and the solver's
+/// ABFT layer can observe it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EccVerdict {
+    Clean,
+    Corrected,
+    Due,
+    Silent,
+}
+
+/// One checked word: the raw material for `raa-core`'s `MachineCheck`
+/// events (which forward `Corrected` and `Due` — never `Silent`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EccEvent {
+    pub structure: MemStructure,
+    /// Protected word address (word granularity, 8 bytes).
+    pub addr: u64,
+    pub verdict: EccVerdict,
+}
+
+/// Counters for one protected domain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EccStats {
+    /// Decoder invocations (demand checks + scrub sweeps).
+    pub checks: u64,
+    pub corrected: u64,
+    pub due: u64,
+    /// Ground truth only: words whose data is wrong while the decoder
+    /// reported Clean/Corrected.
+    pub silent: u64,
+    /// Words swept by the patrol scrubber.
+    pub scrubbed: u64,
+}
+
+/// Outcome of one patrol-scrub sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubSummary {
+    pub scanned: u64,
+    pub corrected: u64,
+    pub due: u64,
+    pub silent: u64,
+}
+
+/// One SECDED-protected structure: a population of word addresses
+/// (resident cache lines × 8, SPM lines × 8, DRAM rows × N) with an
+/// accumulated upset mask per word.
+///
+/// Upsets accumulate between checks; a check (demand access or scrub)
+/// runs the real decoder on `encode(reference) ^ mask` and repairs what
+/// SECDED can repair. The race the scrub interval controls is upset
+/// accumulation vs. repair: scrub often enough and almost every upset is
+/// met alone (corrected); scrub rarely and pairs (DUE) then triples
+/// (silent) build up.
+#[derive(Clone, Debug)]
+pub struct EccDomain {
+    pub structure: MemStructure,
+    population: Vec<u64>,
+    /// Accumulated flipped codeword bits per word (absent = clean).
+    pending: HashMap<u64, u128>,
+    pub stats: EccStats,
+}
+
+impl EccDomain {
+    /// A domain protecting the given word addresses.
+    pub fn new(structure: MemStructure, mut population: Vec<u64>) -> Self {
+        population.sort_unstable();
+        population.dedup();
+        EccDomain {
+            structure,
+            population,
+            pending: HashMap::new(),
+            stats: EccStats::default(),
+        }
+    }
+
+    /// A domain over the 8 words of each 64-byte line (cache / SPM
+    /// residency sets).
+    pub fn over_lines(structure: MemStructure, lines: impl IntoIterator<Item = u64>) -> Self {
+        let words = lines
+            .into_iter()
+            .flat_map(|l| (0..8).map(move |w| l * 8 + w))
+            .collect();
+        EccDomain::new(structure, words)
+    }
+
+    /// Protected words.
+    pub fn population(&self) -> &[u64] {
+        &self.population
+    }
+
+    /// Deterministic reference data for a word (the "true" contents the
+    /// silent-corruption ground truth compares against).
+    fn reference(&self, addr: u64) -> u64 {
+        mix(addr ^ self.structure.salt())
+    }
+
+    /// Accumulate one epoch of upsets from `plan` over the population.
+    /// Flips XOR into the pending mask: a bit hit twice reverts, as in
+    /// the physical process.
+    pub fn inject(&mut self, plan: &BitFaultPlan, epoch: u64) -> u64 {
+        let mut upsets = 0u64;
+        for &w in &self.population {
+            let mask = plan.flips(self.structure, w, epoch);
+            if mask != 0 {
+                upsets += mask.count_ones() as u64;
+                let m = self.pending.entry(w).or_insert(0);
+                *m ^= mask;
+                if *m == 0 {
+                    self.pending.remove(&w);
+                }
+            }
+        }
+        upsets
+    }
+
+    /// Directly flip codeword bits of one word (targeted injection for
+    /// tests and the machine-check campaign).
+    pub fn inject_word(&mut self, addr: u64, mask: u128) {
+        if mask == 0 {
+            return;
+        }
+        let m = self.pending.entry(addr).or_insert(0);
+        *m ^= mask;
+        if *m == 0 {
+            self.pending.remove(&addr);
+        }
+    }
+
+    fn classify(&mut self, addr: u64) -> EccVerdict {
+        self.stats.checks += 1;
+        let Some(mask) = self.pending.remove(&addr) else {
+            return EccVerdict::Clean;
+        };
+        let reference = self.reference(addr);
+        let (decoded, outcome) = secded::decode(secded::encode(reference) ^ mask);
+        match outcome {
+            secded::EccOutcome::Due => {
+                self.stats.due += 1;
+                EccVerdict::Due
+            }
+            // Clean / Corrected as far as the decoder knows — but did the
+            // data survive? (≥3 flips can miscorrect; check-bit-only
+            // flips are harmless.)
+            _ if decoded == reference => {
+                if matches!(outcome, secded::EccOutcome::Corrected(_)) {
+                    self.stats.corrected += 1;
+                    EccVerdict::Corrected
+                } else {
+                    EccVerdict::Clean
+                }
+            }
+            _ => {
+                self.stats.silent += 1;
+                EccVerdict::Silent
+            }
+        }
+    }
+
+    /// Demand access to `addr`: run the decoder, repair/clear the word's
+    /// pending state, charge check (+ correct) energy, and report the
+    /// event. `Silent` events are ground truth — the hardware would
+    /// return corrupt data with a straight face.
+    pub fn access(
+        &mut self,
+        addr: u64,
+        model: &EnergyModel,
+        energy: &mut EnergyBreakdown,
+    ) -> EccEvent {
+        energy.ecc += model.ecc_check;
+        let verdict = self.classify(addr);
+        if verdict == EccVerdict::Corrected {
+            energy.ecc += model.ecc_correct;
+        }
+        EccEvent {
+            structure: self.structure,
+            addr,
+            verdict,
+        }
+    }
+
+    /// One patrol-scrub sweep over the whole population: every word is
+    /// read, decoded and rewritten clean when correctable. Returns the
+    /// sweep summary; DUE events discovered by the scrubber are returned
+    /// so the machine-check path can surface them.
+    pub fn scrub(
+        &mut self,
+        model: &EnergyModel,
+        energy: &mut EnergyBreakdown,
+    ) -> (ScrubSummary, Vec<EccEvent>) {
+        let mut summary = ScrubSummary::default();
+        let mut events = Vec::new();
+        // Only words with pending upsets need the decoder; every word
+        // pays the sweep (read + check) energy.
+        summary.scanned = self.population.len() as u64;
+        self.stats.scrubbed += summary.scanned;
+        energy.scrub += model.scrub_word * summary.scanned as f64;
+        let dirty: Vec<u64> = self.pending.keys().copied().collect();
+        for addr in dirty {
+            self.stats.checks += 1;
+            self.stats.checks -= 1; // classify() bumps it
+            match self.classify(addr) {
+                EccVerdict::Corrected => {
+                    summary.corrected += 1;
+                    energy.ecc += model.ecc_correct;
+                }
+                EccVerdict::Due => {
+                    summary.due += 1;
+                    events.push(EccEvent {
+                        structure: self.structure,
+                        addr,
+                        verdict: EccVerdict::Due,
+                    });
+                }
+                EccVerdict::Silent => summary.silent += 1,
+                EccVerdict::Clean => {}
+            }
+        }
+        (summary, events)
+    }
+
+    /// Words currently carrying unchecked upsets (diagnostics).
+    pub fn pending_words(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+// -------------------------------------------------------------- NoC CRC
+
+/// CRC-checked NoC transfers with bounded retransmission over an
+/// existing [`Mesh`].
+///
+/// Per attempt, the packet is corrupted with probability
+/// `1 − (1 − rate)^bits` (independent per-bit upsets); a corrupted
+/// packet fails its CRC check and is retransmitted. A 32-bit CRC's
+/// undetected-error residual (≈2⁻³²) is modelled as zero — every
+/// corruption is caught, which is why NoC faults never contribute to
+/// the silent class.
+#[derive(Clone, Debug)]
+pub struct CrcLink {
+    seed: u64,
+    /// Payload bits per flit (checked by the CRC).
+    pub flit_bits: u32,
+    /// Retransmissions before the link gives up (counts as a DUE).
+    pub max_retries: u32,
+    pub packets: u64,
+    pub corrupted: u64,
+    pub retries: u64,
+    /// Packets dropped after `max_retries` (link-level DUE).
+    pub failed: u64,
+}
+
+impl CrcLink {
+    pub fn new(seed: u64) -> Self {
+        CrcLink {
+            seed,
+            flit_bits: 128,
+            max_retries: 8,
+            packets: 0,
+            corrupted: 0,
+            retries: 0,
+            failed: 0,
+        }
+    }
+
+    /// Send `flits` from `from` to `to` under per-bit upset rate `rate`.
+    /// Returns `(total_latency, delivered)`; retries re-inject the full
+    /// packet into the mesh (traffic and energy are charged per attempt).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_checked(
+        &mut self,
+        mesh: &mut Mesh,
+        model: &EnergyModel,
+        energy: &mut EnergyBreakdown,
+        from: usize,
+        to: usize,
+        flits: u64,
+        packet: u64,
+        rate: f64,
+    ) -> (u64, bool) {
+        self.packets += 1;
+        let bits = flits * self.flit_bits as u64;
+        let p_corrupt = 1.0 - (1.0 - rate).powi(bits.min(1 << 20) as i32);
+        let hops = mesh.hops(from, to);
+        let mut latency = 0u64;
+        for attempt in 0..=self.max_retries {
+            latency += mesh.send(from, to, flits);
+            energy.noc += model.noc_flit_hop * (flits * hops) as f64;
+            energy.crc += model.crc_check;
+            let h =
+                mix(mix(self.seed ^ MemStructure::Noc.salt()) ^ packet ^ ((attempt as u64) << 48));
+            if unit(h) >= p_corrupt {
+                return (latency, true);
+            }
+            self.corrupted += 1;
+            if attempt < self.max_retries {
+                self.retries += 1;
+            }
+        }
+        self.failed += 1;
+        (latency, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::secded::{decode, encode, extract, EccOutcome, CODEWORD_BITS};
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for w in [0u64, u64::MAX, 0xDEAD_BEEF_0BAD_F00D, 1, 1 << 63] {
+            let cw = encode(w);
+            assert_eq!(decode(cw), (w, EccOutcome::Clean));
+            assert_eq!(extract(cw), w);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_corrected_exhaustive() {
+        let w = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let cw = encode(w);
+        for bit in 0..CODEWORD_BITS {
+            let (got, outcome) = decode(cw ^ (1u128 << bit));
+            assert_eq!(got, w, "bit {bit} not corrected");
+            assert_eq!(outcome, EccOutcome::Corrected(bit));
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_a_due_exhaustive() {
+        let w = 0x0123_4567_89AB_CDEFu64;
+        let cw = encode(w);
+        for a in 0..CODEWORD_BITS {
+            for b in (a + 1)..CODEWORD_BITS {
+                let (_, outcome) = decode(cw ^ (1u128 << a) ^ (1u128 << b));
+                assert_eq!(outcome, EccOutcome::Due, "flips {a},{b} not detected");
+            }
+        }
+    }
+
+    #[test]
+    fn triple_errors_can_miscorrect_silently() {
+        // 3 data-bit flips whose syndrome aliases a single position: the
+        // decoder "corrects" the wrong bit and returns wrong data without
+        // raising anything — the residual SDC class.
+        let w = 0u64;
+        let cw = encode(w);
+        let mut silent = 0;
+        for (a, b, c) in [(3u32, 5, 6), (9, 10, 3), (33, 34, 3), (7, 11, 12)] {
+            let (got, outcome) = decode(cw ^ (1u128 << a) ^ (1u128 << b) ^ (1u128 << c));
+            if outcome != EccOutcome::Due && got != w {
+                silent += 1;
+            }
+        }
+        assert!(silent > 0, "some triple errors must slip through");
+    }
+
+    proptest! {
+        /// Satellite: the encode/correct/detect path vs a brute-force
+        /// oracle over random 64-bit words — every 1-bit error corrected
+        /// back to the original, every 2-bit error detected as a DUE and
+        /// never miscorrected.
+        #[test]
+        fn secded_matches_brute_force_oracle(word in any::<u64>()) {
+            let cw = encode(word);
+            prop_assert_eq!(decode(cw), (word, EccOutcome::Clean));
+            for a in 0..CODEWORD_BITS {
+                let (got, outcome) = decode(cw ^ (1u128 << a));
+                prop_assert_eq!(got, word);
+                prop_assert_eq!(outcome, EccOutcome::Corrected(a));
+                for b in (a + 1)..CODEWORD_BITS {
+                    let (_, outcome) = decode(cw ^ (1u128 << a) ^ (1u128 << b));
+                    prop_assert_eq!(outcome, EccOutcome::Due);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_rate_roughly_respected() {
+        let plan = BitFaultPlan::new(42, 0.01);
+        let again = BitFaultPlan::new(42, 0.01);
+        let mut flips = 0u64;
+        let words = 400u64;
+        let epochs = 20u64;
+        for w in 0..words {
+            for e in 0..epochs {
+                let m = plan.flips(MemStructure::Dram, w, e);
+                assert_eq!(m, again.flips(MemStructure::Dram, w, e));
+                flips += m.count_ones() as u64;
+            }
+        }
+        let expect = words as f64 * epochs as f64 * CODEWORD_BITS as f64 * 0.01;
+        let got = flips as f64;
+        assert!(
+            (0.7 * expect..1.3 * expect).contains(&got),
+            "flip count {got} vs expected {expect}"
+        );
+        // Structures draw independent patterns.
+        assert_ne!(
+            plan.flips(MemStructure::L1, 7, 3) | plan.flips(MemStructure::Spm, 7, 3),
+            plan.flips(MemStructure::Dram, 7, 3)
+                | plan.flips(MemStructure::L1, 7, 3)
+                | plan.flips(MemStructure::Spm, 7, 3)
+                | 1
+        );
+    }
+
+    #[test]
+    fn domain_classifies_single_double_triple() {
+        let model = EnergyModel::default();
+        let mut energy = EnergyBreakdown::default();
+        let mut dom = EccDomain::new(MemStructure::Spm, vec![1, 2, 3, 4]);
+        dom.inject_word(1, 1 << 5);
+        dom.inject_word(2, (1 << 5) | (1 << 9));
+        dom.inject_word(3, 0b111 << 3); // three data-position flips
+        assert_eq!(
+            dom.access(1, &model, &mut energy).verdict,
+            EccVerdict::Corrected
+        );
+        assert_eq!(dom.access(2, &model, &mut energy).verdict, EccVerdict::Due);
+        let v3 = dom.access(3, &model, &mut energy).verdict;
+        assert!(
+            matches!(v3, EccVerdict::Silent | EccVerdict::Due),
+            "triple is silent or (lucky syndrome) detected, got {v3:?}"
+        );
+        assert_eq!(
+            dom.access(4, &model, &mut energy).verdict,
+            EccVerdict::Clean
+        );
+        assert_eq!(dom.stats.corrected, 1);
+        assert_eq!(dom.stats.due + dom.stats.silent, 2);
+        assert!(energy.ecc > 0.0);
+    }
+
+    #[test]
+    fn double_injection_of_same_bit_reverts() {
+        let mut dom = EccDomain::new(MemStructure::L1, vec![7]);
+        dom.inject_word(7, 1 << 11);
+        dom.inject_word(7, 1 << 11);
+        assert_eq!(dom.pending_words(), 0, "x ^ x must cancel");
+    }
+
+    #[test]
+    fn scrub_repairs_singles_and_charges_energy() {
+        let model = EnergyModel::default();
+        let mut energy = EnergyBreakdown::default();
+        let mut dom = EccDomain::new(MemStructure::Dram, (0..64).collect());
+        dom.inject_word(3, 1 << 4);
+        dom.inject_word(9, 1 << 60);
+        dom.inject_word(20, (1 << 4) | (1 << 33));
+        let (summary, events) = dom.scrub(&model, &mut energy);
+        assert_eq!(summary.scanned, 64);
+        assert_eq!(summary.corrected, 2);
+        assert_eq!(summary.due, 1);
+        assert_eq!(events.len(), 1, "the DUE surfaces as an event");
+        assert_eq!(events[0].addr, 20);
+        assert_eq!(dom.pending_words(), 0, "scrub clears everything it saw");
+        assert!((energy.scrub - 64.0 * model.scrub_word).abs() < 1e-12);
+        assert!((energy.ecc - 2.0 * model.ecc_correct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequent_scrubbing_beats_accumulation() {
+        // Same plan, same epochs; the only difference is scrub cadence.
+        // Tight scrubbing meets upsets alone (corrected); no scrubbing
+        // lets them pair and triple.
+        let model = EnergyModel::default();
+        let run = |interval: u64| {
+            // Rate chosen so a *single* epoch almost never pairs two
+            // flips in one word, but 96 epochs of accumulation do —
+            // the regime patrol scrubbing exists for.
+            let plan = BitFaultPlan::new(7, 2e-4);
+            let mut dom = EccDomain::new(MemStructure::Dram, (0..256).collect());
+            let mut energy = EnergyBreakdown::default();
+            for epoch in 0..96 {
+                dom.inject(&plan, epoch);
+                if interval > 0 && (epoch + 1) % interval == 0 {
+                    dom.scrub(&model, &mut energy);
+                }
+            }
+            dom.scrub(&model, &mut energy);
+            dom.stats
+        };
+        let tight = run(1);
+        let never = run(0);
+        assert!(
+            tight.due + tight.silent < never.due + never.silent,
+            "tight scrub {tight:?} must leak fewer uncorrectables than none {never:?}"
+        );
+        assert!(tight.corrected > never.corrected);
+    }
+
+    #[test]
+    fn crc_link_detects_and_retries() {
+        let model = EnergyModel::default();
+        let mut energy = EnergyBreakdown::default();
+        let mut mesh = Mesh::new(4, 2);
+        let mut link = CrcLink::new(42);
+        let mut delivered = 0;
+        for pkt in 0..200u64 {
+            let (_, ok) = link.send_checked(&mut mesh, &model, &mut energy, 0, 15, 4, pkt, 1e-3);
+            if ok {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 200, "retries must deliver at this rate");
+        assert!(link.corrupted > 0, "some packets must have been corrupted");
+        assert_eq!(link.retries, link.corrupted, "every corruption retried");
+        assert_eq!(link.failed, 0);
+        assert!(energy.crc > 0.0);
+        // Retry traffic showed up in the mesh counters.
+        assert!(mesh.messages > 200);
+    }
+
+    #[test]
+    fn crc_link_gives_up_at_rate_one() {
+        let model = EnergyModel::default();
+        let mut energy = EnergyBreakdown::default();
+        let mut mesh = Mesh::new(4, 1);
+        let mut link = CrcLink::new(1);
+        let (_, ok) = link.send_checked(&mut mesh, &model, &mut energy, 0, 3, 2, 0, 1.0);
+        assert!(!ok, "total corruption must exhaust retries");
+        assert_eq!(link.failed, 1);
+    }
+
+    #[test]
+    fn over_lines_expands_to_words() {
+        let dom = EccDomain::over_lines(MemStructure::L1, [2u64, 5]);
+        assert_eq!(dom.population().len(), 16);
+        assert!(dom.population().contains(&16) && dom.population().contains(&47));
+    }
+}

@@ -46,6 +46,7 @@ pub mod coherence;
 pub mod config;
 pub mod dram;
 pub mod energy;
+pub mod fault;
 pub mod hybrid;
 pub mod machine;
 pub mod noc;
@@ -53,4 +54,7 @@ pub mod spm;
 
 pub use config::{HierarchyMode, MachineConfig};
 pub use energy::EnergyBreakdown;
+pub use fault::{
+    BitFaultPlan, CrcLink, EccDomain, EccEvent, EccStats, EccVerdict, MemStructure, ScrubSummary,
+};
 pub use machine::{Machine, MachineReport};

@@ -47,6 +47,7 @@
 //! }
 //! ```
 
+pub mod abft;
 pub mod afeir_tasks;
 pub mod blas;
 pub mod cg;
@@ -56,6 +57,7 @@ pub mod monitor;
 pub mod recovery;
 pub mod resilient;
 
+pub use abft::{cg_abft_tasks, AbftCfg, AbftResult, DetectedIn, Detection};
 pub use afeir_tasks::{cg_afeir_tasks, AfeirTasksCfg, AfeirTasksResult};
 pub use cg::{cg, pcg, try_cg_tasks, CgResult};
 pub use csr::Csr;
