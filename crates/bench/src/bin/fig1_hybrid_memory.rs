@@ -45,45 +45,67 @@ fn main() {
     println!("{}", row(&header, &widths));
     rule(86);
 
+    // The six NAS simulations are independent: fan them out on scoped
+    // threads (each runs its own Machine instances) and print the rows
+    // afterwards in kernel order, so the output is byte-identical to the
+    // sequential version.
+    let kernels = all_kernels(kcfg);
+    let results: Vec<(String, [f64; 3], String, Option<String>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = kernels
+            .iter()
+            .map(|kernel| {
+                s.spawn(move || {
+                    let run = |mode| {
+                        let mut m = Machine::new(
+                            MachineConfig::tiled(cores, mode),
+                            kernel.space().spm_ranges(),
+                        );
+                        m.run_kernel(kernel.as_ref())
+                    };
+                    let cache = run(HierarchyMode::CacheOnly);
+                    let hybrid = run(HierarchyMode::Hybrid);
+                    let t = hybrid.time_speedup_over(&cache);
+                    let e = hybrid.energy_speedup_over(&cache);
+                    let n = hybrid.traffic_speedup_over(&cache);
+                    let spm_frac = 100.0 * (hybrid.spm_hits + hybrid.spm_fills) as f64
+                        / hybrid.mem_refs.max(1) as f64;
+                    let conservative = ablation.then(|| {
+                        // Conservative compiler: no filter hardware, so a
+                        // kernel with unknown-alias references gets no SPM
+                        // mapping at all.
+                        let ranges = if has_unknown_refs(kernel.as_ref()) {
+                            Vec::new()
+                        } else {
+                            kernel.space().spm_ranges()
+                        };
+                        let mut m = Machine::new(
+                            MachineConfig::tiled(cores, HierarchyMode::Hybrid),
+                            ranges,
+                        );
+                        fmt_x(m.run_kernel(kernel.as_ref()).time_speedup_over(&cache))
+                    });
+                    (
+                        kernel.name().to_string(),
+                        [t, e, n],
+                        format!("{spm_frac:.1}%"),
+                        conservative,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
     let mut sums = [0.0f64; 3];
     let mut count = 0;
-    for kernel in all_kernels(kcfg) {
-        let run = |mode| {
-            let mut m = Machine::new(
-                MachineConfig::tiled(cores, mode),
-                kernel.space().spm_ranges(),
-            );
-            m.run_kernel(kernel.as_ref())
-        };
-        let cache = run(HierarchyMode::CacheOnly);
-        let hybrid = run(HierarchyMode::Hybrid);
-        let t = hybrid.time_speedup_over(&cache);
-        let e = hybrid.energy_speedup_over(&cache);
-        let n = hybrid.traffic_speedup_over(&cache);
-        let spm_frac =
-            100.0 * (hybrid.spm_hits + hybrid.spm_fills) as f64 / hybrid.mem_refs.max(1) as f64;
+    for (name, [t, e, n], spm, conservative) in results {
         sums[0] += t;
         sums[1] += e;
         sums[2] += n;
         count += 1;
-        let mut cells = vec![
-            kernel.name().to_string(),
-            fmt_x(t),
-            fmt_x(e),
-            fmt_x(n),
-            format!("{spm_frac:.1}%"),
-        ];
-        if ablation {
-            // Conservative compiler: no filter hardware, so a kernel with
-            // unknown-alias references gets no SPM mapping at all.
-            let ranges = if has_unknown_refs(kernel.as_ref()) {
-                Vec::new()
-            } else {
-                kernel.space().spm_ranges()
-            };
-            let mut m = Machine::new(MachineConfig::tiled(cores, HierarchyMode::Hybrid), ranges);
-            let conservative = m.run_kernel(kernel.as_ref());
-            cells.push(fmt_x(conservative.time_speedup_over(&cache)));
+        let mut cells = vec![name, fmt_x(t), fmt_x(e), fmt_x(n), spm];
+        if let Some(c) = conservative {
+            cells.push(c);
         }
         println!("{}", row(&cells, &widths));
     }

@@ -1,0 +1,182 @@
+//! Runtime hot-path throughput baseline: tasks/sec through the full
+//! spawn→ready→execute→complete path, per scheduler worker count.
+//!
+//! Four graph shapes, all with (near-)empty bodies so the measurement is
+//! runtime overhead, not body work:
+//!
+//! * `empty`  — N independent tasks, no declared accesses: pure
+//!   spawn/schedule/complete cost, the headline fan-out microbenchmark.
+//! * `fanout` — rounds of one producer (`out R`) releasing a burst of 64
+//!   consumers (`in R`): exercises bulk successor release.
+//! * `chain`  — N tasks `inout` on one region: a serial dependency
+//!   chain, the worst case for completion latency (tasks/sec here is
+//!   1/latency of complete→release→execute).
+//! * `cg`     — a blocked-CG-shaped graph (per iteration: per-block
+//!   spmv, a dot-product reduction serialised on a scalar, a scale
+//!   step, per-block axpy), the TDG shape of `raa-solver`'s task CG.
+//!
+//! Scale knobs (environment): `RAA_BENCH_TASKS` (target tasks per
+//! workload, default 100000), `RAA_BENCH_WORKERS` (comma list, default
+//! `1,2,4,8`), `RAA_BENCH_REPS` (repetitions, best-of, default 3),
+//! `RAA_BENCH_WORKLOADS` (comma list filter, default all four).
+//!
+//! Besides the human table, every measurement is printed as a
+//! machine-readable line `RESULT <workload>@<workers> <tasks_per_sec>`;
+//! `devtools/bench-json.sh` collects those into `BENCH_runtime.json`.
+
+use std::time::Instant;
+
+use raa_runtime::{AccessMode, Runtime, RuntimeConfig, SchedulerPolicy};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn worker_counts() -> Vec<usize> {
+    std::env::var("RAA_BENCH_WORKERS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&w| w >= 1)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn rt(workers: usize) -> Runtime {
+    Runtime::new(RuntimeConfig::with_workers(workers).policy(SchedulerPolicy::WorkStealing))
+}
+
+/// Run one workload once and return (tasks actually spawned, seconds).
+fn run_workload(name: &str, workers: usize, target: usize) -> (u64, f64) {
+    match name {
+        "empty" => {
+            let rt = rt(workers);
+            let start = Instant::now();
+            for _ in 0..target {
+                rt.task("e").body(|| {}).spawn();
+            }
+            rt.taskwait();
+            (rt.stats().spawned, start.elapsed().as_secs_f64())
+        }
+        "fanout" => {
+            const FAN: usize = 64;
+            let rounds = (target / (FAN + 1)).max(1);
+            let rt = rt(workers);
+            let data = rt.register("r", ());
+            let start = Instant::now();
+            for _ in 0..rounds {
+                rt.task("p").writes(&data).body(|| {}).spawn();
+                for _ in 0..FAN {
+                    rt.task("c").reads(&data).body(|| {}).spawn();
+                }
+            }
+            rt.taskwait();
+            (rt.stats().spawned, start.elapsed().as_secs_f64())
+        }
+        "chain" => {
+            let rt = rt(workers);
+            let data = rt.register("x", 0u64);
+            let start = Instant::now();
+            for _ in 0..target {
+                rt.task("l").updates(&data).body(|| {}).spawn();
+            }
+            rt.taskwait();
+            (rt.stats().spawned, start.elapsed().as_secs_f64())
+        }
+        "cg" => {
+            // Blocked CG TDG shape: spmv per block, dot reduction chain
+            // on a scalar, one scale task, axpy per block.
+            const B: u64 = 16;
+            let per_iter = (B + B + 1 + B) as usize;
+            let iters = (target / per_iter).max(1);
+            let rt = rt(workers);
+            let x = rt.register("x", ());
+            let q = rt.register("q", ());
+            let acc = rt.register("acc", ());
+            let start = Instant::now();
+            for _ in 0..iters {
+                for b in 0..B {
+                    rt.task("spmv")
+                        .region(x.sub(b, b + 1), AccessMode::Read)
+                        .region(q.sub(b, b + 1), AccessMode::Write)
+                        .body(|| {})
+                        .spawn();
+                }
+                for b in 0..B {
+                    rt.task("dot")
+                        .region(q.sub(b, b + 1), AccessMode::Read)
+                        .updates(&acc)
+                        .body(|| {})
+                        .spawn();
+                }
+                rt.task("scale").updates(&acc).body(|| {}).spawn();
+                for b in 0..B {
+                    rt.task("axpy")
+                        .reads(&acc)
+                        .region(x.sub(b, b + 1), AccessMode::ReadWrite)
+                        .body(|| {})
+                        .spawn();
+                }
+            }
+            rt.taskwait();
+            (rt.stats().spawned, start.elapsed().as_secs_f64())
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+fn main() {
+    let target = env_usize("RAA_BENCH_TASKS", 100_000);
+    let reps = env_usize("RAA_BENCH_REPS", 3).max(1);
+    let workers = worker_counts();
+    let all = ["empty", "fanout", "chain", "cg"];
+    let workloads: Vec<&str> = std::env::var("RAA_BENCH_WORKLOADS")
+        .ok()
+        .map(|v| {
+            all.iter()
+                .copied()
+                .filter(|wl| v.split(',').any(|t| t.trim() == *wl))
+                .collect()
+        })
+        .filter(|v: &Vec<&str>| !v.is_empty())
+        .unwrap_or_else(|| all.to_vec());
+
+    println!("runtime_throughput — tasks/sec through spawn→ready→execute→complete");
+    println!(
+        "target {target} tasks/workload, best of {reps} rep(s), workers {workers:?}, {} host core(s)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    let header: Vec<String> = std::iter::once("workload".to_string())
+        .chain(workers.iter().map(|w| format!("{w}w")))
+        .collect();
+    let widths: Vec<usize> = std::iter::once(8usize)
+        .chain(workers.iter().map(|_| 12usize))
+        .collect();
+    println!("{}", raa_bench::row(&header, &widths));
+    raa_bench::rule(10 + 14 * workers.len());
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    for wl in workloads {
+        let mut cells = vec![wl.to_string()];
+        for &w in &workers {
+            let mut best = 0.0f64;
+            for _ in 0..reps {
+                let (tasks, secs) = run_workload(wl, w, target);
+                best = best.max(tasks as f64 / secs);
+            }
+            cells.push(format!("{:.0}/s", best));
+            results.push((format!("{wl}@{w}"), best));
+        }
+        println!("{}", raa_bench::row(&cells, &widths));
+    }
+    raa_bench::rule(10 + 14 * workers.len());
+    for (key, v) in &results {
+        println!("RESULT {key} {v:.1}");
+    }
+}

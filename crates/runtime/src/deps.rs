@@ -12,22 +12,37 @@
 //!
 //! This mirrors how OmpSs/Nanos builds the Task Dependency Graph from
 //! `in`/`out`/`inout` clauses at submission time.
+//!
+//! Two trackers share the segment machinery:
+//!
+//! * [`DepTracker`] — the original single-threaded tracker, keyed by
+//!   [`TaskId`] (used by analysis tools, benches and property tests);
+//! * [`ShardedDepTracker`] — the runtime's concurrent tracker: the
+//!   datum map is sharded by region-id hash, so spawns and completions
+//!   touching disjoint data never contend on a lock. Owners are
+//!   [`TaskRef`]s (slot + generation), letting the runtime detect stale
+//!   entries for already-completed predecessors without ever cleaning
+//!   the tracker from the completion path.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::region::{Access, RegionId, RegionRange};
-use crate::task::TaskId;
+use crate::task::{TaskId, TaskRef};
 
 /// One dependency-tracking segment: a half-open range plus its access
-/// history summary.
+/// history summary. `O` identifies the owning task (`TaskId` or
+/// `TaskRef`).
 #[derive(Clone, Debug)]
-struct Segment {
+struct Segment<O> {
     range: RegionRange,
-    last_writer: Option<TaskId>,
-    readers: Vec<TaskId>,
+    last_writer: Option<O>,
+    readers: Vec<O>,
 }
 
-impl Segment {
+impl<O> Segment<O> {
     fn fresh(range: RegionRange) -> Self {
         Segment {
             range,
@@ -40,15 +55,42 @@ impl Segment {
 /// Per-datum segment list. Invariants: segments are sorted by `start`,
 /// disjoint, and jointly cover `[0, u64::MAX)`.
 #[derive(Clone, Debug)]
-struct RegionState {
-    segments: Vec<Segment>,
+struct RegionState<O> {
+    segments: Vec<Segment<O>>,
 }
 
-impl RegionState {
+impl<O: Copy + PartialEq> RegionState<O> {
     fn new() -> Self {
         RegionState {
             segments: vec![Segment::fresh(RegionRange::ALL)],
         }
+    }
+
+    /// Scoreboard update for one access: collect RAW/WAR/WAW edges into
+    /// `preds` and record `owner` as writer or reader.
+    fn apply(&mut self, owner: O, access: &Access, preds: &mut Vec<O>) {
+        self.split_at(access.region.range.start);
+        self.split_at(access.region.range.end);
+        let idxs = self.overlapping(access.region.range);
+        for seg in &mut self.segments[idxs] {
+            debug_assert!(access.region.range.contains(&seg.range));
+            if access.mode.writes() {
+                if let Some(w) = seg.last_writer {
+                    preds.push(w);
+                }
+                preds.extend_from_slice(&seg.readers);
+                seg.last_writer = Some(owner);
+                seg.readers.clear();
+            } else {
+                if let Some(w) = seg.last_writer {
+                    preds.push(w);
+                }
+                if !seg.readers.contains(&owner) {
+                    seg.readers.push(owner);
+                }
+            }
+        }
+        self.coalesce();
     }
 
     /// Split segments so that `at` is a segment boundary.
@@ -82,7 +124,7 @@ impl RegionState {
 
     /// Merge adjacent segments with identical state to bound growth.
     fn coalesce(&mut self) {
-        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        let mut out: Vec<Segment<O>> = Vec::with_capacity(self.segments.len());
         for seg in self.segments.drain(..) {
             match out.last_mut() {
                 Some(prev)
@@ -102,7 +144,7 @@ impl RegionState {
 /// The dependency tracker: datum id → segment list.
 #[derive(Default)]
 pub struct DepTracker {
-    regions: HashMap<RegionId, RegionState>,
+    regions: HashMap<RegionId, RegionState<TaskId>>,
     /// Total number of edges ever produced (for stats).
     edges_produced: u64,
 }
@@ -120,32 +162,10 @@ impl DepTracker {
             if access.region.range.is_empty() {
                 continue;
             }
-            let state = self
-                .regions
+            self.regions
                 .entry(access.region.id)
-                .or_insert_with(RegionState::new);
-            state.split_at(access.region.range.start);
-            state.split_at(access.region.range.end);
-            let idxs = state.overlapping(access.region.range);
-            for seg in &mut state.segments[idxs] {
-                debug_assert!(access.region.range.contains(&seg.range));
-                if access.mode.writes() {
-                    if let Some(w) = seg.last_writer {
-                        preds.push(w);
-                    }
-                    preds.extend_from_slice(&seg.readers);
-                    seg.last_writer = Some(task);
-                    seg.readers.clear();
-                } else {
-                    if let Some(w) = seg.last_writer {
-                        preds.push(w);
-                    }
-                    if !seg.readers.contains(&task) {
-                        seg.readers.push(task);
-                    }
-                }
-            }
-            state.coalesce();
+                .or_insert_with(RegionState::new)
+                .apply(task, access, &mut preds);
         }
         preds.sort_unstable();
         preds.dedup();
@@ -168,6 +188,90 @@ impl DepTracker {
     pub fn reset(&mut self) {
         self.regions.clear();
         self.edges_produced = 0;
+    }
+}
+
+/// Concurrent dependency tracker, sharded by region-id hash. The hot
+/// path of [`crate::Runtime`]: a spawn declaring accesses to disjoint
+/// data takes only the shard locks its regions hash to, so unrelated
+/// spawns proceed in parallel; completions never touch the tracker at
+/// all (stale owner entries are detected via [`TaskRef`] generations).
+pub struct ShardedDepTracker {
+    shards: Box<[Mutex<Shard>]>,
+    mask: u64,
+    edges: AtomicU64,
+}
+
+/// One shard's slice of the region table.
+type Shard = HashMap<RegionId, RegionState<TaskRef>>;
+
+impl Default for ShardedDepTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedDepTracker {
+    pub fn new() -> Self {
+        Self::with_shards(64)
+    }
+
+    pub fn with_shards(n: usize) -> Self {
+        assert!(n.is_power_of_two());
+        ShardedDepTracker {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+            edges: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, id: RegionId) -> usize {
+        // Fibonacci hash: region ids are sequential, multiply-shift
+        // spreads them across shards.
+        ((id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask) as usize
+    }
+
+    /// Record the declared accesses of `who` and append its predecessor
+    /// set (deduplicated by task id, self-edges removed) to `preds`.
+    ///
+    /// Every shard involved is locked *simultaneously*, in ascending
+    /// index order. Per-access locking would let two tasks observe each
+    /// other in opposite orders on different regions and deadlock the
+    /// TDG with an A→B, B→A cycle; ascending acquisition keeps the
+    /// simultaneous locking deadlock-free.
+    pub fn submit(&self, who: TaskRef, accesses: &[Access], preds: &mut Vec<TaskRef>) {
+        preds.clear();
+        let live = |a: &&Access| !a.region.range.is_empty();
+        let mut shard_ids: Vec<usize> = accesses
+            .iter()
+            .filter(live)
+            .map(|a| self.shard_of(a.region.id))
+            .collect();
+        if shard_ids.is_empty() {
+            return;
+        }
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        let mut guards: Vec<_> = shard_ids.iter().map(|&s| self.shards[s].lock()).collect();
+        for access in accesses.iter().filter(live) {
+            let pos = shard_ids
+                .binary_search(&self.shard_of(access.region.id))
+                .expect("shard was collected above");
+            guards[pos]
+                .entry(access.region.id)
+                .or_insert_with(RegionState::new)
+                .apply(who, access, preds);
+        }
+        drop(guards);
+        preds.sort_unstable_by_key(|r| r.tid);
+        preds.dedup_by_key(|r| r.tid);
+        preds.retain(|r| r.tid != who.tid);
+        self.edges.fetch_add(preds.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of dependency edges produced so far.
+    pub fn edges_produced(&self) -> u64 {
+        self.edges.load(Ordering::Relaxed)
     }
 }
 
@@ -326,6 +430,75 @@ mod tests {
         t.submit(TaskId(0), &[acc(0, 0, 10, AccessMode::Read)]);
         let p = t.submit(TaskId(1), &[acc(0, 0, 10, AccessMode::Write)]);
         assert_eq!(p, vec![TaskId(0)]);
+    }
+
+    fn tref(tid: u32) -> TaskRef {
+        TaskRef {
+            tid: TaskId(tid),
+            slot: tid,
+            gen: 1,
+        }
+    }
+
+    #[test]
+    fn sharded_tracker_agrees_with_single_threaded() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let mut single = DepTracker::new();
+        let sharded = ShardedDepTracker::with_shards(8);
+        let mut out = Vec::new();
+        for tid in 0..200u32 {
+            let mut accesses = Vec::new();
+            for _ in 0..rng.gen_range(1..=3) {
+                let id = rng.gen_range(0..6u64);
+                let start = rng.gen_range(0..32u64);
+                let end = rng.gen_range(start..=32u64);
+                let mode = match rng.gen_range(0..3) {
+                    0 => AccessMode::Read,
+                    1 => AccessMode::Write,
+                    _ => AccessMode::ReadWrite,
+                };
+                accesses.push(acc(id, start, end, mode));
+            }
+            let want = single.submit(TaskId(tid), &accesses);
+            sharded.submit(tref(tid), &accesses, &mut out);
+            let got: Vec<TaskId> = out.iter().map(|r| r.tid).collect();
+            assert_eq!(got, want, "tid={tid}");
+        }
+        assert_eq!(sharded.edges_produced(), single.edges_produced());
+    }
+
+    #[test]
+    fn sharded_tracker_disjoint_regions_from_threads() {
+        use std::sync::Arc;
+        let t = Arc::new(ShardedDepTracker::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|lane| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let mut preds = Vec::new();
+                    for i in 0..500u32 {
+                        let tid = lane as u32 * 1000 + i;
+                        t.submit(
+                            tref(tid),
+                            &[acc(lane, 0, 64, AccessMode::ReadWrite)],
+                            &mut preds,
+                        );
+                        // Every task in a lane chains on the previous one.
+                        if i == 0 {
+                            assert!(preds.is_empty());
+                        } else {
+                            assert_eq!(preds.len(), 1);
+                            assert_eq!(preds[0].tid, TaskId(tid - 1));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.edges_produced(), 4 * 499);
     }
 
     /// Oracle cross-check: a naive per-element tracker must agree with the

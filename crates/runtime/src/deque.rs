@@ -1,0 +1,575 @@
+//! Lock-free scheduling primitives for the runtime hot path.
+//!
+//! Two structures, both allocation-free after construction and free of
+//! deferred memory reclamation (no epochs, no hazard pointers):
+//!
+//! * [`WorkerDeque`] — a fixed-capacity Chase–Lev work-stealing deque
+//!   (Chase & Lev, SPAA'05, with the memory-order corrections of Lê et
+//!   al., PPoPP'13). The owning worker pushes and pops at the bottom
+//!   (LIFO, cache-warm); thieves steal from the top (FIFO) with a CAS.
+//!   A full deque rejects the push and the caller spills to the
+//!   injector, which is what lets the buffer stay fixed — the classic
+//!   growth path is the one place Chase–Lev needs reclamation.
+//! * [`MpmcQueue`] — a bounded MPMC ring (Vyukov's algorithm: per-slot
+//!   sequence numbers arbitrate producers and consumers without locks).
+//!   [`Injector`] wraps it with an unbounded mutex-protected overflow
+//!   list so pushes never fail; the overflow is only touched when the
+//!   ring has been full, which a correctly sized ring makes rare.
+//!
+//! Safety note on the racy steal read: a thief reads the slot *before*
+//! validating its claim with the `top` CAS, so the read may race with
+//! the owner overwriting the slot (only possible after `top` has moved
+//! past it, which makes the CAS fail). The read is `volatile` on
+//! `MaybeUninit` storage and the value is forgotten unless the CAS
+//! succeeds — the crossbeam-deque discipline.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+// ---------------------------------------------------------- Chase–Lev
+
+struct ClBuffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+}
+
+impl<T> ClBuffer<T> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        ClBuffer {
+            slots,
+            mask: capacity - 1,
+        }
+    }
+
+    unsafe fn write(&self, index: isize, value: T) {
+        let slot = &self.slots[index as usize & self.mask];
+        (*slot.get()).write(value);
+    }
+
+    unsafe fn read(&self, index: isize) -> T {
+        let slot = &self.slots[index as usize & self.mask];
+        // Volatile: the steal path may read a slot the owner is
+        // concurrently overwriting; the value is only kept after the
+        // claim CAS proves the read was not racy.
+        std::ptr::read_volatile((*slot.get()).as_ptr())
+    }
+}
+
+struct ClInner<T> {
+    /// Steal end. Only ever incremented (by successful steals or by the
+    /// owner taking the last element).
+    top: AtomicIsize,
+    /// Owner end. Only the owner writes it.
+    bottom: AtomicIsize,
+    buffer: ClBuffer<T>,
+}
+
+unsafe impl<T: Send> Send for ClInner<T> {}
+unsafe impl<T: Send> Sync for ClInner<T> {}
+
+/// Owner handle of a fixed-capacity Chase–Lev deque. Not clonable; the
+/// single-owner discipline is what makes the bottom end lock-free.
+pub struct WorkerDeque<T> {
+    inner: Arc<ClInner<T>>,
+}
+
+/// Thief handle: any number of clones may steal concurrently.
+pub struct DequeStealer<T> {
+    inner: Arc<ClInner<T>>,
+}
+
+impl<T> Clone for DequeStealer<T> {
+    fn clone(&self) -> Self {
+        DequeStealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Result of a steal attempt.
+pub enum Steal<T> {
+    Success(T),
+    /// Lost a race; worth retrying immediately.
+    Retry,
+    Empty,
+}
+
+impl<T> WorkerDeque<T> {
+    pub fn new(capacity: usize) -> Self {
+        WorkerDeque {
+            inner: Arc::new(ClInner {
+                top: AtomicIsize::new(0),
+                bottom: AtomicIsize::new(0),
+                buffer: ClBuffer::new(capacity),
+            }),
+        }
+    }
+
+    pub fn stealer(&self) -> DequeStealer<T> {
+        DequeStealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Push at the bottom. Fails (returning the value) when the deque is
+    /// full — the caller spills to the shared injector.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= (inner.buffer.mask + 1) as isize {
+            return Err(value);
+        }
+        unsafe { inner.buffer.write(b, value) };
+        inner.bottom.store(b.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Pop at the bottom (LIFO). Owner-only.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        inner.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        if t == b {
+            // Last element: race the thieves for it.
+            let won = inner
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return won.then(|| unsafe { inner.buffer.read(b) });
+        }
+        Some(unsafe { inner.buffer.read(b) })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        b <= t
+    }
+}
+
+impl<T> DequeStealer<T> {
+    /// Steal one element from the top (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Speculative read; validated by the CAS below.
+        let value = unsafe { inner.buffer.read(t) };
+        if inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            std::mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Keep stealing through `Retry` until success or empty.
+    pub fn steal_settled(&self) -> Option<T> {
+        loop {
+            match self.steal() {
+                Steal::Success(v) => return Some(v),
+                Steal::Retry => continue,
+                Steal::Empty => return None,
+            }
+        }
+    }
+}
+
+impl<T> Drop for ClInner<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drain remaining elements.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        let mut i = t;
+        while i < b {
+            unsafe { drop(self.buffer.read(i)) };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+// -------------------------------------------------------- Vyukov MPMC
+
+struct MpmcSlot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free MPMC queue (Vyukov). `push` fails when full.
+pub struct MpmcQueue<T> {
+    slots: Box<[MpmcSlot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+}
+
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two() && capacity >= 2);
+        let slots = (0..capacity)
+            .map(|i| MpmcSlot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcQueue {
+            slots,
+            mask: capacity - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if diff < 0 {
+                return Err(value);
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        let d = self.dequeue_pos.load(Ordering::Relaxed);
+        let e = self.enqueue_pos.load(Ordering::Relaxed);
+        e == d
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+// ------------------------------------------------------------ injector
+
+/// Shared work pool: a lock-free bounded ring with an unbounded overflow
+/// list so pushes always succeed. FIFO within each tier; overflow is
+/// drained only after the ring (keeping ring hits lock-free).
+pub struct Injector<T> {
+    ring: MpmcQueue<T>,
+    overflow: Mutex<std::collections::VecDeque<T>>,
+    overflow_len: AtomicUsize,
+}
+
+impl<T> Injector<T> {
+    pub fn new(ring_capacity: usize) -> Self {
+        Injector {
+            ring: MpmcQueue::new(ring_capacity),
+            overflow: Mutex::new(std::collections::VecDeque::new()),
+            overflow_len: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        // Once anything sits in the overflow, later pushes must follow it
+        // there or FIFO order inverts across tiers.
+        if self.overflow_len.load(Ordering::Acquire) == 0 {
+            match self.ring.push(value) {
+                Ok(()) => return,
+                Err(v) => {
+                    let mut q = self.overflow.lock();
+                    q.push_back(v);
+                    self.overflow_len.store(q.len(), Ordering::Release);
+                    return;
+                }
+            }
+        }
+        let mut q = self.overflow.lock();
+        q.push_back(value);
+        self.overflow_len.store(q.len(), Ordering::Release);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        if let Some(v) = self.ring.pop() {
+            return Some(v);
+        }
+        if self.overflow_len.load(Ordering::Acquire) > 0 {
+            let mut q = self.overflow.lock();
+            let v = q.pop_front();
+            self.overflow_len.store(q.len(), Ordering::Release);
+            return v;
+        }
+        None
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty() && self.overflow_len.load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn deque_lifo_for_owner() {
+        let d: WorkerDeque<u32> = WorkerDeque::new(8);
+        for i in 0..5 {
+            d.push(i).unwrap();
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| d.pop()).collect();
+        assert_eq!(got, vec![4, 3, 2, 1, 0]);
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn deque_fifo_for_thief() {
+        let d: WorkerDeque<u32> = WorkerDeque::new(8);
+        let s = d.stealer();
+        for i in 0..4 {
+            d.push(i).unwrap();
+        }
+        assert_eq!(s.steal_settled(), Some(0));
+        assert_eq!(s.steal_settled(), Some(1));
+        assert_eq!(d.pop(), Some(3), "owner still pops the newest");
+        assert_eq!(d.pop(), Some(2));
+        assert!(d.pop().is_none());
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn deque_rejects_push_when_full() {
+        let d: WorkerDeque<u32> = WorkerDeque::new(4);
+        for i in 0..4 {
+            d.push(i).unwrap();
+        }
+        assert_eq!(d.push(99), Err(99));
+        // Stealing one frees a slot.
+        assert_eq!(d.stealer().steal_settled(), Some(0));
+        assert!(d.push(99).is_ok());
+    }
+
+    #[test]
+    fn deque_drop_releases_contents() {
+        let d: WorkerDeque<Arc<u32>> = WorkerDeque::new(8);
+        let v = Arc::new(7u32);
+        for _ in 0..6 {
+            d.push(Arc::clone(&v)).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&v), 7);
+        drop(d);
+        assert_eq!(Arc::strong_count(&v), 1);
+    }
+
+    /// The Chase–Lev steal/pop race: one owner popping while several
+    /// thieves steal. Every pushed element must be taken exactly once —
+    /// no loss, no duplication. (loom is not available offline; this
+    /// stress schedule crosses the last-element CAS race thousands of
+    /// times per run.)
+    #[test]
+    fn deque_stress_owner_vs_thieves() {
+        const ITEMS: u64 = 40_000;
+        const THIEVES: usize = 3;
+        let d: WorkerDeque<u64> = WorkerDeque::new(64);
+        let taken = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = d.stealer();
+                let taken = Arc::clone(&taken);
+                let sum = Arc::clone(&sum);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut next = 0u64;
+        while next < ITEMS {
+            // Keep the deque short so owner and thieves constantly meet
+            // at the last element.
+            while next < ITEMS && d.push(next).is_ok() {
+                next += 1;
+                if next.is_multiple_of(4) {
+                    break;
+                }
+            }
+            if let Some(v) = d.pop() {
+                sum.fetch_add(v, Ordering::Relaxed);
+                taken.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Drain what is left, racing the thieves to the end.
+        while let Some(v) = d.pop() {
+            sum.fetch_add(v, Ordering::Relaxed);
+            taken.fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+        for t in thieves {
+            t.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::Relaxed), ITEMS, "no loss, no dup");
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            ITEMS * (ITEMS - 1) / 2,
+            "every element taken exactly once"
+        );
+    }
+
+    #[test]
+    fn mpmc_fifo_single_thread() {
+        let q: MpmcQueue<u32> = MpmcQueue::new(4);
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(9), Err(9), "full ring rejects");
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mpmc_stress_producers_consumers() {
+        const PER: u64 = 20_000;
+        const SIDES: u64 = 3;
+        let q = Arc::new(MpmcQueue::<u64>::new(128));
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+        let producers: Vec<_> = (0..SIDES)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        let mut v = p * PER + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..SIDES)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < PER as usize {
+                        match q.pop() {
+                            Some(v) => got.push(v),
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    let mut s = seen.lock();
+                    for v in got {
+                        assert!(s.insert(v), "duplicate {v}");
+                    }
+                })
+            })
+            .collect();
+        for t in producers.into_iter().chain(consumers) {
+            t.join().unwrap();
+        }
+        assert_eq!(seen.lock().len(), (PER * SIDES) as usize);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn injector_overflows_and_keeps_fifo() {
+        let inj: Injector<u32> = Injector::new(4);
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| inj.pop()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>(), "FIFO across the spill");
+        assert!(inj.is_empty());
+    }
+}

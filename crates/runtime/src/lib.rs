@@ -59,6 +59,7 @@
 pub mod blocked;
 pub mod criticality;
 pub mod deps;
+pub mod deque;
 pub mod fault;
 pub mod graph;
 pub mod pool;

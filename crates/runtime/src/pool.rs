@@ -4,7 +4,11 @@
 //! [`crate::scheduler`]), execute it under `catch_unwind`, then hand the
 //! completion to the runtime, which may return newly released tasks to
 //! push and/or a retry directive (re-enqueue after a backoff).  Idle
-//! workers park on a condvar; spawners and completers wake them.
+//! workers park on a condvar after a short bounded spin; spawners and
+//! completers wake them.  The wake path is lock-free while every worker
+//! is busy: an atomic idle count (maintained with the Dekker-style
+//! store/fence/load protocol) lets pushers skip the condvar lock
+//! entirely unless somebody is actually parked.
 //!
 //! Fault tolerance lives in three places here:
 //!
@@ -22,16 +26,16 @@
 
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::deque::{Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 
+use crate::deque::{DequeStealer, WorkerDeque};
 use crate::fault::{FaultPlan, WatchdogConfig};
-use crate::scheduler::{ReadyQueues, ReadyTask};
+use crate::scheduler::{ReadyQueues, ReadyTask, WORKER_DEQUE_CAP};
 use crate::task::{ExecBody, TaskId};
 
 thread_local! {
@@ -40,7 +44,8 @@ thread_local! {
 }
 
 /// The index of the worker thread we are currently running on, if any
-/// (used by execution observers to attribute tasks to cores).
+/// (used by execution observers to attribute tasks to cores, and by the
+/// task slab to pick a free-list shard).
 pub fn current_worker() -> Option<usize> {
     CURRENT_WORKER.with(|c| c.get())
 }
@@ -65,10 +70,17 @@ impl Completion {
 }
 
 /// The runtime side of the pool: told when a task body finishes (cleanly
-/// or by panic) and responds with the tasks that became ready. The spent
+/// or by panic) and responds with the tasks that became ready. `slot` is
+/// the task's slab slot, echoed back from [`ReadyTask::slot`]; the spent
 /// body is handed back so the client can decide to retry it.
 pub trait PoolClient: Send + Sync + 'static {
-    fn on_complete(&self, task: TaskId, panicked: Option<String>, body: ExecBody) -> Completion;
+    fn on_complete(
+        &self,
+        task: TaskId,
+        slot: u32,
+        panicked: Option<String>,
+        body: ExecBody,
+    ) -> Completion;
 }
 
 /// Fault-related pool counters (merged into
@@ -91,9 +103,14 @@ pub struct PoolOptions {
 
 struct PoolShared {
     queues: Arc<ReadyQueues>,
-    stealers: Vec<Stealer<ReadyTask>>,
-    idle_lock: Mutex<usize>,
+    stealers: Vec<DequeStealer<ReadyTask>>,
+    idle_lock: Mutex<()>,
     idle_cv: Condvar,
+    /// Number of workers parked (or about to park) on `idle_cv`.
+    /// Incremented *before* the final queue re-check so that pushers
+    /// observing zero can safely skip the notify (Dekker protocol: both
+    /// sides store, fence, then load the other's location).
+    idle_count: AtomicUsize,
     shutdown: AtomicBool,
     /// Tasks executed per worker (load-balance diagnostics and the kill
     /// trigger for injected worker deaths).
@@ -116,12 +133,24 @@ struct PoolShared {
 }
 
 impl PoolShared {
-    fn wake_one_locked(&self) {
+    /// Wake one parked worker. Must be called *after* the work (or the
+    /// shutdown flag) has been published; the fence pairs with the one in
+    /// `worker_loop`'s park path so that a zero idle count is proof the
+    /// racing worker will re-check the queues and see the new work.
+    fn wake_one(&self) {
+        fence(Ordering::SeqCst);
+        if self.idle_count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
         let _g = self.idle_lock.lock();
         self.idle_cv.notify_one();
     }
 
-    fn wake_all_locked(&self) {
+    fn wake_all(&self) {
+        fence(Ordering::SeqCst);
+        if self.idle_count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
         let _g = self.idle_lock.lock();
         self.idle_cv.notify_all();
     }
@@ -142,7 +171,7 @@ impl PoolShared {
         };
         if let Some(task) = rejected {
             self.queues.push(task, None);
-            self.wake_one_locked();
+            self.wake_one();
         }
     }
 }
@@ -166,14 +195,17 @@ impl WorkerPool {
         options: PoolOptions,
     ) -> Self {
         assert!(workers >= 1, "the pool needs at least one worker");
-        let deques: Vec<Deque<ReadyTask>> = (0..workers).map(|_| Deque::new_lifo()).collect();
-        let stealers: Vec<Stealer<ReadyTask>> = deques.iter().map(|d| d.stealer()).collect();
+        let deques: Vec<WorkerDeque<ReadyTask>> = (0..workers)
+            .map(|_| WorkerDeque::new(WORKER_DEQUE_CAP))
+            .collect();
+        let stealers: Vec<DequeStealer<ReadyTask>> = deques.iter().map(|d| d.stealer()).collect();
         let (retry_tx, retry_rx) = mpsc::channel();
         let shared = Arc::new(PoolShared {
             queues,
             stealers,
-            idle_lock: Mutex::new(0),
+            idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
+            idle_count: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -268,12 +300,12 @@ impl WorkerPool {
 
     /// Wake one parked worker (after pushing work).
     pub fn wake_one(&self) {
-        self.shared.wake_one_locked();
+        self.shared.wake_one();
     }
 
     /// Wake every parked worker.
     pub fn wake_all(&self) {
-        self.shared.wake_all_locked();
+        self.shared.wake_all();
     }
 
     /// Stop accepting work and join every worker. Queued-but-unexecuted
@@ -303,47 +335,65 @@ impl Drop for WorkerPool {
 
 fn worker_loop(
     who: usize,
-    local: Option<Deque<ReadyTask>>,
+    local: Option<WorkerDeque<ReadyTask>>,
     shared: Arc<PoolShared>,
     client: Arc<dyn PoolClient>,
 ) {
     CURRENT_WORKER.with(|c| c.set(Some(who)));
+    // Bounded spin before parking: a handful of re-polls (with scheduler
+    // yields so a 1-core host lets the producer run) catches work that is
+    // microseconds away without paying the park/unpark round-trip.
+    const SPIN_POLLS: u32 = 4;
+    let mut misses = 0u32;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         shared.heartbeats[who].fetch_add(1, Ordering::Relaxed);
         if let Some(task) = shared.queues.pop(who, local.as_ref(), &shared.stealers) {
+            misses = 0;
             run_one(task, who, local.as_ref(), &shared, &client);
             if injected_death(who, &local, &shared) {
                 return;
             }
             continue;
         }
-        // Park: re-check under the idle lock so a concurrent push+notify
-        // cannot be missed.
-        let mut idle = shared.idle_lock.lock();
+        misses += 1;
+        if misses <= SPIN_POLLS {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+            continue;
+        }
+        misses = 0;
+        // Park. Register as idle *before* the final re-check: the fence
+        // pairs with the one in `PoolShared::wake_one`, so either the
+        // pusher sees our idle count (and notifies under the lock, which
+        // we hold until we wait) or we see its queue write here.
+        let mut guard = shared.idle_lock.lock();
+        shared.idle_count.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
         if shared.shutdown.load(Ordering::SeqCst) {
+            shared.idle_count.fetch_sub(1, Ordering::SeqCst);
             return;
         }
         if let Some(task) = shared.queues.pop(who, local.as_ref(), &shared.stealers) {
-            drop(idle);
+            shared.idle_count.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
             run_one(task, who, local.as_ref(), &shared, &client);
             if injected_death(who, &local, &shared) {
                 return;
             }
             continue;
         }
-        *idle += 1;
-        shared.idle_cv.wait(&mut idle);
-        *idle -= 1;
+        shared.idle_cv.wait(&mut guard);
+        shared.idle_count.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 /// Check the fault plan for an injected worker death; when it fires,
 /// drain the local deque back to the shared queues (no task loss), mark
 /// the worker dead and tell the caller to exit the thread.
-fn injected_death(who: usize, local: &Option<Deque<ReadyTask>>, shared: &PoolShared) -> bool {
+fn injected_death(who: usize, local: &Option<WorkerDeque<ReadyTask>>, shared: &PoolShared) -> bool {
     let Some(plan) = &shared.plan else {
         return false;
     };
@@ -369,27 +419,29 @@ fn injected_death(who: usize, local: &Option<Deque<ReadyTask>>, shared: &PoolSha
     }
     shared.alive[who].store(false, Ordering::SeqCst);
     shared.deaths.fetch_add(1, Ordering::Relaxed);
-    shared.wake_all_locked();
+    shared.wake_all();
     true
 }
 
 fn run_one(
     task: ReadyTask,
     who: usize,
-    local: Option<&Deque<ReadyTask>>,
+    local: Option<&WorkerDeque<ReadyTask>>,
     shared: &PoolShared,
     client: &Arc<dyn PoolClient>,
 ) {
     shared.executed[who].fetch_add(1, Ordering::Relaxed);
     shared.heartbeats[who].fetch_add(1, Ordering::Relaxed);
     shared.busy[who].store(true, Ordering::Relaxed);
-    let ReadyTask { id, mut body, .. } = task;
+    let ReadyTask {
+        id, slot, mut body, ..
+    } = task;
     let panicked = match catch_unwind(AssertUnwindSafe(|| body.run())) {
         Ok(()) => None,
         Err(payload) => Some(panic_message(payload)),
     };
     shared.busy[who].store(false, Ordering::Relaxed);
-    let completion = client.on_complete(id, panicked, body);
+    let completion = client.on_complete(id, slot, panicked, body);
     let n = completion.released.len();
     for t in completion.released {
         shared.queues.push(t, local);
@@ -397,15 +449,12 @@ fn run_one(
     if let Some((t, delay)) = completion.retry {
         shared.schedule_retry(t, delay);
     }
-    if n > 0 {
+    if n > 1 {
         // We will run one ourselves off the local deque; wake helpers for
         // the rest.
-        let _g = shared.idle_lock.lock();
-        if n > 1 {
-            shared.idle_cv.notify_all();
-        } else {
-            shared.idle_cv.notify_one();
-        }
+        shared.wake_all();
+    } else if n == 1 {
+        shared.wake_one();
     }
 }
 
@@ -445,13 +494,10 @@ fn retry_timer_loop(rx: mpsc::Receiver<(ReadyTask, Instant)>, shared: Arc<PoolSh
             shared.queues.push(d.task, None);
             fired += 1;
         }
-        if fired > 0 {
-            let _g = shared.idle_lock.lock();
-            if fired > 1 {
-                shared.idle_cv.notify_all();
-            } else {
-                shared.idle_cv.notify_one();
-            }
+        if fired > 1 {
+            shared.wake_all();
+        } else if fired == 1 {
+            shared.wake_one();
         }
         let timeout = pending
             .peek()
@@ -472,7 +518,7 @@ fn retry_timer_loop(rx: mpsc::Receiver<(ReadyTask, Instant)>, shared: Arc<PoolSh
         shared.queues.push(d.task, None);
     }
     if leftover > 0 {
-        shared.wake_all_locked();
+        shared.wake_all();
     }
 }
 
@@ -555,6 +601,7 @@ mod tests {
         fn on_complete(
             &self,
             _task: TaskId,
+            _slot: u32,
             panicked: Option<String>,
             _body: ExecBody,
         ) -> Completion {
@@ -575,18 +622,29 @@ mod tests {
 
     fn wait_until(pred: impl Fn() -> bool) {
         let start = std::time::Instant::now();
+        let mut polls = 0u32;
         while !pred() {
             assert!(
                 start.elapsed() < Duration::from_secs(10),
                 "timed out waiting for pool"
             );
-            std::thread::yield_now();
+            // Bounded spin, then yield, then real sleeps: a busy poll
+            // loop must not starve the pool on a single-core host.
+            polls += 1;
+            if polls < 64 {
+                std::hint::spin_loop();
+            } else if polls < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
         }
     }
 
     fn ready(id: u32, body: impl FnOnce() + Send + 'static) -> ReadyTask {
         ReadyTask {
             id: TaskId(id),
+            slot: 0,
             priority: 0,
             critical: false,
             seq: 0,
@@ -687,6 +745,7 @@ mod tests {
             fn on_complete(
                 &self,
                 task: TaskId,
+                slot: u32,
                 panicked: Option<String>,
                 body: ExecBody,
             ) -> Completion {
@@ -697,6 +756,7 @@ mod tests {
                         retry: Some((
                             ReadyTask {
                                 id: task,
+                                slot,
                                 priority: 0,
                                 critical: false,
                                 seq: 0,
@@ -720,6 +780,7 @@ mod tests {
         let r = runs.clone();
         pool.push_external(ReadyTask {
             id: TaskId(0),
+            slot: 0,
             priority: 0,
             critical: false,
             seq: 0,

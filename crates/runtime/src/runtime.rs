@@ -1,5 +1,15 @@
 //! The public runtime façade: spawn tasks, declare dependencies, wait.
 //!
+//! The spawn→ready→execute→complete hot path is lock-free in the common
+//! case: task bookkeeping lives in a generation-counted slab
+//! ([`crate::task::TaskSlab`]) instead of a global table, dependency
+//! discovery goes through the region-sharded
+//! [`crate::deps::ShardedDepTracker`], readiness is a per-slot atomic
+//! pending count, and completion accounting is an atomic outstanding
+//! counter. The only locks on a clean spawn are the task's own slot
+//! mutex and the tracker shards its regions hash to — two concurrent
+//! spawns or completions on unrelated tasks share no lock at all.
+//!
 //! Fault tolerance (see [`crate::fault`]) threads through here:
 //!
 //! * every task body is wrapped with a *preflight* that fails fast on
@@ -12,16 +22,14 @@
 //!   [`TaskError::Poisoned`] instead of consuming garbage, and the poison
 //!   propagates transitively. A later task that fully overwrites a
 //!   poisoned range (`out` access) cleanses it — recovery tasks use
-//!   exactly this to repair data after a failure.
+//!   exactly this to repair data after a failure. Poison propagation
+//!   walks the slab under per-slot locks; it never takes a global one.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::criticality::OnlineCriticality;
-use crate::deps::DepTracker;
 use crate::fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
@@ -30,7 +38,15 @@ use crate::pool::{Completion, PoolClient, PoolOptions, WorkerPool};
 use crate::region::{Access, AccessMode, DataHandle, Region};
 use crate::scheduler::{ReadyQueues, ReadyTask, SchedulerPolicy};
 use crate::stats::{RuntimeStats, StatsSnapshot, RETRY_HIST_BUCKETS};
-use crate::task::{Criticality, ExecBody, TaskBody, TaskId, TaskMeta};
+use crate::task::{Criticality, ExecBody, TaskBody, TaskId, TaskMeta, TaskRef, TaskSlab};
+
+/// Node budget for the backward bottom-level relaxation at spawn. The
+/// offline [`crate::criticality::OnlineCriticality`] estimator relaxes
+/// ancestors without bound, which is O(depth) per spawn — quadratic on a
+/// chain. The hot path caps the walk instead: deep ancestry beyond the
+/// budget keeps a stale (under-estimated) bottom level, which can only
+/// misclassify criticality, never correctness.
+const RELAX_BUDGET: u32 = 64;
 
 /// Observation hooks around task execution — the attachment point for
 /// runtime-aware hardware models (e.g. the RSU in `raa-core`): the
@@ -66,7 +82,7 @@ pub struct RuntimeConfig {
     /// of each task's metadata; off by default).
     pub record_graph: bool,
     /// Threshold for the online criticality estimator (fraction of the
-    /// longest path; see [`OnlineCriticality`]).
+    /// longest path; see [`crate::criticality::OnlineCriticality`]).
     pub criticality_threshold: f64,
     /// Optional execution observer (see [`TaskObserver`]).
     pub observer: Option<Arc<dyn TaskObserver>>,
@@ -179,26 +195,8 @@ impl RuntimeConfig {
     }
 }
 
-struct TaskEntry {
-    pending: usize,
-    succs: Vec<TaskId>,
-    body: Option<ExecBody>,
-    priority: i32,
-    critical: bool,
-    label: String,
-    idempotent: bool,
-    /// Execution attempts that have failed so far.
-    attempts: u32,
-    /// Set when an upstream failure poisoned a region this task reads;
-    /// the preflight then skips the body and the task settles as failed.
-    poisoned_by: Option<(TaskId, String)>,
-    /// Declared regions, split by direction (poison bookkeeping).
-    reads: Vec<Region>,
-    writes: Vec<Region>,
-    /// Exempt from poison and injection: taskwait sentinels must always
-    /// run, or the waiter would hang.
-    exempt: bool,
-}
+/// Recorded spawn log: each task's metadata plus its predecessor ids.
+type RecordedGraph = Vec<(TaskMeta, Vec<TaskId>)>;
 
 /// A region range contaminated by a failed writer.
 #[derive(Clone)]
@@ -208,30 +206,31 @@ struct PoisonedRegion {
     source_label: String,
 }
 
-struct Inner {
-    tracker: DepTracker,
-    online: OnlineCriticality,
-    tasks: HashMap<u32, TaskEntry>,
-    next_id: u32,
-    recorded: Option<Vec<(TaskMeta, Vec<TaskId>)>>,
-    poisoned: Vec<PoisonedRegion>,
-}
-
-struct WaitState {
-    outstanding: u64,
-}
-
 struct Shared {
-    inner: Mutex<Inner>,
-    wait: Mutex<WaitState>,
+    slab: TaskSlab,
+    tracker: crate::deps::ShardedDepTracker,
+    /// Tasks spawned but not yet settled. Incremented before a task is
+    /// visible anywhere; the waiter's condvar fires on the 1→0 edge.
+    outstanding: AtomicU64,
+    wait: Mutex<()>,
     wait_cv: Condvar,
+    next_id: AtomicU32,
     failures: Mutex<Vec<TaskFailure>>,
     stats: RuntimeStats,
     retry: RetryPolicy,
     /// Monotonic fast-path flag: set when any poison was ever recorded,
-    /// so clean runs never take the inner lock in the preflight. Only
+    /// so clean runs never touch poison state in the preflight. Only
     /// [`Runtime::clear_poison`] resets it.
     has_poison: AtomicBool,
+    poisoned: Mutex<Vec<PoisonedRegion>>,
+    /// Recorded TDG when [`RuntimeConfig::record_graph`] is on (cold
+    /// path: the lock is fine, recording already clones metadata).
+    recorded: Option<Mutex<RecordedGraph>>,
+    /// Online criticality: longest observed bottom level, and the
+    /// threshold as a num/den ratio (per-slot levels live in the slab).
+    max_bl: AtomicU64,
+    crit_num: u64,
+    crit_den: u64,
 }
 
 /// Remove `w` from the poison list (a task overwrites the range, making
@@ -261,35 +260,154 @@ fn cleanse(poisoned: &mut Vec<PoisonedRegion>, w: &Region) {
     }
 }
 
-/// Record the failed task's written regions as poisoned and mark every
-/// in-flight task reading them, so they fail fast instead of consuming
-/// garbage. Readers of a failed writer always carry a RAW edge on it, so
-/// none of them can already be executing.
-fn poison_writes(inner: &mut Inner, source: TaskId, label: &str, writes: &[Region]) {
-    if writes.is_empty() {
-        return;
-    }
-    for w in writes {
-        inner.poisoned.push(PoisonedRegion {
-            region: *w,
-            source,
-            source_label: label.to_string(),
+impl Shared {
+    /// Record the failed task's written regions as poisoned and mark
+    /// every in-flight task reading them, so they fail fast instead of
+    /// consuming garbage.
+    ///
+    /// Racing spawns are covered from both sides: the flag store (with
+    /// its fence) is ordered before the slab walk, and a spawner fills
+    /// its declared reads into its slot *before* it checks the flag — so
+    /// either this walk sees the spawner's reads, or the spawner sees
+    /// the flag and checks the poison list itself.
+    fn poison_writes(&self, source: TaskId, label: &str, writes: &[Region]) {
+        if writes.is_empty() {
+            return;
+        }
+        self.has_poison.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        {
+            let mut poisoned = self.poisoned.lock();
+            for w in writes {
+                poisoned.push(PoisonedRegion {
+                    region: *w,
+                    source,
+                    source_label: label.to_string(),
+                });
+            }
+        }
+        self.slab.for_each_live(|_, slot| {
+            let mut st = slot.state.lock();
+            if st.exempt || st.completed || st.poisoned_by.is_some() {
+                return;
+            }
+            if st
+                .reads
+                .iter()
+                .any(|r| writes.iter().any(|w| r.overlaps(w)))
+            {
+                st.poisoned_by = Some((source, label.to_string()));
+            }
         });
     }
-    for e in inner.tasks.values_mut() {
-        if e.exempt || e.poisoned_by.is_some() {
-            continue;
+
+    /// Seed the new task's bottom level and relax ancestors (bounded),
+    /// then classify: critical iff its level is within the configured
+    /// fraction of the longest level seen so far.
+    fn submit_criticality(&self, me: &TaskRef, cost: u64, preds: &[TaskRef]) -> bool {
+        let slot = self.slab.slot(me.slot);
+        slot.bl.store(cost, Ordering::Relaxed);
+        let mut max_bl = self.max_bl.fetch_max(cost, Ordering::Relaxed).max(cost);
+        let mut stack: Vec<(u32, u64, u64)> = preds.iter().map(|p| (p.slot, p.gen, cost)).collect();
+        let mut budget = RELAX_BUDGET;
+        while let Some((s, gen, child_bl)) = stack.pop() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let pslot = self.slab.slot(s);
+            let st = pslot.state.lock();
+            if pslot.gen.load(Ordering::Acquire) != gen || st.completed {
+                continue;
+            }
+            let new_bl = st.cost.saturating_add(child_bl);
+            let old = pslot.bl.fetch_max(new_bl, Ordering::Relaxed);
+            if new_bl > old {
+                max_bl = self.max_bl.fetch_max(new_bl, Ordering::Relaxed).max(new_bl);
+                for &(ps, pg) in &st.preds {
+                    stack.push((ps, pg, new_bl));
+                }
+            }
         }
-        if e.reads.iter().any(|r| writes.iter().any(|w| r.overlaps(w))) {
-            e.poisoned_by = Some((source, label.to_string()));
+        (cost as u128) * (self.crit_den as u128) >= (self.crit_num as u128) * (max_bl as u128)
+    }
+
+    /// Settle a task that will not retry: publish its failure/poison,
+    /// free its slot and collect the successors it released.
+    fn settle(&self, task: TaskId, slot_idx: u32, panicked: Option<String>) -> Vec<ReadyTask> {
+        let slot = self.slab.slot(slot_idx);
+        let (succs, label, attempts, poisoned_by, writes) = {
+            let mut st = slot.state.lock();
+            debug_assert_eq!(st.tid, task, "slot/task mismatch at settle");
+            st.completed = true;
+            (
+                std::mem::take(&mut st.succs),
+                std::mem::take(&mut st.label),
+                st.attempts,
+                st.poisoned_by.take(),
+                std::mem::take(&mut st.writes),
+            )
+        };
+        let mut failure = None;
+        if let Some(msg) = panicked {
+            failure = Some(TaskFailure {
+                task,
+                label: label.clone(),
+                attempts,
+                error: TaskError::Panicked(msg),
+            });
+        } else if let Some((source, source_label)) = poisoned_by {
+            RuntimeStats::bump(&self.stats.poisoned_tasks);
+            failure = Some(TaskFailure {
+                task,
+                label: label.clone(),
+                attempts,
+                error: TaskError::Poisoned {
+                    source,
+                    source_label,
+                },
+            });
+        } else {
+            // Tasks that ran to success: bucket by failed attempts.
+            let bucket = (attempts as usize).min(RETRY_HIST_BUCKETS - 1);
+            RuntimeStats::bump(&self.stats.retry_hist[bucket]);
         }
+        if let Some(f) = failure {
+            RuntimeStats::bump(&self.stats.failed_tasks);
+            self.poison_writes(task, &label, &writes);
+            self.failures.lock().push(f);
+        }
+        self.slab.free(slot_idx);
+        let mut released = Vec::new();
+        for s in succs {
+            let sslot = self.slab.slot(s);
+            if sslot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut st = sslot.state.lock();
+                let body = st.body.take().expect("ready successor must have a body");
+                released.push(ReadyTask {
+                    id: st.tid,
+                    slot: s,
+                    priority: st.priority,
+                    critical: st.critical,
+                    seq: 0,
+                    body,
+                });
+            }
+        }
+        released
     }
 }
 
 /// Runs on the worker thread before the user body. Returns `false` when
 /// the body must be skipped (poisoned input); panics when the fault plan
 /// injects a panic for this attempt.
-fn preflight(shared: &Weak<Shared>, tid: TaskId, exempt: bool, plan: Option<&FaultPlan>) -> bool {
+fn preflight(
+    shared: &Weak<Shared>,
+    tid: TaskId,
+    slot: u32,
+    exempt: bool,
+    plan: Option<&FaultPlan>,
+) -> bool {
     if exempt {
         return true;
     }
@@ -297,19 +415,19 @@ fn preflight(shared: &Weak<Shared>, tid: TaskId, exempt: bool, plan: Option<&Fau
         return true;
     };
     if shared.has_poison.load(Ordering::Acquire) {
-        let inner = shared.inner.lock();
-        if inner
-            .tasks
-            .get(&tid.0)
-            .is_some_and(|e| e.poisoned_by.is_some())
-        {
+        let st = shared.slab.slot(slot).state.lock();
+        if st.tid == tid && st.poisoned_by.is_some() {
             return false;
         }
     }
     if let Some(plan) = plan {
         let attempt = {
-            let inner = shared.inner.lock();
-            inner.tasks.get(&tid.0).map_or(0, |e| e.attempts)
+            let st = shared.slab.slot(slot).state.lock();
+            if st.tid == tid {
+                st.attempts
+            } else {
+                0
+            }
         };
         match plan.decide(tid, attempt) {
             Some(InjectedFault::Panic) => {
@@ -327,9 +445,11 @@ fn preflight(shared: &Weak<Shared>, tid: TaskId, exempt: bool, plan: Option<&Fau
 /// *before* the user body, so under pure injection even a read-modify-
 /// write body never runs half-way — which is what makes declaring such
 /// tasks idempotent sound in fault campaigns.
+#[allow(clippy::too_many_arguments)]
 fn instrument(
     body: ExecBody,
     tid: TaskId,
+    slot: u32,
     critical: bool,
     exempt: bool,
     shared: Weak<Shared>,
@@ -340,14 +460,14 @@ fn instrument(
         ExecBody::Once(f) => {
             let f = f.expect("a fresh task body must be present");
             ExecBody::once(move || {
-                if !preflight(&shared, tid, exempt, plan.as_deref()) {
+                if !preflight(&shared, tid, slot, exempt, plan.as_deref()) {
                     return;
                 }
                 run_observed(f, &observer, tid, critical);
             })
         }
         ExecBody::Retryable(f) => ExecBody::retryable(move || {
-            if !preflight(&shared, tid, exempt, plan.as_deref()) {
+            if !preflight(&shared, tid, slot, exempt, plan.as_deref()) {
                 return;
             }
             run_observed(&*f, &observer, tid, critical);
@@ -397,97 +517,45 @@ fn run_observed(
 }
 
 impl PoolClient for Shared {
-    fn on_complete(&self, task: TaskId, panicked: Option<String>, body: ExecBody) -> Completion {
-        let mut failure: Option<TaskFailure> = None;
-        let released = {
-            let mut inner = self.inner.lock();
-            if panicked.is_some() {
-                RuntimeStats::bump(&self.stats.panicked);
-                let e = inner
-                    .tasks
-                    .get_mut(&task.0)
-                    .expect("completed task must be registered");
-                e.attempts += 1;
-                if e.idempotent && body.is_retryable() && e.attempts < self.retry.max_attempts {
-                    // Retry: the task stays registered and outstanding;
-                    // the pool re-enqueues the body after the backoff.
-                    RuntimeStats::bump(&self.stats.retried);
-                    let delay = self.retry.backoff_after(e.attempts);
-                    let retry_task = ReadyTask {
-                        id: task,
-                        priority: e.priority,
-                        critical: e.critical,
-                        seq: 0,
-                        body,
-                    };
-                    return Completion {
-                        released: Vec::new(),
-                        retry: Some((retry_task, delay)),
-                    };
-                }
+    fn on_complete(
+        &self,
+        task: TaskId,
+        slot_idx: u32,
+        panicked: Option<String>,
+        body: ExecBody,
+    ) -> Completion {
+        if panicked.is_some() {
+            RuntimeStats::bump(&self.stats.panicked);
+            let slot = self.slab.slot(slot_idx);
+            let mut st = slot.state.lock();
+            debug_assert_eq!(st.tid, task, "slot/task mismatch at completion");
+            st.attempts += 1;
+            if st.idempotent && body.is_retryable() && st.attempts < self.retry.max_attempts {
+                // Retry: the task stays registered and outstanding; the
+                // pool re-enqueues the body after the backoff.
+                RuntimeStats::bump(&self.stats.retried);
+                let delay = self.retry.backoff_after(st.attempts);
+                let retry_task = ReadyTask {
+                    id: task,
+                    slot: slot_idx,
+                    priority: st.priority,
+                    critical: st.critical,
+                    seq: 0,
+                    body,
+                };
+                return Completion {
+                    released: Vec::new(),
+                    retry: Some((retry_task, delay)),
+                };
             }
-            let entry = inner
-                .tasks
-                .remove(&task.0)
-                .expect("completed task must be registered");
-            if let Some(msg) = panicked {
-                failure = Some(TaskFailure {
-                    task,
-                    label: entry.label.clone(),
-                    attempts: entry.attempts,
-                    error: TaskError::Panicked(msg),
-                });
-            } else if let Some((source, source_label)) = entry.poisoned_by.clone() {
-                RuntimeStats::bump(&self.stats.poisoned_tasks);
-                failure = Some(TaskFailure {
-                    task,
-                    label: entry.label.clone(),
-                    attempts: entry.attempts,
-                    error: TaskError::Poisoned {
-                        source,
-                        source_label,
-                    },
-                });
-            } else {
-                // Tasks that ran to success: bucket by failed attempts.
-                let bucket = (entry.attempts as usize).min(RETRY_HIST_BUCKETS - 1);
-                RuntimeStats::bump(&self.stats.retry_hist[bucket]);
-            }
-            if failure.is_some() {
-                RuntimeStats::bump(&self.stats.failed_tasks);
-                poison_writes(&mut inner, task, &entry.label, &entry.writes);
-                self.has_poison.store(true, Ordering::Release);
-            }
-            let mut released = Vec::new();
-            for succ in entry.succs {
-                let e = inner
-                    .tasks
-                    .get_mut(&succ.0)
-                    .expect("successor must still be registered");
-                e.pending -= 1;
-                if e.pending == 0 {
-                    let body = e.body.take().expect("ready successor must have a body");
-                    released.push(ReadyTask {
-                        id: succ,
-                        priority: e.priority,
-                        critical: e.critical,
-                        seq: 0,
-                        body,
-                    });
-                }
-            }
-            released
-        };
-        if let Some(f) = failure {
-            self.failures.lock().push(f);
         }
+        let released = self.settle(task, slot_idx, panicked);
         RuntimeStats::bump(&self.stats.completed);
-        {
-            let mut w = self.wait.lock();
-            w.outstanding -= 1;
-            if w.outstanding == 0 {
-                self.wait_cv.notify_all();
-            }
+        // The failure (if any) is published by `settle` before this
+        // decrement, so a waiter woken by the 1→0 edge sees it.
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.wait.lock();
+            self.wait_cv.notify_all();
         }
         Completion::released(released)
     }
@@ -506,20 +574,21 @@ impl Runtime {
         assert!(config.workers >= 1, "need at least one worker");
         let queues = Arc::new(ReadyQueues::new(config.policy));
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner {
-                tracker: DepTracker::new(),
-                online: OnlineCriticality::new(config.criticality_threshold),
-                tasks: HashMap::new(),
-                next_id: 0,
-                recorded: config.record_graph.then(Vec::new),
-                poisoned: Vec::new(),
-            }),
-            wait: Mutex::new(WaitState { outstanding: 0 }),
+            slab: TaskSlab::new(),
+            tracker: crate::deps::ShardedDepTracker::new(),
+            outstanding: AtomicU64::new(0),
+            wait: Mutex::new(()),
             wait_cv: Condvar::new(),
+            next_id: AtomicU32::new(0),
             failures: Mutex::new(Vec::new()),
             stats: RuntimeStats::default(),
             retry: config.retry,
             has_poison: AtomicBool::new(false),
+            poisoned: Mutex::new(Vec::new()),
+            recorded: config.record_graph.then(|| Mutex::new(Vec::new())),
+            max_bl: AtomicU64::new(0),
+            crit_num: (config.criticality_threshold * 1000.0).round() as u64,
+            crit_den: 1000,
         });
         let pool = WorkerPool::new(
             config.workers,
@@ -580,117 +649,165 @@ impl Runtime {
     }
 
     fn spawn_inner(&self, meta: TaskMeta, body: ExecBody, exempt: bool) -> TaskId {
+        let shared = &*self.shared;
         // Count the task as outstanding *before* it becomes visible in the
         // dependency table: a predecessor completing concurrently could
         // otherwise release and finish it before the increment.
+        shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        let tid = TaskId(shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let (slot_idx, gen) = shared.slab.alloc();
+        let slot = shared.slab.slot(slot_idx);
+        let me = TaskRef {
+            tid,
+            slot: slot_idx,
+            gen,
+        };
+        let reads: Vec<Region> = meta
+            .accesses
+            .iter()
+            .filter(|a| a.mode.reads())
+            .map(|a| a.region)
+            .collect();
+        let writes: Vec<Region> = meta
+            .accesses
+            .iter()
+            .filter(|a| a.mode.writes())
+            .map(|a| a.region)
+            .collect();
+        // Fill the slot before anything else can see the task. The
+        // declared reads must land here *before* the poison check below —
+        // that ordering (fill, fence, flag load) pairs with the poisoner
+        // side so that a racing `poison_writes` can never miss this task.
         {
-            let mut w = self.shared.wait.lock();
-            w.outstanding += 1;
+            let mut st = slot.state.lock();
+            st.tid = tid;
+            st.cost = meta.cost;
+            st.priority = meta.priority;
+            st.idempotent = meta.idempotent;
+            st.exempt = exempt;
+            st.label.push_str(&meta.label);
+            st.reads.extend_from_slice(&reads);
+            st.writes.extend_from_slice(&writes);
         }
-        let (ready, tid) = {
-            let mut inner = self.shared.inner.lock();
-            let tid = TaskId(inner.next_id);
-            inner.next_id += 1;
-            let preds = inner.tracker.submit(tid, &meta.accesses);
-            inner.online.submit(tid, meta.cost, &preds);
-            let critical = match meta.criticality {
-                Criticality::Critical => true,
-                Criticality::NonCritical => false,
-                Criticality::Auto => inner.online.is_critical(tid),
-            };
-            if let Some(rec) = inner.recorded.as_mut() {
-                rec.push((meta.clone(), preds.clone()));
-            }
-            let reads: Vec<Region> = meta
-                .accesses
-                .iter()
-                .filter(|a| a.mode.reads())
-                .map(|a| a.region)
-                .collect();
-            let writes: Vec<Region> = meta
-                .accesses
-                .iter()
-                .filter(|a| a.mode.writes())
-                .map(|a| a.region)
-                .collect();
-            // A task reading an already-poisoned range is doomed at
-            // spawn; a clean task that fully overwrites a poisoned range
-            // (`out` access: no read of the old contents) cleanses it.
-            let poisoned_by = if exempt {
-                None
-            } else {
-                reads.iter().find_map(|r| {
-                    inner
-                        .poisoned
+        // Dependency discovery: only the shards covering the declared
+        // regions are locked; access-free tasks skip the tracker whole.
+        let mut preds: Vec<TaskRef> = Vec::new();
+        if !meta.accesses.is_empty() {
+            shared.tracker.submit(me, &meta.accesses, &mut preds);
+        }
+        let critical = match meta.criticality {
+            Criticality::Critical => true,
+            Criticality::NonCritical => false,
+            Criticality::Auto => shared.submit_criticality(&me, meta.cost.max(1), &preds),
+        };
+        {
+            let mut st = slot.state.lock();
+            st.critical = critical;
+            st.preds.extend(preds.iter().map(|p| (p.slot, p.gen)));
+        }
+        if let Some(rec) = &shared.recorded {
+            rec.lock()
+                .push((meta.clone(), preds.iter().map(|p| p.tid).collect()));
+        }
+        // A task reading an already-poisoned range is doomed at spawn; a
+        // clean task that fully overwrites a poisoned range (`out`
+        // access: no read of the old contents) cleanses it.
+        if !exempt {
+            fence(Ordering::SeqCst);
+            if shared.has_poison.load(Ordering::SeqCst) {
+                let mut poisoned = shared.poisoned.lock();
+                let hit = reads.iter().find_map(|r| {
+                    poisoned
                         .iter()
                         .find(|p| p.region.overlaps(r))
                         .map(|p| (p.source, p.source_label.clone()))
-                })
-            };
-            if !exempt && poisoned_by.is_none() {
-                for a in &meta.accesses {
-                    if a.mode == AccessMode::Write {
-                        cleanse(&mut inner.poisoned, &a.region);
+                });
+                match hit {
+                    Some(pb) => {
+                        drop(poisoned);
+                        slot.state.lock().poisoned_by = Some(pb);
+                    }
+                    None => {
+                        for a in &meta.accesses {
+                            if a.mode == AccessMode::Write {
+                                cleanse(&mut poisoned, &a.region);
+                            }
+                        }
                     }
                 }
             }
-            let body = instrument(
-                body,
-                tid,
-                critical,
-                exempt,
-                Arc::downgrade(&self.shared),
-                self.config.observer.clone(),
-                self.config.fault_plan.clone(),
-            );
-            let mut pending = 0usize;
-            for p in &preds {
-                if let Some(e) = inner.tasks.get_mut(&p.0) {
-                    e.succs.push(tid);
-                    pending += 1;
-                }
-                // Predecessors missing from the table already completed.
+        }
+        let body = instrument(
+            body,
+            tid,
+            slot_idx,
+            critical,
+            exempt,
+            Arc::downgrade(&self.shared),
+            self.config.observer.clone(),
+            self.config.fault_plan.clone(),
+        );
+        // Wire edges. Our own `pending` holds the submission guard from
+        // `alloc`, so a predecessor completing mid-wire can bring it down
+        // to the guard but never to zero — which is also why each edge
+        // must be counted *before* it becomes visible in the
+        // predecessor's successor list: the predecessor may settle and
+        // decrement the instant the lock drops.
+        let mut live_preds = 0u32;
+        for p in &preds {
+            let pslot = shared.slab.slot(p.slot);
+            slot.pending.fetch_add(1, Ordering::AcqRel);
+            let mut pst = pslot.state.lock();
+            if pslot.gen.load(Ordering::Acquire) == p.gen && !pst.completed {
+                pst.succs.push(slot_idx);
+                live_preds += 1;
+            } else {
+                // Generation moved on or `completed` set: that
+                // predecessor already settled and owes us no release.
+                drop(pst);
+                slot.pending.fetch_sub(1, Ordering::AcqRel);
             }
-            self.shared
-                .stats
-                .edges
-                .fetch_add(preds.len() as u64, Ordering::Relaxed);
-            RuntimeStats::bump(&self.shared.stats.spawned);
-            if critical {
-                RuntimeStats::bump(&self.shared.stats.critical_tasks);
-            }
-            let mut entry = TaskEntry {
-                pending,
-                succs: Vec::new(),
-                body: None,
+        }
+        shared
+            .stats
+            .edges
+            .fetch_add(preds.len() as u64, Ordering::Relaxed);
+        RuntimeStats::bump(&shared.stats.spawned);
+        if critical {
+            RuntimeStats::bump(&shared.stats.critical_tasks);
+        }
+        if live_preds == 0 {
+            // No live predecessor registered: nobody else can release us,
+            // so the body never needs to be parked in the slot.
+            RuntimeStats::bump(&shared.stats.ready_at_spawn);
+            self.pool.push_external(ReadyTask {
+                id: tid,
+                slot: slot_idx,
                 priority: meta.priority,
                 critical,
-                label: meta.label.clone(),
-                idempotent: meta.idempotent,
-                attempts: 0,
-                poisoned_by,
-                reads,
-                writes,
-                exempt,
-            };
-            let ready = if pending == 0 {
-                RuntimeStats::bump(&self.shared.stats.ready_at_spawn);
-                Some(ReadyTask {
+                seq: 0,
+                body,
+            });
+        } else {
+            slot.state.lock().body = Some(body);
+            // Drop the submission guard; if every wired predecessor beat
+            // us to completion, the release falls to us.
+            if slot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let body = slot
+                    .state
+                    .lock()
+                    .body
+                    .take()
+                    .expect("spawn-released task must still hold its body");
+                self.pool.push_external(ReadyTask {
                     id: tid,
+                    slot: slot_idx,
                     priority: meta.priority,
                     critical,
                     seq: 0,
                     body,
-                })
-            } else {
-                entry.body = Some(body);
-                None
-            };
-            inner.tasks.insert(tid.0, entry);
-            (ready, tid)
-        };
-        if let Some(task) = ready {
-            self.pool.push_external(task);
+                });
+            }
         }
         tid
     }
@@ -747,9 +864,9 @@ impl Runtime {
     /// cause chain) instead of panicking.
     pub fn try_taskwait(&self) -> Result<(), FaultReport> {
         {
-            let mut w = self.shared.wait.lock();
-            while w.outstanding > 0 {
-                self.wait_cv_wait(&mut w);
+            let mut g = self.shared.wait.lock();
+            while self.shared.outstanding.load(Ordering::SeqCst) > 0 {
+                self.shared.wait_cv.wait(&mut g);
             }
         }
         let failures: Vec<TaskFailure> = std::mem::take(&mut *self.shared.failures.lock());
@@ -760,16 +877,11 @@ impl Runtime {
         }
     }
 
-    fn wait_cv_wait(&self, w: &mut parking_lot::MutexGuard<'_, WaitState>) {
-        self.shared.wait_cv.wait(w);
-    }
-
     /// Region ranges currently poisoned by failed writers.
     pub fn poisoned_regions(&self) -> Vec<Region> {
         self.shared
-            .inner
-            .lock()
             .poisoned
+            .lock()
             .iter()
             .map(|p| p.region)
             .collect()
@@ -785,11 +897,8 @@ impl Runtime {
     /// lost to a DUE.
     pub fn poison_region(&self, region: Region, label: impl Into<String>) {
         let label = label.into();
-        {
-            let mut inner = self.shared.inner.lock();
-            poison_writes(&mut inner, Self::HW_SOURCE, &label, &[region]);
-        }
-        self.shared.has_poison.store(true, Ordering::Release);
+        self.shared
+            .poison_writes(Self::HW_SOURCE, &label, &[region]);
     }
 
     /// Synthetic source id for failures originating in hardware rather
@@ -800,12 +909,11 @@ impl Runtime {
     /// out-of-band (e.g. recomputed from a checkpoint). Pending tasks that
     /// were already marked as victims are unmarked and will run.
     pub fn clear_poison(&self) {
-        let mut inner = self.shared.inner.lock();
-        inner.poisoned.clear();
-        for e in inner.tasks.values_mut() {
-            e.poisoned_by = None;
-        }
-        self.shared.has_poison.store(false, Ordering::Release);
+        self.shared.poisoned.lock().clear();
+        self.shared.slab.for_each_live(|_, slot| {
+            slot.state.lock().poisoned_by = None;
+        });
+        self.shared.has_poison.store(false, Ordering::SeqCst);
     }
 
     /// Runtime counters snapshot, including the pool's worker fault
@@ -827,10 +935,10 @@ impl Runtime {
     /// The recorded TDG, when [`RuntimeConfig::record_graph`] was set.
     /// Reflects every task spawned so far.
     pub fn graph(&self) -> Option<TaskGraph> {
-        let inner = self.shared.inner.lock();
-        inner.recorded.as_ref().map(|rec| {
+        self.shared.recorded.as_ref().map(|rec| {
+            let rec = rec.lock();
             let mut g = TaskGraph::new();
-            for (meta, preds) in rec {
+            for (meta, preds) in rec.iter() {
                 g.add_task(meta.clone(), preds);
             }
             g
@@ -842,9 +950,9 @@ impl Drop for Runtime {
     fn drop(&mut self) {
         // Wait for in-flight work without propagating panics (drop must
         // not panic), then the pool's own Drop joins the workers.
-        let mut w = self.shared.wait.lock();
-        while w.outstanding > 0 {
-            self.shared.wait_cv.wait(&mut w);
+        let mut g = self.shared.wait.lock();
+        while self.shared.outstanding.load(Ordering::SeqCst) > 0 {
+            self.shared.wait_cv.wait(&mut g);
         }
     }
 }

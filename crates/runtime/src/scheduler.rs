@@ -7,21 +7,38 @@
 //! * [`SchedulerPolicy::Fifo`] — one global FIFO (the classic centralised
 //!   queue; the baseline Carbon-style hardware queue would accelerate).
 //! * [`SchedulerPolicy::Lifo`] — one global LIFO stack (depth-first).
-//! * [`SchedulerPolicy::WorkStealing`] — per-worker deques + a global
-//!   injector, Cilk/Nanos style. The default.
+//! * [`SchedulerPolicy::WorkStealing`] — per-worker Chase–Lev deques +
+//!   a lock-free bounded injector (see [`crate::deque`]), Cilk/Nanos
+//!   style. The default, and the only fully lock-free hot path.
+//!   Tasks carrying an explicit priority go to a small overflow heap
+//!   that workers consult only on steal-miss, so the priority machinery
+//!   costs nothing while ordinary work is flowing.
 //! * [`SchedulerPolicy::Priority`] — a global binary heap on task priority
 //!   (ties broken FIFO).
 //! * [`SchedulerPolicy::CriticalityAware`] — CATS-like: critical tasks go
 //!   to a dedicated queue served preferentially by the designated "fast"
 //!   workers; non-critical tasks are served by the rest.
+//!
+//! The legacy global policies (Fifo/Lifo/Priority) keep their exact
+//! ordering semantics behind one mutex each — they exist to *study*
+//! centralised scheduling, not to win benchmarks.
 
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::Mutex;
 
+use crate::deque::{DequeStealer, Injector, Steal, WorkerDeque};
 use crate::task::{ExecBody, TaskId};
+
+/// Ring capacity of the shared injectors. Bursts beyond this spill to a
+/// mutex-protected overflow list (correct, slower) — sized so that only
+/// pathological spawn storms ever reach the spill.
+const INJECTOR_RING: usize = 1 << 15;
+
+/// Per-worker deque capacity; overflow from a completion burst goes to
+/// the shared injector.
+pub const WORKER_DEQUE_CAP: usize = 1 << 13;
 
 /// Scheduling policy selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -41,6 +58,9 @@ pub enum SchedulerPolicy {
 /// needs to order it.
 pub struct ReadyTask {
     pub id: TaskId,
+    /// Slab slot of the task's runtime bookkeeping (see
+    /// [`crate::task::TaskSlab`]); echoed back on completion.
+    pub slot: u32,
     pub priority: i32,
     pub critical: bool,
     pub seq: u64,
@@ -85,6 +105,10 @@ pub struct ReadyQueues {
     policy: SchedulerPolicy,
     injector: Injector<ReadyTask>,
     critical: Injector<ReadyTask>,
+    /// Work-stealing overflow for explicitly prioritised tasks,
+    /// consulted only on steal-miss.
+    overflow: Mutex<BinaryHeap<PrioEntry>>,
+    overflow_len: AtomicUsize,
     fifo: Mutex<VecDeque<ReadyTask>>,
     lifo: Mutex<Vec<ReadyTask>>,
     heap: Mutex<BinaryHeap<PrioEntry>>,
@@ -95,8 +119,10 @@ impl ReadyQueues {
     pub fn new(policy: SchedulerPolicy) -> Self {
         ReadyQueues {
             policy,
-            injector: Injector::new(),
-            critical: Injector::new(),
+            injector: Injector::new(INJECTOR_RING),
+            critical: Injector::new(INJECTOR_RING),
+            overflow: Mutex::new(BinaryHeap::new()),
+            overflow_len: AtomicUsize::new(0),
             fifo: Mutex::new(VecDeque::new()),
             lifo: Mutex::new(Vec::new()),
             heap: Mutex::new(BinaryHeap::new()),
@@ -109,24 +135,39 @@ impl ReadyQueues {
     }
 
     /// Stamp a ready task with a global submission sequence number.
+    /// Only the policies that order on `seq` pay for the shared counter.
     pub fn stamp(&self, mut t: ReadyTask) -> ReadyTask {
         t.seq = self.seq.fetch_add(1, Ordering::Relaxed);
         t
     }
 
+    fn push_overflow(&self, t: ReadyTask) {
+        let mut heap = self.overflow.lock();
+        heap.push(PrioEntry(self.stamp(t)));
+        self.overflow_len.store(heap.len(), Ordering::Release);
+    }
+
     /// Push a ready task to the global structures. `local` is the current
     /// worker's own deque when the push happens on a worker thread (used
     /// by the work-stealing policy for locality).
-    pub fn push(&self, t: ReadyTask, local: Option<&Deque<ReadyTask>>) {
-        let t = self.stamp(t);
+    pub fn push(&self, t: ReadyTask, local: Option<&WorkerDeque<ReadyTask>>) {
         match self.policy {
-            SchedulerPolicy::Fifo => self.fifo.lock().push_back(t),
-            SchedulerPolicy::Lifo => self.lifo.lock().push(t),
-            SchedulerPolicy::WorkStealing => match local {
-                Some(deque) => deque.push(t),
-                None => self.injector.push(t),
-            },
-            SchedulerPolicy::Priority => self.heap.lock().push(PrioEntry(t)),
+            SchedulerPolicy::Fifo => self.fifo.lock().push_back(self.stamp(t)),
+            SchedulerPolicy::Lifo => self.lifo.lock().push(self.stamp(t)),
+            SchedulerPolicy::WorkStealing => {
+                if t.priority != 0 {
+                    return self.push_overflow(t);
+                }
+                match local {
+                    Some(deque) => {
+                        if let Err(t) = deque.push(t) {
+                            self.injector.push(t);
+                        }
+                    }
+                    None => self.injector.push(t),
+                }
+            }
+            SchedulerPolicy::Priority => self.heap.lock().push(PrioEntry(self.stamp(t))),
             SchedulerPolicy::CriticalityAware { .. } => {
                 if t.critical {
                     self.critical.push(t);
@@ -143,8 +184,8 @@ impl ReadyQueues {
     pub fn pop(
         &self,
         who: usize,
-        local: Option<&Deque<ReadyTask>>,
-        stealers: &[Stealer<ReadyTask>],
+        local: Option<&WorkerDeque<ReadyTask>>,
+        stealers: &[DequeStealer<ReadyTask>],
     ) -> Option<ReadyTask> {
         match self.policy {
             SchedulerPolicy::Fifo => self.fifo.lock().pop_front(),
@@ -154,12 +195,8 @@ impl ReadyQueues {
                 if let Some(t) = local.and_then(|d| d.pop()) {
                     return Some(t);
                 }
-                loop {
-                    match self.injector.steal() {
-                        Steal::Success(t) => return Some(t),
-                        Steal::Retry => continue,
-                        Steal::Empty => break,
-                    }
+                if let Some(t) = self.injector.pop() {
+                    return Some(t);
                 }
                 // Steal from siblings, starting after ourselves to spread
                 // contention.
@@ -174,6 +211,13 @@ impl ReadyQueues {
                         }
                     }
                 }
+                // Steal-miss: consult the priority overflow heap.
+                if self.overflow_len.load(Ordering::Acquire) > 0 {
+                    let mut heap = self.overflow.lock();
+                    let t = heap.pop().map(|e| e.0);
+                    self.overflow_len.store(heap.len(), Ordering::Release);
+                    return t;
+                }
                 None
             }
             SchedulerPolicy::CriticalityAware { fast_workers } => {
@@ -183,16 +227,7 @@ impl ReadyQueues {
                 } else {
                     (&self.injector, &self.critical)
                 };
-                for q in [first, second] {
-                    loop {
-                        match q.steal() {
-                            Steal::Success(t) => return Some(t),
-                            Steal::Retry => continue,
-                            Steal::Empty => break,
-                        }
-                    }
-                }
-                None
+                first.pop().or_else(|| second.pop())
             }
         }
     }
@@ -203,7 +238,9 @@ impl ReadyQueues {
             SchedulerPolicy::Fifo => self.fifo.lock().is_empty(),
             SchedulerPolicy::Lifo => self.lifo.lock().is_empty(),
             SchedulerPolicy::Priority => self.heap.lock().is_empty(),
-            SchedulerPolicy::WorkStealing => self.injector.is_empty(),
+            SchedulerPolicy::WorkStealing => {
+                self.injector.is_empty() && self.overflow_len.load(Ordering::Acquire) == 0
+            }
             SchedulerPolicy::CriticalityAware { .. } => {
                 self.injector.is_empty() && self.critical.is_empty()
             }
@@ -218,6 +255,7 @@ mod tests {
     fn rt(id: u32, priority: i32, critical: bool) -> ReadyTask {
         ReadyTask {
             id: TaskId(id),
+            slot: 0,
             priority,
             critical,
             seq: 0,
@@ -260,7 +298,7 @@ mod tests {
     #[test]
     fn work_stealing_prefers_local_then_injector() {
         let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
-        let local = Deque::new_lifo();
+        let local = WorkerDeque::new(WORKER_DEQUE_CAP);
         let stealers = [local.stealer()];
         q.push(rt(0, 0, false), None); // goes to injector
         q.push(rt(1, 0, false), Some(&local)); // local
@@ -273,14 +311,32 @@ mod tests {
     #[test]
     fn work_stealing_steals_from_sibling() {
         let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
-        let w0 = Deque::new_lifo();
-        let w1 = Deque::new_lifo();
+        let w0 = WorkerDeque::new(WORKER_DEQUE_CAP);
+        let w1 = WorkerDeque::new(WORKER_DEQUE_CAP);
         let stealers = [w0.stealer(), w1.stealer()];
         q.push(rt(7, 0, false), Some(&w1));
         // Worker 0 has nothing local and the injector is empty: it must
         // steal worker 1's task.
         let got = q.pop(0, Some(&w0), &stealers).unwrap();
         assert_eq!(got.id.0, 7);
+    }
+
+    #[test]
+    fn work_stealing_prioritised_tasks_served_on_steal_miss() {
+        let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
+        let local = WorkerDeque::new(WORKER_DEQUE_CAP);
+        let stealers = [local.stealer()];
+        q.push(rt(0, 2, false), Some(&local)); // prioritised: overflow heap
+        q.push(rt(1, 5, false), Some(&local));
+        q.push(rt(2, 0, false), Some(&local)); // plain: local deque
+        assert_eq!(q.overflow_len.load(Ordering::Relaxed), 2);
+        // Plain local work first; on steal-miss the heap serves by
+        // priority.
+        let ids: Vec<u32> = (0..3)
+            .map(|_| q.pop(0, Some(&local), &stealers).unwrap().id.0)
+            .collect();
+        assert_eq!(ids, vec![2, 1, 0]);
+        assert!(q.looks_empty());
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! Task identity and metadata.
+//! Task identity, metadata, and the in-flight task slab.
 
 use std::fmt;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::region::Access;
+use parking_lot::Mutex;
+
+use crate::region::{Access, Region};
 
 /// Dense task identifier, assigned in spawn order.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u32);
 
 impl TaskId {
@@ -125,6 +128,245 @@ impl fmt::Debug for ExecBody {
     }
 }
 
+// ------------------------------------------------------------ task slab
+//
+// In-flight task bookkeeping lives in a paged slab instead of a global
+// `Mutex<HashMap>`: spawn allocates a slot (usually a lock-free pop off a
+// sharded free list), completion frees it for reuse, and all cross-task
+// traffic goes through per-slot state — two concurrent spawns or
+// completions on unrelated tasks never touch the same lock. Reused slots
+// keep their `Vec`/`String` capacities, killing per-spawn heap churn.
+
+/// Slots per page (a page is allocated lazily, never freed until drop).
+const PAGE_SIZE: usize = 1 << 12;
+/// First-level page table size: `MAX_PAGES * PAGE_SIZE` concurrently
+/// *live* tasks (slots are reused, so total task count is unbounded).
+const MAX_PAGES: usize = 1 << 12;
+const FREE_SHARDS: usize = 8;
+
+/// A stable reference to a task occupying slab slot `slot` at generation
+/// `gen`. The generation disambiguates reuse: if `slot`'s generation no
+/// longer matches, the referenced task has completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskRef {
+    pub tid: TaskId,
+    pub slot: u32,
+    pub gen: u64,
+}
+
+/// Mutable per-task state, guarded by the slot's own mutex.
+#[derive(Default)]
+pub struct SlotState {
+    pub tid: TaskId,
+    pub cost: u64,
+    pub priority: i32,
+    pub critical: bool,
+    pub idempotent: bool,
+    pub exempt: bool,
+    pub completed: bool,
+    /// Execution attempts that have failed so far.
+    pub attempts: u32,
+    pub label: String,
+    pub body: Option<ExecBody>,
+    /// Slot indices of successors to release on completion.
+    pub succs: Vec<u32>,
+    /// `(slot, gen)` of predecessors (for the bounded criticality walk).
+    pub preds: Vec<(u32, u64)>,
+    /// Declared regions, split by direction (poison bookkeeping).
+    pub reads: Vec<Region>,
+    pub writes: Vec<Region>,
+    /// Set when an upstream failure poisoned a region this task reads.
+    pub poisoned_by: Option<(TaskId, String)>,
+}
+
+impl SlotState {
+    /// Reset for reuse, keeping allocations.
+    fn clear(&mut self) {
+        self.tid = TaskId(0);
+        self.cost = 0;
+        self.priority = 0;
+        self.critical = false;
+        self.idempotent = false;
+        self.exempt = false;
+        self.completed = false;
+        self.attempts = 0;
+        self.label.clear();
+        self.body = None;
+        self.succs.clear();
+        self.preds.clear();
+        self.reads.clear();
+        self.writes.clear();
+        self.poisoned_by = None;
+    }
+}
+
+/// One slab slot. `gen` is even while free, odd while live; it advances
+/// on every alloc and free, so a stale `(slot, gen)` pair can always be
+/// detected. `pending` and `bl` sit outside the mutex: they are hammered
+/// by predecessors completing and descendants relaxing bottom levels.
+pub struct TaskSlot {
+    pub gen: AtomicU64,
+    /// Unfinished predecessors + 1 submission guard (held by the
+    /// spawning thread until wiring is complete).
+    pub pending: AtomicU32,
+    /// Estimated bottom level (criticality).
+    pub bl: AtomicU64,
+    pub state: Mutex<SlotState>,
+}
+
+impl TaskSlot {
+    fn new() -> Self {
+        TaskSlot {
+            gen: AtomicU64::new(0),
+            pending: AtomicU32::new(0),
+            bl: AtomicU64::new(0),
+            state: Mutex::new(SlotState::default()),
+        }
+    }
+}
+
+struct SlabPage {
+    slots: Vec<TaskSlot>,
+}
+
+/// Paged, generation-counted task slab with sharded free lists.
+pub struct TaskSlab {
+    pages: Box<[AtomicPtr<SlabPage>]>,
+    free: [Mutex<Vec<u32>>; FREE_SHARDS],
+    /// Slots handed out at least once (scan bound for [`TaskSlab::for_each_live`]).
+    high_water: AtomicU32,
+}
+
+impl Default for TaskSlab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskSlab {
+    pub fn new() -> Self {
+        TaskSlab {
+            pages: (0..MAX_PAGES)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            high_water: AtomicU32::new(0),
+        }
+    }
+
+    fn page(&self, p: usize) -> &SlabPage {
+        assert!(p < MAX_PAGES, "task slab exhausted");
+        let ptr = self.pages[p].load(Ordering::Acquire);
+        if !ptr.is_null() {
+            return unsafe { &*ptr };
+        }
+        let fresh = Box::into_raw(Box::new(SlabPage {
+            slots: (0..PAGE_SIZE).map(|_| TaskSlot::new()).collect(),
+        }));
+        match self.pages[p].compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => unsafe { &*fresh },
+            Err(existing) => {
+                unsafe { drop(Box::from_raw(fresh)) };
+                unsafe { &*existing }
+            }
+        }
+    }
+
+    /// The slot at `idx` (its page must have been allocated, i.e. `idx`
+    /// came from [`TaskSlab::alloc`]).
+    pub fn slot(&self, idx: u32) -> &TaskSlot {
+        let ptr = self.pages[idx as usize / PAGE_SIZE].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null());
+        let page = unsafe { &*ptr };
+        &page.slots[idx as usize % PAGE_SIZE]
+    }
+
+    fn shard_hint() -> usize {
+        crate::pool::current_worker().unwrap_or(FREE_SHARDS - 1) % FREE_SHARDS
+    }
+
+    /// Allocate a live slot: `(index, live generation)`. The slot's state
+    /// is cleared; `pending` starts at 1 (the submission guard).
+    pub fn alloc(&self) -> (u32, u64) {
+        let start = Self::shard_hint();
+        for i in 0..FREE_SHARDS {
+            let mut list = self.free[(start + i) % FREE_SHARDS].lock();
+            if let Some(idx) = list.pop() {
+                drop(list);
+                let slot = self.slot(idx);
+                slot.pending.store(1, Ordering::Relaxed);
+                let gen = slot.gen.fetch_add(1, Ordering::AcqRel) + 1;
+                debug_assert!(gen % 2 == 1, "alloc must take a free slot");
+                return (idx, gen);
+            }
+        }
+        let idx = self.high_water.fetch_add(1, Ordering::Relaxed);
+        let slot = self.page(idx as usize / PAGE_SIZE).slot_at(idx);
+        slot.pending.store(1, Ordering::Relaxed);
+        let gen = slot.gen.fetch_add(1, Ordering::AcqRel) + 1;
+        (idx, gen)
+    }
+
+    /// Free a completed task's slot for reuse. The caller must be the
+    /// sole settler of the task.
+    ///
+    /// The generation goes stale *before* the state is cleared: anyone
+    /// still holding a `(slot, gen)` pair either sees the bumped
+    /// generation (and backs off) or locked the state before the clear —
+    /// in which case `completed` is still set and tells them the same
+    /// thing. Clearing first would open a window where the old
+    /// generation still matches a blank state.
+    pub fn free(&self, idx: u32) {
+        let slot = self.slot(idx);
+        let gen = slot.gen.fetch_add(1, Ordering::AcqRel) + 1;
+        debug_assert!(gen.is_multiple_of(2), "free must release a live slot");
+        slot.state.lock().clear();
+        slot.bl.store(0, Ordering::Relaxed);
+        self.free[Self::shard_hint()].lock().push(idx);
+    }
+
+    /// Visit every currently-live slot (rare path: poison marking).
+    /// Mid-spawn slots may be visited with partially filled state; the
+    /// spawn protocol re-checks the poison list after filling, so a miss
+    /// here is never a miss overall.
+    pub fn for_each_live(&self, mut f: impl FnMut(u32, &TaskSlot)) {
+        let high = self.high_water.load(Ordering::Acquire);
+        for idx in 0..high {
+            let ptr = self.pages[idx as usize / PAGE_SIZE].load(Ordering::Acquire);
+            if ptr.is_null() {
+                continue;
+            }
+            let page = unsafe { &*ptr };
+            let slot = &page.slots[idx as usize % PAGE_SIZE];
+            if slot.gen.load(Ordering::Acquire) % 2 == 1 {
+                f(idx, slot);
+            }
+        }
+    }
+}
+
+impl SlabPage {
+    fn slot_at(&self, idx: u32) -> &TaskSlot {
+        &self.slots[idx as usize % PAGE_SIZE]
+    }
+}
+
+impl Drop for TaskSlab {
+    fn drop(&mut self) {
+        for p in self.pages.iter() {
+            let ptr = p.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                unsafe { drop(Box::from_raw(ptr)) };
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +400,50 @@ mod tests {
     #[test]
     fn task_id_debug_format() {
         assert_eq!(format!("{:?}", TaskId(42)), "t42");
+    }
+
+    #[test]
+    fn slab_allocates_live_slots_and_reuses_freed_ones() {
+        let slab = TaskSlab::new();
+        let (a, ga) = slab.alloc();
+        let (b, gb) = slab.alloc();
+        assert_ne!(a, b);
+        assert!(ga % 2 == 1 && gb % 2 == 1, "live generations are odd");
+        assert_eq!(slab.slot(a).pending.load(Ordering::Relaxed), 1);
+        slab.free(a);
+        assert_eq!(slab.slot(a).gen.load(Ordering::Relaxed), ga + 1);
+        let (c, gc) = slab.alloc();
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(gc, ga + 2, "generation advances across reuse");
+    }
+
+    #[test]
+    fn slab_for_each_live_skips_free_slots() {
+        let slab = TaskSlab::new();
+        let (a, _) = slab.alloc();
+        let (b, _) = slab.alloc();
+        let (c, _) = slab.alloc();
+        slab.free(b);
+        let mut live = Vec::new();
+        slab.for_each_live(|idx, _| live.push(idx));
+        live.sort_unstable();
+        assert_eq!(live, vec![a, c]);
+    }
+
+    #[test]
+    fn slab_state_capacities_survive_reuse() {
+        let slab = TaskSlab::new();
+        let (idx, _) = slab.alloc();
+        {
+            let mut s = slab.slot(idx).state.lock();
+            s.label.push_str("some-label");
+            s.succs.extend([1, 2, 3]);
+        }
+        slab.free(idx);
+        let (again, _) = slab.alloc();
+        assert_eq!(again, idx);
+        let s = slab.slot(again).state.lock();
+        assert!(s.label.is_empty() && s.succs.is_empty());
+        assert!(s.succs.capacity() >= 3, "reuse keeps the allocation");
     }
 }

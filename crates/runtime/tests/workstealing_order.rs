@@ -1,0 +1,112 @@
+//! Property test for the lock-free hot path: arbitrary region-dependency
+//! graphs execute in dependency-respecting order under work stealing.
+//!
+//! The oracle is the simple single-threaded [`raa_runtime::deps::DepTracker`]
+//! — fed the same spawn sequence, it yields the ground-truth predecessor
+//! set for every task. The runtime (sharded tracker, per-worker deques,
+//! slab bookkeeping) must then never start a task before each of its
+//! oracle predecessors has completed, no matter how the steals land.
+//! (The deque-level steal/pop race itself is hammered by
+//! `deque::tests::deque_stress_owner_vs_thieves`.)
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use raa_runtime::deps::DepTracker;
+use raa_runtime::region::Access;
+use raa_runtime::{AccessMode, Runtime, RuntimeConfig, SchedulerPolicy, TaskId, TaskObserver};
+
+/// Observer recording a global (kind, task) event sequence:
+/// kind 0 = start, 1 = complete.
+#[derive(Default)]
+struct EventLog {
+    events: Mutex<Vec<(u8, TaskId)>>,
+}
+
+impl TaskObserver for EventLog {
+    fn on_start(&self, _worker: usize, task: TaskId, _critical: bool) {
+        self.events.lock().unwrap().push((0, task));
+    }
+    fn on_complete(&self, _worker: usize, task: TaskId) {
+        self.events.lock().unwrap().push((1, task));
+    }
+}
+
+/// One generated task: accesses over a small pool of data, as
+/// (datum, start, len, mode) tuples.
+type SpecAccess = (usize, u64, u64, u8);
+
+fn mode_of(m: u8) -> AccessMode {
+    match m % 3 {
+        0 => AccessMode::Read,
+        1 => AccessMode::Write,
+        _ => AccessMode::ReadWrite,
+    }
+}
+
+fn task_strategy(data: usize) -> impl Strategy<Value = Vec<SpecAccess>> {
+    prop::collection::vec((0..data, 0u64..96, 1u64..48, 0u8..3), 1..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// For every task and every predecessor the oracle tracker derives
+    /// from the declared regions, the predecessor's complete event
+    /// precedes the task's start event in the observed global order.
+    #[test]
+    fn workstealing_respects_arbitrary_region_graphs(
+        specs in prop::collection::vec(task_strategy(3), 2..40),
+        workers in 2usize..5,
+    ) {
+        let log = Arc::new(EventLog::default());
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(workers)
+                .policy(SchedulerPolicy::WorkStealing)
+                .observer(log.clone()),
+        );
+        let handles: Vec<_> = (0..3)
+            .map(|d| rt.register(format!("d{d}"), vec![0u8; 256]))
+            .collect();
+
+        // Oracle: the naive tracker fed the identical spawn sequence.
+        // TaskIds are assigned sequentially from 0, so spawn index == id.
+        let mut oracle = DepTracker::new();
+        let mut expected: Vec<Vec<TaskId>> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let accesses: Vec<Access> = spec
+                .iter()
+                .map(|&(d, start, len, m)| Access {
+                    region: handles[d].sub(start, start + len),
+                    mode: mode_of(m),
+                })
+                .collect();
+            expected.push(oracle.submit(TaskId(i as u32), &accesses));
+
+            let mut b = rt.task(format!("t{i}"));
+            for a in &accesses {
+                b = b.region(a.region, a.mode);
+            }
+            let tid = b.body(|| {}).spawn();
+            prop_assert_eq!(tid, TaskId(i as u32));
+        }
+        rt.taskwait();
+
+        let events = log.events.lock().unwrap();
+        prop_assert_eq!(events.len(), 2 * specs.len());
+        let pos = |kind: u8, t: TaskId| {
+            events.iter().position(|&(k, id)| k == kind && id == t)
+        };
+        for (i, preds) in expected.iter().enumerate() {
+            let t = TaskId(i as u32);
+            let started = pos(0, t).expect("every task starts exactly once");
+            for &p in preds {
+                let completed = pos(1, p).expect("predecessors complete");
+                prop_assert!(
+                    completed < started,
+                    "task {t:?} started at {started} before predecessor {p:?} \
+                     completed at {completed}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Run the runtime throughput benchmark and update BENCH_runtime.json.
+#
+# Usage:
+#   devtools/bench-json.sh [series-name]   # run bench, write/update JSON
+#   devtools/bench-json.sh --check         # smoke-run + regression guard
+#
+# The JSON file maps series name -> { "<workload>@<workers>": tasks_per_sec }.
+# A series records one configuration of the runtime (e.g. the global-queue
+# baseline vs the lock-free hot path), so before/after comparisons stay in
+# one committed artifact.
+#
+# --check re-measures empty@8 with a reduced task count and fails if it
+# dropped more than the tolerance below the committed reference series —
+# the CI throughput regression guard. Tune with:
+#   RAA_BENCH_REF_SERIES  (default: after_lock_free)
+#   RAA_BENCH_TOLERANCE   (fractional drop allowed, default: 0.20)
+#   RAA_BENCH_CHECK_TASKS (task count for the smoke run, default: 20000)
+set -euo pipefail
+root="$(cd "$(dirname "$0")/.." && pwd)"
+json="${root}/BENCH_runtime.json"
+cargo_cmd=(cargo)
+# CI and the dev container have no network: route builds through the
+# offline stub registry when it exists.
+if [ -d "${root}/devtools/offline-stubs/vendor" ]; then
+    cargo_cmd=("${root}/devtools/offline-test.sh")
+fi
+
+run_bench() {
+    "${cargo_cmd[@]}" run --release -q -p raa-bench --bin runtime_throughput
+}
+
+if [ "${1:-}" = "--check" ]; then
+    ref_series="${RAA_BENCH_REF_SERIES:-after_lock_free}"
+    tolerance="${RAA_BENCH_TOLERANCE:-0.20}"
+    [ -f "$json" ] || { echo "bench-json: no ${json} to check against" >&2; exit 1; }
+    ref=$(python3 -c "
+import json, sys
+data = json.load(open('${json}'))
+series = data.get('${ref_series}', {})
+v = series.get('empty@8')
+if v is None:
+    sys.exit('bench-json: ${ref_series} has no empty@8 entry')
+print(v)
+")
+    out=$(RAA_BENCH_TASKS="${RAA_BENCH_CHECK_TASKS:-20000}" \
+          RAA_BENCH_WORKERS=8 RAA_BENCH_REPS=3 \
+          RAA_BENCH_WORKLOADS=empty run_bench)
+    echo "$out"
+    got=$(echo "$out" | awk '/^RESULT empty@8 /{print $3}')
+    [ -n "$got" ] || { echo "bench-json: bench produced no RESULT empty@8 line" >&2; exit 1; }
+    python3 -c "
+ref, got, tol = float('${ref}'), float('${got}'), float('${tolerance}')
+floor = ref * (1 - tol)
+verdict = 'OK' if got >= floor else 'REGRESSION'
+print(f'bench-json: empty@8 {got:.0f} tasks/s vs reference {ref:.0f} '
+      f'(floor {floor:.0f}, tolerance {tol:.0%}) -> {verdict}')
+raise SystemExit(0 if got >= floor else 1)
+"
+    exit $?
+fi
+
+series="${1:-after_lock_free}"
+out=$(run_bench)
+echo "$out"
+echo "$out" | python3 -c "
+import json, os, sys
+path = '${json}'
+data = json.load(open(path)) if os.path.exists(path) else {}
+series = {}
+for line in sys.stdin:
+    parts = line.split()
+    if len(parts) == 3 and parts[0] == 'RESULT':
+        series[parts[1]] = float(parts[2])
+if not series:
+    sys.exit('bench-json: bench produced no RESULT lines')
+data['${series}'] = series
+with open(path, 'w') as f:
+    json.dump(data, f, indent=2, sort_keys=True)
+    f.write('\n')
+print(f'bench-json: wrote {len(series)} entries to series {\"${series}\"!r} in {path}')
+"
