@@ -25,6 +25,11 @@
 //! Usage: `cargo run --release -p raa-bench --bin fig4x_fault_campaign`
 //! Env: `RAA_SCALE` (`test`|`small`|`standard`), `RAA_FAULT_SEED`
 //! (default 42), `RAA_FAULT_TRIALS` (runs per rate, default 3).
+//!
+//! `--trace <path>` runs one *extra* solve under panic injection with
+//! runtime tracing on and writes its Chrome-trace JSON (fault and retry
+//! events included) to `<path>`. The extra run reports on stderr only,
+//! keeping stdout byte-identical with and without the flag.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -114,6 +119,38 @@ fn main() {
         reference.iterations, reference.rel_residual
     );
     eprintln!("[timing] fault-free reference: {base_secs:.3}s");
+
+    // Optional traced solve: everything it prints goes to stderr so the
+    // CI determinism diff of stdout is unaffected.
+    if let Some(path) = raa_bench::arg_value("--trace") {
+        use raa_runtime::{chrome_trace_json, TraceConfig};
+        let plan = FaultPlan::new(seed ^ 0x7ace)
+            .panic_rate(0.05)
+            .max_panics_per_task(2);
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(WORKERS)
+                .retry(retry_policy())
+                .fault_plan(plan)
+                .record_graph(true)
+                .tracing(TraceConfig::with_capacity(1 << 18)),
+        );
+        let res = cg_tasks(&rt, Arc::clone(&a), &b, BLOCKS, TOL, MAX_ITERS);
+        let stats = rt.stats();
+        let trace = rt.drain_trace().expect("tracing configured");
+        let graph = rt.graph();
+        std::fs::write(&path, chrome_trace_json(&trace, graph.as_ref()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(
+            "[trace] wrote {path}: {} events ({} dropped), converged={}, \
+             panics={} retries={} faults-in-trace={}",
+            trace.len(),
+            trace.dropped_total(),
+            res.converged,
+            stats.panicked,
+            stats.retried,
+            trace.count(raa_runtime::TraceEventKind::Fault),
+        );
+    }
 
     // ---------------------------------------------- 1. panic-rate sweep
     println!();

@@ -21,12 +21,24 @@
 //! `RAA_BENCH_WORKLOADS` (comma list filter, default all four).
 //!
 //! Besides the human table, every measurement is printed as a
-//! machine-readable line `RESULT <workload>@<workers> <tasks_per_sec>`;
-//! `devtools/bench-json.sh` collects those into `BENCH_runtime.json`.
+//! machine-readable line `RESULT <workload>@<workers> <tasks_per_sec>`,
+//! followed by `STATS <workload>@<workers> key=value ...` lines with the
+//! scheduler/pool contention counters (steals, injector overflow,
+//! parks/wakes) of the last repetition; `devtools/bench-json.sh`
+//! collects the RESULT lines into `BENCH_runtime.json`.
+//!
+//! `--trace <path>` additionally re-runs the preferred workload (`cg`
+//! when selected, else the first) at the highest worker count with
+//! tracing on (plus TDG recording when the workload has dependency
+//! edges), reports the best-of-reps traced rate, and writes a
+//! Chrome-trace/Perfetto JSON to `<path>`. The traced runs are separate
+//! from (and do not perturb) the measured repetitions.
 
 use std::time::Instant;
 
-use raa_runtime::{AccessMode, Runtime, RuntimeConfig, SchedulerPolicy};
+use raa_runtime::{
+    chrome_trace_json, Runtime, RuntimeConfig, SchedulerPolicy, StatsSnapshot, TraceConfig,
+};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -52,83 +64,87 @@ fn rt(workers: usize) -> Runtime {
     Runtime::new(RuntimeConfig::with_workers(workers).policy(SchedulerPolicy::WorkStealing))
 }
 
-/// Run one workload once and return (tasks actually spawned, seconds).
-fn run_workload(name: &str, workers: usize, target: usize) -> (u64, f64) {
+/// Spawn one workload's task graph on `rt`.
+fn spawn_workload(name: &str, rt: &Runtime, target: usize) {
     match name {
         "empty" => {
-            let rt = rt(workers);
-            let start = Instant::now();
             for _ in 0..target {
                 rt.task("e").body(|| {}).spawn();
             }
-            rt.taskwait();
-            (rt.stats().spawned, start.elapsed().as_secs_f64())
         }
         "fanout" => {
             const FAN: usize = 64;
             let rounds = (target / (FAN + 1)).max(1);
-            let rt = rt(workers);
             let data = rt.register("r", ());
-            let start = Instant::now();
             for _ in 0..rounds {
                 rt.task("p").writes(&data).body(|| {}).spawn();
                 for _ in 0..FAN {
                     rt.task("c").reads(&data).body(|| {}).spawn();
                 }
             }
-            rt.taskwait();
-            (rt.stats().spawned, start.elapsed().as_secs_f64())
         }
         "chain" => {
-            let rt = rt(workers);
             let data = rt.register("x", 0u64);
-            let start = Instant::now();
             for _ in 0..target {
                 rt.task("l").updates(&data).body(|| {}).spawn();
             }
-            rt.taskwait();
-            (rt.stats().spawned, start.elapsed().as_secs_f64())
         }
         "cg" => {
             // Blocked CG TDG shape: spmv per block, dot reduction chain
             // on a scalar, one scale task, axpy per block.
-            const B: u64 = 16;
-            let per_iter = (B + B + 1 + B) as usize;
-            let iters = (target / per_iter).max(1);
-            let rt = rt(workers);
-            let x = rt.register("x", ());
-            let q = rt.register("q", ());
-            let acc = rt.register("acc", ());
-            let start = Instant::now();
-            for _ in 0..iters {
-                for b in 0..B {
-                    rt.task("spmv")
-                        .region(x.sub(b, b + 1), AccessMode::Read)
-                        .region(q.sub(b, b + 1), AccessMode::Write)
-                        .body(|| {})
-                        .spawn();
-                }
-                for b in 0..B {
-                    rt.task("dot")
-                        .region(q.sub(b, b + 1), AccessMode::Read)
-                        .updates(&acc)
-                        .body(|| {})
-                        .spawn();
-                }
-                rt.task("scale").updates(&acc).body(|| {}).spawn();
-                for b in 0..B {
-                    rt.task("axpy")
-                        .reads(&acc)
-                        .region(x.sub(b, b + 1), AccessMode::ReadWrite)
-                        .body(|| {})
-                        .spawn();
-                }
-            }
-            rt.taskwait();
-            (rt.stats().spawned, start.elapsed().as_secs_f64())
+            let iters = (target / raa_bench::CG_TASKS_PER_ITER).max(1);
+            raa_bench::spawn_cg_shape(rt, iters);
         }
         other => panic!("unknown workload {other}"),
     }
+}
+
+/// Run one workload once and return (tasks spawned, seconds, stats).
+fn run_workload(name: &str, workers: usize, target: usize) -> (u64, f64, StatsSnapshot) {
+    let rt = rt(workers);
+    let start = Instant::now();
+    spawn_workload(name, &rt, target);
+    rt.taskwait();
+    let secs = start.elapsed().as_secs_f64();
+    let stats = rt.stats();
+    (stats.spawned, secs, stats)
+}
+
+/// Extra runs with tracing (and, for workloads with dependency edges,
+/// TDG recording) on; reports the best-of-`reps` traced rate — matching
+/// the untraced convention — and writes the last run's Chrome trace to
+/// `path`. `empty` has no edges, so recording its (flow-less) graph
+/// would only tax the traced side of the overhead comparison.
+fn traced_run(name: &str, workers: usize, target: usize, reps: usize, path: &str) {
+    let mut best = 0.0f64;
+    let mut last = None;
+    for _ in 0..reps {
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(workers)
+                .policy(SchedulerPolicy::WorkStealing)
+                .record_graph(name != "empty")
+                .tracing(TraceConfig::with_capacity(env_usize(
+                    "RAA_TRACE_CAP",
+                    raa_bench::trace_capacity_for(target),
+                ))),
+        );
+        let start = Instant::now();
+        spawn_workload(name, &rt, target);
+        rt.taskwait();
+        let secs = start.elapsed().as_secs_f64();
+        let trace = rt.drain_trace().expect("tracing configured");
+        best = best.max(rt.stats().spawned as f64 / secs);
+        last = Some((trace, rt.graph()));
+    }
+    let (trace, graph) = last.expect("reps >= 1");
+    let json = chrome_trace_json(&trace, graph.as_ref());
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "TRACE {name}@{workers} {path}: {} events ({} dropped), {:.0} tasks/s traced",
+        trace.len(),
+        trace.dropped_total(),
+        best,
+    );
 }
 
 fn main() {
@@ -162,21 +178,40 @@ fn main() {
     raa_bench::rule(10 + 14 * workers.len());
 
     let mut results: Vec<(String, f64)> = Vec::new();
-    for wl in workloads {
+    let mut counters: Vec<(String, StatsSnapshot)> = Vec::new();
+    for wl in &workloads {
         let mut cells = vec![wl.to_string()];
         for &w in &workers {
             let mut best = 0.0f64;
+            let mut last_stats = None;
             for _ in 0..reps {
-                let (tasks, secs) = run_workload(wl, w, target);
+                let (tasks, secs, stats) = run_workload(wl, w, target);
                 best = best.max(tasks as f64 / secs);
+                last_stats = Some(stats);
             }
             cells.push(format!("{:.0}/s", best));
             results.push((format!("{wl}@{w}"), best));
+            counters.push((format!("{wl}@{w}"), last_stats.expect("reps >= 1")));
         }
         println!("{}", raa_bench::row(&cells, &widths));
     }
     raa_bench::rule(10 + 14 * workers.len());
     for (key, v) in &results {
         println!("RESULT {key} {v:.1}");
+    }
+    for (key, s) in &counters {
+        println!(
+            "STATS {key} steals_ok={} steals_empty={} injector_overflow={} parks={} wakes={}",
+            s.steals_ok, s.steals_empty, s.injector_overflow, s.parks, s.wakes
+        );
+    }
+
+    if let Some(path) = raa_bench::arg_value("--trace") {
+        let wl = workloads
+            .iter()
+            .find(|w| **w == "cg")
+            .unwrap_or(&workloads[0]);
+        let w = workers.iter().copied().max().expect("workers is non-empty");
+        traced_run(wl, w, target, reps, &path);
     }
 }

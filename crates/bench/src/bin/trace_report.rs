@@ -1,0 +1,114 @@
+//! Trace-driven runtime introspection report.
+//!
+//! Runs the blocked-CG-shaped task graph (the same shape as
+//! `runtime_throughput`'s `cg` workload) once untraced and once with
+//! tracing + TDG recording, then prints:
+//!
+//! * the tracing overhead (traced vs untraced tasks/sec),
+//! * the aggregated [`MetricsReport`] (steal hit-rate, park ratio,
+//!   injector overflow, per-queue residency, retry histogram),
+//! * a per-worker event/slice summary, and
+//! * the measured critical path replayed against the recorded TDG,
+//!   compared with the bottom-level estimator's online predictions.
+//!
+//! Env: `RAA_BENCH_TASKS` (target tasks, default 20000),
+//! `RAA_TRACE_WORKERS` (default 4). `--trace <path>` additionally writes
+//! the Chrome-trace JSON.
+
+use std::time::Instant;
+
+use raa_runtime::{
+    chrome_trace_json, critical_path_attribution, MetricsReport, Runtime, RuntimeConfig,
+    SchedulerPolicy, TraceConfig, TraceEventKind,
+};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let target = env_usize("RAA_BENCH_TASKS", 20_000);
+    let workers = env_usize("RAA_TRACE_WORKERS", 4).max(1);
+    let iters = (target / raa_bench::CG_TASKS_PER_ITER).max(1);
+
+    println!(
+        "trace_report — blocked-CG shape, {} tasks ({iters} iterations), {workers} workers",
+        iters * raa_bench::CG_TASKS_PER_ITER
+    );
+    raa_bench::rule(72);
+
+    // Untraced reference for the overhead figure.
+    let rt =
+        Runtime::new(RuntimeConfig::with_workers(workers).policy(SchedulerPolicy::WorkStealing));
+    let t0 = Instant::now();
+    raa_bench::spawn_cg_shape(&rt, iters);
+    rt.taskwait();
+    let untraced = rt.stats().spawned as f64 / t0.elapsed().as_secs_f64();
+    drop(rt);
+
+    // Traced + recorded run: the subject of the report.
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(workers)
+            .policy(SchedulerPolicy::WorkStealing)
+            .record_graph(true)
+            .tracing(TraceConfig::with_capacity(raa_bench::trace_capacity_for(
+                target,
+            ))),
+    );
+    let t0 = Instant::now();
+    raa_bench::spawn_cg_shape(&rt, iters);
+    rt.taskwait();
+    let traced = rt.stats().spawned as f64 / t0.elapsed().as_secs_f64();
+    let stats = rt.stats();
+    let trace = rt.drain_trace().expect("tracing configured");
+    let graph = rt.graph().expect("recording configured");
+
+    println!(
+        "throughput: untraced {untraced:.0} tasks/s, traced {traced:.0} tasks/s \
+         (overhead {})",
+        raa_bench::fmt_pct(untraced / traced - 1.0)
+    );
+    println!();
+    println!("{}", MetricsReport::build(&trace, &stats));
+
+    println!("per-worker activity:");
+    for (t, track) in trace.tracks.iter().enumerate() {
+        let name = if t == trace.workers {
+            "external".to_string()
+        } else {
+            format!("worker-{t}")
+        };
+        let slices = track
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Complete)
+            .count();
+        let steals = track
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::StealOk)
+            .count();
+        println!(
+            "  {name:<9} {:>8} events, {slices:>7} tasks run, {steals:>6} steals",
+            track.len()
+        );
+    }
+    println!();
+
+    match critical_path_attribution(&trace, &graph) {
+        Some(report) => print!("{report}"),
+        None => println!("no timed tasks in the trace — critical path unavailable"),
+    }
+
+    if let Some(path) = raa_bench::arg_value("--trace") {
+        let json = chrome_trace_json(&trace, Some(&graph));
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!();
+        println!(
+            "wrote Chrome trace to {path} ({} events, {} dropped)",
+            trace.len(),
+            trace.dropped_total()
+        );
+    }
+}

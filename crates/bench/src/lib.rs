@@ -6,7 +6,69 @@
 //! `RAA_SCALE` environment variable (`test`, `small`, `standard`;
 //! default `standard` — the Fig. 1 configuration).
 
+use raa_runtime::{AccessMode, Runtime};
 use raa_workloads::Scale;
+
+/// Tasks per iteration of [`spawn_cg_shape`]: spmv + dot per block, one
+/// scale, axpy per block, with 16 blocks.
+pub const CG_TASKS_PER_ITER: usize = 49;
+
+/// Spawn `iters` iterations of the blocked-CG-shaped task graph (the TDG
+/// shape of `raa-solver`'s task CG, with empty bodies): per iteration,
+/// per-block spmv (`R x[b]`, `W q[b]`), a dot-product reduction
+/// serialised on a scalar, one scale step, and per-block axpy. Shared by
+/// `runtime_throughput` (the `cg` workload) and `trace_report` so both
+/// measure the same shape. Returns the number of tasks spawned.
+pub fn spawn_cg_shape(rt: &Runtime, iters: usize) -> u64 {
+    const B: u64 = 16;
+    let x = rt.register("x", ());
+    let q = rt.register("q", ());
+    let acc = rt.register("acc", ());
+    for _ in 0..iters {
+        for b in 0..B {
+            rt.task("spmv")
+                .region(x.sub(b, b + 1), AccessMode::Read)
+                .region(q.sub(b, b + 1), AccessMode::Write)
+                .body(|| {})
+                .spawn();
+        }
+        for b in 0..B {
+            rt.task("dot")
+                .region(q.sub(b, b + 1), AccessMode::Read)
+                .updates(&acc)
+                .body(|| {})
+                .spawn();
+        }
+        rt.task("scale").updates(&acc).body(|| {}).spawn();
+        for b in 0..B {
+            rt.task("axpy")
+                .reads(&acc)
+                .region(x.sub(b, b + 1), AccessMode::ReadWrite)
+                .body(|| {})
+                .spawn();
+        }
+    }
+    (iters * CG_TASKS_PER_ITER) as u64
+}
+
+/// Ring capacity for a one-shot traced run of roughly `tasks` tasks:
+/// enough for the few events each task generates on every ring, power of
+/// two, capped so the rings stay tens of megabytes. Overflow is counted,
+/// not fatal.
+pub fn trace_capacity_for(tasks: usize) -> usize {
+    (tasks * 2).next_power_of_two().clamp(1 << 14, 1 << 19)
+}
+
+/// Value following `--<flag>` in this process's argv.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
 
 /// Problem scale from the environment.
 pub fn scale_from_env() -> Scale {

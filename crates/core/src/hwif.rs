@@ -95,6 +95,9 @@ pub struct RsuDriver {
     /// released its core so a retried attempt re-negotiates from a
     /// clean RSU state instead of leaking the budget share.
     pub fault_events: AtomicU64,
+    /// Tasks skipped due to upstream poison; they never started, so no
+    /// grant was issued and none must be released.
+    pub skipped_events: AtomicU64,
 }
 
 impl RsuDriver {
@@ -109,6 +112,7 @@ impl RsuDriver {
             low_grants: AtomicU64::new(0),
             other_grants: AtomicU64::new(0),
             fault_events: AtomicU64::new(0),
+            skipped_events: AtomicU64::new(0),
         })
     }
 
@@ -152,6 +156,14 @@ impl TaskObserver for RsuDriver {
         // and the RSU budget would slowly starve the healthy workers.
         self.fault_events.fetch_add(1, Ordering::Relaxed);
         self.hw.task_done(worker);
+    }
+
+    fn on_skipped(&self, _worker: usize, _task: TaskId) {
+        // A skipped task never reached `on_start`, so there is no grant
+        // to release — counting it is all there is to do. Calling
+        // `task_done` here would double-release whichever task the
+        // worker ran previously.
+        self.skipped_events.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -456,6 +468,31 @@ mod tests {
         assert!(
             (driver.hardware().power_headroom() - full).abs() < 1e-9,
             "the panicked attempt must release its core's grant"
+        );
+    }
+
+    #[test]
+    fn skipped_task_leaks_no_grant() {
+        use raa_runtime::{Runtime, RuntimeConfig};
+        let driver = RsuDriver::new(4);
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).observer(driver.clone()));
+        let full = driver.hardware().power_headroom();
+        let data = rt.register("v", vec![0.0f64; 8]);
+        rt.poison_region(data.region(), "test DUE");
+        let d = data.clone();
+        rt.task("consume")
+            .reads(&data)
+            .body(move || {
+                let _ = d.read();
+            })
+            .spawn();
+        let report = rt.try_taskwait().unwrap_err();
+        assert_eq!(report.len(), 1);
+        assert_eq!(driver.skipped_events.load(Ordering::Relaxed), 1);
+        assert_eq!(driver.grants(), 0, "the body never ran, no grant issued");
+        assert!(
+            (driver.hardware().power_headroom() - full).abs() < 1e-9,
+            "a skip must not release (or hold) any core's grant"
         );
     }
 

@@ -8,6 +8,7 @@
 //! body; [`apply_measured_costs`] rewrites a recorded graph's costs from
 //! the measurements.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -27,6 +28,7 @@ struct Sample {
 pub struct TimingRecorder {
     epoch: Instant,
     samples: Mutex<Vec<Sample>>,
+    skipped: AtomicU64,
 }
 
 impl TimingRecorder {
@@ -34,6 +36,7 @@ impl TimingRecorder {
         Arc::new(TimingRecorder {
             epoch: Instant::now(),
             samples: Mutex::new(Vec::new()),
+            skipped: AtomicU64::new(0),
         })
     }
 
@@ -43,6 +46,13 @@ impl TimingRecorder {
             samples.resize(idx + 1, Sample::default());
         }
         &mut samples[idx]
+    }
+
+    /// Tasks that never ran (skipped due to upstream poison) — they
+    /// contribute no sample, so a measured-cost rewrite leaves their
+    /// hints untouched.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
     }
 
     /// Number of tasks with complete measurements.
@@ -84,6 +94,10 @@ impl TaskObserver for TimingRecorder {
         let t = self.epoch.elapsed();
         let mut samples = self.samples.lock();
         Self::slot(&mut samples, task).finished = Some(t);
+    }
+
+    fn on_skipped(&self, _worker: usize, _task: TaskId) {
+        self.skipped.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -158,6 +172,28 @@ mod tests {
         assert!(g
             .nodes()
             .all(|n| rec.worker_of(n.id).is_some_and(|w| w < 2)));
+    }
+
+    #[test]
+    fn skipped_tasks_are_counted_not_measured() {
+        let rec = TimingRecorder::new();
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).observer(rec.clone()));
+        let data = rt.register("v", vec![0u64; 8]);
+        rt.poison_region(data.region(), "test DUE");
+        let d = data.clone();
+        rt.task("consume")
+            .reads(&data)
+            .body(move || {
+                let _ = d.read();
+            })
+            .spawn();
+        assert!(rt.try_taskwait().is_err());
+        assert_eq!(rec.skipped(), 1);
+        assert_eq!(
+            rec.measured(),
+            0,
+            "a skipped body produces no timing sample"
+        );
     }
 
     #[test]

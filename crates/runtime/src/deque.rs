@@ -25,7 +25,7 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -326,6 +326,9 @@ pub struct Injector<T> {
     ring: MpmcQueue<T>,
     overflow: Mutex<std::collections::VecDeque<T>>,
     overflow_len: AtomicUsize,
+    /// Pushes that landed on the overflow list (ring full, or following
+    /// earlier overflow to preserve FIFO). Monotonic.
+    overflow_events: AtomicU64,
 }
 
 impl<T> Injector<T> {
@@ -334,6 +337,7 @@ impl<T> Injector<T> {
             ring: MpmcQueue::new(ring_capacity),
             overflow: Mutex::new(std::collections::VecDeque::new()),
             overflow_len: AtomicUsize::new(0),
+            overflow_events: AtomicU64::new(0),
         }
     }
 
@@ -347,6 +351,7 @@ impl<T> Injector<T> {
                     let mut q = self.overflow.lock();
                     q.push_back(v);
                     self.overflow_len.store(q.len(), Ordering::Release);
+                    self.overflow_events.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
             }
@@ -354,6 +359,13 @@ impl<T> Injector<T> {
         let mut q = self.overflow.lock();
         q.push_back(value);
         self.overflow_len.store(q.len(), Ordering::Release);
+        self.overflow_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total pushes that missed the lock-free ring and took the overflow
+    /// lock instead — the "ring was sized too small" signal.
+    pub fn overflow_events(&self) -> u64 {
+        self.overflow_events.load(Ordering::Relaxed)
     }
 
     pub fn pop(&self) -> Option<T> {
@@ -565,11 +577,13 @@ mod tests {
     #[test]
     fn injector_overflows_and_keeps_fifo() {
         let inj: Injector<u32> = Injector::new(4);
+        assert_eq!(inj.overflow_events(), 0);
         for i in 0..10 {
             inj.push(i);
         }
         let got: Vec<u32> = std::iter::from_fn(|| inj.pop()).collect();
         assert_eq!(got, (0..10).collect::<Vec<_>>(), "FIFO across the spill");
         assert!(inj.is_empty());
+        assert_eq!(inj.overflow_events(), 6, "10 pushes into a 4-ring spill 6");
     }
 }

@@ -60,6 +60,7 @@ pub mod blocked;
 pub mod criticality;
 pub mod deps;
 pub mod deque;
+pub mod export;
 pub mod fault;
 pub mod graph;
 pub mod pool;
@@ -69,8 +70,10 @@ pub mod scheduler;
 pub mod simsched;
 pub mod stats;
 pub mod task;
+pub mod trace;
 
 pub use blocked::Blocks;
+pub use export::{chrome_trace_json, critical_path_attribution, CriticalPathReport, MetricsReport};
 pub use fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
@@ -81,3 +84,4 @@ pub use scheduler::SchedulerPolicy;
 pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};
 pub use stats::StatsSnapshot;
 pub use task::{Criticality, ExecBody, TaskId, TaskMeta};
+pub use trace::{Trace, TraceConfig, TraceEvent, TraceEventKind, TraceSession, Tracer};

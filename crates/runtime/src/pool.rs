@@ -37,6 +37,7 @@ use crate::deque::{DequeStealer, WorkerDeque};
 use crate::fault::{FaultPlan, WatchdogConfig};
 use crate::scheduler::{ReadyQueues, ReadyTask, WORKER_DEQUE_CAP};
 use crate::task::{ExecBody, TaskId};
+use crate::trace::{TraceEventKind, Tracer, NO_TASK};
 
 thread_local! {
     static CURRENT_WORKER: std::cell::Cell<Option<usize>> =
@@ -99,6 +100,9 @@ pub struct PoolOptions {
     /// layer, in the runtime's body instrumentation).
     pub plan: Option<Arc<FaultPlan>>,
     pub watchdog: WatchdogConfig,
+    /// When set, worker threads bind to their SPSC trace ring at entry
+    /// and record park/unpark events.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 struct PoolShared {
@@ -125,6 +129,12 @@ struct PoolShared {
     deaths: AtomicU64,
     respawns: AtomicU64,
     stalls: AtomicU64,
+    /// Times a worker went to sleep on `idle_cv`.
+    parks: AtomicU64,
+    /// Condvar notifies actually issued (wakes skipped by the Dekker
+    /// zero-idle fast path are not counted — nothing was woken).
+    wakes: AtomicU64,
+    tracer: Option<Arc<Tracer>>,
     plan: Option<Arc<FaultPlan>>,
     watchdog: WatchdogConfig,
     /// Sender into the retry-timer thread; taken (disconnecting the
@@ -142,6 +152,7 @@ impl PoolShared {
         if self.idle_count.load(Ordering::Relaxed) == 0 {
             return;
         }
+        self.wakes.fetch_add(1, Ordering::Relaxed);
         let _g = self.idle_lock.lock();
         self.idle_cv.notify_one();
     }
@@ -151,6 +162,7 @@ impl PoolShared {
         if self.idle_count.load(Ordering::Relaxed) == 0 {
             return;
         }
+        self.wakes.fetch_add(1, Ordering::Relaxed);
         let _g = self.idle_lock.lock();
         self.idle_cv.notify_all();
     }
@@ -214,6 +226,9 @@ impl WorkerPool {
             deaths: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            tracer: options.tracer,
             plan: options.plan,
             watchdog: options.watchdog,
             retry_tx: Mutex::new(Some(retry_tx)),
@@ -272,6 +287,15 @@ impl WorkerPool {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// `(parks, wakes)` — idle-protocol counters, merged into
+    /// [`crate::stats::StatsSnapshot`] by `Runtime::stats`.
+    pub fn park_stats(&self) -> (u64, u64) {
+        (
+            self.shared.parks.load(Ordering::Relaxed),
+            self.shared.wakes.load(Ordering::Relaxed),
+        )
     }
 
     /// Worker death / respawn / stall counters.
@@ -340,6 +364,12 @@ fn worker_loop(
     client: Arc<dyn PoolClient>,
 ) {
     CURRENT_WORKER.with(|c| c.set(Some(who)));
+    if let Some(t) = &shared.tracer {
+        // Claim worker `who`'s SPSC trace ring. A watchdog respawn
+        // re-binds the same ring — safe, because the previous producer
+        // thread is dead by the time the replacement runs.
+        t.bind_worker(who);
+    }
     // Bounded spin before parking: a handful of re-polls (with scheduler
     // yields so a 1-core host lets the producer run) catches work that is
     // microseconds away without paying the park/unpark round-trip.
@@ -385,8 +415,15 @@ fn worker_loop(
             }
             continue;
         }
+        shared.parks.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &shared.tracer {
+            t.emit(TraceEventKind::Park, NO_TASK, 0, 0, 0);
+        }
         shared.idle_cv.wait(&mut guard);
         shared.idle_count.fetch_sub(1, Ordering::SeqCst);
+        if let Some(t) = &shared.tracer {
+            t.emit(TraceEventKind::Unpark, NO_TASK, 0, 0, 0);
+        }
     }
 }
 
@@ -645,6 +682,7 @@ mod tests {
         ReadyTask {
             id: TaskId(id),
             slot: 0,
+            gen: 0,
             priority: 0,
             critical: false,
             seq: 0,
@@ -699,6 +737,7 @@ mod tests {
         let options = PoolOptions {
             plan: Some(Arc::new(plan)),
             watchdog: WatchdogConfig::enabled(),
+            tracer: None,
         };
         let pool = WorkerPool::new(2, queues, client.clone(), options);
         for i in 0..100 {
@@ -722,6 +761,7 @@ mod tests {
         let options = PoolOptions {
             plan: Some(Arc::new(plan)),
             watchdog: WatchdogConfig::enabled().respawn(false),
+            tracer: None,
         };
         let pool = WorkerPool::new(2, queues, client.clone(), options);
         for i in 0..200 {
@@ -757,6 +797,7 @@ mod tests {
                             ReadyTask {
                                 id: task,
                                 slot,
+                                gen: 0,
                                 priority: 0,
                                 critical: false,
                                 seq: 0,
@@ -781,6 +822,7 @@ mod tests {
         pool.push_external(ReadyTask {
             id: TaskId(0),
             slot: 0,
+            gen: 0,
             priority: 0,
             critical: false,
             seq: 0,

@@ -39,6 +39,7 @@ use crate::region::{Access, AccessMode, DataHandle, Region};
 use crate::scheduler::{ReadyQueues, ReadyTask, SchedulerPolicy};
 use crate::stats::{RuntimeStats, StatsSnapshot, RETRY_HIST_BUCKETS};
 use crate::task::{Criticality, ExecBody, TaskBody, TaskId, TaskMeta, TaskRef, TaskSlab};
+use crate::trace::{Trace, TraceConfig, TraceEventKind, TraceSession, Tracer};
 
 /// Node budget for the backward bottom-level relaxation at spawn. The
 /// offline [`crate::criticality::OnlineCriticality`] estimator relaxes
@@ -53,10 +54,17 @@ const RELAX_BUDGET: u32 = 64;
 /// runtime notifies the hardware when a task starts on a worker (with
 /// its criticality) and when it completes.
 ///
-/// A task skipped because of a poisoned input, or killed by an injected
-/// pre-body panic, is never reported: from the hardware's perspective it
-/// did not execute. A retried task reports one start/complete pair per
-/// successful attempt (failed attempts report nothing).
+/// A task skipped because of a poisoned input reports [`on_skipped`]
+/// (*not* `on_start`/`on_complete`/`on_fault` — from the hardware's
+/// perspective it never executed). An injected pre-body panic reports
+/// `on_start` then `on_fault` like any other panicking attempt. A
+/// retried task reports one start/complete pair per successful attempt
+/// (failed attempts report start/fault).
+///
+/// Observers are one consumer of the runtime's [`TraceSession`]; the
+/// other is the event tracer enabled via [`RuntimeConfig::tracing`].
+///
+/// [`on_skipped`]: TaskObserver::on_skipped
 pub trait TaskObserver: Send + Sync + 'static {
     /// Called on the worker thread immediately before the body runs.
     fn on_start(&self, worker: usize, task: TaskId, critical: bool);
@@ -67,6 +75,14 @@ pub trait TaskObserver: Send + Sync + 'static {
     /// state keyed by `on_start` (e.g. an RSU frequency grant) must
     /// release it here or it leaks across retries.
     fn on_fault(&self, worker: usize, task: TaskId) {
+        let _ = (worker, task);
+    }
+    /// Called on the worker thread when a task is skipped without running
+    /// because an input region was poisoned by an upstream failure.
+    /// `on_start` was never called for it, so there is no per-core state
+    /// to release — this hook exists so observers can account for every
+    /// settled task.
+    fn on_skipped(&self, worker: usize, task: TaskId) {
         let _ = (worker, task);
     }
 }
@@ -92,6 +108,10 @@ pub struct RuntimeConfig {
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Worker watchdog (default: disabled).
     pub watchdog: WatchdogConfig,
+    /// Event tracing (default: off). When set, every scheduling decision
+    /// is recorded into per-worker ring buffers; drain with
+    /// [`Runtime::drain_trace`].
+    pub trace: Option<TraceConfig>,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -105,6 +125,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("retry", &self.retry)
             .field("fault_plan", &self.fault_plan.is_some())
             .field("watchdog", &self.watchdog)
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -122,6 +143,7 @@ impl Default for RuntimeConfig {
             retry: RetryPolicy::default(),
             fault_plan: None,
             watchdog: WatchdogConfig::default(),
+            trace: None,
         }
     }
 }
@@ -168,6 +190,12 @@ impl RuntimeConfig {
     /// Builder-style watchdog configuration.
     pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Enable event tracing (see [`crate::trace`]).
+    pub fn tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -231,6 +259,8 @@ struct Shared {
     max_bl: AtomicU64,
     crit_num: u64,
     crit_den: u64,
+    /// Event tracer, when [`RuntimeConfig::trace`] is set.
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// Remove `w` from the poison list (a task overwrites the range, making
@@ -273,6 +303,9 @@ impl Shared {
     fn poison_writes(&self, source: TaskId, label: &str, writes: &[Region]) {
         if writes.is_empty() {
             return;
+        }
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEventKind::Poisoned, source, 0, 0, writes.len() as u64);
         }
         self.has_poison.store(true, Ordering::SeqCst);
         fence(Ordering::SeqCst);
@@ -382,11 +415,16 @@ impl Shared {
         for s in succs {
             let sslot = self.slab.slot(s);
             if sslot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let sgen = sslot.gen.load(Ordering::Relaxed);
                 let mut st = sslot.state.lock();
                 let body = st.body.take().expect("ready successor must have a body");
+                if let Some(t) = &self.tracer {
+                    t.emit(TraceEventKind::Ready, st.tid, s, sgen, 0);
+                }
                 released.push(ReadyTask {
                     id: st.tid,
                     slot: s,
+                    gen: sgen,
                     priority: st.priority,
                     critical: st.critical,
                     seq: 0,
@@ -399,15 +437,8 @@ impl Shared {
 }
 
 /// Runs on the worker thread before the user body. Returns `false` when
-/// the body must be skipped (poisoned input); panics when the fault plan
-/// injects a panic for this attempt.
-fn preflight(
-    shared: &Weak<Shared>,
-    tid: TaskId,
-    slot: u32,
-    exempt: bool,
-    plan: Option<&FaultPlan>,
-) -> bool {
+/// the body must be skipped (poisoned input).
+fn preflight(shared: &Weak<Shared>, tid: TaskId, slot: u32, exempt: bool) -> bool {
     if exempt {
         return true;
     }
@@ -420,100 +451,141 @@ fn preflight(
             return false;
         }
     }
-    if let Some(plan) = plan {
-        let attempt = {
-            let st = shared.slab.slot(slot).state.lock();
-            if st.tid == tid {
-                st.attempts
-            } else {
-                0
-            }
-        };
-        match plan.decide(tid, attempt) {
-            Some(InjectedFault::Panic) => {
-                panic!("injected fault: {tid:?} attempt {attempt}");
-            }
-            Some(InjectedFault::Stall(d)) => std::thread::sleep(d),
-            None => {}
-        }
-    }
     true
 }
 
-/// Wrap a task body with the preflight (poison fail-fast + fault
-/// injection) and the observer notifications. The injected panic fires
-/// *before* the user body, so under pure injection even a read-modify-
-/// write body never runs half-way — which is what makes declaring such
-/// tasks idempotent sound in fault campaigns.
+/// Fault injection for this attempt: panics or stalls per the plan. Runs
+/// *inside* the observed bracket (after `task_start`), so an injected
+/// panic reports start→fault to observers and the tracer exactly like a
+/// body panic — but still *before* the user body, which is what makes
+/// declaring such tasks idempotent sound in fault campaigns.
+fn inject(shared: &Weak<Shared>, tid: TaskId, slot: u32, exempt: bool, plan: Option<&FaultPlan>) {
+    if exempt {
+        return;
+    }
+    let Some(plan) = plan else {
+        return;
+    };
+    let Some(shared) = shared.upgrade() else {
+        return;
+    };
+    let attempt = {
+        let st = shared.slab.slot(slot).state.lock();
+        if st.tid == tid {
+            st.attempts
+        } else {
+            0
+        }
+    };
+    match plan.decide(tid, attempt) {
+        Some(InjectedFault::Panic) => {
+            panic!("injected fault: {tid:?} attempt {attempt}");
+        }
+        Some(InjectedFault::Stall(d)) => std::thread::sleep(d),
+        None => {}
+    }
+}
+
+/// Wrap a task body with the preflight (poison fail-fast), fault
+/// injection, and the trace-session notifications (tracer + observer).
+/// A poisoned task skips without starting; an injected panic fires
+/// inside the observed bracket but *before* the user body, so under pure
+/// injection even a read-modify-write body never runs half-way.
 #[allow(clippy::too_many_arguments)]
 fn instrument(
     body: ExecBody,
     tid: TaskId,
     slot: u32,
+    gen: u64,
     critical: bool,
     exempt: bool,
     shared: Weak<Shared>,
-    observer: Option<Arc<dyn TaskObserver>>,
+    session: Arc<TraceSession>,
     plan: Option<Arc<FaultPlan>>,
 ) -> ExecBody {
     match body {
         ExecBody::Once(f) => {
             let f = f.expect("a fresh task body must be present");
             ExecBody::once(move || {
-                if !preflight(&shared, tid, slot, exempt, plan.as_deref()) {
+                if !preflight(&shared, tid, slot, exempt) {
+                    session.task_skipped(tid, slot, gen);
                     return;
                 }
-                run_observed(f, &observer, tid, critical);
+                run_observed(
+                    || {
+                        inject(&shared, tid, slot, exempt, plan.as_deref());
+                        f()
+                    },
+                    &session,
+                    tid,
+                    slot,
+                    gen,
+                    critical,
+                );
             })
         }
         ExecBody::Retryable(f) => ExecBody::retryable(move || {
-            if !preflight(&shared, tid, slot, exempt, plan.as_deref()) {
+            if !preflight(&shared, tid, slot, exempt) {
+                session.task_skipped(tid, slot, gen);
                 return;
             }
-            run_observed(&*f, &observer, tid, critical);
+            run_observed(
+                || {
+                    inject(&shared, tid, slot, exempt, plan.as_deref());
+                    (*f)()
+                },
+                &session,
+                tid,
+                slot,
+                gen,
+                critical,
+            );
         }),
     }
 }
 
-/// Run `f` bracketed by observer callbacks: `on_start` before, then
-/// `on_complete` on success or `on_fault` if `f` unwinds (via an armed
-/// drop guard, so the notification survives the panic propagating to
-/// the pool's `catch_unwind`).
+/// Run `f` bracketed by trace-session callbacks: `task_start` before,
+/// then `task_complete` on success or `task_fault` if `f` unwinds (via
+/// an armed drop guard, so the notification survives the panic
+/// propagating to the pool's `catch_unwind`).
 fn run_observed(
     f: impl FnOnce(),
-    observer: &Option<Arc<dyn TaskObserver>>,
+    session: &TraceSession,
     tid: TaskId,
+    slot: u32,
+    gen: u64,
     critical: bool,
 ) {
-    let Some(obs) = observer else {
+    if session.is_idle() {
         f();
         return;
-    };
+    }
     struct FaultGuard<'a> {
-        obs: &'a dyn TaskObserver,
-        worker: usize,
+        session: &'a TraceSession,
         tid: TaskId,
+        slot: u32,
+        gen: u64,
         armed: bool,
     }
     impl Drop for FaultGuard<'_> {
         fn drop(&mut self) {
             if self.armed {
-                self.obs.on_fault(self.worker, self.tid);
+                self.session.task_fault(self.tid, self.slot, self.gen);
             }
         }
     }
-    let worker = crate::pool::current_worker().unwrap_or(0);
-    obs.on_start(worker, tid, critical);
+    session.task_start(tid, slot, gen, critical);
     let mut guard = FaultGuard {
-        obs: obs.as_ref(),
-        worker,
+        session,
         tid,
+        slot,
+        gen,
         armed: true,
     };
     f();
     guard.armed = false;
     drop(guard);
-    obs.on_complete(worker, tid);
+    session.task_complete(tid, slot, gen);
 }
 
 impl PoolClient for Shared {
@@ -534,10 +606,21 @@ impl PoolClient for Shared {
                 // Retry: the task stays registered and outstanding; the
                 // pool re-enqueues the body after the backoff.
                 RuntimeStats::bump(&self.stats.retried);
+                let gen = slot.gen.load(Ordering::Relaxed);
+                if let Some(t) = &self.tracer {
+                    t.emit(
+                        TraceEventKind::Retry,
+                        task,
+                        slot_idx,
+                        gen,
+                        st.attempts as u64,
+                    );
+                }
                 let delay = self.retry.backoff_after(st.attempts);
                 let retry_task = ReadyTask {
                     id: task,
                     slot: slot_idx,
+                    gen,
                     priority: st.priority,
                     critical: st.critical,
                     seq: 0,
@@ -565,6 +648,10 @@ impl PoolClient for Shared {
 pub struct Runtime {
     shared: Arc<Shared>,
     pool: WorkerPool,
+    queues: Arc<ReadyQueues>,
+    /// Lifecycle fan-out captured by every instrumented body (tracer +
+    /// observer; cheap no-op when both are absent).
+    session: Arc<TraceSession>,
     config: RuntimeConfig,
 }
 
@@ -572,7 +659,11 @@ impl Runtime {
     /// Start a runtime with the given configuration.
     pub fn new(config: RuntimeConfig) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
-        let queues = Arc::new(ReadyQueues::new(config.policy));
+        let tracer = config
+            .trace
+            .as_ref()
+            .map(|tc| Arc::new(Tracer::new(config.workers, tc)));
+        let queues = Arc::new(ReadyQueues::with_tracer(config.policy, tracer.clone()));
         let shared = Arc::new(Shared {
             slab: TaskSlab::new(),
             tracker: crate::deps::ShardedDepTracker::new(),
@@ -589,19 +680,24 @@ impl Runtime {
             max_bl: AtomicU64::new(0),
             crit_num: (config.criticality_threshold * 1000.0).round() as u64,
             crit_den: 1000,
+            tracer: tracer.clone(),
         });
+        let session = Arc::new(TraceSession::new(tracer.clone(), config.observer.clone()));
         let pool = WorkerPool::new(
             config.workers,
-            queues,
+            Arc::clone(&queues),
             Arc::clone(&shared) as Arc<dyn PoolClient>,
             PoolOptions {
                 plan: config.fault_plan.clone(),
                 watchdog: config.watchdog,
+                tracer,
             },
         );
         Runtime {
             shared,
             pool,
+            queues,
+            session,
             config,
         }
     }
@@ -741,10 +837,11 @@ impl Runtime {
             body,
             tid,
             slot_idx,
+            gen,
             critical,
             exempt,
             Arc::downgrade(&self.shared),
-            self.config.observer.clone(),
+            Arc::clone(&self.session),
             self.config.fault_plan.clone(),
         );
         // Wire edges. Our own `pending` holds the submission guard from
@@ -776,6 +873,18 @@ impl Runtime {
         if critical {
             RuntimeStats::bump(&shared.stats.critical_tasks);
         }
+        if let Some(t) = &shared.tracer {
+            // arg = predecessor count << 1 | ready-at-spawn (ready tasks
+            // get no separate Ready event — spawn implies it).
+            let ready = (live_preds == 0) as u64;
+            t.emit(
+                TraceEventKind::Spawn,
+                tid,
+                slot_idx,
+                gen,
+                ((preds.len() as u64) << 1) | ready,
+            );
+        }
         if live_preds == 0 {
             // No live predecessor registered: nobody else can release us,
             // so the body never needs to be parked in the slot.
@@ -783,6 +892,7 @@ impl Runtime {
             self.pool.push_external(ReadyTask {
                 id: tid,
                 slot: slot_idx,
+                gen,
                 priority: meta.priority,
                 critical,
                 seq: 0,
@@ -799,9 +909,13 @@ impl Runtime {
                     .body
                     .take()
                     .expect("spawn-released task must still hold its body");
+                if let Some(t) = &shared.tracer {
+                    t.emit(TraceEventKind::Ready, tid, slot_idx, gen, 0);
+                }
                 self.pool.push_external(ReadyTask {
                     id: tid,
                     slot: slot_idx,
+                    gen,
                     priority: meta.priority,
                     critical,
                     seq: 0,
@@ -916,15 +1030,35 @@ impl Runtime {
         self.shared.has_poison.store(false, Ordering::SeqCst);
     }
 
-    /// Runtime counters snapshot, including the pool's worker fault
-    /// counters (deaths / respawns / stalls).
+    /// Runtime counters snapshot, including the pool's worker fault and
+    /// park/wake counters and the scheduler's steal/overflow counters.
     pub fn stats(&self) -> StatsSnapshot {
         let mut snap = self.shared.stats.snapshot();
         let pf = self.pool.fault_stats();
         snap.worker_deaths = pf.worker_deaths;
         snap.worker_respawns = pf.worker_respawns;
         snap.worker_stalls = pf.worker_stalls;
+        let (steals_ok, steals_empty, injector_overflow) = self.queues.contention_counters();
+        snap.steals_ok = steals_ok;
+        snap.steals_empty = steals_empty;
+        snap.injector_overflow = injector_overflow;
+        let (parks, wakes) = self.pool.park_stats();
+        snap.parks = parks;
+        snap.wakes = wakes;
         snap
+    }
+
+    /// Whether event tracing was enabled at construction.
+    pub fn tracing_enabled(&self) -> bool {
+        self.shared.tracer.is_some()
+    }
+
+    /// Drain everything the tracer recorded since the last drain (or
+    /// since construction). `None` when tracing is off. Usually called
+    /// after a [`Runtime::taskwait`]; draining mid-run is safe but an
+    /// event stream cut mid-task will contain unmatched starts.
+    pub fn drain_trace(&self) -> Option<Trace> {
+        self.shared.tracer.as_ref().map(|t| t.drain())
     }
 
     /// Tasks executed per worker (load-balance diagnostics).

@@ -25,11 +25,13 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::deque::{DequeStealer, Injector, Steal, WorkerDeque};
 use crate::task::{ExecBody, TaskId};
+use crate::trace::{TraceEventKind, Tracer, NO_TASK};
 
 /// Ring capacity of the shared injectors. Bursts beyond this spill to a
 /// mutex-protected overflow list (correct, slower) — sized so that only
@@ -61,6 +63,9 @@ pub struct ReadyTask {
     /// Slab slot of the task's runtime bookkeeping (see
     /// [`crate::task::TaskSlab`]); echoed back on completion.
     pub slot: u32,
+    /// Slot generation at enqueue time (0 when not tracked) — lets trace
+    /// consumers tell retry attempts apart from slab-slot reuse.
+    pub gen: u64,
     pub priority: i32,
     pub critical: bool,
     pub seq: u64,
@@ -113,10 +118,20 @@ pub struct ReadyQueues {
     lifo: Mutex<Vec<ReadyTask>>,
     heap: Mutex<BinaryHeap<PrioEntry>>,
     seq: AtomicU64,
+    /// Successful steals from sibling deques.
+    steals_ok: AtomicU64,
+    /// Full steal sweeps that found nothing (only counted when there is
+    /// more than one worker to sweep).
+    steals_empty: AtomicU64,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ReadyQueues {
     pub fn new(policy: SchedulerPolicy) -> Self {
+        Self::with_tracer(policy, None)
+    }
+
+    pub fn with_tracer(policy: SchedulerPolicy, tracer: Option<Arc<Tracer>>) -> Self {
         ReadyQueues {
             policy,
             injector: Injector::new(INJECTOR_RING),
@@ -127,6 +142,31 @@ impl ReadyQueues {
             lifo: Mutex::new(Vec::new()),
             heap: Mutex::new(BinaryHeap::new()),
             seq: AtomicU64::new(0),
+            steals_ok: AtomicU64::new(0),
+            steals_empty: AtomicU64::new(0),
+            tracer,
+        }
+    }
+
+    /// `(steals_ok, steals_empty, injector_overflow)` — always-on relaxed
+    /// counters, merged into `StatsSnapshot`.
+    pub fn contention_counters(&self) -> (u64, u64, u64) {
+        (
+            self.steals_ok.load(Ordering::Relaxed),
+            self.steals_empty.load(Ordering::Relaxed),
+            self.injector.overflow_events() + self.critical.overflow_events(),
+        )
+    }
+
+    /// Worker-only emission: scheduler events from unbound (external)
+    /// threads are skipped — a ready-at-spawn task pushed from the
+    /// spawning thread is already implied by its Spawn record (ready
+    /// bit), and steals/pops only ever happen on workers. This keeps the
+    /// external spawn hot path at one traced event per task.
+    #[inline]
+    fn trace(&self, kind: TraceEventKind, task: TaskId, slot: u32, gen: u64, arg: u64) {
+        if let Some(t) = &self.tracer {
+            t.emit_from_worker(kind, task, slot, gen, arg);
         }
     }
 
@@ -151,27 +191,55 @@ impl ReadyQueues {
     /// worker's own deque when the push happens on a worker thread (used
     /// by the work-stealing policy for locality).
     pub fn push(&self, t: ReadyTask, local: Option<&WorkerDeque<ReadyTask>>) {
+        // Enqueue events are emitted *before* the push: once the task is
+        // visible another worker can start it, and its `start` must not
+        // precede the enqueue record in the trace.
+        let (id, slot, gen) = (t.id, t.slot, t.gen);
         match self.policy {
-            SchedulerPolicy::Fifo => self.fifo.lock().push_back(self.stamp(t)),
-            SchedulerPolicy::Lifo => self.lifo.lock().push(self.stamp(t)),
+            SchedulerPolicy::Fifo => {
+                self.trace(TraceEventKind::EnqueueGlobal, id, slot, gen, 0);
+                self.fifo.lock().push_back(self.stamp(t))
+            }
+            SchedulerPolicy::Lifo => {
+                self.trace(TraceEventKind::EnqueueGlobal, id, slot, gen, 0);
+                self.lifo.lock().push(self.stamp(t))
+            }
             SchedulerPolicy::WorkStealing => {
                 if t.priority != 0 {
+                    self.trace(
+                        TraceEventKind::EnqueueOverflow,
+                        id,
+                        slot,
+                        gen,
+                        t.priority as u64,
+                    );
                     return self.push_overflow(t);
                 }
                 match local {
                     Some(deque) => {
+                        self.trace(TraceEventKind::EnqueueLocal, id, slot, gen, 0);
                         if let Err(t) = deque.push(t) {
+                            // Spill: the task really lands on the injector.
+                            self.trace(TraceEventKind::EnqueueInjector, id, slot, gen, 1);
                             self.injector.push(t);
                         }
                     }
-                    None => self.injector.push(t),
+                    None => {
+                        self.trace(TraceEventKind::EnqueueInjector, id, slot, gen, 0);
+                        self.injector.push(t)
+                    }
                 }
             }
-            SchedulerPolicy::Priority => self.heap.lock().push(PrioEntry(self.stamp(t))),
+            SchedulerPolicy::Priority => {
+                self.trace(TraceEventKind::EnqueueGlobal, id, slot, gen, 0);
+                self.heap.lock().push(PrioEntry(self.stamp(t)))
+            }
             SchedulerPolicy::CriticalityAware { .. } => {
                 if t.critical {
+                    self.trace(TraceEventKind::EnqueueInjector, id, slot, gen, 2);
                     self.critical.push(t);
                 } else {
+                    self.trace(TraceEventKind::EnqueueInjector, id, slot, gen, 0);
                     self.injector.push(t);
                 }
             }
@@ -205,11 +273,25 @@ impl ReadyQueues {
                     let victim = (who + off) % n;
                     loop {
                         match stealers[victim].steal() {
-                            Steal::Success(t) => return Some(t),
+                            Steal::Success(t) => {
+                                self.steals_ok.fetch_add(1, Ordering::Relaxed);
+                                self.trace(
+                                    TraceEventKind::StealOk,
+                                    t.id,
+                                    t.slot,
+                                    t.gen,
+                                    victim as u64,
+                                );
+                                return Some(t);
+                            }
                             Steal::Retry => continue,
                             Steal::Empty => break,
                         }
                     }
+                }
+                if n > 1 {
+                    self.steals_empty.fetch_add(1, Ordering::Relaxed);
+                    self.trace(TraceEventKind::StealEmpty, NO_TASK, 0, 0, n as u64);
                 }
                 // Steal-miss: consult the priority overflow heap.
                 if self.overflow_len.load(Ordering::Acquire) > 0 {
@@ -256,6 +338,7 @@ mod tests {
         ReadyTask {
             id: TaskId(id),
             slot: 0,
+            gen: 0,
             priority,
             critical,
             seq: 0,

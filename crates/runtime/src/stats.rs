@@ -55,6 +55,11 @@ impl RuntimeStats {
             worker_deaths: 0,
             worker_respawns: 0,
             worker_stalls: 0,
+            steals_ok: 0,
+            steals_empty: 0,
+            injector_overflow: 0,
+            parks: 0,
+            wakes: 0,
         }
     }
 
@@ -84,6 +89,19 @@ pub struct StatsSnapshot {
     /// Stall episodes the watchdog flagged (busy worker, frozen
     /// heartbeat).
     pub worker_stalls: u64,
+    /// Successful steals from sibling deques (work-stealing policy),
+    /// from the scheduler.
+    pub steals_ok: u64,
+    /// Full steal sweeps that found nothing, from the scheduler.
+    pub steals_empty: u64,
+    /// Injector pushes that missed the lock-free ring and took the
+    /// overflow lock, from the scheduler.
+    pub injector_overflow: u64,
+    /// Times a worker parked on the idle condvar, from the pool.
+    pub parks: u64,
+    /// Condvar notifies actually issued by spawners/completers, from the
+    /// pool.
+    pub wakes: u64,
 }
 
 impl StatsSnapshot {
@@ -93,6 +111,16 @@ impl StatsSnapshot {
             0.0
         } else {
             self.edges as f64 / self.spawned as f64
+        }
+    }
+
+    /// Fraction of steal attempts that found work.
+    pub fn steal_hit_rate(&self) -> f64 {
+        let total = self.steals_ok + self.steals_empty;
+        if total == 0 {
+            0.0
+        } else {
+            self.steals_ok as f64 / total as f64
         }
     }
 }

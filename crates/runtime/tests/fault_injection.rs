@@ -220,8 +220,7 @@ proptest! {
                 .retry(RetryPolicy::retries(2)),
         );
         // (task, predecessor) pairs; roughly a quarter of the bodies
-        // panic on their first attempt (visible to the observer, unlike
-        // preflight-injected panics).
+        // panic on their first attempt.
         let mut deps: Vec<(TaskId, TaskId)> = Vec::new();
         let mut flaky_tasks = 0u32;
         for c in 0..chains {

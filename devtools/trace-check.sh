@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# CI trace gate: emit a Chrome trace from the cg workload and validate
+# it, then measure the empty@8 tracing overhead against the committed
+# untraced baseline.
+#
+# Usage:
+#   devtools/trace-check.sh [out.json]
+#
+# Two checks, both fatal:
+#   1. `runtime_throughput --trace` on the cg shape writes JSON that is
+#      well-formed Chrome-trace: a traceEvents array with process/thread
+#      metadata, complete ("X") slices, dependency flow arrows ("s"/"f"
+#      in matched pairs), and per-(pid,tid) monotone timestamps.
+#   2. empty@8 throughput with tracing *enabled* (best of
+#      RAA_BENCH_REPS, like the untraced convention) stays within
+#      RAA_TRACE_TOLERANCE (default 15%) of the committed untraced
+#      RAA_BENCH_REF_SERIES (default after_lock_free) in
+#      BENCH_runtime.json.
+set -euo pipefail
+root="$(cd "$(dirname "$0")/.." && pwd)"
+json="${root}/BENCH_runtime.json"
+out="${1:-trace_cg.json}"
+cargo_cmd=(cargo)
+if [ -d "${root}/devtools/offline-stubs/vendor" ]; then
+    cargo_cmd=("${root}/devtools/offline-test.sh")
+fi
+
+echo "--- cg trace: emit + validate ${out} ---"
+RAA_BENCH_TASKS="${RAA_TRACE_CG_TASKS:-20000}" RAA_BENCH_WORKERS=4 \
+    RAA_BENCH_REPS=1 RAA_BENCH_WORKLOADS=cg \
+    "${cargo_cmd[@]}" run --release -q -p raa-bench --bin runtime_throughput \
+    -- --trace "$out"
+python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+assert isinstance(evs, list) and evs, "traceEvents missing or empty"
+phases = {}
+last = {}
+for e in evs:
+    phases[e["ph"]] = phases.get(e["ph"], 0) + 1
+    if "ts" in e:
+        key = (e.get("pid"), e.get("tid"))
+        assert e["ts"] >= last.get(key, float("-inf")), \
+            f"timestamps regress on track {key}"
+        last[key] = e["ts"]
+assert phases.get("M", 0) >= 2, "process/thread metadata missing"
+assert phases.get("X", 0) > 0, "no complete slices"
+assert phases.get("s", 0) > 0, "no dependency flow arrows"
+assert phases.get("s") == phases.get("f"), "unmatched flow start/finish"
+print(f"trace-check: {sys.argv[1]} OK — "
+      + ", ".join(f"{k}:{v}" for k, v in sorted(phases.items())))
+EOF
+
+echo "--- empty@8 tracing overhead gate ---"
+ref_series="${RAA_BENCH_REF_SERIES:-after_lock_free}"
+tolerance="${RAA_TRACE_TOLERANCE:-0.15}"
+[ -f "$json" ] || { echo "trace-check: no ${json} to check against" >&2; exit 1; }
+ref=$(python3 -c "
+import json, sys
+v = json.load(open('${json}')).get('${ref_series}', {}).get('empty@8')
+if v is None:
+    sys.exit('trace-check: ${ref_series} has no empty@8 entry')
+print(v)
+")
+# Shared runners are noisy; measure up to RAA_TRACE_ATTEMPTS times and
+# pass on the first attempt that clears the floor (each attempt is
+# already best-of-RAA_BENCH_REPS, mirroring the untraced convention).
+attempts="${RAA_TRACE_ATTEMPTS:-3}"
+for attempt in $(seq 1 "$attempts"); do
+    run_out=$(RAA_BENCH_TASKS="${RAA_TRACE_CHECK_TASKS:-100000}" \
+        RAA_BENCH_WORKERS=8 RAA_BENCH_REPS="${RAA_BENCH_REPS:-5}" \
+        RAA_BENCH_WORKLOADS=empty \
+        "${cargo_cmd[@]}" run --release -q -p raa-bench --bin runtime_throughput \
+        -- --trace /tmp/trace_empty8.json)
+    echo "$run_out"
+    traced=$(echo "$run_out" | awk '/^TRACE empty@8 /{print $(NF-2)}')
+    [ -n "$traced" ] || { echo "trace-check: no TRACE empty@8 line" >&2; exit 1; }
+    if python3 -c "
+ref, traced, tol = float('${ref}'), float('${traced}'), float('${tolerance}')
+floor = ref * (1 - tol)
+verdict = 'OK' if traced >= floor else 'TOO SLOW'
+print(f'trace-check: traced empty@8 {traced:.0f} tasks/s vs untraced '
+      f'reference {ref:.0f} (floor {floor:.0f}, tolerance {tol:.0%}) '
+      f'-> {verdict} (attempt ${attempt}/${attempts})')
+raise SystemExit(0 if traced >= floor else 1)
+"; then
+        exit 0
+    fi
+done
+echo "trace-check: tracing overhead exceeded ${tolerance} on all ${attempts} attempts" >&2
+exit 1
