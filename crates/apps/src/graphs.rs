@@ -10,7 +10,7 @@
 //!   parallel compute of frame f — the pipeline asynchrony Fig. 5
 //!   credits for the improved scalability.
 
-use raa_runtime::{TaskGraph, TaskId, TaskMeta};
+use raa_runtime::{TaskGraph, TaskId, TaskMeta, TaskProgram};
 
 use crate::model::{AppModel, StageKind};
 
@@ -118,6 +118,16 @@ pub fn dataflow_graph(app: &AppModel) -> TaskGraph {
     g
 }
 
+/// The barrier-style structure as a portable [`TaskProgram`].
+pub fn pthreads_program(app: &AppModel, threads: usize) -> TaskProgram {
+    TaskProgram::from_graph(pthreads_graph(app, threads))
+}
+
+/// The dataflow structure as a portable [`TaskProgram`].
+pub fn dataflow_program(app: &AppModel) -> TaskProgram {
+    TaskProgram::from_graph(dataflow_graph(app))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +138,26 @@ mod tests {
         ScheduleSimulator::new(g, CorePool::homogeneous(cores, 1.0), SimPolicy::BottomLevel)
             .run()
             .makespan
+    }
+
+    #[test]
+    fn program_wrappers_preserve_the_graph() {
+        let app = bodytrack(2);
+        let g = dataflow_graph(&app);
+        let p = dataflow_program(&app);
+        assert_eq!(p.len(), g.len());
+        assert_eq!(p.measured_count(), 0);
+        // An unmeasured program schedules exactly like its source graph.
+        let sg = p.scheduling_graph();
+        for (a, b) in g.nodes().zip(sg.nodes()) {
+            assert_eq!(a.meta.label, b.meta.label);
+            assert_eq!(a.meta.cost, b.meta.cost);
+            assert_eq!(a.preds, b.preds);
+        }
+        assert_eq!(
+            pthreads_program(&app, 4).len(),
+            pthreads_graph(&app, 4).len()
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The Fig. 5 sweep: speedup-vs-threads curves for both execution
 //! structures.
 
-use raa_runtime::{CorePool, ScheduleSimulator, SimPolicy};
+use raa_runtime::{CorePool, ScheduleSimulator, SimPolicy, TaskProgram};
 
-use crate::graphs::{dataflow_graph, pthreads_graph};
+use crate::graphs::{dataflow_program, pthreads_program};
 use crate::model::AppModel;
 
 /// One point of a scalability curve.
@@ -20,13 +20,13 @@ pub struct ScalingPoint {
 
 /// Compute the Fig. 5 curve for `app` at the given thread counts.
 pub fn scaling_curve(app: &AppModel, threads: &[usize]) -> Vec<ScalingPoint> {
-    let df = dataflow_graph(app);
+    let df = dataflow_program(app);
     let df_t1 = simulate(&df, 1);
-    let pt_t1 = simulate(&pthreads_graph(app, 1), 1);
+    let pt_t1 = simulate(&pthreads_program(app, 1), 1);
     threads
         .iter()
         .map(|&t| {
-            let pt = simulate(&pthreads_graph(app, t), t);
+            let pt = simulate(&pthreads_program(app, t), t);
             let d = simulate(&df, t);
             ScalingPoint {
                 threads: t,
@@ -37,8 +37,8 @@ pub fn scaling_curve(app: &AppModel, threads: &[usize]) -> Vec<ScalingPoint> {
         .collect()
 }
 
-fn simulate(g: &raa_runtime::TaskGraph, cores: usize) -> f64 {
-    ScheduleSimulator::new(g, CorePool::homogeneous(cores, 1.0), SimPolicy::BottomLevel)
+fn simulate(p: &TaskProgram, cores: usize) -> f64 {
+    ScheduleSimulator::for_program(p, CorePool::homogeneous(cores, 1.0), SimPolicy::BottomLevel)
         .run()
         .makespan
 }

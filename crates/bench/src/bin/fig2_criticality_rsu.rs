@@ -139,8 +139,12 @@ fn main() {
         let (name, g) = &workloads[1]; // chain+fans: the clearest picture
         println!();
         println!("Gantt ({name}, 16 cores, bottom-level order):");
-        let r =
-            ScheduleSimulator::new(g, CorePool::homogeneous(16, 1.0), SimPolicy::BottomLevel).run();
+        let r = ScheduleSimulator::for_program(
+            g,
+            CorePool::homogeneous(16, 1.0),
+            SimPolicy::BottomLevel,
+        )
+        .run();
         print!("{}", r.gantt(72));
     }
 

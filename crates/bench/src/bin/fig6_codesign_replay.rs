@@ -1,0 +1,13 @@
+//! Fig. 6 — co-design replay harness: record the blocked task-parallel
+//! CG once, replay the recorded `TaskProgram` on the §3.1 DVFS schedule
+//! simulator *and* the Fig. 1 64-core hybrid machine.
+//!
+//! Run: `cargo run --release -p raa-bench --bin fig6_codesign_replay`
+//! Scale with `RAA_SCALE` (`test`, `small`, `standard`). Output is
+//! byte-deterministic across runs at a fixed scale.
+
+use raa_bench::{fig6, scale_from_env};
+
+fn main() {
+    print!("{}", fig6::report(scale_from_env()));
+}

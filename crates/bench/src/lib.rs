@@ -9,6 +9,8 @@
 use raa_runtime::{AccessMode, Runtime};
 use raa_workloads::Scale;
 
+pub mod fig6;
+
 /// Tasks per iteration of [`spawn_cg_shape`]: spmv + dot per block, one
 /// scale, axpy per block, with 16 blocks.
 pub const CG_TASKS_PER_ITER: usize = 49;

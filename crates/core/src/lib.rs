@@ -27,9 +27,9 @@
 //! use raa_core::system::{fig2_workloads, RaaSystem};
 //!
 //! let sys = RaaSystem::paper_32core();
-//! let (_, graph) = &fig2_workloads()[0]; // tiled Cholesky
-//! let static_run = sys.run_static(graph);
-//! let rsu_run = sys.run_rsu(graph);
+//! let (_, program) = &fig2_workloads()[0]; // tiled Cholesky, as a TaskProgram
+//! let static_run = sys.run_static(program);
+//! let rsu_run = sys.run_rsu(program);
 //! assert!(rsu_run.makespan < static_run.makespan);
 //! assert!(rsu_run.edp < static_run.edp);
 //! ```

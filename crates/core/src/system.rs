@@ -4,7 +4,7 @@
 use raa_runtime::simsched::{
     CorePool, DvfsArbiter, PowerModel, ScheduleSimulator, SimPolicy, SimReport,
 };
-use raa_runtime::TaskGraph;
+use raa_runtime::TaskProgram;
 
 use crate::power::improvement;
 
@@ -57,9 +57,13 @@ impl RaaSystem {
 
     /// Static baseline: every core at nominal frequency, bottom-level
     /// list scheduling (a good static scheduler, not a strawman).
-    pub fn run_static(&self, g: &TaskGraph) -> SimReport {
-        ScheduleSimulator::new(
-            g,
+    ///
+    /// All `run_*` entry points consume the portable [`TaskProgram`] IR:
+    /// measured durations (when the program was recorded from a real
+    /// run) become the simulated costs, static hints elsewhere.
+    pub fn run_static(&self, p: &TaskProgram) -> SimReport {
+        ScheduleSimulator::for_program(
+            p,
             CorePool::homogeneous(self.cores, self.f_nominal),
             SimPolicy::BottomLevel,
         )
@@ -68,9 +72,10 @@ impl RaaSystem {
     }
 
     /// Criticality-aware DVFS with the given arbitration path.
-    pub fn run_criticality(&self, g: &TaskGraph, arbiter: DvfsArbiter) -> SimReport {
+    pub fn run_criticality(&self, p: &TaskProgram, arbiter: DvfsArbiter) -> SimReport {
+        let g = p.scheduling_graph();
         let (cp, _) = g.critical_path();
-        let mut sim = ScheduleSimulator::new(
+        let mut sim = ScheduleSimulator::owned(
             g,
             CorePool::homogeneous(self.cores, self.f_nominal),
             SimPolicy::CriticalityDvfs {
@@ -85,9 +90,9 @@ impl RaaSystem {
     }
 
     /// Convenience: criticality DVFS through the RSU.
-    pub fn run_rsu(&self, g: &TaskGraph) -> SimReport {
+    pub fn run_rsu(&self, p: &TaskProgram) -> SimReport {
         self.run_criticality(
-            g,
+            p,
             DvfsArbiter::Rsu {
                 latency: self.rsu_latency,
             },
@@ -95,9 +100,9 @@ impl RaaSystem {
     }
 
     /// Convenience: criticality DVFS through the software path.
-    pub fn run_software(&self, g: &TaskGraph) -> SimReport {
+    pub fn run_software(&self, p: &TaskProgram) -> SimReport {
         self.run_criticality(
-            g,
+            p,
             DvfsArbiter::Software {
                 lock_cost: self.sw_lock_cost,
             },
@@ -106,9 +111,9 @@ impl RaaSystem {
 
     /// Random-ready-order baseline at nominal frequency (what
     /// criticality-blind scheduling degrades to on irregular graphs).
-    pub fn run_random(&self, g: &TaskGraph, seed: u64) -> SimReport {
-        ScheduleSimulator::new(
-            g,
+    pub fn run_random(&self, p: &TaskProgram, seed: u64) -> SimReport {
+        ScheduleSimulator::for_program(
+            p,
             CorePool::homogeneous(self.cores, self.f_nominal),
             SimPolicy::RandomOrder { seed },
         )
@@ -119,13 +124,13 @@ impl RaaSystem {
     /// The full §3.1 comparison over a workload suite, averaging the
     /// per-graph improvements (geometric-mean-free, like the paper's
     /// averages).
-    pub fn fig2_experiment(&self, graphs: &[(&str, TaskGraph)]) -> Fig2Report {
-        let mut rows = Vec::with_capacity(graphs.len());
-        for (name, g) in graphs {
-            let stat = self.run_static(g);
-            let rsu = self.run_rsu(g);
-            let sw = self.run_software(g);
-            let rand = self.run_random(g, 0xF162);
+    pub fn fig2_experiment(&self, programs: &[(&str, TaskProgram)]) -> Fig2Report {
+        let mut rows = Vec::with_capacity(programs.len());
+        for (name, p) in programs {
+            let stat = self.run_static(p);
+            let rsu = self.run_rsu(p);
+            let sw = self.run_software(p);
+            let rand = self.run_random(p, 0xF162);
             rows.push(Fig2Row {
                 workload: name.to_string(),
                 perf_improvement: improvement(stat.makespan, rsu.makespan),
@@ -189,7 +194,7 @@ pub struct HeterogeneousRow {
 /// at `f_slow`), comparing criticality-aware placement with an agnostic
 /// list scheduler.
 pub fn heterogeneous_experiment(
-    graphs: &[(&str, TaskGraph)],
+    programs: &[(&str, TaskProgram)],
     slow: usize,
     fast: usize,
     f_slow: f64,
@@ -198,13 +203,14 @@ pub fn heterogeneous_experiment(
     use raa_runtime::simsched::ScheduleSimulator;
     let mut freqs = vec![f_slow; slow];
     freqs.extend(vec![f_fast; fast]);
-    graphs
+    programs
         .iter()
-        .map(|(name, g)| {
+        .map(|(name, p)| {
             let run = |policy| {
+                let g = p.scheduling_graph();
                 let (cp, _) = g.critical_path();
                 let mut sim =
-                    ScheduleSimulator::new(g, CorePool::heterogeneous(freqs.clone()), policy)
+                    ScheduleSimulator::owned(g, CorePool::heterogeneous(freqs.clone()), policy)
                         .with_power(PowerModel {
                             c_dyn: 1.0,
                             c_static: 0.08,
@@ -225,10 +231,11 @@ pub fn heterogeneous_experiment(
         .collect()
 }
 
-/// "What-if" replay: take the TDG a *real* [`raa_runtime::Runtime`]
-/// recorded (with `record_graph(true)`) and evaluate it on simulated
-/// machines — the runtime-aware feedback loop the paper envisions, where
-/// the runtime's own execution history drives architecture exploration.
+/// "What-if" replay: take the [`TaskProgram`] a *real*
+/// [`raa_runtime::Runtime`] recorded (with `record_program(true)`) and
+/// evaluate it on simulated machines — the runtime-aware feedback loop
+/// the paper envisions, where the runtime's own execution history
+/// (measured durations included) drives architecture exploration.
 #[derive(Clone, Debug)]
 pub struct WhatIfRow {
     pub cores: usize,
@@ -237,15 +244,15 @@ pub struct WhatIfRow {
     pub rsu_edp_improvement: f64,
 }
 
-/// Evaluate a recorded TDG across machine sizes: for each core count,
-/// the static schedule and the criticality-DVFS (RSU) schedule.
-pub fn whatif(graph: &TaskGraph, core_counts: &[usize]) -> Vec<WhatIfRow> {
+/// Evaluate a recorded program across machine sizes: for each core
+/// count, the static schedule and the criticality-DVFS (RSU) schedule.
+pub fn whatif(program: &TaskProgram, core_counts: &[usize]) -> Vec<WhatIfRow> {
     core_counts
         .iter()
         .map(|&cores| {
             let sys = RaaSystem::with_cores(cores);
-            let stat = sys.run_static(graph);
-            let rsu = sys.run_rsu(graph);
+            let stat = sys.run_static(program);
+            let rsu = sys.run_rsu(program);
             WhatIfRow {
                 cores,
                 static_makespan: stat.makespan,
@@ -259,16 +266,22 @@ pub fn whatif(graph: &TaskGraph, core_counts: &[usize]) -> Vec<WhatIfRow> {
 /// The workload suite used by the Fig. 2 / §3.1 harness: heterogeneous
 /// TDGs with pronounced critical paths, the shapes task-based HPC codes
 /// exhibit.
-pub fn fig2_workloads() -> Vec<(&'static str, TaskGraph)> {
+pub fn fig2_workloads() -> Vec<(&'static str, TaskProgram)> {
     use raa_runtime::graph::generators;
     vec![
-        ("cholesky-12", generators::cholesky(12, 600, 400, 300, 300)),
-        ("chain+fans", generators::chain_with_fans(24, 10, 500, 180)),
+        (
+            "cholesky-12",
+            TaskProgram::from_graph(generators::cholesky(12, 600, 400, 300, 300)),
+        ),
+        (
+            "chain+fans",
+            TaskProgram::from_graph(generators::chain_with_fans(24, 10, 500, 180)),
+        ),
         (
             // Narrower than the machine: slack exists for the
             // criticality policy to exploit (cf. the §3.1 workloads).
             "layered",
-            generators::random_layered(24, 48, 100..600, 0x5EED),
+            TaskProgram::from_graph(generators::random_layered(24, 48, 100..600, 0x5EED)),
         ),
     ]
 }
@@ -313,7 +326,12 @@ mod tests {
     fn software_overhead_grows_with_core_count() {
         // The Fig. 2 motivation: sweep cores, watch the software path's
         // stall grow while the RSU's stays proportional to reconfigs.
-        let g = raa_runtime::graph::generators::random_layered(30, 128, 50..300, 7);
+        let g = TaskProgram::from_graph(raa_runtime::graph::generators::random_layered(
+            30,
+            128,
+            50..300,
+            7,
+        ));
         let stall_ratio = |cores: usize| {
             let sys = RaaSystem::with_cores(cores);
             let sw = sys.run_software(&g);
@@ -341,8 +359,9 @@ mod tests {
     #[test]
     fn whatif_replays_a_real_runtime_recording() {
         use raa_runtime::{AccessMode, Runtime, RuntimeConfig};
-        // Record a small blocked pipeline on the real runtime.
-        let rt = Runtime::new(RuntimeConfig::with_workers(2).record_graph(true));
+        // Record a small blocked pipeline on the real runtime — the full
+        // program this time, so the replay runs on *measured* durations.
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).record_program(true));
         let data = rt.register("d", vec![0u64; 64]);
         for stage in 0..4u64 {
             for b in 0..8u64 {
@@ -357,14 +376,16 @@ mod tests {
             }
         }
         rt.taskwait();
-        let g = rt.graph().expect("recorded");
-        assert_eq!(g.len(), 32);
-        let rows = whatif(&g, &[1, 4, 8]);
+        let prog = rt.program().expect("recorded");
+        assert_eq!(prog.len(), 32);
+        assert_eq!(prog.measured_count(), 32, "every body ran and measured");
+        let rows = whatif(&prog, &[1, 4, 8]);
         // More cores → shorter static makespan (8 independent chains).
         assert!(rows[1].static_makespan < rows[0].static_makespan);
         assert!(rows[2].static_makespan <= rows[1].static_makespan + 1e-9);
-        // The 1-core run equals total work.
-        assert!((rows[0].static_makespan - g.total_work() as f64).abs() < 1e-9);
+        // The 1-core run equals the measured total work.
+        let work = prog.scheduling_graph().total_work();
+        assert!((rows[0].static_makespan - work as f64).abs() < 1e-9);
     }
 
     #[test]

@@ -237,6 +237,70 @@ pub fn chrome_trace_json(trace: &Trace, graph: Option<&TaskGraph>) -> String {
     out
 }
 
+/// Render a recorded [`TaskProgram`](crate::TaskProgram) as JSON: one
+/// record per task carrying its annotations, dependency edges, measured
+/// duration and reference-stream summary, plus the program-wide
+/// SPM-mappable address ranges. Hand-written assembly like the Chrome
+/// exporter — the workspace has no serde.
+pub fn program_json(program: &crate::TaskProgram) -> String {
+    use raa_workloads::trace::TraceSummary;
+
+    let g = program.graph();
+    let mut tasks: Vec<String> = Vec::with_capacity(g.len());
+    for node in g.nodes() {
+        let preds = node
+            .preds
+            .iter()
+            .map(|p| p.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut rec = format!(
+            "{{\"id\":{},\"label\":\"{}\",\"cost\":{},\"criticality\":\"{:?}\",\
+             \"priority\":{},\"preds\":[{}]",
+            node.id.0,
+            esc(&node.meta.label),
+            node.meta.cost,
+            node.meta.criticality,
+            node.meta.priority,
+            preds,
+        );
+        if let Some(ns) = program.measured_ns(node.id) {
+            rec.push_str(&format!(",\"measured_ns\":{ns}"));
+        }
+        let stream = program.stream(node.id);
+        if !stream.is_empty() {
+            let s = TraceSummary::of(stream.iter().copied());
+            rec.push_str(&format!(
+                ",\"stream\":{{\"mem_refs\":{},\"loads\":{},\"stores\":{},\
+                 \"strided\":{},\"random_noalias\":{},\"random_unknown\":{},\
+                 \"compute_cycles\":{}}}",
+                s.mem_refs,
+                s.loads,
+                s.stores,
+                s.strided,
+                s.random_noalias,
+                s.random_unknown,
+                s.compute_cycles,
+            ));
+        }
+        rec.push('}');
+        tasks.push(rec);
+    }
+    let spm = program
+        .spm_ranges()
+        .iter()
+        .map(|&(lo, hi)| format!("[{lo},{hi}]"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"tasks\":[\n{}\n],\"spm_ranges\":[{}],\"measured\":{},\"streams\":{}}}\n",
+        tasks.join(",\n"),
+        spm,
+        program.measured_count(),
+        program.stream_count(),
+    )
+}
+
 fn instant(ev: &TraceEvent, tid: usize, name: &str) -> String {
     format!(
         "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{},\"s\":\"t\",\"name\":\"{}\",\
@@ -847,6 +911,31 @@ mod tests {
         assert!(report.path_busy_ns <= report.wall_ns.max(1) * 2);
         let text = report.to_string();
         assert!(text.contains("measured critical path: 12 tasks"));
+    }
+
+    #[test]
+    fn program_json_is_well_formed_and_complete() {
+        use crate::TaskProgram;
+        use raa_workloads::{MemRef, RefClass, TraceEvent as WlEvent};
+
+        let g = crate::graph::generators::chain_with_fans(3, 2, 50, 5);
+        let mut p = TaskProgram::from_graph(g);
+        p.set_measured(TaskId(0), 1234);
+        p.set_stream(
+            TaskId(0),
+            vec![
+                WlEvent::Mem(MemRef::load(4096, 8, RefClass::Strided)),
+                WlEvent::Compute(7),
+            ],
+        );
+        p.set_spm_ranges(vec![(4096, 8192)]);
+        let json = program_json(&p);
+        assert!(json_ok(&json), "malformed program JSON:\n{json}");
+        assert!(json.contains("\"measured_ns\":1234"));
+        assert!(json.contains("\"compute_cycles\":7"));
+        assert!(json.contains("\"spm_ranges\":[[4096,8192]]"));
+        assert!(json.contains("link[1]"), "labels survive export");
+        assert_eq!(json.matches("\"id\":").count(), p.len());
     }
 
     #[test]

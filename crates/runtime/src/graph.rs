@@ -308,16 +308,43 @@ pub mod generators {
     /// aware scheduling wins on exactly this topology: accelerating the
     /// chain shortens the makespan, decelerating the bushels saves energy.
     pub fn chain_with_fans(links: usize, fan: usize, chain_cost: u64, fan_cost: u64) -> TaskGraph {
+        annotated_chain_with_fans(
+            links,
+            fan,
+            chain_cost,
+            fan_cost,
+            Criticality::Auto,
+            Criticality::Auto,
+        )
+    }
+
+    /// [`chain_with_fans`] with explicit criticality annotations on the
+    /// chain links and the fan tasks — the single parameterized copy of
+    /// the chain+fan shape every bench and example draws from. With
+    /// `Criticality::Auto` on both, the analysis decides (the Fig. 2
+    /// workloads); with `Critical`/`NonCritical` the programmer decides
+    /// (the RSU-driver shape: the annotated chain gets turbo grants, the
+    /// fans run low-power).
+    pub fn annotated_chain_with_fans(
+        links: usize,
+        fan: usize,
+        chain_cost: u64,
+        fan_cost: u64,
+        link_criticality: Criticality,
+        fan_criticality: Criticality,
+    ) -> TaskGraph {
         let mut g = TaskGraph::new();
         let mut prev: Option<TaskId> = None;
         for i in 0..links {
             let mut meta = TaskMeta::new(format!("link[{i}]"));
             meta.cost = chain_cost;
+            meta.criticality = link_criticality;
             let preds: Vec<TaskId> = prev.into_iter().collect();
             let link = g.add_task(meta, &preds);
             for j in 0..fan {
                 let mut m = TaskMeta::new(format!("fan[{i}.{j}]"));
                 m.cost = fan_cost;
+                m.criticality = fan_criticality;
                 g.add_task(m, &[link]);
             }
             prev = Some(link);
@@ -531,6 +558,35 @@ mod tests {
         // in one of its fans: exactly those 3 fans tie the critical path.
         // Fans of earlier links are dominated by the remaining chain.
         assert_eq!(fans_marked, 3);
+    }
+
+    #[test]
+    fn annotated_chain_with_fans_carries_annotations() {
+        let g = annotated_chain_with_fans(
+            4,
+            2,
+            100,
+            10,
+            Criticality::Critical,
+            Criticality::NonCritical,
+        );
+        assert_eq!(g.len(), 4 * 3);
+        for n in g.nodes() {
+            if n.meta.label.starts_with("link") {
+                assert_eq!(n.meta.criticality, Criticality::Critical);
+                assert_eq!(n.meta.cost, 100);
+            } else {
+                assert_eq!(n.meta.criticality, Criticality::NonCritical);
+                assert_eq!(n.meta.cost, 10);
+            }
+        }
+        // The Auto/Auto variant is byte-for-byte the classic shape.
+        let auto = chain_with_fans(4, 2, 100, 10);
+        for (a, b) in g.nodes().zip(auto.nodes()) {
+            assert_eq!(a.meta.label, b.meta.label);
+            assert_eq!(a.preds, b.preds);
+            assert_eq!(b.meta.criticality, Criticality::Auto);
+        }
     }
 
     #[test]

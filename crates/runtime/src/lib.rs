@@ -64,6 +64,7 @@ pub mod export;
 pub mod fault;
 pub mod graph;
 pub mod pool;
+pub mod program;
 pub mod region;
 pub mod runtime;
 pub mod scheduler;
@@ -73,13 +74,16 @@ pub mod task;
 pub mod trace;
 
 pub use blocked::Blocks;
-pub use export::{chrome_trace_json, critical_path_attribution, CriticalPathReport, MetricsReport};
+pub use export::{
+    chrome_trace_json, critical_path_attribution, program_json, CriticalPathReport, MetricsReport,
+};
 pub use fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
 pub use graph::TaskGraph;
+pub use program::TaskProgram;
 pub use region::{AccessMode, DataHandle, Region, RegionId, RegionRange};
-pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskObserver};
+pub use runtime::{ObserverFanout, Runtime, RuntimeConfig, TaskBuilder, TaskObserver};
 pub use scheduler::SchedulerPolicy;
 pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};
 pub use stats::StatsSnapshot;

@@ -1,0 +1,433 @@
+//! The portable task-program IR — the lingua franca of every substrate.
+//!
+//! A [`TaskProgram`] is one task program, described once and consumed
+//! everywhere: the explicit TDG (regions, cost hints, criticality
+//! annotations) plus two things only a *real* execution can supply —
+//! per-task **measured durations** and per-task **classified
+//! memory-reference streams** ([`raa_workloads::TraceEvent`]).  The same
+//! recorded program then drives all three substrates:
+//!
+//! * the real [`Runtime`] re-executes it ([`TaskProgram::spawn_on`]),
+//! * the deterministic schedule simulator replays it
+//!   ([`crate::simsched::ScheduleSimulator::for_program`]) with measured
+//!   or stream-derived costs in place of hand-tuned hints,
+//! * the memory-hierarchy machine (`raa-sim`) replays each task's
+//!   reference stream on the core the schedule placed it on.
+//!
+//! This is the BDDT/Myrmics move: a single explicit dependency-region
+//! program re-targeted across heterogeneous substrates, instead of three
+//! hand-maintained copies of the same graph.
+//!
+//! Recording is cooperative: a task body that wants its reference stream
+//! captured emits events through [`emit`]; the runtime installs a
+//! thread-local sink around each body when
+//! [`crate::runtime::RuntimeConfig::record_program`] is on, and [`emit`]
+//! is free (a thread-local read) when it is not. Durations are measured
+//! unconditionally while recording.
+
+use std::cell::RefCell;
+
+use raa_workloads::trace::{TraceEvent, TraceSummary};
+
+use crate::graph::{TaskGraph, TaskNode};
+use crate::region::DataHandle;
+use crate::runtime::Runtime;
+use crate::task::{TaskBody, TaskId};
+
+/// A portable task program: one TDG plus the optional measurements a real
+/// run recorded into it. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct TaskProgram {
+    graph: TaskGraph,
+    /// Measured wall-clock duration (ns) per task, by dense [`TaskId`].
+    measured_ns: Vec<Option<u64>>,
+    /// Classified memory-reference stream per task (empty when the body
+    /// emitted nothing).
+    streams: Vec<Vec<TraceEvent>>,
+    /// SPM-mapped address ranges of the program's data layout, as
+    /// declared via [`Runtime::declare_spm_ranges`].
+    spm_ranges: Vec<(u64, u64)>,
+}
+
+impl TaskProgram {
+    /// Wrap a bare TDG (no measurements yet) — the entry point for
+    /// hand-built and generator graphs.
+    pub fn from_graph(graph: TaskGraph) -> Self {
+        let n = graph.len();
+        TaskProgram {
+            graph,
+            measured_ns: vec![None; n],
+            streams: vec![Vec::new(); n],
+            spm_ranges: Vec::new(),
+        }
+    }
+
+    /// The underlying dependency graph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Record a measured duration for one task.
+    pub fn set_measured(&mut self, id: TaskId, ns: u64) {
+        if id.index() < self.measured_ns.len() {
+            self.measured_ns[id.index()] = Some(ns);
+        }
+    }
+
+    /// The measured duration of `id`, if the recording captured one.
+    pub fn measured_ns(&self, id: TaskId) -> Option<u64> {
+        self.measured_ns.get(id.index()).copied().flatten()
+    }
+
+    /// How many tasks carry a measured duration.
+    pub fn measured_count(&self) -> usize {
+        self.measured_ns.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Attach a task's classified reference stream.
+    pub fn set_stream(&mut self, id: TaskId, events: Vec<TraceEvent>) {
+        if id.index() < self.streams.len() {
+            self.streams[id.index()] = events;
+        }
+    }
+
+    /// The classified reference stream of `id` (empty if none recorded).
+    pub fn stream(&self, id: TaskId) -> &[TraceEvent] {
+        self.streams
+            .get(id.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Tasks with a non-empty reference stream.
+    pub fn stream_count(&self) -> usize {
+        self.streams.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Total classified events across all task streams.
+    pub fn event_count(&self) -> usize {
+        self.streams.iter().map(|s| s.len()).sum()
+    }
+
+    /// Summary of all recorded streams (classification mix).
+    pub fn trace_summary(&self) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for stream in &self.streams {
+            for ev in stream {
+                s.add(ev);
+            }
+        }
+        s
+    }
+
+    /// Declare the SPM-mapped ranges of the program's address layout.
+    pub fn set_spm_ranges(&mut self, ranges: Vec<(u64, u64)>) {
+        self.spm_ranges = ranges;
+    }
+
+    /// SPM-mapped `(base, bytes)` ranges for machine replay.
+    pub fn spm_ranges(&self) -> &[(u64, u64)] {
+        &self.spm_ranges
+    }
+
+    /// The graph the *schedule* simulator should consume: task costs are
+    /// the measured durations (ns, floored at 1) where the recording has
+    /// them, the static hints elsewhere. With no measurements this is an
+    /// exact copy of the hint graph.
+    pub fn scheduling_graph(&self) -> TaskGraph {
+        let mut g = self.graph.clone();
+        for (i, m) in self.measured_ns.iter().enumerate() {
+            if let Some(ns) = m {
+                g.node_mut(TaskId(i as u32)).meta.cost = (*ns).max(1);
+            }
+        }
+        g
+    }
+
+    /// Abstract cycles implied by one task's reference stream: its pure
+    /// compute cycles plus a nominal per-reference charge. Unlike the
+    /// measured wall-clock durations this is *deterministic* — two
+    /// recordings of the same program yield the same value — which is
+    /// what replay benches diff their output on.
+    pub fn stream_cost(&self, id: TaskId) -> Option<u64> {
+        /// Nominal cycles charged per memory reference (an L1-hit-ish
+        /// constant; the machine simulator, not this cost, decides real
+        /// memory behaviour).
+        const MEM_REF_CYCLES: u64 = 4;
+        let stream = self.stream(id);
+        if stream.is_empty() {
+            return None;
+        }
+        let mut cost = 0u64;
+        for ev in stream {
+            match ev {
+                TraceEvent::Compute(c) => cost += *c as u64,
+                TraceEvent::Mem(_) => cost += MEM_REF_CYCLES,
+                TraceEvent::Barrier => {}
+            }
+        }
+        Some(cost.max(1))
+    }
+
+    /// The graph replay benches schedule on: costs derived from the
+    /// recorded streams ([`TaskProgram::stream_cost`]) where available,
+    /// hints elsewhere. Fully deterministic across recordings.
+    pub fn replay_graph(&self) -> TaskGraph {
+        let mut g = self.graph.clone();
+        for i in 0..self.graph.len() {
+            let id = TaskId(i as u32);
+            if let Some(cost) = self.stream_cost(id) {
+                g.node_mut(id).meta.cost = cost;
+            }
+        }
+        g
+    }
+
+    /// Re-execute the program on a real [`Runtime`]: spawn one task per
+    /// node, in id order, with `make_body` supplying each body. The
+    /// explicit edges are encoded through one synthetic region per task
+    /// (a task writes its own region and reads its predecessors'), so the
+    /// runtime's dependency discovery reconstructs *exactly* the
+    /// program's edge set — the round-trip the IR proptests pin down.
+    ///
+    /// Returns the spawned [`TaskId`]s in node order. The caller still
+    /// owns the taskwait.
+    pub fn spawn_on<F>(&self, rt: &Runtime, mut make_body: F) -> Vec<TaskId>
+    where
+        F: FnMut(&TaskNode) -> TaskBody,
+    {
+        let handles: Vec<DataHandle<()>> = self
+            .graph
+            .nodes()
+            .map(|n| DataHandle::new(n.meta.label.clone(), ()))
+            .collect();
+        let mut spawned = Vec::with_capacity(self.graph.len());
+        for node in self.graph.nodes() {
+            let mut b = rt
+                .task(node.meta.label.clone())
+                .cost(node.meta.cost)
+                .priority(node.meta.priority)
+                .criticality(node.meta.criticality)
+                .writes(&handles[node.id.index()]);
+            for p in &node.preds {
+                b = b.reads(&handles[p.index()]);
+            }
+            spawned.push(b.body(make_body(node)).spawn());
+        }
+        spawned
+    }
+}
+
+// ------------------------------------------------------- recording hook
+//
+// Task bodies emit classified references into a thread-local sink the
+// runtime installs around each body while program recording is on. Kept
+// thread-local so emission needs no lock and nests correctly if a body
+// ever runs another body inline (taskwait on a worker).
+
+thread_local! {
+    static SINK: RefCell<Option<Vec<TraceEvent>>> = const { RefCell::new(None) };
+}
+
+/// True while the current thread is inside a recorded task body — lets
+/// bodies skip building events entirely when nobody is listening.
+pub fn recording() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Append one classified event to the current task's stream. No-op when
+/// the runtime is not recording (see [`recording`]).
+pub fn emit(ev: TraceEvent) {
+    SINK.with(|s| {
+        if let Some(v) = s.borrow_mut().as_mut() {
+            v.push(ev);
+        }
+    });
+}
+
+/// Scoped installation of the thread-local sink around one task body.
+/// [`SinkGuard::finish`] collects the events; dropping without `finish`
+/// (body unwound) discards them. Either way the previous sink (if the
+/// body ran nested inside another recorded body) is restored.
+pub(crate) struct SinkGuard {
+    prev: Option<Vec<TraceEvent>>,
+    finished: bool,
+}
+
+impl SinkGuard {
+    pub(crate) fn install() -> Self {
+        let prev = SINK.with(|s| s.borrow_mut().replace(Vec::new()));
+        SinkGuard {
+            prev,
+            finished: false,
+        }
+    }
+
+    pub(crate) fn finish(mut self) -> Vec<TraceEvent> {
+        self.finished = true;
+        SINK.with(|s| {
+            let mut sink = s.borrow_mut();
+            let events = sink.take().unwrap_or_default();
+            *sink = self.prev.take();
+            events
+        })
+    }
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            SINK.with(|s| {
+                *s.borrow_mut() = self.prev.take();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators;
+    use crate::runtime::RuntimeConfig;
+    use crate::task::Criticality;
+    use raa_workloads::trace::{MemRef, RefClass};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn from_graph_has_no_measurements() {
+        let p = TaskProgram::from_graph(generators::chain(5, 7));
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.measured_count(), 0);
+        assert_eq!(p.stream_count(), 0);
+        assert_eq!(p.event_count(), 0);
+        // Without measurements the scheduling graph is the hint graph.
+        let g = p.scheduling_graph();
+        assert!(g.nodes().all(|n| n.meta.cost == 7));
+    }
+
+    #[test]
+    fn measured_durations_override_hints() {
+        let mut p = TaskProgram::from_graph(generators::chain(3, 7));
+        p.set_measured(TaskId(1), 1234);
+        p.set_measured(TaskId(2), 0); // floored at 1
+        assert_eq!(p.measured_count(), 2);
+        let g = p.scheduling_graph();
+        assert_eq!(g.node(TaskId(0)).meta.cost, 7);
+        assert_eq!(g.node(TaskId(1)).meta.cost, 1234);
+        assert_eq!(g.node(TaskId(2)).meta.cost, 1);
+    }
+
+    #[test]
+    fn stream_costs_are_deterministic_and_override_hints() {
+        let mut p = TaskProgram::from_graph(generators::chain(2, 9));
+        p.set_stream(
+            TaskId(0),
+            vec![
+                TraceEvent::Mem(MemRef::load(64, 8, RefClass::Strided)),
+                TraceEvent::Compute(10),
+                TraceEvent::Barrier,
+            ],
+        );
+        assert_eq!(p.stream_cost(TaskId(0)), Some(14));
+        assert_eq!(p.stream_cost(TaskId(1)), None);
+        let g = p.replay_graph();
+        assert_eq!(g.node(TaskId(0)).meta.cost, 14);
+        assert_eq!(g.node(TaskId(1)).meta.cost, 9, "no stream keeps the hint");
+        let s = p.trace_summary();
+        assert_eq!(s.mem_refs, 1);
+        assert_eq!(s.compute_cycles, 10);
+        assert_eq!(s.barriers, 1);
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_noop() {
+        assert!(!recording());
+        emit(TraceEvent::Compute(1)); // must not panic or leak
+        assert!(!recording());
+    }
+
+    #[test]
+    fn sink_guard_collects_and_restores() {
+        let outer = SinkGuard::install();
+        assert!(recording());
+        emit(TraceEvent::Compute(1));
+        {
+            let inner = SinkGuard::install();
+            emit(TraceEvent::Compute(2));
+            let evs = inner.finish();
+            assert_eq!(evs, vec![TraceEvent::Compute(2)]);
+        }
+        // The outer sink is restored with its event intact.
+        emit(TraceEvent::Compute(3));
+        let evs = outer.finish();
+        assert_eq!(evs, vec![TraceEvent::Compute(1), TraceEvent::Compute(3)]);
+        assert!(!recording());
+    }
+
+    #[test]
+    fn sink_guard_drop_discards_but_restores() {
+        let outer = SinkGuard::install();
+        {
+            let _inner = SinkGuard::install();
+            emit(TraceEvent::Compute(9));
+            // dropped without finish: events discarded
+        }
+        assert!(recording(), "outer sink restored after inner drop");
+        let evs = outer.finish();
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn spawn_on_reexecutes_with_original_edges() {
+        let g = generators::chain_with_fans(4, 2, 10, 1);
+        let prog = TaskProgram::from_graph(g);
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).record_graph(true));
+        let ran = Arc::new(AtomicU64::new(0));
+        let ids = prog.spawn_on(&rt, |_node| {
+            let ran = Arc::clone(&ran);
+            Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        rt.taskwait();
+        assert_eq!(ids.len(), prog.len());
+        assert_eq!(ran.load(Ordering::Relaxed) as usize, prog.len());
+        let rec = rt.graph().expect("recording was on");
+        assert_eq!(rec.len(), prog.len());
+        for node in prog.graph().nodes() {
+            assert_eq!(
+                rec.node(node.id).preds,
+                node.preds,
+                "edge set must round-trip through the real runtime"
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_on_preserves_annotations() {
+        let mut g = TaskGraph::new();
+        let mut m = crate::task::TaskMeta::new("hot");
+        m.cost = 50;
+        m.criticality = Criticality::Critical;
+        m.priority = 3;
+        g.add_task(m, &[]);
+        let prog = TaskProgram::from_graph(g);
+        let rt = Runtime::new(RuntimeConfig::with_workers(1).record_graph(true));
+        prog.spawn_on(&rt, |_| Box::new(|| {}));
+        rt.taskwait();
+        let rec = rt.graph().unwrap();
+        let n = rec.node(TaskId(0));
+        assert_eq!(n.meta.cost, 50);
+        assert_eq!(n.meta.criticality, Criticality::Critical);
+        assert_eq!(n.meta.priority, 3);
+    }
+}

@@ -35,6 +35,7 @@ use crate::fault::{
 };
 use crate::graph::TaskGraph;
 use crate::pool::{Completion, PoolClient, PoolOptions, WorkerPool};
+use crate::program::{SinkGuard, TaskProgram};
 use crate::region::{Access, AccessMode, DataHandle, Region};
 use crate::scheduler::{ReadyQueues, ReadyTask, SchedulerPolicy};
 use crate::stats::{RuntimeStats, StatsSnapshot, RETRY_HIST_BUCKETS};
@@ -87,6 +88,79 @@ pub trait TaskObserver: Send + Sync + 'static {
     }
 }
 
+/// Fan the runtime's single observer slot out to any number of
+/// observers: every lifecycle hook is forwarded to each registered
+/// observer in registration order. This is how an RSU driver, a timing
+/// recorder and anything else attach to the *same* run without each
+/// caller hand-rolling a wrapper struct.
+///
+/// ```
+/// use std::sync::Arc;
+/// use raa_runtime::runtime::ObserverFanout;
+/// # use raa_runtime::{runtime::TaskObserver, TaskId};
+/// # struct A; impl TaskObserver for A {
+/// #     fn on_start(&self, _: usize, _: TaskId, _: bool) {}
+/// #     fn on_complete(&self, _: usize, _: TaskId) {}
+/// # }
+/// let fanout = ObserverFanout::new().with(Arc::new(A)).with(Arc::new(A));
+/// assert_eq!(fanout.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct ObserverFanout {
+    observers: Vec<Arc<dyn TaskObserver>>,
+}
+
+impl ObserverFanout {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style registration.
+    pub fn with(mut self, obs: Arc<dyn TaskObserver>) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Register one more observer.
+    pub fn push(&mut self, obs: Arc<dyn TaskObserver>) {
+        self.observers.push(obs);
+    }
+
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl TaskObserver for ObserverFanout {
+    fn on_start(&self, worker: usize, task: TaskId, critical: bool) {
+        for o in &self.observers {
+            o.on_start(worker, task, critical);
+        }
+    }
+
+    fn on_complete(&self, worker: usize, task: TaskId) {
+        for o in &self.observers {
+            o.on_complete(worker, task);
+        }
+    }
+
+    fn on_fault(&self, worker: usize, task: TaskId) {
+        for o in &self.observers {
+            o.on_fault(worker, task);
+        }
+    }
+
+    fn on_skipped(&self, worker: usize, task: TaskId) {
+        for o in &self.observers {
+            o.on_skipped(worker, task);
+        }
+    }
+}
+
 /// Runtime construction parameters.
 #[derive(Clone)]
 pub struct RuntimeConfig {
@@ -97,6 +171,12 @@ pub struct RuntimeConfig {
     /// Record the full TDG for later analysis / dot export (adds a clone
     /// of each task's metadata; off by default).
     pub record_graph: bool,
+    /// Record a full [`TaskProgram`]: the TDG (implies
+    /// [`RuntimeConfig::record_graph`]) plus each task's measured
+    /// duration and any classified reference stream its body emitted via
+    /// [`crate::program::emit`]. Retrieve with [`Runtime::program`].
+    /// Off by default.
+    pub record_program: bool,
     /// Threshold for the online criticality estimator (fraction of the
     /// longest path; see [`crate::criticality::OnlineCriticality`]).
     pub criticality_threshold: f64,
@@ -120,6 +200,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("workers", &self.workers)
             .field("policy", &self.policy)
             .field("record_graph", &self.record_graph)
+            .field("record_program", &self.record_program)
             .field("criticality_threshold", &self.criticality_threshold)
             .field("observer", &self.observer.is_some())
             .field("retry", &self.retry)
@@ -138,6 +219,7 @@ impl Default for RuntimeConfig {
                 .unwrap_or(4),
             policy: SchedulerPolicy::WorkStealing,
             record_graph: false,
+            record_program: false,
             criticality_threshold: 0.9,
             observer: None,
             retry: RetryPolicy::default(),
@@ -166,6 +248,13 @@ impl RuntimeConfig {
     /// Builder-style graph recording toggle.
     pub fn record_graph(mut self, on: bool) -> Self {
         self.record_graph = on;
+        self
+    }
+
+    /// Builder-style program recording toggle (TDG + measured durations
+    /// + classified reference streams; see [`Runtime::program`]).
+    pub fn record_program(mut self, on: bool) -> Self {
+        self.record_program = on;
         self
     }
 
@@ -226,6 +315,18 @@ impl RuntimeConfig {
 /// Recorded spawn log: each task's metadata plus its predecessor ids.
 type RecordedGraph = Vec<(TaskMeta, Vec<TaskId>)>;
 
+/// Measurement side of program recording (cold path: pushed once per
+/// completed task body, read once at [`Runtime::program`]).
+#[derive(Default)]
+struct ProgramCapture {
+    /// Measured wall-clock duration per successful body run.
+    durations: Mutex<Vec<(TaskId, u64)>>,
+    /// Classified reference streams emitted via [`crate::program::emit`].
+    streams: Mutex<Vec<(TaskId, Vec<raa_workloads::trace::TraceEvent>)>>,
+    /// SPM-mapped layout ranges declared by the program.
+    spm_ranges: Mutex<Vec<(u64, u64)>>,
+}
+
 /// A region range contaminated by a failed writer.
 #[derive(Clone)]
 struct PoisonedRegion {
@@ -254,6 +355,9 @@ struct Shared {
     /// Recorded TDG when [`RuntimeConfig::record_graph`] is on (cold
     /// path: the lock is fine, recording already clones metadata).
     recorded: Option<Mutex<RecordedGraph>>,
+    /// Measured durations + reference streams when
+    /// [`RuntimeConfig::record_program`] is on.
+    capture: Option<ProgramCapture>,
     /// Online criticality: longest observed bottom level, and the
     /// threshold as a num/den ratio (per-slot levels live in the slab).
     max_bl: AtomicU64,
@@ -486,11 +590,33 @@ fn inject(shared: &Weak<Shared>, tid: TaskId, slot: u32, exempt: bool, plan: Opt
     }
 }
 
+/// Innermost program-capture bracket: installs the thread-local stream
+/// sink, times the body and, on success, files the duration and any
+/// emitted events with the runtime's [`ProgramCapture`]. An unwinding
+/// body records nothing (the sink guard restores the thread state and
+/// discards the partial stream) — only successful attempts measure.
+fn record_body(shared: &Weak<Shared>, tid: TaskId, f: impl FnOnce()) {
+    let guard = SinkGuard::install();
+    let t0 = std::time::Instant::now();
+    f();
+    let ns = t0.elapsed().as_nanos() as u64;
+    let events = guard.finish();
+    if let Some(shared) = shared.upgrade() {
+        if let Some(cap) = &shared.capture {
+            cap.durations.lock().push((tid, ns));
+            if !events.is_empty() {
+                cap.streams.lock().push((tid, events));
+            }
+        }
+    }
+}
+
 /// Wrap a task body with the preflight (poison fail-fast), fault
-/// injection, and the trace-session notifications (tracer + observer).
-/// A poisoned task skips without starting; an injected panic fires
-/// inside the observed bracket but *before* the user body, so under pure
-/// injection even a read-modify-write body never runs half-way.
+/// injection, program capture, and the trace-session notifications
+/// (tracer + observer). A poisoned task skips without starting; an
+/// injected panic fires inside the observed bracket but *before* the
+/// user body, so under pure injection even a read-modify-write body
+/// never runs half-way.
 #[allow(clippy::too_many_arguments)]
 fn instrument(
     body: ExecBody,
@@ -499,6 +625,7 @@ fn instrument(
     gen: u64,
     critical: bool,
     exempt: bool,
+    capture: bool,
     shared: Weak<Shared>,
     session: Arc<TraceSession>,
     plan: Option<Arc<FaultPlan>>,
@@ -514,7 +641,11 @@ fn instrument(
                 run_observed(
                     || {
                         inject(&shared, tid, slot, exempt, plan.as_deref());
-                        f()
+                        if capture {
+                            record_body(&shared, tid, f);
+                        } else {
+                            f()
+                        }
                     },
                     &session,
                     tid,
@@ -532,7 +663,11 @@ fn instrument(
             run_observed(
                 || {
                     inject(&shared, tid, slot, exempt, plan.as_deref());
-                    (*f)()
+                    if capture {
+                        record_body(&shared, tid, || (*f)());
+                    } else {
+                        (*f)()
+                    }
                 },
                 &session,
                 tid,
@@ -676,7 +811,9 @@ impl Runtime {
             retry: config.retry,
             has_poison: AtomicBool::new(false),
             poisoned: Mutex::new(Vec::new()),
-            recorded: config.record_graph.then(|| Mutex::new(Vec::new())),
+            recorded: (config.record_graph || config.record_program)
+                .then(|| Mutex::new(Vec::new())),
+            capture: config.record_program.then(ProgramCapture::default),
             max_bl: AtomicU64::new(0),
             crit_num: (config.criticality_threshold * 1000.0).round() as u64,
             crit_den: 1000,
@@ -840,6 +977,7 @@ impl Runtime {
             gen,
             critical,
             exempt,
+            shared.capture.is_some(),
             Arc::downgrade(&self.shared),
             Arc::clone(&self.session),
             self.config.fault_plan.clone(),
@@ -1077,6 +1215,40 @@ impl Runtime {
             }
             g
         })
+    }
+
+    /// The recorded [`TaskProgram`], when
+    /// [`RuntimeConfig::record_program`] was set: the TDG of every task
+    /// spawned so far, the measured duration of every body that ran to
+    /// success, and the classified reference stream of every body that
+    /// emitted one (via [`crate::program::emit`]). Usually called after
+    /// a [`Runtime::taskwait`].
+    pub fn program(&self) -> Option<TaskProgram> {
+        let cap = self.shared.capture.as_ref()?;
+        let graph = self
+            .graph()
+            .expect("record_program implies graph recording");
+        let mut prog = TaskProgram::from_graph(graph);
+        for &(tid, ns) in cap.durations.lock().iter() {
+            prog.set_measured(tid, ns);
+        }
+        for (tid, events) in cap.streams.lock().iter() {
+            prog.set_stream(*tid, events.clone());
+        }
+        prog.set_spm_ranges(cap.spm_ranges.lock().clone());
+        Some(prog)
+    }
+
+    /// Declare the SPM-mapped `(base, bytes)` ranges of the program's
+    /// data layout, to be carried by the recorded [`TaskProgram`] (the
+    /// machine-replay substrate needs them to route strided references).
+    /// No-op unless [`RuntimeConfig::record_program`] is on.
+    pub fn declare_spm_ranges(&self, ranges: &[(u64, u64)]) {
+        if let Some(cap) = &self.shared.capture {
+            let mut r = cap.spm_ranges.lock();
+            r.clear();
+            r.extend_from_slice(ranges);
+        }
     }
 }
 

@@ -15,11 +15,13 @@
 //! small hardware latency, no serialisation).  This is exactly the
 //! comparison motivating Fig. 2.
 
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::criticality;
 use crate::graph::TaskGraph;
+use crate::program::TaskProgram;
 use crate::task::{Criticality, TaskId};
 
 /// A set of virtual cores with individual DVFS frequencies.
@@ -202,8 +204,13 @@ impl SimReport {
 
 /// Deterministic list-schedule simulator. Construct once per (graph,
 /// cores, policy) combination and call [`ScheduleSimulator::run`].
+///
+/// The graph is held as a [`Cow`]: borrow one with
+/// [`ScheduleSimulator::new`], or hand over ownership with
+/// [`ScheduleSimulator::owned`] / [`ScheduleSimulator::for_program`]
+/// (the `'static` variants every IR consumer uses).
 pub struct ScheduleSimulator<'g> {
-    graph: &'g TaskGraph,
+    graph: Cow<'g, TaskGraph>,
     cores: CorePool,
     policy: SimPolicy,
     power: PowerModel,
@@ -263,13 +270,42 @@ impl Ord for FinishEvent {
 impl<'g> ScheduleSimulator<'g> {
     pub fn new(graph: &'g TaskGraph, cores: CorePool, policy: SimPolicy) -> Self {
         ScheduleSimulator {
-            graph,
+            graph: Cow::Borrowed(graph),
             cores,
             policy,
             power: PowerModel::default(),
             criticality_slack: 0,
             comm_cost: 0.0,
         }
+    }
+
+    /// Take ownership of the graph — no borrow to outlive, so callers can
+    /// build a derived graph (e.g. [`TaskProgram::scheduling_graph`]) and
+    /// simulate it in one expression.
+    pub fn owned(
+        graph: TaskGraph,
+        cores: CorePool,
+        policy: SimPolicy,
+    ) -> ScheduleSimulator<'static> {
+        ScheduleSimulator {
+            graph: Cow::Owned(graph),
+            cores,
+            policy,
+            power: PowerModel::default(),
+            criticality_slack: 0,
+            comm_cost: 0.0,
+        }
+    }
+
+    /// Simulate a recorded [`TaskProgram`]: schedules its
+    /// [`TaskProgram::scheduling_graph`] (measured durations as costs
+    /// where the recording has them, hints elsewhere).
+    pub fn for_program(
+        program: &TaskProgram,
+        cores: CorePool,
+        policy: SimPolicy,
+    ) -> ScheduleSimulator<'static> {
+        Self::owned(program.scheduling_graph(), cores, policy)
     }
 
     /// Builder-style communication-cost override.
@@ -307,7 +343,7 @@ impl<'g> ScheduleSimulator<'g> {
         // Auto falls back to the exact analysis.
         let critical: Vec<bool> = match self.policy {
             SimPolicy::CriticalityDvfs { .. } | SimPolicy::CriticalityPlacement => {
-                let auto = criticality::analyze(self.graph, self.criticality_slack);
+                let auto = criticality::analyze(&self.graph, self.criticality_slack);
                 self.graph
                     .nodes()
                     .map(|node| match node.meta.criticality {

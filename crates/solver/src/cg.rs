@@ -1,8 +1,10 @@
 //! Conjugate Gradient: sequential and blocked task-parallel.
 
+use std::ops::Range;
 use std::sync::Arc;
 
-use raa_runtime::{AccessMode, FaultReport, Runtime};
+use raa_runtime::{program, AccessMode, FaultReport, Runtime};
+use raa_workloads::{AddressSpace, ArrayDecl, MemRef, RefClass, TraceEvent};
 
 use crate::blas::{axpy, block_ranges, dot, norm2, xpby};
 use crate::csr::Csr;
@@ -137,6 +139,142 @@ pub fn cg_tasks(
     }
 }
 
+/// Address-space picture of the blocked CG working set, for the
+/// classified reference streams a recording runtime captures into its
+/// [`raa_runtime::TaskProgram`]. The classification mirrors
+/// `raa_workloads::kernels::cg`: the CSR row structures and the vectors
+/// each block owns stream with stride 1 (SPM-mapped); `p` is gathered
+/// by every SpMV task, so the compiler keeps it in the cache hierarchy
+/// where read-sharing replicates for free.
+#[derive(Clone, Debug)]
+struct CgLayout {
+    rowptr: ArrayDecl,
+    colidx: ArrayDecl,
+    vals: ArrayDecl,
+    x: ArrayDecl,
+    r: ArrayDecl,
+    q: ArrayDecl,
+    p: ArrayDecl,
+    parts: ArrayDecl,
+    spm_ranges: Vec<(u64, u64)>,
+}
+
+impl CgLayout {
+    fn new(n: usize, nnz: usize, blocks: usize) -> Self {
+        let (n, nnz) = (n as u64, nnz as u64);
+        let mut space = AddressSpace::new();
+        let rowptr = space.alloc("rowptr", (n + 1) * 8, true);
+        let colidx = space.alloc("colidx", nnz * 4, true);
+        let vals = space.alloc("vals", nnz * 8, true);
+        let x = space.alloc("x", n * 8, true);
+        let r = space.alloc("r", n * 8, true);
+        let q = space.alloc("q", n * 8, true);
+        let p = space.alloc("p", n * 8, false);
+        let parts = space.alloc("parts", (blocks as u64).max(1) * 8, false);
+        let decl = |id| space.get(id).clone();
+        CgLayout {
+            rowptr: decl(rowptr),
+            colidx: decl(colidx),
+            vals: decl(vals),
+            x: decl(x),
+            r: decl(r),
+            q: decl(q),
+            p: decl(p),
+            parts: decl(parts),
+            spm_ranges: space.spm_ranges(),
+        }
+    }
+
+    /// SpMV over `rows`, gathering `p` at the matrix's *real* column
+    /// indices — the [`RefClass::RandomUnknown`] case the hybrid
+    /// memory protocol exists for.
+    fn emit_spmv(&self, a: &Csr, rows: &Range<usize>) {
+        if !program::recording() {
+            return;
+        }
+        for i in rows.clone() {
+            program::emit(TraceEvent::Mem(MemRef::load(
+                self.rowptr.elem(i as u64, 8),
+                8,
+                RefClass::Strided,
+            )));
+            let (cols, _) = a.row(i);
+            let k0 = a.row_range(i).start as u64;
+            for (j, &col) in cols.iter().enumerate() {
+                let k = k0 + j as u64;
+                program::emit(TraceEvent::Mem(MemRef::load(
+                    self.colidx.elem(k, 4),
+                    4,
+                    RefClass::Strided,
+                )));
+                program::emit(TraceEvent::Mem(MemRef::load(
+                    self.vals.elem(k, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+                program::emit(TraceEvent::Mem(MemRef::load(
+                    self.p.elem(col as u64, 8),
+                    8,
+                    RefClass::RandomUnknown,
+                )));
+                program::emit(TraceEvent::Compute(2));
+            }
+            program::emit(TraceEvent::Mem(MemRef::store(
+                self.q.elem(i as u64, 8),
+                8,
+                RefClass::Strided,
+            )));
+        }
+    }
+
+    /// A streaming sweep over `rows`: one strided load per array in
+    /// `loads`, one strided store per array in `stores`, `flops` cycles
+    /// of compute — the shape of every vector kernel in the iteration.
+    fn emit_sweep(
+        &self,
+        loads: &[&ArrayDecl],
+        stores: &[&ArrayDecl],
+        flops: u32,
+        rows: &Range<usize>,
+    ) {
+        if !program::recording() {
+            return;
+        }
+        for i in rows.clone() {
+            for arr in loads {
+                program::emit(TraceEvent::Mem(MemRef::load(
+                    arr.elem(i as u64, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+            }
+            program::emit(TraceEvent::Compute(flops));
+            for arr in stores {
+                program::emit(TraceEvent::Mem(MemRef::store(
+                    arr.elem(i as u64, 8),
+                    8,
+                    RefClass::Strided,
+                )));
+            }
+        }
+    }
+
+    /// A scalar reduction over the `blocks` partial results.
+    fn emit_reduce(&self, blocks: usize) {
+        if !program::recording() {
+            return;
+        }
+        for bi in 0..blocks {
+            program::emit(TraceEvent::Mem(MemRef::load(
+                self.parts.elem(bi as u64, 8),
+                8,
+                RefClass::Strided,
+            )));
+        }
+        program::emit(TraceEvent::Compute(blocks.max(1) as u32));
+    }
+}
+
 /// [`cg_tasks`], but task failures (exhausted retries under fault
 /// injection, poisoned downstream reads) surface as a typed
 /// [`FaultReport`] instead of a panic — the entry point fault-injection
@@ -163,12 +301,20 @@ pub fn try_cg_tasks(
     let rr_parts = rt.register("rr_parts", vec![0.0f64; blocks]);
     let scalars = rt.register("scalars", CgScalars::new(dot(b, b)));
 
+    // The classified address-space picture of the solve. When the
+    // runtime records a program, each task body emits its reference
+    // stream against these addresses (a no-op otherwise), and the
+    // SPM-mappable ranges ride along for hybrid-machine replay.
+    let layout = Arc::new(CgLayout::new(n, a.nnz(), blocks));
+    rt.declare_spm_ranges(&layout.spm_ranges);
+
     let mut iter = 0;
     let mut rr = dot(b, b);
     while iter < max_iters && rr.sqrt() / bnorm > tol {
         // q = A p (one task per row block; each depends on all of p).
         for (bi, range) in ranges.iter().enumerate() {
             let (a, p, q, range) = (Arc::clone(&a), p.clone(), q.clone(), range.clone());
+            let lay = Arc::clone(&layout);
             rt.task(format!("spmv[{bi}]"))
                 .reads(&p)
                 .region(
@@ -180,12 +326,14 @@ pub fn try_cg_tasks(
                     let pv = p.read();
                     let mut qv = q.write();
                     a.spmv_rows(range.clone(), &pv, &mut qv);
+                    lay.emit_spmv(&a, &range);
                 })
                 .spawn();
         }
         // Partial dots pᵀq.
         for (bi, range) in ranges.iter().enumerate() {
             let (p, q, parts, range) = (p.clone(), q.clone(), pq_parts.clone(), range.clone());
+            let lay = Arc::clone(&layout);
             rt.task(format!("dot_pq[{bi}]"))
                 .region(
                     p.sub(range.start as u64, range.end as u64),
@@ -201,12 +349,14 @@ pub fn try_cg_tasks(
                     let pv = p.read();
                     let qv = q.read();
                     parts.write()[bi] = dot(&pv[range.clone()], &qv[range.clone()]);
+                    lay.emit_sweep(&[&lay.p, &lay.q], &[], 1, &range);
                 })
                 .spawn();
         }
         // alpha = rr / sum(parts)
         {
             let (parts, scalars) = (pq_parts.clone(), scalars.clone());
+            let lay = Arc::clone(&layout);
             rt.task("alpha")
                 .reads(&pq_parts)
                 .updates(&scalars)
@@ -215,6 +365,7 @@ pub fn try_cg_tasks(
                     let pq: f64 = parts.read().iter().sum();
                     let mut s = scalars.write();
                     s.alpha = s.rr / pq;
+                    lay.emit_reduce(blocks);
                 })
                 .spawn();
         }
@@ -228,6 +379,7 @@ pub fn try_cg_tasks(
                 scalars.clone(),
                 range.clone(),
             );
+            let lay = Arc::clone(&layout);
             rt.task(format!("update_xr[{bi}]"))
                 .reads(&scalars)
                 .region(
@@ -253,12 +405,19 @@ pub fn try_cg_tasks(
                     let qv = q.read();
                     axpy(alpha, &pv[range.clone()], &mut x.write()[range.clone()]);
                     axpy(-alpha, &qv[range.clone()], &mut r.write()[range.clone()]);
+                    lay.emit_sweep(
+                        &[&lay.p, &lay.q, &lay.x, &lay.r],
+                        &[&lay.x, &lay.r],
+                        2,
+                        &range,
+                    );
                 })
                 .spawn();
         }
         // Partial dots rᵀr.
         for (bi, range) in ranges.iter().enumerate() {
             let (r, parts, range) = (r.clone(), rr_parts.clone(), range.clone());
+            let lay = Arc::clone(&layout);
             rt.task(format!("dot_rr[{bi}]"))
                 .region(
                     r.sub(range.start as u64, range.end as u64),
@@ -269,12 +428,14 @@ pub fn try_cg_tasks(
                 .idempotent(move || {
                     let rv = r.read();
                     parts.write()[bi] = dot(&rv[range.clone()], &rv[range.clone()]);
+                    lay.emit_sweep(&[&lay.r], &[], 1, &range);
                 })
                 .spawn();
         }
         // beta + p update need the new rr.
         {
             let (parts, scalars) = (rr_parts.clone(), scalars.clone());
+            let lay = Arc::clone(&layout);
             rt.task("beta")
                 .reads(&rr_parts)
                 .updates(&scalars)
@@ -284,11 +445,13 @@ pub fn try_cg_tasks(
                     let mut s = scalars.write();
                     s.beta = rr_new / s.rr;
                     s.rr = rr_new;
+                    lay.emit_reduce(blocks);
                 })
                 .spawn();
         }
         for (bi, range) in ranges.iter().enumerate() {
             let (r, p, scalars, range) = (r.clone(), p.clone(), scalars.clone(), range.clone());
+            let lay = Arc::clone(&layout);
             rt.task(format!("update_p[{bi}]"))
                 .reads(&scalars)
                 .region(
@@ -304,6 +467,7 @@ pub fn try_cg_tasks(
                     let beta = scalars.read().beta;
                     let rv = r.read();
                     xpby(&rv[range.clone()], beta, &mut p.write()[range.clone()]);
+                    lay.emit_sweep(&[&lay.r, &lay.p], &[&lay.p], 1, &range);
                 })
                 .spawn();
         }
@@ -480,6 +644,30 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         assert!(diff < 1e-8, "max diff {diff}");
+    }
+
+    #[test]
+    fn recorded_program_carries_classified_streams() {
+        let (a, b, _) = poisson_system(8, 8);
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).record_program(true));
+        let res = cg_tasks(&rt, Arc::new(a), &b, 4, 1e-8, 1000);
+        assert!(res.converged);
+        let prog = rt.program().expect("recording enabled");
+        assert!(prog.stream_count() > 0, "task bodies emitted streams");
+        assert!(
+            !prog.spm_ranges().is_empty(),
+            "SPM-mappable ranges declared"
+        );
+        let sum = prog.trace_summary();
+        // The SpMV gather is the RandomUnknown case; the vector sweeps
+        // are strided. Both classes must appear in a real recording.
+        assert!(sum.random_unknown > 0, "{sum:?}");
+        assert!(sum.strided > sum.random_unknown, "{sum:?}");
+        assert_eq!(sum.barriers, 0, "per-task streams never barrier");
+        // Every spawned task that ran a body has a stream (exempt
+        // taskwait sentinels do not).
+        assert!(prog.stream_count() <= prog.len());
+        assert!(prog.measured_count() >= prog.stream_count());
     }
 
     #[test]

@@ -83,6 +83,13 @@ impl Csr {
         self.cols.len()
     }
 
+    /// Range of non-zero indices backing row `i` (positions into the
+    /// flat `cols`/`vals` arrays — the addresses a streaming SpMV
+    /// actually touches).
+    pub fn row_range(&self, i: usize) -> Range<usize> {
+        self.rowptr[i]..self.rowptr[i + 1]
+    }
+
     /// Row `i` as `(cols, vals)` slices.
     pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
         let lo = self.rowptr[i];

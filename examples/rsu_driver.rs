@@ -2,50 +2,63 @@
 //! scheduler annotations drive a simulated Runtime Support Unit, which
 //! grants per-core frequencies under the chip power budget.
 //!
+//! The workload is a portable [`TaskProgram`]: the §3.1 chain-with-fans
+//! shape from the shared generator, replayed onto the live runtime with
+//! [`TaskProgram::spawn_on`] — the same IR the simulators consume.
+//!
 //! Run: `cargo run --release -p raa-examples --bin rsu_driver`
 
+use std::sync::Arc;
+
+use raa_core::profile::TimingRecorder;
 use raa_core::{HardwareInterface, RsuDriver};
-use raa_runtime::{Criticality, Runtime, RuntimeConfig, SchedulerPolicy};
+use raa_runtime::graph::generators::annotated_chain_with_fans;
+use raa_runtime::{
+    Criticality, ObserverFanout, Runtime, RuntimeConfig, SchedulerPolicy, TaskProgram,
+};
 
 fn main() {
     let workers = 4;
     let driver = RsuDriver::new(8); // budget sized for 8 nominal cores
+    let timings = TimingRecorder::new();
+    // One observer slot, two consumers: the RSU reacts to criticality
+    // notifications while the recorder measures durations.
+    let observers = ObserverFanout::new()
+        .with(driver.clone())
+        .with(timings.clone());
     let rt = Runtime::new(
         RuntimeConfig::with_workers(workers)
             .policy(SchedulerPolicy::CriticalityAware { fast_workers: 1 })
-            .observer(driver.clone()),
+            .observer(Arc::new(observers)),
     );
 
     // A chain of critical tasks with non-critical fan-out — the §3.1
     // shape. The chain is annotated critical: the RSU grants it turbo;
     // the fans run low-power.
-    let chain = rt.register("chain-state", 0u64);
-    for link in 0..30 {
-        {
-            let c = chain.clone();
-            rt.task(format!("link[{link}]"))
-                .updates(&chain)
-                .criticality(Criticality::Critical)
-                .cost(1000)
-                .body(move || {
-                    *c.write() += 1;
-                    std::thread::sleep(std::time::Duration::from_micros(200));
-                })
-                .spawn();
-        }
-        for f in 0..3 {
-            rt.task(format!("fan[{link}.{f}]"))
-                .reads(&chain)
-                .criticality(Criticality::NonCritical)
-                .cost(100)
-                .body(|| std::thread::sleep(std::time::Duration::from_micros(50)))
-                .spawn();
-        }
-    }
+    let program = TaskProgram::from_graph(annotated_chain_with_fans(
+        30,
+        3,
+        1000,
+        100,
+        Criticality::Critical,
+        Criticality::NonCritical,
+    ));
+    program.spawn_on(&rt, |node| {
+        let us = match node.meta.criticality {
+            Criticality::Critical => 200,
+            _ => 50,
+        };
+        Box::new(move || std::thread::sleep(std::time::Duration::from_micros(us)))
+    });
     rt.taskwait();
 
     use std::sync::atomic::Ordering;
+    println!(
+        "program        : {} tasks (chain of 30 × 3 fans)",
+        program.len()
+    );
     println!("tasks executed : {}", rt.stats().completed);
+    println!("tasks measured : {}", timings.measured());
     println!("RSU grants     : {}", driver.grants());
     println!(
         "  turbo (1.3x)  : {:>4}   (critical chain links)",

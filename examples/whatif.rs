@@ -1,13 +1,13 @@
 //! "What-if" architecture exploration from a *recorded* execution: run a
-//! real task-parallel CG on this machine, capture the TDG the runtime
-//! discovered, and replay it on simulated manycores — the runtime-aware
-//! feedback loop the paper envisions.
+//! real task-parallel CG on this machine, capture the `TaskProgram` the
+//! runtime discovered (TDG + measured durations), and replay it on
+//! simulated manycores — the runtime-aware feedback loop the paper
+//! envisions.
 //!
 //! Run: `cargo run --release -p raa-examples --bin whatif`
 
 use std::sync::Arc;
 
-use raa_core::profile::{apply_measured_costs, TimingRecorder};
 use raa_core::system::whatif;
 use raa_runtime::{CorePool, Runtime, RuntimeConfig, ScheduleSimulator, SimPolicy};
 use raa_solver::cg::cg_tasks;
@@ -16,19 +16,18 @@ use raa_solver::csr::Csr;
 fn main() {
     // 1. Real execution, recorded and *timed* (measured durations feed
     //    the replay, not programmer hints).
-    let timings = TimingRecorder::new();
-    let rt = Runtime::new(
-        RuntimeConfig::with_workers(2)
-            .record_graph(true)
-            .observer(timings.clone()),
-    );
+    let rt = Runtime::new(RuntimeConfig::with_workers(2).record_program(true));
     let a = Csr::poisson2d(24, 24);
     let n = a.n();
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
     let res = cg_tasks(&rt, Arc::new(a), &b, 8, 1e-8, 2000);
-    let mut g = rt.graph().expect("recording enabled");
-    let measured = apply_measured_costs(&mut g, &timings);
-    println!("measured durations applied to {measured} tasks");
+    let program = rt.program().expect("recording enabled");
+    println!(
+        "measured durations captured for {} of {} tasks",
+        program.measured_count(),
+        program.len()
+    );
+    let g = program.scheduling_graph();
     println!(
         "real run: CG converged in {} iterations; runtime discovered a TDG of {} tasks / {} edges",
         res.iterations,
@@ -44,12 +43,12 @@ fn main() {
     );
 
     // 2. Replay on simulated machines.
-    println!("\nwhat-if: the same TDG on simulated manycores");
+    println!("\nwhat-if: the same program on simulated manycores");
     println!(
         "{:>6} {:>16} {:>14} {:>14}",
         "cores", "static makespan", "RSU makespan", "RSU EDP gain"
     );
-    for row in whatif(&g, &[1, 2, 4, 8, 16, 32]) {
+    for row in whatif(&program, &[1, 2, 4, 8, 16, 32]) {
         println!(
             "{:>6} {:>16.0} {:>14.0} {:>13.1}%",
             row.cores,
@@ -68,12 +67,8 @@ fn main() {
         }
         sub
     };
-    let r = ScheduleSimulator::new(
-        &small,
-        CorePool::homogeneous(8, 1.0),
-        SimPolicy::BottomLevel,
-    )
-    .run();
+    let r = ScheduleSimulator::owned(small, CorePool::homogeneous(8, 1.0), SimPolicy::BottomLevel)
+        .run();
     println!("\nGantt of the first iterations on 8 simulated cores:");
     print!("{}", r.gantt(64));
 }

@@ -257,15 +257,11 @@ fn runtime_executes_the_fig2_graph_shapes_correctly() {
 
 #[test]
 fn measured_profile_feeds_whatif_replay() {
-    use raa_core::profile::{apply_measured_costs, TimingRecorder};
     use raa_core::system::whatif;
 
-    let timings = TimingRecorder::new();
-    let rt = Runtime::new(
-        RuntimeConfig::with_workers(2)
-            .record_graph(true)
-            .observer(timings.clone()),
-    );
+    // record_program captures the TDG *and* per-task measured durations
+    // in one pass — no observer plumbing needed.
+    let rt = Runtime::new(RuntimeConfig::with_workers(2).record_program(true));
     // A blocked pipeline with unequal stage times.
     let data = rt.register("d", vec![0u64; 32]);
     for stage in 0..3u64 {
@@ -285,12 +281,13 @@ fn measured_profile_feeds_whatif_replay() {
         }
     }
     rt.taskwait();
-    let mut g = rt.graph().expect("recorded");
-    assert_eq!(apply_measured_costs(&mut g, &timings), 12);
-    let rows = whatif(&g, &[1, 4]);
+    let prog = rt.program().expect("recorded");
+    assert_eq!(prog.len(), 12);
+    assert_eq!(prog.measured_count(), 12, "every task body was measured");
+    let rows = whatif(&prog, &[1, 4]);
     assert!(rows[1].static_makespan < rows[0].static_makespan);
     // The slow stage dominates the measured critical path.
-    let (cp, _) = g.critical_path();
+    let (cp, _) = prog.scheduling_graph().critical_path();
     assert!(cp as f64 > 0.5 * rows[0].static_makespan / 4.0);
 }
 

@@ -382,6 +382,39 @@ proptest! {
         prop_assert_eq!(isa.cycles(), direct.cycles());
     }
 
+    /// A program replayed onto a live recording runtime rediscovers
+    /// exactly its own dependency edges: `spawn_on` encodes each edge
+    /// through synthetic data regions, and the tracker must recover the
+    /// same pred sets — no edge lost, none invented — for any DAG.
+    #[test]
+    fn program_replay_preserves_every_edge(
+        layers in 1usize..6,
+        width in 1usize..6,
+        seed in 0u64..500,
+        workers in 1usize..4,
+    ) {
+        use raa_runtime::graph::generators;
+        use raa_runtime::{Runtime, RuntimeConfig, TaskProgram};
+        let g = generators::random_layered(layers, width, 1..40, seed);
+        let program = TaskProgram::from_graph(g);
+        let rt = Runtime::new(RuntimeConfig::with_workers(workers).record_graph(true));
+        let ids = program.spawn_on(&rt, |_| Box::new(|| {}));
+        rt.taskwait();
+        let rec = rt.graph().expect("recording enabled");
+        prop_assert!(rec.topo_order().is_some(), "recorded TDG must stay acyclic");
+        prop_assert_eq!(ids.len(), program.len());
+        for (node, &rid) in program.graph().nodes().zip(&ids) {
+            let rnode = rec.node(rid);
+            let want: std::collections::BTreeSet<u32> =
+                node.preds.iter().map(|p| ids[p.index()].0).collect();
+            let got: std::collections::BTreeSet<u32> =
+                rnode.preds.iter().map(|p| p.0).collect();
+            prop_assert_eq!(got, want, "pred set of task {} differs", node.id.0);
+            prop_assert_eq!(&rnode.meta.label, &node.meta.label);
+            prop_assert_eq!(rnode.meta.cost, node.meta.cost);
+        }
+    }
+
     /// Gantt output is rectangular and only ever uses the two cell
     /// glyphs.
     #[test]
