@@ -196,14 +196,19 @@ impl DepTracker {
 /// data takes only the shard locks its regions hash to, so unrelated
 /// spawns proceed in parallel; completions never touch the tracker at
 /// all (stale owner entries are detected via [`TaskRef`] generations).
+///
+/// Region state is keyed by `(namespace, region)`. The job layer passes
+/// each job's generation-counted id as the namespace, so two tenants
+/// touching the same region neither serialise on dependency edges nor
+/// observe each other's access history; single-job callers pass 0.
 pub struct ShardedDepTracker {
     shards: Box<[Mutex<Shard>]>,
     mask: u64,
     edges: AtomicU64,
 }
 
-/// One shard's slice of the region table.
-type Shard = HashMap<RegionId, RegionState<TaskRef>>;
+/// One shard's slice of the `(namespace, region)` table.
+type Shard = HashMap<(u64, RegionId), RegionState<TaskRef>>;
 
 impl Default for ShardedDepTracker {
     fn default() -> Self {
@@ -225,27 +230,31 @@ impl ShardedDepTracker {
         }
     }
 
-    fn shard_of(&self, id: RegionId) -> usize {
+    fn shard_of(&self, ns: u64, id: RegionId) -> usize {
         // Fibonacci hash: region ids are sequential, multiply-shift
-        // spreads them across shards.
-        ((id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask) as usize
+        // spreads them across shards. The namespace is folded in with a
+        // second odd multiplier so one job's regions do not all collide
+        // with another job's on the same shard.
+        let mixed = id.0 ^ ns.wrapping_mul(0xA24B_AED4_963E_E407);
+        ((mixed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask) as usize
     }
 
-    /// Record the declared accesses of `who` and append its predecessor
-    /// set (deduplicated by task id, self-edges removed) to `preds`.
+    /// Record the declared accesses of `who` (within dependency
+    /// namespace `ns`) and append its predecessor set (deduplicated by
+    /// task id, self-edges removed) to `preds`.
     ///
     /// Every shard involved is locked *simultaneously*, in ascending
     /// index order. Per-access locking would let two tasks observe each
     /// other in opposite orders on different regions and deadlock the
     /// TDG with an A→B, B→A cycle; ascending acquisition keeps the
     /// simultaneous locking deadlock-free.
-    pub fn submit(&self, who: TaskRef, accesses: &[Access], preds: &mut Vec<TaskRef>) {
+    pub fn submit(&self, ns: u64, who: TaskRef, accesses: &[Access], preds: &mut Vec<TaskRef>) {
         preds.clear();
         let live = |a: &&Access| !a.region.range.is_empty();
         let mut shard_ids: Vec<usize> = accesses
             .iter()
             .filter(live)
-            .map(|a| self.shard_of(a.region.id))
+            .map(|a| self.shard_of(ns, a.region.id))
             .collect();
         if shard_ids.is_empty() {
             return;
@@ -255,10 +264,10 @@ impl ShardedDepTracker {
         let mut guards: Vec<_> = shard_ids.iter().map(|&s| self.shards[s].lock()).collect();
         for access in accesses.iter().filter(live) {
             let pos = shard_ids
-                .binary_search(&self.shard_of(access.region.id))
+                .binary_search(&self.shard_of(ns, access.region.id))
                 .expect("shard was collected above");
             guards[pos]
-                .entry(access.region.id)
+                .entry((ns, access.region.id))
                 .or_insert_with(RegionState::new)
                 .apply(who, access, preds);
         }
@@ -461,7 +470,7 @@ mod tests {
                 accesses.push(acc(id, start, end, mode));
             }
             let want = single.submit(TaskId(tid), &accesses);
-            sharded.submit(tref(tid), &accesses, &mut out);
+            sharded.submit(0, tref(tid), &accesses, &mut out);
             let got: Vec<TaskId> = out.iter().map(|r| r.tid).collect();
             assert_eq!(got, want, "tid={tid}");
         }
@@ -480,6 +489,7 @@ mod tests {
                     for i in 0..500u32 {
                         let tid = lane as u32 * 1000 + i;
                         t.submit(
+                            0,
                             tref(tid),
                             &[acc(lane, 0, 64, AccessMode::ReadWrite)],
                             &mut preds,
@@ -499,6 +509,24 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(t.edges_produced(), 4 * 499);
+    }
+
+    #[test]
+    fn sharded_tracker_namespaces_are_isolated() {
+        let t = ShardedDepTracker::with_shards(8);
+        let mut preds = Vec::new();
+        // Namespace 1 writes region 0; namespace 2's writer to the same
+        // region must see no predecessor — jobs do not serialise on
+        // shared region ids.
+        t.submit(1, tref(0), &[acc(0, 0, 64, AccessMode::Write)], &mut preds);
+        assert!(preds.is_empty());
+        t.submit(2, tref(1), &[acc(0, 0, 64, AccessMode::Write)], &mut preds);
+        assert!(preds.is_empty(), "cross-namespace WAW must not appear");
+        // Within a namespace the ordering is intact.
+        t.submit(1, tref(2), &[acc(0, 0, 64, AccessMode::Read)], &mut preds);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].tid, TaskId(0));
+        assert_eq!(t.edges_produced(), 1);
     }
 
     /// Oracle cross-check: a naive per-element tracker must agree with the

@@ -294,6 +294,9 @@ pub enum TaskError {
         source: TaskId,
         source_label: String,
     },
+    /// The task never ran: its job was cancelled (explicitly or by a
+    /// draining runtime) before the task was picked up.
+    Cancelled,
 }
 
 impl fmt::Display for TaskError {
@@ -304,6 +307,7 @@ impl fmt::Display for TaskError {
                 source,
                 source_label,
             } => write!(f, "poisoned by {source:?} '{source_label}'"),
+            TaskError::Cancelled => f.write_str("cancelled"),
         }
     }
 }
@@ -346,12 +350,15 @@ impl std::error::Error for TaskFailure {
 }
 
 /// Everything that failed between two taskwaits, returned by
-/// `Runtime::try_taskwait`. Failures appear in completion order; poisoned
-/// victims reference their poisoning source so cause chains can be
-/// followed.
+/// `Runtime::try_taskwait` and `JobHandle::try_join`. Failures appear in
+/// completion order; poisoned victims reference their poisoning source
+/// so cause chains can be followed. `poisoned_regions` snapshots *every*
+/// region range still poisoned in the reporting fault domain at the time
+/// the report was taken — not just the first failure's.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultReport {
     pub failures: Vec<TaskFailure>,
+    pub poisoned_regions: Vec<crate::region::Region>,
 }
 
 impl FaultReport {
@@ -376,6 +383,13 @@ impl FaultReport {
             .iter()
             .filter(|f| matches!(f.error, TaskError::Poisoned { .. }))
     }
+
+    /// Failures that never ran because their job was cancelled.
+    pub fn cancelled(&self) -> impl Iterator<Item = &TaskFailure> {
+        self.failures
+            .iter()
+            .filter(|f| matches!(f.error, TaskError::Cancelled))
+    }
 }
 
 impl fmt::Display for FaultReport {
@@ -383,6 +397,13 @@ impl fmt::Display for FaultReport {
         writeln!(f, "{} task(s) failed:", self.failures.len())?;
         for failure in &self.failures {
             writeln!(f, "  {failure}")?;
+        }
+        if !self.poisoned_regions.is_empty() {
+            writeln!(
+                f,
+                "  {} region range(s) still poisoned",
+                self.poisoned_regions.len()
+            )?;
         }
         Ok(())
     }
@@ -529,6 +550,7 @@ mod tests {
                     },
                 },
             ],
+            poisoned_regions: Vec::new(),
         };
         let text = report.to_string();
         assert!(text.contains("2 task(s) failed"));

@@ -1,0 +1,507 @@
+//! The multi-tenant job layer: per-job fault domains over one runtime.
+//!
+//! A long-lived [`crate::Runtime`] absorbs many workloads at once. Each
+//! workload is a *job*: submitted via `Runtime::submit(JobSpec)`, it owns
+//! its own **fault domain** — a private retry policy, fault-injection
+//! plan, observer session, failure list and poisoned-region set — so one
+//! misbehaving tenant can neither poison nor starve another. Isolation is
+//! carried through the lock-free slab/deque hot path by tagging each
+//! task's slot with an `Arc<JobState>` and namespacing the dependency
+//! tracker with the generation-counted [`JobId`] (see `deps.rs`): two
+//! jobs touching the same [`crate::Region`] neither serialise nor
+//! exchange poison.
+//!
+//! On top of isolation sits the service-robustness layer:
+//!
+//! * **admission control** — bounded in-flight tasks per job
+//!   ([`JobSpec::max_in_flight`]) and globally
+//!   (`RuntimeConfig::max_in_flight`): `TaskBuilder::try_spawn` returns
+//!   [`AdmissionError::Busy`] at the cap, `spawn` blocks until capacity
+//!   frees up;
+//! * **load shedding** — [`crate::QosClass::BestEffort`] jobs drop tasks
+//!   once the global in-flight count reaches the configured shed
+//!   watermark, protecting guaranteed tenants;
+//! * **graceful lifecycle** — `Runtime::drain(timeout)` walks the
+//!   Running → Draining → Drained state machine: stop admitting jobs,
+//!   let in-flight work finish, cancel what remains, and force worker
+//!   shutdown only if the deadline is about to pass.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::fault::{FaultPlan, FaultReport, RetryPolicy, TaskFailure};
+use crate::region::Region;
+use crate::scheduler::QosClass;
+use crate::task::TaskId;
+use crate::trace::TraceSession;
+
+/// Generation-counted job identifier: `index` addresses a slot in the
+/// runtime's job table, `gen` disambiguates reuse of that slot — a stale
+/// `JobId` held after its job retired can never alias a later tenant.
+/// `key()` is the 64-bit value used to namespace dependency-tracker
+/// state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId {
+    pub index: u32,
+    pub gen: u32,
+}
+
+impl JobId {
+    /// The implicit job behind `Runtime::task` / `Runtime::try_taskwait`.
+    pub const DEFAULT: JobId = JobId { index: 0, gen: 0 };
+
+    /// The dependency-namespace key: unique across slot reuse.
+    pub fn key(&self) -> u64 {
+        ((self.index as u64) << 32) | self.gen as u64
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}.{}", self.index, self.gen)
+    }
+}
+
+/// Parameters of a job submission. Everything is optional: a default
+/// spec inherits the runtime's retry policy, fault plan and observer,
+/// runs at [`QosClass::Guaranteed`] and has no per-job in-flight cap.
+#[derive(Clone, Default)]
+pub struct JobSpec {
+    /// Human-readable job label (diagnostics and failure reports).
+    pub label: String,
+    /// Quality-of-service class (admission + scheduling; see
+    /// [`QosClass`]).
+    pub qos: QosClass,
+    /// Per-job retry policy; `None` inherits the runtime's.
+    pub retry: Option<RetryPolicy>,
+    /// Per-job fault-injection plan applied to this job's task attempts;
+    /// `None` inherits the runtime's. Worker kills remain pool-scoped —
+    /// a per-job plan's `kill_worker` entries never fire.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Per-job execution observer; `None` inherits the runtime's.
+    pub observer: Option<Arc<dyn crate::runtime::TaskObserver>>,
+    /// Cap on this job's in-flight (admitted, unsettled) tasks.
+    pub max_in_flight: Option<usize>,
+}
+
+impl JobSpec {
+    pub fn new(label: impl Into<String>) -> Self {
+        JobSpec {
+            label: label.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style QoS class.
+    pub fn qos(mut self, qos: QosClass) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Builder-style per-job retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Builder-style per-job fault-injection plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Builder-style per-job observer.
+    pub fn observer(mut self, obs: Arc<dyn crate::runtime::TaskObserver>) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Builder-style per-job in-flight task cap (>= 1).
+    pub fn max_in_flight(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "a zero cap would admit nothing");
+        self.max_in_flight = Some(cap);
+        self
+    }
+}
+
+impl fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("label", &self.label)
+            .field("qos", &self.qos)
+            .field("retry", &self.retry)
+            .field("fault_plan", &self.fault_plan.is_some())
+            .field("observer", &self.observer.is_some())
+            .field("max_in_flight", &self.max_in_flight)
+            .finish()
+    }
+}
+
+/// Why a submission (of a job, or of a task into a job) was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// An in-flight cap (per-job or global) or the job-count cap is
+    /// reached. Retry later, or use the blocking `spawn`.
+    Busy,
+    /// A best-effort task was load-shed at the global shed watermark.
+    Shed,
+    /// The runtime is draining (or drained): no new work is admitted.
+    Draining,
+    /// The target job was cancelled.
+    Cancelled,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Busy => f.write_str("admission cap reached"),
+            AdmissionError::Shed => f.write_str("best-effort task shed under load"),
+            AdmissionError::Draining => f.write_str("runtime is draining"),
+            AdmissionError::Cancelled => f.write_str("job was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// What `Runtime::drain` accomplished within its timeout.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainReport {
+    /// In-flight work did not quiesce before the deadline.
+    pub timed_out: bool,
+    /// The pool was shut down with work still in flight (phase 3).
+    pub forced: bool,
+    /// Jobs cancelled by the drain (phase 2).
+    pub cancelled_jobs: usize,
+    /// Outstanding tasks at exit (non-zero only when forced).
+    pub outstanding_at_exit: u64,
+    /// Wall-clock time the drain took.
+    pub elapsed: Duration,
+}
+
+impl DrainReport {
+    /// True when every task finished gracefully: nothing was cancelled
+    /// or abandoned.
+    pub fn clean(&self) -> bool {
+        !self.timed_out && !self.forced && self.cancelled_jobs == 0
+    }
+}
+
+/// Per-job counters, snapshotted by `JobHandle::job_stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Tasks admitted into this job.
+    pub spawned: u64,
+    /// Tasks settled (success or failure).
+    pub completed: u64,
+    /// Tasks settled as failed (panicked, poisoned or cancelled).
+    pub failed: u64,
+    /// Tasks currently admitted but not settled.
+    pub in_flight: u64,
+    /// High-water mark of `in_flight` (admission-cap diagnostics).
+    pub in_flight_hwm: u64,
+}
+
+/// A region range contaminated by a failed writer (scoped to one job's
+/// fault domain).
+#[derive(Clone)]
+pub(crate) struct PoisonedRegion {
+    pub(crate) region: Region,
+    pub(crate) source: TaskId,
+    pub(crate) source_label: String,
+}
+
+/// Remove `w` from the poison list (a task overwrites the range, making
+/// its previous contents irrelevant). Partial overlaps leave the
+/// uncovered remainder poisoned.
+pub(crate) fn cleanse(poisoned: &mut Vec<PoisonedRegion>, w: &Region) {
+    let mut i = 0;
+    while i < poisoned.len() {
+        if !poisoned[i].region.overlaps(w) {
+            i += 1;
+            continue;
+        }
+        let entry = poisoned.swap_remove(i);
+        // Remainders lie outside `w`, so they can never match it again
+        // when the scan reaches them.
+        if entry.region.range.start < w.range.start {
+            let mut left = entry.clone();
+            left.region.range.end = w.range.start;
+            poisoned.push(left);
+        }
+        if entry.region.range.end > w.range.end {
+            let mut right = entry;
+            right.region.range.start = w.range.end;
+            poisoned.push(right);
+        }
+        // Do not advance: swap_remove moved a new element into slot `i`.
+    }
+}
+
+/// One job's shared state: its fault domain (retry policy, fault plan,
+/// failures, poison) plus the admission/join accounting. Tasks hold an
+/// `Arc` to it through their slab slot, so the state outlives the handle
+/// while work is in flight.
+pub(crate) struct JobState {
+    pub(crate) id: JobId,
+    pub(crate) label: String,
+    pub(crate) qos: QosClass,
+    pub(crate) retry: RetryPolicy,
+    /// Injection plan for this job's task attempts (worker kills stay
+    /// pool-scoped).
+    pub(crate) fault_plan: Option<Arc<FaultPlan>>,
+    /// Tracer + per-job observer fan-out captured by this job's bodies.
+    pub(crate) session: Arc<TraceSession>,
+    pub(crate) max_in_flight: Option<usize>,
+    /// Admitted, unsettled tasks. The join condvar fires on the 1→0 edge.
+    pub(crate) in_flight: AtomicU64,
+    pub(crate) in_flight_hwm: AtomicU64,
+    pub(crate) spawned: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) cancelled: AtomicBool,
+    pub(crate) wait: Mutex<()>,
+    pub(crate) wait_cv: Condvar,
+    /// Failures settled since the last `take_report`.
+    pub(crate) failures: Mutex<Vec<TaskFailure>>,
+    /// Monotonic fast-path flag for this job's poison state.
+    pub(crate) has_poison: AtomicBool,
+    pub(crate) poisoned: Mutex<Vec<PoisonedRegion>>,
+}
+
+impl JobState {
+    pub(crate) fn new(
+        id: JobId,
+        label: String,
+        qos: QosClass,
+        retry: RetryPolicy,
+        fault_plan: Option<Arc<FaultPlan>>,
+        session: Arc<TraceSession>,
+        max_in_flight: Option<usize>,
+    ) -> Self {
+        JobState {
+            id,
+            label,
+            qos,
+            retry,
+            fault_plan,
+            session,
+            max_in_flight,
+            in_flight: AtomicU64::new(0),
+            in_flight_hwm: AtomicU64::new(0),
+            spawned: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+            wait: Mutex::new(()),
+            wait_cv: Condvar::new(),
+            failures: Mutex::new(Vec::new()),
+            has_poison: AtomicBool::new(false),
+            poisoned: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The implicit root fault domain behind `Runtime::task`. It has no
+    /// handle, so its per-job counters are unobservable and the spawn
+    /// path skips them (failure and poison bookkeeping still applies).
+    pub(crate) fn is_default(&self) -> bool {
+        self.id.index == 0
+    }
+
+    /// Mark the job cancelled. Returns true on the first call only.
+    pub(crate) fn cancel(&self) -> bool {
+        !self.cancelled.swap(true, Ordering::SeqCst)
+    }
+
+    /// Release one in-flight slot (task settled, or an admission
+    /// reservation rolled back), waking joiners on the 1→0 edge.
+    pub(crate) fn release_in_flight(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.wait.lock();
+            self.wait_cv.notify_all();
+        }
+    }
+
+    /// Drain this job's failure list into a report carrying a snapshot
+    /// of every region range still poisoned in its domain.
+    pub(crate) fn take_report(&self) -> Result<(), FaultReport> {
+        let failures: Vec<TaskFailure> = std::mem::take(&mut *self.failures.lock());
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            let poisoned_regions: Vec<Region> =
+                self.poisoned.lock().iter().map(|p| p.region).collect();
+            Err(FaultReport {
+                failures,
+                poisoned_regions,
+            })
+        }
+    }
+
+    pub(crate) fn stats(&self) -> JobStats {
+        JobStats {
+            spawned: self.spawned.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            in_flight_hwm: self.in_flight_hwm.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The runtime's job table: index 0 is the default job (never removed),
+/// later indices are reused through a free list with a per-index
+/// generation counter — the same staleness scheme as the task slab.
+pub(crate) struct JobTable {
+    entries: Vec<JobEntry>,
+    free: Vec<u32>,
+}
+
+struct JobEntry {
+    gen: u32,
+    job: Option<Arc<JobState>>,
+}
+
+impl JobTable {
+    pub(crate) fn new(default_job: Arc<JobState>) -> Self {
+        JobTable {
+            entries: vec![JobEntry {
+                gen: 0,
+                job: Some(default_job),
+            }],
+            free: Vec::new(),
+        }
+    }
+
+    /// Live jobs beyond the default one.
+    pub(crate) fn submitted_count(&self) -> usize {
+        self.entries[1..].iter().filter(|e| e.job.is_some()).count()
+    }
+
+    /// Allocate a slot and install the job built for its id.
+    pub(crate) fn insert(&mut self, make: impl FnOnce(JobId) -> Arc<JobState>) -> Arc<JobState> {
+        let index = self.free.pop().unwrap_or_else(|| {
+            self.entries.push(JobEntry { gen: 0, job: None });
+            (self.entries.len() - 1) as u32
+        });
+        let entry = &mut self.entries[index as usize];
+        debug_assert!(entry.job.is_none(), "insert must take a free slot");
+        let job = make(JobId {
+            index,
+            gen: entry.gen,
+        });
+        entry.job = Some(Arc::clone(&job));
+        job
+    }
+
+    /// Retire a job's slot (generation bump makes stale ids observable).
+    /// The default job (index 0) is never removed.
+    pub(crate) fn remove(&mut self, id: JobId) {
+        if id.index == 0 {
+            return;
+        }
+        let entry = &mut self.entries[id.index as usize];
+        if entry.gen == id.gen && entry.job.is_some() {
+            entry.job = None;
+            entry.gen += 1;
+            self.free.push(id.index);
+        }
+    }
+
+    /// Snapshot of every live job, default included.
+    pub(crate) fn live(&self) -> Vec<Arc<JobState>> {
+        self.entries.iter().filter_map(|e| e.job.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{RegionId, RegionRange};
+
+    fn state(id: JobId) -> Arc<JobState> {
+        Arc::new(JobState::new(
+            id,
+            "t".into(),
+            QosClass::Guaranteed,
+            RetryPolicy::default(),
+            None,
+            Arc::new(TraceSession::new(None, None)),
+            None,
+        ))
+    }
+
+    #[test]
+    fn job_id_key_and_debug() {
+        let id = JobId { index: 3, gen: 2 };
+        assert_eq!(id.key(), (3u64 << 32) | 2);
+        assert_eq!(format!("{id:?}"), "j3.2");
+        assert_eq!(JobId::DEFAULT.key(), 0);
+    }
+
+    #[test]
+    fn table_reuses_slots_with_generation_bump() {
+        let mut t = JobTable::new(state(JobId::DEFAULT));
+        let a = t.insert(state);
+        assert_eq!(a.id, JobId { index: 1, gen: 0 });
+        assert_eq!(t.submitted_count(), 1);
+        t.remove(a.id);
+        assert_eq!(t.submitted_count(), 0);
+        let b = t.insert(state);
+        assert_eq!(b.id, JobId { index: 1, gen: 1 }, "slot reused, gen bumped");
+        assert_ne!(a.id.key(), b.id.key());
+        // Stale removal is a no-op.
+        t.remove(a.id);
+        assert_eq!(t.submitted_count(), 1);
+        // The default job can never be removed.
+        t.remove(JobId::DEFAULT);
+        assert_eq!(t.live().len(), 2);
+    }
+
+    #[test]
+    fn cancel_fires_once() {
+        let j = state(JobId::DEFAULT);
+        assert!(j.cancel());
+        assert!(!j.cancel(), "second cancel reports already-cancelled");
+        assert!(j.cancelled.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn cleanse_splits_partial_overlaps() {
+        let region = |s, e| Region::new(RegionId(7), RegionRange::new(s, e));
+        let mut poisoned = vec![PoisonedRegion {
+            region: region(10, 30),
+            source: TaskId(1),
+            source_label: "w".into(),
+        }];
+        cleanse(&mut poisoned, &region(15, 20));
+        let mut got: Vec<(u64, u64)> = poisoned
+            .iter()
+            .map(|p| (p.region.range.start, p.region.range.end))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(10, 15), (20, 30)]);
+        cleanse(&mut poisoned, &region(0, 64));
+        assert!(poisoned.is_empty());
+    }
+
+    #[test]
+    fn spec_builders_compose() {
+        let spec = JobSpec::new("tenant")
+            .qos(QosClass::BestEffort)
+            .retry(RetryPolicy::retries(2))
+            .fault_plan(FaultPlan::new(9).panic_rate(0.5))
+            .max_in_flight(8);
+        assert_eq!(spec.label, "tenant");
+        assert_eq!(spec.qos, QosClass::BestEffort);
+        assert_eq!(spec.retry.unwrap().max_attempts, 3);
+        assert!(spec.fault_plan.is_some());
+        assert_eq!(spec.max_in_flight, Some(8));
+        let dbg = format!("{spec:?}");
+        assert!(dbg.contains("tenant") && dbg.contains("BestEffort"));
+    }
+}

@@ -63,6 +63,7 @@ pub mod deque;
 pub mod export;
 pub mod fault;
 pub mod graph;
+pub mod job;
 pub mod pool;
 pub mod program;
 pub mod region;
@@ -81,10 +82,13 @@ pub use fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
 pub use graph::TaskGraph;
+pub use job::{AdmissionError, DrainReport, JobId, JobSpec, JobStats};
 pub use program::TaskProgram;
 pub use region::{AccessMode, DataHandle, Region, RegionId, RegionRange};
-pub use runtime::{ObserverFanout, Runtime, RuntimeConfig, TaskBuilder, TaskObserver};
-pub use scheduler::SchedulerPolicy;
+pub use runtime::{
+    JobHandle, ObserverFanout, Runtime, RuntimeConfig, TaskBuilder, TaskObserver, TaskScope,
+};
+pub use scheduler::{QosClass, SchedulerPolicy};
 pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};
 pub use stats::StatsSnapshot;
 pub use task::{Criticality, ExecBody, TaskId, TaskMeta};

@@ -332,13 +332,22 @@ impl WorkerPool {
         self.shared.wake_all();
     }
 
-    /// Stop accepting work and join every worker. Queued-but-unexecuted
-    /// tasks are dropped.
-    pub fn shutdown(&mut self) {
+    /// Asynchronous shutdown request: publish the flag, disconnect the
+    /// retry timer and wake every parked worker — without joining
+    /// anything. `Runtime::drain` uses this to bound its forced phase
+    /// even when a worker is wedged inside a long task body; the
+    /// eventual [`WorkerPool::shutdown`] (from `Drop`) still joins.
+    pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Disconnect the retry timer so it drains and exits.
         *self.shared.retry_tx.lock() = None;
         self.wake_all();
+    }
+
+    /// Stop accepting work and join every worker. Queued-but-unexecuted
+    /// tasks are dropped.
+    pub fn shutdown(&mut self) {
+        self.request_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -434,6 +443,13 @@ fn injected_death(who: usize, local: &Option<WorkerDeque<ReadyTask>>, shared: &P
     let Some(plan) = &shared.plan else {
         return false;
     };
+    // A kill firing after shutdown (or a drain's forced phase) began is
+    // ignored: the worker is about to exit through the shutdown path
+    // anyway, and dying here would race the watchdog's respawn against
+    // pool teardown — a respawn loop that can hang `drain`.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return false;
+    }
     if !plan.should_kill(who, shared.executed[who].load(Ordering::Relaxed)) {
         return false;
     }

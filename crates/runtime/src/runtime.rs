@@ -24,9 +24,19 @@
 //!   poisoned range (`out` access) cleanses it — recovery tasks use
 //!   exactly this to repair data after a failure. Poison propagation
 //!   walks the slab under per-slot locks; it never takes a global one.
+//!
+//! Multi-tenancy (see [`crate::job`]) layers on top: `Runtime::submit`
+//! opens a [`JobHandle`] whose tasks carry their own fault domain
+//! (retry policy, fault plan, failures, poison) and dependency
+//! namespace; `Runtime::task` spawns into an implicit *default job*, so
+//! single-tenant code is unchanged. Admission control bounds in-flight
+//! tasks per job and globally, best-effort jobs shed load under
+//! pressure, and [`Runtime::drain`] winds the whole runtime down within
+//! a deadline.
 
-use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -34,10 +44,14 @@ use crate::fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
 use crate::graph::TaskGraph;
+use crate::job::{
+    cleanse, AdmissionError, DrainReport, JobId, JobSpec, JobState, JobStats, JobTable,
+    PoisonedRegion,
+};
 use crate::pool::{Completion, PoolClient, PoolOptions, WorkerPool};
 use crate::program::{SinkGuard, TaskProgram};
 use crate::region::{Access, AccessMode, DataHandle, Region};
-use crate::scheduler::{ReadyQueues, ReadyTask, SchedulerPolicy};
+use crate::scheduler::{QosClass, ReadyQueues, ReadyTask, SchedulerPolicy};
 use crate::stats::{RuntimeStats, StatsSnapshot, RETRY_HIST_BUCKETS};
 use crate::task::{Criticality, ExecBody, TaskBody, TaskId, TaskMeta, TaskRef, TaskSlab};
 use crate::trace::{Trace, TraceConfig, TraceEventKind, TraceSession, Tracer};
@@ -192,6 +206,17 @@ pub struct RuntimeConfig {
     /// is recorded into per-worker ring buffers; drain with
     /// [`Runtime::drain_trace`].
     pub trace: Option<TraceConfig>,
+    /// Global cap on admitted (in-flight) tasks across all jobs
+    /// (default: unbounded). At the cap, `TaskBuilder::try_spawn`
+    /// returns [`AdmissionError::Busy`] and `spawn` blocks.
+    pub max_in_flight: Option<usize>,
+    /// Cap on concurrently live jobs accepted by [`Runtime::submit`]
+    /// (default: unbounded; the implicit default job is not counted).
+    pub max_jobs: Option<usize>,
+    /// Load-shedding watermark: once the global in-flight count reaches
+    /// it, tasks of [`QosClass::BestEffort`] jobs are dropped at
+    /// admission (default: never shed).
+    pub shed_watermark: Option<usize>,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -207,6 +232,9 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("fault_plan", &self.fault_plan.is_some())
             .field("watchdog", &self.watchdog)
             .field("trace", &self.trace)
+            .field("max_in_flight", &self.max_in_flight)
+            .field("max_jobs", &self.max_jobs)
+            .field("shed_watermark", &self.shed_watermark)
             .finish()
     }
 }
@@ -226,6 +254,9 @@ impl Default for RuntimeConfig {
             fault_plan: None,
             watchdog: WatchdogConfig::default(),
             trace: None,
+            max_in_flight: None,
+            max_jobs: None,
+            shed_watermark: None,
         }
     }
 }
@@ -310,6 +341,25 @@ impl RuntimeConfig {
         self.watchdog = self.watchdog.interval(interval);
         self
     }
+
+    /// Builder-style global in-flight task cap (>= 1).
+    pub fn max_in_flight(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "a zero cap would admit nothing");
+        self.max_in_flight = Some(cap);
+        self
+    }
+
+    /// Builder-style cap on concurrently live submitted jobs.
+    pub fn max_jobs(mut self, cap: usize) -> Self {
+        self.max_jobs = Some(cap);
+        self
+    }
+
+    /// Builder-style best-effort shed watermark.
+    pub fn shed_watermark(mut self, watermark: usize) -> Self {
+        self.shed_watermark = Some(watermark);
+        self
+    }
 }
 
 /// Recorded spawn log: each task's metadata plus its predecessor ids.
@@ -327,13 +377,10 @@ struct ProgramCapture {
     spm_ranges: Mutex<Vec<(u64, u64)>>,
 }
 
-/// A region range contaminated by a failed writer.
-#[derive(Clone)]
-struct PoisonedRegion {
-    region: Region,
-    source: TaskId,
-    source_label: String,
-}
+/// Drain lifecycle states (see [`Runtime::drain`]).
+const LIFECYCLE_RUNNING: u8 = 0;
+const LIFECYCLE_DRAINING: u8 = 1;
+const LIFECYCLE_DRAINED: u8 = 2;
 
 struct Shared {
     slab: TaskSlab,
@@ -344,14 +391,34 @@ struct Shared {
     wait: Mutex<()>,
     wait_cv: Condvar,
     next_id: AtomicU32,
-    failures: Mutex<Vec<TaskFailure>>,
     stats: RuntimeStats,
-    retry: RetryPolicy,
-    /// Monotonic fast-path flag: set when any poison was ever recorded,
-    /// so clean runs never touch poison state in the preflight. Only
-    /// [`Runtime::clear_poison`] resets it.
+    /// The implicit job behind `Runtime::task` / `Runtime::try_taskwait`
+    /// (index 0 of `jobs`, never removed). Failures, retry policy and
+    /// poison for untagged spawns live in its fault domain.
+    default_job: Arc<JobState>,
+    /// All live jobs. Locked only on submit/retire/drain and the rare
+    /// whole-runtime poison paths — never on the spawn/complete hot path.
+    jobs: Mutex<JobTable>,
+    /// Monotonic fast-path flag: set when poison was ever recorded in
+    /// *any* job, so clean runs never touch poison state in the
+    /// preflight. Only [`Runtime::clear_poison`] resets it.
     has_poison: AtomicBool,
-    poisoned: Mutex<Vec<PoisonedRegion>>,
+    /// Monotonic fast-path flag: set when any job was ever cancelled, so
+    /// the preflight of a never-cancelled runtime skips the slot lock.
+    any_cancelled: AtomicBool,
+    /// Drain state machine: Running → Draining → Drained.
+    lifecycle: AtomicU8,
+    /// Set by a forced drain: the pool is shutting down without joining,
+    /// and every waiter must stop blocking on the outstanding count.
+    terminated: AtomicBool,
+    /// Non-exempt tasks currently admitted, maintained only when a
+    /// global cap or shed watermark is configured (`track_admitted`).
+    admitted: AtomicU64,
+    track_admitted: bool,
+    admission_lock: Mutex<()>,
+    admission_cv: Condvar,
+    /// Spawners currently blocked on admission (wake-up gating).
+    admission_waiters: AtomicUsize,
     /// Recorded TDG when [`RuntimeConfig::record_graph`] is on (cold
     /// path: the lock is fine, recording already clones metadata).
     recorded: Option<Mutex<RecordedGraph>>,
@@ -367,54 +434,30 @@ struct Shared {
     tracer: Option<Arc<Tracer>>,
 }
 
-/// Remove `w` from the poison list (a task overwrites the range, making
-/// its previous contents irrelevant). Partial overlaps leave the
-/// uncovered remainder poisoned.
-fn cleanse(poisoned: &mut Vec<PoisonedRegion>, w: &Region) {
-    let mut i = 0;
-    while i < poisoned.len() {
-        if !poisoned[i].region.overlaps(w) {
-            i += 1;
-            continue;
-        }
-        let entry = poisoned.swap_remove(i);
-        // Remainders lie outside `w`, so they can never match it again
-        // when the scan reaches them.
-        if entry.region.range.start < w.range.start {
-            let mut left = entry.clone();
-            left.region.range.end = w.range.start;
-            poisoned.push(left);
-        }
-        if entry.region.range.end > w.range.end {
-            let mut right = entry;
-            right.region.range.start = w.range.end;
-            poisoned.push(right);
-        }
-        // Do not advance: swap_remove moved a new element into slot `i`.
-    }
-}
-
 impl Shared {
-    /// Record the failed task's written regions as poisoned and mark
-    /// every in-flight task reading them, so they fail fast instead of
-    /// consuming garbage.
+    /// Record the failed task's written regions as poisoned *within
+    /// `job`'s fault domain* and mark every in-flight task of that job
+    /// reading them, so they fail fast instead of consuming garbage.
+    /// Other jobs' tasks are never marked — poison does not cross fault
+    /// domains.
     ///
-    /// Racing spawns are covered from both sides: the flag store (with
-    /// its fence) is ordered before the slab walk, and a spawner fills
+    /// Racing spawns are covered from both sides: the flag stores (with
+    /// their fence) are ordered before the slab walk, and a spawner fills
     /// its declared reads into its slot *before* it checks the flag — so
     /// either this walk sees the spawner's reads, or the spawner sees
     /// the flag and checks the poison list itself.
-    fn poison_writes(&self, source: TaskId, label: &str, writes: &[Region]) {
+    fn poison_writes(&self, job: &Arc<JobState>, source: TaskId, label: &str, writes: &[Region]) {
         if writes.is_empty() {
             return;
         }
         if let Some(t) = &self.tracer {
             t.emit(TraceEventKind::Poisoned, source, 0, 0, writes.len() as u64);
         }
+        job.has_poison.store(true, Ordering::SeqCst);
         self.has_poison.store(true, Ordering::SeqCst);
         fence(Ordering::SeqCst);
         {
-            let mut poisoned = self.poisoned.lock();
+            let mut poisoned = job.poisoned.lock();
             for w in writes {
                 poisoned.push(PoisonedRegion {
                     region: *w,
@@ -428,6 +471,9 @@ impl Shared {
             if st.exempt || st.completed || st.poisoned_by.is_some() {
                 return;
             }
+            if st.job.as_ref().map(|j| j.id) != Some(job.id) {
+                return;
+            }
             if st
                 .reads
                 .iter()
@@ -436,6 +482,53 @@ impl Shared {
                 st.poisoned_by = Some((source, label.to_string()));
             }
         });
+    }
+
+    /// Targeted poison recovery for one job: cleanse `region` from its
+    /// poison list and unmark pending victims whose declared reads no
+    /// longer overlap any remaining poison in that job. Partial overlaps
+    /// leave the uncovered remainder poisoned, exactly like a partial
+    /// recovery write would.
+    fn clear_job_poison_region(&self, job: &JobState, region: &Region) {
+        let remaining: Vec<Region> = {
+            let mut poisoned = job.poisoned.lock();
+            cleanse(&mut poisoned, region);
+            poisoned.iter().map(|p| p.region).collect()
+        };
+        if remaining.is_empty() {
+            job.has_poison.store(false, Ordering::SeqCst);
+        }
+        let job_id = job.id;
+        self.slab.for_each_live(|_, slot| {
+            let mut st = slot.state.lock();
+            if st.completed || st.poisoned_by.is_none() {
+                return;
+            }
+            if st.job.as_ref().map(|j| j.id) != Some(job_id) {
+                return;
+            }
+            if !st
+                .reads
+                .iter()
+                .any(|r| remaining.iter().any(|p| p.overlaps(r)))
+            {
+                st.poisoned_by = None;
+            }
+        });
+    }
+
+    /// Forget all poison in one job's fault domain and unmark its
+    /// pending victims.
+    fn clear_job_poison(&self, job: &JobState) {
+        job.poisoned.lock().clear();
+        let job_id = job.id;
+        self.slab.for_each_live(|_, slot| {
+            let mut st = slot.state.lock();
+            if st.job.as_ref().map(|j| j.id) == Some(job_id) {
+                st.poisoned_by = None;
+            }
+        });
+        job.has_poison.store(false, Ordering::SeqCst);
     }
 
     /// Seed the new task's bottom level and relax ancestors (bounded),
@@ -469,11 +562,19 @@ impl Shared {
         (cost as u128) * (self.crit_den as u128) >= (self.crit_num as u128) * (max_bl as u128)
     }
 
-    /// Settle a task that will not retry: publish its failure/poison,
-    /// free its slot and collect the successors it released.
-    fn settle(&self, task: TaskId, slot_idx: u32, panicked: Option<String>) -> Vec<ReadyTask> {
+    /// Settle a task that will not retry: publish its failure/poison
+    /// into its job's fault domain, free its slot and collect the
+    /// successors it released. Returns the job the task belonged to
+    /// (`None` for exempt sentinels) so the caller can run the job-side
+    /// accounting after the global bookkeeping.
+    fn settle(
+        &self,
+        task: TaskId,
+        slot_idx: u32,
+        panicked: Option<String>,
+    ) -> (Vec<ReadyTask>, Option<Arc<JobState>>) {
         let slot = self.slab.slot(slot_idx);
-        let (succs, label, attempts, poisoned_by, writes) = {
+        let (succs, label, attempts, poisoned_by, writes, job, was_cancelled) = {
             let mut st = slot.state.lock();
             debug_assert_eq!(st.tid, task, "slot/task mismatch at settle");
             st.completed = true;
@@ -483,6 +584,8 @@ impl Shared {
                 st.attempts,
                 st.poisoned_by.take(),
                 std::mem::take(&mut st.writes),
+                st.job.take(),
+                st.cancelled,
             )
         };
         let mut failure = None;
@@ -492,6 +595,14 @@ impl Shared {
                 label: label.clone(),
                 attempts,
                 error: TaskError::Panicked(msg),
+            });
+        } else if was_cancelled {
+            RuntimeStats::bump(&self.stats.tasks_cancelled);
+            failure = Some(TaskFailure {
+                task,
+                label: label.clone(),
+                attempts,
+                error: TaskError::Cancelled,
             });
         } else if let Some((source, source_label)) = poisoned_by {
             RuntimeStats::bump(&self.stats.poisoned_tasks);
@@ -511,8 +622,15 @@ impl Shared {
         }
         if let Some(f) = failure {
             RuntimeStats::bump(&self.stats.failed_tasks);
-            self.poison_writes(task, &label, &writes);
-            self.failures.lock().push(f);
+            if let Some(job) = &job {
+                // A cancelled skip does not poison: the body never ran,
+                // so nothing was half-written.
+                if !matches!(f.error, TaskError::Cancelled) {
+                    self.poison_writes(job, task, &label, &writes);
+                }
+                job.failed.fetch_add(1, Ordering::Relaxed);
+                job.failures.lock().push(f);
+            }
         }
         self.slab.free(slot_idx);
         let mut released = Vec::new();
@@ -536,12 +654,14 @@ impl Shared {
                 });
             }
         }
-        released
+        (released, job)
     }
 }
 
 /// Runs on the worker thread before the user body. Returns `false` when
-/// the body must be skipped (poisoned input).
+/// the body must be skipped (poisoned input, or the task's job was
+/// cancelled). Cancelled skips mark the slot so `settle` can record a
+/// [`TaskError::Cancelled`].
 fn preflight(shared: &Weak<Shared>, tid: TaskId, slot: u32, exempt: bool) -> bool {
     if exempt {
         return true;
@@ -549,11 +669,26 @@ fn preflight(shared: &Weak<Shared>, tid: TaskId, slot: u32, exempt: bool) -> boo
     let Some(shared) = shared.upgrade() else {
         return true;
     };
-    if shared.has_poison.load(Ordering::Acquire) {
-        let st = shared.slab.slot(slot).state.lock();
-        if st.tid == tid && st.poisoned_by.is_some() {
-            return false;
-        }
+    let poison = shared.has_poison.load(Ordering::Acquire);
+    let cancel = shared.any_cancelled.load(Ordering::Acquire);
+    if !poison && !cancel {
+        return true;
+    }
+    let mut st = shared.slab.slot(slot).state.lock();
+    if st.tid != tid {
+        return true;
+    }
+    if cancel
+        && st
+            .job
+            .as_ref()
+            .is_some_and(|j| j.cancelled.load(Ordering::SeqCst))
+    {
+        st.cancelled = true;
+        return false;
+    }
+    if poison && st.poisoned_by.is_some() {
+        return false;
     }
     true
 }
@@ -737,7 +872,13 @@ impl PoolClient for Shared {
             let mut st = slot.state.lock();
             debug_assert_eq!(st.tid, task, "slot/task mismatch at completion");
             st.attempts += 1;
-            if st.idempotent && body.is_retryable() && st.attempts < self.retry.max_attempts {
+            // The retry budget is the *job's*: each tenant pays for its
+            // own re-executions. Cancelled jobs and a terminated runtime
+            // stop retrying immediately.
+            let retry_allowed = st.job.as_ref().is_some_and(|j| {
+                st.attempts < j.retry.max_attempts && !j.cancelled.load(Ordering::Relaxed)
+            }) && !self.terminated.load(Ordering::Relaxed);
+            if st.idempotent && body.is_retryable() && retry_allowed {
                 // Retry: the task stays registered and outstanding; the
                 // pool re-enqueues the body after the backoff.
                 RuntimeStats::bump(&self.stats.retried);
@@ -751,7 +892,12 @@ impl PoolClient for Shared {
                         st.attempts as u64,
                     );
                 }
-                let delay = self.retry.backoff_after(st.attempts);
+                let delay = st
+                    .job
+                    .as_ref()
+                    .expect("retry_allowed implies a job")
+                    .retry
+                    .backoff_after(st.attempts);
                 let retry_task = ReadyTask {
                     id: task,
                     slot: slot_idx,
@@ -767,8 +913,24 @@ impl PoolClient for Shared {
                 };
             }
         }
-        let released = self.settle(task, slot_idx, panicked);
+        let (released, job) = self.settle(task, slot_idx, panicked);
         RuntimeStats::bump(&self.stats.completed);
+        if let Some(job) = job {
+            // Free the admission slot *before* waking joiners and blocked
+            // spawners, so anyone woken observes the capacity. The
+            // default job carries no per-job counters (see `admit`).
+            if self.track_admitted {
+                self.admitted.fetch_sub(1, Ordering::SeqCst);
+            }
+            if !job.is_default() {
+                job.completed.fetch_add(1, Ordering::Relaxed);
+                job.release_in_flight();
+            }
+            if self.admission_waiters.load(Ordering::SeqCst) > 0 {
+                let _g = self.admission_lock.lock();
+                self.admission_cv.notify_all();
+            }
+        }
         // The failure (if any) is published by `settle` before this
         // decrement, so a waiter woken by the 1→0 edge sees it.
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -784,9 +946,6 @@ pub struct Runtime {
     shared: Arc<Shared>,
     pool: WorkerPool,
     queues: Arc<ReadyQueues>,
-    /// Lifecycle fan-out captured by every instrumented body (tracer +
-    /// observer; cheap no-op when both are absent).
-    session: Arc<TraceSession>,
     config: RuntimeConfig,
 }
 
@@ -799,6 +958,19 @@ impl Runtime {
             .as_ref()
             .map(|tc| Arc::new(Tracer::new(config.workers, tc)));
         let queues = Arc::new(ReadyQueues::with_tracer(config.policy, tracer.clone()));
+        // The default job inherits the runtime-level retry policy, fault
+        // plan and observer: untagged spawns behave exactly as they did
+        // before the job layer existed.
+        let session = Arc::new(TraceSession::new(tracer.clone(), config.observer.clone()));
+        let default_job = Arc::new(JobState::new(
+            JobId::DEFAULT,
+            "default".to_string(),
+            QosClass::Guaranteed,
+            config.retry,
+            config.fault_plan.clone(),
+            session,
+            None,
+        ));
         let shared = Arc::new(Shared {
             slab: TaskSlab::new(),
             tracker: crate::deps::ShardedDepTracker::new(),
@@ -806,11 +978,18 @@ impl Runtime {
             wait: Mutex::new(()),
             wait_cv: Condvar::new(),
             next_id: AtomicU32::new(0),
-            failures: Mutex::new(Vec::new()),
             stats: RuntimeStats::default(),
-            retry: config.retry,
+            default_job: Arc::clone(&default_job),
+            jobs: Mutex::new(JobTable::new(default_job)),
             has_poison: AtomicBool::new(false),
-            poisoned: Mutex::new(Vec::new()),
+            any_cancelled: AtomicBool::new(false),
+            lifecycle: AtomicU8::new(LIFECYCLE_RUNNING),
+            terminated: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            track_admitted: config.max_in_flight.is_some() || config.shed_watermark.is_some(),
+            admission_lock: Mutex::new(()),
+            admission_cv: Condvar::new(),
+            admission_waiters: AtomicUsize::new(0),
             recorded: (config.record_graph || config.record_program)
                 .then(|| Mutex::new(Vec::new())),
             capture: config.record_program.then(ProgramCapture::default),
@@ -819,7 +998,6 @@ impl Runtime {
             crit_den: 1000,
             tracer: tracer.clone(),
         });
-        let session = Arc::new(TraceSession::new(tracer.clone(), config.observer.clone()));
         let pool = WorkerPool::new(
             config.workers,
             Arc::clone(&queues),
@@ -834,7 +1012,6 @@ impl Runtime {
             shared,
             pool,
             queues,
-            session,
             config,
         }
     }
@@ -861,10 +1038,11 @@ impl Runtime {
         DataHandle::new(name, value)
     }
 
-    /// Begin building a task.
+    /// Begin building a task (in the implicit default job).
     pub fn task(&self, label: impl Into<String>) -> TaskBuilder<'_> {
         TaskBuilder {
             rt: self,
+            job: &self.shared.default_job,
             meta: TaskMeta::new(label),
             body: None,
         }
@@ -878,10 +1056,140 @@ impl Runtime {
 
     /// Submit a task with explicit metadata and executable payload.
     pub fn spawn_exec(&self, meta: TaskMeta, body: ExecBody) -> TaskId {
-        self.spawn_inner(meta, body, false)
+        let job = Arc::clone(&self.shared.default_job);
+        self.spawn_blocking(&job, meta, body)
     }
 
-    fn spawn_inner(&self, meta: TaskMeta, body: ExecBody, exempt: bool) -> TaskId {
+    /// Blocking spawn into `job`: waits out [`AdmissionError::Busy`];
+    /// any other refusal (job cancelled, runtime draining, best-effort
+    /// shed) silently discards the task — the returned id then refers to
+    /// a task that never runs. Callers that need the distinction use
+    /// `TaskBuilder::try_spawn`.
+    fn spawn_blocking(&self, job: &Arc<JobState>, meta: TaskMeta, body: ExecBody) -> TaskId {
+        match self.spawn_job(job, meta, body, true) {
+            Ok(tid) => tid,
+            Err(_) => {
+                RuntimeStats::bump(&self.shared.stats.tasks_discarded);
+                TaskId(self.shared.next_id.fetch_add(1, Ordering::Relaxed))
+            }
+        }
+    }
+
+    /// Admission-controlled spawn into `job`. With `block`, Busy waits
+    /// for capacity (re-checking cancellation and drain on every retry);
+    /// without it, Busy surfaces immediately.
+    fn spawn_job(
+        &self,
+        job: &Arc<JobState>,
+        meta: TaskMeta,
+        body: ExecBody,
+        block: bool,
+    ) -> Result<TaskId, AdmissionError> {
+        loop {
+            match self.admit(job) {
+                Ok(()) => break,
+                Err(AdmissionError::Busy) if block => self.wait_for_capacity(),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.spawn_scoped(job, meta, body, false))
+    }
+
+    /// Reserve one in-flight slot for a task of `job`, or say why not.
+    /// Reservation order: job-level caps first, the global cap last,
+    /// with per-job rollback when the global reservation fails — so a
+    /// refused spawn leaves every counter untouched.
+    fn admit(&self, job: &Arc<JobState>) -> Result<(), AdmissionError> {
+        let shared = &*self.shared;
+        if shared.terminated.load(Ordering::SeqCst)
+            || shared.lifecycle.load(Ordering::SeqCst) == LIFECYCLE_DRAINED
+        {
+            return Err(AdmissionError::Draining);
+        }
+        if job.cancelled.load(Ordering::SeqCst) {
+            return Err(AdmissionError::Cancelled);
+        }
+        if job.qos.sheddable() {
+            if let Some(wm) = self.config.shed_watermark {
+                if shared.admitted.load(Ordering::SeqCst) >= wm as u64 {
+                    RuntimeStats::bump(&shared.stats.tasks_shed);
+                    return Err(AdmissionError::Shed);
+                }
+            }
+        }
+        // Per-job reservation. The default job is exempt: it has no
+        // handle, so nothing can join, cap or inspect it — skipping its
+        // counters keeps `Runtime::task` spawns free of per-job RMWs
+        // (its failure and poison bookkeeping is unaffected).
+        let now = if job.is_default() {
+            0
+        } else if let Some(cap) = job.max_in_flight {
+            match job
+                .in_flight
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                    (v < cap as u64).then_some(v + 1)
+                }) {
+                Ok(prev) => prev + 1,
+                Err(_) => {
+                    RuntimeStats::bump(&shared.stats.admission_rejected);
+                    return Err(AdmissionError::Busy);
+                }
+            }
+        } else {
+            job.in_flight.fetch_add(1, Ordering::SeqCst) + 1
+        };
+        if let Some(cap) = self.config.max_in_flight {
+            if shared
+                .admitted
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                    (v < cap as u64).then_some(v + 1)
+                })
+                .is_err()
+            {
+                // Roll back the per-job reservation (with the joiner
+                // wakeup a settle would do — a joiner may have seen the
+                // transient count).
+                if !job.is_default() {
+                    job.release_in_flight();
+                }
+                RuntimeStats::bump(&shared.stats.admission_rejected);
+                return Err(AdmissionError::Busy);
+            }
+        } else if shared.track_admitted {
+            shared.admitted.fetch_add(1, Ordering::SeqCst);
+        }
+        // Steady state the mark is already met and this is a plain load —
+        // no RMW on the spawn hot path once the job has warmed up.
+        if now > job.in_flight_hwm.load(Ordering::Relaxed) {
+            job.in_flight_hwm.fetch_max(now, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Park a blocked spawner until a completion frees capacity. The
+    /// wait is bounded: capacity freed between the failed reservation
+    /// and registering as a waiter would otherwise be a lost wakeup.
+    fn wait_for_capacity(&self) {
+        let shared = &*self.shared;
+        shared.admission_waiters.fetch_add(1, Ordering::SeqCst);
+        let mut g = shared.admission_lock.lock();
+        shared
+            .admission_cv
+            .wait_for(&mut g, Duration::from_micros(500));
+        drop(g);
+        shared.admission_waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The spawn protocol proper. The caller has already reserved
+    /// admission for non-exempt tasks; exempt sentinels bypass admission
+    /// and job accounting entirely (their `st.job` stays `None`).
+    fn spawn_scoped(
+        &self,
+        job: &Arc<JobState>,
+        meta: TaskMeta,
+        body: ExecBody,
+        exempt: bool,
+    ) -> TaskId {
         let shared = &*self.shared;
         // Count the task as outstanding *before* it becomes visible in the
         // dependency table: a predecessor completing concurrently could
@@ -918,20 +1226,31 @@ impl Runtime {
             st.priority = meta.priority;
             st.idempotent = meta.idempotent;
             st.exempt = exempt;
+            st.job = (!exempt).then(|| Arc::clone(job));
             st.label.push_str(&meta.label);
             st.reads.extend_from_slice(&reads);
             st.writes.extend_from_slice(&writes);
         }
         // Dependency discovery: only the shards covering the declared
         // regions are locked; access-free tasks skip the tracker whole.
+        // The job id namespaces the region table, so concurrent jobs
+        // touching the same datum never serialise on false edges.
         let mut preds: Vec<TaskRef> = Vec::new();
         if !meta.accesses.is_empty() {
-            shared.tracker.submit(me, &meta.accesses, &mut preds);
+            shared
+                .tracker
+                .submit(job.id.key(), me, &meta.accesses, &mut preds);
         }
-        let critical = match meta.criticality {
-            Criticality::Critical => true,
-            Criticality::NonCritical => false,
-            Criticality::Auto => shared.submit_criticality(&me, meta.cost.max(1), &preds),
+        // Best-effort jobs never claim critical status (or the fast
+        // workers that come with it under CriticalityAware).
+        let critical = if job.qos.sheddable() {
+            false
+        } else {
+            match meta.criticality {
+                Criticality::Critical => true,
+                Criticality::NonCritical => false,
+                Criticality::Auto => shared.submit_criticality(&me, meta.cost.max(1), &preds),
+            }
         };
         {
             let mut st = slot.state.lock();
@@ -942,13 +1261,14 @@ impl Runtime {
             rec.lock()
                 .push((meta.clone(), preds.iter().map(|p| p.tid).collect()));
         }
-        // A task reading an already-poisoned range is doomed at spawn; a
-        // clean task that fully overwrites a poisoned range (`out`
-        // access: no read of the old contents) cleanses it.
+        // A task reading an already-poisoned range (in its own job's
+        // fault domain) is doomed at spawn; a clean task that fully
+        // overwrites a poisoned range (`out` access: no read of the old
+        // contents) cleanses it.
         if !exempt {
             fence(Ordering::SeqCst);
-            if shared.has_poison.load(Ordering::SeqCst) {
-                let mut poisoned = shared.poisoned.lock();
+            if job.has_poison.load(Ordering::SeqCst) {
+                let mut poisoned = job.poisoned.lock();
                 let hit = reads.iter().find_map(|r| {
                     poisoned
                         .iter()
@@ -979,8 +1299,8 @@ impl Runtime {
             exempt,
             shared.capture.is_some(),
             Arc::downgrade(&self.shared),
-            Arc::clone(&self.session),
-            self.config.fault_plan.clone(),
+            Arc::clone(&job.session),
+            job.fault_plan.clone(),
         );
         // Wire edges. Our own `pending` holds the submission guard from
         // `alloc`, so a predecessor completing mid-wire can bring it down
@@ -1008,6 +1328,9 @@ impl Runtime {
             .edges
             .fetch_add(preds.len() as u64, Ordering::Relaxed);
         RuntimeStats::bump(&shared.stats.spawned);
+        if !exempt && !job.is_default() {
+            job.spawned.fetch_add(1, Ordering::Relaxed);
+        }
         if critical {
             RuntimeStats::bump(&shared.stats.critical_tasks);
         }
@@ -1079,6 +1402,18 @@ impl Runtime {
     /// [`Runtime::try_taskwait`] or [`Runtime::poisoned_regions`] to
     /// learn about the failure.
     pub fn taskwait_on_region(&self, region: Region) {
+        let job = Arc::clone(&self.shared.default_job);
+        self.taskwait_on_region_for(&job, region);
+    }
+
+    /// `taskwait on(region)` scoped to one job's dependency namespace:
+    /// the sentinel chains on `job`'s accesses to the region only.
+    fn taskwait_on_region_for(&self, job: &Arc<JobState>, region: Region) {
+        if self.shared.terminated.load(Ordering::SeqCst) {
+            // Forced drain: the workers are gone (or going); a sentinel
+            // would never run and the wait below would hang.
+            return;
+        }
         let done = Arc::new((Mutex::new(false), Condvar::new()));
         let signal = Arc::clone(&done);
         let mut meta = TaskMeta::new("taskwait-on");
@@ -1086,7 +1421,8 @@ impl Runtime {
             region,
             mode: AccessMode::ReadWrite,
         });
-        self.spawn_inner(
+        self.spawn_scoped(
+            job,
             meta,
             ExecBody::once(move || {
                 let (lock, cv) = &*signal;
@@ -1098,7 +1434,12 @@ impl Runtime {
         let (lock, cv) = &*done;
         let mut finished = lock.lock();
         while !*finished {
-            cv.wait(&mut finished);
+            // Bounded waits so a forced drain (which cannot reach this
+            // private condvar) still unblocks the caller.
+            cv.wait_for(&mut finished, Duration::from_millis(5));
+            if self.shared.terminated.load(Ordering::SeqCst) {
+                break;
+            }
         }
     }
 
@@ -1113,25 +1454,28 @@ impl Runtime {
 
     /// Like [`Runtime::taskwait`], but reports failures as a structured
     /// [`FaultReport`] (every failed task with label, attempt count and
-    /// cause chain) instead of panicking.
+    /// cause chain, plus a snapshot of every region range still
+    /// poisoned) instead of panicking. The report covers the *default
+    /// job's* fault domain; submitted jobs report through
+    /// `JobHandle::try_join`.
     pub fn try_taskwait(&self) -> Result<(), FaultReport> {
         {
             let mut g = self.shared.wait.lock();
-            while self.shared.outstanding.load(Ordering::SeqCst) > 0 {
+            while self.shared.outstanding.load(Ordering::SeqCst) > 0
+                && !self.shared.terminated.load(Ordering::SeqCst)
+            {
                 self.shared.wait_cv.wait(&mut g);
             }
         }
-        let failures: Vec<TaskFailure> = std::mem::take(&mut *self.shared.failures.lock());
-        if failures.is_empty() {
-            Ok(())
-        } else {
-            Err(FaultReport { failures })
-        }
+        self.shared.default_job.take_report()
     }
 
-    /// Region ranges currently poisoned by failed writers.
+    /// Region ranges currently poisoned by failed writers (in the
+    /// default job's fault domain; see `JobHandle::poisoned_regions` for
+    /// a submitted job's).
     pub fn poisoned_regions(&self) -> Vec<Region> {
         self.shared
+            .default_job
             .poisoned
             .lock()
             .iter()
@@ -1147,25 +1491,48 @@ impl Runtime {
     /// a later task that fully overwrites the range (`Write` access)
     /// cleanses it — exactly how FEIR/AFEIR recovery tasks repair data
     /// lost to a DUE.
+    ///
+    /// Hardware faults are physical, not per-tenant: the region is
+    /// poisoned in *every* live job's fault domain.
     pub fn poison_region(&self, region: Region, label: impl Into<String>) {
         let label = label.into();
-        self.shared
-            .poison_writes(Self::HW_SOURCE, &label, &[region]);
+        let jobs = self.shared.jobs.lock().live();
+        for job in &jobs {
+            self.shared
+                .poison_writes(job, Self::HW_SOURCE, &label, &[region]);
+        }
     }
 
     /// Synthetic source id for failures originating in hardware rather
     /// than in a task (see [`Runtime::poison_region`]).
     pub const HW_SOURCE: TaskId = TaskId(u32::MAX);
 
-    /// Forget all poison: the caller asserts the data has been repaired
-    /// out-of-band (e.g. recomputed from a checkpoint). Pending tasks that
-    /// were already marked as victims are unmarked and will run.
+    /// Forget all poison in every job: the caller asserts the data has
+    /// been repaired out-of-band (e.g. recomputed from a checkpoint).
+    /// Pending tasks that were already marked as victims are unmarked
+    /// and will run.
     pub fn clear_poison(&self) {
-        self.shared.poisoned.lock().clear();
+        let jobs = self.shared.jobs.lock().live();
+        for job in &jobs {
+            job.poisoned.lock().clear();
+            job.has_poison.store(false, Ordering::SeqCst);
+        }
         self.shared.slab.for_each_live(|_, slot| {
             slot.state.lock().poisoned_by = None;
         });
         self.shared.has_poison.store(false, Ordering::SeqCst);
+    }
+
+    /// Targeted variant of [`Runtime::clear_poison`]: forget poison for
+    /// one region range only (in every job), unmarking pending victims
+    /// whose declared reads no longer overlap any remaining poison in
+    /// their job. Partial overlaps leave the uncovered remainder
+    /// poisoned.
+    pub fn clear_poison_region(&self, region: Region) {
+        let jobs = self.shared.jobs.lock().live();
+        for job in &jobs {
+            self.shared.clear_job_poison_region(job, &region);
+        }
     }
 
     /// Runtime counters snapshot, including the pool's worker fault and
@@ -1250,14 +1617,176 @@ impl Runtime {
             r.extend_from_slice(ranges);
         }
     }
+
+    // ----------------------------------------------------- job layer
+
+    /// Open a new job: an isolated fault domain with its own retry
+    /// policy, fault plan, observer session, failure list and poison
+    /// set. Refused once the runtime is draining, or at the
+    /// [`RuntimeConfig::max_jobs`] cap.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle<'_>, AdmissionError> {
+        let shared = &*self.shared;
+        if shared.lifecycle.load(Ordering::SeqCst) != LIFECYCLE_RUNNING {
+            return Err(AdmissionError::Draining);
+        }
+        let job = {
+            let mut jobs = shared.jobs.lock();
+            if let Some(cap) = self.config.max_jobs {
+                if jobs.submitted_count() >= cap {
+                    RuntimeStats::bump(&shared.stats.admission_rejected);
+                    return Err(AdmissionError::Busy);
+                }
+            }
+            let session = Arc::new(TraceSession::new(
+                shared.tracer.clone(),
+                spec.observer
+                    .clone()
+                    .or_else(|| self.config.observer.clone()),
+            ));
+            let retry = spec.retry.unwrap_or(self.config.retry);
+            let plan = spec
+                .fault_plan
+                .clone()
+                .or_else(|| self.config.fault_plan.clone());
+            jobs.insert(|id| {
+                Arc::new(JobState::new(
+                    id,
+                    spec.label.clone(),
+                    spec.qos,
+                    retry,
+                    plan,
+                    session,
+                    spec.max_in_flight,
+                ))
+            })
+        };
+        RuntimeStats::bump(&shared.stats.jobs_submitted);
+        Ok(JobHandle { rt: self, job })
+    }
+
+    /// Wait until `job` has no in-flight tasks (or the runtime was
+    /// force-terminated). Returns false on deadline expiry.
+    fn wait_job(&self, job: &JobState, deadline: Option<Instant>) -> bool {
+        let mut g = job.wait.lock();
+        while job.in_flight.load(Ordering::SeqCst) > 0
+            && !self.shared.terminated.load(Ordering::SeqCst)
+        {
+            match deadline {
+                Some(d) => {
+                    if Instant::now() >= d {
+                        return false;
+                    }
+                    job.wait_cv.wait_until(&mut g, d);
+                }
+                None => job.wait_cv.wait(&mut g),
+            }
+        }
+        true
+    }
+
+    /// Wait for global quiescence until `deadline`; false on expiry.
+    fn wait_outstanding_until(&self, deadline: Instant) -> bool {
+        let shared = &*self.shared;
+        let mut g = shared.wait.lock();
+        while shared.outstanding.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            shared.wait_cv.wait_until(&mut g, deadline);
+        }
+        true
+    }
+
+    /// Wind the runtime down within `timeout`, in three phases:
+    ///
+    /// 1. **Graceful** — stop admitting new jobs (existing jobs may keep
+    ///    spawning) and give in-flight work ¾ of the budget to finish.
+    /// 2. **Cancel** — cancel every live job: queued tasks flow through
+    ///    the workers as recorded skips (releasing their successors), so
+    ///    quiescence converges without queue surgery.
+    /// 3. **Forced** — at the deadline, mark the runtime terminated,
+    ///    request pool shutdown without joining (a worker wedged in a
+    ///    long body cannot hold `drain` past its deadline; `Drop` still
+    ///    joins) and release every waiter.
+    ///
+    /// After a drain the runtime admits nothing; it exists to be
+    /// dropped. Safe to call with an active fault plan killing workers:
+    /// kills are ignored once shutdown has begun (see
+    /// `pool::injected_death`) and the watchdog never respawns past it.
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        let start = Instant::now();
+        let shared = &*self.shared;
+        // First drainer wins the transition; latecomers just wait again.
+        let _ = shared.lifecycle.compare_exchange(
+            LIFECYCLE_RUNNING,
+            LIFECYCLE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        let deadline = start + timeout;
+        let grace = start + timeout.mul_f64(0.75);
+        let mut quiesced = self.wait_outstanding_until(grace);
+        let mut cancelled_jobs = 0usize;
+        if !quiesced {
+            let jobs = shared.jobs.lock().live();
+            for job in &jobs {
+                if job.cancel() {
+                    cancelled_jobs += 1;
+                    RuntimeStats::bump(&shared.stats.jobs_cancelled);
+                }
+            }
+            shared.any_cancelled.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            self.pool.wake_all();
+            {
+                let _g = shared.admission_lock.lock();
+                shared.admission_cv.notify_all();
+            }
+            quiesced = self.wait_outstanding_until(deadline);
+        }
+        let forced = !quiesced;
+        if forced {
+            shared.terminated.store(true, Ordering::SeqCst);
+            self.pool.request_shutdown();
+            {
+                let _g = shared.wait.lock();
+                shared.wait_cv.notify_all();
+            }
+            for job in shared.jobs.lock().live() {
+                let _g = job.wait.lock();
+                job.wait_cv.notify_all();
+            }
+            {
+                let _g = shared.admission_lock.lock();
+                shared.admission_cv.notify_all();
+            }
+        }
+        shared.lifecycle.store(LIFECYCLE_DRAINED, Ordering::SeqCst);
+        DrainReport {
+            timed_out: !quiesced,
+            forced,
+            cancelled_jobs,
+            outstanding_at_exit: shared.outstanding.load(Ordering::SeqCst),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// True once [`Runtime::drain`] has begun (new jobs are refused).
+    pub fn is_draining(&self) -> bool {
+        self.shared.lifecycle.load(Ordering::SeqCst) != LIFECYCLE_RUNNING
+    }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
         // Wait for in-flight work without propagating panics (drop must
-        // not panic), then the pool's own Drop joins the workers.
+        // not panic), then the pool's own Drop joins the workers. A
+        // force-terminated runtime skips the wait: its queued tasks are
+        // dropped with the queues.
         let mut g = self.shared.wait.lock();
-        while self.shared.outstanding.load(Ordering::SeqCst) > 0 {
+        while self.shared.outstanding.load(Ordering::SeqCst) > 0
+            && !self.shared.terminated.load(Ordering::SeqCst)
+        {
             self.shared.wait_cv.wait(&mut g);
         }
     }
@@ -1267,6 +1796,7 @@ impl Drop for Runtime {
 /// the body, then [`TaskBuilder::spawn`].
 pub struct TaskBuilder<'rt> {
     rt: &'rt Runtime,
+    job: &'rt Arc<JobState>,
     meta: TaskMeta,
     body: Option<ExecBody>,
 }
@@ -1339,10 +1869,220 @@ impl<'rt> TaskBuilder<'rt> {
         self
     }
 
-    /// Submit the task. Panics if no body was provided.
+    /// Submit the task. Panics if no body was provided. Blocks while the
+    /// job (or runtime) is at its in-flight cap; if the job was
+    /// cancelled, the runtime is draining, or the task was shed, the
+    /// task is silently discarded (the id then refers to a task that
+    /// never runs). Use [`TaskBuilder::try_spawn`] to observe refusals.
     pub fn spawn(self) -> TaskId {
         let body = self.body.expect("task needs a body before spawn()");
-        self.rt.spawn_exec(self.meta, body)
+        self.rt.spawn_blocking(self.job, self.meta, body)
+    }
+
+    /// Submit the task without blocking: admission refusals (including
+    /// `Busy` at an in-flight cap) surface as errors instead of waiting
+    /// or silently discarding. Panics if no body was provided.
+    pub fn try_spawn(self) -> Result<TaskId, AdmissionError> {
+        let body = self.body.expect("task needs a body before try_spawn()");
+        self.rt.spawn_job(self.job, self.meta, body, false)
+    }
+}
+
+/// A live job: an isolated fault domain inside a shared [`Runtime`].
+///
+/// Tasks spawned through the handle are tagged with the job's
+/// generation-counted [`JobId`]; their dependency tracking, retry
+/// budget, failure reports, poisoned regions and observer events are
+/// all scoped to this job and never leak into (or out of) other jobs.
+///
+/// Dropping the handle does not cancel the job; in-flight tasks finish
+/// and the job's slot is reclaimed once they have.
+pub struct JobHandle<'rt> {
+    rt: &'rt Runtime,
+    job: Arc<JobState>,
+}
+
+impl<'rt> JobHandle<'rt> {
+    /// The job's generation-counted id.
+    pub fn id(&self) -> JobId {
+        self.job.id
+    }
+
+    /// The label given at submission.
+    pub fn label(&self) -> &str {
+        &self.job.label
+    }
+
+    /// The job's quality-of-service class.
+    pub fn qos(&self) -> QosClass {
+        self.job.qos
+    }
+
+    /// Begin building a task inside this job.
+    pub fn task(&self, label: impl Into<String>) -> TaskBuilder<'_> {
+        TaskBuilder {
+            rt: self.rt,
+            job: &self.job,
+            meta: TaskMeta::new(label),
+            body: None,
+        }
+    }
+
+    /// Register a datum for dependency tracking (regions are global, so
+    /// jobs may share handles; *dependencies* still never cross jobs).
+    pub fn register<T>(&self, name: impl Into<String>, value: T) -> DataHandle<T> {
+        DataHandle::new(name, value)
+    }
+
+    /// Cancel the job: new spawns are refused and queued tasks are
+    /// skipped (recorded as [`TaskError::Cancelled`], successors
+    /// released so the graph still quiesces). Tasks already executing
+    /// run to completion. Returns true on the first call.
+    pub fn cancel(&self) -> bool {
+        let first = self.job.cancel();
+        if first {
+            let shared = &*self.rt.shared;
+            RuntimeStats::bump(&shared.stats.jobs_cancelled);
+            shared.any_cancelled.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            let _g = shared.admission_lock.lock();
+            shared.admission_cv.notify_all();
+        }
+        first
+    }
+
+    /// Wait for every task in this job to settle, then report: `Ok` if
+    /// all succeeded, otherwise the job's [`FaultReport`] (failures and
+    /// still-poisoned regions). Resets the failure list.
+    pub fn try_join(&self) -> Result<(), FaultReport> {
+        self.rt.wait_job(&self.job, None);
+        self.job.take_report()
+    }
+
+    /// [`JobHandle::try_join`] with a deadline: `None` if the job did
+    /// not settle within `timeout` (no state is consumed; join again).
+    pub fn join_timeout(&self, timeout: Duration) -> Option<Result<(), FaultReport>> {
+        if !self.rt.wait_job(&self.job, Some(Instant::now() + timeout)) {
+            return None;
+        }
+        Some(self.job.take_report())
+    }
+
+    /// Wait for the job and panic on failure (test/example convenience).
+    pub fn join(&self) {
+        if let Err(report) = self.try_join() {
+            panic!("job '{}' failed:\n{report}", self.job.label);
+        }
+    }
+
+    /// Block until a specific region's chain inside this job completes.
+    pub fn taskwait_on_region(&self, region: Region) {
+        self.rt.taskwait_on_region_for(&self.job, region);
+    }
+
+    /// Block until the chain on `h`'s region inside this job completes.
+    pub fn taskwait_on<T: ?Sized>(&self, h: &DataHandle<T>) {
+        self.taskwait_on_region(h.region());
+    }
+
+    /// Regions currently poisoned in this job's fault domain.
+    pub fn poisoned_regions(&self) -> Vec<Region> {
+        self.job.poisoned.lock().iter().map(|p| p.region).collect()
+    }
+
+    /// Forget all of this job's poisoned regions.
+    pub fn clear_poison(&self) {
+        self.rt.shared.clear_job_poison(&self.job);
+    }
+
+    /// Forget poison overlapping `region` in this job (partial overlaps
+    /// are split; see [`Runtime::clear_poison_region`]).
+    pub fn clear_poison_region(&self, region: Region) {
+        self.rt.shared.clear_job_poison_region(&self.job, &region);
+    }
+
+    /// Per-job task counters.
+    pub fn job_stats(&self) -> JobStats {
+        self.job.stats()
+    }
+
+    /// Tasks currently admitted and not yet settled.
+    pub fn in_flight(&self) -> u64 {
+        self.job.in_flight.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for JobHandle<'_> {
+    fn drop(&mut self) {
+        // Reclaim the job's table slot if it has fully settled; live
+        // tasks hold `Arc<JobState>`s, so an active job's entry simply
+        // stays until the runtime drops. Index 0 (default job) is never
+        // removed.
+        if self.job.id.index != 0 && self.job.in_flight.load(Ordering::SeqCst) == 0 {
+            self.rt.shared.jobs.lock().remove(self.job.id);
+        }
+    }
+}
+
+/// The task-spawning surface shared by [`Runtime`] (implicit default
+/// job) and [`JobHandle`] (explicit job). Solver and benchmark code
+/// written against `TaskScope` runs unchanged in either mode.
+pub trait TaskScope {
+    /// Begin building a task in this scope.
+    fn task(&self, label: impl Into<String>) -> TaskBuilder<'_>;
+    /// Block until the chain on `region` in this scope completes.
+    fn taskwait_on_region(&self, region: Region);
+    /// Wait for this scope's tasks and report failures.
+    fn try_wait(&self) -> Result<(), FaultReport>;
+    /// Regions currently poisoned in this scope's fault domain.
+    fn poisoned_regions(&self) -> Vec<Region>;
+    /// Declare scratchpad ranges for replay capture.
+    fn declare_spm_ranges(&self, ranges: &[(u64, u64)]);
+
+    /// Register a datum for dependency tracking.
+    fn register<T>(&self, name: impl Into<String>, value: T) -> DataHandle<T> {
+        DataHandle::new(name, value)
+    }
+
+    /// Block until the chain on `h`'s region in this scope completes.
+    fn taskwait_on<T: ?Sized>(&self, h: &DataHandle<T>) {
+        self.taskwait_on_region(h.region());
+    }
+}
+
+impl TaskScope for Runtime {
+    fn task(&self, label: impl Into<String>) -> TaskBuilder<'_> {
+        Runtime::task(self, label)
+    }
+    fn taskwait_on_region(&self, region: Region) {
+        Runtime::taskwait_on_region(self, region);
+    }
+    fn try_wait(&self) -> Result<(), FaultReport> {
+        self.try_taskwait()
+    }
+    fn poisoned_regions(&self) -> Vec<Region> {
+        Runtime::poisoned_regions(self)
+    }
+    fn declare_spm_ranges(&self, ranges: &[(u64, u64)]) {
+        Runtime::declare_spm_ranges(self, ranges);
+    }
+}
+
+impl TaskScope for JobHandle<'_> {
+    fn task(&self, label: impl Into<String>) -> TaskBuilder<'_> {
+        JobHandle::task(self, label)
+    }
+    fn taskwait_on_region(&self, region: Region) {
+        JobHandle::taskwait_on_region(self, region);
+    }
+    fn try_wait(&self) -> Result<(), FaultReport> {
+        self.try_join()
+    }
+    fn poisoned_regions(&self) -> Vec<Region> {
+        JobHandle::poisoned_regions(self)
+    }
+    fn declare_spm_ranges(&self, ranges: &[(u64, u64)]) {
+        self.rt.declare_spm_ranges(ranges);
     }
 }
 

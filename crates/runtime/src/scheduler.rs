@@ -56,6 +56,30 @@ pub enum SchedulerPolicy {
     },
 }
 
+/// Per-job quality-of-service class, consumed by the job layer's
+/// admission path and by the scheduler's routing decision:
+///
+/// * [`QosClass::Guaranteed`] tasks are always admitted (subject only to
+///   the configured in-flight caps) and keep their computed criticality.
+/// * [`QosClass::BestEffort`] tasks are load-shed once the runtime's
+///   global in-flight count reaches the configured shed watermark, and
+///   are always scheduled as non-critical — under
+///   [`SchedulerPolicy::CriticalityAware`] they are served by the slow
+///   workers and never displace guaranteed work from the fast ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum QosClass {
+    #[default]
+    Guaranteed,
+    BestEffort,
+}
+
+impl QosClass {
+    /// True when tasks of this class may be dropped under pressure.
+    pub fn sheddable(&self) -> bool {
+        matches!(self, QosClass::BestEffort)
+    }
+}
+
 /// A task that is ready to run, together with everything the scheduler
 /// needs to order it.
 pub struct ReadyTask {

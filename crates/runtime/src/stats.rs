@@ -33,6 +33,20 @@ pub struct RuntimeStats {
     pub poisoned_tasks: AtomicU64,
     /// Settled tasks bucketed by how many failed attempts they needed.
     pub retry_hist: [AtomicU64; RETRY_HIST_BUCKETS],
+    /// Jobs accepted by `Runtime::submit`.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs cancelled (explicitly or by `Runtime::drain`).
+    pub jobs_cancelled: AtomicU64,
+    /// Best-effort tasks dropped at the shed watermark.
+    pub tasks_shed: AtomicU64,
+    /// Tasks that settled as skipped because their job was cancelled
+    /// (subset of `failed_tasks`).
+    pub tasks_cancelled: AtomicU64,
+    /// Blocking spawns silently dropped (job cancelled / runtime
+    /// draining / task shed).
+    pub tasks_discarded: AtomicU64,
+    /// `try_spawn` reservations refused at an in-flight cap.
+    pub admission_rejected: AtomicU64,
 }
 
 impl RuntimeStats {
@@ -52,6 +66,12 @@ impl RuntimeStats {
             failed_tasks: self.failed_tasks.load(Ordering::Relaxed),
             poisoned_tasks: self.poisoned_tasks.load(Ordering::Relaxed),
             retry_hist,
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            tasks_shed: self.tasks_shed.load(Ordering::Relaxed),
+            tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
+            tasks_discarded: self.tasks_discarded.load(Ordering::Relaxed),
+            admission_rejected: self.admission_rejected.load(Ordering::Relaxed),
             worker_deaths: 0,
             worker_respawns: 0,
             worker_stalls: 0,
@@ -82,6 +102,18 @@ pub struct StatsSnapshot {
     pub failed_tasks: u64,
     pub poisoned_tasks: u64,
     pub retry_hist: [u64; RETRY_HIST_BUCKETS],
+    /// Jobs accepted by `Runtime::submit`.
+    pub jobs_submitted: u64,
+    /// Jobs cancelled (explicitly or by `Runtime::drain`).
+    pub jobs_cancelled: u64,
+    /// Best-effort tasks dropped at the shed watermark.
+    pub tasks_shed: u64,
+    /// Tasks settled as skipped because their job was cancelled.
+    pub tasks_cancelled: u64,
+    /// Blocking spawns silently dropped (cancelled/draining/shed).
+    pub tasks_discarded: u64,
+    /// `try_spawn` reservations refused at an in-flight cap.
+    pub admission_rejected: u64,
     /// Worker threads that died (injected or real), from the watchdog.
     pub worker_deaths: u64,
     /// Replacement workers the watchdog spawned.

@@ -177,6 +177,12 @@ pub struct SlotState {
     pub writes: Vec<Region>,
     /// Set when an upstream failure poisoned a region this task reads.
     pub poisoned_by: Option<(TaskId, String)>,
+    /// Fault domain this task belongs to; `None` only for exempt
+    /// (sentinel) tasks, which carry no job accounting.
+    pub(crate) job: Option<Arc<crate::job::JobState>>,
+    /// Set by the preflight when the task was skipped because its job
+    /// was cancelled.
+    pub cancelled: bool,
 }
 
 impl SlotState {
@@ -197,6 +203,8 @@ impl SlotState {
         self.reads.clear();
         self.writes.clear();
         self.poisoned_by = None;
+        self.job = None;
+        self.cancelled = false;
     }
 }
 

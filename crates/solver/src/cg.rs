@@ -3,7 +3,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use raa_runtime::{program, AccessMode, FaultReport, Runtime};
+use raa_runtime::{program, AccessMode, FaultReport, TaskScope};
 use raa_workloads::{AddressSpace, ArrayDecl, MemRef, RefClass, TraceEvent};
 
 use crate::blas::{axpy, block_ranges, dot, norm2, xpby};
@@ -125,8 +125,12 @@ pub fn pcg(
 /// never touches its data or runs to completion. (Some bodies, e.g. the
 /// `x += αp` update, are read-modify-write and would not survive a
 /// mid-body crash; the injection model is crash-before-start.)
-pub fn cg_tasks(
-    rt: &Runtime,
+///
+/// Generic over [`TaskScope`]: pass a `&Runtime` to solve in the
+/// implicit default job, or a `&JobHandle` to confine the solve (and
+/// any faults injected into it) to one job's fault domain.
+pub fn cg_tasks<S: TaskScope>(
+    rt: &S,
     a: Arc<Csr>,
     b: &[f64],
     blocks: usize,
@@ -279,8 +283,8 @@ impl CgLayout {
 /// injection, poisoned downstream reads) surface as a typed
 /// [`FaultReport`] instead of a panic — the entry point fault-injection
 /// campaigns drive.
-pub fn try_cg_tasks(
-    rt: &Runtime,
+pub fn try_cg_tasks<S: TaskScope>(
+    rt: &S,
     a: Arc<Csr>,
     b: &[f64],
     blocks: usize,
@@ -484,7 +488,7 @@ pub fn try_cg_tasks(
         rr = scalars.read().rr;
         iter += 1;
     }
-    rt.try_taskwait()?;
+    rt.try_wait()?;
     let xv = x.read().clone();
     Ok(CgResult {
         converged: rr.sqrt() / bnorm <= tol,
@@ -516,7 +520,7 @@ impl CgScalars {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raa_runtime::RuntimeConfig;
+    use raa_runtime::{Runtime, RuntimeConfig};
 
     fn poisson_system(nx: usize, ny: usize) -> (Csr, Vec<f64>, Vec<f64>) {
         let a = Csr::poisson2d(nx, ny);

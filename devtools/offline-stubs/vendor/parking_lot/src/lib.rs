@@ -101,6 +101,21 @@ impl Condvar {
         WaitTimeoutResult(res)
     }
 
+    /// Deadline-based wait; parking_lot takes an `Instant`, std wants a
+    /// `Duration`, so convert with saturation (a past deadline times out
+    /// immediately).
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let now = std::time::Instant::now();
+        if deadline <= now {
+            return WaitTimeoutResult(true);
+        }
+        self.wait_for(guard, deadline - now)
+    }
+
     pub fn notify_one(&self) -> bool {
         self.0.notify_one();
         true

@@ -14,7 +14,7 @@
 #   2. empty@8 throughput with tracing *enabled* (best of
 #      RAA_BENCH_REPS, like the untraced convention) stays within
 #      RAA_TRACE_TOLERANCE (default 15%) of the committed untraced
-#      RAA_BENCH_REF_SERIES (default after_lock_free) in
+#      RAA_BENCH_REF_SERIES (default after_job_layer) in
 #      BENCH_runtime.json.
 set -euo pipefail
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -53,7 +53,7 @@ print(f"trace-check: {sys.argv[1]} OK — "
 EOF
 
 echo "--- empty@8 tracing overhead gate ---"
-ref_series="${RAA_BENCH_REF_SERIES:-after_lock_free}"
+ref_series="${RAA_BENCH_REF_SERIES:-after_job_layer}"
 tolerance="${RAA_TRACE_TOLERANCE:-0.15}"
 [ -f "$json" ] || { echo "trace-check: no ${json} to check against" >&2; exit 1; }
 ref=$(python3 -c "
