@@ -1,0 +1,539 @@
+//! serving-load — seeded open-loop serving benchmark over the job
+//! runtime, plus an A/B chaos campaign for the overload protections.
+//!
+//! **Default mode** drives a Poisson arrival process (open loop: arrival
+//! times are precomputed from the seed, a late runtime does not slow the
+//! clients down) through a mixed job palette:
+//!
+//! * **critical** — Guaranteed single-task requests with a per-job
+//!   deadline and a cost hint (1ms service); a few are *stragglers*
+//!   whose first execution stalls far past the soft timeout, exercising
+//!   hedged re-execution.
+//! * **batch** — BestEffort single-task requests (3ms service) with a
+//!   deadline the reaper enforces; the offered rate sweeps from
+//!   underload to ~2x capacity.
+//! * **batch-cg** — every 16th batch request is a blocked-CG-shaped
+//!   dependency graph (49 tasks) instead of a single task, so the
+//!   palette covers TDG-shaped requests, not just independent ones.
+//!
+//! It prints `RESULT <key> <value>` lines (p50/p99/p999 critical
+//! latency, goodput, shed and deadline-miss rates per offered-load
+//! point) which `devtools/bench-json.sh --serving` records into
+//! `BENCH_serving.json`.
+//!
+//! **`--chaos`** runs the same palette twice at ~2x overload with a
+//! worker kill mid-load and two doomed tenants, and prints only
+//! seed-deterministic booleans (CI diffs two runs):
+//!
+//! * phase **A** (protections on: adaptive shed controller, deadlines +
+//!   reaper, soft-timeout hedging) must keep critical p99 within the
+//!   SLO while best-effort work is shed, doomed tenants are reaped and
+//!   stragglers are hedged;
+//! * phase **B** (protections off, same seed and arrivals) must blow
+//!   the same SLO — the protections, not luck, carry the contract.
+//!
+//! Usage: `cargo run --release -p raa-bench --bin serving_load [--chaos]`
+//! Env: `RAA_SCALE` (`test`|`small`|`standard`), `RAA_FAULT_SEED`
+//! (default 42).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use raa_bench::{rule, scale_from_env, spawn_cg_shape};
+use raa_runtime::{
+    AdmissionError, FaultPlan, JobSpec, QosClass, Runtime, RuntimeConfig, WatchdogConfig,
+};
+use raa_workloads::Scale;
+
+const WORKERS: usize = 3;
+/// Critical-tenant latency SLO asserted by the chaos campaign. The
+/// protected phase measures p99 ~13-30ms (the EDF urgency bound:
+/// critical deadline + hedge latency); the unprotected phase ~450ms.
+/// The line sits between with margin for noisy shared CI runners.
+const SLO: Duration = Duration::from_millis(75);
+/// Mean inter-arrival gaps (Poisson processes).
+const CRITICAL_GAP_NS: u64 = 2_500_000;
+const BATCH_GAP_CHAOS_NS: u64 = 660_000;
+/// Service times (the task bodies sleep).
+const CRITICAL_SERVICE: Duration = Duration::from_millis(1);
+const BATCH_SERVICE: Duration = Duration::from_millis(3);
+/// Per-job deadlines when protections are on.
+const CRITICAL_DEADLINE: Duration = Duration::from_millis(15);
+const BATCH_DEADLINE: Duration = Duration::from_millis(25);
+const DOOMED_DEADLINE: Duration = Duration::from_millis(10);
+/// Adaptive shed controller budget (≈ one batch service time of
+/// queueing — tighter and the controller sheds on scheduling noise at
+/// every load level) and hedging soft timeout.
+const SHED_BUDGET: Duration = Duration::from_millis(2);
+const SOFT_TIMEOUT: Duration = Duration::from_millis(10);
+/// Every 40th critical request stalls on its first execution.
+const STRAGGLER_FIRST_RUN: Duration = Duration::from_millis(120);
+/// Doomed tenants (chaos mode): head blocks past the job deadline.
+const DOOMED_JOBS: usize = 2;
+const DOOMED_HEAD: Duration = Duration::from_millis(30);
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------- load
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One exponential inter-arrival gap, capped at 8x the mean so a
+    /// single draw cannot park the whole arrival process.
+    fn exp_gap(&mut self, mean_ns: u64) -> u64 {
+        let g = (-(mean_ns as f64) * (1.0 - self.next_f64()).ln()) as u64;
+        g.min(mean_ns * 8)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Critical { straggler: bool },
+    Batch,
+    BatchCg,
+}
+
+#[derive(Clone, Copy)]
+struct Arrival {
+    at_ns: u64,
+    kind: Kind,
+    idx: usize,
+}
+
+/// Precompute the merged arrival schedule: `n_critical` critical
+/// requests at the fixed critical rate, batch requests at `batch_gap_ns`
+/// filling the same window. Fully determined by the seed.
+fn schedule(seed: u64, n_critical: usize, batch_gap_ns: u64) -> Vec<Arrival> {
+    let mut rng = SplitMix64(seed);
+    let mut arrivals = Vec::new();
+    let mut t = 0u64;
+    for i in 0..n_critical {
+        t += rng.exp_gap(CRITICAL_GAP_NS);
+        arrivals.push(Arrival {
+            at_ns: t,
+            kind: Kind::Critical {
+                straggler: i % 40 == 20,
+            },
+            idx: i,
+        });
+    }
+    let window = t;
+    let mut t = 0u64;
+    let mut i = 0;
+    loop {
+        t += rng.exp_gap(batch_gap_ns);
+        if t >= window {
+            break;
+        }
+        let kind = if i % 16 == 3 {
+            Kind::BatchCg
+        } else {
+            Kind::Batch
+        };
+        arrivals.push(Arrival {
+            at_ns: t,
+            kind,
+            idx: i,
+        });
+        i += 1;
+    }
+    arrivals.sort_by_key(|a| a.at_ns);
+    arrivals
+}
+
+// --------------------------------------------------------------- phase
+
+struct PhaseResult {
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    goodput_rps: f64,
+    shed_rate: f64,
+    miss_rate: f64,
+    shed: usize,
+    offered_batch: usize,
+    critical_ok: bool,
+    doomed_reaped: usize,
+    hedged: u64,
+    worker_deaths: u64,
+    worker_respawns: u64,
+    drain_clean: bool,
+    drain_bounded: bool,
+}
+
+fn pct(sorted_ns: &[u64], q: f64) -> f64 {
+    let idx = ((sorted_ns.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+/// Run one phase of the campaign: drive the precomputed arrivals through
+/// a fresh runtime, join the critical tenant, settle the doomed tenants,
+/// drain, and fold the outcome into a [`PhaseResult`].
+///
+/// `protect` switches the serving stack (shed controller, deadlines +
+/// reaper, hedging) on or off; `chaos` adds the worker-kill plan and the
+/// doomed tenants.
+fn run_phase(
+    protect: bool,
+    chaos: bool,
+    seed: u64,
+    arrivals: &[Arrival],
+    n_critical: usize,
+) -> PhaseResult {
+    let mut config = RuntimeConfig::with_workers(WORKERS);
+    if protect {
+        config = config
+            .shed_delay_budget(SHED_BUDGET)
+            .soft_timeout(SOFT_TIMEOUT);
+    }
+    if chaos {
+        config = config
+            .fault_plan(FaultPlan::new(seed).kill_worker(1, 40))
+            .watchdog(WatchdogConfig::enabled().interval(Duration::from_millis(2)));
+    }
+    let rt = Runtime::new(config);
+
+    // Doomed tenants go in before the load window: the controller's EWMA
+    // starts at zero, so their admission cannot be shed. Each holds a
+    // worker past its own deadline with a queued dependent behind it —
+    // the reaper must cancel the job and record the dependent as a skip.
+    let doomed: Vec<_> = if chaos {
+        (0..DOOMED_JOBS)
+            .map(|d| {
+                let mut spec = JobSpec::new(format!("doomed{d}")).qos(QosClass::BestEffort);
+                if protect {
+                    spec = spec.deadline(DOOMED_DEADLINE);
+                }
+                let job = rt.submit(spec).expect("runtime is running");
+                let data = job.register("d", 0u64);
+                {
+                    let h = data.clone();
+                    job.task("head")
+                        .updates(&data)
+                        .idempotent(move || {
+                            std::thread::sleep(DOOMED_HEAD);
+                            *h.write() += 1;
+                        })
+                        .spawn();
+                }
+                let h = data.clone();
+                job.task("tail")
+                    .updates(&data)
+                    .idempotent(move || *h.write() += 1)
+                    .spawn();
+                job
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let lat: Arc<Vec<AtomicU64>> =
+        Arc::new((0..n_critical).map(|_| AtomicU64::new(u64::MAX)).collect());
+    let mut critical_jobs = Vec::with_capacity(n_critical);
+    let mut batch_jobs = Vec::new();
+    let mut offered_batch = 0usize;
+    let start = Instant::now();
+
+    for a in arrivals {
+        let target = start + Duration::from_nanos(a.at_ns);
+        let now = Instant::now();
+        if now < target {
+            std::thread::sleep(target - now);
+        }
+        match a.kind {
+            Kind::Critical { straggler } => {
+                let mut spec = JobSpec::new(format!("crit{}", a.idx));
+                if protect {
+                    spec = spec
+                        .deadline(CRITICAL_DEADLINE)
+                        .cost_hint(CRITICAL_SERVICE.as_nanos() as u64);
+                }
+                let job = rt.submit(spec).expect("runtime is running");
+                let lat = Arc::clone(&lat);
+                let (idx, at_ns) = (a.idx, a.at_ns);
+                let runs = Arc::new(AtomicU64::new(0));
+                let admitted = job
+                    .task("req")
+                    .idempotent(move || {
+                        let service = if straggler && runs.fetch_add(1, Ordering::SeqCst) == 0 {
+                            STRAGGLER_FIRST_RUN
+                        } else {
+                            CRITICAL_SERVICE
+                        };
+                        std::thread::sleep(service);
+                        let done = start.elapsed().as_nanos() as u64;
+                        // fetch_min: when a hedge duplicate wins the
+                        // race, the straggling original must not
+                        // overwrite the request's real latency.
+                        lat[idx].fetch_min(done.saturating_sub(at_ns), Ordering::SeqCst);
+                    })
+                    .try_spawn();
+                assert!(admitted.is_ok(), "critical admission failed: {admitted:?}");
+                critical_jobs.push(job);
+            }
+            Kind::Batch => {
+                offered_batch += 1;
+                let mut spec = JobSpec::new(format!("batch{}", a.idx)).qos(QosClass::BestEffort);
+                if protect {
+                    spec = spec.deadline(BATCH_DEADLINE);
+                }
+                let job = rt.submit(spec).expect("runtime is running");
+                match job
+                    .task("req")
+                    .idempotent(|| std::thread::sleep(BATCH_SERVICE))
+                    .try_spawn()
+                {
+                    // Sheds are tallied from the job metrics below, with
+                    // the whole-graph sheds of the cg palette.
+                    Ok(_) | Err(AdmissionError::Shed) => {}
+                    Err(e) => panic!("unexpected batch refusal: {e:?}"),
+                }
+                batch_jobs.push(job);
+            }
+            Kind::BatchCg => {
+                offered_batch += 1;
+                let mut spec = JobSpec::new(format!("cg{}", a.idx)).qos(QosClass::BestEffort);
+                if protect {
+                    spec = spec.deadline(BATCH_DEADLINE);
+                }
+                let job = rt.submit(spec).expect("runtime is running");
+                // Blocking spawns: under shedding these are silently
+                // discarded per task; a fully shed graph shows up as
+                // spawned == 0 below.
+                spawn_cg_shape(&job, 1);
+                batch_jobs.push(job);
+            }
+        }
+    }
+    let window_secs = arrivals.last().expect("non-empty schedule").at_ns as f64 / 1e9;
+
+    // Settle the critical tenant first — its latency is the product.
+    let mut critical_ok = true;
+    for job in &critical_jobs {
+        critical_ok &= matches!(job.join_timeout(Duration::from_secs(30)), Some(Ok(())));
+    }
+    let mut lats: Vec<u64> = lat.iter().map(|l| l.load(Ordering::SeqCst)).collect();
+    critical_ok &= !lats.contains(&u64::MAX);
+    lats.sort_unstable();
+
+    // Doomed tenants: reaped (cancelled skips) when protections are on,
+    // plain completions when they are off.
+    let mut doomed_reaped = 0usize;
+    for job in &doomed {
+        let reaped = matches!(
+            job.join_timeout(Duration::from_secs(30)),
+            Some(Err(ref report)) if report.cancelled().count() >= 1
+        );
+        if reaped && job.metrics().deadline_missed {
+            doomed_reaped += 1;
+        }
+    }
+
+    // Batch accounting over the per-job serving metrics.
+    let mut completed_batch = 0usize;
+    let mut fully_shed = 0usize;
+    let mut missed_batch = 0usize;
+    for job in &batch_jobs {
+        let m = job.metrics();
+        if m.spawned == 0 && m.shed > 0 {
+            fully_shed += 1;
+        } else if m.spawned > 0 && m.completed == m.spawned && m.failed == 0 {
+            completed_batch += 1;
+        }
+        if m.deadline_missed {
+            missed_batch += 1;
+        }
+    }
+
+    let timeout = Duration::from_secs(10);
+    let t0 = Instant::now();
+    let drain = rt.drain(timeout);
+    let drain_bounded = t0.elapsed() <= timeout + Duration::from_millis(500);
+    let stats = rt.stats();
+
+    PhaseResult {
+        p50_ms: pct(&lats, 0.50),
+        p99_ms: pct(&lats, 0.99),
+        p999_ms: pct(&lats, 0.999),
+        goodput_rps: (n_critical + completed_batch) as f64 / window_secs,
+        shed_rate: fully_shed as f64 / offered_batch as f64,
+        miss_rate: missed_batch as f64 / offered_batch as f64,
+        shed: fully_shed,
+        offered_batch,
+        critical_ok,
+        doomed_reaped,
+        hedged: stats.tasks_hedged,
+        worker_deaths: stats.worker_deaths,
+        worker_respawns: stats.worker_respawns,
+        drain_clean: drain.clean(),
+        drain_bounded,
+    }
+}
+
+// ---------------------------------------------------------------- main
+
+fn chaos_campaign(seed: u64, n_critical: usize) {
+    let arrivals = schedule(seed, n_critical, BATCH_GAP_CHAOS_NS);
+    let offered_batch = arrivals
+        .iter()
+        .filter(|a| !matches!(a.kind, Kind::Critical { .. }))
+        .count();
+    println!(
+        "serving-chaos — open-loop A/B campaign: {n_critical} critical + {offered_batch} \
+         best-effort requests, {WORKERS} workers, seed {seed}, 1 worker kill, \
+         {DOOMED_JOBS} doomed tenants, SLO p99 <= {}ms",
+        SLO.as_millis()
+    );
+    rule(86);
+
+    let a = run_phase(true, true, seed, &arrivals, n_critical);
+    eprintln!(
+        "[detail] A: p50={:.2}ms p99={:.2}ms p999={:.2}ms goodput={:.0}rps shed={}/{} \
+         missed-doomed={} hedged={} deaths={} respawns={}",
+        a.p50_ms,
+        a.p99_ms,
+        a.p999_ms,
+        a.goodput_rps,
+        a.shed,
+        a.offered_batch,
+        a.doomed_reaped,
+        a.hedged,
+        a.worker_deaths,
+        a.worker_respawns,
+    );
+    println!(
+        "A(protect=on) : critical-ok={} critical-p99-within-slo={} best-effort-shed={} \
+         deadline-misses-reaped={} stragglers-hedged={} worker-killed={} respawn-bounded={} \
+         drain-clean={} drain-bounded={}",
+        a.critical_ok,
+        a.p99_ms <= SLO.as_millis() as f64,
+        a.shed >= 1,
+        a.doomed_reaped == DOOMED_JOBS,
+        a.hedged >= 1,
+        a.worker_deaths >= 1,
+        a.worker_respawns <= a.worker_deaths,
+        a.drain_clean,
+        a.drain_bounded,
+    );
+
+    let b = run_phase(false, true, seed, &arrivals, n_critical);
+    eprintln!(
+        "[detail] B: p50={:.2}ms p99={:.2}ms p999={:.2}ms goodput={:.0}rps shed={}/{} \
+         hedged={} deaths={}",
+        b.p50_ms,
+        b.p99_ms,
+        b.p999_ms,
+        b.goodput_rps,
+        b.shed,
+        b.offered_batch,
+        b.hedged,
+        b.worker_deaths,
+    );
+    println!(
+        "B(protect=off): critical-ok={} critical-p99-within-slo={} best-effort-shed={} \
+         deadline-misses-reaped={} stragglers-hedged={} worker-killed={} drain-bounded={}",
+        b.critical_ok,
+        b.p99_ms <= SLO.as_millis() as f64,
+        b.shed >= 1,
+        b.doomed_reaped >= 1,
+        b.hedged >= 1,
+        b.worker_deaths >= 1,
+        b.drain_bounded,
+    );
+    println!(
+        "delta         : protection-lowers-critical-p99={}",
+        a.p99_ms < b.p99_ms
+    );
+    rule(86);
+    println!("contract:");
+    println!("  slo      : with the serving stack on, the critical tenant's p99 holds under");
+    println!("             ~2x overload, a worker kill, stalled stragglers and doomed tenants;");
+    println!("             the same offered load without it blows the same SLO.");
+    println!("  pressure : overload lands on best-effort admissions (shed, reaped), never on");
+    println!("             guaranteed completions; stragglers are hedged, not waited out.");
+
+    // The campaign is also a test: fail loudly, not just in the text.
+    assert!(a.critical_ok && b.critical_ok, "critical tenant failed");
+    assert!(
+        a.p99_ms <= SLO.as_millis() as f64,
+        "protected p99 {:.2}ms blew the {}ms SLO",
+        a.p99_ms,
+        SLO.as_millis()
+    );
+    assert!(
+        b.p99_ms > SLO.as_millis() as f64,
+        "unprotected p99 {:.2}ms met the SLO — the campaign is not stressing anything",
+        b.p99_ms
+    );
+    assert!(a.shed >= 1 && b.shed == 0, "shed controller A/B mismatch");
+    assert_eq!(
+        a.doomed_reaped, DOOMED_JOBS,
+        "reaper missed a doomed tenant"
+    );
+    assert!(a.hedged >= 1 && b.hedged == 0, "hedging A/B mismatch");
+    assert!(a.worker_deaths >= 1, "the kill plan never fired");
+}
+
+fn bench_sweep(seed: u64, n_critical: usize) {
+    println!(
+        "serving-load — open-loop sweep: {n_critical} critical requests + best-effort mix, \
+         {WORKERS} workers, seed {seed}, protections on"
+    );
+    rule(86);
+    // Offered best-effort load vs capacity: the batch gap that saturates
+    // the workers left over by the critical tenant, scaled per point.
+    for (label, mult) in [("0.5", 0.5f64), ("1.0", 1.0), ("2.0", 2.0)] {
+        let spare = WORKERS as f64 - CRITICAL_SERVICE.as_nanos() as f64 / CRITICAL_GAP_NS as f64;
+        let gap = (BATCH_SERVICE.as_nanos() as f64 / (spare * mult)) as u64;
+        let arrivals = schedule(seed, n_critical, gap);
+        let r = run_phase(true, false, seed, &arrivals, n_critical);
+        assert!(r.critical_ok, "critical tenant failed at {label}x");
+        assert!(
+            r.drain_clean && r.drain_bounded,
+            "drain misbehaved at {label}x"
+        );
+        println!("RESULT p50_ms@{label}x {:.3}", r.p50_ms);
+        println!("RESULT p99_ms@{label}x {:.3}", r.p99_ms);
+        println!("RESULT p999_ms@{label}x {:.3}", r.p999_ms);
+        println!("RESULT goodput_rps@{label}x {:.1}", r.goodput_rps);
+        println!("RESULT shed_rate@{label}x {:.4}", r.shed_rate);
+        println!("RESULT miss_rate@{label}x {:.4}", r.miss_rate);
+    }
+    rule(86);
+    println!("series: critical p50/p99/p999 (ms), goodput (requests/s), best-effort shed and");
+    println!("deadline-miss rates per offered-load multiple of spare capacity.");
+}
+
+fn main() {
+    let seed = env_u64("RAA_FAULT_SEED", 42);
+    let n_critical = match scale_from_env() {
+        Scale::Test => 160,
+        Scale::Small => 240,
+        Scale::Standard => 320,
+    };
+    if std::env::args().any(|a| a == "--chaos") {
+        chaos_campaign(seed, n_critical);
+    } else {
+        bench_sweep(seed, n_critical);
+    }
+}

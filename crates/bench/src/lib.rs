@@ -6,7 +6,7 @@
 //! `RAA_SCALE` environment variable (`test`, `small`, `standard`;
 //! default `standard` — the Fig. 1 configuration).
 
-use raa_runtime::{AccessMode, Runtime};
+use raa_runtime::{AccessMode, TaskScope};
 use raa_workloads::Scale;
 
 pub mod fig6;
@@ -16,34 +16,39 @@ pub mod fig6;
 pub const CG_TASKS_PER_ITER: usize = 49;
 
 /// Spawn `iters` iterations of the blocked-CG-shaped task graph (the TDG
-/// shape of `raa-solver`'s task CG, with empty bodies): per iteration,
+/// shape of `raa-solver`'s task CG, with empty bodies) into any
+/// [`TaskScope`] — the whole runtime or one tenant's job: per iteration,
 /// per-block spmv (`R x[b]`, `W q[b]`), a dot-product reduction
 /// serialised on a scalar, one scale step, and per-block axpy. Shared by
-/// `runtime_throughput` (the `cg` workload) and `trace_report` so both
-/// measure the same shape. Returns the number of tasks spawned.
-pub fn spawn_cg_shape(rt: &Runtime, iters: usize) -> u64 {
+/// `runtime_throughput` (the `cg` workload), `trace_report` and
+/// `serving_load` (the dependency-shaped requests of its job palette) so
+/// all measure the same shape. Returns the number of tasks spawned.
+pub fn spawn_cg_shape<S: TaskScope>(scope: &S, iters: usize) -> u64 {
     const B: u64 = 16;
-    let x = rt.register("x", ());
-    let q = rt.register("q", ());
-    let acc = rt.register("acc", ());
+    let x = scope.register("x", ());
+    let q = scope.register("q", ());
+    let acc = scope.register("acc", ());
     for _ in 0..iters {
         for b in 0..B {
-            rt.task("spmv")
+            scope
+                .task("spmv")
                 .region(x.sub(b, b + 1), AccessMode::Read)
                 .region(q.sub(b, b + 1), AccessMode::Write)
                 .body(|| {})
                 .spawn();
         }
         for b in 0..B {
-            rt.task("dot")
+            scope
+                .task("dot")
                 .region(q.sub(b, b + 1), AccessMode::Read)
                 .updates(&acc)
                 .body(|| {})
                 .spawn();
         }
-        rt.task("scale").updates(&acc).body(|| {}).spawn();
+        scope.task("scale").updates(&acc).body(|| {}).spawn();
         for b in 0..B {
-            rt.task("axpy")
+            scope
+                .task("axpy")
                 .reads(&acc)
                 .region(x.sub(b, b + 1), AccessMode::ReadWrite)
                 .body(|| {})

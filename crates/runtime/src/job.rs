@@ -29,7 +29,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -86,6 +86,17 @@ pub struct JobSpec {
     pub observer: Option<Arc<dyn crate::runtime::TaskObserver>>,
     /// Cap on this job's in-flight (admitted, unsettled) tasks.
     pub max_in_flight: Option<usize>,
+    /// Relative completion deadline, measured from submission. For
+    /// [`QosClass::Guaranteed`] jobs the deadline drives EDF scheduling
+    /// (near-deadline tasks jump the ready backlog); for
+    /// [`QosClass::BestEffort`] jobs the runtime's deadline reaper
+    /// cancels the job once the deadline passes — remaining tasks settle
+    /// as recorded skips and the miss shows in [`JobMetrics`].
+    pub deadline: Option<Duration>,
+    /// Expected per-task runtime hint in nanoseconds. Consumed by the
+    /// straggler detector: a task is only hedged once it has run for
+    /// `max(soft_timeout, 4 * cost_hint)`.
+    pub cost_hint: Option<u64>,
 }
 
 impl JobSpec {
@@ -126,6 +137,18 @@ impl JobSpec {
         self.max_in_flight = Some(cap);
         self
     }
+
+    /// Builder-style relative completion deadline (from submission).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Builder-style expected per-task runtime hint (nanoseconds).
+    pub fn cost_hint(mut self, ns: u64) -> Self {
+        self.cost_hint = Some(ns);
+        self
+    }
 }
 
 impl fmt::Debug for JobSpec {
@@ -137,6 +160,8 @@ impl fmt::Debug for JobSpec {
             .field("fault_plan", &self.fault_plan.is_some())
             .field("observer", &self.observer.is_some())
             .field("max_in_flight", &self.max_in_flight)
+            .field("deadline", &self.deadline)
+            .field("cost_hint", &self.cost_hint)
             .finish()
     }
 }
@@ -206,6 +231,34 @@ pub struct JobStats {
     pub in_flight_hwm: u64,
 }
 
+/// Serving-oriented per-job snapshot, from `JobHandle::metrics`. Where
+/// [`JobStats`] counts raw admissions, this derives the quantities an
+/// SLO dashboard wants: queue depth, run depth, shed volume and
+/// admission queue delay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobMetrics {
+    /// Admitted tasks not yet dispatched to a worker.
+    pub queued: u64,
+    /// Tasks dispatched at least once and not yet settled.
+    pub running: u64,
+    /// Tasks settled (success or failure).
+    pub completed: u64,
+    /// Tasks settled as failed (panicked, poisoned or cancelled).
+    pub failed: u64,
+    /// Admissions refused by load shedding (watermark or adaptive
+    /// controller).
+    pub shed: u64,
+    /// Tasks admitted into the job.
+    pub spawned: u64,
+    /// Mean admission→first-dispatch delay over dispatched tasks.
+    pub queue_delay_avg: Duration,
+    /// Worst admission→first-dispatch delay seen.
+    pub queue_delay_max: Duration,
+    /// The job blew its [`JobSpec::deadline`] (best-effort jobs are
+    /// reaped when this happens; guaranteed jobs only get the mark).
+    pub deadline_missed: bool,
+}
+
 /// A region range contaminated by a failed writer (scoped to one job's
 /// fault domain).
 #[derive(Clone)]
@@ -257,12 +310,27 @@ pub(crate) struct JobState {
     /// Tracer + per-job observer fan-out captured by this job's bodies.
     pub(crate) session: Arc<TraceSession>,
     pub(crate) max_in_flight: Option<usize>,
+    /// Absolute completion deadline, fixed at submission; `None` when
+    /// the spec carried none.
+    pub(crate) deadline_at: Option<Instant>,
+    /// Expected per-task runtime hint in ns (0 = no hint).
+    pub(crate) cost_hint: u64,
     /// Admitted, unsettled tasks. The join condvar fires on the 1→0 edge.
     pub(crate) in_flight: AtomicU64,
     pub(crate) in_flight_hwm: AtomicU64,
     pub(crate) spawned: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
+    /// Tasks dispatched to a worker at least once (first attempt only).
+    pub(crate) dispatched: AtomicU64,
+    /// Admissions refused by load shedding.
+    pub(crate) shed: AtomicU64,
+    /// Sum / max of admission→first-dispatch delays, in ns.
+    pub(crate) queue_delay_ns_sum: AtomicU64,
+    pub(crate) queue_delay_ns_max: AtomicU64,
+    /// Set by the deadline reaper (or metrics path) once `deadline_at`
+    /// passed before the job finished.
+    pub(crate) deadline_missed: AtomicBool,
     pub(crate) cancelled: AtomicBool,
     pub(crate) wait: Mutex<()>,
     pub(crate) wait_cv: Condvar,
@@ -274,6 +342,7 @@ pub(crate) struct JobState {
 }
 
 impl JobState {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: JobId,
         label: String,
@@ -282,6 +351,8 @@ impl JobState {
         fault_plan: Option<Arc<FaultPlan>>,
         session: Arc<TraceSession>,
         max_in_flight: Option<usize>,
+        deadline_at: Option<Instant>,
+        cost_hint: u64,
     ) -> Self {
         JobState {
             id,
@@ -291,11 +362,18 @@ impl JobState {
             fault_plan,
             session,
             max_in_flight,
+            deadline_at,
+            cost_hint,
             in_flight: AtomicU64::new(0),
             in_flight_hwm: AtomicU64::new(0),
             spawned: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_delay_ns_sum: AtomicU64::new(0),
+            queue_delay_ns_max: AtomicU64::new(0),
+            deadline_missed: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
             wait: Mutex::new(()),
             wait_cv: Condvar::new(),
@@ -349,6 +427,42 @@ impl JobState {
             failed: self.failed.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             in_flight_hwm: self.in_flight_hwm.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record one admission→first-dispatch delay sample.
+    pub(crate) fn record_queue_delay(&self, ns: u64) {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        self.queue_delay_ns_sum.fetch_add(ns, Ordering::Relaxed);
+        self.queue_delay_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn metrics(&self) -> JobMetrics {
+        let spawned = self.spawned.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let dispatched = self.dispatched.load(Ordering::Relaxed);
+        let avg = self
+            .queue_delay_ns_sum
+            .load(Ordering::Relaxed)
+            .checked_div(dispatched)
+            .unwrap_or(0);
+        JobMetrics {
+            // Every settle passes through a worker running the task
+            // wrapper (cancel-skips included), so dispatched sits
+            // between completed and spawned and the differences are the
+            // queue and run depths.
+            queued: spawned.saturating_sub(dispatched),
+            running: dispatched.saturating_sub(completed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            spawned,
+            queue_delay_avg: Duration::from_nanos(avg),
+            queue_delay_max: Duration::from_nanos(self.queue_delay_ns_max.load(Ordering::Relaxed)),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed)
+                || self
+                    .deadline_at
+                    .is_some_and(|d| Instant::now() > d && completed < spawned),
         }
     }
 }
@@ -432,6 +546,8 @@ mod tests {
             None,
             Arc::new(TraceSession::new(None, None)),
             None,
+            None,
+            0,
         ))
     }
 
@@ -495,12 +611,16 @@ mod tests {
             .qos(QosClass::BestEffort)
             .retry(RetryPolicy::retries(2))
             .fault_plan(FaultPlan::new(9).panic_rate(0.5))
-            .max_in_flight(8);
+            .max_in_flight(8)
+            .deadline(Duration::from_millis(5))
+            .cost_hint(1_000);
         assert_eq!(spec.label, "tenant");
         assert_eq!(spec.qos, QosClass::BestEffort);
         assert_eq!(spec.retry.unwrap().max_attempts, 3);
         assert!(spec.fault_plan.is_some());
         assert_eq!(spec.max_in_flight, Some(8));
+        assert_eq!(spec.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(spec.cost_hint, Some(1_000));
         let dbg = format!("{spec:?}");
         assert!(dbg.contains("tenant") && dbg.contains("BestEffort"));
     }

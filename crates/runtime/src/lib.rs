@@ -64,6 +64,7 @@ pub mod export;
 pub mod fault;
 pub mod graph;
 pub mod job;
+pub mod overload;
 pub mod pool;
 pub mod program;
 pub mod region;
@@ -82,7 +83,8 @@ pub use fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
 pub use graph::TaskGraph;
-pub use job::{AdmissionError, DrainReport, JobId, JobSpec, JobStats};
+pub use job::{AdmissionError, DrainReport, JobId, JobMetrics, JobSpec, JobStats};
+pub use overload::ShedController;
 pub use program::TaskProgram;
 pub use region::{AccessMode, DataHandle, Region, RegionId, RegionRange};
 pub use runtime::{

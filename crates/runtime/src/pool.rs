@@ -82,6 +82,15 @@ pub trait PoolClient: Send + Sync + 'static {
         panicked: Option<String>,
         body: ExecBody,
     ) -> Completion;
+
+    /// The watchdog noticed a worker stuck on `slot`'s task for
+    /// `running_ns`. Return a duplicate [`ReadyTask`] to enqueue as a
+    /// hedge, or `None` to leave the straggler alone (the default: only
+    /// clients that know the task is idempotent may hedge it).
+    fn hedge_straggler(&self, slot: u32, running_ns: u64) -> Option<ReadyTask> {
+        let _ = (slot, running_ns);
+        None
+    }
 }
 
 /// Fault-related pool counters (merged into
@@ -103,6 +112,11 @@ pub struct PoolOptions {
     /// When set, worker threads bind to their SPSC trace ring at entry
     /// and record park/unpark events.
     pub tracer: Option<Arc<Tracer>>,
+    /// Straggler soft timeout: a busy worker on one task longer than
+    /// this is offered to [`PoolClient::hedge_straggler`] by the
+    /// watchdog (which runs even when `watchdog.enabled` is false, in a
+    /// hedge-only mode). `None` disables the scan.
+    pub soft_timeout: Option<Duration>,
 }
 
 struct PoolShared {
@@ -124,6 +138,17 @@ struct PoolShared {
     heartbeats: Vec<AtomicU64>,
     /// True while the worker is inside a task body.
     busy: Vec<AtomicBool>,
+    /// Slab slot of the task each worker is currently executing
+    /// (`u64::MAX` when idle), with the start time as nanoseconds since
+    /// `epoch`. Written by workers around each body, read by the
+    /// watchdog's straggler scan. Start is published *before* the slot,
+    /// so a scan pairing the two can only over- never under-estimate an
+    /// attempt's age — and an early hedge offer is safe (the client
+    /// re-checks under the slot lock).
+    current_slot: Vec<AtomicU64>,
+    started_ns: Vec<AtomicU64>,
+    /// Time origin for `started_ns`.
+    epoch: Instant,
     /// Dropped by a dying worker; the watchdog respawns or degrades.
     alive: Vec<AtomicBool>,
     deaths: AtomicU64,
@@ -137,6 +162,7 @@ struct PoolShared {
     tracer: Option<Arc<Tracer>>,
     plan: Option<Arc<FaultPlan>>,
     watchdog: WatchdogConfig,
+    soft_timeout: Option<Duration>,
     /// Sender into the retry-timer thread; taken (disconnecting the
     /// timer) at shutdown.
     retry_tx: Mutex<Option<mpsc::Sender<(ReadyTask, Instant)>>>,
@@ -222,6 +248,9 @@ impl WorkerPool {
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             busy: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            current_slot: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            started_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
             alive: (0..workers).map(|_| AtomicBool::new(true)).collect(),
             deaths: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
@@ -231,6 +260,7 @@ impl WorkerPool {
             tracer: options.tracer,
             plan: options.plan,
             watchdog: options.watchdog,
+            soft_timeout: options.soft_timeout,
             retry_tx: Mutex::new(Some(retry_tx)),
         });
         let handles = deques
@@ -254,7 +284,9 @@ impl WorkerPool {
                     .expect("failed to spawn retry timer"),
             )
         };
-        let watchdog = if shared.watchdog.enabled {
+        // The watchdog thread also runs (in a hedge-only mode) when the
+        // client wants straggler hedging without fault monitoring.
+        let watchdog = if shared.watchdog.enabled || shared.soft_timeout.is_some() {
             let shared = Arc::clone(&shared);
             let client = Arc::clone(&client);
             Some(
@@ -489,10 +521,15 @@ fn run_one(
     let ReadyTask {
         id, slot, mut body, ..
     } = task;
+    // Publish what we are running for the straggler scan: start time
+    // first (Release), then the slot — see the `PoolShared` field docs.
+    shared.started_ns[who].store(shared.epoch.elapsed().as_nanos() as u64, Ordering::Release);
+    shared.current_slot[who].store(slot as u64, Ordering::Release);
     let panicked = match catch_unwind(AssertUnwindSafe(|| body.run())) {
         Ok(()) => None,
         Err(payload) => Some(panic_message(payload)),
     };
+    shared.current_slot[who].store(u64::MAX, Ordering::Release);
     shared.busy[who].store(false, Ordering::Relaxed);
     let completion = client.on_complete(id, slot, panicked, body);
     let n = completion.released.len();
@@ -584,8 +621,18 @@ fn watchdog_loop(shared: Arc<PoolShared>, client: Arc<dyn PoolClient>) {
         .collect();
     let mut flagged_stalled = vec![false; n];
     let mut replacements: Vec<JoinHandle<()>> = Vec::new();
+    // Fault monitoring (respawn/stall accounting) only runs when the
+    // watchdog proper is enabled; a soft_timeout alone runs this loop in
+    // hedge-only mode.
+    let monitor = shared.watchdog.enabled;
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(shared.watchdog.interval);
+        if let Some(soft) = shared.soft_timeout {
+            hedge_scan(&shared, &client, soft);
+        }
+        if !monitor {
+            continue;
+        }
         for who in 0..n {
             if !shared.alive[who].load(Ordering::SeqCst) {
                 if shared.watchdog.respawn && !shared.shutdown.load(Ordering::SeqCst) {
@@ -625,6 +672,32 @@ fn watchdog_loop(shared: Arc<PoolShared>, client: Arc<dyn PoolClient>) {
     }
     for h in replacements {
         let _ = h.join();
+    }
+}
+
+/// One straggler sweep: offer every busy worker whose current attempt
+/// has outlived `soft` to the client, which decides (under its own
+/// locks) whether a hedged duplicate is safe; accepted hedges are
+/// enqueued like any other ready task. The stale-read race on
+/// slot/start is benign — the client re-validates against live task
+/// state, and a duplicate completion is discarded there.
+fn hedge_scan(shared: &Arc<PoolShared>, client: &Arc<dyn PoolClient>, soft: Duration) {
+    let soft_ns = (soft.as_nanos() as u64).max(1);
+    let now_ns = shared.epoch.elapsed().as_nanos() as u64;
+    for who in 0..shared.alive.len() {
+        let slot = shared.current_slot[who].load(Ordering::Acquire);
+        if slot == u64::MAX {
+            continue;
+        }
+        let started = shared.started_ns[who].load(Ordering::Acquire);
+        let running_ns = now_ns.saturating_sub(started);
+        if running_ns < soft_ns {
+            continue;
+        }
+        if let Some(task) = client.hedge_straggler(slot as u32, running_ns) {
+            shared.queues.push(task, None);
+            shared.wake_one();
+        }
     }
 }
 
@@ -701,6 +774,7 @@ mod tests {
             gen: 0,
             priority: 0,
             critical: false,
+            deadline_ns: crate::scheduler::NO_DEADLINE,
             seq: 0,
             body: ExecBody::once(body),
         }
@@ -754,6 +828,7 @@ mod tests {
             plan: Some(Arc::new(plan)),
             watchdog: WatchdogConfig::enabled(),
             tracer: None,
+            soft_timeout: None,
         };
         let pool = WorkerPool::new(2, queues, client.clone(), options);
         for i in 0..100 {
@@ -778,6 +853,7 @@ mod tests {
             plan: Some(Arc::new(plan)),
             watchdog: WatchdogConfig::enabled().respawn(false),
             tracer: None,
+            soft_timeout: None,
         };
         let pool = WorkerPool::new(2, queues, client.clone(), options);
         for i in 0..200 {
@@ -816,6 +892,7 @@ mod tests {
                                 gen: 0,
                                 priority: 0,
                                 critical: false,
+                                deadline_ns: crate::scheduler::NO_DEADLINE,
                                 seq: 0,
                                 body,
                             },
@@ -841,6 +918,7 @@ mod tests {
             gen: 0,
             priority: 0,
             critical: false,
+            deadline_ns: crate::scheduler::NO_DEADLINE,
             seq: 0,
             body: ExecBody::retryable(move || {
                 if r.fetch_add(1, Ordering::SeqCst) == 0 {

@@ -217,6 +217,21 @@ pub struct RuntimeConfig {
     /// it, tasks of [`QosClass::BestEffort`] jobs are dropped at
     /// admission (default: never shed).
     pub shed_watermark: Option<usize>,
+    /// Adaptive overload control (default: off). When set, the runtime
+    /// smooths each task's admission→first-dispatch delay and sheds
+    /// [`QosClass::BestEffort`] admissions while the smoothed delay
+    /// exceeds this budget (recovering hysteretically below half of it;
+    /// see [`crate::overload::ShedController`]). Unlike
+    /// [`RuntimeConfig::shed_watermark`], the trigger tracks what an SLO
+    /// cares about — queueing delay — instead of a fixed in-flight count.
+    pub shed_delay_budget: Option<Duration>,
+    /// Straggler hedging (default: off). When set, a worker stuck on one
+    /// *idempotent* task longer than `max(soft_timeout, 4 × the job's
+    /// cost_hint)` gets a duplicate of that task enqueued by the
+    /// watchdog; whichever copy settles first wins and the loser's
+    /// completion is discarded. Requires the watchdog (enabled
+    /// implicitly when this is set).
+    pub soft_timeout: Option<Duration>,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -235,6 +250,8 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("max_in_flight", &self.max_in_flight)
             .field("max_jobs", &self.max_jobs)
             .field("shed_watermark", &self.shed_watermark)
+            .field("shed_delay_budget", &self.shed_delay_budget)
+            .field("soft_timeout", &self.soft_timeout)
             .finish()
     }
 }
@@ -257,6 +274,8 @@ impl Default for RuntimeConfig {
             max_in_flight: None,
             max_jobs: None,
             shed_watermark: None,
+            shed_delay_budget: None,
+            soft_timeout: None,
         }
     }
 }
@@ -360,6 +379,20 @@ impl RuntimeConfig {
         self.shed_watermark = Some(watermark);
         self
     }
+
+    /// Builder-style adaptive shed budget: shed best-effort admissions
+    /// while the smoothed admission→dispatch delay exceeds `budget`.
+    pub fn shed_delay_budget(mut self, budget: Duration) -> Self {
+        self.shed_delay_budget = Some(budget);
+        self
+    }
+
+    /// Builder-style straggler soft timeout: hedge a duplicate of an
+    /// idempotent task whose attempt has run longer than this.
+    pub fn soft_timeout(mut self, timeout: Duration) -> Self {
+        self.soft_timeout = Some(timeout);
+        self
+    }
 }
 
 /// Recorded spawn log: each task's metadata plus its predecessor ids.
@@ -382,9 +415,36 @@ const LIFECYCLE_RUNNING: u8 = 0;
 const LIFECYCLE_DRAINING: u8 = 1;
 const LIFECYCLE_DRAINED: u8 = 2;
 
+/// Deadline-reaper heap entry; ordered earliest-deadline-first under
+/// `BinaryHeap`'s max-heap by reversing the comparison.
+struct ReapAt {
+    at: Instant,
+    job: Weak<JobState>,
+}
+
+impl PartialEq for ReapAt {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for ReapAt {}
+impl PartialOrd for ReapAt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReapAt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at)
+    }
+}
+
 struct Shared {
     slab: TaskSlab,
     tracker: crate::deps::ShardedDepTracker,
+    /// Time origin shared with [`ReadyQueues`]: task deadlines travel
+    /// through the scheduler as nanoseconds since this instant.
+    epoch: Instant,
     /// Tasks spawned but not yet settled. Incremented before a task is
     /// visible anywhere; the waiter's condvar fires on the 1→0 edge.
     outstanding: AtomicU64,
@@ -432,6 +492,17 @@ struct Shared {
     crit_den: u64,
     /// Event tracer, when [`RuntimeConfig::trace`] is set.
     tracer: Option<Arc<Tracer>>,
+    /// Adaptive overload controller, when
+    /// [`RuntimeConfig::shed_delay_budget`] is set.
+    shed: Option<crate::overload::ShedController>,
+    /// Straggler-hedging threshold in ns (`u64::MAX` when hedging is
+    /// off); the per-job `cost_hint` can only extend it.
+    soft_timeout_ns: u64,
+    /// Jobs with deadlines, earliest first; serviced by the lazily
+    /// spawned reaper thread.
+    reaper: Mutex<std::collections::BinaryHeap<ReapAt>>,
+    reaper_cv: Condvar,
+    reaper_stop: AtomicBool,
 }
 
 impl Shared {
@@ -566,17 +637,23 @@ impl Shared {
     /// into its job's fault domain, free its slot and collect the
     /// successors it released. Returns the job the task belonged to
     /// (`None` for exempt sentinels) so the caller can run the job-side
-    /// accounting after the global bookkeeping.
+    /// accounting after the global bookkeeping — or `None` overall when
+    /// this completion is a *duplicate*: a hedged task's losing copy
+    /// arriving after the winner already settled the slot (task ids are
+    /// never reused, so a mismatched or completed slot is proof).
+    #[allow(clippy::type_complexity)]
     fn settle(
         &self,
         task: TaskId,
         slot_idx: u32,
         panicked: Option<String>,
-    ) -> (Vec<ReadyTask>, Option<Arc<JobState>>) {
+    ) -> Option<(Vec<ReadyTask>, Option<Arc<JobState>>)> {
         let slot = self.slab.slot(slot_idx);
         let (succs, label, attempts, poisoned_by, writes, job, was_cancelled) = {
             let mut st = slot.state.lock();
-            debug_assert_eq!(st.tid, task, "slot/task mismatch at settle");
+            if st.tid != task || st.completed {
+                return None;
+            }
             st.completed = true;
             (
                 std::mem::take(&mut st.succs),
@@ -649,12 +726,73 @@ impl Shared {
                     gen: sgen,
                     priority: st.priority,
                     critical: st.critical,
+                    deadline_ns: st.deadline_ns,
                     seq: 0,
                     body,
                 });
             }
         }
-        (released, job)
+        Some((released, job))
+    }
+
+    /// Deadline expiry for one registered job. A job that already
+    /// settled everything it spawned made its deadline; anything else is
+    /// marked missed, and — for best-effort jobs only — cancelled, so
+    /// its queued tasks settle as recorded skips through the normal
+    /// cancel path. Guaranteed jobs are never reaped: their deadline
+    /// drives EDF ordering, and expiry is only recorded.
+    fn reap(&self, weak: &Weak<JobState>) {
+        let Some(job) = weak.upgrade() else {
+            return;
+        };
+        if job.in_flight.load(Ordering::SeqCst) == 0
+            && job.spawned.load(Ordering::Relaxed) <= job.completed.load(Ordering::Relaxed)
+        {
+            return;
+        }
+        job.deadline_missed.store(true, Ordering::SeqCst);
+        RuntimeStats::bump(&self.stats.jobs_deadline_missed);
+        if !job.qos.sheddable() {
+            return;
+        }
+        if job.cancel() {
+            RuntimeStats::bump(&self.stats.jobs_cancelled);
+            self.any_cancelled.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            let _g = self.admission_lock.lock();
+            self.admission_cv.notify_all();
+        }
+    }
+}
+
+/// Body of the lazily spawned deadline-reaper thread: sleep until the
+/// earliest registered deadline, reap everything due, repeat. Holds the
+/// heap lock only around heap surgery, not around the reaps themselves.
+fn reaper_loop(shared: Arc<Shared>) {
+    let mut g = shared.reaper.lock();
+    loop {
+        if shared.reaper_stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        while g.peek().is_some_and(|e| e.at <= now) {
+            due.push(g.pop().expect("peeked"));
+        }
+        if !due.is_empty() {
+            drop(g);
+            for e in &due {
+                shared.reap(&e.job);
+            }
+            g = shared.reaper.lock();
+            continue;
+        }
+        match g.peek().map(|e| e.at) {
+            Some(at) => {
+                shared.reaper_cv.wait_until(&mut g, at);
+            }
+            None => shared.reaper_cv.wait(&mut g),
+        }
     }
 }
 
@@ -814,6 +952,40 @@ fn instrument(
     }
 }
 
+/// Outermost wrap for job-layer spawns: on the task's *first* dispatch
+/// (retries and hedged duplicates share the one-shot guard and record
+/// nothing) measure the admission→dispatch delay and feed it to the
+/// job's metrics and, when configured, the adaptive shed controller.
+fn with_dispatch_probe(body: ExecBody, job: Arc<JobState>, shared: Weak<Shared>) -> ExecBody {
+    let admitted_at = Instant::now();
+    let fired = AtomicBool::new(false);
+    let sample = move || {
+        if fired.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let ns = admitted_at.elapsed().as_nanos() as u64;
+        job.record_queue_delay(ns);
+        if let Some(s) = shared.upgrade() {
+            if let Some(ctl) = &s.shed {
+                ctl.observe(ns);
+            }
+        }
+    };
+    match body {
+        ExecBody::Once(f) => {
+            let f = f.expect("a fresh task body must be present");
+            ExecBody::once(move || {
+                sample();
+                f()
+            })
+        }
+        ExecBody::Retryable(f) => ExecBody::retryable(move || {
+            sample();
+            (*f)()
+        }),
+    }
+}
+
 /// Run `f` bracketed by trace-session callbacks: `task_start` before,
 /// then `task_complete` on success or `task_fault` if `f` unwinds (via
 /// an armed drop guard, so the notification survives the panic
@@ -867,10 +1039,14 @@ impl PoolClient for Shared {
         body: ExecBody,
     ) -> Completion {
         if panicked.is_some() {
-            RuntimeStats::bump(&self.stats.panicked);
             let slot = self.slab.slot(slot_idx);
             let mut st = slot.state.lock();
-            debug_assert_eq!(st.tid, task, "slot/task mismatch at completion");
+            if st.tid != task || st.completed {
+                // A hedged task's losing copy panicked after the winner
+                // settled: the task is done, nothing to account.
+                return Completion::released(Vec::new());
+            }
+            RuntimeStats::bump(&self.stats.panicked);
             st.attempts += 1;
             // The retry budget is the *job's*: each tenant pays for its
             // own re-executions. Cancelled jobs and a terminated runtime
@@ -904,6 +1080,7 @@ impl PoolClient for Shared {
                     gen,
                     priority: st.priority,
                     critical: st.critical,
+                    deadline_ns: st.deadline_ns,
                     seq: 0,
                     body,
                 };
@@ -913,7 +1090,12 @@ impl PoolClient for Shared {
                 };
             }
         }
-        let (released, job) = self.settle(task, slot_idx, panicked);
+        let Some((released, job)) = self.settle(task, slot_idx, panicked) else {
+            // Duplicate completion (hedge loser): the winner already ran
+            // every piece of accounting below. Touching any counter here
+            // would double-count.
+            return Completion::released(Vec::new());
+        };
         RuntimeStats::bump(&self.stats.completed);
         if let Some(job) = job {
             // Free the admission slot *before* waking joiners and blocked
@@ -939,6 +1121,48 @@ impl PoolClient for Shared {
         }
         Completion::released(released)
     }
+
+    /// The watchdog found a worker stuck on `slot_idx` for `running_ns`.
+    /// Hedge a duplicate iff the task is still live, idempotent, not
+    /// already hedged, its job is not cancelled, and the attempt has
+    /// outlived both the configured soft timeout and 4× the job's cost
+    /// hint (a declared-slow task gets proportionally more patience).
+    /// The duplicate is safe because settle is idempotent per task id:
+    /// whichever copy finishes second is discarded as a duplicate.
+    fn hedge_straggler(&self, slot_idx: u32, running_ns: u64) -> Option<ReadyTask> {
+        if running_ns < self.soft_timeout_ns {
+            return None;
+        }
+        let slot = self.slab.slot(slot_idx);
+        if slot.gen.load(Ordering::Acquire).is_multiple_of(2) {
+            return None; // freed: the task already settled
+        }
+        let mut st = slot.state.lock();
+        if st.completed || st.cancelled || st.hedged || !st.idempotent {
+            return None;
+        }
+        let job = st.job.as_ref()?;
+        if job.cancelled.load(Ordering::Relaxed) {
+            return None;
+        }
+        if running_ns < job.cost_hint.saturating_mul(4) {
+            return None;
+        }
+        let body = st.hedge_body.as_ref()?.duplicate()?;
+        st.hedged = true;
+        RuntimeStats::bump(&self.stats.tasks_hedged);
+        let gen = slot.gen.load(Ordering::Relaxed);
+        Some(ReadyTask {
+            id: st.tid,
+            slot: slot_idx,
+            gen,
+            priority: st.priority,
+            critical: st.critical,
+            deadline_ns: st.deadline_ns,
+            seq: 0,
+            body,
+        })
+    }
 }
 
 /// The task dataflow runtime. See the crate docs for a usage example.
@@ -947,6 +1171,9 @@ pub struct Runtime {
     pool: WorkerPool,
     queues: Arc<ReadyQueues>,
     config: RuntimeConfig,
+    /// Deadline-reaper thread, spawned lazily on the first submit with a
+    /// deadline and joined by `Drop`.
+    reaper_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Runtime {
@@ -957,7 +1184,14 @@ impl Runtime {
             .trace
             .as_ref()
             .map(|tc| Arc::new(Tracer::new(config.workers, tc)));
-        let queues = Arc::new(ReadyQueues::with_tracer(config.policy, tracer.clone()));
+        // One epoch shared with the scheduler: task deadlines cross the
+        // ready queues as nanoseconds since this instant.
+        let epoch = Instant::now();
+        let queues = Arc::new(ReadyQueues::with_tracer(
+            config.policy,
+            tracer.clone(),
+            epoch,
+        ));
         // The default job inherits the runtime-level retry policy, fault
         // plan and observer: untagged spawns behave exactly as they did
         // before the job layer existed.
@@ -970,10 +1204,13 @@ impl Runtime {
             config.fault_plan.clone(),
             session,
             None,
+            None,
+            0,
         ));
         let shared = Arc::new(Shared {
             slab: TaskSlab::new(),
             tracker: crate::deps::ShardedDepTracker::new(),
+            epoch,
             outstanding: AtomicU64::new(0),
             wait: Mutex::new(()),
             wait_cv: Condvar::new(),
@@ -997,6 +1234,15 @@ impl Runtime {
             crit_num: (config.criticality_threshold * 1000.0).round() as u64,
             crit_den: 1000,
             tracer: tracer.clone(),
+            shed: config
+                .shed_delay_budget
+                .map(crate::overload::ShedController::new),
+            soft_timeout_ns: config
+                .soft_timeout
+                .map_or(u64::MAX, |t| (t.as_nanos() as u64).max(1)),
+            reaper: Mutex::new(std::collections::BinaryHeap::new()),
+            reaper_cv: Condvar::new(),
+            reaper_stop: AtomicBool::new(false),
         });
         let pool = WorkerPool::new(
             config.workers,
@@ -1006,6 +1252,7 @@ impl Runtime {
                 plan: config.fault_plan.clone(),
                 watchdog: config.watchdog,
                 tracer,
+                soft_timeout: config.soft_timeout,
             },
         );
         Runtime {
@@ -1013,6 +1260,21 @@ impl Runtime {
             pool,
             queues,
             config,
+            reaper_thread: Mutex::new(None),
+        }
+    }
+
+    /// Spawn the deadline-reaper thread on first use.
+    fn ensure_reaper(&self) {
+        let mut t = self.reaper_thread.lock();
+        if t.is_none() {
+            let shared = Arc::clone(&self.shared);
+            *t = Some(
+                std::thread::Builder::new()
+                    .name("raa-deadline-reaper".into())
+                    .spawn(move || reaper_loop(shared))
+                    .expect("failed to spawn deadline reaper"),
+            );
         }
     }
 
@@ -1113,6 +1375,14 @@ impl Runtime {
             if let Some(wm) = self.config.shed_watermark {
                 if shared.admitted.load(Ordering::SeqCst) >= wm as u64 {
                     RuntimeStats::bump(&shared.stats.tasks_shed);
+                    job.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(AdmissionError::Shed);
+                }
+            }
+            if let Some(ctl) = &shared.shed {
+                if ctl.should_shed() {
+                    RuntimeStats::bump(&shared.stats.tasks_shed);
+                    job.shed.fetch_add(1, Ordering::Relaxed);
                     return Err(AdmissionError::Shed);
                 }
             }
@@ -1157,6 +1427,25 @@ impl Runtime {
             }
         } else if shared.track_admitted {
             shared.admitted.fetch_add(1, Ordering::SeqCst);
+        }
+        // Cancellation re-check *after* both reservations: a cancel that
+        // raced in between (e.g. the deadline reaper firing while a
+        // blocking spawn waited out `Busy`) would otherwise leave this
+        // reservation leaked forever — the task it was reserved for is
+        // never spawned, so no completion ever releases it, and the
+        // job's joiners hang on a phantom in-flight count.
+        if job.cancelled.load(Ordering::SeqCst) {
+            if shared.track_admitted {
+                shared.admitted.fetch_sub(1, Ordering::SeqCst);
+            }
+            if !job.is_default() {
+                job.release_in_flight();
+            }
+            if shared.admission_waiters.load(Ordering::SeqCst) > 0 {
+                let _g = shared.admission_lock.lock();
+                shared.admission_cv.notify_all();
+            }
+            return Err(AdmissionError::Cancelled);
         }
         // Steady state the mark is already met and this is a plain load —
         // no RMW on the spawn hot path once the job has warmed up.
@@ -1215,6 +1504,16 @@ impl Runtime {
             .filter(|a| a.mode.writes())
             .map(|a| a.region)
             .collect();
+        // Only guaranteed jobs' tasks carry an EDF deadline into the
+        // scheduler: a best-effort job past its deadline is *reaped*
+        // (cancelled), not raced for.
+        let deadline_ns = if exempt || job.qos.sheddable() {
+            crate::scheduler::NO_DEADLINE
+        } else {
+            job.deadline_at.map_or(crate::scheduler::NO_DEADLINE, |d| {
+                d.saturating_duration_since(shared.epoch).as_nanos() as u64
+            })
+        };
         // Fill the slot before anything else can see the task. The
         // declared reads must land here *before* the poison check below —
         // that ordering (fill, fence, flag load) pairs with the poisoner
@@ -1227,6 +1526,7 @@ impl Runtime {
             st.idempotent = meta.idempotent;
             st.exempt = exempt;
             st.job = (!exempt).then(|| Arc::clone(job));
+            st.deadline_ns = deadline_ns;
             st.label.push_str(&meta.label);
             st.reads.extend_from_slice(&reads);
             st.writes.extend_from_slice(&writes);
@@ -1302,6 +1602,24 @@ impl Runtime {
             Arc::clone(&job.session),
             job.fault_plan.clone(),
         );
+        // Job-layer spawns sample their admission→first-dispatch delay
+        // into the adaptive shed controller and the job's own metrics.
+        // Default-job spawns skip the probe: the single-tenant hot path
+        // pays nothing for the serving layer.
+        let body = if !exempt && !job.is_default() {
+            with_dispatch_probe(body, Arc::clone(job), Arc::downgrade(&self.shared))
+        } else {
+            body
+        };
+        // Park a duplicate of the fully wrapped body for straggler
+        // hedging. Only retryable (idempotent) bodies can duplicate;
+        // the probe's one-shot guard is shared with the duplicate, so a
+        // hedged re-dispatch never records a second sample.
+        if self.config.soft_timeout.is_some() && !exempt {
+            if let Some(dup) = body.duplicate() {
+                slot.state.lock().hedge_body = Some(dup);
+            }
+        }
         // Wire edges. Our own `pending` holds the submission guard from
         // `alloc`, so a predecessor completing mid-wire can bring it down
         // to the guard but never to zero — which is also why each edge
@@ -1356,6 +1674,7 @@ impl Runtime {
                 gen,
                 priority: meta.priority,
                 critical,
+                deadline_ns,
                 seq: 0,
                 body,
             });
@@ -1379,6 +1698,7 @@ impl Runtime {
                     gen,
                     priority: meta.priority,
                     critical,
+                    deadline_ns,
                     seq: 0,
                     body,
                 });
@@ -1629,6 +1949,7 @@ impl Runtime {
         if shared.lifecycle.load(Ordering::SeqCst) != LIFECYCLE_RUNNING {
             return Err(AdmissionError::Draining);
         }
+        let deadline_at = spec.deadline.map(|d| Instant::now() + d);
         let job = {
             let mut jobs = shared.jobs.lock();
             if let Some(cap) = self.config.max_jobs {
@@ -1657,9 +1978,22 @@ impl Runtime {
                     plan,
                     session,
                     spec.max_in_flight,
+                    deadline_at,
+                    spec.cost_hint.unwrap_or(0),
                 ))
             })
         };
+        // Deadlined jobs register with the reaper. Guaranteed jobs are
+        // only *marked* at expiry (and their tasks ride the EDF lane);
+        // best-effort jobs are cancelled outright (see `Shared::reap`).
+        if let Some(at) = deadline_at {
+            self.ensure_reaper();
+            shared.reaper.lock().push(ReapAt {
+                at,
+                job: Arc::downgrade(&job),
+            });
+            shared.reaper_cv.notify_all();
+        }
         RuntimeStats::bump(&shared.stats.jobs_submitted);
         Ok(JobHandle { rt: self, job })
     }
@@ -1783,11 +2117,24 @@ impl Drop for Runtime {
         // not panic), then the pool's own Drop joins the workers. A
         // force-terminated runtime skips the wait: its queued tasks are
         // dropped with the queues.
-        let mut g = self.shared.wait.lock();
-        while self.shared.outstanding.load(Ordering::SeqCst) > 0
-            && !self.shared.terminated.load(Ordering::SeqCst)
         {
-            self.shared.wait_cv.wait(&mut g);
+            let mut g = self.shared.wait.lock();
+            while self.shared.outstanding.load(Ordering::SeqCst) > 0
+                && !self.shared.terminated.load(Ordering::SeqCst)
+            {
+                self.shared.wait_cv.wait(&mut g);
+            }
+        }
+        // Stop and join the deadline reaper (if it ever spawned): the
+        // flag must be published under the reaper lock so a reaper
+        // mid-wait cannot miss the notify.
+        self.shared.reaper_stop.store(true, Ordering::SeqCst);
+        {
+            let _g = self.shared.reaper.lock();
+            self.shared.reaper_cv.notify_all();
+        }
+        if let Some(h) = self.reaper_thread.lock().take() {
+            let _ = h.join();
         }
     }
 }
@@ -1962,7 +2309,12 @@ impl<'rt> JobHandle<'rt> {
     /// [`JobHandle::try_join`] with a deadline: `None` if the job did
     /// not settle within `timeout` (no state is consumed; join again).
     pub fn join_timeout(&self, timeout: Duration) -> Option<Result<(), FaultReport>> {
-        if !self.rt.wait_job(&self.job, Some(Instant::now() + timeout)) {
+        // One absolute deadline computed up front: every re-wait after a
+        // spurious (or too-early) wakeup targets the *remainder* of the
+        // timeout, never a fresh full one — `join_timeout(t)` returns
+        // within ~t even under a notify storm.
+        let deadline = Instant::now() + timeout;
+        if !self.rt.wait_job(&self.job, Some(deadline)) {
             return None;
         }
         Some(self.job.take_report())
@@ -2004,6 +2356,14 @@ impl<'rt> JobHandle<'rt> {
     /// Per-job task counters.
     pub fn job_stats(&self) -> JobStats {
         self.job.stats()
+    }
+
+    /// A point-in-time snapshot of the job's serving metrics: queue
+    /// depth, running/completed/failed/shed counts, observed queue
+    /// delays and whether the job's deadline has been missed. Cheap
+    /// (a handful of relaxed loads) — safe to poll from a monitor.
+    pub fn metrics(&self) -> crate::job::JobMetrics {
+        self.job.metrics()
     }
 
     /// Tasks currently admitted and not yet settled.

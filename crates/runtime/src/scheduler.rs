@@ -26,6 +26,7 @@
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -37,6 +38,17 @@ use crate::trace::{TraceEventKind, Tracer, NO_TASK};
 /// mutex-protected overflow list (correct, slower) — sized so that only
 /// pathological spawn storms ever reach the spill.
 const INJECTOR_RING: usize = 1 << 15;
+
+/// Sentinel deadline for tasks whose job carries none: sorts after every
+/// real deadline, so plain-priority ordering is unchanged.
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// A deadline within this many nanoseconds of now counts as *urgent*:
+/// such tasks are routed to the overflow heap at push time and the heap
+/// is consulted *before* the injector at pop time. Tasks whose deadline
+/// is comfortably far ride the ordinary lock-free path — the EDF
+/// machinery costs nothing until a deadline is actually at risk.
+pub const EDF_URGENT_WINDOW_NS: u64 = 5_000_000;
 
 /// Per-worker deque capacity; overflow from a completion burst goes to
 /// the shared injector.
@@ -92,6 +104,11 @@ pub struct ReadyTask {
     pub gen: u64,
     pub priority: i32,
     pub critical: bool,
+    /// Absolute deadline in nanoseconds since the runtime epoch
+    /// ([`NO_DEADLINE`] when the owning job has none). Breaks priority
+    /// ties earliest-deadline-first in the overflow heap and makes
+    /// near-deadline tasks jump the injector.
+    pub deadline_ns: u64,
     pub seq: u64,
     pub body: ExecBody,
 }
@@ -106,12 +123,17 @@ impl std::fmt::Debug for ReadyTask {
     }
 }
 
-/// Heap ordering wrapper: max priority first, then earliest submission.
+/// Heap ordering wrapper: max priority first, then earliest deadline,
+/// then earliest submission. Tasks without a deadline carry
+/// [`NO_DEADLINE`], so the deadline tie-break is inert for them and the
+/// pre-deadline priority semantics are unchanged.
 struct PrioEntry(ReadyTask);
 
 impl PartialEq for PrioEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.0.priority == other.0.priority && self.0.seq == other.0.seq
+        self.0.priority == other.0.priority
+            && self.0.deadline_ns == other.0.deadline_ns
+            && self.0.seq == other.0.seq
     }
 }
 impl Eq for PrioEntry {}
@@ -125,6 +147,7 @@ impl Ord for PrioEntry {
         self.0
             .priority
             .cmp(&other.0.priority)
+            .then(other.0.deadline_ns.cmp(&self.0.deadline_ns))
             .then(other.0.seq.cmp(&self.0.seq))
     }
 }
@@ -138,6 +161,14 @@ pub struct ReadyQueues {
     /// consulted only on steal-miss.
     overflow: Mutex<BinaryHeap<PrioEntry>>,
     overflow_len: AtomicUsize,
+    /// Approximate earliest deadline sitting in the overflow heap
+    /// (`NO_DEADLINE` when none): `fetch_min` on push, reset only when
+    /// the heap empties. May lag the heap (a stale *early* value just
+    /// causes one spurious overflow poll — work-conserving either way).
+    overflow_min_deadline: AtomicU64,
+    /// Wall-clock origin for `deadline_ns` values; shared with the
+    /// runtime so job deadlines and scheduler urgency agree.
+    epoch: Instant,
     fifo: Mutex<VecDeque<ReadyTask>>,
     lifo: Mutex<Vec<ReadyTask>>,
     heap: Mutex<BinaryHeap<PrioEntry>>,
@@ -152,16 +183,24 @@ pub struct ReadyQueues {
 
 impl ReadyQueues {
     pub fn new(policy: SchedulerPolicy) -> Self {
-        Self::with_tracer(policy, None)
+        Self::with_tracer(policy, None, Instant::now())
     }
 
-    pub fn with_tracer(policy: SchedulerPolicy, tracer: Option<Arc<Tracer>>) -> Self {
+    /// `epoch` is the origin against which `ReadyTask::deadline_ns` is
+    /// measured; the runtime passes its own so both sides agree.
+    pub fn with_tracer(
+        policy: SchedulerPolicy,
+        tracer: Option<Arc<Tracer>>,
+        epoch: Instant,
+    ) -> Self {
         ReadyQueues {
             policy,
             injector: Injector::new(INJECTOR_RING),
             critical: Injector::new(INJECTOR_RING),
             overflow: Mutex::new(BinaryHeap::new()),
             overflow_len: AtomicUsize::new(0),
+            overflow_min_deadline: AtomicU64::new(NO_DEADLINE),
+            epoch,
             fifo: Mutex::new(VecDeque::new()),
             lifo: Mutex::new(Vec::new()),
             heap: Mutex::new(BinaryHeap::new()),
@@ -205,10 +244,47 @@ impl ReadyQueues {
         t
     }
 
+    /// Nanoseconds elapsed since the runtime epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
     fn push_overflow(&self, t: ReadyTask) {
+        if t.deadline_ns != NO_DEADLINE {
+            self.overflow_min_deadline
+                .fetch_min(t.deadline_ns, Ordering::AcqRel);
+        }
         let mut heap = self.overflow.lock();
         heap.push(PrioEntry(self.stamp(t)));
         self.overflow_len.store(heap.len(), Ordering::Release);
+    }
+
+    /// Pop the overflow heap, keeping `overflow_len` and the approximate
+    /// min-deadline in sync. The min-deadline is only *reset* when the
+    /// heap empties: between pops it may be stale-early, which costs at
+    /// most a wasted poll.
+    fn pop_overflow(&self) -> Option<ReadyTask> {
+        let mut heap = self.overflow.lock();
+        let t = heap.pop().map(|e| e.0);
+        self.overflow_len.store(heap.len(), Ordering::Release);
+        if heap.is_empty() {
+            self.overflow_min_deadline
+                .store(NO_DEADLINE, Ordering::Release);
+        }
+        t
+    }
+
+    /// True when the overflow heap (probably) holds a task whose deadline
+    /// falls inside the urgency window — one relaxed load on the hot
+    /// path when the heap is empty.
+    #[inline]
+    fn overflow_is_urgent(&self) -> bool {
+        if self.overflow_len.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let min = self.overflow_min_deadline.load(Ordering::Acquire);
+        min != NO_DEADLINE && min <= self.now_ns().saturating_add(EDF_URGENT_WINDOW_NS)
     }
 
     /// Push a ready task to the global structures. `local` is the current
@@ -229,7 +305,13 @@ impl ReadyQueues {
                 self.lifo.lock().push(self.stamp(t))
             }
             SchedulerPolicy::WorkStealing => {
-                if t.priority != 0 {
+                // Explicit priorities always take the overflow heap;
+                // deadline'd tasks take it only once the deadline is
+                // close enough to be at risk — far-out deadlines stay on
+                // the lock-free path.
+                let urgent = t.deadline_ns != NO_DEADLINE
+                    && t.deadline_ns <= self.now_ns().saturating_add(EDF_URGENT_WINDOW_NS);
+                if t.priority != 0 || urgent {
                     self.trace(
                         TraceEventKind::EnqueueOverflow,
                         id,
@@ -287,6 +369,15 @@ impl ReadyQueues {
                 if let Some(t) = local.and_then(|d| d.pop()) {
                     return Some(t);
                 }
+                // A near-deadline task in the overflow heap outranks the
+                // injector backlog — this is what lets a critical job's
+                // tasks jump the queue under overload. Plain runs pay one
+                // atomic load here.
+                if self.overflow_is_urgent() {
+                    if let Some(t) = self.pop_overflow() {
+                        return Some(t);
+                    }
+                }
                 if let Some(t) = self.injector.pop() {
                     return Some(t);
                 }
@@ -319,10 +410,7 @@ impl ReadyQueues {
                 }
                 // Steal-miss: consult the priority overflow heap.
                 if self.overflow_len.load(Ordering::Acquire) > 0 {
-                    let mut heap = self.overflow.lock();
-                    let t = heap.pop().map(|e| e.0);
-                    self.overflow_len.store(heap.len(), Ordering::Release);
-                    return t;
+                    return self.pop_overflow();
                 }
                 None
             }
@@ -365,8 +453,16 @@ mod tests {
             gen: 0,
             priority,
             critical,
+            deadline_ns: NO_DEADLINE,
             seq: 0,
             body: ExecBody::once(|| {}),
+        }
+    }
+
+    fn rt_deadline(id: u32, deadline_ns: u64) -> ReadyTask {
+        ReadyTask {
+            deadline_ns,
+            ..rt(id, 0, false)
         }
     }
 
@@ -465,6 +561,83 @@ mod tests {
         // Nothing in the normal queue: the slow worker still takes the
         // critical task rather than idling.
         assert_eq!(q.pop(5, None, &[]).unwrap().id.0, 3);
+    }
+
+    #[test]
+    fn overflow_heap_breaks_priority_ties_earliest_deadline_first() {
+        let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
+        let local = WorkerDeque::new(WORKER_DEQUE_CAP);
+        let stealers = [local.stealer()];
+        // Same explicit priority, different deadlines; plus one
+        // deadline-free entry that must sort last within the tie.
+        q.push(
+            ReadyTask {
+                deadline_ns: 900,
+                ..rt(0, 3, false)
+            },
+            Some(&local),
+        );
+        q.push(
+            ReadyTask {
+                deadline_ns: 100,
+                ..rt(1, 3, false)
+            },
+            Some(&local),
+        );
+        q.push(rt(2, 3, false), Some(&local)); // NO_DEADLINE
+        q.push(
+            ReadyTask {
+                deadline_ns: 500,
+                ..rt(3, 3, false)
+            },
+            Some(&local),
+        );
+        let ids: Vec<u32> = (0..4)
+            .map(|_| q.pop(0, Some(&local), &stealers).unwrap().id.0)
+            .collect();
+        assert_eq!(ids, vec![1, 3, 0, 2], "EDF within a priority tie");
+    }
+
+    #[test]
+    fn near_deadline_task_jumps_the_injector_backlog() {
+        let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
+        // A pile of plain work on the injector...
+        for i in 0..8 {
+            q.push(rt(i, 0, false), None);
+        }
+        // ...then a zero-priority task whose deadline is already urgent
+        // (1ns past the epoch is long gone by now).
+        q.push(rt_deadline(99, 1), None);
+        assert_eq!(
+            q.overflow_len.load(Ordering::Relaxed),
+            1,
+            "urgent task took the heap"
+        );
+        // With no local deque, the urgent task is served before the
+        // injector backlog.
+        assert_eq!(q.pop(0, None, &[]).unwrap().id.0, 99);
+        // The rest drain in injector order.
+        assert_eq!(q.pop(0, None, &[]).unwrap().id.0, 0);
+    }
+
+    #[test]
+    fn far_deadline_tasks_stay_on_the_lock_free_path() {
+        let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
+        // Deadline an hour out: must ride the injector, not the heap.
+        let far = q.now_ns() + 3_600_000_000_000;
+        q.push(rt_deadline(1, far), None);
+        assert_eq!(q.overflow_len.load(Ordering::Relaxed), 0);
+        assert_eq!(q.pop(0, None, &[]).unwrap().id.0, 1);
+    }
+
+    #[test]
+    fn overflow_min_deadline_resets_when_the_heap_empties() {
+        let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
+        q.push(rt_deadline(1, 1), None);
+        assert!(q.overflow_is_urgent());
+        q.pop(0, None, &[]).unwrap();
+        assert!(!q.overflow_is_urgent());
+        assert_eq!(q.overflow_min_deadline.load(Ordering::Relaxed), NO_DEADLINE);
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct RuntimeStats {
     pub tasks_discarded: AtomicU64,
     /// `try_spawn` reservations refused at an in-flight cap.
     pub admission_rejected: AtomicU64,
+    /// Hedged duplicates dispatched for straggling idempotent tasks.
+    pub tasks_hedged: AtomicU64,
+    /// Jobs the deadline reaper found overdue (best-effort ones are also
+    /// cancelled; guaranteed ones only get the miss mark).
+    pub jobs_deadline_missed: AtomicU64,
 }
 
 impl RuntimeStats {
@@ -72,6 +77,8 @@ impl RuntimeStats {
             tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
             tasks_discarded: self.tasks_discarded.load(Ordering::Relaxed),
             admission_rejected: self.admission_rejected.load(Ordering::Relaxed),
+            tasks_hedged: self.tasks_hedged.load(Ordering::Relaxed),
+            jobs_deadline_missed: self.jobs_deadline_missed.load(Ordering::Relaxed),
             worker_deaths: 0,
             worker_respawns: 0,
             worker_stalls: 0,
@@ -114,6 +121,11 @@ pub struct StatsSnapshot {
     pub tasks_discarded: u64,
     /// `try_spawn` reservations refused at an in-flight cap.
     pub admission_rejected: u64,
+    /// Hedged duplicates dispatched for straggling idempotent tasks.
+    pub tasks_hedged: u64,
+    /// Jobs the deadline reaper found overdue (best-effort ones are also
+    /// cancelled; guaranteed ones only get the miss mark).
+    pub jobs_deadline_missed: u64,
     /// Worker threads that died (injected or real), from the watchdog.
     pub worker_deaths: u64,
     /// Replacement workers the watchdog spawned.

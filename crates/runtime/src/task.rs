@@ -116,6 +116,17 @@ impl ExecBody {
     pub fn is_retryable(&self) -> bool {
         matches!(self, ExecBody::Retryable(_))
     }
+
+    /// A second handle to the same payload, when the body supports
+    /// concurrent re-execution. Only retryable bodies can be duplicated
+    /// (the hedged-execution path clones the `Arc`); one-shot bodies
+    /// return `None`.
+    pub fn duplicate(&self) -> Option<ExecBody> {
+        match self {
+            ExecBody::Once(_) => None,
+            ExecBody::Retryable(f) => Some(ExecBody::Retryable(Arc::clone(f))),
+        }
+    }
 }
 
 impl fmt::Debug for ExecBody {
@@ -183,6 +194,18 @@ pub struct SlotState {
     /// Set by the preflight when the task was skipped because its job
     /// was cancelled.
     pub cancelled: bool,
+    /// Absolute job deadline in nanoseconds since the runtime epoch
+    /// (`crate::scheduler::NO_DEADLINE` when the job has none); copied
+    /// onto every [`crate::scheduler::ReadyTask`] dispatched for this
+    /// slot so the EDF tie-break survives retries and releases.
+    pub deadline_ns: u64,
+    /// A hedged duplicate has already been dispatched for this attempt;
+    /// at most one hedge per task, ever.
+    pub hedged: bool,
+    /// Duplicate handle to the instrumented body, kept only for
+    /// idempotent tasks when hedging is enabled — the watchdog clones it
+    /// to race a straggling attempt.
+    pub(crate) hedge_body: Option<ExecBody>,
 }
 
 impl SlotState {
@@ -205,6 +228,9 @@ impl SlotState {
         self.poisoned_by = None;
         self.job = None;
         self.cancelled = false;
+        self.deadline_ns = crate::scheduler::NO_DEADLINE;
+        self.hedged = false;
+        self.hedge_body = None;
     }
 }
 

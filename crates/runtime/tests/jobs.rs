@@ -364,6 +364,353 @@ fn drain_survives_an_active_fault_plan_killing_workers() {
     );
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Admission reservations must drain under every interleaving of a
+    /// cancel racing blocking spawns at a tight cap: a reservation taken
+    /// between the admission check and the cancel flag must be rolled
+    /// back (global count AND per-job in-flight), or capacity leaks for
+    /// the life of the runtime.
+    #[test]
+    fn cancel_racing_blocking_spawns_leaks_no_reservation(
+        cancel_after_us in 0u64..400,
+        spawns in 4usize..24,
+    ) {
+        let rt = Runtime::new(RuntimeConfig::with_workers(2).max_in_flight(2));
+        let job = rt.submit(JobSpec::new("victim")).expect("runtime is running");
+        std::thread::scope(|s| {
+            let h = &job;
+            s.spawn(move || {
+                for i in 0..spawns {
+                    // Blocking spawn: waits at the cap, silently
+                    // discarded once the cancel lands.
+                    h.task(format!("t{i}"))
+                        .body(|| std::thread::sleep(Duration::from_micros(50)))
+                        .spawn();
+                }
+            });
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_micros(cancel_after_us));
+                h.cancel();
+            });
+        });
+        let settled = job.join_timeout(Duration::from_secs(10));
+        prop_assert!(settled.is_some(), "cancelled job failed to drain");
+        prop_assert_eq!(job.in_flight(), 0, "per-job reservation leaked");
+        // The global cap must be fully released too: a fresh tenant can
+        // hold `max_in_flight` admissions without hitting Busy.
+        let fresh = rt.submit(JobSpec::new("fresh")).expect("runtime is running");
+        let gate = Arc::new(AtomicU64::new(0));
+        for i in 0..2 {
+            let gate = Arc::clone(&gate);
+            let admitted = fresh
+                .task(format!("probe{i}"))
+                .body(move || {
+                    while gate.load(Ordering::SeqCst) == 0 {
+                        std::thread::yield_now();
+                    }
+                })
+                .try_spawn();
+            prop_assert!(admitted.is_ok(), "global reservation leaked: {admitted:?}");
+        }
+        gate.store(1, Ordering::SeqCst);
+        prop_assert!(fresh.try_join().is_ok());
+    }
+}
+
+#[test]
+fn drain_under_active_offered_load_holds_its_deadline() {
+    // Satellite: drain while a spawner keeps offering work. The drain
+    // must cut the stream off with a typed refusal and still meet its
+    // deadline rather than chasing quiescence forever.
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let job = rt
+        .submit(JobSpec::new("stream"))
+        .expect("runtime is running");
+    std::thread::scope(|s| {
+        let h = &job;
+        let submitter = s.spawn(move || {
+            // 200µs tasks offered every 50µs onto 2 workers: a 4x
+            // oversubscription the drain cannot simply wait out.
+            for i in 0.. {
+                match h
+                    .task(format!("t{i}"))
+                    .body(|| std::thread::sleep(Duration::from_micros(200)))
+                    .try_spawn()
+                {
+                    Ok(_) => std::thread::sleep(Duration::from_micros(50)),
+                    Err(e) => return e,
+                }
+            }
+            unreachable!()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        let report = rt.drain(Duration::from_secs(2));
+        assert!(!report.timed_out, "{report:?}");
+        assert!(!report.forced, "{report:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "drain blew its deadline under offered load: {:?}",
+            start.elapsed()
+        );
+        // The spawner was refused with a typed error, not wedged.
+        let refusal = submitter.join().expect("submitter exits");
+        assert!(
+            matches!(
+                refusal,
+                AdmissionError::Cancelled | AdmissionError::Draining
+            ),
+            "unexpected refusal: {refusal:?}"
+        );
+    });
+    assert!(matches!(
+        rt.submit(JobSpec::new("late")),
+        Err(AdmissionError::Draining)
+    ));
+}
+
+#[test]
+fn job_metrics_expose_queue_depth_and_dispatch_delay() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let job = rt
+        .submit(JobSpec::new("meter"))
+        .expect("runtime is running");
+    let gate = Arc::new(AtomicU64::new(0));
+    let acc = job.register("acc", 0u64);
+    {
+        let (gate, h) = (Arc::clone(&gate), acc.clone());
+        job.task("head")
+            .updates(&acc)
+            .body(move || {
+                while gate.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+                *h.write() += 1;
+            })
+            .spawn();
+    }
+    // Three dependents queued behind the gated head on the same region:
+    // admitted (spawned) but never dispatched while the gate holds.
+    for i in 0..3 {
+        let h = acc.clone();
+        job.task(format!("tail{i}"))
+            .updates(&acc)
+            .body(move || *h.write() += 1)
+            .spawn();
+    }
+    let t0 = Instant::now();
+    loop {
+        if job.metrics().running >= 1 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "head never dispatched"
+        );
+        std::thread::yield_now();
+    }
+    let m = job.metrics();
+    assert_eq!(m.spawned, 4);
+    assert_eq!(m.running, 1, "only the head is dispatched");
+    assert_eq!(m.queued, 3, "dependents admitted but waiting");
+    assert_eq!(m.completed, 0);
+    assert!(!m.deadline_missed);
+    // Hold the gate long enough that the dependents' admission→dispatch
+    // delay is unambiguously visible in the metrics.
+    std::thread::sleep(Duration::from_millis(20));
+    gate.store(1, Ordering::SeqCst);
+    assert!(job.try_join().is_ok());
+    let m = job.metrics();
+    assert_eq!(m.completed, 4);
+    assert_eq!(m.queued, 0);
+    assert_eq!(m.running, 0);
+    assert_eq!(m.failed, 0);
+    assert!(
+        m.queue_delay_max >= Duration::from_millis(10),
+        "dependents waited on the gate: {:?}",
+        m.queue_delay_max
+    );
+    assert!(m.queue_delay_avg <= m.queue_delay_max);
+    assert_eq!(*acc.read(), 4);
+}
+
+#[test]
+fn deadline_reaper_cancels_overdue_best_effort_jobs() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let doomed = rt
+        .submit(
+            JobSpec::new("doomed")
+                .qos(QosClass::BestEffort)
+                .deadline(Duration::from_millis(20)),
+        )
+        .expect("runtime is running");
+    let gate = Arc::new(AtomicU64::new(0));
+    let acc = doomed.register("acc", 0u64);
+    {
+        let (gate, h) = (Arc::clone(&gate), acc.clone());
+        doomed
+            .task("head")
+            .updates(&acc)
+            .body(move || {
+                while gate.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+                *h.write() += 1;
+            })
+            .spawn();
+    }
+    for i in 0..5 {
+        let h = acc.clone();
+        doomed
+            .task(format!("tail{i}"))
+            .updates(&acc)
+            .body(move || *h.write() += 1_000)
+            .spawn();
+    }
+    // The reaper fires ~20ms after submit and cancels the job. Wait for
+    // the cancel itself (admission turns it into a typed refusal) so the
+    // queued tails are guaranteed to skip, not merely for the miss mark.
+    let t0 = Instant::now();
+    loop {
+        match doomed.task("probe").body(|| {}).try_spawn() {
+            Err(AdmissionError::Cancelled) => break,
+            _ => {
+                assert!(t0.elapsed() < Duration::from_secs(5), "reaper never fired");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    gate.store(1, Ordering::SeqCst);
+    let report = doomed.try_join().expect_err("reaped tasks are failures");
+    assert!(report.cancelled().count() >= 1, "{report}");
+    assert!(doomed.metrics().deadline_missed);
+    assert!(rt.stats().jobs_deadline_missed >= 1);
+    // Guaranteed jobs are never reaped: an expired deadline only sets
+    // the miss mark, the work itself runs to completion.
+    let vip = rt
+        .submit(JobSpec::new("vip").deadline(Duration::from_millis(10)))
+        .expect("runtime is running");
+    let vip_gate = Arc::new(AtomicU64::new(0));
+    {
+        let vip_gate = Arc::clone(&vip_gate);
+        vip.task("hold")
+            .body(move || {
+                while vip_gate.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+            })
+            .spawn();
+    }
+    // Wait on the runtime counter, not the lazily computed metric: the
+    // counter is bumped by the reaper strictly after it sets the sticky
+    // per-job flag, so observing it proves the mark will survive
+    // completion.
+    let t0 = Instant::now();
+    while rt.stats().jobs_deadline_missed < 2 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "miss mark never set");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    vip_gate.store(1, Ordering::SeqCst);
+    let vip_acc = spawn_chain(&vip, "vip_acc", 10);
+    assert!(
+        vip.try_join().is_ok(),
+        "guaranteed job must not be cancelled"
+    );
+    assert_eq!(*vip_acc.read(), 10 * 11 / 2);
+    assert!(vip.metrics().deadline_missed, "the miss mark is sticky");
+}
+
+#[test]
+fn adaptive_shed_controller_sheds_best_effort_under_queue_delay() {
+    // One worker and a 100µs delay budget: a burst of 2ms tasks drives
+    // the admission→dispatch EWMA far past the budget, flipping the
+    // controller into shedding.
+    let rt =
+        Runtime::new(RuntimeConfig::with_workers(1).shed_delay_budget(Duration::from_micros(100)));
+    let vip = rt.submit(JobSpec::new("vip")).expect("runtime is running");
+    for i in 0..32 {
+        vip.task(format!("burn{i}"))
+            .body(|| std::thread::sleep(Duration::from_millis(2)))
+            .spawn();
+    }
+    assert!(vip.try_join().is_ok());
+    let spot = rt
+        .submit(JobSpec::new("spot").qos(QosClass::BestEffort))
+        .expect("runtime is running");
+    let refused = spot.task("cheap").body(|| {}).try_spawn();
+    assert_eq!(refused.unwrap_err(), AdmissionError::Shed);
+    assert_eq!(spot.metrics().shed, 1);
+    assert_eq!(spot.job_stats().spawned, 0, "shed tasks are never admitted");
+    // Guaranteed admissions are exempt from the controller.
+    assert!(vip.task("still-vip").body(|| {}).try_spawn().is_ok());
+    assert!(vip.try_join().is_ok());
+    assert!(rt.stats().tasks_shed >= 1);
+}
+
+#[test]
+fn join_timeout_holds_one_absolute_deadline() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let job = rt
+        .submit(JobSpec::new("sleepy"))
+        .expect("runtime is running");
+    job.task("sleeper")
+        .body(|| std::thread::sleep(Duration::from_millis(400)))
+        .spawn();
+    let t0 = Instant::now();
+    let res = job.join_timeout(Duration::from_millis(100));
+    let waited = t0.elapsed();
+    assert!(res.is_none(), "the sleeper cannot have settled");
+    assert!(
+        waited >= Duration::from_millis(95),
+        "returned early: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_millis(350),
+        "timeout re-armed instead of holding the absolute deadline: {waited:?}"
+    );
+    // No state was consumed: joining again settles cleanly.
+    assert!(job.join_timeout(Duration::from_secs(10)).is_some());
+    assert_eq!(job.job_stats().completed, 1);
+}
+
+#[test]
+fn soft_timeout_hedges_a_straggler_without_double_counting() {
+    // The first execution stalls far past the soft timeout; the hedge
+    // scan re-dispatches a duplicate of the idempotent body, and the
+    // race's winner settles the task exactly once.
+    let rt = Runtime::new(RuntimeConfig::with_workers(3).soft_timeout(Duration::from_millis(10)));
+    let job = rt
+        .submit(JobSpec::new("hedged"))
+        .expect("runtime is running");
+    let runs = Arc::new(AtomicU64::new(0));
+    {
+        let runs = Arc::clone(&runs);
+        // Only the first attempt stalls; the hedged duplicate is quick.
+        job.task("straggler")
+            .idempotent(move || {
+                if runs.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(500));
+                }
+            })
+            .spawn();
+    }
+    let t0 = Instant::now();
+    assert!(job.try_join().is_ok());
+    assert!(
+        t0.elapsed() < Duration::from_millis(400),
+        "join waited for the straggler instead of its hedge: {:?}",
+        t0.elapsed()
+    );
+    assert!(runs.load(Ordering::SeqCst) >= 2, "the hedge ran");
+    let stats = job.job_stats();
+    assert_eq!(stats.spawned, 1);
+    assert_eq!(stats.completed, 1, "hedge loser must not settle twice");
+    assert_eq!(stats.failed, 0);
+    assert!(rt.stats().tasks_hedged >= 1);
+    // The losing duplicate finishes inside worker teardown on drop.
+}
+
 #[test]
 fn job_table_recycles_slots_across_tenants() {
     let rt = Runtime::new(RuntimeConfig::with_workers(2).max_jobs(1));

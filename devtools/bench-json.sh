@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Run the runtime throughput benchmark and update BENCH_runtime.json.
+# Run the runtime benchmarks and update their committed JSON artifacts.
 #
 # Usage:
-#   devtools/bench-json.sh [series-name]   # run bench, write/update JSON
-#   devtools/bench-json.sh --check         # smoke-run + regression guard
+#   devtools/bench-json.sh [series-name]       # throughput bench -> BENCH_runtime.json
+#   devtools/bench-json.sh --check             # throughput smoke + regression guard
+#   devtools/bench-json.sh --serving [series]  # serving bench -> BENCH_serving.json
+#   devtools/bench-json.sh --serving-check     # serving smoke + p99 regression guard
 #
-# The JSON file maps series name -> { "<workload>@<workers>": tasks_per_sec }.
-# A series records one configuration of the runtime (e.g. the global-queue
-# baseline vs the lock-free hot path), so before/after comparisons stay in
-# one committed artifact.
+# Each JSON file maps series name -> { "<key>": value }. A series records
+# one configuration of the runtime (e.g. the global-queue baseline vs the
+# lock-free hot path), so before/after comparisons stay in one committed
+# artifact. BENCH_runtime.json keys are "<workload>@<workers>" in
+# tasks/sec; BENCH_serving.json keys are "<metric>@<load>x" from the
+# open-loop serving bench (latency percentiles in ms, goodput in
+# requests/sec, shed/miss rates as fractions).
 #
 # --check re-measures empty@8 with a reduced task count and fails if it
 # dropped more than the tolerance below the committed reference series —
@@ -16,9 +21,19 @@
 #   RAA_BENCH_REF_SERIES  (default: after_job_layer)
 #   RAA_BENCH_TOLERANCE   (fractional drop allowed, default: 0.20)
 #   RAA_BENCH_CHECK_TASKS (task count for the smoke run, default: 20000)
+#
+# --serving-check re-measures the serving sweep at test scale and fails
+# if critical p99 at the 0.5x point grew more than the tolerance above
+# the committed reference — the CI serving-latency regression guard.
+# Latency on shared runners is far noisier than throughput, so the
+# default tolerance is a multiple, not a percentage: it catches "the
+# EDF/shedding path broke" (p99 jumps to queueing scale), not drift.
+#   RAA_SERVING_REF_SERIES (default: serving_v1)
+#   RAA_SERVING_TOLERANCE  (fractional growth allowed, default: 4.0)
 set -euo pipefail
 root="$(cd "$(dirname "$0")/.." && pwd)"
 json="${root}/BENCH_runtime.json"
+json_serving="${root}/BENCH_serving.json"
 cargo_cmd=(cargo)
 # CI and the dev container have no network: route builds through the
 # offline stub registry when it exists.
@@ -29,6 +44,67 @@ fi
 run_bench() {
     "${cargo_cmd[@]}" run --release -q -p raa-bench --bin runtime_throughput
 }
+
+run_serving() {
+    "${cargo_cmd[@]}" run --release -q -p raa-bench --bin serving_load
+}
+
+# write_series <file> <series> : read bench output on stdin, fold its
+# RESULT lines into the series, and rewrite the JSON artifact.
+write_series() {
+    python3 -c "
+import json, os, sys
+path = '$1'
+data = json.load(open(path)) if os.path.exists(path) else {}
+series = {}
+for line in sys.stdin:
+    parts = line.split()
+    if len(parts) == 3 and parts[0] == 'RESULT':
+        series[parts[1]] = float(parts[2])
+if not series:
+    sys.exit('bench-json: bench produced no RESULT lines')
+data['$2'] = series
+with open(path, 'w') as f:
+    json.dump(data, f, indent=2, sort_keys=True)
+    f.write('\n')
+print(f'bench-json: wrote {len(series)} entries to series {\"$2\"!r} in {path}')
+"
+}
+
+if [ "${1:-}" = "--serving" ] || [ "${1:-}" = "--serving-check" ]; then
+    if [ "${1}" = "--serving-check" ]; then
+        ref_series="${RAA_SERVING_REF_SERIES:-serving_v1}"
+        tolerance="${RAA_SERVING_TOLERANCE:-4.0}"
+        [ -f "$json_serving" ] || { echo "bench-json: no ${json_serving} to check against" >&2; exit 1; }
+        ref=$(python3 -c "
+import json, sys
+data = json.load(open('${json_serving}'))
+series = data.get('${ref_series}', {})
+v = series.get('p99_ms@0.5x')
+if v is None:
+    sys.exit('bench-json: ${ref_series} has no p99_ms@0.5x entry')
+print(v)
+")
+        out=$(RAA_SCALE=test run_serving)
+        echo "$out"
+        got=$(echo "$out" | awk '/^RESULT p99_ms@0.5x /{print $3}')
+        [ -n "$got" ] || { echo "bench-json: bench produced no RESULT p99_ms@0.5x line" >&2; exit 1; }
+        python3 -c "
+ref, got, tol = float('${ref}'), float('${got}'), float('${tolerance}')
+ceiling = ref * (1 + tol)
+verdict = 'OK' if got <= ceiling else 'REGRESSION'
+print(f'bench-json: serving p99@0.5x {got:.2f}ms vs reference {ref:.2f}ms '
+      f'(ceiling {ceiling:.2f}ms, tolerance {tol:.0%}) -> {verdict}')
+raise SystemExit(0 if got <= ceiling else 1)
+"
+        exit $?
+    fi
+    series="${2:-serving_v1}"
+    out=$(run_serving)
+    echo "$out"
+    echo "$out" | write_series "$json_serving" "$series"
+    exit $?
+fi
 
 if [ "${1:-}" = "--check" ]; then
     # The reference reflects the multi-tenant job layer: every spawn pays
@@ -66,20 +142,4 @@ fi
 series="${1:-after_lock_free}"
 out=$(run_bench)
 echo "$out"
-echo "$out" | python3 -c "
-import json, os, sys
-path = '${json}'
-data = json.load(open(path)) if os.path.exists(path) else {}
-series = {}
-for line in sys.stdin:
-    parts = line.split()
-    if len(parts) == 3 and parts[0] == 'RESULT':
-        series[parts[1]] = float(parts[2])
-if not series:
-    sys.exit('bench-json: bench produced no RESULT lines')
-data['${series}'] = series
-with open(path, 'w') as f:
-    json.dump(data, f, indent=2, sort_keys=True)
-    f.write('\n')
-print(f'bench-json: wrote {len(series)} entries to series {\"${series}\"!r} in {path}')
-"
+echo "$out" | write_series "$json" "$series"
