@@ -15,17 +15,23 @@
 //!   spmv, a dot-product reduction serialised on a scalar, a scale
 //!   step, per-block axpy), the TDG shape of `raa-solver`'s task CG.
 //!
+//! All four shapes submit through `Runtime::spawn_many` in ~1k-task
+//! batches, so the per-task cost measured is the batched spawn path —
+//! the one the solvers and serving layer use for bulk subgraphs.
+//!
 //! Scale knobs (environment): `RAA_BENCH_TASKS` (target tasks per
 //! workload, default 100000), `RAA_BENCH_WORKERS` (comma list, default
-//! `1,2,4,8`), `RAA_BENCH_REPS` (repetitions, best-of, default 3),
+//! `1,2,4,8,16`), `RAA_BENCH_REPS` (repetitions, best-of, default 3),
 //! `RAA_BENCH_WORKLOADS` (comma list filter, default all four).
 //!
 //! Besides the human table, every measurement is printed as a
 //! machine-readable line `RESULT <workload>@<workers> <tasks_per_sec>`,
-//! followed by `STATS <workload>@<workers> key=value ...` lines with the
-//! scheduler/pool contention counters (steals, injector overflow,
-//! parks/wakes) of the last repetition; `devtools/bench-json.sh`
-//! collects the RESULT lines into `BENCH_runtime.json`.
+//! a `SCALING <workload> <ratio>` line per shape (throughput at 8
+//! workers over 1 worker), and `STATS <workload>@<workers> key=value
+//! ...` lines with the scheduler/pool contention counters (steals,
+//! injector overflow, parks/wakes) of the last repetition;
+//! `devtools/bench-json.sh` collects the RESULT lines into
+//! `BENCH_runtime.json`.
 //!
 //! `--trace <path>` additionally re-runs the preferred workload (`cg`
 //! when selected, else the first) at the highest worker count with
@@ -37,8 +43,14 @@
 use std::time::Instant;
 
 use raa_runtime::{
-    chrome_trace_json, Runtime, RuntimeConfig, SchedulerPolicy, StatsSnapshot, TraceConfig,
+    chrome_trace_json, BatchTask, Runtime, RuntimeConfig, SchedulerPolicy, StatsSnapshot,
+    TraceConfig,
 };
+
+/// Tasks per `spawn_many` call in the batched generators: large enough
+/// to amortise the per-batch reservation/sweep/wake, small enough that
+/// the pending `Vec<BatchTask>` stays cache-friendly.
+const SPAWN_BATCH: usize = 1024;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -57,36 +69,57 @@ fn worker_counts() -> Vec<usize> {
                 .collect()
         })
         .filter(|v: &Vec<usize>| !v.is_empty())
-        .unwrap_or_else(|| vec![1, 2, 4, 8])
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16])
 }
 
 fn rt(workers: usize) -> Runtime {
     Runtime::new(RuntimeConfig::with_workers(workers).policy(SchedulerPolicy::WorkStealing))
 }
 
-/// Spawn one workload's task graph on `rt`.
+/// Spawn one workload's task graph on `rt`. All four shapes submit
+/// through `spawn_many` in `SPAWN_BATCH`-sized batches: one admission
+/// reservation, one slab page claim, one dependency sweep and one wake
+/// per batch instead of per task.
 fn spawn_workload(name: &str, rt: &Runtime, target: usize) {
     match name {
         "empty" => {
-            for _ in 0..target {
-                rt.task("e").body(|| {}).spawn();
+            let mut left = target;
+            while left > 0 {
+                let n = left.min(SPAWN_BATCH);
+                rt.spawn_many((0..n).map(|_| BatchTask::new("e").body(|| {})).collect());
+                left -= n;
             }
         }
         "fanout" => {
             const FAN: usize = 64;
             let rounds = (target / (FAN + 1)).max(1);
             let data = rt.register("r", ());
-            for _ in 0..rounds {
-                rt.task("p").writes(&data).body(|| {}).spawn();
+            let rounds_per_batch = (SPAWN_BATCH / (FAN + 1)).max(1);
+            let mut batch = Vec::with_capacity(rounds_per_batch * (FAN + 1));
+            for r in 0..rounds {
+                batch.push(BatchTask::new("p").writes(&data).body(|| {}));
                 for _ in 0..FAN {
-                    rt.task("c").reads(&data).body(|| {}).spawn();
+                    batch.push(BatchTask::new("c").reads(&data).body(|| {}));
                 }
+                if (r + 1) % rounds_per_batch == 0 {
+                    rt.spawn_many(std::mem::take(&mut batch));
+                }
+            }
+            if !batch.is_empty() {
+                rt.spawn_many(batch);
             }
         }
         "chain" => {
             let data = rt.register("x", 0u64);
-            for _ in 0..target {
-                rt.task("l").updates(&data).body(|| {}).spawn();
+            let mut left = target;
+            while left > 0 {
+                let n = left.min(SPAWN_BATCH);
+                rt.spawn_many(
+                    (0..n)
+                        .map(|_| BatchTask::new("l").updates(&data).body(|| {}))
+                        .collect(),
+                );
+                left -= n;
             }
         }
         "cg" => {
@@ -170,17 +203,21 @@ fn main() {
     );
     let header: Vec<String> = std::iter::once("workload".to_string())
         .chain(workers.iter().map(|w| format!("{w}w")))
+        .chain(std::iter::once("1→8".to_string()))
         .collect();
     let widths: Vec<usize> = std::iter::once(8usize)
         .chain(workers.iter().map(|_| 12usize))
+        .chain(std::iter::once(7usize))
         .collect();
     println!("{}", raa_bench::row(&header, &widths));
-    raa_bench::rule(10 + 14 * workers.len());
+    raa_bench::rule(10 + 14 * workers.len() + 9);
 
     let mut results: Vec<(String, f64)> = Vec::new();
+    let mut scalings: Vec<(String, f64)> = Vec::new();
     let mut counters: Vec<(String, StatsSnapshot)> = Vec::new();
     for wl in &workloads {
         let mut cells = vec![wl.to_string()];
+        let mut by_workers: Vec<(usize, f64)> = Vec::new();
         for &w in &workers {
             let mut best = 0.0f64;
             let mut last_stats = None;
@@ -190,14 +227,29 @@ fn main() {
                 last_stats = Some(stats);
             }
             cells.push(format!("{:.0}/s", best));
+            by_workers.push((w, best));
             results.push((format!("{wl}@{w}"), best));
             counters.push((format!("{wl}@{w}"), last_stats.expect("reps >= 1")));
         }
+        // Scaling factor 1→8: throughput at 8 workers over 1 worker
+        // (the issue metric — >1 means adding workers adds throughput).
+        let at = |n: usize| by_workers.iter().find(|(w, _)| *w == n).map(|(_, v)| *v);
+        let scale = match (at(1), at(8)) {
+            (Some(one), Some(eight)) if one > 0.0 => Some(eight / one),
+            _ => None,
+        };
+        cells.push(scale.map_or("-".into(), raa_bench::fmt_x));
+        if let Some(s) = scale {
+            scalings.push((wl.to_string(), s));
+        }
         println!("{}", raa_bench::row(&cells, &widths));
     }
-    raa_bench::rule(10 + 14 * workers.len());
+    raa_bench::rule(10 + 14 * workers.len() + 9);
     for (key, v) in &results {
         println!("RESULT {key} {v:.1}");
+    }
+    for (wl, s) in &scalings {
+        println!("SCALING {wl} {s:.3}");
     }
     for (key, s) in &counters {
         println!(

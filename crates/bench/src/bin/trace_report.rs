@@ -13,7 +13,10 @@
 //!
 //! Env: `RAA_BENCH_TASKS` (target tasks, default 20000),
 //! `RAA_TRACE_WORKERS` (default 4). `--trace <path>` additionally writes
-//! the Chrome-trace JSON.
+//! the Chrome-trace JSON. `--contention` appends the scheduler/memory
+//! contention section: per-victim steal hit-rates, the share of ready
+//! dispatches that crossed the shared injector (and how many of those
+//! overflowed the ring), and the slab's remote-free ratio.
 
 use std::time::Instant;
 
@@ -63,6 +66,7 @@ fn main() {
     rt.taskwait();
     let traced = rt.stats().spawned as f64 / t0.elapsed().as_secs_f64();
     let stats = rt.stats();
+    let contention = rt.contention_report();
     let trace = rt.drain_trace().expect("tracing configured");
     let graph = rt.graph().expect("recording configured");
 
@@ -99,6 +103,34 @@ fn main() {
     match critical_path_attribution(&trace, &graph) {
         Some(report) => print!("{report}"),
         None => println!("no timed tasks in the trace — critical path unavailable"),
+    }
+
+    if std::env::args().any(|a| a == "--contention") {
+        println!();
+        println!("contention (traced run):");
+        println!(
+            "  injector: {} pushes / {} dispatches ({:.1}% of ready traffic), \
+             {} ring overflows",
+            contention.injector_pushes,
+            contention.dispatches,
+            contention.injector_share() * 100.0,
+            contention.injector_overflow,
+        );
+        println!(
+            "  slab frees: {} local, {} remote (remote-free ratio {:.1}%)",
+            contention.slab_local_frees,
+            contention.slab_remote_frees,
+            contention.remote_free_ratio() * 100.0,
+        );
+        println!("  per-victim steals (hit = steal found work on that victim's deque):");
+        for (v, s) in contention.per_victim.iter().enumerate() {
+            println!(
+                "    worker-{v:<3} {:>8} hits {:>8} misses  hit-rate {:>5.1}%",
+                s.ok,
+                s.empty,
+                s.hit_rate() * 100.0
+            );
+        }
     }
 
     if let Some(path) = raa_bench::arg_value("--trace") {

@@ -6,7 +6,7 @@
 //! `RAA_SCALE` environment variable (`test`, `small`, `standard`;
 //! default `standard` — the Fig. 1 configuration).
 
-use raa_runtime::{AccessMode, TaskScope};
+use raa_runtime::{AccessMode, BatchTask, TaskScope};
 use raa_workloads::Scale;
 
 pub mod fig6;
@@ -15,6 +15,12 @@ pub mod fig6;
 /// scale, axpy per block, with 16 blocks.
 pub const CG_TASKS_PER_ITER: usize = 49;
 
+/// Iterations batched into one `spawn_many` call by [`spawn_cg_shape`]:
+/// enough tasks (~800) to amortise the per-batch admission reservation
+/// and shard-lock sweep, small enough to keep the pending-batch
+/// allocation bounded.
+const CG_ITERS_PER_BATCH: usize = 16;
+
 /// Spawn `iters` iterations of the blocked-CG-shaped task graph (the TDG
 /// shape of `raa-solver`'s task CG, with empty bodies) into any
 /// [`TaskScope`] — the whole runtime or one tenant's job: per iteration,
@@ -22,38 +28,49 @@ pub const CG_TASKS_PER_ITER: usize = 49;
 /// serialised on a scalar, one scale step, and per-block axpy. Shared by
 /// `runtime_throughput` (the `cg` workload), `trace_report` and
 /// `serving_load` (the dependency-shaped requests of its job palette) so
-/// all measure the same shape. Returns the number of tasks spawned.
+/// all measure the same shape. Iterations are submitted through
+/// [`TaskScope::spawn_many`] in multi-iteration batches — one admission
+/// reservation, slab claim and dependency sweep per ~16 iterations;
+/// intra-batch edges wire identically to sequential spawns. Returns the
+/// number of tasks spawned.
 pub fn spawn_cg_shape<S: TaskScope>(scope: &S, iters: usize) -> u64 {
     const B: u64 = 16;
     let x = scope.register("x", ());
     let q = scope.register("q", ());
     let acc = scope.register("acc", ());
-    for _ in 0..iters {
+    let mut batch: Vec<BatchTask> = Vec::with_capacity(CG_ITERS_PER_BATCH * CG_TASKS_PER_ITER);
+    for it in 0..iters {
         for b in 0..B {
-            scope
-                .task("spmv")
-                .region(x.sub(b, b + 1), AccessMode::Read)
-                .region(q.sub(b, b + 1), AccessMode::Write)
-                .body(|| {})
-                .spawn();
+            batch.push(
+                BatchTask::new("spmv")
+                    .region(x.sub(b, b + 1), AccessMode::Read)
+                    .region(q.sub(b, b + 1), AccessMode::Write)
+                    .body(|| {}),
+            );
         }
         for b in 0..B {
-            scope
-                .task("dot")
-                .region(q.sub(b, b + 1), AccessMode::Read)
-                .updates(&acc)
-                .body(|| {})
-                .spawn();
+            batch.push(
+                BatchTask::new("dot")
+                    .region(q.sub(b, b + 1), AccessMode::Read)
+                    .updates(&acc)
+                    .body(|| {}),
+            );
         }
-        scope.task("scale").updates(&acc).body(|| {}).spawn();
+        batch.push(BatchTask::new("scale").updates(&acc).body(|| {}));
         for b in 0..B {
-            scope
-                .task("axpy")
-                .reads(&acc)
-                .region(x.sub(b, b + 1), AccessMode::ReadWrite)
-                .body(|| {})
-                .spawn();
+            batch.push(
+                BatchTask::new("axpy")
+                    .reads(&acc)
+                    .region(x.sub(b, b + 1), AccessMode::ReadWrite)
+                    .body(|| {}),
+            );
         }
+        if (it + 1) % CG_ITERS_PER_BATCH == 0 {
+            scope.spawn_many(std::mem::take(&mut batch));
+        }
+    }
+    if !batch.is_empty() {
+        scope.spawn_many(batch);
     }
     (iters * CG_TASKS_PER_ITER) as u64
 }

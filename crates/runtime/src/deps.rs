@@ -282,6 +282,55 @@ impl ShardedDepTracker {
     pub fn edges_produced(&self) -> u64 {
         self.edges.load(Ordering::Relaxed)
     }
+
+    /// Record the declared accesses of an ordered *batch* of tasks in one
+    /// locked sweep. The union of every involved shard is locked once
+    /// (ascending index order, same deadlock argument as
+    /// [`ShardedDepTracker::submit`]) and the tasks are applied in batch
+    /// order under that single critical section — so intra-batch edges
+    /// (task *i* depending on an earlier task *j* of the same batch) fall
+    /// out of the scoreboard exactly as if the tasks had been submitted
+    /// one at a time, at one lock round-trip per *batch* instead of per
+    /// task. `preds_out[i]` receives task *i*'s predecessor set, post-
+    /// processed like `submit`'s (sorted, deduplicated, self-edges
+    /// removed).
+    pub fn submit_batch(
+        &self,
+        ns: u64,
+        tasks: &[(TaskRef, &[Access])],
+        preds_out: &mut Vec<Vec<TaskRef>>,
+    ) {
+        preds_out.clear();
+        let live = |a: &&Access| !a.region.range.is_empty();
+        let mut shard_ids: Vec<usize> = tasks
+            .iter()
+            .flat_map(|(_, accesses)| accesses.iter().filter(live))
+            .map(|a| self.shard_of(ns, a.region.id))
+            .collect();
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        let mut guards: Vec<_> = shard_ids.iter().map(|&s| self.shards[s].lock()).collect();
+        let mut total_edges = 0u64;
+        for &(who, accesses) in tasks {
+            let mut preds: Vec<TaskRef> = Vec::new();
+            for access in accesses.iter().filter(live) {
+                let pos = shard_ids
+                    .binary_search(&self.shard_of(ns, access.region.id))
+                    .expect("shard was collected above");
+                guards[pos]
+                    .entry((ns, access.region.id))
+                    .or_insert_with(RegionState::new)
+                    .apply(who, access, &mut preds);
+            }
+            preds.sort_unstable_by_key(|r| r.tid);
+            preds.dedup_by_key(|r| r.tid);
+            preds.retain(|r| r.tid != who.tid);
+            total_edges += preds.len() as u64;
+            preds_out.push(preds);
+        }
+        drop(guards);
+        self.edges.fetch_add(total_edges, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -475,6 +524,83 @@ mod tests {
             assert_eq!(got, want, "tid={tid}");
         }
         assert_eq!(sharded.edges_produced(), single.edges_produced());
+    }
+
+    #[test]
+    fn submit_batch_agrees_with_sequential_submits() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        let sequential = ShardedDepTracker::with_shards(8);
+        let batched = ShardedDepTracker::with_shards(8);
+        let mut tid = 0u32;
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            // Random batch of 1..=12 tasks, each with 0..=3 accesses.
+            let batch: Vec<(TaskRef, Vec<Access>)> = (0..rng.gen_range(1..=12))
+                .map(|_| {
+                    let accesses: Vec<Access> = (0..rng.gen_range(0..=3))
+                        .map(|_| {
+                            let id = rng.gen_range(0..5u64);
+                            let start = rng.gen_range(0..24u64);
+                            let end = rng.gen_range(start..=24u64);
+                            let mode = match rng.gen_range(0..3) {
+                                0 => AccessMode::Read,
+                                1 => AccessMode::Write,
+                                _ => AccessMode::ReadWrite,
+                            };
+                            acc(id, start, end, mode)
+                        })
+                        .collect();
+                    tid += 1;
+                    (tref(tid), accesses)
+                })
+                .collect();
+            let want: Vec<Vec<TaskRef>> = batch
+                .iter()
+                .map(|(who, accesses)| {
+                    sequential.submit(0, *who, accesses, &mut out);
+                    out.clone()
+                })
+                .collect();
+            let entries: Vec<(TaskRef, &[Access])> = batch
+                .iter()
+                .map(|(who, accesses)| (*who, accesses.as_slice()))
+                .collect();
+            let mut got = Vec::new();
+            batched.submit_batch(0, &entries, &mut got);
+            let got_ids: Vec<Vec<TaskId>> = got
+                .iter()
+                .map(|p| p.iter().map(|r| r.tid).collect())
+                .collect();
+            let want_ids: Vec<Vec<TaskId>> = want
+                .iter()
+                .map(|p| p.iter().map(|r| r.tid).collect())
+                .collect();
+            assert_eq!(got_ids, want_ids);
+        }
+        assert_eq!(batched.edges_produced(), sequential.edges_produced());
+    }
+
+    #[test]
+    fn submit_batch_wires_intra_batch_chain() {
+        let t = ShardedDepTracker::new();
+        // w(0) -> r(1), r(2) -> w(3): all four in one batch.
+        let a_w = [acc(0, 0, 8, AccessMode::Write)];
+        let a_r = [acc(0, 0, 8, AccessMode::Read)];
+        let entries: Vec<(TaskRef, &[Access])> = vec![
+            (tref(0), &a_w),
+            (tref(1), &a_r),
+            (tref(2), &a_r),
+            (tref(3), &a_w),
+        ];
+        let mut preds = Vec::new();
+        t.submit_batch(7, &entries, &mut preds);
+        let ids: Vec<Vec<u32>> = preds
+            .iter()
+            .map(|p| p.iter().map(|r| r.tid.0).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![], vec![0], vec![0], vec![0, 1, 2]]);
+        assert_eq!(t.edges_produced(), 5);
     }
 
     #[test]

@@ -3,87 +3,120 @@
 //! Two structures, both allocation-free after construction and free of
 //! deferred memory reclamation (no epochs, no hazard pointers):
 //!
-//! * [`WorkerDeque`] — a fixed-capacity Chase–Lev work-stealing deque
-//!   (Chase & Lev, SPAA'05, with the memory-order corrections of Lê et
-//!   al., PPoPP'13). The owning worker pushes and pops at the bottom
-//!   (LIFO, cache-warm); thieves steal from the top (FIFO) with a CAS.
-//!   A full deque rejects the push and the caller spills to the
-//!   injector, which is what lets the buffer stay fixed — the classic
-//!   growth path is the one place Chase–Lev needs reclamation.
+//! * [`WorkerDeque`] — a fixed-capacity work-stealing queue supporting
+//!   *batched* steals: thieves claim up to half the queue with **one**
+//!   CAS. The protocol is Tokio's local run queue: the head packs two
+//!   32-bit indices into one atomic word — `steal` (the lowest slot a
+//!   thief may still be copying) and `real` (the first live slot) — and
+//!   **every** consumer, the owner included, claims from the head by
+//!   CAS, so `tail` only ever grows. A batch reservation moves `real`
+//!   forward while `steal` lags; the owner's push checks fullness
+//!   against `steal`, so it can never overwrite a slot mid-copy, and a
+//!   finalising CAS snaps `steal` back up to `real` when the copy is
+//!   done. A full queue rejects the push and the caller spills to the
+//!   injector, which is what lets the buffer stay fixed.
 //! * [`MpmcQueue`] — a bounded MPMC ring (Vyukov's algorithm: per-slot
 //!   sequence numbers arbitrate producers and consumers without locks).
 //!   [`Injector`] wraps it with an unbounded mutex-protected overflow
 //!   list so pushes never fail; the overflow is only touched when the
 //!   ring has been full, which a correctly sized ring makes rare.
 //!
-//! Safety note on the racy steal read: a thief reads the slot *before*
-//! validating its claim with the `top` CAS, so the read may race with
-//! the owner overwriting the slot (only possible after `top` has moved
-//! past it, which makes the CAS fail). The read is `volatile` on
-//! `MaybeUninit` storage and the value is forgotten unless the CAS
-//! succeeds — the crossbeam-deque discipline.
+//! Why not Chase–Lev with a multi-element CAS? Chase–Lev's owner takes
+//! from the *tail without touching the head* (only the last element is
+//! CAS-arbitrated). A thief that sizes a batch from a tail it loaded
+//! earlier can then claim slots the owner has already popped — the
+//! head-only CAS never notices tail retreat — and re-execute them; the
+//! single-steal algorithm only survives because its one claimed slot is
+//! exactly the slot the last-element CAS arbitrates. Making every
+//! consume a head CAS (at the price of FIFO owner pops — locality the
+//! scheduler wins back by *pushing* worker-local spawns to the owner's
+//! own queue) is what makes a one-CAS batch claim sound on a fixed
+//! buffer.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-// ---------------------------------------------------------- Chase–Lev
+/// Largest number of tasks a single steal may claim. Caps the length of
+/// the exclusive copy window (during which other thieves back off with
+/// [`Steal::Retry`]) — half of an 8Ki-deep deque would be a multi-hundred
+/// kilobyte memcpy under the claim.
+pub const MAX_STEAL_BATCH: u32 = 64;
 
-struct ClBuffer<T> {
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
-    mask: usize,
+// ------------------------------------------------- steal-half ring
+
+#[inline(always)]
+const fn pack(steal: u32, real: u32) -> u64 {
+    ((steal as u64) << 32) | real as u64
 }
 
-impl<T> ClBuffer<T> {
+#[inline(always)]
+const fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+struct RingBuffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: u32,
+}
+
+impl<T> RingBuffer<T> {
     fn new(capacity: usize) -> Self {
-        assert!(capacity.is_power_of_two());
+        assert!(capacity.is_power_of_two() && capacity >= 2);
+        assert!(capacity <= u32::MAX as usize / 4, "index arithmetic is u32");
         let slots = (0..capacity)
             .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
             .collect();
-        ClBuffer {
+        RingBuffer {
             slots,
-            mask: capacity - 1,
+            mask: capacity as u32 - 1,
         }
     }
 
-    unsafe fn write(&self, index: isize, value: T) {
-        let slot = &self.slots[index as usize & self.mask];
+    #[inline]
+    fn cap(&self) -> u32 {
+        self.mask + 1
+    }
+
+    unsafe fn write(&self, index: u32, value: T) {
+        let slot = &self.slots[(index & self.mask) as usize];
         (*slot.get()).write(value);
     }
 
-    unsafe fn read(&self, index: isize) -> T {
-        let slot = &self.slots[index as usize & self.mask];
-        // Volatile: the steal path may read a slot the owner is
-        // concurrently overwriting; the value is only kept after the
-        // claim CAS proves the read was not racy.
-        std::ptr::read_volatile((*slot.get()).as_ptr())
+    /// Caller must hold an exclusive claim on `index` (owner below
+    /// `real`, or thief inside its reserved `[steal, real)` range).
+    unsafe fn read(&self, index: u32) -> T {
+        let slot = &self.slots[(index & self.mask) as usize];
+        (*slot.get()).assume_init_read()
     }
 }
 
-struct ClInner<T> {
-    /// Steal end. Only ever incremented (by successful steals or by the
-    /// owner taking the last element).
-    top: AtomicIsize,
+struct RingInner<T> {
+    /// Packed `(steal, real)`. Invariant: `steal <= real <= tail`
+    /// (wrapping). Slots in `[steal, real)` are being copied out by the
+    /// single in-flight thief; slots in `[real, tail)` are live.
+    head: AtomicU64,
     /// Owner end. Only the owner writes it.
-    bottom: AtomicIsize,
-    buffer: ClBuffer<T>,
+    tail: AtomicU32,
+    buffer: RingBuffer<T>,
 }
 
-unsafe impl<T: Send> Send for ClInner<T> {}
-unsafe impl<T: Send> Sync for ClInner<T> {}
+unsafe impl<T: Send> Send for RingInner<T> {}
+unsafe impl<T: Send> Sync for RingInner<T> {}
 
-/// Owner handle of a fixed-capacity Chase–Lev deque. Not clonable; the
-/// single-owner discipline is what makes the bottom end lock-free.
+/// Owner handle of a fixed-capacity steal-half deque. Not clonable; the
+/// single-owner discipline is what makes the tail end lock-free.
 pub struct WorkerDeque<T> {
-    inner: Arc<ClInner<T>>,
+    inner: Arc<RingInner<T>>,
 }
 
-/// Thief handle: any number of clones may steal concurrently.
+/// Thief handle: any number of clones may steal concurrently (the head
+/// word serialises them — at most one claim is in flight at a time).
 pub struct DequeStealer<T> {
-    inner: Arc<ClInner<T>>,
+    inner: Arc<RingInner<T>>,
 }
 
 impl<T> Clone for DequeStealer<T> {
@@ -97,7 +130,7 @@ impl<T> Clone for DequeStealer<T> {
 /// Result of a steal attempt.
 pub enum Steal<T> {
     Success(T),
-    /// Lost a race; worth retrying immediately.
+    /// Lost a race (or another thief holds the claim); worth retrying.
     Retry,
     Empty,
 }
@@ -105,10 +138,10 @@ pub enum Steal<T> {
 impl<T> WorkerDeque<T> {
     pub fn new(capacity: usize) -> Self {
         WorkerDeque {
-            inner: Arc::new(ClInner {
-                top: AtomicIsize::new(0),
-                bottom: AtomicIsize::new(0),
-                buffer: ClBuffer::new(capacity),
+            inner: Arc::new(RingInner {
+                head: AtomicU64::new(0),
+                tail: AtomicU32::new(0),
+                buffer: RingBuffer::new(capacity),
             }),
         }
     }
@@ -119,72 +152,129 @@ impl<T> WorkerDeque<T> {
         }
     }
 
-    /// Push at the bottom. Fails (returning the value) when the deque is
-    /// full — the caller spills to the shared injector.
+    /// Push at the tail. Fails (returning the value) when the deque is
+    /// full — the caller spills to the shared injector. Fullness is
+    /// measured against `steal`, so slots a thief is still copying are
+    /// never reused.
     pub fn push(&self, value: T) -> Result<(), T> {
         let inner = &*self.inner;
-        let b = inner.bottom.load(Ordering::Relaxed);
-        let t = inner.top.load(Ordering::Acquire);
-        if b.wrapping_sub(t) >= (inner.buffer.mask + 1) as isize {
+        let t = inner.tail.load(Ordering::Relaxed);
+        let (steal, _) = unpack(inner.head.load(Ordering::Acquire));
+        if t.wrapping_sub(steal) >= inner.buffer.cap() {
             return Err(value);
         }
-        unsafe { inner.buffer.write(b, value) };
-        inner.bottom.store(b.wrapping_add(1), Ordering::Release);
+        unsafe { inner.buffer.write(t, value) };
+        inner.tail.store(t.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
-    /// Pop at the bottom (LIFO). Owner-only.
+    /// Pop the oldest element (FIFO). Owner-only.
+    ///
+    /// Like the thieves, the owner consumes via a CAS on the head word —
+    /// `tail` never retreats, which is the invariant that makes batched
+    /// steal claims sound (see the module docs). The CAS is cheap in the
+    /// common case: the line lives modified in the owner's cache and
+    /// only steals contend for it.
     pub fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
-        let b = inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
-        inner.bottom.store(b, Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::SeqCst);
-        let t = inner.top.load(Ordering::Relaxed);
-        if t > b {
-            // Empty: restore bottom.
-            inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
-            return None;
+        let mut h = inner.head.load(Ordering::Acquire);
+        loop {
+            let (s, r) = unpack(h);
+            let t = inner.tail.load(Ordering::Relaxed);
+            if r == t {
+                return None;
+            }
+            // Take slot `r`. `steal` advances in lockstep unless a thief
+            // is mid-copy of `[s, r)` — its finalise snaps `steal`
+            // forward itself. (Advancing only `real` here would leave a
+            // phantom claim that turns every later steal into `Retry`.)
+            let nr = r.wrapping_add(1);
+            let next = if s == r { pack(nr, nr) } else { pack(s, nr) };
+            match inner
+                .head
+                .compare_exchange(h, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(unsafe { inner.buffer.read(r) }),
+                Err(cur) => h = cur,
+            }
         }
-        if t == b {
-            // Last element: race the thieves for it.
-            let won = inner
-                .top
-                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok();
-            inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
-            return won.then(|| unsafe { inner.buffer.read(b) });
-        }
-        Some(unsafe { inner.buffer.read(b) })
     }
 
     pub fn is_empty(&self) -> bool {
-        let b = self.inner.bottom.load(Ordering::Relaxed);
-        let t = self.inner.top.load(Ordering::Relaxed);
-        b <= t
+        let t = self.inner.tail.load(Ordering::Relaxed);
+        let (_, real) = unpack(self.inner.head.load(Ordering::Relaxed));
+        real == t
     }
 }
 
 impl<T> DequeStealer<T> {
-    /// Steal one element from the top (FIFO).
+    /// Steal one element from the head (FIFO).
     pub fn steal(&self) -> Steal<T> {
+        self.steal_batch(false, &mut |_| unreachable!("k == 1 yields no extras"))
+    }
+
+    /// Steal up to half the victim's queue (capped at
+    /// [`MAX_STEAL_BATCH`]) in one claim: the first stolen element is
+    /// returned for immediate execution, the rest are fed to `sink`
+    /// (typically the thief's own deque) oldest-first.
+    pub fn steal_half_with<F: FnMut(T)>(&self, sink: &mut F) -> Steal<T> {
+        self.steal_batch(true, sink)
+    }
+
+    fn steal_batch<F: FnMut(T)>(&self, half: bool, sink: &mut F) -> Steal<T> {
         let inner = &*self.inner;
-        let t = inner.top.load(Ordering::Acquire);
-        std::sync::atomic::fence(Ordering::SeqCst);
-        let b = inner.bottom.load(Ordering::Acquire);
-        if t >= b {
-            return Steal::Empty;
-        }
-        // Speculative read; validated by the CAS below.
-        let value = unsafe { inner.buffer.read(t) };
-        if inner
-            .top
-            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
-            .is_err()
-        {
-            std::mem::forget(value);
+        let h = inner.head.load(Ordering::Acquire);
+        let (s, r) = unpack(h);
+        if s != r {
+            // Another thief holds the claim and is copying; its window
+            // is bounded (MAX_STEAL_BATCH element moves), so backing off
+            // to the next victim beats spinning here.
             return Steal::Retry;
         }
-        Steal::Success(value)
+        let t = inner.tail.load(Ordering::Acquire);
+        let n = t.wrapping_sub(r);
+        if n == 0 {
+            return Steal::Empty;
+        }
+        if n > inner.buffer.cap() {
+            // The head advanced between our two loads (`r` is stale):
+            // the CAS below would fail anyway.
+            return Steal::Retry;
+        }
+        let k = if half {
+            (n - n / 2).min(MAX_STEAL_BATCH)
+        } else {
+            1
+        };
+        if inner
+            .head
+            .compare_exchange(h, pack(r, r.wrapping_add(k)), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        // The claim succeeded: slots [r, r+k) are exclusively ours. The
+        // Acquire load of `tail` above synchronised with the owner's
+        // Release publication of each of them.
+        let first = unsafe { inner.buffer.read(r) };
+        for i in 1..k {
+            sink(unsafe { inner.buffer.read(r.wrapping_add(i)) });
+        }
+        // Finalise: snap `steal` up to the current `real` (which may
+        // have advanced past r+k via owner last-element pops), reopening
+        // the copied slots to the owner's push window.
+        let mut h2 = inner.head.load(Ordering::Relaxed);
+        loop {
+            let (_, r2) = unpack(h2);
+            match inner
+                .head
+                .compare_exchange(h2, pack(r2, r2), Ordering::SeqCst, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(cur) => h2 = cur,
+            }
+        }
+        Steal::Success(first)
     }
 
     /// Keep stealing through `Retry` until success or empty.
@@ -192,20 +282,19 @@ impl<T> DequeStealer<T> {
         loop {
             match self.steal() {
                 Steal::Success(v) => return Some(v),
-                Steal::Retry => continue,
+                Steal::Retry => std::thread::yield_now(),
                 Steal::Empty => return None,
             }
         }
     }
 }
 
-impl<T> Drop for ClInner<T> {
+impl<T> Drop for RingInner<T> {
     fn drop(&mut self) {
         // Sole owner at this point: drain remaining elements.
-        let t = *self.top.get_mut();
-        let b = *self.bottom.get_mut();
-        let mut i = t;
-        while i < b {
+        let (_, mut i) = unpack(*self.head.get_mut());
+        let t = *self.tail.get_mut();
+        while i != t {
             unsafe { drop(self.buffer.read(i)) };
             i = i.wrapping_add(1);
         }
@@ -329,6 +418,10 @@ pub struct Injector<T> {
     /// Pushes that landed on the overflow list (ring full, or following
     /// earlier overflow to preserve FIFO). Monotonic.
     overflow_events: AtomicU64,
+    /// Total pushes (ring or overflow). Monotonic; with
+    /// `overflow_events` this gives the injector's share of ready-task
+    /// traffic for the contention report.
+    pushes: AtomicU64,
 }
 
 impl<T> Injector<T> {
@@ -338,10 +431,12 @@ impl<T> Injector<T> {
             overflow: Mutex::new(std::collections::VecDeque::new()),
             overflow_len: AtomicUsize::new(0),
             overflow_events: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
         }
     }
 
     pub fn push(&self, value: T) {
+        self.pushes.fetch_add(1, Ordering::Relaxed);
         // Once anything sits in the overflow, later pushes must follow it
         // there or FIFO order inverts across tiers.
         if self.overflow_len.load(Ordering::Acquire) == 0 {
@@ -366,6 +461,11 @@ impl<T> Injector<T> {
     /// lock instead — the "ring was sized too small" signal.
     pub fn overflow_events(&self) -> u64 {
         self.overflow_events.load(Ordering::Relaxed)
+    }
+
+    /// Total pushes routed through this injector.
+    pub fn push_events(&self) -> u64 {
+        self.pushes.load(Ordering::Relaxed)
     }
 
     pub fn pop(&self) -> Option<T> {
@@ -393,13 +493,13 @@ mod tests {
     use std::sync::atomic::AtomicU64;
 
     #[test]
-    fn deque_lifo_for_owner() {
+    fn deque_fifo_for_owner() {
         let d: WorkerDeque<u32> = WorkerDeque::new(8);
         for i in 0..5 {
             d.push(i).unwrap();
         }
         let got: Vec<u32> = std::iter::from_fn(|| d.pop()).collect();
-        assert_eq!(got, vec![4, 3, 2, 1, 0]);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
         assert!(d.pop().is_none());
     }
 
@@ -412,8 +512,8 @@ mod tests {
         }
         assert_eq!(s.steal_settled(), Some(0));
         assert_eq!(s.steal_settled(), Some(1));
-        assert_eq!(d.pop(), Some(3), "owner still pops the newest");
-        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(2), "owner consumes from the head too");
+        assert_eq!(d.pop(), Some(3));
         assert!(d.pop().is_none());
         assert!(matches!(s.steal(), Steal::Empty));
     }
@@ -442,11 +542,47 @@ mod tests {
         assert_eq!(Arc::strong_count(&v), 1);
     }
 
-    /// The Chase–Lev steal/pop race: one owner popping while several
-    /// thieves steal. Every pushed element must be taken exactly once —
-    /// no loss, no duplication. (loom is not available offline; this
-    /// stress schedule crosses the last-element CAS race thousands of
-    /// times per run.)
+    #[test]
+    fn steal_half_takes_ceil_half_oldest_first() {
+        let d: WorkerDeque<u32> = WorkerDeque::new(16);
+        let s = d.stealer();
+        for i in 0..5 {
+            d.push(i).unwrap();
+        }
+        let mut extras = Vec::new();
+        let first = match s.steal_half_with(&mut |v| extras.push(v)) {
+            Steal::Success(v) => v,
+            _ => panic!("claim on an uncontended deque must succeed"),
+        };
+        // ceil(5/2) = 3 stolen: the oldest three.
+        assert_eq!(first, 0);
+        assert_eq!(extras, vec![1, 2]);
+        // Owner keeps the newest two, consumed oldest-first.
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(4));
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn steal_half_of_one_takes_it() {
+        let d: WorkerDeque<u32> = WorkerDeque::new(8);
+        let s = d.stealer();
+        d.push(7).unwrap();
+        let mut extras = Vec::new();
+        assert!(matches!(
+            s.steal_half_with(&mut |v| extras.push(v)),
+            Steal::Success(7)
+        ));
+        assert!(extras.is_empty());
+        assert!(d.is_empty());
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    /// The owner/thief race: one owner popping while several thieves
+    /// steal. Every pushed element must be taken exactly once — no loss,
+    /// no duplication. (loom is not available offline; this stress
+    /// schedule crosses the owner-vs-thief head CAS thousands of times
+    /// per run.)
     #[test]
     fn deque_stress_owner_vs_thieves() {
         const ITEMS: u64 = 40_000;
@@ -494,6 +630,74 @@ mod tests {
             }
         }
         // Drain what is left, racing the thieves to the end.
+        while let Some(v) = d.pop() {
+            sum.fetch_add(v, Ordering::Relaxed);
+            taken.fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+        for t in thieves {
+            t.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::Relaxed), ITEMS, "no loss, no dup");
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            ITEMS * (ITEMS - 1) / 2,
+            "every element taken exactly once"
+        );
+    }
+
+    /// Same exactly-once invariant with batched thieves: steal-half
+    /// claims of varying width racing the owner's pops.
+    #[test]
+    fn deque_stress_steal_half() {
+        const ITEMS: u64 = 40_000;
+        const THIEVES: usize = 3;
+        let d: WorkerDeque<u64> = WorkerDeque::new(64);
+        let taken = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = d.stealer();
+                let taken = Arc::clone(&taken);
+                let sum = Arc::clone(&sum);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || loop {
+                    let mut batch = 0u64;
+                    let mut bsum = 0u64;
+                    let got = s.steal_half_with(&mut |v| {
+                        batch += 1;
+                        bsum += v;
+                    });
+                    match got {
+                        Steal::Success(v) => {
+                            sum.fetch_add(bsum + v, Ordering::Relaxed);
+                            taken.fetch_add(batch + 1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut next = 0u64;
+        while next < ITEMS {
+            while next < ITEMS && d.push(next).is_ok() {
+                next += 1;
+                if next.is_multiple_of(7) {
+                    break;
+                }
+            }
+            if let Some(v) = d.pop() {
+                sum.fetch_add(v, Ordering::Relaxed);
+                taken.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         while let Some(v) = d.pop() {
             sum.fetch_add(v, Ordering::Relaxed);
             taken.fetch_add(1, Ordering::Relaxed);
@@ -585,5 +789,6 @@ mod tests {
         assert_eq!(got, (0..10).collect::<Vec<_>>(), "FIFO across the spill");
         assert!(inj.is_empty());
         assert_eq!(inj.overflow_events(), 6, "10 pushes into a 4-ring spill 6");
+        assert_eq!(inj.push_events(), 10);
     }
 }

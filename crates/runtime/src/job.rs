@@ -36,6 +36,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::fault::{FaultPlan, FaultReport, RetryPolicy, TaskFailure};
 use crate::region::Region;
 use crate::scheduler::QosClass;
+use crate::stats::{Striped64, StripedGauge};
 use crate::task::TaskId;
 use crate::trace::TraceSession;
 
@@ -315,18 +316,28 @@ pub(crate) struct JobState {
     pub(crate) deadline_at: Option<Instant>,
     /// Expected per-task runtime hint in ns (0 = no hint).
     pub(crate) cost_hint: u64,
-    /// Admitted, unsettled tasks. The join condvar fires on the 1→0 edge.
-    pub(crate) in_flight: AtomicU64,
+    /// Admitted, unsettled tasks. Striped: settling a task touches only
+    /// a local line. Joiners poll the sum on a bounded wait (see
+    /// `Runtime::wait_job`); capped jobs additionally keep `reserved`
+    /// exact for the cap check and its eager 1→0 wakeup.
+    pub(crate) in_flight: StripedGauge,
+    /// Exact reservation counter, maintained only when `max_in_flight`
+    /// is set: a cap is inherently one shared number, so capped jobs pay
+    /// the RMW that uncapped jobs no longer do.
+    pub(crate) reserved: AtomicU64,
+    /// High-water mark of in-flight tasks: exact for capped jobs
+    /// (maintained at reservation), sampled lazily at `stats()` reads
+    /// for uncapped ones.
     pub(crate) in_flight_hwm: AtomicU64,
-    pub(crate) spawned: AtomicU64,
-    pub(crate) completed: AtomicU64,
+    pub(crate) spawned: Striped64,
+    pub(crate) completed: Striped64,
     pub(crate) failed: AtomicU64,
     /// Tasks dispatched to a worker at least once (first attempt only).
-    pub(crate) dispatched: AtomicU64,
+    pub(crate) dispatched: Striped64,
     /// Admissions refused by load shedding.
     pub(crate) shed: AtomicU64,
     /// Sum / max of admission→first-dispatch delays, in ns.
-    pub(crate) queue_delay_ns_sum: AtomicU64,
+    pub(crate) queue_delay_ns_sum: Striped64,
     pub(crate) queue_delay_ns_max: AtomicU64,
     /// Set by the deadline reaper (or metrics path) once `deadline_at`
     /// passed before the job finished.
@@ -364,14 +375,15 @@ impl JobState {
             max_in_flight,
             deadline_at,
             cost_hint,
-            in_flight: AtomicU64::new(0),
+            in_flight: StripedGauge::default(),
+            reserved: AtomicU64::new(0),
             in_flight_hwm: AtomicU64::new(0),
-            spawned: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
+            spawned: Striped64::default(),
+            completed: Striped64::default(),
             failed: AtomicU64::new(0),
-            dispatched: AtomicU64::new(0),
+            dispatched: Striped64::default(),
             shed: AtomicU64::new(0),
-            queue_delay_ns_sum: AtomicU64::new(0),
+            queue_delay_ns_sum: Striped64::default(),
             queue_delay_ns_max: AtomicU64::new(0),
             deadline_missed: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
@@ -395,10 +407,27 @@ impl JobState {
         !self.cancelled.swap(true, Ordering::SeqCst)
     }
 
+    /// Current admitted-but-unsettled count (striped sum; see
+    /// [`crate::stats::StripedGauge`] for the no-false-zero guarantee
+    /// joiners rely on).
+    pub(crate) fn in_flight(&self) -> u64 {
+        self.in_flight.read()
+    }
+
     /// Release one in-flight slot (task settled, or an admission
-    /// reservation rolled back), waking joiners on the 1→0 edge.
+    /// reservation rolled back). Uncapped jobs touch only a local
+    /// stripe — joiners poll on a bounded wait; capped jobs also release
+    /// the exact reservation counter, whose 1→0 edge still gives their
+    /// joiners an eager wakeup.
     pub(crate) fn release_in_flight(&self) {
-        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+        self.release_in_flight_many(1);
+    }
+
+    /// [`JobState::release_in_flight`] for `n` slots at once (a refused
+    /// batch reservation rolling back).
+    pub(crate) fn release_in_flight_many(&self, n: u64) {
+        self.in_flight.dec(n);
+        if self.max_in_flight.is_some() && self.reserved.fetch_sub(n, Ordering::SeqCst) == n {
             let _g = self.wait.lock();
             self.wait_cv.notify_all();
         }
@@ -421,29 +450,35 @@ impl JobState {
     }
 
     pub(crate) fn stats(&self) -> JobStats {
+        let in_flight = self.in_flight.read();
+        // Uncapped jobs have no reservation path maintaining the mark;
+        // sample it here so it at least tracks observed peaks.
+        if self.max_in_flight.is_none() {
+            self.in_flight_hwm.fetch_max(in_flight, Ordering::Relaxed);
+        }
         JobStats {
-            spawned: self.spawned.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
+            spawned: self.spawned.sum(),
+            completed: self.completed.sum(),
             failed: self.failed.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
+            in_flight,
             in_flight_hwm: self.in_flight_hwm.load(Ordering::Relaxed),
         }
     }
 
     /// Record one admission→first-dispatch delay sample.
     pub(crate) fn record_queue_delay(&self, ns: u64) {
-        self.dispatched.fetch_add(1, Ordering::Relaxed);
-        self.queue_delay_ns_sum.fetch_add(ns, Ordering::Relaxed);
+        self.dispatched.add(1);
+        self.queue_delay_ns_sum.add(ns);
         self.queue_delay_ns_max.fetch_max(ns, Ordering::Relaxed);
     }
 
     pub(crate) fn metrics(&self) -> JobMetrics {
-        let spawned = self.spawned.load(Ordering::Relaxed);
-        let completed = self.completed.load(Ordering::Relaxed);
-        let dispatched = self.dispatched.load(Ordering::Relaxed);
+        let spawned = self.spawned.sum();
+        let completed = self.completed.sum();
+        let dispatched = self.dispatched.sum();
         let avg = self
             .queue_delay_ns_sum
-            .load(Ordering::Relaxed)
+            .sum()
             .checked_div(dispatched)
             .unwrap_or(0);
         JobMetrics {

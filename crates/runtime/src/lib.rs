@@ -88,10 +88,11 @@ pub use overload::ShedController;
 pub use program::TaskProgram;
 pub use region::{AccessMode, DataHandle, Region, RegionId, RegionRange};
 pub use runtime::{
-    JobHandle, ObserverFanout, Runtime, RuntimeConfig, TaskBuilder, TaskObserver, TaskScope,
+    BatchTask, JobHandle, ObserverFanout, Runtime, RuntimeConfig, TaskBuilder, TaskObserver,
+    TaskScope,
 };
 pub use scheduler::{QosClass, SchedulerPolicy};
 pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};
-pub use stats::StatsSnapshot;
+pub use stats::{ContentionReport, StatsSnapshot, VictimSteals};
 pub use task::{Criticality, ExecBody, TaskId, TaskMeta};
 pub use trace::{Trace, TraceConfig, TraceEvent, TraceEventKind, TraceSession, Tracer};

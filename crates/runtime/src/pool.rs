@@ -121,6 +121,17 @@ pub struct PoolOptions {
 
 struct PoolShared {
     queues: Arc<ReadyQueues>,
+    /// The per-worker deques, owned here (not by the worker threads) so
+    /// that (a) a watchdog respawn hands the replacement thread its
+    /// predecessor's deque — queued work survives the death without a
+    /// drain-to-injector detour — and (b) spawn paths running *on* a
+    /// worker thread can push with affinity to that worker's own deque
+    /// (see [`WorkerPool::push_affine`]). The owner-side discipline
+    /// (`push`/`pop` from one thread at a time) is preserved: only the
+    /// thread currently registered as worker `who` touches
+    /// `deques[who]`, and a dead worker's replacement starts strictly
+    /// after the predecessor's last deque access.
+    deques: Vec<Arc<WorkerDeque<ReadyTask>>>,
     stealers: Vec<DequeStealer<ReadyTask>>,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
@@ -233,13 +244,14 @@ impl WorkerPool {
         options: PoolOptions,
     ) -> Self {
         assert!(workers >= 1, "the pool needs at least one worker");
-        let deques: Vec<WorkerDeque<ReadyTask>> = (0..workers)
-            .map(|_| WorkerDeque::new(WORKER_DEQUE_CAP))
+        let deques: Vec<Arc<WorkerDeque<ReadyTask>>> = (0..workers)
+            .map(|_| Arc::new(WorkerDeque::new(WORKER_DEQUE_CAP)))
             .collect();
         let stealers: Vec<DequeStealer<ReadyTask>> = deques.iter().map(|d| d.stealer()).collect();
         let (retry_tx, retry_rx) = mpsc::channel();
         let shared = Arc::new(PoolShared {
             queues,
+            deques,
             stealers,
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -263,15 +275,13 @@ impl WorkerPool {
             soft_timeout: options.soft_timeout,
             retry_tx: Mutex::new(Some(retry_tx)),
         });
-        let handles = deques
-            .into_iter()
-            .enumerate()
-            .map(|(who, deque)| {
+        let handles = (0..workers)
+            .map(|who| {
                 let shared = Arc::clone(&shared);
                 let client = Arc::clone(&client);
                 std::thread::Builder::new()
                     .name(format!("raa-worker-{who}"))
-                    .spawn(move || worker_loop(who, Some(deque), shared, client))
+                    .spawn(move || worker_loop(who, shared, client))
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -354,6 +364,55 @@ impl WorkerPool {
         self.wake_one();
     }
 
+    /// Push a ready task with spawn affinity: called from a worker
+    /// thread (a task body spawning subtasks), the task lands on that
+    /// worker's own deque — keeping parent-spawned work hot in the
+    /// spawner's cache and off the shared injector. From any other
+    /// thread this degrades to [`WorkerPool::push_external`].
+    pub fn push_affine(&self, task: ReadyTask) {
+        let local = current_worker()
+            .filter(|w| *w < self.shared.deques.len())
+            .map(|w| &self.shared.deques[w]);
+        self.shared.queues.push(task, local.map(|d| &**d));
+        self.wake_one();
+    }
+
+    /// [`WorkerPool::push_affine`] for a whole batch under a single wake
+    /// decision: every task is enqueued first (the spawner's own deque
+    /// when on a worker thread), then parked siblings are woken once.
+    pub fn push_affine_batch(&self, tasks: Vec<ReadyTask>) {
+        let n = tasks.len();
+        let local = current_worker()
+            .filter(|w| *w < self.shared.deques.len())
+            .map(|w| &self.shared.deques[w]);
+        for t in tasks {
+            self.shared.queues.push(t, local.map(|d| &**d));
+        }
+        if n > 1 {
+            self.shared.wake_all();
+        } else if n == 1 {
+            self.shared.wake_one();
+        }
+    }
+
+    /// Per-victim steal hit/miss counters, injector traffic and total
+    /// dispatch count for `Runtime::contention_report`.
+    pub fn contention_data(&self) -> (Vec<crate::stats::VictimSteals>, u64, u64, u64) {
+        let (pushes, overflow) = self.shared.queues.injector_traffic();
+        let dispatched: u64 = self
+            .shared
+            .executed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        (
+            self.shared.queues.per_victim_steals(self.workers),
+            pushes,
+            overflow,
+            dispatched,
+        )
+    }
+
     /// Wake one parked worker (after pushing work).
     pub fn wake_one(&self) {
         self.shared.wake_one();
@@ -398,13 +457,11 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(
-    who: usize,
-    local: Option<WorkerDeque<ReadyTask>>,
-    shared: Arc<PoolShared>,
-    client: Arc<dyn PoolClient>,
-) {
+fn worker_loop(who: usize, shared: Arc<PoolShared>, client: Arc<dyn PoolClient>) {
     CURRENT_WORKER.with(|c| c.set(Some(who)));
+    // The deque is shared (Arc) so respawns inherit it, but only this
+    // thread — the one registered as worker `who` — uses the owner end.
+    let local = Some(&*shared.deques[who]);
     if let Some(t) = &shared.tracer {
         // Claim worker `who`'s SPSC trace ring. A watchdog respawn
         // re-binds the same ring — safe, because the previous producer
@@ -421,10 +478,10 @@ fn worker_loop(
             return;
         }
         shared.heartbeats[who].fetch_add(1, Ordering::Relaxed);
-        if let Some(task) = shared.queues.pop(who, local.as_ref(), &shared.stealers) {
+        if let Some(task) = shared.queues.pop(who, local, &shared.stealers) {
             misses = 0;
-            run_one(task, who, local.as_ref(), &shared, &client);
-            if injected_death(who, &local, &shared) {
+            run_one(task, who, local, &shared, &client);
+            if injected_death(who, &shared) {
                 return;
             }
             continue;
@@ -447,11 +504,11 @@ fn worker_loop(
             shared.idle_count.fetch_sub(1, Ordering::SeqCst);
             return;
         }
-        if let Some(task) = shared.queues.pop(who, local.as_ref(), &shared.stealers) {
+        if let Some(task) = shared.queues.pop(who, local, &shared.stealers) {
             shared.idle_count.fetch_sub(1, Ordering::SeqCst);
             drop(guard);
-            run_one(task, who, local.as_ref(), &shared, &client);
-            if injected_death(who, &local, &shared) {
+            run_one(task, who, local, &shared, &client);
+            if injected_death(who, &shared) {
                 return;
             }
             continue;
@@ -469,9 +526,10 @@ fn worker_loop(
 }
 
 /// Check the fault plan for an injected worker death; when it fires,
-/// drain the local deque back to the shared queues (no task loss), mark
-/// the worker dead and tell the caller to exit the thread.
-fn injected_death(who: usize, local: &Option<WorkerDeque<ReadyTask>>, shared: &PoolShared) -> bool {
+/// drain the local deque back to the shared queues (no task loss even if
+/// no replacement ever claims the deque), mark the worker dead and tell
+/// the caller to exit the thread.
+fn injected_death(who: usize, shared: &PoolShared) -> bool {
     let Some(plan) = &shared.plan else {
         return false;
     };
@@ -497,10 +555,8 @@ fn injected_death(who: usize, local: &Option<WorkerDeque<ReadyTask>>, shared: &P
     if others_alive == 0 && !will_respawn {
         return false;
     }
-    if let Some(deque) = local {
-        while let Some(task) = deque.pop() {
-            shared.queues.push(task, None);
-        }
+    while let Some(task) = shared.deques[who].pop() {
+        shared.queues.push(task, None);
     }
     shared.alive[who].store(false, Ordering::SeqCst);
     shared.deaths.fetch_add(1, Ordering::Relaxed);
@@ -636,17 +692,18 @@ fn watchdog_loop(shared: Arc<PoolShared>, client: Arc<dyn PoolClient>) {
         for who in 0..n {
             if !shared.alive[who].load(Ordering::SeqCst) {
                 if shared.watchdog.respawn && !shared.shutdown.load(Ordering::SeqCst) {
-                    // Respawn: same worker index (counters continue), but
-                    // no local deque — the dead thread's deque is gone and
-                    // its stealer slot must stay valid, so replacements
-                    // feed from the shared structures only.
+                    // Respawn: same worker index (counters continue) and
+                    // the *same deque* — the predecessor drained it and
+                    // made its last access before dropping `alive`, so
+                    // the replacement inherits the owner end cleanly and
+                    // runs at full locality, not injector-only.
                     shared.alive[who].store(true, Ordering::SeqCst);
                     shared.respawns.fetch_add(1, Ordering::Relaxed);
                     let s = Arc::clone(&shared);
                     let c = Arc::clone(&client);
                     let handle = std::thread::Builder::new()
                         .name(format!("raa-worker-{who}r"))
-                        .spawn(move || worker_loop(who, None, s, c))
+                        .spawn(move || worker_loop(who, s, c))
                         .expect("failed to respawn worker");
                     replacements.push(handle);
                 }

@@ -52,7 +52,9 @@ use crate::pool::{Completion, PoolClient, PoolOptions, WorkerPool};
 use crate::program::{SinkGuard, TaskProgram};
 use crate::region::{Access, AccessMode, DataHandle, Region};
 use crate::scheduler::{QosClass, ReadyQueues, ReadyTask, SchedulerPolicy};
-use crate::stats::{RuntimeStats, StatsSnapshot, RETRY_HIST_BUCKETS};
+use crate::stats::{
+    ContentionReport, RuntimeStats, StatsSnapshot, StripedGauge, RETRY_HIST_BUCKETS,
+};
 use crate::task::{Criticality, ExecBody, TaskBody, TaskId, TaskMeta, TaskRef, TaskSlab};
 use crate::trace::{Trace, TraceConfig, TraceEventKind, TraceSession, Tracer};
 
@@ -439,6 +441,13 @@ impl Ord for ReapAt {
     }
 }
 
+/// How long a quiescence waiter sleeps between polls of the striped
+/// `outstanding` sum. Completions do not notify (see `Shared
+/// ::outstanding`), so this bounds the wake-up latency after the last
+/// task settles; it is far below any measurable wait while keeping the
+/// idle-poll cost negligible.
+const QUIESCE_POLL: Duration = Duration::from_micros(200);
+
 struct Shared {
     slab: TaskSlab,
     tracker: crate::deps::ShardedDepTracker,
@@ -446,8 +455,11 @@ struct Shared {
     /// through the scheduler as nanoseconds since this instant.
     epoch: Instant,
     /// Tasks spawned but not yet settled. Incremented before a task is
-    /// visible anywhere; the waiter's condvar fires on the 1→0 edge.
-    outstanding: AtomicU64,
+    /// visible anywhere. Striped: completion touches only a local line
+    /// and never notifies; quiescence waiters poll the stripe sum on a
+    /// short bounded condvar wait (`wait_cv` still fires eagerly on
+    /// termination).
+    outstanding: StripedGauge,
     wait: Mutex<()>,
     wait_cv: Condvar,
     next_id: AtomicU32,
@@ -745,9 +757,7 @@ impl Shared {
         let Some(job) = weak.upgrade() else {
             return;
         };
-        if job.in_flight.load(Ordering::SeqCst) == 0
-            && job.spawned.load(Ordering::Relaxed) <= job.completed.load(Ordering::Relaxed)
-        {
+        if job.in_flight() == 0 && job.spawned.sum() <= job.completed.sum() {
             return;
         }
         job.deadline_missed.store(true, Ordering::SeqCst);
@@ -1096,7 +1106,7 @@ impl PoolClient for Shared {
             // would double-count.
             return Completion::released(Vec::new());
         };
-        RuntimeStats::bump(&self.stats.completed);
+        self.stats.completed.add(1);
         if let Some(job) = job {
             // Free the admission slot *before* waking joiners and blocked
             // spawners, so anyone woken observes the capacity. The
@@ -1105,7 +1115,7 @@ impl PoolClient for Shared {
                 self.admitted.fetch_sub(1, Ordering::SeqCst);
             }
             if !job.is_default() {
-                job.completed.fetch_add(1, Ordering::Relaxed);
+                job.completed.add(1);
                 job.release_in_flight();
             }
             if self.admission_waiters.load(Ordering::SeqCst) > 0 {
@@ -1114,11 +1124,12 @@ impl PoolClient for Shared {
             }
         }
         // The failure (if any) is published by `settle` before this
-        // decrement, so a waiter woken by the 1→0 edge sees it.
-        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _g = self.wait.lock();
-            self.wait_cv.notify_all();
-        }
+        // decrement, so a waiter that sees the count reach zero sees it.
+        // No notify here: summing the striped gauge (or even signalling
+        // a condvar) on every completion would recreate the shared line
+        // this counter exists to avoid — quiescence waiters poll on a
+        // bounded wait instead.
+        self.outstanding.dec(1);
         Completion::released(released)
     }
 
@@ -1211,7 +1222,7 @@ impl Runtime {
             slab: TaskSlab::new(),
             tracker: crate::deps::ShardedDepTracker::new(),
             epoch,
-            outstanding: AtomicU64::new(0),
+            outstanding: StripedGauge::default(),
             wait: Mutex::new(()),
             wait_cv: Condvar::new(),
             next_id: AtomicU32::new(0),
@@ -1357,6 +1368,221 @@ impl Runtime {
         Ok(self.spawn_scoped(job, meta, body, false))
     }
 
+    /// Submit a whole batch of tasks (into the implicit default job) in
+    /// one pass: one admission reservation, one slab claim, one
+    /// ascending-order dependency sweep and one worker wake for the
+    /// entire subgraph. Intra-batch dependencies resolve exactly as if
+    /// the tasks had been spawned one at a time, in batch order. Blocks
+    /// while the runtime is at its in-flight cap; other refusals discard
+    /// the whole batch (the returned ids then refer to tasks that never
+    /// run), mirroring [`TaskBuilder::spawn`].
+    pub fn spawn_many(&self, tasks: Vec<BatchTask>) -> Vec<TaskId> {
+        let job = Arc::clone(&self.shared.default_job);
+        self.spawn_many_blocking(&job, tasks)
+    }
+
+    /// Blocking batched spawn into `job`; see [`Runtime::spawn_many`].
+    fn spawn_many_blocking(&self, job: &Arc<JobState>, mut tasks: Vec<BatchTask>) -> Vec<TaskId> {
+        let shared = &*self.shared;
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        assert!(
+            tasks.iter().all(|t| t.body.is_some()),
+            "every batch task needs a body before spawn_many()"
+        );
+        // A batch wider than an in-flight cap could never be reserved
+        // atomically: split to the cap and admit chunk by chunk.
+        let cap = self
+            .config
+            .max_in_flight
+            .unwrap_or(usize::MAX)
+            .min(job.max_in_flight.unwrap_or(usize::MAX))
+            .max(1);
+        if n > cap {
+            let mut ids = Vec::with_capacity(n);
+            while !tasks.is_empty() {
+                let rest = tasks.split_off(tasks.len().min(cap));
+                ids.extend(self.spawn_many_blocking(job, tasks));
+                tasks = rest;
+            }
+            return ids;
+        }
+        loop {
+            match self.admit_many(job, n as u64) {
+                Ok(()) => break,
+                Err(AdmissionError::Busy) => self.wait_for_capacity(),
+                Err(_) => {
+                    shared
+                        .stats
+                        .tasks_discarded
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    let start = shared.next_id.fetch_add(n as u32, Ordering::Relaxed);
+                    return (0..n as u32).map(|i| TaskId(start + i)).collect();
+                }
+            }
+        }
+        self.spawn_many_scoped(job, tasks)
+    }
+
+    /// The batched spawn protocol (the caller holds `n` admission
+    /// reservations). Single-spawn protocol invariants are preserved
+    /// wholesale — outstanding before tracker visibility, fill → fence →
+    /// poison-flag ordering, spawn counters before the guard drop — but
+    /// each serialisation point is paid once per *batch*: one
+    /// `next_id` bump, one slab page claim, one shard-lock sweep, one
+    /// poison fence, and one wake for every ready task at the end.
+    fn spawn_many_scoped(&self, job: &Arc<JobState>, tasks: Vec<BatchTask>) -> Vec<TaskId> {
+        let shared = &*self.shared;
+        let n = tasks.len();
+        shared.outstanding.inc(n as u64);
+        let first = shared.next_id.fetch_add(n as u32, Ordering::Relaxed);
+        let mut slots: Vec<(u32, u64)> = Vec::with_capacity(n);
+        shared.slab.alloc_many(n, &mut slots);
+        let refs: Vec<TaskRef> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, &(slot, gen))| TaskRef {
+                tid: TaskId(first + i as u32),
+                slot,
+                gen,
+            })
+            .collect();
+        let mut deadlines = Vec::with_capacity(n);
+        for (t, &me) in tasks.iter().zip(&refs) {
+            deadlines.push(self.fill_slot(job, &t.meta, false, me));
+        }
+        // One ascending-order sweep over the union of the batch's
+        // shards; later batch entries observe earlier ones as ordinary
+        // predecessors (the scoreboard is applied in batch order under
+        // the one critical section).
+        let mut preds_out: Vec<Vec<TaskRef>> = Vec::with_capacity(n);
+        if tasks.iter().any(|t| !t.meta.accesses.is_empty()) {
+            let entries: Vec<(TaskRef, &[Access])> = refs
+                .iter()
+                .zip(&tasks)
+                .map(|(&me, t)| (me, t.meta.accesses.as_slice()))
+                .collect();
+            shared
+                .tracker
+                .submit_batch(job.id.key(), &entries, &mut preds_out);
+        } else {
+            preds_out.resize_with(n, Vec::new);
+        }
+        let total_edges: usize = preds_out.iter().map(|p| p.len()).sum();
+        shared.stats.edges.add(total_edges as u64);
+        shared.stats.spawned.add(n as u64);
+        if !job.is_default() {
+            job.spawned.add(n as u64);
+        }
+        // One fence + poison-flag load for the whole batch (every task
+        // shares the job, hence the flag).
+        let poison = {
+            fence(Ordering::SeqCst);
+            job.has_poison.load(Ordering::SeqCst)
+        };
+        let mut ready: Vec<ReadyTask> = Vec::new();
+        let mut ids = Vec::with_capacity(n);
+        for (i, (task, preds)) in tasks.into_iter().zip(preds_out).enumerate() {
+            let me = refs[i];
+            ids.push(me.tid);
+            let body = task.body.expect("checked in spawn_many_blocking");
+            if let Some(t) =
+                self.wire_spawn(job, task.meta, body, false, me, deadlines[i], preds, poison)
+            {
+                ready.push(t);
+            }
+        }
+        self.pool.push_affine_batch(ready);
+        ids
+    }
+
+    /// [`Runtime::admit`] for `n` tasks in one reservation: every
+    /// counter moves once by `n` instead of `n` times by one, and the
+    /// batch is admitted or refused atomically — a partial batch never
+    /// leaks reservations.
+    fn admit_many(&self, job: &Arc<JobState>, n: u64) -> Result<(), AdmissionError> {
+        debug_assert!(n > 0);
+        let shared = &*self.shared;
+        if shared.terminated.load(Ordering::SeqCst)
+            || shared.lifecycle.load(Ordering::SeqCst) == LIFECYCLE_DRAINED
+        {
+            return Err(AdmissionError::Draining);
+        }
+        if job.cancelled.load(Ordering::SeqCst) {
+            return Err(AdmissionError::Cancelled);
+        }
+        if job.qos.sheddable() {
+            let over_watermark = self
+                .config
+                .shed_watermark
+                .is_some_and(|wm| shared.admitted.load(Ordering::SeqCst) >= wm as u64);
+            if over_watermark || shared.shed.as_ref().is_some_and(|ctl| ctl.should_shed()) {
+                shared.stats.tasks_shed.fetch_add(n, Ordering::Relaxed);
+                job.shed.fetch_add(n, Ordering::Relaxed);
+                return Err(AdmissionError::Shed);
+            }
+        }
+        let now = if job.is_default() {
+            0
+        } else if let Some(cap) = job.max_in_flight {
+            match job
+                .reserved
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                    (v + n <= cap as u64).then_some(v + n)
+                }) {
+                Ok(prev) => {
+                    job.in_flight.inc(n);
+                    prev + n
+                }
+                Err(_) => {
+                    RuntimeStats::bump(&shared.stats.admission_rejected);
+                    return Err(AdmissionError::Busy);
+                }
+            }
+        } else {
+            job.in_flight.inc(n);
+            0
+        };
+        if let Some(cap) = self.config.max_in_flight {
+            if shared
+                .admitted
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                    (v + n <= cap as u64).then_some(v + n)
+                })
+                .is_err()
+            {
+                if !job.is_default() {
+                    job.release_in_flight_many(n);
+                }
+                RuntimeStats::bump(&shared.stats.admission_rejected);
+                return Err(AdmissionError::Busy);
+            }
+        } else if shared.track_admitted {
+            shared.admitted.fetch_add(n, Ordering::SeqCst);
+        }
+        // Cancellation re-check after both reservations — same lost-
+        // reservation hazard as the single-task `admit`.
+        if job.cancelled.load(Ordering::SeqCst) {
+            if shared.track_admitted {
+                shared.admitted.fetch_sub(n, Ordering::SeqCst);
+            }
+            if !job.is_default() {
+                job.release_in_flight_many(n);
+            }
+            if shared.admission_waiters.load(Ordering::SeqCst) > 0 {
+                let _g = shared.admission_lock.lock();
+                shared.admission_cv.notify_all();
+            }
+            return Err(AdmissionError::Cancelled);
+        }
+        if now > job.in_flight_hwm.load(Ordering::Relaxed) {
+            job.in_flight_hwm.fetch_max(now, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// Reserve one in-flight slot for a task of `job`, or say why not.
     /// Reservation order: job-level caps first, the global cap last,
     /// with per-job rollback when the global reservation fails — so a
@@ -1394,19 +1620,30 @@ impl Runtime {
         let now = if job.is_default() {
             0
         } else if let Some(cap) = job.max_in_flight {
+            // The cap is inherently one shared number: reserve against
+            // the exact counter, then mirror into the striped gauge
+            // joiners read.
             match job
-                .in_flight
+                .reserved
                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
                     (v < cap as u64).then_some(v + 1)
                 }) {
-                Ok(prev) => prev + 1,
+                Ok(prev) => {
+                    job.in_flight.inc(1);
+                    prev + 1
+                }
                 Err(_) => {
                     RuntimeStats::bump(&shared.stats.admission_rejected);
                     return Err(AdmissionError::Busy);
                 }
             }
         } else {
-            job.in_flight.fetch_add(1, Ordering::SeqCst) + 1
+            // Uncapped: only the local stripe is touched. No exact
+            // "current" value exists cheaply, so the high-water mark is
+            // sampled lazily at `stats()` instead (now = 0 skips the
+            // update below).
+            job.in_flight.inc(1);
+            0
         };
         if let Some(cap) = self.config.max_in_flight {
             if shared
@@ -1483,54 +1720,15 @@ impl Runtime {
         // Count the task as outstanding *before* it becomes visible in the
         // dependency table: a predecessor completing concurrently could
         // otherwise release and finish it before the increment.
-        shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        shared.outstanding.inc(1);
         let tid = TaskId(shared.next_id.fetch_add(1, Ordering::Relaxed));
         let (slot_idx, gen) = shared.slab.alloc();
-        let slot = shared.slab.slot(slot_idx);
         let me = TaskRef {
             tid,
             slot: slot_idx,
             gen,
         };
-        let reads: Vec<Region> = meta
-            .accesses
-            .iter()
-            .filter(|a| a.mode.reads())
-            .map(|a| a.region)
-            .collect();
-        let writes: Vec<Region> = meta
-            .accesses
-            .iter()
-            .filter(|a| a.mode.writes())
-            .map(|a| a.region)
-            .collect();
-        // Only guaranteed jobs' tasks carry an EDF deadline into the
-        // scheduler: a best-effort job past its deadline is *reaped*
-        // (cancelled), not raced for.
-        let deadline_ns = if exempt || job.qos.sheddable() {
-            crate::scheduler::NO_DEADLINE
-        } else {
-            job.deadline_at.map_or(crate::scheduler::NO_DEADLINE, |d| {
-                d.saturating_duration_since(shared.epoch).as_nanos() as u64
-            })
-        };
-        // Fill the slot before anything else can see the task. The
-        // declared reads must land here *before* the poison check below —
-        // that ordering (fill, fence, flag load) pairs with the poisoner
-        // side so that a racing `poison_writes` can never miss this task.
-        {
-            let mut st = slot.state.lock();
-            st.tid = tid;
-            st.cost = meta.cost;
-            st.priority = meta.priority;
-            st.idempotent = meta.idempotent;
-            st.exempt = exempt;
-            st.job = (!exempt).then(|| Arc::clone(job));
-            st.deadline_ns = deadline_ns;
-            st.label.push_str(&meta.label);
-            st.reads.extend_from_slice(&reads);
-            st.writes.extend_from_slice(&writes);
-        }
+        let deadline_ns = self.fill_slot(job, &meta, exempt, me);
         // Dependency discovery: only the shards covering the declared
         // regions are locked; access-free tasks skip the tracker whole.
         // The job id namespaces the region table, so concurrent jobs
@@ -1541,6 +1739,92 @@ impl Runtime {
                 .tracker
                 .submit(job.id.key(), me, &meta.accesses, &mut preds);
         }
+        // Spawn counters must be published before the task can possibly
+        // complete (i.e. before `wire_spawn` drops the submission guard):
+        // a completion outrunning `spawned` would let `reap` observe
+        // `spawned <= completed` with zero in-flight and settle the job
+        // early.
+        shared.stats.edges.add(preds.len() as u64);
+        shared.stats.spawned.add(1);
+        if !exempt && !job.is_default() {
+            job.spawned.add(1);
+        }
+        let poison = !exempt && {
+            fence(Ordering::SeqCst);
+            job.has_poison.load(Ordering::SeqCst)
+        };
+        if let Some(t) = self.wire_spawn(job, meta, body, exempt, me, deadline_ns, preds, poison) {
+            // Affine push: a task body spawning on a worker thread keeps
+            // its ready children on that worker's own deque.
+            self.pool.push_affine(t);
+        }
+        tid
+    }
+
+    /// Publish a freshly allocated slot's metadata before the task
+    /// becomes visible in the dependency table; returns the task's
+    /// scheduler deadline. The declared reads must land here *before*
+    /// the spawn path's poison-flag load — that ordering (fill, fence,
+    /// flag load) pairs with the poisoner side so that a racing
+    /// `poison_writes` can never miss the task.
+    fn fill_slot(&self, job: &Arc<JobState>, meta: &TaskMeta, exempt: bool, me: TaskRef) -> u64 {
+        let shared = &*self.shared;
+        let slot = shared.slab.slot(me.slot);
+        // Only guaranteed jobs' tasks carry an EDF deadline into the
+        // scheduler: a best-effort job past its deadline is *reaped*
+        // (cancelled), not raced for.
+        let deadline_ns = if exempt || job.qos.sheddable() {
+            crate::scheduler::NO_DEADLINE
+        } else {
+            job.deadline_at.map_or(crate::scheduler::NO_DEADLINE, |d| {
+                d.saturating_duration_since(shared.epoch).as_nanos() as u64
+            })
+        };
+        let mut st = slot.state.lock();
+        st.tid = me.tid;
+        st.cost = meta.cost;
+        st.priority = meta.priority;
+        st.idempotent = meta.idempotent;
+        st.exempt = exempt;
+        st.job = (!exempt).then(|| Arc::clone(job));
+        st.deadline_ns = deadline_ns;
+        st.label.push_str(&meta.label);
+        st.reads
+            .extend(meta.accesses.iter().filter(|a| a.mode.reads()).map(|a| a.region));
+        st.writes
+            .extend(meta.accesses.iter().filter(|a| a.mode.writes()).map(|a| a.region));
+        deadline_ns
+    }
+
+    /// The tail of the spawn protocol, shared by the single and batched
+    /// paths: criticality, poison handling, body instrumentation, edge
+    /// wiring and the submission-guard drop. The caller has already made
+    /// the task outstanding, filled its slot, run dependency discovery
+    /// and published the spawn counters; `poison` says whether the job's
+    /// poison flag was observed set (after the caller's fence). Returns
+    /// the task when it is ready to dispatch — no live predecessor
+    /// registered, or every wired predecessor settled before the guard
+    /// dropped — and the caller pushes it (batched callers push the
+    /// whole batch under a single wake).
+    #[allow(clippy::too_many_arguments)]
+    fn wire_spawn(
+        &self,
+        job: &Arc<JobState>,
+        meta: TaskMeta,
+        body: ExecBody,
+        exempt: bool,
+        me: TaskRef,
+        deadline_ns: u64,
+        preds: Vec<TaskRef>,
+        poison: bool,
+    ) -> Option<ReadyTask> {
+        let shared = &*self.shared;
+        let TaskRef {
+            tid,
+            slot: slot_idx,
+            gen,
+        } = me;
+        let slot = shared.slab.slot(slot_idx);
         // Best-effort jobs never claim critical status (or the fast
         // workers that come with it under CriticalityAware).
         let critical = if job.qos.sheddable() {
@@ -1565,26 +1849,27 @@ impl Runtime {
         // fault domain) is doomed at spawn; a clean task that fully
         // overwrites a poisoned range (`out` access: no read of the old
         // contents) cleanses it.
-        if !exempt {
-            fence(Ordering::SeqCst);
-            if job.has_poison.load(Ordering::SeqCst) {
-                let mut poisoned = job.poisoned.lock();
-                let hit = reads.iter().find_map(|r| {
+        if poison {
+            let mut poisoned = job.poisoned.lock();
+            let hit = meta
+                .accesses
+                .iter()
+                .filter(|a| a.mode.reads())
+                .find_map(|a| {
                     poisoned
                         .iter()
-                        .find(|p| p.region.overlaps(r))
+                        .find(|p| p.region.overlaps(&a.region))
                         .map(|p| (p.source, p.source_label.clone()))
                 });
-                match hit {
-                    Some(pb) => {
-                        drop(poisoned);
-                        slot.state.lock().poisoned_by = Some(pb);
-                    }
-                    None => {
-                        for a in &meta.accesses {
-                            if a.mode == AccessMode::Write {
-                                cleanse(&mut poisoned, &a.region);
-                            }
+            match hit {
+                Some(pb) => {
+                    drop(poisoned);
+                    slot.state.lock().poisoned_by = Some(pb);
+                }
+                None => {
+                    for a in &meta.accesses {
+                        if a.mode == AccessMode::Write {
+                            cleanse(&mut poisoned, &a.region);
                         }
                     }
                 }
@@ -1641,14 +1926,6 @@ impl Runtime {
                 slot.pending.fetch_sub(1, Ordering::AcqRel);
             }
         }
-        shared
-            .stats
-            .edges
-            .fetch_add(preds.len() as u64, Ordering::Relaxed);
-        RuntimeStats::bump(&shared.stats.spawned);
-        if !exempt && !job.is_default() {
-            job.spawned.fetch_add(1, Ordering::Relaxed);
-        }
         if critical {
             RuntimeStats::bump(&shared.stats.critical_tasks);
         }
@@ -1667,8 +1944,8 @@ impl Runtime {
         if live_preds == 0 {
             // No live predecessor registered: nobody else can release us,
             // so the body never needs to be parked in the slot.
-            RuntimeStats::bump(&shared.stats.ready_at_spawn);
-            self.pool.push_external(ReadyTask {
+            shared.stats.ready_at_spawn.add(1);
+            return Some(ReadyTask {
                 id: tid,
                 slot: slot_idx,
                 gen,
@@ -1678,33 +1955,32 @@ impl Runtime {
                 seq: 0,
                 body,
             });
-        } else {
-            slot.state.lock().body = Some(body);
-            // Drop the submission guard; if every wired predecessor beat
-            // us to completion, the release falls to us.
-            if slot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let body = slot
-                    .state
-                    .lock()
-                    .body
-                    .take()
-                    .expect("spawn-released task must still hold its body");
-                if let Some(t) = &shared.tracer {
-                    t.emit(TraceEventKind::Ready, tid, slot_idx, gen, 0);
-                }
-                self.pool.push_external(ReadyTask {
-                    id: tid,
-                    slot: slot_idx,
-                    gen,
-                    priority: meta.priority,
-                    critical,
-                    deadline_ns,
-                    seq: 0,
-                    body,
-                });
-            }
         }
-        tid
+        slot.state.lock().body = Some(body);
+        // Drop the submission guard; if every wired predecessor beat
+        // us to completion, the release falls to us.
+        if slot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let body = slot
+                .state
+                .lock()
+                .body
+                .take()
+                .expect("spawn-released task must still hold its body");
+            if let Some(t) = &shared.tracer {
+                t.emit(TraceEventKind::Ready, tid, slot_idx, gen, 0);
+            }
+            return Some(ReadyTask {
+                id: tid,
+                slot: slot_idx,
+                gen,
+                priority: meta.priority,
+                critical,
+                deadline_ns,
+                seq: 0,
+                body,
+            });
+        }
+        None
     }
 
     /// OmpSs `taskwait on(...)`: block until every task spawned so far
@@ -1781,10 +2057,11 @@ impl Runtime {
     pub fn try_taskwait(&self) -> Result<(), FaultReport> {
         {
             let mut g = self.shared.wait.lock();
-            while self.shared.outstanding.load(Ordering::SeqCst) > 0
+            while self.shared.outstanding.read() > 0
                 && !self.shared.terminated.load(Ordering::SeqCst)
             {
-                self.shared.wait_cv.wait(&mut g);
+                // Bounded: completions never notify (striped counter).
+                self.shared.wait_cv.wait_for(&mut g, QUIESCE_POLL);
             }
         }
         self.shared.default_job.take_report()
@@ -1871,6 +2148,25 @@ impl Runtime {
         snap.parks = parks;
         snap.wakes = wakes;
         snap
+    }
+
+    /// Where the scaling bottlenecks are: per-victim steal hit rates,
+    /// the injector's share of ready-task traffic, and the slab's
+    /// remote-free ratio. Unlike [`Runtime::stats`] this allocates (the
+    /// per-victim table), so it is a diagnostics call, not a hot-path
+    /// one.
+    pub fn contention_report(&self) -> ContentionReport {
+        let (per_victim, injector_pushes, injector_overflow, dispatches) =
+            self.pool.contention_data();
+        let (slab_local_frees, slab_remote_frees) = self.shared.slab.free_stats();
+        ContentionReport {
+            per_victim,
+            injector_pushes,
+            injector_overflow,
+            dispatches,
+            slab_local_frees,
+            slab_remote_frees,
+        }
     }
 
     /// Whether event tracing was enabled at construction.
@@ -2002,17 +2298,22 @@ impl Runtime {
     /// force-terminated). Returns false on deadline expiry.
     fn wait_job(&self, job: &JobState, deadline: Option<Instant>) -> bool {
         let mut g = job.wait.lock();
-        while job.in_flight.load(Ordering::SeqCst) > 0
-            && !self.shared.terminated.load(Ordering::SeqCst)
-        {
+        while job.in_flight() > 0 && !self.shared.terminated.load(Ordering::SeqCst) {
+            // Bounded poll: uncapped jobs' completions touch only a
+            // striped line and never notify (capped jobs still notify on
+            // the exact reservation counter's 1→0 edge, which just makes
+            // a wakeup arrive early).
+            let poll = Instant::now() + QUIESCE_POLL;
             match deadline {
                 Some(d) => {
                     if Instant::now() >= d {
                         return false;
                     }
-                    job.wait_cv.wait_until(&mut g, d);
+                    job.wait_cv.wait_until(&mut g, d.min(poll));
                 }
-                None => job.wait_cv.wait(&mut g),
+                None => {
+                    job.wait_cv.wait_until(&mut g, poll);
+                }
             }
         }
         true
@@ -2022,11 +2323,15 @@ impl Runtime {
     fn wait_outstanding_until(&self, deadline: Instant) -> bool {
         let shared = &*self.shared;
         let mut g = shared.wait.lock();
-        while shared.outstanding.load(Ordering::SeqCst) > 0 {
-            if Instant::now() >= deadline {
+        while shared.outstanding.read() > 0 {
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            shared.wait_cv.wait_until(&mut g, deadline);
+            // Bounded: completions never notify (striped counter).
+            shared
+                .wait_cv
+                .wait_until(&mut g, deadline.min(now + QUIESCE_POLL));
         }
         true
     }
@@ -2100,7 +2405,7 @@ impl Runtime {
             timed_out: !quiesced,
             forced,
             cancelled_jobs,
-            outstanding_at_exit: shared.outstanding.load(Ordering::SeqCst),
+            outstanding_at_exit: shared.outstanding.read(),
             elapsed: start.elapsed(),
         }
     }
@@ -2119,10 +2424,11 @@ impl Drop for Runtime {
         // dropped with the queues.
         {
             let mut g = self.shared.wait.lock();
-            while self.shared.outstanding.load(Ordering::SeqCst) > 0
+            while self.shared.outstanding.read() > 0
                 && !self.shared.terminated.load(Ordering::SeqCst)
             {
-                self.shared.wait_cv.wait(&mut g);
+                // Bounded: completions never notify (striped counter).
+                self.shared.wait_cv.wait_for(&mut g, QUIESCE_POLL);
             }
         }
         // Stop and join the deadline reaper (if it ever spawned): the
@@ -2232,6 +2538,88 @@ impl<'rt> TaskBuilder<'rt> {
     pub fn try_spawn(self) -> Result<TaskId, AdmissionError> {
         let body = self.body.expect("task needs a body before try_spawn()");
         self.rt.spawn_job(self.job, self.meta, body, false)
+    }
+}
+
+/// One entry of a [`TaskScope::spawn_many`] batch: the same declaration
+/// surface as [`TaskBuilder`], detached from a runtime so whole
+/// subgraphs can be described up front and submitted in one pass.
+pub struct BatchTask {
+    meta: TaskMeta,
+    body: Option<ExecBody>,
+}
+
+impl BatchTask {
+    /// Begin describing a batch entry.
+    pub fn new(label: impl Into<String>) -> Self {
+        BatchTask {
+            meta: TaskMeta::new(label),
+            body: None,
+        }
+    }
+
+    /// Declare a read (`in`) dependency on a whole datum.
+    pub fn reads<T: ?Sized>(mut self, h: &DataHandle<T>) -> Self {
+        self.meta.accesses.push(Access {
+            region: h.region(),
+            mode: AccessMode::Read,
+        });
+        self
+    }
+
+    /// Declare a write (`out`) dependency on a whole datum.
+    pub fn writes<T: ?Sized>(mut self, h: &DataHandle<T>) -> Self {
+        self.meta.accesses.push(Access {
+            region: h.region(),
+            mode: AccessMode::Write,
+        });
+        self
+    }
+
+    /// Declare an `inout` dependency on a whole datum.
+    pub fn updates<T: ?Sized>(mut self, h: &DataHandle<T>) -> Self {
+        self.meta.accesses.push(Access {
+            region: h.region(),
+            mode: AccessMode::ReadWrite,
+        });
+        self
+    }
+
+    /// Declare a dependency on an explicit region (e.g. a block).
+    pub fn region(mut self, region: Region, mode: AccessMode) -> Self {
+        self.meta.accesses.push(Access { region, mode });
+        self
+    }
+
+    /// Cost hint in abstract work units (used by criticality analysis).
+    pub fn cost(mut self, cost: u64) -> Self {
+        self.meta.cost = cost;
+        self
+    }
+
+    /// Scheduling priority (higher runs earlier among ready tasks).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.meta.priority = priority;
+        self
+    }
+
+    /// Explicit criticality annotation.
+    pub fn criticality(mut self, c: Criticality) -> Self {
+        self.meta.criticality = c;
+        self
+    }
+
+    /// The task body (one-shot; never re-executed).
+    pub fn body(mut self, f: impl FnOnce() + Send + 'static) -> Self {
+        self.body = Some(ExecBody::once(f));
+        self
+    }
+
+    /// An idempotent task body (safe for the retry policy to re-run).
+    pub fn idempotent(mut self, f: impl Fn() + Send + Sync + 'static) -> Self {
+        self.meta.idempotent = true;
+        self.body = Some(ExecBody::retryable(f));
+        self
     }
 }
 
@@ -2368,7 +2756,13 @@ impl<'rt> JobHandle<'rt> {
 
     /// Tasks currently admitted and not yet settled.
     pub fn in_flight(&self) -> u64 {
-        self.job.in_flight.load(Ordering::SeqCst)
+        self.job.in_flight()
+    }
+
+    /// Submit a whole subgraph into this job in one pass; see
+    /// [`Runtime::spawn_many`].
+    pub fn spawn_many(&self, tasks: Vec<BatchTask>) -> Vec<TaskId> {
+        self.rt.spawn_many_blocking(&self.job, tasks)
     }
 }
 
@@ -2378,7 +2772,7 @@ impl Drop for JobHandle<'_> {
         // tasks hold `Arc<JobState>`s, so an active job's entry simply
         // stays until the runtime drops. Index 0 (default job) is never
         // removed.
-        if self.job.id.index != 0 && self.job.in_flight.load(Ordering::SeqCst) == 0 {
+        if self.job.id.index != 0 && self.job.in_flight() == 0 {
             self.rt.shared.jobs.lock().remove(self.job.id);
         }
     }
@@ -2390,6 +2784,8 @@ impl Drop for JobHandle<'_> {
 pub trait TaskScope {
     /// Begin building a task in this scope.
     fn task(&self, label: impl Into<String>) -> TaskBuilder<'_>;
+    /// Submit a whole batch of tasks into this scope in one pass.
+    fn spawn_many(&self, tasks: Vec<BatchTask>) -> Vec<TaskId>;
     /// Block until the chain on `region` in this scope completes.
     fn taskwait_on_region(&self, region: Region);
     /// Wait for this scope's tasks and report failures.
@@ -2414,6 +2810,9 @@ impl TaskScope for Runtime {
     fn task(&self, label: impl Into<String>) -> TaskBuilder<'_> {
         Runtime::task(self, label)
     }
+    fn spawn_many(&self, tasks: Vec<BatchTask>) -> Vec<TaskId> {
+        Runtime::spawn_many(self, tasks)
+    }
     fn taskwait_on_region(&self, region: Region) {
         Runtime::taskwait_on_region(self, region);
     }
@@ -2431,6 +2830,9 @@ impl TaskScope for Runtime {
 impl TaskScope for JobHandle<'_> {
     fn task(&self, label: impl Into<String>) -> TaskBuilder<'_> {
         JobHandle::task(self, label)
+    }
+    fn spawn_many(&self, tasks: Vec<BatchTask>) -> Vec<TaskId> {
+        JobHandle::spawn_many(self, tasks)
     }
     fn taskwait_on_region(&self, region: Region) {
         JobHandle::taskwait_on_region(self, region);
@@ -2454,6 +2856,109 @@ mod tests {
 
     fn rt(workers: usize) -> Runtime {
         Runtime::new(RuntimeConfig::with_workers(workers))
+    }
+
+    #[test]
+    fn spawn_many_runs_all() {
+        let rt = rt(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        let batch: Vec<BatchTask> = (0..256)
+            .map(|i| {
+                let h = Arc::clone(&hits);
+                BatchTask::new(format!("b{i}")).body(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let ids = rt.spawn_many(batch);
+        assert_eq!(ids.len(), 256);
+        // Batch ids are one contiguous claim.
+        for w in ids.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1);
+        }
+        rt.taskwait();
+        assert_eq!(hits.load(Ordering::SeqCst), 256);
+        assert_eq!(rt.stats().spawned, 256);
+    }
+
+    #[test]
+    fn spawn_many_wires_intra_batch_edges() {
+        let rt = rt(3);
+        let data = rt.register("x", 0u64);
+        // writer -> 8 readers -> writer -> 8 readers, all in ONE batch:
+        // every reader must observe the value of the latest preceding
+        // batch-order writer, exactly as sequential spawns would wire it.
+        let cell = Arc::new(AtomicU64::new(0));
+        let bad = Arc::new(AtomicU64::new(0));
+        let mut batch = Vec::new();
+        for round in 1..=4u64 {
+            let c = Arc::clone(&cell);
+            batch.push(BatchTask::new("w").writes(&data).body(move || {
+                c.store(round, Ordering::SeqCst);
+            }));
+            for _ in 0..8 {
+                let c = Arc::clone(&cell);
+                let b = Arc::clone(&bad);
+                batch.push(BatchTask::new("r").reads(&data).body(move || {
+                    if c.load(Ordering::SeqCst) != round {
+                        b.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+        }
+        rt.spawn_many(batch);
+        rt.taskwait();
+        assert_eq!(bad.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn spawn_many_chunks_past_job_cap() {
+        let rt = rt(2);
+        let job = rt.submit(JobSpec::new("capped").max_in_flight(4)).unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        let batch: Vec<BatchTask> = (0..64)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                BatchTask::new("c").body(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // 64 tasks through a cap of 4: the batch must chunk (an
+        // all-or-nothing reservation of 64 could never succeed).
+        let ids = job.spawn_many(batch);
+        assert_eq!(ids.len(), 64);
+        job.join();
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+        assert!(job.job_stats().in_flight_hwm <= 4);
+    }
+
+    #[test]
+    fn spawn_many_into_cancelled_job_discards() {
+        let rt = rt(2);
+        let job = rt.submit(JobSpec::new("dead")).unwrap();
+        assert!(job.cancel());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let ids = job.spawn_many(vec![
+            BatchTask::new("a").body(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+            BatchTask::new("b").body(|| {}),
+        ]);
+        assert_eq!(ids.len(), 2);
+        rt.taskwait();
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert_eq!(job.in_flight(), 0);
+        assert_eq!(rt.stats().tasks_discarded, 2);
+    }
+
+    #[test]
+    fn spawn_many_empty_batch_is_noop() {
+        let rt = rt(1);
+        assert!(rt.spawn_many(Vec::new()).is_empty());
+        rt.taskwait();
+        assert_eq!(rt.stats().spawned, 0);
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! * [`SchedulerPolicy::Fifo`] — one global FIFO (the classic centralised
 //!   queue; the baseline Carbon-style hardware queue would accelerate).
 //! * [`SchedulerPolicy::Lifo`] — one global LIFO stack (depth-first).
-//! * [`SchedulerPolicy::WorkStealing`] — per-worker Chase–Lev deques +
+//! * [`SchedulerPolicy::WorkStealing`] — per-worker steal-half deques +
 //!   a lock-free bounded injector (see [`crate::deque`]), Cilk/Nanos
-//!   style. The default, and the only fully lock-free hot path.
+//!   style. The default, and the only fully lock-free hot path: thieves
+//!   migrate up to half a victim's queue per claim, and worker-local
+//!   spawns take the owner's own deque, so the injector only carries
+//!   external submissions and spill.
 //!   Tasks carrying an explicit priority go to a small overflow heap
 //!   that workers consult only on steal-miss, so the priority machinery
 //!   costs nothing while ordinary work is flowing.
@@ -31,6 +34,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use crate::deque::{DequeStealer, Injector, Steal, WorkerDeque};
+use crate::stats::VictimSteals;
 use crate::task::{ExecBody, TaskId};
 use crate::trace::{TraceEventKind, Tracer, NO_TASK};
 
@@ -53,6 +57,19 @@ pub const EDF_URGENT_WINDOW_NS: u64 = 5_000_000;
 /// Per-worker deque capacity; overflow from a completion burst goes to
 /// the shared injector.
 pub const WORKER_DEQUE_CAP: usize = 1 << 13;
+
+/// Per-victim steal counters are kept in a fixed-size table (indexed
+/// `victim % MAX_TRACKED_VICTIMS`) so `ReadyQueues` needs no worker
+/// count at construction; pools larger than this alias counters, which
+/// only blurs the attribution, never the totals.
+pub const MAX_TRACKED_VICTIMS: usize = 64;
+
+/// Atomic cell of the per-victim steal table.
+#[derive(Default)]
+struct VictimCell {
+    ok: AtomicU64,
+    empty: AtomicU64,
+}
 
 /// Scheduling policy selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -178,6 +195,10 @@ pub struct ReadyQueues {
     /// Full steal sweeps that found nothing (only counted when there is
     /// more than one worker to sweep).
     steals_empty: AtomicU64,
+    /// Per-victim steal outcomes: `ok` counts claims satisfied from that
+    /// victim's deque, `empty` counts probes that found it bare. Feeds
+    /// the contention report's hit-rate table.
+    victim_steals: Box<[VictimCell]>,
     tracer: Option<Arc<Tracer>>,
 }
 
@@ -207,6 +228,7 @@ impl ReadyQueues {
             seq: AtomicU64::new(0),
             steals_ok: AtomicU64::new(0),
             steals_empty: AtomicU64::new(0),
+            victim_steals: (0..MAX_TRACKED_VICTIMS).map(|_| VictimCell::default()).collect(),
             tracer,
         }
     }
@@ -217,6 +239,29 @@ impl ReadyQueues {
         (
             self.steals_ok.load(Ordering::Relaxed),
             self.steals_empty.load(Ordering::Relaxed),
+            self.injector.overflow_events() + self.critical.overflow_events(),
+        )
+    }
+
+    /// Per-victim steal hit/miss table for the first `n` workers (counts
+    /// alias above [`MAX_TRACKED_VICTIMS`]).
+    pub fn per_victim_steals(&self, n: usize) -> Vec<VictimSteals> {
+        self.victim_steals
+            .iter()
+            .take(n.min(MAX_TRACKED_VICTIMS))
+            .map(|c| VictimSteals {
+                ok: c.ok.load(Ordering::Relaxed),
+                empty: c.empty.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// `(pushes, overflow_events)` across the shared injectors — the
+    /// contention report's "how much traffic missed the local path"
+    /// signal.
+    pub fn injector_traffic(&self) -> (u64, u64) {
+        (
+            self.injector.push_events() + self.critical.push_events(),
             self.injector.overflow_events() + self.critical.overflow_events(),
         )
     }
@@ -382,25 +427,47 @@ impl ReadyQueues {
                     return Some(t);
                 }
                 // Steal from siblings, starting after ourselves to spread
-                // contention.
+                // contention. Each probe claims up to half the victim's
+                // queue in one CAS: the first task is returned, the rest
+                // land on our own deque (spilling to the injector only if
+                // we are somehow full). `Retry` means another thief holds
+                // the victim's claim window — moving on to the next
+                // victim beats spinning on a contended head word.
                 let n = stealers.len();
                 for off in 1..n.max(1) {
                     let victim = (who + off) % n;
-                    loop {
-                        match stealers[victim].steal() {
-                            Steal::Success(t) => {
-                                self.steals_ok.fetch_add(1, Ordering::Relaxed);
-                                self.trace(
-                                    TraceEventKind::StealOk,
-                                    t.id,
-                                    t.slot,
-                                    t.gen,
-                                    victim as u64,
-                                );
-                                return Some(t);
+                    let cell = &self.victim_steals[victim % MAX_TRACKED_VICTIMS];
+                    let mut extras = 0u64;
+                    let got = {
+                        let mut sink = |t: ReadyTask| {
+                            extras += 1;
+                            match local {
+                                Some(d) => {
+                                    if let Err(t) = d.push(t) {
+                                        self.injector.push(t);
+                                    }
+                                }
+                                None => self.injector.push(t),
                             }
-                            Steal::Retry => continue,
-                            Steal::Empty => break,
+                        };
+                        stealers[victim].steal_half_with(&mut sink)
+                    };
+                    match got {
+                        Steal::Success(t) => {
+                            self.steals_ok.fetch_add(1 + extras, Ordering::Relaxed);
+                            cell.ok.fetch_add(1 + extras, Ordering::Relaxed);
+                            self.trace(
+                                TraceEventKind::StealOk,
+                                t.id,
+                                t.slot,
+                                t.gen,
+                                victim as u64,
+                            );
+                            return Some(t);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => {
+                            cell.empty.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }

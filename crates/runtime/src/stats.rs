@@ -1,23 +1,188 @@
 //! Lightweight runtime counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Buckets of the retry histogram: index = failed attempts a task needed
 /// before settling (0 = clean first run), last bucket clamps the tail.
 pub const RETRY_HIST_BUCKETS: usize = 8;
 
+// ------------------------------------------------------ striped counters
+
+/// Pads its contents to two cache lines (the spatial-prefetcher pair on
+/// x86), so neighbouring stripes never false-share.
+#[repr(align(128))]
+#[derive(Default, Debug)]
+pub struct CachePadded<T>(pub T);
+
+/// Stripes per striped counter. Thread ids fold onto the stripes, so two
+/// workers only share a line through a modulo collision.
+pub const COUNTER_STRIPES: usize = 16;
+
+static NEXT_STRIPE: AtomicU32 = AtomicU32::new(0);
+thread_local! {
+    static STRIPE: std::cell::Cell<u32> = const { std::cell::Cell::new(u32::MAX) };
+}
+
+/// This thread's stripe index (assigned round-robin on first use).
+#[inline]
+fn stripe_id() -> usize {
+    STRIPE.with(|c| {
+        let v = c.get();
+        if v != u32::MAX {
+            return v as usize;
+        }
+        let id = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES as u32;
+        c.set(id);
+        id as usize
+    })
+}
+
+/// A monotonic counter split into per-thread cache-line-padded stripes:
+/// `add` touches only the calling thread's line; `sum` (the cold read
+/// path) walks all of them.
+#[derive(Default, Debug)]
+pub struct Striped64 {
+    stripes: [CachePadded<AtomicU64>; COUNTER_STRIPES],
+}
+
+impl Striped64 {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A striped up/down gauge built from two monotonic halves, for counts
+/// that must support a *reliable* is-it-zero check (quiescence). A
+/// single striped signed counter cannot: a reader can catch a task's
+/// decrement on one stripe but miss its earlier increment on another and
+/// report a spurious zero.
+///
+/// Here both halves only grow, every `dec` is preceded (in
+/// happens-before order) by its `inc`, and `read` loads the *decrements
+/// first*: any dec it observes has an inc that is SeqCst-ordered before
+/// it, hence before the later inc pass — so `read` can under-observe
+/// decs (transiently reporting high) but never under-observe a matched
+/// inc (never reporting a false zero). Tasks inc'd concurrently with the
+/// read may be missed entirely, which is the pre-existing `taskwait`
+/// contract for spawns racing the wait.
+#[derive(Default, Debug)]
+pub struct StripedGauge {
+    incs: [CachePadded<AtomicU64>; COUNTER_STRIPES],
+    decs: [CachePadded<AtomicU64>; COUNTER_STRIPES],
+}
+
+impl StripedGauge {
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        self.incs[stripe_id()].0.fetch_add(n, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub fn dec(&self, n: u64) {
+        self.decs[stripe_id()].0.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Current count. Never spuriously zero (see the type docs); may
+    /// transiently read high.
+    pub fn read(&self) -> u64 {
+        let mut decs = 0u64;
+        for d in &self.decs {
+            decs += d.0.load(Ordering::SeqCst);
+        }
+        let mut incs = 0u64;
+        for i in &self.incs {
+            incs += i.0.load(Ordering::SeqCst);
+        }
+        incs.saturating_sub(decs)
+    }
+}
+
+// -------------------------------------------------- contention report
+
+/// Per-victim steal traffic: how often thieves found work on (or came
+/// away empty from) one worker's deque.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VictimSteals {
+    pub ok: u64,
+    pub empty: u64,
+}
+
+impl VictimSteals {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.ok + self.empty;
+        if total == 0 {
+            0.0
+        } else {
+            self.ok as f64 / total as f64
+        }
+    }
+}
+
+/// Where the scheduler's cross-worker traffic actually went — the
+/// attribution summary behind `trace_report --contention`.
+#[derive(Clone, Debug, Default)]
+pub struct ContentionReport {
+    /// Indexed by victim worker.
+    pub per_victim: Vec<VictimSteals>,
+    /// Ready tasks routed through the shared injector (vs. worker-local
+    /// deques).
+    pub injector_pushes: u64,
+    /// Injector pushes that missed the lock-free ring and took the
+    /// overflow lock.
+    pub injector_overflow: u64,
+    /// Total ready-task dispatches (spawn-ready + releases).
+    pub dispatches: u64,
+    /// Slab slots recycled into the freeing thread's own context.
+    pub slab_local_frees: u64,
+    /// Slab slots pushed onto a remote owner's sideband.
+    pub slab_remote_frees: u64,
+}
+
+impl ContentionReport {
+    /// Share of ready-task dispatches that crossed through the shared
+    /// injector.
+    pub fn injector_share(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.injector_pushes as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Share of slab frees that had to cross to another owner's sideband.
+    pub fn remote_free_ratio(&self) -> f64 {
+        let total = self.slab_local_frees + self.slab_remote_frees;
+        if total == 0 {
+            0.0
+        } else {
+            self.slab_remote_frees as f64 / total as f64
+        }
+    }
+}
+
 /// Monotonic counters maintained by the runtime. All relaxed: they are
 /// diagnostics, not synchronisation.
 #[derive(Default, Debug)]
 pub struct RuntimeStats {
-    /// Tasks submitted.
-    pub spawned: AtomicU64,
-    /// Tasks completed.
-    pub completed: AtomicU64,
-    /// Dependency edges discovered.
-    pub edges: AtomicU64,
+    /// Tasks submitted. Striped: bumped on every spawn, often from many
+    /// workers at once.
+    pub spawned: Striped64,
+    /// Tasks completed. Striped: the completion path must only touch a
+    /// local line.
+    pub completed: Striped64,
+    /// Dependency edges discovered. Striped: bumped per spawn.
+    pub edges: Striped64,
     /// Tasks that were ready at submission (no pending predecessors).
-    pub ready_at_spawn: AtomicU64,
+    /// Striped: bumped per spawn.
+    pub ready_at_spawn: Striped64,
     /// Tasks flagged critical at submission.
     pub critical_tasks: AtomicU64,
     /// Task attempts that panicked (injected or real; counts every
@@ -61,10 +226,10 @@ impl RuntimeStats {
             *out = c.load(Ordering::Relaxed);
         }
         StatsSnapshot {
-            spawned: self.spawned.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            edges: self.edges.load(Ordering::Relaxed),
-            ready_at_spawn: self.ready_at_spawn.load(Ordering::Relaxed),
+            spawned: self.spawned.sum(),
+            completed: self.completed.sum(),
+            edges: self.edges.sum(),
+            ready_at_spawn: self.ready_at_spawn.sum(),
             critical_tasks: self.critical_tasks.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
@@ -176,13 +341,68 @@ mod tests {
     #[test]
     fn snapshot_reflects_bumps() {
         let s = RuntimeStats::default();
-        RuntimeStats::bump(&s.spawned);
-        RuntimeStats::bump(&s.spawned);
-        RuntimeStats::bump(&s.edges);
+        s.spawned.add(1);
+        s.spawned.add(1);
+        s.edges.add(1);
         let snap = s.snapshot();
         assert_eq!(snap.spawned, 2);
         assert_eq!(snap.edges, 1);
         assert!((snap.edges_per_task() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn striped_counter_sums_across_threads() {
+        let c = std::sync::Arc::new(Striped64::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.add(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sum(), 4000);
+    }
+
+    #[test]
+    fn striped_gauge_never_reads_false_zero() {
+        // Hammer inc-then-dec pairs from several threads while a reader
+        // polls; the gauge may read high but the final read must be 0
+        // and every dec'd pair must have had its inc observed.
+        let g = std::sync::Arc::new(StripedGauge::default());
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5000 {
+                    g.inc(1);
+                    g.dec(1);
+                }
+            }));
+        }
+        let reader = {
+            let g = g.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    // read() returning u64 can never be "negative"; the
+                    // invariant under test is that saturating_sub never
+                    // actually saturates (decs never outrun their incs).
+                    let _ = g.read();
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(g.read(), 0);
     }
 
     #[test]

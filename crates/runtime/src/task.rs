@@ -142,18 +142,33 @@ impl fmt::Debug for ExecBody {
 // ------------------------------------------------------------ task slab
 //
 // In-flight task bookkeeping lives in a paged slab instead of a global
-// `Mutex<HashMap>`: spawn allocates a slot (usually a lock-free pop off a
-// sharded free list), completion frees it for reuse, and all cross-task
-// traffic goes through per-slot state — two concurrent spawns or
-// completions on unrelated tasks never touch the same lock. Reused slots
-// keep their `Vec`/`String` capacities, killing per-spawn heap churn.
+// `Mutex<HashMap>`: spawn allocates a slot, completion frees it for
+// reuse, and all cross-task traffic goes through per-slot state — two
+// concurrent spawns or completions on unrelated tasks never touch the
+// same lock. Reused slots keep their `Vec`/`String` capacities, killing
+// per-spawn heap churn.
+//
+// Slot recycling is *owner-local*: every thread that allocates claims
+// whole pages into a per-thread owner context whose free list only that
+// thread touches (a plain mutex, uncontended by construction — two
+// threads can only meet on it through a modulo collision of their
+// context ids). A thread freeing a slot it does not own pushes it onto
+// the owner's MPSC remote-free sideband (a Treiber stack linked through
+// the slots themselves); the owner drains the sideband in bulk when its
+// local list runs dry. Allocation therefore never takes a contended
+// lock and never touches another thread's cache lines in steady state.
 
 /// Slots per page (a page is allocated lazily, never freed until drop).
 const PAGE_SIZE: usize = 1 << 12;
 /// First-level page table size: `MAX_PAGES * PAGE_SIZE` concurrently
 /// *live* tasks (slots are reused, so total task count is unbounded).
 const MAX_PAGES: usize = 1 << 12;
-const FREE_SHARDS: usize = 8;
+/// Owner contexts: thread ids map onto these modulo the table size, so
+/// a collision degrades to sharing (the mutex makes that safe), never
+/// to corruption.
+const OWNER_CTXS: usize = 64;
+/// Empty remote-free sideband.
+const NIL: u32 = u32::MAX;
 
 /// A stable reference to a task occupying slab slot `slot` at generation
 /// `gen`. The generation disambiguates reuse: if `slot`'s generation no
@@ -245,6 +260,9 @@ pub struct TaskSlot {
     pub pending: AtomicU32,
     /// Estimated bottom level (criticality).
     pub bl: AtomicU64,
+    /// Intrusive link of the owner's remote-free Treiber stack; only
+    /// meaningful while the slot sits on a sideband.
+    free_next: AtomicU32,
     pub state: Mutex<SlotState>,
 }
 
@@ -254,6 +272,7 @@ impl TaskSlot {
             gen: AtomicU64::new(0),
             pending: AtomicU32::new(0),
             bl: AtomicU64::new(0),
+            free_next: AtomicU32::new(NIL),
             state: Mutex::new(SlotState::default()),
         }
     }
@@ -263,10 +282,42 @@ struct SlabPage {
     slots: Vec<TaskSlot>,
 }
 
-/// Paged, generation-counted task slab with sharded free lists.
+/// One thread's slot-recycling context, padded to its own cache lines.
+#[repr(align(128))]
+struct OwnerCtx {
+    /// Local free list. Only the owning thread (or a modulo-collided
+    /// sibling) ever locks it, so the mutex is uncontended in steady
+    /// state.
+    free: Mutex<Vec<u32>>,
+    /// Head of the remote-free sideband: slots freed by *other* threads,
+    /// linked through [`TaskSlot::free_next`], drained in bulk by the
+    /// owner.
+    remote: AtomicU32,
+    /// Frees this thread performed into its own list (monotonic).
+    local_frees: AtomicU64,
+    /// Frees this thread pushed onto some *other* owner's sideband.
+    remote_frees: AtomicU64,
+}
+
+impl OwnerCtx {
+    fn new() -> Self {
+        OwnerCtx {
+            free: Mutex::new(Vec::new()),
+            remote: AtomicU32::new(NIL),
+            local_frees: AtomicU64::new(0),
+            remote_frees: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Paged, generation-counted task slab with per-owner page claims.
 pub struct TaskSlab {
     pages: Box<[AtomicPtr<SlabPage>]>,
-    free: [Mutex<Vec<u32>>; FREE_SHARDS],
+    /// Owner context id of each claimed page (frees route on this).
+    page_owner: Box<[AtomicU32]>,
+    ctxs: Box<[OwnerCtx]>,
+    /// Next unclaimed page.
+    next_page: AtomicU32,
     /// Slots handed out at least once (scan bound for [`TaskSlab::for_each_live`]).
     high_water: AtomicU32,
 }
@@ -277,15 +328,36 @@ impl Default for TaskSlab {
     }
 }
 
+static NEXT_THREAD_CTX: AtomicU32 = AtomicU32::new(0);
+thread_local! {
+    static THREAD_CTX: std::cell::Cell<u32> = const { std::cell::Cell::new(NIL) };
+}
+
 impl TaskSlab {
     pub fn new() -> Self {
         TaskSlab {
             pages: (0..MAX_PAGES)
                 .map(|_| AtomicPtr::new(std::ptr::null_mut()))
                 .collect(),
-            free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            page_owner: (0..MAX_PAGES).map(|_| AtomicU32::new(0)).collect(),
+            ctxs: (0..OWNER_CTXS).map(|_| OwnerCtx::new()).collect(),
+            next_page: AtomicU32::new(0),
             high_water: AtomicU32::new(0),
         }
+    }
+
+    /// This thread's owner-context index (assigned on first use,
+    /// process-wide, folded onto the context table).
+    fn ctx_id() -> usize {
+        THREAD_CTX.with(|c| {
+            let v = c.get();
+            if v != NIL {
+                return v as usize;
+            }
+            let id = NEXT_THREAD_CTX.fetch_add(1, Ordering::Relaxed) % OWNER_CTXS as u32;
+            c.set(id);
+            id as usize
+        })
     }
 
     fn page(&self, p: usize) -> &SlabPage {
@@ -320,30 +392,82 @@ impl TaskSlab {
         &page.slots[idx as usize % PAGE_SIZE]
     }
 
-    fn shard_hint() -> usize {
-        crate::pool::current_worker().unwrap_or(FREE_SHARDS - 1) % FREE_SHARDS
+    /// Mark a reclaimed slot live: reset the submission guard and bump
+    /// the generation to odd.
+    fn make_live(&self, idx: u32) -> (u32, u64) {
+        let slot = self.slot(idx);
+        slot.pending.store(1, Ordering::Relaxed);
+        let gen = slot.gen.fetch_add(1, Ordering::AcqRel) + 1;
+        debug_assert!(gen % 2 == 1, "alloc must take a free slot");
+        (idx, gen)
+    }
+
+    /// Move everything on `ctx`'s remote-free sideband into `list`.
+    /// Returns how many slots arrived. One `swap` detaches the whole
+    /// stack, so concurrent remote frees never block the drain.
+    fn drain_remote(&self, ctx: &OwnerCtx, list: &mut Vec<u32>) -> usize {
+        let mut head = ctx.remote.swap(NIL, Ordering::Acquire);
+        let mut n = 0;
+        while head != NIL {
+            let next = self.slot(head).free_next.load(Ordering::Relaxed);
+            list.push(head);
+            head = next;
+            n += 1;
+        }
+        n
+    }
+
+    /// Claim one whole fresh page for owner context `me`, pushing every
+    /// slot of it (highest first, so pops come out ascending) onto
+    /// `list`.
+    fn claim_page(&self, me: usize, list: &mut Vec<u32>) {
+        let p = self.next_page.fetch_add(1, Ordering::Relaxed) as usize;
+        assert!(p < MAX_PAGES, "task slab exhausted");
+        self.page(p);
+        self.page_owner[p].store(me as u32, Ordering::Release);
+        let base = (p * PAGE_SIZE) as u32;
+        self.high_water
+            .fetch_max(base + PAGE_SIZE as u32, Ordering::AcqRel);
+        list.extend((base..base + PAGE_SIZE as u32).rev());
     }
 
     /// Allocate a live slot: `(index, live generation)`. The slot's state
     /// is cleared; `pending` starts at 1 (the submission guard).
     pub fn alloc(&self) -> (u32, u64) {
-        let start = Self::shard_hint();
-        for i in 0..FREE_SHARDS {
-            let mut list = self.free[(start + i) % FREE_SHARDS].lock();
+        let me = Self::ctx_id();
+        let ctx = &self.ctxs[me];
+        let mut list = ctx.free.lock();
+        loop {
             if let Some(idx) = list.pop() {
                 drop(list);
-                let slot = self.slot(idx);
-                slot.pending.store(1, Ordering::Relaxed);
-                let gen = slot.gen.fetch_add(1, Ordering::AcqRel) + 1;
-                debug_assert!(gen % 2 == 1, "alloc must take a free slot");
-                return (idx, gen);
+                return self.make_live(idx);
+            }
+            if self.drain_remote(ctx, &mut list) == 0 {
+                self.claim_page(me, &mut list);
             }
         }
-        let idx = self.high_water.fetch_add(1, Ordering::Relaxed);
-        let slot = self.page(idx as usize / PAGE_SIZE).slot_at(idx);
-        slot.pending.store(1, Ordering::Relaxed);
-        let gen = slot.gen.fetch_add(1, Ordering::AcqRel) + 1;
-        (idx, gen)
+    }
+
+    /// Allocate `n` live slots in one pass over the owner context: one
+    /// lock of the local free list, at most one sideband drain, and at
+    /// most `ceil` page claims — the slab half of the batched-spawn
+    /// protocol.
+    pub fn alloc_many(&self, n: usize, out: &mut Vec<(u32, u64)>) {
+        let me = Self::ctx_id();
+        let ctx = &self.ctxs[me];
+        let start = out.len();
+        let mut list = ctx.free.lock();
+        while out.len() - start < n {
+            if let Some(idx) = list.pop() {
+                out.push((idx, 0));
+            } else if self.drain_remote(ctx, &mut list) == 0 {
+                self.claim_page(me, &mut list);
+            }
+        }
+        drop(list);
+        for e in &mut out[start..] {
+            *e = self.make_live(e.0);
+        }
     }
 
     /// Free a completed task's slot for reuse. The caller must be the
@@ -355,13 +479,53 @@ impl TaskSlab {
     /// in which case `completed` is still set and tells them the same
     /// thing. Clearing first would open a window where the old
     /// generation still matches a blank state.
+    ///
+    /// The slot returns to the free list of the owner of its *page*: a
+    /// free on the owning thread is a push onto a list nobody else
+    /// touches; a free anywhere else is one CAS onto the owner's
+    /// sideband.
     pub fn free(&self, idx: u32) {
         let slot = self.slot(idx);
         let gen = slot.gen.fetch_add(1, Ordering::AcqRel) + 1;
         debug_assert!(gen.is_multiple_of(2), "free must release a live slot");
         slot.state.lock().clear();
         slot.bl.store(0, Ordering::Relaxed);
-        self.free[Self::shard_hint()].lock().push(idx);
+        let owner = self.page_owner[idx as usize / PAGE_SIZE].load(Ordering::Acquire) as usize;
+        let me = Self::ctx_id();
+        if owner == me {
+            let ctx = &self.ctxs[me];
+            ctx.free.lock().push(idx);
+            ctx.local_frees.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let owner_ctx = &self.ctxs[owner];
+            let mut head = owner_ctx.remote.load(Ordering::Relaxed);
+            loop {
+                slot.free_next.store(head, Ordering::Relaxed);
+                match owner_ctx.remote.compare_exchange_weak(
+                    head,
+                    idx,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(h) => head = h,
+                }
+            }
+            self.ctxs[me].remote_frees.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(local_frees, remote_frees)` across every owner context — the
+    /// slab's share of cross-thread recycling traffic for the contention
+    /// report.
+    pub fn free_stats(&self) -> (u64, u64) {
+        let mut local = 0;
+        let mut remote = 0;
+        for ctx in self.ctxs.iter() {
+            local += ctx.local_frees.load(Ordering::Relaxed);
+            remote += ctx.remote_frees.load(Ordering::Relaxed);
+        }
+        (local, remote)
     }
 
     /// Visit every currently-live slot (rare path: poison marking).
@@ -381,12 +545,6 @@ impl TaskSlab {
                 f(idx, slot);
             }
         }
-    }
-}
-
-impl SlabPage {
-    fn slot_at(&self, idx: u32) -> &TaskSlot {
-        &self.slots[idx as usize % PAGE_SIZE]
     }
 }
 
@@ -462,6 +620,54 @@ mod tests {
         slab.for_each_live(|idx, _| live.push(idx));
         live.sort_unstable();
         assert_eq!(live, vec![a, c]);
+    }
+
+    #[test]
+    fn slab_alloc_many_hands_out_unique_live_slots() {
+        let slab = TaskSlab::new();
+        let mut out = Vec::new();
+        slab.alloc_many(100, &mut out);
+        assert_eq!(out.len(), 100);
+        let mut idxs: Vec<u32> = out.iter().map(|e| e.0).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        assert_eq!(idxs.len(), 100, "no duplicate slots");
+        for &(idx, gen) in &out {
+            assert!(gen % 2 == 1, "live generations are odd");
+            assert_eq!(slab.slot(idx).pending.load(Ordering::Relaxed), 1);
+        }
+        // Frees recycle into the same owner context.
+        for &(idx, _) in &out {
+            slab.free(idx);
+        }
+        let mut again = Vec::new();
+        slab.alloc_many(100, &mut again);
+        let mut reused: Vec<u32> = again.iter().map(|e| e.0).collect();
+        reused.sort_unstable();
+        assert_eq!(idxs, reused, "batch alloc reuses the freed slots");
+    }
+
+    #[test]
+    fn slab_remote_free_drains_back_to_page_owner() {
+        let slab = std::sync::Arc::new(TaskSlab::new());
+        // Exhaust the local free list so the next alloc must drain the
+        // sideband (or claim a fresh page).
+        let mut out = Vec::new();
+        slab.alloc_many(PAGE_SIZE, &mut out);
+        let victim = out[7].0;
+        let s2 = std::sync::Arc::clone(&slab);
+        std::thread::spawn(move || s2.free(victim)).join().unwrap();
+        let (local, remote) = slab.free_stats();
+        assert_eq!(local + remote, 1, "exactly one free recorded");
+        let before = slab.high_water.load(Ordering::Relaxed);
+        let (idx, gen) = slab.alloc();
+        assert_eq!(idx, victim, "owner drains the sideband before claiming a page");
+        assert!(gen % 2 == 1);
+        assert_eq!(
+            slab.high_water.load(Ordering::Relaxed),
+            before,
+            "no fresh page was claimed"
+        );
     }
 
     #[test]

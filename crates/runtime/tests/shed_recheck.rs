@@ -1,0 +1,86 @@
+//! Regression test: a blocking spawn that parked on a full in-flight
+//! cap must re-evaluate the shed watermark when it retries, not consume
+//! the freed capacity with a stale (pre-park) admission decision.
+//!
+//! Construction: a best-effort job's cap is full when the sheddable
+//! spawn first tries (refused `Busy` — the load is still *below* the
+//! watermark, so it parks rather than sheds). While it is parked, other
+//! jobs push the runtime past the watermark; then the cap frees. A
+//! spawner that re-runs full admission on wake sheds the task; one that
+//! resumed its stale decision would admit and run it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use raa_runtime::{JobSpec, QosClass, Runtime, RuntimeConfig};
+
+#[test]
+fn woken_blocking_spawn_rechecks_shed_watermark() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2).shed_watermark(2));
+    let gate_hold = Arc::new(AtomicBool::new(false));
+    let gate_s1 = Arc::new(AtomicBool::new(false));
+    let ran = Arc::new(AtomicBool::new(false));
+
+    // s1 occupies the best-effort job's whole cap, gated. Load is 1,
+    // below the watermark of 2 — admitted normally.
+    let be = rt
+        .submit(JobSpec::new("be").qos(QosClass::BestEffort).max_in_flight(1))
+        .unwrap();
+    let g = Arc::clone(&gate_s1);
+    be.task("s1")
+        .body(move || while !g.load(Ordering::SeqCst) {})
+        .spawn();
+
+    let guaranteed = rt.submit(JobSpec::new("bg")).unwrap();
+
+    std::thread::scope(|s| {
+        // The contested spawn: parks on `Busy` (job cap full, load still
+        // under the watermark so no shed yet).
+        let spawner = s.spawn(|| {
+            let r = Arc::clone(&ran);
+            be.task("s2")
+                .body(move || {
+                    r.store(true, Ordering::SeqCst);
+                })
+                .spawn();
+        });
+
+        // Let the spawner reach its capacity wait, then raise the load
+        // past the watermark with guaranteed (unsheddable) holds.
+        std::thread::sleep(Duration::from_millis(50));
+        for _ in 0..2 {
+            let g = Arc::clone(&gate_hold);
+            guaranteed
+                .task("hold")
+                .body(move || while !g.load(Ordering::SeqCst) {})
+                .spawn();
+        }
+
+        // Free the job cap: s1 completes. The woken spawner must now
+        // re-run admission and shed s2 (load 2 >= watermark 2), not
+        // admit it into the freed slot.
+        gate_s1.store(true, Ordering::SeqCst);
+        spawner.join().unwrap();
+
+        // Give a hypothetically mis-admitted s2 time to execute before
+        // the asserts.
+        std::thread::sleep(Duration::from_millis(30));
+        gate_hold.store(true, Ordering::SeqCst);
+    });
+    rt.taskwait();
+
+    assert!(
+        !ran.load(Ordering::SeqCst),
+        "sheddable task ran although the runtime was past the shed watermark \
+         when its blocking spawn was re-admitted"
+    );
+    assert_eq!(
+        be.job_stats().spawned,
+        1,
+        "only s1 may ever be admitted into the best-effort job"
+    );
+    assert!(rt.stats().tasks_shed >= 1, "s2 must be recorded as shed");
+    guaranteed.join();
+    be.join();
+}

@@ -15,12 +15,19 @@
 # open-loop serving bench (latency percentiles in ms, goodput in
 # requests/sec, shed/miss rates as fractions).
 #
-# --check re-measures empty@8 with a reduced task count and fails if it
-# dropped more than the tolerance below the committed reference series —
-# the CI throughput regression guard. Tune with:
+# --check re-measures empty@1 and empty@8 with a reduced task count and
+# fails if (a) empty@8 dropped more than the tolerance below the
+# committed reference series — the CI throughput regression guard — or
+# (b) on hosts with >= 8 cores, empty@8 did not beat empty@1 — the
+# worker-scaling guard (adding workers must add throughput, the whole
+# point of the batched-spawn/striped-counter/steal-half work). The
+# scaling guard is skipped (with a note) on smaller hosts, where worker
+# threads are time-sliced over too few cores for the comparison to mean
+# anything. Tune with:
 #   RAA_BENCH_REF_SERIES  (default: after_job_layer)
 #   RAA_BENCH_TOLERANCE   (fractional drop allowed, default: 0.20)
 #   RAA_BENCH_CHECK_TASKS (task count for the smoke run, default: 20000)
+#   RAA_BENCH_SCALING_MIN (required empty@8/empty@1 ratio, default: 1.0)
 #
 # --serving-check re-measures the serving sweep at test scale and fails
 # if critical p99 at the 0.5x point grew more than the tolerance above
@@ -123,11 +130,14 @@ if v is None:
 print(v)
 ")
     out=$(RAA_BENCH_TASKS="${RAA_BENCH_CHECK_TASKS:-20000}" \
-          RAA_BENCH_WORKERS=8 RAA_BENCH_REPS=3 \
+          RAA_BENCH_WORKERS=1,8 RAA_BENCH_REPS=3 \
           RAA_BENCH_WORKLOADS=empty run_bench)
     echo "$out"
     got=$(echo "$out" | awk '/^RESULT empty@8 /{print $3}')
+    got1=$(echo "$out" | awk '/^RESULT empty@1 /{print $3}')
     [ -n "$got" ] || { echo "bench-json: bench produced no RESULT empty@8 line" >&2; exit 1; }
+    [ -n "$got1" ] || { echo "bench-json: bench produced no RESULT empty@1 line" >&2; exit 1; }
+    status=0
     python3 -c "
 ref, got, tol = float('${ref}'), float('${got}'), float('${tolerance}')
 floor = ref * (1 - tol)
@@ -135,8 +145,23 @@ verdict = 'OK' if got >= floor else 'REGRESSION'
 print(f'bench-json: empty@8 {got:.0f} tasks/s vs reference {ref:.0f} '
       f'(floor {floor:.0f}, tolerance {tol:.0%}) -> {verdict}')
 raise SystemExit(0 if got >= floor else 1)
-"
-    exit $?
+" || status=1
+    cores=$(nproc 2>/dev/null || echo 1)
+    if [ "$cores" -ge 8 ]; then
+        python3 -c "
+import os
+one, eight = float('${got1}'), float('${got}')
+need = float(os.environ.get('RAA_BENCH_SCALING_MIN', '1.0'))
+ratio = eight / one if one > 0 else 0.0
+verdict = 'OK' if ratio > need else 'SCALING REGRESSION'
+print(f'bench-json: scaling empty@8/empty@1 = {ratio:.2f}x '
+      f'(required > {need:.2f}x on this ${cores}-core host) -> {verdict}')
+raise SystemExit(0 if ratio > need else 1)
+" || status=1
+    else
+        echo "bench-json: scaling guard skipped (${cores} cores < 8 — workers would time-slice)"
+    fi
+    exit $status
 fi
 
 series="${1:-after_lock_free}"
