@@ -36,7 +36,12 @@ use parking_lot::{Condvar, Mutex};
 use crate::fault::{FaultPlan, FaultReport, RetryPolicy, TaskFailure};
 use crate::region::Region;
 use crate::scheduler::QosClass;
-use crate::stats::{Striped64, StripedGauge};
+use crate::stats::{Striped64, StripedGauge, JOB_COUNTER_STRIPES};
+
+/// Per-job monotonic counter: fewer stripes than the runtime-global
+/// counters, so short-lived (per-request) jobs stay cheap to allocate.
+type JobCounter = Striped64<JOB_COUNTER_STRIPES>;
+type JobGauge = StripedGauge<JOB_COUNTER_STRIPES>;
 use crate::task::TaskId;
 use crate::trace::TraceSession;
 
@@ -320,7 +325,7 @@ pub(crate) struct JobState {
     /// a local line. Joiners poll the sum on a bounded wait (see
     /// `Runtime::wait_job`); capped jobs additionally keep `reserved`
     /// exact for the cap check and its eager 1→0 wakeup.
-    pub(crate) in_flight: StripedGauge,
+    pub(crate) in_flight: JobGauge,
     /// Exact reservation counter, maintained only when `max_in_flight`
     /// is set: a cap is inherently one shared number, so capped jobs pay
     /// the RMW that uncapped jobs no longer do.
@@ -329,15 +334,15 @@ pub(crate) struct JobState {
     /// (maintained at reservation), sampled lazily at `stats()` reads
     /// for uncapped ones.
     pub(crate) in_flight_hwm: AtomicU64,
-    pub(crate) spawned: Striped64,
-    pub(crate) completed: Striped64,
+    pub(crate) spawned: JobCounter,
+    pub(crate) completed: JobCounter,
     pub(crate) failed: AtomicU64,
     /// Tasks dispatched to a worker at least once (first attempt only).
-    pub(crate) dispatched: Striped64,
+    pub(crate) dispatched: JobCounter,
     /// Admissions refused by load shedding.
     pub(crate) shed: AtomicU64,
     /// Sum / max of admission→first-dispatch delays, in ns.
-    pub(crate) queue_delay_ns_sum: Striped64,
+    pub(crate) queue_delay_ns_sum: JobCounter,
     pub(crate) queue_delay_ns_max: AtomicU64,
     /// Set by the deadline reaper (or metrics path) once `deadline_at`
     /// passed before the job finished.
@@ -375,15 +380,15 @@ impl JobState {
             max_in_flight,
             deadline_at,
             cost_hint,
-            in_flight: StripedGauge::default(),
+            in_flight: JobGauge::default(),
             reserved: AtomicU64::new(0),
             in_flight_hwm: AtomicU64::new(0),
-            spawned: Striped64::default(),
-            completed: Striped64::default(),
+            spawned: JobCounter::default(),
+            completed: JobCounter::default(),
             failed: AtomicU64::new(0),
-            dispatched: Striped64::default(),
+            dispatched: JobCounter::default(),
             shed: AtomicU64::new(0),
-            queue_delay_ns_sum: Striped64::default(),
+            queue_delay_ns_sum: JobCounter::default(),
             queue_delay_ns_max: AtomicU64::new(0),
             deadline_missed: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),

@@ -40,15 +40,24 @@ use crate::task::{ExecBody, TaskId};
 use crate::trace::{TraceEventKind, Tracer, NO_TASK};
 
 thread_local! {
-    static CURRENT_WORKER: std::cell::Cell<Option<usize>> =
+    /// `(pool id, worker index)` of the pool this thread works for. The
+    /// pool id disambiguates between coexisting pools: a task body on
+    /// worker `w` of runtime A may spawn into runtime B (a safe public
+    /// API), and B's `deques[w]` belongs to *B's* worker `w` — an
+    /// owner-side push there from A's thread would race it.
+    static CURRENT_WORKER: std::cell::Cell<Option<(u64, usize)>> =
         const { std::cell::Cell::new(None) };
 }
+
+/// Process-wide pool id allocator; ids are never reused, so a stale
+/// thread-local can never alias a newer pool.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
 
 /// The index of the worker thread we are currently running on, if any
 /// (used by execution observers to attribute tasks to cores, and by the
 /// task slab to pick a free-list shard).
 pub fn current_worker() -> Option<usize> {
-    CURRENT_WORKER.with(|c| c.get())
+    CURRENT_WORKER.with(|c| c.get()).map(|(_, w)| w)
 }
 
 /// What a completed task reports back to the pool.
@@ -120,17 +129,23 @@ pub struct PoolOptions {
 }
 
 struct PoolShared {
+    /// Unique id of this pool (from [`NEXT_POOL_ID`]), matched against
+    /// the thread-local by the affinity push paths so that only *this
+    /// pool's* worker threads ever take the owner-side deque shortcut.
+    pool_id: u64,
     queues: Arc<ReadyQueues>,
     /// The per-worker deques, owned here (not by the worker threads) so
     /// that (a) a watchdog respawn hands the replacement thread its
     /// predecessor's deque — queued work survives the death without a
     /// drain-to-injector detour — and (b) spawn paths running *on* a
-    /// worker thread can push with affinity to that worker's own deque
-    /// (see [`WorkerPool::push_affine`]). The owner-side discipline
-    /// (`push`/`pop` from one thread at a time) is preserved: only the
-    /// thread currently registered as worker `who` touches
-    /// `deques[who]`, and a dead worker's replacement starts strictly
-    /// after the predecessor's last deque access.
+    /// worker thread of this pool can push with affinity to that
+    /// worker's own deque (see [`WorkerPool::push_affine`]). The
+    /// owner-side discipline (`push`/`pop` from one thread at a time)
+    /// is preserved: only the thread currently registered as worker
+    /// `who` *of this pool* touches `deques[who]` (the affinity paths
+    /// check the pool id, not just the worker index), and a dead
+    /// worker's replacement starts strictly after the predecessor's
+    /// last deque access.
     deques: Vec<Arc<WorkerDeque<ReadyTask>>>,
     stealers: Vec<DequeStealer<ReadyTask>>,
     idle_lock: Mutex<()>,
@@ -250,6 +265,7 @@ impl WorkerPool {
         let stealers: Vec<DequeStealer<ReadyTask>> = deques.iter().map(|d| d.stealer()).collect();
         let (retry_tx, retry_rx) = mpsc::channel();
         let shared = Arc::new(PoolShared {
+            pool_id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             queues,
             deques,
             stealers,
@@ -364,29 +380,39 @@ impl WorkerPool {
         self.wake_one();
     }
 
+    /// The calling thread's own deque, but only when it is a worker of
+    /// *this* pool. A worker of some other pool (a task there spawning
+    /// into this runtime) must not touch `deques[w]` — that deque's
+    /// owner end belongs to this pool's worker `w`, and a concurrent
+    /// owner-side push from a foreign thread is a data race. Such
+    /// callers fall back to the shared injector (`None`).
+    fn own_deque(&self) -> Option<&WorkerDeque<ReadyTask>> {
+        CURRENT_WORKER
+            .with(|c| c.get())
+            .filter(|(pool, w)| *pool == self.shared.pool_id && *w < self.shared.deques.len())
+            .map(|(_, w)| &*self.shared.deques[w])
+    }
+
     /// Push a ready task with spawn affinity: called from a worker
-    /// thread (a task body spawning subtasks), the task lands on that
-    /// worker's own deque — keeping parent-spawned work hot in the
-    /// spawner's cache and off the shared injector. From any other
-    /// thread this degrades to [`WorkerPool::push_external`].
+    /// thread of this pool (a task body spawning subtasks), the task
+    /// lands on that worker's own deque — keeping parent-spawned work
+    /// hot in the spawner's cache and off the shared injector. From any
+    /// other thread (including workers of *other* pools) this degrades
+    /// to [`WorkerPool::push_external`].
     pub fn push_affine(&self, task: ReadyTask) {
-        let local = current_worker()
-            .filter(|w| *w < self.shared.deques.len())
-            .map(|w| &self.shared.deques[w]);
-        self.shared.queues.push(task, local.map(|d| &**d));
+        self.shared.queues.push(task, self.own_deque());
         self.wake_one();
     }
 
     /// [`WorkerPool::push_affine`] for a whole batch under a single wake
     /// decision: every task is enqueued first (the spawner's own deque
-    /// when on a worker thread), then parked siblings are woken once.
+    /// when on a worker thread of this pool), then parked siblings are
+    /// woken once.
     pub fn push_affine_batch(&self, tasks: Vec<ReadyTask>) {
         let n = tasks.len();
-        let local = current_worker()
-            .filter(|w| *w < self.shared.deques.len())
-            .map(|w| &self.shared.deques[w]);
+        let local = self.own_deque();
         for t in tasks {
-            self.shared.queues.push(t, local.map(|d| &**d));
+            self.shared.queues.push(t, local);
         }
         if n > 1 {
             self.shared.wake_all();
@@ -458,7 +484,7 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(who: usize, shared: Arc<PoolShared>, client: Arc<dyn PoolClient>) {
-    CURRENT_WORKER.with(|c| c.set(Some(who)));
+    CURRENT_WORKER.with(|c| c.set(Some((shared.pool_id, who))));
     // The deque is shared (Arc) so respawns inherit it, but only this
     // thread — the one registered as worker `who` — uses the owner end.
     let local = Some(&*shared.deques[who]);
@@ -852,6 +878,51 @@ mod tests {
         wait_until(|| client.done.load(Ordering::SeqCst) == 100);
         assert_eq!(hits.load(Ordering::SeqCst), 100);
         assert_eq!(client.panics.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cross_pool_affine_push_falls_back_to_injector() {
+        // A task on runtime A spawning into runtime B is a safe public
+        // API. B's `deques[w]` owner end belongs to B's worker `w`, so
+        // the foreign push must ride B's injector — never the deque the
+        // thread-local worker index happens to point at.
+        let queues_a = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
+        let client_a = counting();
+        let pool_a = WorkerPool::new(1, queues_a, client_a.clone(), PoolOptions::default());
+
+        let queues_b = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
+        let client_b = counting();
+        let pool_b = Arc::new(WorkerPool::new(
+            2,
+            queues_b.clone(),
+            client_b.clone(),
+            PoolOptions::default(),
+        ));
+
+        // Same-pool sanity: on B's own worker the affinity path engages.
+        let b = pool_b.clone();
+        pool_b.push_external(ready(0, move || {
+            assert!(
+                b.own_deque().is_some(),
+                "a pool's own worker should claim its deque"
+            );
+        }));
+        wait_until(|| client_b.done.load(Ordering::SeqCst) == 1);
+
+        // Cross-pool: A's worker 0 has a thread-local worker index, but
+        // for the wrong pool — B must refuse the owner-side shortcut.
+        let b = pool_b.clone();
+        pool_a.push_external(ready(1, move || {
+            assert!(
+                b.own_deque().is_none(),
+                "a foreign pool's worker must not claim an owner deque"
+            );
+            b.push_affine(ready(2, || {}));
+        }));
+        wait_until(|| client_b.done.load(Ordering::SeqCst) == 2);
+        assert_eq!(client_a.done.load(Ordering::SeqCst), 1);
+        let (pushes, _) = queues_b.injector_traffic();
+        assert!(pushes >= 1, "cross-pool spawn must ride the injector");
     }
 
     #[test]

@@ -14,9 +14,17 @@ pub const RETRY_HIST_BUCKETS: usize = 8;
 #[derive(Default, Debug)]
 pub struct CachePadded<T>(pub T);
 
-/// Stripes per striped counter. Thread ids fold onto the stripes, so two
-/// workers only share a line through a modulo collision.
+/// Default stripes per striped counter (the runtime-global counters).
+/// Thread ids fold onto the stripes, so two workers only share a line
+/// through a modulo collision.
 pub const COUNTER_STRIPES: usize = 16;
+
+/// Stripes for *per-job* counters. Jobs can be as short-lived as one
+/// serving request, so their `JobState` must stay cheap to allocate and
+/// zero: 4 stripes puts a job's six striped counters at ~3KB instead of
+/// ~12KB, trading a higher collision probability only on counters that
+/// a single job's (typically few) concurrent tasks touch.
+pub const JOB_COUNTER_STRIPES: usize = 4;
 
 static NEXT_STRIPE: AtomicU32 = AtomicU32::new(0);
 thread_local! {
@@ -39,16 +47,26 @@ fn stripe_id() -> usize {
 
 /// A monotonic counter split into per-thread cache-line-padded stripes:
 /// `add` touches only the calling thread's line; `sum` (the cold read
-/// path) walks all of them.
-#[derive(Default, Debug)]
-pub struct Striped64 {
-    stripes: [CachePadded<AtomicU64>; COUNTER_STRIPES],
+/// path) walks all of them. `N` trades contention for footprint: the
+/// long-lived runtime-global counters use the default, per-job counters
+/// use [`JOB_COUNTER_STRIPES`].
+#[derive(Debug)]
+pub struct Striped64<const N: usize = COUNTER_STRIPES> {
+    stripes: [CachePadded<AtomicU64>; N],
 }
 
-impl Striped64 {
+impl<const N: usize> Default for Striped64<N> {
+    fn default() -> Self {
+        Striped64 {
+            stripes: std::array::from_fn(|_| CachePadded(AtomicU64::new(0))),
+        }
+    }
+}
+
+impl<const N: usize> Striped64<N> {
     #[inline]
     pub fn add(&self, n: u64) {
-        self.stripes[stripe_id()].0.fetch_add(n, Ordering::Relaxed);
+        self.stripes[stripe_id() % N].0.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn sum(&self) -> u64 {
@@ -73,21 +91,30 @@ impl Striped64 {
 /// inc (never reporting a false zero). Tasks inc'd concurrently with the
 /// read may be missed entirely, which is the pre-existing `taskwait`
 /// contract for spawns racing the wait.
-#[derive(Default, Debug)]
-pub struct StripedGauge {
-    incs: [CachePadded<AtomicU64>; COUNTER_STRIPES],
-    decs: [CachePadded<AtomicU64>; COUNTER_STRIPES],
+#[derive(Debug)]
+pub struct StripedGauge<const N: usize = COUNTER_STRIPES> {
+    incs: [CachePadded<AtomicU64>; N],
+    decs: [CachePadded<AtomicU64>; N],
 }
 
-impl StripedGauge {
+impl<const N: usize> Default for StripedGauge<N> {
+    fn default() -> Self {
+        StripedGauge {
+            incs: std::array::from_fn(|_| CachePadded(AtomicU64::new(0))),
+            decs: std::array::from_fn(|_| CachePadded(AtomicU64::new(0))),
+        }
+    }
+}
+
+impl<const N: usize> StripedGauge<N> {
     #[inline]
     pub fn inc(&self, n: u64) {
-        self.incs[stripe_id()].0.fetch_add(n, Ordering::SeqCst);
+        self.incs[stripe_id() % N].0.fetch_add(n, Ordering::SeqCst);
     }
 
     #[inline]
     pub fn dec(&self, n: u64) {
-        self.decs[stripe_id()].0.fetch_add(n, Ordering::SeqCst);
+        self.decs[stripe_id() % N].0.fetch_add(n, Ordering::SeqCst);
     }
 
     /// Current count. Never spuriously zero (see the type docs); may
@@ -352,7 +379,7 @@ mod tests {
 
     #[test]
     fn striped_counter_sums_across_threads() {
-        let c = std::sync::Arc::new(Striped64::default());
+        let c = std::sync::Arc::new(Striped64::<COUNTER_STRIPES>::default());
         let mut handles = Vec::new();
         for _ in 0..4 {
             let c = c.clone();
@@ -373,7 +400,9 @@ mod tests {
         // Hammer inc-then-dec pairs from several threads while a reader
         // polls; the gauge may read high but the final read must be 0
         // and every dec'd pair must have had its inc observed.
-        let g = std::sync::Arc::new(StripedGauge::default());
+        // The small per-job stripe width exercises the `% N` fold (the
+        // round-robin thread-stripe ids exceed it).
+        let g = std::sync::Arc::new(StripedGauge::<JOB_COUNTER_STRIPES>::default());
         let stop = std::sync::Arc::new(AtomicU64::new(0));
         let mut handles = Vec::new();
         for _ in 0..3 {
