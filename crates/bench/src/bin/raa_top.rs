@@ -1,0 +1,205 @@
+//! raa_top — live per-tenant terminal dashboard for a running serving
+//! process.
+//!
+//! Polls the Prometheus exposition file a `serving_load --serve`
+//! process refreshes (`target/telemetry/telemetry.prom` by default) and
+//! renders a `top`-style view: runtime-wide counters, latency quantiles
+//! recovered from the cumulative histogram series, and one row per
+//! tenant. Pure std + ANSI escapes — no curses, no HTTP, no deps; the
+//! file *is* the wire protocol, so the same view works against any
+//! scrape of [`prometheus_text`](raa_runtime::export::prometheus_text).
+//!
+//! Usage: `raa_top [--file <path>] [--interval-ms <n>] [--once]`
+//!
+//! `--once` prints a single frame without clearing the screen (useful
+//! in scripts and CI); otherwise the dashboard refreshes in place until
+//! killed.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use raa_bench::arg_value;
+use raa_bench::telemetry_text::{
+    hist_quantile, parse_prometheus, sample_value, sample_value_labeled, Sample,
+};
+
+fn ms(ns: f64) -> String {
+    if ns.is_infinite() {
+        ">max".to_string()
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.0}us", ns / 1e3)
+    }
+}
+
+#[derive(Default)]
+struct Tenant {
+    qos: String,
+    completed: f64,
+    shed: f64,
+    queued: f64,
+    running: f64,
+    missed: f64,
+    qd_p99_ns: f64,
+    body_p99_ns: f64,
+}
+
+fn tenants(samples: &[Sample]) -> BTreeMap<String, Tenant> {
+    let mut map: BTreeMap<String, Tenant> = BTreeMap::new();
+    for s in samples {
+        let Some(suffix) = s.name.strip_prefix("raa_tenant_") else {
+            continue;
+        };
+        let Some(job) = s.label("job") else { continue };
+        let t = map.entry(job.to_string()).or_default();
+        if let Some(qos) = s.label("qos") {
+            t.qos = qos.to_string();
+        }
+        match suffix {
+            "completed_total" => t.completed = s.value,
+            "shed_total" => t.shed = s.value,
+            "queued" => t.queued = s.value,
+            "running" => t.running = s.value,
+            "deadline_missed" => t.missed = s.value,
+            "queue_delay_p99_ns" => t.qd_p99_ns = s.value,
+            "body_p99_ns" => t.body_p99_ns = s.value,
+            _ => {}
+        }
+    }
+    map
+}
+
+const BOLD: &str = "\x1b[1m";
+const DIM: &str = "\x1b[2m";
+const RED: &str = "\x1b[31m";
+const GREEN: &str = "\x1b[32m";
+const YELLOW: &str = "\x1b[33m";
+const RESET: &str = "\x1b[0m";
+
+fn render(file: &str, text: &str) {
+    let samples = parse_prometheus(text);
+    let workers = sample_value(&samples, "raa_workers");
+    let alive = sample_value(&samples, "raa_alive_workers");
+    let health = if alive < workers { RED } else { GREEN };
+    println!(
+        "{BOLD}raa_top{RESET} — {file}   workers {health}{alive:.0}/{workers:.0}{RESET}   \
+         snapshot {:.1}s",
+        sample_value(&samples, "raa_snapshot_at_ns") / 1e9
+    );
+
+    let spawned = sample_value(&samples, "raa_tasks_spawned_total");
+    let wakes = sample_value(&samples, "raa_wakes_total");
+    let steals_ok = sample_value(&samples, "raa_steals_ok_total");
+    let steals_empty = sample_value(&samples, "raa_steals_empty_total");
+    let hit = if steals_ok + steals_empty > 0.0 {
+        100.0 * steals_ok / (steals_ok + steals_empty)
+    } else {
+        0.0
+    };
+    println!(
+        "tasks   spawned {spawned:.0}  completed {:.0}  shed {:.0}  hedged {:.0}  \
+         retried {:.0}  failed {:.0}",
+        sample_value(&samples, "raa_tasks_completed_total"),
+        sample_value(&samples, "raa_tasks_shed_total"),
+        sample_value(&samples, "raa_tasks_hedged_total"),
+        sample_value(&samples, "raa_tasks_retried_total"),
+        sample_value(&samples, "raa_tasks_failed_total"),
+    );
+    println!(
+        "sched   steals {steals_ok:.0}/{:.0} ({hit:.0}% hit)  wakes/task {:.3}  parks {:.0}  \
+         injector-overflow {:.0}",
+        steals_ok + steals_empty,
+        if spawned > 0.0 { wakes / spawned } else { 0.0 },
+        sample_value(&samples, "raa_parks_total"),
+        sample_value(&samples, "raa_injector_overflow_total"),
+    );
+    let shed_on = sample_value(&samples, "raa_shed_engaged") > 0.0;
+    let shed_col = if shed_on { YELLOW } else { DIM };
+    let remote = sample_value_labeled(&samples, "raa_slab_frees_total", "kind", "remote");
+    let local = sample_value_labeled(&samples, "raa_slab_frees_total", "kind", "local");
+    let remote_pct = if local + remote > 0.0 {
+        100.0 * remote / (local + remote)
+    } else {
+        0.0
+    };
+    println!(
+        "state   shed {shed_col}{}{RESET} (delay {})  slab remote-free {remote_pct:.1}%  \
+         deaths {:.0}  flight-dumps {:.0}",
+        if shed_on { "ENGAGED" } else { "off" },
+        ms(sample_value(&samples, "raa_shed_delay_ns")),
+        sample_value(&samples, "raa_worker_deaths_total"),
+        sample_value(&samples, "raa_flight_dumps_total"),
+    );
+    println!(
+        "latency queue-delay p50 {} p99 {}   body p50 {} p99 {}   job-e2e p99 {}",
+        ms(hist_quantile(&samples, "raa_queue_delay_ns", 0.50)),
+        ms(hist_quantile(&samples, "raa_queue_delay_ns", 0.99)),
+        ms(hist_quantile(&samples, "raa_body_ns", 0.50)),
+        ms(hist_quantile(&samples, "raa_body_ns", 0.99)),
+        ms(hist_quantile(&samples, "raa_job_e2e_ns", 0.99)),
+    );
+    println!();
+    println!(
+        "{BOLD}{:<14} {:<10} {:>9} {:>7} {:>6} {:>6} {:>5} {:>10} {:>10}{RESET}",
+        "TENANT", "QOS", "DONE", "QUEUED", "RUN", "SHED", "MISS", "QD-P99", "BODY-P99"
+    );
+    let mut rows: Vec<(String, Tenant)> = tenants(&samples).into_iter().collect();
+    rows.sort_by(|a, b| b.1.completed.total_cmp(&a.1.completed));
+    for (job, t) in &rows {
+        let miss = if t.missed > 0.0 {
+            format!("{RED}yes{RESET}")
+        } else {
+            "no".to_string()
+        };
+        println!(
+            "{:<14} {:<10} {:>9.0} {:>7.0} {:>6.0} {:>6.0} {:>5} {:>10} {:>10}",
+            job,
+            t.qos,
+            t.completed,
+            t.queued,
+            t.running,
+            t.shed,
+            miss,
+            ms(t.qd_p99_ns),
+            ms(t.body_p99_ns),
+        );
+    }
+    if rows.is_empty() {
+        println!("{DIM}(no tenants in exposition){RESET}");
+    }
+}
+
+fn main() {
+    let file = arg_value("--file").unwrap_or_else(|| "target/telemetry/telemetry.prom".to_string());
+    let once = std::env::args().any(|a| a == "--once");
+    let interval = Duration::from_millis(
+        arg_value("--interval-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000),
+    );
+    loop {
+        match std::fs::read_to_string(&file) {
+            Ok(text) => {
+                if !once {
+                    // Clear + home: redraw in place.
+                    print!("\x1b[2J\x1b[H");
+                }
+                render(&file, &text);
+            }
+            Err(e) => {
+                if once {
+                    eprintln!("raa_top: cannot read {file}: {e}");
+                    std::process::exit(1);
+                }
+                print!("\x1b[2J\x1b[H");
+                println!("raa_top — waiting for {file} ({e})");
+                println!("start a feed with: serving_load --serve");
+            }
+        }
+        if once {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+}

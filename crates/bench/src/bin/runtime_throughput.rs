@@ -27,11 +27,15 @@
 //! Besides the human table, every measurement is printed as a
 //! machine-readable line `RESULT <workload>@<workers> <tasks_per_sec>`,
 //! a `SCALING <workload> <ratio>` line per shape (throughput at 8
-//! workers over 1 worker), and `STATS <workload>@<workers> key=value
-//! ...` lines with the scheduler/pool contention counters (steals,
-//! injector overflow, parks/wakes) of the last repetition;
-//! `devtools/bench-json.sh` collects the RESULT lines into
-//! `BENCH_runtime.json`.
+//! workers over 1 worker), a `SCALING <workload>_wakes_per_task
+//! <ratio>` wake-storm attribution line (futex wakes per spawned task
+//! at the highest worker count), and `STATS <workload>@<workers>
+//! key=value ...` lines with the scheduler/pool contention counters
+//! (steals, injector overflow, parks/wakes, wakes-per-task) of the
+//! last repetition; `devtools/bench-json.sh` collects the RESULT lines
+//! into `BENCH_runtime.json`. `RAA_TELEMETRY=1` runs the measured
+//! repetitions with the telemetry plane on (used by
+//! `devtools/telemetry-check.sh` to gate the plane's overhead).
 //!
 //! `--trace <path>` additionally re-runs the preferred workload (`cg`
 //! when selected, else the first) at the highest worker count with
@@ -72,8 +76,19 @@ fn worker_counts() -> Vec<usize> {
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16])
 }
 
+/// `RAA_TELEMETRY=1` turns the telemetry plane on for the measured
+/// runs, so the same harness that gates tracing overhead can gate the
+/// plane's overhead (`devtools/telemetry-check.sh`).
+fn telemetry_on() -> bool {
+    std::env::var("RAA_TELEMETRY").is_ok_and(|v| v == "1")
+}
+
 fn rt(workers: usize) -> Runtime {
-    Runtime::new(RuntimeConfig::with_workers(workers).policy(SchedulerPolicy::WorkStealing))
+    Runtime::new(
+        RuntimeConfig::with_workers(workers)
+            .policy(SchedulerPolicy::WorkStealing)
+            .telemetry(telemetry_on()),
+    )
 }
 
 /// Spawn one workload's task graph on `rt`. All four shapes submit
@@ -251,10 +266,26 @@ fn main() {
     for (wl, s) in &scalings {
         println!("SCALING {wl} {s:.3}");
     }
+    // Wake-storm attribution: wakes per spawned task at the highest
+    // worker count. A healthy batched-spawn path stays well below 1.0;
+    // a ratio near 1.0 means every task paid a futex wake (the storm
+    // the sampler's `WakeStorm` trigger fires on).
+    for wl in &workloads {
+        let key = format!("{wl}@{}", workers.iter().copied().max().unwrap_or(1));
+        if let Some((_, s)) = counters.iter().find(|(k, _)| *k == key) {
+            println!("SCALING {wl}_wakes_per_task {:.3}", s.wakes_per_task());
+        }
+    }
     for (key, s) in &counters {
         println!(
-            "STATS {key} steals_ok={} steals_empty={} injector_overflow={} parks={} wakes={}",
-            s.steals_ok, s.steals_empty, s.injector_overflow, s.parks, s.wakes
+            "STATS {key} steals_ok={} steals_empty={} injector_overflow={} parks={} wakes={} \
+             wakes_per_task={:.3}",
+            s.steals_ok,
+            s.steals_empty,
+            s.injector_overflow,
+            s.parks,
+            s.wakes,
+            s.wakes_per_task()
         );
     }
 

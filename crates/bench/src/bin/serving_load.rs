@@ -32,17 +32,34 @@
 //! * phase **B** (protections off, same seed and arrivals) must blow
 //!   the same SLO — the protections, not luck, carry the contract.
 //!
-//! Usage: `cargo run --release -p raa-bench --bin serving_load [--chaos]`
+//! **`--chaos --telemetry`** additionally runs the campaign with the
+//! live telemetry plane and flight recorder on, and appends
+//! seed-deterministic `TELEMETRY(A/B)` boolean lines: the snapshot was
+//! taken, tenants and latency histograms populated, the sampler emitted
+//! deltas, and the injected worker kill produced a flight bundle. With
+//! `--out <dir>` the snapshot JSON, Prometheus text, flight-bundle
+//! Chrome trace and contention report are written per phase.
+//!
+//! **`--serve`** turns the binary into a long-running serving process
+//! with three persistent tenants (interactive / batch / analytics)
+//! under steady load, refreshing `telemetry.prom` + `telemetry.json`
+//! in `--out <dir>` (default `target/telemetry`) every wave — the feed
+//! `raa_top` renders live. `RAA_SERVE_SECS` bounds the run (0 = until
+//! killed).
+//!
+//! Usage: `cargo run --release -p raa-bench --bin serving_load
+//! [--chaos] [--telemetry] [--serve] [--out <dir>]`
 //! Env: `RAA_SCALE` (`test`|`small`|`standard`), `RAA_FAULT_SEED`
-//! (default 42).
+//! (default 42), `RAA_SERVE_SECS` (serve-mode duration, default 0).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use raa_bench::{rule, scale_from_env, spawn_cg_shape};
+use raa_bench::{arg_value, rule, scale_from_env, spawn_cg_shape};
 use raa_runtime::{
-    AdmissionError, FaultPlan, JobSpec, QosClass, Runtime, RuntimeConfig, WatchdogConfig,
+    prometheus_text, telemetry_json, AdmissionError, FaultPlan, FlightBundle, FlightReason,
+    JobSpec, QosClass, Runtime, RuntimeConfig, WatchdogConfig,
 };
 use raa_workloads::Scale;
 
@@ -178,6 +195,20 @@ struct PhaseResult {
     worker_respawns: u64,
     drain_clean: bool,
     drain_bounded: bool,
+    telem: Option<TelemetryObs>,
+}
+
+/// What the telemetry plane observed during a phase, captured while
+/// every tenant handle is still live (dropping a settled handle retires
+/// the tenant from the snapshot).
+struct TelemetryObs {
+    snapshot_json: String,
+    prom: String,
+    tenants: usize,
+    queue_delay_samples: u64,
+    body_samples: u64,
+    deltas: usize,
+    kill_bundle: Option<FlightBundle>,
 }
 
 fn pct(sorted_ns: &[u64], q: f64) -> f64 {
@@ -195,11 +226,12 @@ fn pct(sorted_ns: &[u64], q: f64) -> f64 {
 fn run_phase(
     protect: bool,
     chaos: bool,
+    telemetry: bool,
     seed: u64,
     arrivals: &[Arrival],
     n_critical: usize,
 ) -> PhaseResult {
-    let mut config = RuntimeConfig::with_workers(WORKERS);
+    let mut config = RuntimeConfig::with_workers(WORKERS).telemetry(telemetry);
     if protect {
         config = config
             .shed_delay_budget(SHED_BUDGET)
@@ -365,6 +397,24 @@ fn run_phase(
         }
     }
 
+    // Telemetry is observed before drain, while the critical, batch and
+    // doomed handles are all still alive and therefore in the snapshot.
+    let telem = telemetry.then(|| {
+        let snap = rt.telemetry_snapshot().expect("telemetry is enabled");
+        let bundles = rt.take_flight_bundles();
+        TelemetryObs {
+            snapshot_json: telemetry_json(&snap),
+            prom: prometheus_text(&snap),
+            tenants: snap.tenants.len(),
+            queue_delay_samples: snap.queue_delay.count(),
+            body_samples: snap.body.count(),
+            deltas: rt.telemetry_deltas().len(),
+            kill_bundle: bundles
+                .into_iter()
+                .find(|b| matches!(b.reason, FlightReason::WorkerDeath { .. })),
+        }
+    });
+
     let timeout = Duration::from_secs(10);
     let t0 = Instant::now();
     let drain = rt.drain(timeout);
@@ -387,12 +437,49 @@ fn run_phase(
         worker_respawns: stats.worker_respawns,
         drain_clean: drain.clean(),
         drain_bounded,
+        telem,
     }
 }
 
 // ---------------------------------------------------------------- main
 
-fn chaos_campaign(seed: u64, n_critical: usize) {
+/// Deterministic boolean summary of one phase's telemetry observation,
+/// plus the artefact files when `--out <dir>` was given. CI diffs two
+/// campaign runs, so every printed value must be seed-stable.
+fn report_telemetry(phase: &str, obs: &TelemetryObs) {
+    println!(
+        "TELEMETRY({phase})  : snapshot-taken={} tenants-observed={} queue-delay-recorded={} \
+         body-recorded={} deltas-emitted={} flight-on-worker-kill={} bundle-artifacts-valid={}",
+        !obs.snapshot_json.is_empty(),
+        obs.tenants > 0,
+        obs.queue_delay_samples > 0,
+        obs.body_samples > 0,
+        obs.deltas > 0,
+        obs.kill_bundle.is_some(),
+        obs.kill_bundle.as_ref().is_some_and(|b| {
+            b.events > 0
+                && b.snapshot_json.starts_with('{')
+                && b.trace_json.starts_with('{')
+                && b.contention.contains("injector share")
+        }),
+    );
+    if let Some(dir) = arg_value("--out") {
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        let write = |name: &str, body: &str| {
+            let path = format!("{dir}/{phase}-{name}");
+            std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        };
+        write("snapshot.json", &obs.snapshot_json);
+        write("telemetry.prom", &obs.prom);
+        if let Some(b) = &obs.kill_bundle {
+            write("flight-worker-death.trace.json", &b.trace_json);
+            write("flight-worker-death.snapshot.json", &b.snapshot_json);
+            write("flight-worker-death.contention.txt", &b.contention);
+        }
+    }
+}
+
+fn chaos_campaign(seed: u64, n_critical: usize, telemetry: bool) {
     let arrivals = schedule(seed, n_critical, BATCH_GAP_CHAOS_NS);
     let offered_batch = arrivals
         .iter()
@@ -406,7 +493,7 @@ fn chaos_campaign(seed: u64, n_critical: usize) {
     );
     rule(86);
 
-    let a = run_phase(true, true, seed, &arrivals, n_critical);
+    let a = run_phase(true, true, telemetry, seed, &arrivals, n_critical);
     eprintln!(
         "[detail] A: p50={:.2}ms p99={:.2}ms p999={:.2}ms goodput={:.0}rps shed={}/{} \
          missed-doomed={} hedged={} deaths={} respawns={}",
@@ -436,7 +523,7 @@ fn chaos_campaign(seed: u64, n_critical: usize) {
         a.drain_bounded,
     );
 
-    let b = run_phase(false, true, seed, &arrivals, n_critical);
+    let b = run_phase(false, true, telemetry, seed, &arrivals, n_critical);
     eprintln!(
         "[detail] B: p50={:.2}ms p99={:.2}ms p999={:.2}ms goodput={:.0}rps shed={}/{} \
          hedged={} deaths={}",
@@ -464,6 +551,10 @@ fn chaos_campaign(seed: u64, n_critical: usize) {
         "delta         : protection-lowers-critical-p99={}",
         a.p99_ms < b.p99_ms
     );
+    if let (Some(oa), Some(ob)) = (&a.telem, &b.telem) {
+        report_telemetry("A", oa);
+        report_telemetry("B", ob);
+    }
     rule(86);
     println!("contract:");
     println!("  slo      : with the serving stack on, the critical tenant's p99 holds under");
@@ -492,6 +583,18 @@ fn chaos_campaign(seed: u64, n_critical: usize) {
     );
     assert!(a.hedged >= 1 && b.hedged == 0, "hedging A/B mismatch");
     assert!(a.worker_deaths >= 1, "the kill plan never fired");
+    for (phase, r) in [("A", &a), ("B", &b)] {
+        if let Some(obs) = &r.telem {
+            assert!(
+                obs.kill_bundle.is_some(),
+                "{phase}: worker kill produced no flight bundle"
+            );
+            assert!(
+                obs.tenants > 0 && obs.deltas > 0 && obs.body_samples > 0,
+                "{phase}: telemetry plane observed nothing"
+            );
+        }
+    }
 }
 
 fn bench_sweep(seed: u64, n_critical: usize) {
@@ -506,7 +609,7 @@ fn bench_sweep(seed: u64, n_critical: usize) {
         let spare = WORKERS as f64 - CRITICAL_SERVICE.as_nanos() as f64 / CRITICAL_GAP_NS as f64;
         let gap = (BATCH_SERVICE.as_nanos() as f64 / (spare * mult)) as u64;
         let arrivals = schedule(seed, n_critical, gap);
-        let r = run_phase(true, false, seed, &arrivals, n_critical);
+        let r = run_phase(true, false, false, seed, &arrivals, n_critical);
         assert!(r.critical_ok, "critical tenant failed at {label}x");
         assert!(
             r.drain_clean && r.drain_bounded,
@@ -524,6 +627,110 @@ fn bench_sweep(seed: u64, n_critical: usize) {
     println!("deadline-miss rates per offered-load multiple of spare capacity.");
 }
 
+/// Long-running serving process: three persistent tenants under steady
+/// load, telemetry exposition refreshed on every wave for `raa_top`.
+fn serve(seed: u64) {
+    let dir = arg_value("--out").unwrap_or_else(|| "target/telemetry".into());
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+    let secs = env_u64("RAA_SERVE_SECS", 0);
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(WORKERS)
+            .shed_delay_budget(SHED_BUDGET)
+            .soft_timeout(SOFT_TIMEOUT)
+            .watchdog(WatchdogConfig::enabled())
+            .telemetry(true),
+    );
+    // Persistent tenants: handles stay alive for the whole run, so the
+    // snapshot's per-tenant breakdowns accumulate across waves.
+    let interactive = rt
+        .submit(JobSpec::new("interactive").cost_hint(CRITICAL_SERVICE.as_nanos() as u64))
+        .expect("admission");
+    let batch = rt
+        .submit(JobSpec::new("batch").qos(QosClass::BestEffort))
+        .expect("admission");
+    let analytics = rt
+        .submit(JobSpec::new("analytics").qos(QosClass::BestEffort))
+        .expect("admission");
+
+    println!(
+        "serving_load --serve: {WORKERS} workers, tenants interactive/batch/analytics, \
+         exposition at {dir}/telemetry.{{prom,json}}{}",
+        if secs == 0 {
+            " — run until killed".to_string()
+        } else {
+            format!(" for {secs}s")
+        }
+    );
+
+    // tmp + rename: `raa_top` polls the file and must never read a
+    // half-written exposition.
+    let publish = |name: &str, body: &str| {
+        let tmp = format!("{dir}/.{name}.tmp");
+        let dst = format!("{dir}/{name}");
+        if std::fs::write(&tmp, body).is_ok() {
+            let _ = std::fs::rename(&tmp, &dst);
+        }
+    };
+
+    let mut rng = SplitMix64(seed);
+    let started = Instant::now();
+    let mut wave = 0u64;
+    loop {
+        wave += 1;
+        for _ in 0..4 {
+            interactive
+                .task("req")
+                .idempotent(|| std::thread::sleep(CRITICAL_SERVICE))
+                .spawn();
+        }
+        for _ in 0..4 {
+            match batch
+                .task("req")
+                .idempotent(|| std::thread::sleep(BATCH_SERVICE))
+                .try_spawn()
+            {
+                Ok(_) | Err(AdmissionError::Shed) => {}
+                Err(e) => panic!("unexpected batch refusal: {e:?}"),
+            }
+        }
+        if wave.is_multiple_of(8) {
+            spawn_cg_shape(&analytics, 1);
+        }
+        // Jittered pacing keeps the load noisy enough that the sampler
+        // and shed controller have something to watch.
+        std::thread::sleep(Duration::from_millis(15 + rng.next_u64() % 30));
+
+        if let Some(snap) = rt.telemetry_snapshot() {
+            publish("telemetry.prom", &prometheus_text(&snap));
+            publish("telemetry.json", &telemetry_json(&snap));
+        }
+        for (i, b) in rt.take_flight_bundles().into_iter().enumerate() {
+            publish(
+                &format!("flight-{wave}-{i}-{}.trace.json", b.reason.label()),
+                &b.trace_json,
+            );
+        }
+        if secs > 0 && started.elapsed() >= Duration::from_secs(secs) {
+            break;
+        }
+    }
+
+    // Final publication happens while the tenant handles are still
+    // alive — dropping a settled handle retires its tenant from the
+    // snapshot, and the last frame should still show the fleet.
+    let drain = rt.drain(Duration::from_secs(10));
+    if let Some(snap) = rt.telemetry_snapshot() {
+        publish("telemetry.prom", &prometheus_text(&snap));
+        publish("telemetry.json", &telemetry_json(&snap));
+    }
+    drop((interactive, batch, analytics));
+    println!(
+        "serve: {wave} waves in {:.1}s, drain clean={}",
+        started.elapsed().as_secs_f64(),
+        drain.clean()
+    );
+}
+
 fn main() {
     let seed = env_u64("RAA_FAULT_SEED", 42);
     let n_critical = match scale_from_env() {
@@ -531,8 +738,11 @@ fn main() {
         Scale::Small => 240,
         Scale::Standard => 320,
     };
-    if std::env::args().any(|a| a == "--chaos") {
-        chaos_campaign(seed, n_critical);
+    let has = |flag: &str| std::env::args().any(|a| a == flag);
+    if has("--serve") {
+        serve(seed);
+    } else if has("--chaos") {
+        chaos_campaign(seed, n_critical, has("--telemetry"));
     } else {
         bench_sweep(seed, n_critical);
     }

@@ -17,9 +17,18 @@
 //! contention section: per-victim steal hit-rates, the share of ready
 //! dispatches that crossed the shared injector (and how many of those
 //! overflowed the ring), and the slab's remote-free ratio.
+//!
+//! **`--from-telemetry <file>`** skips the live run entirely and
+//! reports from a Prometheus exposition captured by the telemetry plane
+//! (a `serving_load --serve` publication or a chaos-campaign `--out`
+//! artefact) — the trace pipeline and the telemetry pipeline meet in
+//! one reporting tool.
 
 use std::time::Instant;
 
+use raa_bench::telemetry_text::{
+    hist_quantile, parse_prometheus, sample_value, sample_value_labeled,
+};
 use raa_runtime::{
     chrome_trace_json, critical_path_attribution, MetricsReport, Runtime, RuntimeConfig,
     SchedulerPolicy, TraceConfig, TraceEventKind,
@@ -32,7 +41,102 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Offline report from a telemetry-plane Prometheus exposition.
+fn report_from_telemetry(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let s = parse_prometheus(&text);
+    let ms = |ns: f64| {
+        if ns.is_infinite() {
+            ">max".to_string()
+        } else {
+            format!("{:.3}ms", ns / 1e6)
+        }
+    };
+
+    println!("trace_report — from telemetry exposition {path}");
+    raa_bench::rule(72);
+    println!(
+        "runtime: {:.0}/{:.0} workers alive, snapshot at {:.1}s, {:.0} flight dumps",
+        sample_value(&s, "raa_alive_workers"),
+        sample_value(&s, "raa_workers"),
+        sample_value(&s, "raa_snapshot_at_ns") / 1e9,
+        sample_value(&s, "raa_flight_dumps_total"),
+    );
+    let spawned = sample_value(&s, "raa_tasks_spawned_total");
+    println!(
+        "tasks: {spawned:.0} spawned, {:.0} completed, {:.0} shed, {:.0} hedged, \
+         {:.0} retried, {:.0} failed",
+        sample_value(&s, "raa_tasks_completed_total"),
+        sample_value(&s, "raa_tasks_shed_total"),
+        sample_value(&s, "raa_tasks_hedged_total"),
+        sample_value(&s, "raa_tasks_retried_total"),
+        sample_value(&s, "raa_tasks_failed_total"),
+    );
+    let ok = sample_value(&s, "raa_steals_ok_total");
+    let empty = sample_value(&s, "raa_steals_empty_total");
+    let wakes = sample_value(&s, "raa_wakes_total");
+    println!(
+        "scheduler: steal hit-rate {:.1}% ({ok:.0} ok / {empty:.0} empty), \
+         wakes/task {:.3}, {:.0} parks, {:.0} injector overflows",
+        if ok + empty > 0.0 {
+            100.0 * ok / (ok + empty)
+        } else {
+            0.0
+        },
+        if spawned > 0.0 { wakes / spawned } else { 0.0 },
+        sample_value(&s, "raa_parks_total"),
+        sample_value(&s, "raa_injector_overflow_total"),
+    );
+    let local = sample_value_labeled(&s, "raa_slab_frees_total", "kind", "local");
+    let remote = sample_value_labeled(&s, "raa_slab_frees_total", "kind", "remote");
+    println!(
+        "memory: slab frees {local:.0} local / {remote:.0} remote (remote-free ratio {:.1}%)",
+        if local + remote > 0.0 {
+            100.0 * remote / (local + remote)
+        } else {
+            0.0
+        },
+    );
+    println!("latency (log-bucket upper bounds):");
+    for (label, name) in [
+        ("queue delay", "raa_queue_delay_ns"),
+        ("task body  ", "raa_body_ns"),
+        ("job e2e    ", "raa_job_e2e_ns"),
+    ] {
+        println!(
+            "  {label}  p50 {:>10}  p99 {:>10}  ({:.0} samples)",
+            ms(hist_quantile(&s, name, 0.50)),
+            ms(hist_quantile(&s, name, 0.99)),
+            sample_value(&s, &format!("{name}_count")),
+        );
+    }
+    let mut tenant_rows: Vec<(String, f64, f64, f64)> = s
+        .iter()
+        .filter(|x| x.name == "raa_tenant_completed_total")
+        .filter_map(|x| {
+            let job = x.label("job")?.to_string();
+            let shed = sample_value_labeled(&s, "raa_tenant_shed_total", "job", &job);
+            let p99 = sample_value_labeled(&s, "raa_tenant_body_p99_ns", "job", &job);
+            Some((job, x.value, shed, p99))
+        })
+        .collect();
+    tenant_rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if !tenant_rows.is_empty() {
+        println!("tenants:");
+        for (job, completed, shed, p99) in &tenant_rows {
+            println!(
+                "  {job:<20} {completed:>8.0} completed {shed:>7.0} shed  body p99 {}",
+                ms(*p99)
+            );
+        }
+    }
+}
+
 fn main() {
+    if let Some(path) = raa_bench::arg_value("--from-telemetry") {
+        report_from_telemetry(&path);
+        return;
+    }
     let target = env_usize("RAA_BENCH_TASKS", 20_000);
     let workers = env_usize("RAA_TRACE_WORKERS", 4).max(1);
     let iters = (target / raa_bench::CG_TASKS_PER_ITER).max(1);

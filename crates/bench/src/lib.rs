@@ -10,6 +10,7 @@ use raa_runtime::{AccessMode, BatchTask, TaskScope};
 use raa_workloads::Scale;
 
 pub mod fig6;
+pub mod telemetry_text;
 
 /// Tasks per iteration of [`spawn_cg_shape`]: spmv + dot per block, one
 /// scale, axpy per block, with 16 blocks.

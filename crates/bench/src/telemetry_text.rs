@@ -1,0 +1,181 @@
+//! Parsing for the runtime's Prometheus text exposition
+//! ([`prometheus_text`](raa_runtime::export::prometheus_text)): the
+//! file a `serving_load --serve` process publishes is the wire
+//! protocol shared by `raa_top` (live dashboard) and `trace_report
+//! --from-telemetry` (offline summary).
+
+/// One exposition sample: `name{labels} value`.
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse Prometheus text exposition. Unknown or malformed lines are
+/// skipped — consumers degrade, they don't crash on a torn scrape.
+pub fn parse_prometheus(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => continue,
+        };
+        let value = match value.parse::<f64>() {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let (name, labels) = match head.split_once('{') {
+            Some((n, rest)) => (n, parse_labels(rest.strip_suffix('}').unwrap_or(rest))),
+            None => (head, Vec::new()),
+        };
+        out.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+/// `key="value",key="value"` with `\"`, `\\`, `\n` escapes in values.
+fn parse_labels(body: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let b = body.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let eq = match body[i..].find('=') {
+            Some(off) => i + off,
+            None => break,
+        };
+        let key = body[i..eq].trim_matches(',').trim().to_string();
+        i = eq + 1;
+        if b.get(i) != Some(&b'"') {
+            break;
+        }
+        i += 1;
+        let mut val = String::new();
+        while i < b.len() {
+            match b[i] {
+                b'\\' if i + 1 < b.len() => {
+                    val.push(match b[i + 1] {
+                        b'n' => '\n',
+                        c => c as char,
+                    });
+                    i += 2;
+                }
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                c => {
+                    val.push(c as char);
+                    i += 1;
+                }
+            }
+        }
+        out.push((key, val));
+        if b.get(i) == Some(&b',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// First sample of `name` regardless of labels (0.0 when absent).
+pub fn sample_value(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name)
+        .map_or(0.0, |s| s.value)
+}
+
+/// First sample of `name` carrying `key="val"` (0.0 when absent).
+pub fn sample_value_labeled(samples: &[Sample], name: &str, key: &str, val: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.label(key) == Some(val))
+        .map_or(0.0, |s| s.value)
+}
+
+/// Recover a quantile from the cumulative `<name>_bucket{le=...}`
+/// series: the smallest upper bound whose cumulative count covers `q`.
+pub fn hist_quantile(samples: &[Sample], name: &str, q: f64) -> f64 {
+    let bucket = format!("{name}_bucket");
+    let mut pairs: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.name == bucket)
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((le, s.value))
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total = pairs.last().map_or(0.0, |p| p.1);
+    if total == 0.0 {
+        return 0.0;
+    }
+    let target = (q * total).ceil();
+    for (le, cum) in &pairs {
+        if *cum >= target {
+            return *le;
+        }
+    }
+    f64::INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names_labels_and_values() {
+        let text = "# HELP x\n# TYPE x counter\n\
+                    raa_up 1\n\
+                    raa_tenant_completed_total{job=\"a b\",id=\"j1.0\",qos=\"BestEffort\"} 12\n\
+                    raa_tenant_completed_total{job=\"q\\\"uote\",id=\"j2.0\"} 3\n\
+                    garbage line without value x\n";
+        let s = parse_prometheus(text);
+        assert_eq!(s.len(), 3);
+        assert_eq!(sample_value(&s, "raa_up"), 1.0);
+        assert_eq!(
+            sample_value_labeled(&s, "raa_tenant_completed_total", "job", "a b"),
+            12.0
+        );
+        assert_eq!(
+            sample_value_labeled(&s, "raa_tenant_completed_total", "job", "q\"uote"),
+            3.0
+        );
+        assert_eq!(s[1].label("qos"), Some("BestEffort"));
+    }
+
+    #[test]
+    fn quantiles_from_cumulative_buckets() {
+        let text = "h_bucket{le=\"100\"} 50\n\
+                    h_bucket{le=\"200\"} 99\n\
+                    h_bucket{le=\"+Inf\"} 100\n\
+                    h_count 100\n";
+        let s = parse_prometheus(text);
+        assert_eq!(hist_quantile(&s, "h", 0.50), 100.0);
+        assert_eq!(hist_quantile(&s, "h", 0.99), 200.0);
+        assert!(hist_quantile(&s, "h", 1.0).is_infinite());
+        assert_eq!(hist_quantile(&s, "missing", 0.5), 0.0);
+    }
+}

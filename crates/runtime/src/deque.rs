@@ -248,7 +248,12 @@ impl<T> DequeStealer<T> {
         };
         if inner
             .head
-            .compare_exchange(h, pack(r, r.wrapping_add(k)), Ordering::SeqCst, Ordering::Relaxed)
+            .compare_exchange(
+                h,
+                pack(r, r.wrapping_add(k)),
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            )
             .is_err()
         {
             return Steal::Retry;

@@ -20,6 +20,7 @@ use std::fmt;
 use crate::graph::TaskGraph;
 use crate::stats::{StatsSnapshot, RETRY_HIST_BUCKETS};
 use crate::task::TaskId;
+use crate::telemetry::{bucket_bounds, HistSnapshot, TelemetrySnapshot};
 use crate::trace::{Trace, TraceEvent, TraceEventKind, EXTERNAL_WORKER};
 
 /// Attempt key: one task execution attempt on one slab slot generation.
@@ -717,6 +718,279 @@ pub fn critical_path_attribution(trace: &Trace, graph: &TaskGraph) -> Option<Cri
         wall_ns: wall_end.saturating_sub(wall_start),
         steps,
     })
+}
+
+/// One histogram as JSON: exact count/sum/mean, bucketed quantiles, and
+/// the sparse bucket list as `[lo, hi, n]` triples (empty buckets are
+/// omitted — at 64 log2 buckets the dense form would be mostly zeros).
+fn hist_json(h: &HistSnapshot) -> String {
+    let mut buckets = String::new();
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            if !buckets.is_empty() {
+                buckets.push(',');
+            }
+            let (lo, hi) = bucket_bounds(i);
+            buckets.push_str(&format!("[{lo},{hi},{n}]"));
+        }
+    }
+    format!(
+        "{{\"count\":{},\"sum\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"buckets\":[{buckets}]}}",
+        h.count(),
+        h.sum,
+        h.mean(),
+        h.p50(),
+        h.p99(),
+    )
+}
+
+/// Render a [`TelemetrySnapshot`] as a self-contained JSON object:
+/// runtime counters, the shed controller and slab state, the three
+/// global histograms, and one entry per tenant. Hand-written like every
+/// exporter here — the workspace has no serde.
+pub fn telemetry_json(snap: &TelemetrySnapshot) -> String {
+    let s = &snap.stats;
+    let mut tenants = String::new();
+    for t in &snap.tenants {
+        if !tenants.is_empty() {
+            tenants.push(',');
+        }
+        let m = &t.metrics;
+        tenants.push_str(&format!(
+            "{{\"id\":\"{:?}\",\"label\":\"{}\",\"qos\":\"{:?}\",\
+             \"spawned\":{},\"completed\":{},\"failed\":{},\"shed\":{},\
+             \"queued\":{},\"running\":{},\"deadline_missed\":{},\
+             \"queue_delay_p50_ns\":{},\"queue_delay_p99_ns\":{},\
+             \"body_p50_ns\":{},\"body_p99_ns\":{},\
+             \"queue_delay\":{},\"body\":{}}}",
+            t.id,
+            esc(&t.label),
+            t.qos,
+            m.spawned,
+            m.completed,
+            m.failed,
+            m.shed,
+            m.queued,
+            m.running,
+            t.deadline_missed,
+            m.queue_delay_p50.as_nanos(),
+            m.queue_delay_p99.as_nanos(),
+            m.body_p50.as_nanos(),
+            m.body_p99.as_nanos(),
+            hist_json(&t.queue_delay),
+            hist_json(&t.body),
+        ));
+    }
+    format!(
+        "{{\"at_ns\":{},\"workers\":{},\"alive_workers\":{},\
+         \"counters\":{{\"spawned\":{},\"completed\":{},\"edges\":{},\
+         \"failed\":{},\"panicked\":{},\"retried\":{},\"poisoned\":{},\
+         \"shed\":{},\"cancelled\":{},\"discarded\":{},\"hedged\":{},\
+         \"jobs_submitted\":{},\"jobs_cancelled\":{},\"jobs_deadline_missed\":{},\
+         \"worker_deaths\":{},\"worker_respawns\":{},\"worker_stalls\":{},\
+         \"steals_ok\":{},\"steals_empty\":{},\"injector_overflow\":{},\
+         \"parks\":{},\"wakes\":{}}},\
+         \"wakes_per_task\":{:.4},\
+         \"slab\":{{\"local_frees\":{},\"remote_frees\":{},\"remote_free_ratio\":{:.4}}},\
+         \"shed\":{{\"engaged\":{},\"smoothed_delay_ns\":{},\"engage_transitions\":{},\
+         \"recover_transitions\":{},\"rate\":{:.4}}},\
+         \"flight_dumps\":{},\
+         \"queue_delay\":{},\"body\":{},\"job_e2e\":{},\
+         \"tenants\":[{tenants}]}}",
+        snap.at_ns,
+        snap.workers,
+        snap.alive_workers,
+        s.spawned,
+        s.completed,
+        s.edges,
+        s.failed_tasks,
+        s.panicked,
+        s.retried,
+        s.poisoned_tasks,
+        s.tasks_shed,
+        s.tasks_cancelled,
+        s.tasks_discarded,
+        s.tasks_hedged,
+        s.jobs_submitted,
+        s.jobs_cancelled,
+        s.jobs_deadline_missed,
+        s.worker_deaths,
+        s.worker_respawns,
+        s.worker_stalls,
+        s.steals_ok,
+        s.steals_empty,
+        s.injector_overflow,
+        s.parks,
+        s.wakes,
+        s.wakes_per_task(),
+        snap.slab_local_frees,
+        snap.slab_remote_frees,
+        snap.slab_remote_free_ratio(),
+        snap.shed_engaged,
+        snap.shed_delay.as_nanos(),
+        snap.shed_transitions.0,
+        snap.shed_transitions.1,
+        snap.shed_rate(),
+        snap.flight_dumps,
+        hist_json(&snap.queue_delay),
+        hist_json(&snap.body),
+        hist_json(&snap.job_e2e),
+    )
+}
+
+/// Escape a Prometheus label value (`\`, `"` and newline).
+fn prom_esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Append one histogram in Prometheus exposition format: cumulative
+/// `_bucket{le=...}` series over the non-empty log2 buckets, then
+/// `_sum` and `_count`.
+fn prom_hist(out: &mut String, name: &str, h: &HistSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            cum += n;
+            let (_, hi) = bucket_bounds(i);
+            out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cum}\n"));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Render a [`TelemetrySnapshot`] in the Prometheus text exposition
+/// format (version 0.0.4). This doubles as the runtime's file
+/// interchange format: `serving_load --serve` writes it periodically
+/// and `raa_top` / `trace_report --from-telemetry` read it back with a
+/// two-token line parser.
+pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
+    let s = &snap.stats;
+    let mut out = String::with_capacity(4096);
+    let counter = |out: &mut String, name: &str, v: u64| {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    };
+    let gauge = |out: &mut String, name: &str, v: u64| {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    };
+    gauge(&mut out, "raa_up", 1);
+    gauge(&mut out, "raa_snapshot_at_ns", snap.at_ns);
+    gauge(&mut out, "raa_workers", snap.workers as u64);
+    gauge(&mut out, "raa_alive_workers", snap.alive_workers as u64);
+    counter(&mut out, "raa_tasks_spawned_total", s.spawned);
+    counter(&mut out, "raa_tasks_completed_total", s.completed);
+    counter(&mut out, "raa_tasks_failed_total", s.failed_tasks);
+    counter(&mut out, "raa_tasks_shed_total", s.tasks_shed);
+    counter(&mut out, "raa_tasks_cancelled_total", s.tasks_cancelled);
+    counter(&mut out, "raa_tasks_hedged_total", s.tasks_hedged);
+    counter(&mut out, "raa_tasks_retried_total", s.retried);
+    counter(&mut out, "raa_jobs_submitted_total", s.jobs_submitted);
+    counter(&mut out, "raa_jobs_cancelled_total", s.jobs_cancelled);
+    counter(
+        &mut out,
+        "raa_jobs_deadline_missed_total",
+        s.jobs_deadline_missed,
+    );
+    counter(&mut out, "raa_worker_deaths_total", s.worker_deaths);
+    counter(&mut out, "raa_worker_respawns_total", s.worker_respawns);
+    counter(&mut out, "raa_worker_stalls_total", s.worker_stalls);
+    counter(&mut out, "raa_steals_ok_total", s.steals_ok);
+    counter(&mut out, "raa_steals_empty_total", s.steals_empty);
+    counter(&mut out, "raa_injector_overflow_total", s.injector_overflow);
+    counter(&mut out, "raa_parks_total", s.parks);
+    counter(&mut out, "raa_wakes_total", s.wakes);
+    out.push_str("# TYPE raa_slab_frees_total counter\n");
+    out.push_str(&format!(
+        "raa_slab_frees_total{{kind=\"local\"}} {}\n",
+        snap.slab_local_frees
+    ));
+    out.push_str(&format!(
+        "raa_slab_frees_total{{kind=\"remote\"}} {}\n",
+        snap.slab_remote_frees
+    ));
+    gauge(&mut out, "raa_shed_engaged", snap.shed_engaged as u64);
+    gauge(
+        &mut out,
+        "raa_shed_delay_ns",
+        snap.shed_delay.as_nanos() as u64,
+    );
+    out.push_str("# TYPE raa_shed_transitions_total counter\n");
+    out.push_str(&format!(
+        "raa_shed_transitions_total{{dir=\"engage\"}} {}\n",
+        snap.shed_transitions.0
+    ));
+    out.push_str(&format!(
+        "raa_shed_transitions_total{{dir=\"recover\"}} {}\n",
+        snap.shed_transitions.1
+    ));
+    counter(&mut out, "raa_flight_dumps_total", snap.flight_dumps);
+    prom_hist(&mut out, "raa_queue_delay_ns", &snap.queue_delay);
+    prom_hist(&mut out, "raa_body_ns", &snap.body);
+    prom_hist(&mut out, "raa_job_e2e_ns", &snap.job_e2e);
+    if !snap.tenants.is_empty() {
+        for ty in [
+            "spawned_total",
+            "completed_total",
+            "failed_total",
+            "shed_total",
+        ] {
+            out.push_str(&format!("# TYPE raa_tenant_{ty} counter\n"));
+        }
+        for g in [
+            "queued",
+            "running",
+            "deadline_missed",
+            "queue_delay_p50_ns",
+            "queue_delay_p99_ns",
+            "body_p50_ns",
+            "body_p99_ns",
+        ] {
+            out.push_str(&format!("# TYPE raa_tenant_{g} gauge\n"));
+        }
+        for t in &snap.tenants {
+            let m = &t.metrics;
+            let lab = format!(
+                "{{job=\"{}\",id=\"{:?}\",qos=\"{:?}\"}}",
+                prom_esc(&t.label),
+                t.id,
+                t.qos
+            );
+            out.push_str(&format!("raa_tenant_spawned_total{lab} {}\n", m.spawned));
+            out.push_str(&format!(
+                "raa_tenant_completed_total{lab} {}\n",
+                m.completed
+            ));
+            out.push_str(&format!("raa_tenant_failed_total{lab} {}\n", m.failed));
+            out.push_str(&format!("raa_tenant_shed_total{lab} {}\n", m.shed));
+            out.push_str(&format!("raa_tenant_queued{lab} {}\n", m.queued));
+            out.push_str(&format!("raa_tenant_running{lab} {}\n", m.running));
+            out.push_str(&format!(
+                "raa_tenant_deadline_missed{lab} {}\n",
+                t.deadline_missed as u64
+            ));
+            out.push_str(&format!(
+                "raa_tenant_queue_delay_p50_ns{lab} {}\n",
+                m.queue_delay_p50.as_nanos()
+            ));
+            out.push_str(&format!(
+                "raa_tenant_queue_delay_p99_ns{lab} {}\n",
+                m.queue_delay_p99.as_nanos()
+            ));
+            out.push_str(&format!(
+                "raa_tenant_body_p50_ns{lab} {}\n",
+                m.body_p50.as_nanos()
+            ));
+            out.push_str(&format!(
+                "raa_tenant_body_p99_ns{lab} {}\n",
+                m.body_p99.as_nanos()
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

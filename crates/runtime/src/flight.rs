@@ -1,0 +1,375 @@
+//! Always-on flight recorder: a tiny per-worker ring of recent trace
+//! events, kept at a fraction of the full tracer's rate, so a fault
+//! has a post-mortem even when nobody asked for a trace.
+//!
+//! The recorder reuses the 32-byte POD [`TraceEvent`] format but none
+//! of the tracer's machinery: rings are small (a few KiB per worker),
+//! writes are sampled (1 in 16 task starts/completes; faults, skips,
+//! retries and poisons always), and timestamps are plain
+//! `Instant`-based nanoseconds since the runtime epoch — the rare-write
+//! path doesn't warrant the tracer's raw-TSC clock.
+//!
+//! A trigger (worker death, deadline miss, detected uncorrectable
+//! error, drain timeout, or a sampler [`Anomaly`](crate::telemetry::Anomaly))
+//! calls [`FlightRecorder::request_dump`], which snapshots every ring
+//! into a pending [`FlightDump`]. The runtime later materialises dumps
+//! into [`FlightBundle`]s — `{telemetry snapshot JSON, last-N events as
+//! Chrome trace, contention report}` — via
+//! [`Runtime::take_flight_bundles`](crate::Runtime::take_flight_bundles).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::task::TaskId;
+use crate::trace::{TraceEvent, TraceEventKind};
+
+/// Events kept per worker ring. 256 × 32 B = 8 KiB per worker — enough
+/// history to see the seconds before a fault, small enough to capture
+/// on every trigger without a hiccup.
+pub const FLIGHT_RING_CAP: usize = 256;
+
+/// Keep 1 in `SAMPLE_MASK + 1` task start/complete pairs.
+const SAMPLE_MASK: u32 = 0xF;
+
+/// Pending dumps are bounded; a trigger storm (every overdue job calls
+/// the reaper) keeps the first few and counts the rest. Rare faults
+/// outrank stormy triggers: a full queue evicts its oldest
+/// lower-severity capture rather than dropping a worker death (see
+/// [`FlightReason::severity`]).
+const MAX_PENDING_DUMPS: usize = 8;
+
+/// Why a dump was captured.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlightReason {
+    /// A worker thread died (panicked through the task harness or was
+    /// killed by fault injection) and its deque was drained.
+    WorkerDeath { worker: usize },
+    /// The reaper found a job past its deadline.
+    DeadlineMiss { job: String },
+    /// A detected uncorrectable error poisoned a region.
+    HardwareFault { region: String },
+    /// `drain` hit its grace deadline and forced termination.
+    DrainTimeout,
+    /// The background sampler's trigger rules fired.
+    Anomaly { rule: &'static str },
+}
+
+impl FlightReason {
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightReason::WorkerDeath { .. } => "worker-death",
+            FlightReason::DeadlineMiss { .. } => "deadline-miss",
+            FlightReason::HardwareFault { .. } => "hardware-fault",
+            FlightReason::DrainTimeout => "drain-timeout",
+            FlightReason::Anomaly { .. } => "anomaly",
+        }
+    }
+
+    /// Storm resistance class: how likely this trigger is to fire many
+    /// times in one incident, and therefore how expendable its capture
+    /// is when the pending queue fills. Sampler anomalies re-fire every
+    /// tick (0); under overload *every* overdue tenant is a deadline
+    /// miss (1); worker deaths, detected uncorrectable errors and drain
+    /// timeouts are one-shot faults (2).
+    fn severity(&self) -> u8 {
+        match self {
+            FlightReason::Anomaly { .. } => 0,
+            FlightReason::DeadlineMiss { .. } => 1,
+            FlightReason::WorkerDeath { .. }
+            | FlightReason::HardwareFault { .. }
+            | FlightReason::DrainTimeout => 2,
+        }
+    }
+
+    /// Free-form detail string for exports.
+    pub fn detail(&self) -> String {
+        match self {
+            FlightReason::WorkerDeath { worker } => format!("worker {worker}"),
+            FlightReason::DeadlineMiss { job } => job.clone(),
+            FlightReason::HardwareFault { region } => region.clone(),
+            FlightReason::DrainTimeout => String::new(),
+            FlightReason::Anomaly { rule } => (*rule).to_string(),
+        }
+    }
+}
+
+/// A captured (not yet materialised) dump: the reason plus every ring's
+/// recent events, one track per worker with the external track last.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    pub reason: FlightReason,
+    /// Capture time, ns since the recorder's epoch.
+    pub at_ns: u64,
+    /// Per-track events in ring (oldest-first) order.
+    pub tracks: Vec<Vec<TraceEvent>>,
+}
+
+impl FlightDump {
+    pub fn len(&self) -> usize {
+        self.tracks.iter().map(|t| t.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A materialised post-mortem bundle.
+#[derive(Clone, Debug)]
+pub struct FlightBundle {
+    pub reason: FlightReason,
+    /// Capture time, ns since the recorder's epoch.
+    pub at_ns: u64,
+    /// Events in the Chrome trace.
+    pub events: usize,
+    /// [`telemetry_json`](crate::export::telemetry_json) of the
+    /// snapshot taken at materialisation time.
+    pub snapshot_json: String,
+    /// The ring contents as Chrome Trace Event Format JSON.
+    pub trace_json: String,
+    /// Human-readable contention report at materialisation time.
+    pub contention: String,
+}
+
+/// One worker's bounded event ring.
+#[derive(Default)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Next write position once the ring has wrapped.
+    next: usize,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < FLIGHT_RING_CAP {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+        }
+        self.next = (self.next + 1) % FLIGHT_RING_CAP;
+    }
+
+    /// Contents oldest-first.
+    fn drained(&self) -> Vec<TraceEvent> {
+        if self.buf.len() < FLIGHT_RING_CAP {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(FLIGHT_RING_CAP);
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+}
+
+/// The recorder: `workers + 1` rings (external threads share the last
+/// one). Each ring has its own mutex; a writer only ever touches its
+/// own worker's ring, so the lock is uncontended in steady state — and
+/// writes are sampled on top of that.
+pub struct FlightRecorder {
+    workers: usize,
+    epoch: Instant,
+    rings: Vec<Mutex<Ring>>,
+    pending: Mutex<Vec<FlightDump>>,
+    dumps_requested: AtomicU64,
+    dumps_dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(workers: usize) -> Self {
+        FlightRecorder {
+            workers,
+            epoch: Instant::now(),
+            rings: (0..=workers).map(|_| Mutex::new(Ring::default())).collect(),
+            pending: Mutex::new(Vec::new()),
+            dumps_requested: AtomicU64::new(0),
+            dumps_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a high-rate event for this task is kept this time.
+    #[inline]
+    pub(crate) fn sampled(task: TaskId) -> bool {
+        task.0 & SAMPLE_MASK == 0
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Append an event to the calling thread's ring.
+    pub(crate) fn record(&self, kind: TraceEventKind, task: TaskId, slot: u32, gen: u64, arg: u64) {
+        let w = match crate::pool::current_worker() {
+            Some(w) if w < self.workers => w,
+            _ => self.workers,
+        };
+        let ev = TraceEvent {
+            ts_ns: self.now_ns(),
+            task,
+            slot,
+            gen: gen as u32,
+            arg: arg as u32,
+            worker: w as u32,
+            kind,
+        };
+        if let Ok(mut ring) = self.rings[w].lock() {
+            ring.push(ev);
+        }
+    }
+
+    /// Capture every ring into a pending dump. Cheap enough to call
+    /// from fault paths: bounded copies under per-ring locks.
+    pub(crate) fn request_dump(&self, reason: FlightReason) {
+        self.dumps_requested.fetch_add(1, Ordering::Relaxed);
+        let at_ns = self.now_ns();
+        let mut pending = match self.pending.lock() {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        if pending.len() >= MAX_PENDING_DUMPS {
+            // Evict the oldest strictly-less-severe capture so a storm
+            // of sampler anomalies or reaped tenants cannot crowd out
+            // the post-mortem for an actual worker death.
+            match pending
+                .iter()
+                .position(|d| d.reason.severity() < reason.severity())
+            {
+                Some(pos) => {
+                    pending.remove(pos);
+                    self.dumps_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.dumps_dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        let tracks = self
+            .rings
+            .iter()
+            .map(|r| r.lock().map(|g| g.drained()).unwrap_or_default())
+            .collect();
+        pending.push(FlightDump {
+            reason,
+            at_ns,
+            tracks,
+        });
+    }
+
+    /// Remove and return every pending dump.
+    pub(crate) fn take_dumps(&self) -> Vec<FlightDump> {
+        self.pending
+            .lock()
+            .map(|mut p| std::mem::take(&mut *p))
+            .unwrap_or_default()
+    }
+
+    /// Dumps requested so far (including any dropped to the pending
+    /// bound).
+    pub fn dump_count(&self) -> u64 {
+        self.dumps_requested.load(Ordering::Relaxed)
+    }
+
+    pub fn dumps_dropped(&self) -> u64 {
+        self.dumps_dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_drains_oldest_first() {
+        let mut ring = Ring::default();
+        let mk = |i: u64| TraceEvent {
+            ts_ns: i,
+            task: TaskId(i as u32),
+            slot: 0,
+            gen: 0,
+            arg: 0,
+            worker: 0,
+            kind: TraceEventKind::Start,
+        };
+        for i in 0..(FLIGHT_RING_CAP as u64 + 10) {
+            ring.push(mk(i));
+        }
+        let out = ring.drained();
+        assert_eq!(out.len(), FLIGHT_RING_CAP);
+        assert_eq!(out.first().unwrap().ts_ns, 10, "oldest surviving event");
+        assert_eq!(out.last().unwrap().ts_ns, FLIGHT_RING_CAP as u64 + 9);
+        for pair in out.windows(2) {
+            assert!(pair[0].ts_ns < pair[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_sixteen() {
+        let kept = (0u32..4096)
+            .filter(|&i| FlightRecorder::sampled(TaskId(i)))
+            .count();
+        assert_eq!(kept, 4096 / 16);
+        assert!(FlightRecorder::sampled(TaskId(0)));
+        assert!(!FlightRecorder::sampled(TaskId(1)));
+    }
+
+    #[test]
+    fn dumps_are_bounded_and_counted() {
+        let fr = FlightRecorder::new(2);
+        fr.record(TraceEventKind::Fault, TaskId(7), 1, 2, 3);
+        for _ in 0..20 {
+            fr.request_dump(FlightReason::DrainTimeout);
+        }
+        assert_eq!(fr.dump_count(), 20);
+        assert_eq!(fr.dumps_dropped(), 20 - 8);
+        let dumps = fr.take_dumps();
+        assert_eq!(dumps.len(), 8);
+        assert!(dumps.iter().all(|d| d.len() == 1));
+        assert!(fr.take_dumps().is_empty(), "take drains");
+        // After draining, new requests are captured again.
+        fr.request_dump(FlightReason::WorkerDeath { worker: 0 });
+        let dumps = fr.take_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason.label(), "worker-death");
+    }
+
+    #[test]
+    fn faults_evict_stormy_captures_when_full() {
+        let fr = FlightRecorder::new(1);
+        for _ in 0..MAX_PENDING_DUMPS {
+            fr.request_dump(FlightReason::Anomaly { rule: "shed-spike" });
+        }
+        for _ in 0..3 {
+            fr.request_dump(FlightReason::DeadlineMiss { job: "late".into() });
+        }
+        fr.request_dump(FlightReason::WorkerDeath { worker: 0 });
+        // One eviction per over-capacity request.
+        assert_eq!(fr.dumps_dropped(), 4);
+        let dumps = fr.take_dumps();
+        assert_eq!(dumps.len(), MAX_PENDING_DUMPS);
+        assert!(
+            dumps
+                .iter()
+                .any(|d| d.reason == FlightReason::WorkerDeath { worker: 0 }),
+            "the worker death survived the storm"
+        );
+        assert_eq!(
+            dumps
+                .iter()
+                .filter(|d| matches!(d.reason, FlightReason::DeadlineMiss { .. }))
+                .count(),
+            3
+        );
+        // A storm of equal severity cannot evict an actual fault.
+        for _ in 0..MAX_PENDING_DUMPS + 1 {
+            fr.request_dump(FlightReason::DeadlineMiss { job: "late".into() });
+        }
+        fr.request_dump(FlightReason::Anomaly { rule: "wake-storm" });
+        let dumps = fr.take_dumps();
+        assert!(dumps
+            .iter()
+            .all(|d| matches!(d.reason, FlightReason::DeadlineMiss { .. })));
+    }
+}

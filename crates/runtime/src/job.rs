@@ -260,6 +260,16 @@ pub struct JobMetrics {
     pub queue_delay_avg: Duration,
     /// Worst admission→first-dispatch delay seen.
     pub queue_delay_max: Duration,
+    /// Median admission→first-dispatch delay, from the telemetry
+    /// plane's per-job log-bucketed histogram (bucket upper bound;
+    /// zero when telemetry is disabled).
+    pub queue_delay_p50: Duration,
+    /// 99th-percentile admission→first-dispatch delay (telemetry only).
+    pub queue_delay_p99: Duration,
+    /// Median task body execution time (telemetry only).
+    pub body_p50: Duration,
+    /// 99th-percentile task body execution time (telemetry only).
+    pub body_p99: Duration,
     /// The job blew its [`JobSpec::deadline`] (best-effort jobs are
     /// reaped when this happens; guaranteed jobs only get the mark).
     pub deadline_missed: bool,
@@ -355,6 +365,15 @@ pub(crate) struct JobState {
     /// Monotonic fast-path flag for this job's poison state.
     pub(crate) has_poison: AtomicBool,
     pub(crate) poisoned: Mutex<Vec<PoisonedRegion>>,
+    /// Submission time, for the telemetry plane's job end-to-end
+    /// histogram.
+    pub(crate) created_at: Instant,
+    /// First-quiescence latch: the e2e sample is recorded once, when
+    /// the job's in-flight count first returns to zero.
+    pub(crate) e2e_recorded: AtomicBool,
+    /// Per-tenant histograms, allocated only when the runtime's
+    /// telemetry plane is on.
+    pub(crate) telemetry: Option<Arc<crate::telemetry::JobTelemetry>>,
 }
 
 impl JobState {
@@ -369,6 +388,7 @@ impl JobState {
         max_in_flight: Option<usize>,
         deadline_at: Option<Instant>,
         cost_hint: u64,
+        telemetry: Option<Arc<crate::telemetry::JobTelemetry>>,
     ) -> Self {
         JobState {
             id,
@@ -397,6 +417,9 @@ impl JobState {
             failures: Mutex::new(Vec::new()),
             has_poison: AtomicBool::new(false),
             poisoned: Mutex::new(Vec::new()),
+            created_at: Instant::now(),
+            e2e_recorded: AtomicBool::new(false),
+            telemetry,
         }
     }
 
@@ -475,6 +498,9 @@ impl JobState {
         self.dispatched.add(1);
         self.queue_delay_ns_sum.add(ns);
         self.queue_delay_ns_max.fetch_max(ns, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.record_queue_delay(ns);
+        }
     }
 
     pub(crate) fn metrics(&self) -> JobMetrics {
@@ -486,6 +512,12 @@ impl JobState {
             .sum()
             .checked_div(dispatched)
             .unwrap_or(0);
+        // Quantiles come from the telemetry plane's per-job histograms;
+        // without the plane they read zero (avg/max stay authoritative).
+        let (qd, body) = match &self.telemetry {
+            Some(t) => t.snapshots(),
+            None => Default::default(),
+        };
         JobMetrics {
             // Every settle passes through a worker running the task
             // wrapper (cancel-skips included), so dispatched sits
@@ -499,6 +531,10 @@ impl JobState {
             spawned,
             queue_delay_avg: Duration::from_nanos(avg),
             queue_delay_max: Duration::from_nanos(self.queue_delay_ns_max.load(Ordering::Relaxed)),
+            queue_delay_p50: Duration::from_nanos(qd.p50()),
+            queue_delay_p99: Duration::from_nanos(qd.p99()),
+            body_p50: Duration::from_nanos(body.p50()),
+            body_p99: Duration::from_nanos(body.p99()),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed)
                 || self
                     .deadline_at
@@ -588,6 +624,7 @@ mod tests {
             None,
             None,
             0,
+            None,
         ))
     }
 

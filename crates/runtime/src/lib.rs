@@ -62,6 +62,7 @@ pub mod deps;
 pub mod deque;
 pub mod export;
 pub mod fault;
+pub mod flight;
 pub mod graph;
 pub mod job;
 pub mod overload;
@@ -73,18 +74,21 @@ pub mod scheduler;
 pub mod simsched;
 pub mod stats;
 pub mod task;
+pub mod telemetry;
 pub mod trace;
 
 pub use blocked::Blocks;
 pub use export::{
-    chrome_trace_json, critical_path_attribution, program_json, CriticalPathReport, MetricsReport,
+    chrome_trace_json, critical_path_attribution, program_json, prometheus_text, telemetry_json,
+    CriticalPathReport, MetricsReport,
 };
 pub use fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
+pub use flight::{FlightBundle, FlightReason};
 pub use graph::TaskGraph;
 pub use job::{AdmissionError, DrainReport, JobId, JobMetrics, JobSpec, JobStats};
-pub use overload::ShedController;
+pub use overload::{ShedController, ShedSnapshot};
 pub use program::TaskProgram;
 pub use region::{AccessMode, DataHandle, Region, RegionId, RegionRange};
 pub use runtime::{
@@ -95,4 +99,8 @@ pub use scheduler::{QosClass, SchedulerPolicy};
 pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};
 pub use stats::{ContentionReport, StatsSnapshot, VictimSteals};
 pub use task::{Criticality, ExecBody, TaskId, TaskMeta};
+pub use telemetry::{
+    Anomaly, HistSnapshot, LogHistogram, TelemetryDelta, TelemetrySnapshot, TenantTelemetry,
+    TriggerRules,
+};
 pub use trace::{Trace, TraceConfig, TraceEvent, TraceEventKind, TraceSession, Tracer};

@@ -93,6 +93,28 @@ impl ShedController {
             self.recovered.load(Ordering::Relaxed),
         )
     }
+
+    /// Point-in-time controller state, for the telemetry plane.
+    pub fn snapshot(&self) -> ShedSnapshot {
+        let (engaged, recovered) = self.transitions();
+        ShedSnapshot {
+            engaged: self.should_shed(),
+            smoothed_delay: self.queue_delay(),
+            engage_transitions: engaged,
+            recover_transitions: recovered,
+        }
+    }
+}
+
+/// A copy of the shed controller's state at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShedSnapshot {
+    /// Whether sheddable admissions are currently refused.
+    pub engaged: bool,
+    /// The smoothed admission→dispatch delay driving the decision.
+    pub smoothed_delay: Duration,
+    pub engage_transitions: u64,
+    pub recover_transitions: u64,
 }
 
 #[cfg(test)]

@@ -126,6 +126,9 @@ pub struct PoolOptions {
     /// watchdog (which runs even when `watchdog.enabled` is false, in a
     /// hedge-only mode). `None` disables the scan.
     pub soft_timeout: Option<Duration>,
+    /// When set, an injected worker death requests a post-mortem dump
+    /// from the flight recorder before the thread exits.
+    pub flight: Option<Arc<crate::flight::FlightRecorder>>,
 }
 
 struct PoolShared {
@@ -189,6 +192,7 @@ struct PoolShared {
     plan: Option<Arc<FaultPlan>>,
     watchdog: WatchdogConfig,
     soft_timeout: Option<Duration>,
+    flight: Option<Arc<crate::flight::FlightRecorder>>,
     /// Sender into the retry-timer thread; taken (disconnecting the
     /// timer) at shutdown.
     retry_tx: Mutex<Option<mpsc::Sender<(ReadyTask, Instant)>>>,
@@ -289,6 +293,7 @@ impl WorkerPool {
             plan: options.plan,
             watchdog: options.watchdog,
             soft_timeout: options.soft_timeout,
+            flight: options.flight,
             retry_tx: Mutex::new(Some(retry_tx)),
         });
         let handles = (0..workers)
@@ -439,6 +444,14 @@ impl WorkerPool {
         )
     }
 
+    /// A cheap cloneable handle onto the pool's counters, for the
+    /// telemetry sampler thread (which must outlive no pool borrow).
+    pub(crate) fn stats_handle(&self) -> PoolStatsHandle {
+        PoolStatsHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Wake one parked worker (after pushing work).
     pub fn wake_one(&self) {
         self.shared.wake_one();
@@ -480,6 +493,39 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// An `Arc` view of the pool counters the telemetry sampler reads each
+/// tick. Holding it does not keep worker threads alive — it only pins
+/// the counter block.
+#[derive(Clone)]
+pub(crate) struct PoolStatsHandle {
+    shared: Arc<PoolShared>,
+}
+
+impl PoolStatsHandle {
+    pub(crate) fn park_stats(&self) -> (u64, u64) {
+        (
+            self.shared.parks.load(Ordering::Relaxed),
+            self.shared.wakes.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn fault_stats(&self) -> PoolFaultStats {
+        PoolFaultStats {
+            worker_deaths: self.shared.deaths.load(Ordering::Relaxed),
+            worker_respawns: self.shared.respawns.load(Ordering::Relaxed),
+            worker_stalls: self.shared.stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn alive_workers(&self) -> usize {
+        self.shared
+            .alive
+            .iter()
+            .filter(|a| a.load(Ordering::SeqCst))
+            .count()
     }
 }
 
@@ -586,6 +632,11 @@ fn injected_death(who: usize, shared: &PoolShared) -> bool {
     }
     shared.alive[who].store(false, Ordering::SeqCst);
     shared.deaths.fetch_add(1, Ordering::Relaxed);
+    // Capture the post-mortem while the dying worker's ring still holds
+    // its final events (the respawn will keep appending to this index).
+    if let Some(fr) = &shared.flight {
+        fr.request_dump(crate::flight::FlightReason::WorkerDeath { worker: who });
+    }
     shared.wake_all();
     true
 }
@@ -955,8 +1006,7 @@ mod tests {
         let options = PoolOptions {
             plan: Some(Arc::new(plan)),
             watchdog: WatchdogConfig::enabled(),
-            tracer: None,
-            soft_timeout: None,
+            ..PoolOptions::default()
         };
         let pool = WorkerPool::new(2, queues, client.clone(), options);
         for i in 0..100 {
@@ -980,8 +1030,7 @@ mod tests {
         let options = PoolOptions {
             plan: Some(Arc::new(plan)),
             watchdog: WatchdogConfig::enabled().respawn(false),
-            tracer: None,
-            soft_timeout: None,
+            ..PoolOptions::default()
         };
         let pool = WorkerPool::new(2, queues, client.clone(), options);
         for i in 0..200 {

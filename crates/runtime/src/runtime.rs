@@ -43,12 +43,13 @@ use parking_lot::{Condvar, Mutex};
 use crate::fault::{
     FaultPlan, FaultReport, InjectedFault, RetryPolicy, TaskError, TaskFailure, WatchdogConfig,
 };
+use crate::flight::{FlightBundle, FlightReason};
 use crate::graph::TaskGraph;
 use crate::job::{
     cleanse, AdmissionError, DrainReport, JobId, JobSpec, JobState, JobStats, JobTable,
     PoisonedRegion,
 };
-use crate::pool::{Completion, PoolClient, PoolOptions, WorkerPool};
+use crate::pool::{Completion, PoolClient, PoolOptions, PoolStatsHandle, WorkerPool};
 use crate::program::{SinkGuard, TaskProgram};
 use crate::region::{Access, AccessMode, DataHandle, Region};
 use crate::scheduler::{QosClass, ReadyQueues, ReadyTask, SchedulerPolicy};
@@ -56,6 +57,10 @@ use crate::stats::{
     ContentionReport, RuntimeStats, StatsSnapshot, StripedGauge, RETRY_HIST_BUCKETS,
 };
 use crate::task::{Criticality, ExecBody, TaskBody, TaskId, TaskMeta, TaskRef, TaskSlab};
+use crate::telemetry::{
+    detect, SamplerShared, TelemetryDelta, TelemetrySnapshot, TenantTelemetry, TriggerRules,
+    SAMPLE_INTERVAL,
+};
 use crate::trace::{Trace, TraceConfig, TraceEventKind, TraceSession, Tracer};
 
 /// Node budget for the backward bottom-level relaxation at spawn. The
@@ -234,6 +239,19 @@ pub struct RuntimeConfig {
     /// completion is discarded. Requires the watchdog (enabled
     /// implicitly when this is set).
     pub soft_timeout: Option<Duration>,
+    /// Live telemetry plane + always-on flight recorder (default: off).
+    /// When set, workers record latency histograms into per-worker
+    /// cells ([`crate::telemetry::TelemetryPlane`]), a background
+    /// sampler produces periodic [`TelemetryDelta`]s and runs the
+    /// anomaly [`TriggerRules`], and faults (worker death, deadline
+    /// miss, DUE, drain timeout) capture post-mortem
+    /// [`FlightBundle`]s. Disabled, every hook is one `Option`
+    /// discriminant check — the PR 4 disabled-is-free discipline.
+    ///
+    /// [`TelemetryDelta`]: crate::telemetry::TelemetryDelta
+    /// [`TriggerRules`]: crate::telemetry::TriggerRules
+    /// [`FlightBundle`]: crate::flight::FlightBundle
+    pub telemetry: bool,
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -254,6 +272,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("shed_watermark", &self.shed_watermark)
             .field("shed_delay_budget", &self.shed_delay_budget)
             .field("soft_timeout", &self.soft_timeout)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -278,6 +297,7 @@ impl Default for RuntimeConfig {
             shed_watermark: None,
             shed_delay_budget: None,
             soft_timeout: None,
+            telemetry: false,
         }
     }
 }
@@ -393,6 +413,13 @@ impl RuntimeConfig {
     /// idempotent task whose attempt has run longer than this.
     pub fn soft_timeout(mut self, timeout: Duration) -> Self {
         self.soft_timeout = Some(timeout);
+        self
+    }
+
+    /// Builder-style telemetry toggle: enable the live metrics plane,
+    /// the background sampler and the flight recorder.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 }
@@ -515,6 +542,11 @@ struct Shared {
     reaper: Mutex<std::collections::BinaryHeap<ReapAt>>,
     reaper_cv: Condvar,
     reaper_stop: AtomicBool,
+    /// Lock-free metrics plane, when [`RuntimeConfig::telemetry`] is on.
+    telemetry: Option<Arc<crate::telemetry::TelemetryPlane>>,
+    /// Always-on flight recorder (with the plane): fault paths dump
+    /// their per-worker event rings through it.
+    flight: Option<Arc<crate::flight::FlightRecorder>>,
 }
 
 impl Shared {
@@ -762,6 +794,11 @@ impl Shared {
         }
         job.deadline_missed.store(true, Ordering::SeqCst);
         RuntimeStats::bump(&self.stats.jobs_deadline_missed);
+        if let Some(fr) = &self.flight {
+            fr.request_dump(crate::flight::FlightReason::DeadlineMiss {
+                job: job.label.clone(),
+            });
+        }
         if !job.qos.sheddable() {
             return;
         }
@@ -803,6 +840,141 @@ fn reaper_loop(shared: Arc<Shared>) {
             }
             None => shared.reaper_cv.wait(&mut g),
         }
+    }
+}
+
+/// Merge everything the runtime already counts with the telemetry
+/// plane's histograms into one [`TelemetrySnapshot`]. Lives here (not
+/// in `telemetry.rs`) because `Shared` is private to this module; the
+/// sampler thread and [`Runtime::telemetry_snapshot`] both call it so
+/// live reads and trigger evaluation see the same numbers.
+fn assemble_snapshot(
+    shared: &Shared,
+    queues: &ReadyQueues,
+    pool: &PoolStatsHandle,
+    workers: usize,
+) -> TelemetrySnapshot {
+    let plane = shared
+        .telemetry
+        .as_ref()
+        .expect("snapshot assembly requires the telemetry plane");
+    let mut stats = shared.stats.snapshot();
+    let pf = pool.fault_stats();
+    stats.worker_deaths = pf.worker_deaths;
+    stats.worker_respawns = pf.worker_respawns;
+    stats.worker_stalls = pf.worker_stalls;
+    let (steals_ok, steals_empty, injector_overflow) = queues.contention_counters();
+    stats.steals_ok = steals_ok;
+    stats.steals_empty = steals_empty;
+    stats.injector_overflow = injector_overflow;
+    let (parks, wakes) = pool.park_stats();
+    stats.parks = parks;
+    stats.wakes = wakes;
+    let (slab_local_frees, slab_remote_frees) = shared.slab.free_stats();
+    let shed = shared
+        .shed
+        .as_ref()
+        .map(|c| c.snapshot())
+        .unwrap_or_default();
+    let (queue_delay, body, job_e2e) = plane.merged();
+    let tenants: Vec<TenantTelemetry> = shared
+        .jobs
+        .lock()
+        .live()
+        .iter()
+        .filter(|j| !j.is_default())
+        .map(|j| {
+            let (queue_delay, body) = match &j.telemetry {
+                Some(t) => t.snapshots(),
+                None => Default::default(),
+            };
+            TenantTelemetry {
+                id: j.id,
+                label: j.label.clone(),
+                qos: j.qos,
+                metrics: j.metrics(),
+                shed: j.shed.load(Ordering::Relaxed),
+                deadline_missed: j.deadline_missed.load(Ordering::Relaxed),
+                queue_delay,
+                body,
+            }
+        })
+        .collect();
+    TelemetrySnapshot {
+        at_ns: shared.epoch.elapsed().as_nanos() as u64,
+        workers,
+        alive_workers: pool.alive_workers(),
+        stats,
+        slab_local_frees,
+        slab_remote_frees,
+        shed_engaged: shed.engaged,
+        shed_delay: shed.smoothed_delay,
+        shed_transitions: (shed.engage_transitions, shed.recover_transitions),
+        flight_dumps: shared.flight.as_ref().map_or(0, |f| f.dump_count()),
+        queue_delay,
+        body,
+        job_e2e,
+        tenants,
+    }
+}
+
+/// Body of the telemetry sampler thread: every tick, assemble a
+/// snapshot, diff it against the previous one into a
+/// [`TelemetryDelta`], run the [`TriggerRules`] over the movement, and
+/// ask the flight recorder for a dump on every anomaly. The condvar
+/// wait mirrors the reaper's stop/notify pattern so `Drop` can join
+/// promptly.
+fn sampler_loop(
+    shared: Arc<Shared>,
+    queues: Arc<ReadyQueues>,
+    pool: PoolStatsHandle,
+    sampler: Arc<SamplerShared>,
+    rules: TriggerRules,
+    workers: usize,
+) {
+    let mut prev = assemble_snapshot(&shared, &queues, &pool, workers);
+    let mut seq = 0u64;
+    // Labels that fired last tick: a persisting anomaly dumps the
+    // flight rings once on its rising edge, not on every 5ms tick.
+    let mut firing: Vec<&'static str> = Vec::new();
+    loop {
+        {
+            let g = match sampler.lock.lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            let _ = sampler.cv.wait_timeout(g, SAMPLE_INTERVAL);
+        }
+        if sampler.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let cur = assemble_snapshot(&shared, &queues, &pool, workers);
+        let anomalies = detect(&prev, &cur, &rules);
+        if let Some(fr) = &shared.flight {
+            for a in &anomalies {
+                if !firing.contains(&a.label()) {
+                    fr.request_dump(FlightReason::Anomaly { rule: a.label() });
+                }
+            }
+        }
+        firing = anomalies.iter().map(|a| a.label()).collect();
+        sampler.push_delta(TelemetryDelta {
+            seq,
+            interval_ns: cur.at_ns.saturating_sub(prev.at_ns),
+            spawned: cur.stats.spawned.saturating_sub(prev.stats.spawned),
+            completed: cur.stats.completed.saturating_sub(prev.stats.completed),
+            shed: cur.stats.tasks_shed.saturating_sub(prev.stats.tasks_shed),
+            wakes: cur.stats.wakes.saturating_sub(prev.stats.wakes),
+            steals_ok: cur.stats.steals_ok.saturating_sub(prev.stats.steals_ok),
+            steals_empty: cur
+                .stats
+                .steals_empty
+                .saturating_sub(prev.stats.steals_empty),
+            queue_delay: cur.queue_delay.since(&prev.queue_delay),
+            anomalies,
+        });
+        seq += 1;
+        prev = cur;
     }
 }
 
@@ -894,12 +1066,36 @@ fn record_body(shared: &Weak<Shared>, tid: TaskId, f: impl FnOnce()) {
     }
 }
 
+/// Time `f` into the telemetry plane's body histogram (global cell +
+/// the task's per-job histogram). A panicking body records nothing —
+/// only successful attempts measure, matching [`record_body`]. With the
+/// plane off this is a single `Option` branch around a direct call.
+#[inline]
+fn timed_body(
+    plane: &Option<Arc<crate::telemetry::TelemetryPlane>>,
+    jt: &Option<Arc<crate::telemetry::JobTelemetry>>,
+    f: impl FnOnce(),
+) {
+    match plane {
+        Some(p) => {
+            let t0 = Instant::now();
+            f();
+            let ns = t0.elapsed().as_nanos() as u64;
+            p.record_body(ns);
+            if let Some(jt) = jt {
+                jt.record_body(ns);
+            }
+        }
+        None => f(),
+    }
+}
+
 /// Wrap a task body with the preflight (poison fail-fast), fault
-/// injection, program capture, and the trace-session notifications
-/// (tracer + observer). A poisoned task skips without starting; an
-/// injected panic fires inside the observed bracket but *before* the
-/// user body, so under pure injection even a read-modify-write body
-/// never runs half-way.
+/// injection, program capture, body timing (when the telemetry plane is
+/// on), and the trace-session notifications (tracer + observer). A
+/// poisoned task skips without starting; an injected panic fires inside
+/// the observed bracket but *before* the user body, so under pure
+/// injection even a read-modify-write body never runs half-way.
 #[allow(clippy::too_many_arguments)]
 fn instrument(
     body: ExecBody,
@@ -912,6 +1108,8 @@ fn instrument(
     shared: Weak<Shared>,
     session: Arc<TraceSession>,
     plan: Option<Arc<FaultPlan>>,
+    plane: Option<Arc<crate::telemetry::TelemetryPlane>>,
+    jt: Option<Arc<crate::telemetry::JobTelemetry>>,
 ) -> ExecBody {
     match body {
         ExecBody::Once(f) => {
@@ -924,11 +1122,13 @@ fn instrument(
                 run_observed(
                     || {
                         inject(&shared, tid, slot, exempt, plan.as_deref());
-                        if capture {
-                            record_body(&shared, tid, f);
-                        } else {
-                            f()
-                        }
+                        timed_body(&plane, &jt, || {
+                            if capture {
+                                record_body(&shared, tid, f);
+                            } else {
+                                f()
+                            }
+                        });
                     },
                     &session,
                     tid,
@@ -946,11 +1146,13 @@ fn instrument(
             run_observed(
                 || {
                     inject(&shared, tid, slot, exempt, plan.as_deref());
-                    if capture {
-                        record_body(&shared, tid, || (*f)());
-                    } else {
-                        (*f)()
-                    }
+                    timed_body(&plane, &jt, || {
+                        if capture {
+                            record_body(&shared, tid, || (*f)());
+                        } else {
+                            (*f)()
+                        }
+                    });
                 },
                 &session,
                 tid,
@@ -978,6 +1180,9 @@ fn with_dispatch_probe(body: ExecBody, job: Arc<JobState>, shared: Weak<Shared>)
         if let Some(s) = shared.upgrade() {
             if let Some(ctl) = &s.shed {
                 ctl.observe(ns);
+            }
+            if let Some(p) = &s.telemetry {
+                p.record_queue_delay(ns);
             }
         }
     };
@@ -1117,6 +1322,17 @@ impl PoolClient for Shared {
             if !job.is_default() {
                 job.completed.add(1);
                 job.release_in_flight();
+                // Job end-to-end latency: submit → first quiescence.
+                // The one-shot latch keeps a job that spawns a second
+                // wave after joining from recording twice.
+                if let Some(p) = &self.telemetry {
+                    if !job.e2e_recorded.load(Ordering::Relaxed)
+                        && job.in_flight() == 0
+                        && !job.e2e_recorded.swap(true, Ordering::Relaxed)
+                    {
+                        p.record_job_e2e(job.created_at.elapsed().as_nanos() as u64);
+                    }
+                }
             }
             if self.admission_waiters.load(Ordering::SeqCst) > 0 {
                 let _g = self.admission_lock.lock();
@@ -1185,6 +1401,10 @@ pub struct Runtime {
     /// Deadline-reaper thread, spawned lazily on the first submit with a
     /// deadline and joined by `Drop`.
     reaper_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Sampler coordination block, when telemetry is on.
+    sampler: Option<Arc<crate::telemetry::SamplerShared>>,
+    /// Background sampler thread (with telemetry); joined by `Drop`.
+    sampler_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Runtime {
@@ -1203,10 +1423,25 @@ impl Runtime {
             tracer.clone(),
             epoch,
         ));
+        // Telemetry plane + flight recorder, both off by default. They
+        // travel together: a flight dump without a snapshot to pair it
+        // with is half a post-mortem.
+        let plane = config
+            .telemetry
+            .then(|| Arc::new(crate::telemetry::TelemetryPlane::new(config.workers)));
+        let flight = config
+            .telemetry
+            .then(|| Arc::new(crate::flight::FlightRecorder::new(config.workers)));
         // The default job inherits the runtime-level retry policy, fault
         // plan and observer: untagged spawns behave exactly as they did
-        // before the job layer existed.
-        let session = Arc::new(TraceSession::new(tracer.clone(), config.observer.clone()));
+        // before the job layer existed. Its per-job telemetry stays off
+        // (the single-tenant hot path carries no dispatch probe), but
+        // its bodies still time into the plane's worker cells.
+        let session = Arc::new(TraceSession::with_flight(
+            tracer.clone(),
+            config.observer.clone(),
+            flight.clone(),
+        ));
         let default_job = Arc::new(JobState::new(
             JobId::DEFAULT,
             "default".to_string(),
@@ -1217,6 +1452,7 @@ impl Runtime {
             None,
             None,
             0,
+            None,
         ));
         let shared = Arc::new(Shared {
             slab: TaskSlab::new(),
@@ -1254,6 +1490,8 @@ impl Runtime {
             reaper: Mutex::new(std::collections::BinaryHeap::new()),
             reaper_cv: Condvar::new(),
             reaper_stop: AtomicBool::new(false),
+            telemetry: plane,
+            flight: flight.clone(),
         });
         let pool = WorkerPool::new(
             config.workers,
@@ -1264,14 +1502,41 @@ impl Runtime {
                 watchdog: config.watchdog,
                 tracer,
                 soft_timeout: config.soft_timeout,
+                flight,
             },
         );
+        // With telemetry on, spawn the sampler eagerly: a serving
+        // process wants deltas from its first tick, and an idle sampler
+        // costs one condvar timeout per 5ms.
+        let (sampler, sampler_thread) = if config.telemetry {
+            let sampler = Arc::new(crate::telemetry::SamplerShared::new());
+            let rules = crate::telemetry::TriggerRules {
+                p99_slo: config.shed_delay_budget,
+                ..Default::default()
+            };
+            let thread = {
+                let shared = Arc::clone(&shared);
+                let queues = Arc::clone(&queues);
+                let pool = pool.stats_handle();
+                let sampler = Arc::clone(&sampler);
+                let workers = config.workers;
+                std::thread::Builder::new()
+                    .name("raa-telemetry-sampler".into())
+                    .spawn(move || sampler_loop(shared, queues, pool, sampler, rules, workers))
+                    .expect("failed to spawn telemetry sampler")
+            };
+            (Some(sampler), Some(thread))
+        } else {
+            (None, None)
+        };
         Runtime {
             shared,
             pool,
             queues,
             config,
             reaper_thread: Mutex::new(None),
+            sampler,
+            sampler_thread: Mutex::new(sampler_thread),
         }
     }
 
@@ -1789,10 +2054,18 @@ impl Runtime {
         st.job = (!exempt).then(|| Arc::clone(job));
         st.deadline_ns = deadline_ns;
         st.label.push_str(&meta.label);
-        st.reads
-            .extend(meta.accesses.iter().filter(|a| a.mode.reads()).map(|a| a.region));
-        st.writes
-            .extend(meta.accesses.iter().filter(|a| a.mode.writes()).map(|a| a.region));
+        st.reads.extend(
+            meta.accesses
+                .iter()
+                .filter(|a| a.mode.reads())
+                .map(|a| a.region),
+        );
+        st.writes.extend(
+            meta.accesses
+                .iter()
+                .filter(|a| a.mode.writes())
+                .map(|a| a.region),
+        );
         deadline_ns
     }
 
@@ -1886,6 +2159,12 @@ impl Runtime {
             Arc::downgrade(&self.shared),
             Arc::clone(&job.session),
             job.fault_plan.clone(),
+            if exempt {
+                None
+            } else {
+                shared.telemetry.clone()
+            },
+            if exempt { None } else { job.telemetry.clone() },
         );
         // Job-layer spawns sample their admission→first-dispatch delay
         // into the adaptive shed controller and the job's own metrics.
@@ -2093,6 +2372,11 @@ impl Runtime {
     /// poisoned in *every* live job's fault domain.
     pub fn poison_region(&self, region: Region, label: impl Into<String>) {
         let label = label.into();
+        if let Some(fr) = &self.shared.flight {
+            fr.request_dump(FlightReason::HardwareFault {
+                region: label.clone(),
+            });
+        }
         let jobs = self.shared.jobs.lock().live();
         for job in &jobs {
             self.shared
@@ -2172,6 +2456,100 @@ impl Runtime {
     /// Whether event tracing was enabled at construction.
     pub fn tracing_enabled(&self) -> bool {
         self.shared.tracer.is_some()
+    }
+
+    /// Whether the telemetry plane (and with it the sampler and flight
+    /// recorder) was enabled at construction.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.shared.telemetry.is_some()
+    }
+
+    /// Aggregate the telemetry plane on demand: merge every worker
+    /// cell's histograms with the runtime's always-on counters and the
+    /// per-tenant breakdowns. `None` when telemetry is off. Safe to
+    /// call mid-run — recording is lock-free, so a snapshot is a
+    /// consistent-enough view, not a barrier.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.shared.telemetry.as_ref()?;
+        Some(assemble_snapshot(
+            &self.shared,
+            &self.queues,
+            &self.pool.stats_handle(),
+            self.config.workers,
+        ))
+    }
+
+    /// Drain the sampler's accumulated per-tick deltas (at most the
+    /// last 128 ticks; older ones fell off the front). Empty when
+    /// telemetry is off.
+    pub fn telemetry_deltas(&self) -> Vec<TelemetryDelta> {
+        self.sampler
+            .as_ref()
+            .map(|s| s.take_deltas())
+            .unwrap_or_default()
+    }
+
+    /// Anomalies the sampler's trigger rules have fired so far (the
+    /// count survives [`Runtime::telemetry_deltas`] draining).
+    pub fn telemetry_anomalies(&self) -> u64 {
+        self.sampler.as_ref().map_or(0, |s| s.anomaly_count())
+    }
+
+    /// Materialise every pending flight-recorder dump into a
+    /// post-mortem [`FlightBundle`]: the ring contents as a Chrome
+    /// trace, a telemetry snapshot rendered to JSON, and the contention
+    /// report — captured now, which is as close to the fault as the
+    /// caller asked for. Empty when telemetry is off or nothing
+    /// triggered.
+    pub fn take_flight_bundles(&self) -> Vec<FlightBundle> {
+        let Some(fr) = &self.shared.flight else {
+            return Vec::new();
+        };
+        let dumps = fr.take_dumps();
+        if dumps.is_empty() {
+            return Vec::new();
+        }
+        let snapshot = self
+            .telemetry_snapshot()
+            .expect("flight recorder implies the telemetry plane");
+        let snapshot_json = crate::export::telemetry_json(&snapshot);
+        let c = self.contention_report();
+        let contention = format!(
+            "injector share {:.1}% ({} pushes, {} overflow) of {} dispatches; \
+             slab remote-free {:.1}% ({} local / {} remote); steal hit rates {}",
+            c.injector_share() * 100.0,
+            c.injector_pushes,
+            c.injector_overflow,
+            c.dispatches,
+            c.remote_free_ratio() * 100.0,
+            c.slab_local_frees,
+            c.slab_remote_frees,
+            c.per_victim
+                .iter()
+                .enumerate()
+                .map(|(w, v)| format!("w{w}:{:.0}%", v.hit_rate() * 100.0))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        dumps
+            .into_iter()
+            .map(|d| {
+                let events = d.len();
+                let trace = Trace {
+                    workers: d.tracks.len(),
+                    dropped: vec![0; d.tracks.len()],
+                    tracks: d.tracks,
+                };
+                FlightBundle {
+                    reason: d.reason,
+                    at_ns: d.at_ns,
+                    events,
+                    snapshot_json: snapshot_json.clone(),
+                    trace_json: crate::export::chrome_trace_json(&trace, None),
+                    contention: contention.clone(),
+                }
+            })
+            .collect()
     }
 
     /// Drain everything the tracer recorded since the last drain (or
@@ -2254,17 +2632,24 @@ impl Runtime {
                     return Err(AdmissionError::Busy);
                 }
             }
-            let session = Arc::new(TraceSession::new(
+            let session = Arc::new(TraceSession::with_flight(
                 shared.tracer.clone(),
                 spec.observer
                     .clone()
                     .or_else(|| self.config.observer.clone()),
+                shared.flight.clone(),
             ));
             let retry = spec.retry.unwrap_or(self.config.retry);
             let plan = spec
                 .fault_plan
                 .clone()
                 .or_else(|| self.config.fault_plan.clone());
+            // Per-tenant histograms exist only while the plane is on:
+            // exact per-job breakdowns, zero cost otherwise.
+            let telemetry = shared
+                .telemetry
+                .as_ref()
+                .map(|_| Arc::new(crate::telemetry::JobTelemetry::default()));
             jobs.insert(|id| {
                 Arc::new(JobState::new(
                     id,
@@ -2276,6 +2661,7 @@ impl Runtime {
                     spec.max_in_flight,
                     deadline_at,
                     spec.cost_hint.unwrap_or(0),
+                    telemetry,
                 ))
             })
         };
@@ -2385,6 +2771,9 @@ impl Runtime {
         }
         let forced = !quiesced;
         if forced {
+            if let Some(fr) = &shared.flight {
+                fr.request_dump(FlightReason::DrainTimeout);
+            }
             shared.terminated.store(true, Ordering::SeqCst);
             self.pool.request_shutdown();
             {
@@ -2440,6 +2829,17 @@ impl Drop for Runtime {
             self.shared.reaper_cv.notify_all();
         }
         if let Some(h) = self.reaper_thread.lock().take() {
+            let _ = h.join();
+        }
+        // Same pattern for the telemetry sampler: publish stop under
+        // its lock so a sampler mid-wait cannot miss the notify.
+        if let Some(s) = &self.sampler {
+            s.stop.store(true, Ordering::SeqCst);
+            if let Ok(_g) = s.lock.lock() {
+                s.cv.notify_all();
+            }
+        }
+        if let Some(h) = self.sampler_thread.lock().take() {
             let _ = h.join();
         }
     }

@@ -228,7 +228,9 @@ impl ReadyQueues {
             seq: AtomicU64::new(0),
             steals_ok: AtomicU64::new(0),
             steals_empty: AtomicU64::new(0),
-            victim_steals: (0..MAX_TRACKED_VICTIMS).map(|_| VictimCell::default()).collect(),
+            victim_steals: (0..MAX_TRACKED_VICTIMS)
+                .map(|_| VictimCell::default())
+                .collect(),
             tracer,
         }
     }
@@ -456,13 +458,7 @@ impl ReadyQueues {
                         Steal::Success(t) => {
                             self.steals_ok.fetch_add(1 + extras, Ordering::Relaxed);
                             cell.ok.fetch_add(1 + extras, Ordering::Relaxed);
-                            self.trace(
-                                TraceEventKind::StealOk,
-                                t.id,
-                                t.slot,
-                                t.gen,
-                                victim as u64,
-                            );
+                            self.trace(TraceEventKind::StealOk, t.id, t.slot, t.gen, victim as u64);
                             return Some(t);
                         }
                         Steal::Retry => continue,

@@ -66,7 +66,9 @@ impl<const N: usize> Default for Striped64<N> {
 impl<const N: usize> Striped64<N> {
     #[inline]
     pub fn add(&self, n: u64) {
-        self.stripes[stripe_id() % N].0.fetch_add(n, Ordering::Relaxed);
+        self.stripes[stripe_id() % N]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn sum(&self) -> u64 {
@@ -289,7 +291,7 @@ impl RuntimeStats {
 
 /// A point-in-time copy of [`RuntimeStats`], with the worker-pool fault
 /// counters merged in by `Runtime::stats`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     pub spawned: u64,
     pub completed: u64,
@@ -357,6 +359,18 @@ impl StatsSnapshot {
             0.0
         } else {
             self.steals_ok as f64 / total as f64
+        }
+    }
+
+    /// Condvar wakes issued per completed task — the wake-storm
+    /// attribution number. A dependency chain that parks/unparks a
+    /// worker per link sits near 1.0; a healthy saturated pool sits
+    /// near 0.
+    pub fn wakes_per_task(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.wakes as f64 / self.completed as f64
         }
     }
 }

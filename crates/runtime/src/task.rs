@@ -661,7 +661,10 @@ mod tests {
         assert_eq!(local + remote, 1, "exactly one free recorded");
         let before = slab.high_water.load(Ordering::Relaxed);
         let (idx, gen) = slab.alloc();
-        assert_eq!(idx, victim, "owner drains the sideband before claiming a page");
+        assert_eq!(
+            idx, victim,
+            "owner drains the sideband before claiming a page"
+        );
         assert!(gen % 2 == 1);
         assert_eq!(
             slab.high_water.load(Ordering::Relaxed),

@@ -1,0 +1,717 @@
+//! Live telemetry plane: lock-free, always-available self-measurement
+//! for the multi-tenant serving runtime.
+//!
+//! Layout follows the striped-counter discipline of [`crate::stats`]:
+//! each worker owns a cache-padded cell of log-bucketed histograms
+//! (queue delay = admission→first dispatch, task body, job end-to-end)
+//! and records into it with relaxed atomics — no locks, no CAS loops,
+//! no cross-worker cache-line traffic on the hot path. Aggregation
+//! happens only at snapshot time, when the cells are merged
+//! (histogram merge is elementwise add, hence associative) and joined
+//! with the runtime's existing always-on counters into a
+//! [`TelemetrySnapshot`] carrying exact per-tenant breakdowns.
+//!
+//! The plane is off by default ([`RuntimeConfig::telemetry`]
+//! (crate::RuntimeConfig::telemetry)); a disabled runtime pays one
+//! `Option` discriminant check per hook site, preserving the PR 4
+//! disabled-is-free budget.
+//!
+//! A background sampler thread (spawned with the plane) turns the
+//! snapshot stream into periodic [`TelemetryDelta`]s and runs the
+//! [`TriggerRules`] over them; an [`Anomaly`] asks the
+//! [flight recorder](crate::flight) for a post-mortem dump.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::job::{JobId, JobMetrics};
+use crate::stats::{CachePadded, StatsSnapshot};
+
+/// Number of log2 buckets. Bucket 0 holds values `0..=1`; bucket `k`
+/// (k ≥ 1) holds `2^k ..= 2^(k+1)-1`; bucket 63 is open-ended.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Bucket index for a value: the position of its highest set bit.
+/// `0` and `1` share bucket 0 so the zero value needs no special case.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    63 - (v | 1).leading_zeros() as usize
+}
+
+/// Inclusive value range covered by a bucket.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    debug_assert!(i < HIST_BUCKETS);
+    if i == 0 {
+        (0, 1)
+    } else if i == 63 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << i, (1 << (i + 1)) - 1)
+    }
+}
+
+/// Lock-free log-bucketed (HDR-style, power-of-two buckets) histogram.
+/// `record` is two relaxed `fetch_add`s; there is no other hot-path
+/// cost. Bucket bounds are exact powers of two, so a quantile read is
+/// accurate to within 2x — enough to tell 10µs from 10ms, which is what
+/// trigger rules need.
+pub struct LogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    /// Exact running sum of recorded values (for true means).
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [(); HIST_BUCKETS].map(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut out = HistSnapshot::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            out.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        out.sum = self.sum.load(Ordering::Relaxed);
+        out
+    }
+}
+
+/// An owned, mergeable point-in-time copy of a [`LogHistogram`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for HistSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HistSnapshot {{ count: {}, sum: {}",
+            self.count(),
+            self.sum
+        )?;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                let (lo, hi) = bucket_bounds(i);
+                write!(f, ", [{lo}..={hi}]: {n}")?;
+            }
+        }
+        write!(f, " }}")
+    }
+}
+
+impl HistSnapshot {
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// True arithmetic mean of recorded values (the sum is exact even
+    /// though the buckets are coarse).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 < q <= 1.0`). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(HIST_BUCKETS - 1).1
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Elementwise add — associative and commutative, so per-worker
+    /// cells can be merged in any order.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Per-bucket saturating difference against an earlier snapshot of
+    /// the same histogram (for sampler deltas).
+    pub fn since(&self, prev: &HistSnapshot) -> HistSnapshot {
+        let mut out = *self;
+        for (a, b) in out.buckets.iter_mut().zip(prev.buckets.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out.sum = self.sum.saturating_sub(prev.sum);
+        out
+    }
+}
+
+/// One worker's private telemetry cell. Cache-padded so neighbouring
+/// workers never share a line; external (non-worker) threads fall back
+/// to a shared trailing cell.
+#[derive(Default)]
+struct WorkerCell {
+    queue_delay: LogHistogram,
+    body: LogHistogram,
+    job_e2e: LogHistogram,
+}
+
+/// The lock-free metrics plane: one [`WorkerCell`] per worker plus one
+/// for external threads. Held as `Option<Arc<_>>` by the runtime —
+/// `None` (telemetry disabled) makes every hook a single branch.
+pub struct TelemetryPlane {
+    workers: usize,
+    cells: Vec<CachePadded<WorkerCell>>,
+}
+
+impl TelemetryPlane {
+    pub(crate) fn new(workers: usize) -> Self {
+        TelemetryPlane {
+            workers,
+            cells: (0..=workers)
+                .map(|_| CachePadded(WorkerCell::default()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn cell(&self) -> &WorkerCell {
+        let idx = match crate::pool::current_worker() {
+            Some(w) if w < self.workers => w,
+            _ => self.workers,
+        };
+        &self.cells[idx].0
+    }
+
+    /// Admission→first-dispatch latency of a job task.
+    #[inline]
+    pub(crate) fn record_queue_delay(&self, ns: u64) {
+        self.cell().queue_delay.record(ns);
+    }
+
+    /// Task body execution time (successful attempts).
+    #[inline]
+    pub(crate) fn record_body(&self, ns: u64) {
+        self.cell().body.record(ns);
+    }
+
+    /// Job end-to-end: submit → last in-flight task settled.
+    #[inline]
+    pub(crate) fn record_job_e2e(&self, ns: u64) {
+        self.cell().job_e2e.record(ns);
+    }
+
+    pub(crate) fn merged(&self) -> (HistSnapshot, HistSnapshot, HistSnapshot) {
+        let mut qd = HistSnapshot::default();
+        let mut body = HistSnapshot::default();
+        let mut e2e = HistSnapshot::default();
+        for cell in &self.cells {
+            qd.merge(&cell.0.queue_delay.snapshot());
+            body.merge(&cell.0.body.snapshot());
+            e2e.merge(&cell.0.job_e2e.snapshot());
+        }
+        (qd, body, e2e)
+    }
+}
+
+/// Per-tenant histogram pair, allocated per job when the plane is on.
+/// Recording threads hit it alongside the plane's worker cell; both are
+/// relaxed adds on lines no reader touches until snapshot time.
+#[derive(Default)]
+pub struct JobTelemetry {
+    queue_delay: LogHistogram,
+    body: LogHistogram,
+}
+
+impl JobTelemetry {
+    #[inline]
+    pub(crate) fn record_queue_delay(&self, ns: u64) {
+        self.queue_delay.record(ns);
+    }
+
+    #[inline]
+    pub(crate) fn record_body(&self, ns: u64) {
+        self.body.record(ns);
+    }
+
+    /// `(queue delay, body)` snapshots.
+    pub(crate) fn snapshots(&self) -> (HistSnapshot, HistSnapshot) {
+        (self.queue_delay.snapshot(), self.body.snapshot())
+    }
+}
+
+/// One tenant's slice of a [`TelemetrySnapshot`].
+#[derive(Clone, Debug)]
+pub struct TenantTelemetry {
+    pub id: JobId,
+    pub label: String,
+    pub qos: crate::scheduler::QosClass,
+    pub metrics: JobMetrics,
+    pub shed: u64,
+    pub deadline_missed: bool,
+    pub queue_delay: HistSnapshot,
+    pub body: HistSnapshot,
+}
+
+/// On-demand aggregation of the whole plane: the runtime's always-on
+/// counters, the merged global histograms, the overload controller's
+/// state, the slab's local/remote free split, and one
+/// [`TenantTelemetry`] per live job.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Nanoseconds since the runtime was built.
+    pub at_ns: u64,
+    pub workers: usize,
+    pub alive_workers: usize,
+    pub stats: StatsSnapshot,
+    pub slab_local_frees: u64,
+    pub slab_remote_frees: u64,
+    pub shed_engaged: bool,
+    pub shed_delay: Duration,
+    /// (engaged, recovered) transition counts of the shed controller.
+    pub shed_transitions: (u64, u64),
+    /// Post-mortem dumps the flight recorder has captured so far.
+    pub flight_dumps: u64,
+    pub queue_delay: HistSnapshot,
+    pub body: HistSnapshot,
+    pub job_e2e: HistSnapshot,
+    pub tenants: Vec<TenantTelemetry>,
+}
+
+impl TelemetrySnapshot {
+    /// Share of free() calls that came from a non-owning worker.
+    pub fn slab_remote_free_ratio(&self) -> f64 {
+        let total = self.slab_local_frees + self.slab_remote_frees;
+        if total == 0 {
+            0.0
+        } else {
+            self.slab_remote_frees as f64 / total as f64
+        }
+    }
+
+    /// Tasks shed as a fraction of admission attempts.
+    pub fn shed_rate(&self) -> f64 {
+        let attempts = self.stats.spawned + self.stats.tasks_shed;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.stats.tasks_shed as f64 / attempts as f64
+        }
+    }
+}
+
+/// One sampler tick: counter movement since the previous tick plus any
+/// anomalies the [`TriggerRules`] fired on it.
+#[derive(Clone, Debug)]
+pub struct TelemetryDelta {
+    pub seq: u64,
+    pub interval_ns: u64,
+    pub spawned: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub wakes: u64,
+    pub steals_ok: u64,
+    pub steals_empty: u64,
+    /// Queue-delay histogram movement over the tick.
+    pub queue_delay: HistSnapshot,
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// An execution-health anomaly detected from one sampler delta.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Anomaly {
+    /// Tick-local queue-delay p99 exceeded the SLO.
+    P99OverSlo { p99: Duration, slo: Duration },
+    /// Admission control rejected a large share of this tick's arrivals.
+    ShedSpike { rate_permille: u64 },
+    /// Wakes ≈ completed tasks: every task is paying a futex wake.
+    WakeStorm { wakes: u64, tasks: u64 },
+    /// Steal sweeps overwhelmingly find empty deques while work exists.
+    DequeStarvation { empty: u64, ok: u64 },
+}
+
+impl Anomaly {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Anomaly::P99OverSlo { .. } => "p99-over-slo",
+            Anomaly::ShedSpike { .. } => "shed-spike",
+            Anomaly::WakeStorm { .. } => "wake-storm",
+            Anomaly::DequeStarvation { .. } => "deque-starvation",
+        }
+    }
+}
+
+/// Thresholds the sampler applies to each delta. Pure data; detection
+/// itself is the pure function [`detect`], so rules are unit-testable
+/// without a running sampler.
+#[derive(Clone, Debug)]
+pub struct TriggerRules {
+    /// Queue-delay p99 SLO (defaults to the shed controller's delay
+    /// budget when overload protection is configured).
+    pub p99_slo: Option<Duration>,
+    /// Shed fraction of a tick's arrivals that counts as a spike.
+    pub shed_spike: f64,
+    /// `wakes >= ratio * completed` is a wake storm.
+    pub wake_storm_ratio: f64,
+    /// Empty steal sweeps per successful steal that count as
+    /// starvation.
+    pub starvation_miss_factor: u64,
+    /// Ignore ticks that moved fewer tasks than this (idle runtimes
+    /// trip no rules).
+    pub min_tasks: u64,
+}
+
+impl Default for TriggerRules {
+    fn default() -> Self {
+        TriggerRules {
+            p99_slo: None,
+            shed_spike: 0.5,
+            wake_storm_ratio: 0.9,
+            starvation_miss_factor: 8,
+            min_tasks: 64,
+        }
+    }
+}
+
+/// Apply `rules` to the movement between two snapshots of the same
+/// runtime. Deterministic: same snapshots, same anomalies.
+pub fn detect(
+    prev: &TelemetrySnapshot,
+    cur: &TelemetrySnapshot,
+    rules: &TriggerRules,
+) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let completed = cur.stats.completed.saturating_sub(prev.stats.completed);
+    let spawned = cur.stats.spawned.saturating_sub(prev.stats.spawned);
+    let shed = cur.stats.tasks_shed.saturating_sub(prev.stats.tasks_shed);
+    let wakes = cur.stats.wakes.saturating_sub(prev.stats.wakes);
+    let ok = cur.stats.steals_ok.saturating_sub(prev.stats.steals_ok);
+    let empty = cur
+        .stats
+        .steals_empty
+        .saturating_sub(prev.stats.steals_empty);
+    let qd = cur.queue_delay.since(&prev.queue_delay);
+
+    if let Some(slo) = rules.p99_slo {
+        if qd.count() >= rules.min_tasks {
+            let p99 = Duration::from_nanos(qd.p99());
+            if p99 > slo {
+                out.push(Anomaly::P99OverSlo { p99, slo });
+            }
+        }
+    }
+    let arrivals = spawned + shed;
+    if arrivals >= rules.min_tasks && shed as f64 > rules.shed_spike * arrivals as f64 {
+        out.push(Anomaly::ShedSpike {
+            rate_permille: shed * 1000 / arrivals,
+        });
+    }
+    if completed >= rules.min_tasks && wakes as f64 >= rules.wake_storm_ratio * completed as f64 {
+        out.push(Anomaly::WakeStorm {
+            wakes,
+            tasks: completed,
+        });
+    }
+    if completed >= rules.min_tasks && empty > rules.starvation_miss_factor * (ok + 1) {
+        out.push(Anomaly::DequeStarvation { empty, ok });
+    }
+    out
+}
+
+/// Sampler coordination block, shared between the runtime handle and
+/// the sampler thread. Mirrors the reaper's stop/notify/join shape.
+pub(crate) struct SamplerShared {
+    pub(crate) stop: std::sync::atomic::AtomicBool,
+    pub(crate) lock: std::sync::Mutex<()>,
+    pub(crate) cv: std::sync::Condvar,
+    pub(crate) deltas: std::sync::Mutex<std::collections::VecDeque<TelemetryDelta>>,
+    pub(crate) anomalies: AtomicU64,
+}
+
+/// Sampler tick period. Short enough that a chaos campaign sees many
+/// ticks; long enough that an idle service burns no measurable CPU.
+pub(crate) const SAMPLE_INTERVAL: Duration = Duration::from_millis(5);
+/// Bounded delta history: old ticks fall off the front.
+pub(crate) const DELTA_KEEP: usize = 128;
+
+impl SamplerShared {
+    pub(crate) fn new() -> Self {
+        SamplerShared {
+            stop: std::sync::atomic::AtomicBool::new(false),
+            lock: std::sync::Mutex::new(()),
+            cv: std::sync::Condvar::new(),
+            deltas: std::sync::Mutex::new(std::collections::VecDeque::new()),
+            anomalies: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn push_delta(&self, delta: TelemetryDelta) {
+        self.anomalies
+            .fetch_add(delta.anomalies.len() as u64, Ordering::Relaxed);
+        let mut q = self.deltas.lock().unwrap();
+        if q.len() >= DELTA_KEEP {
+            q.pop_front();
+        }
+        q.push_back(delta);
+    }
+
+    pub(crate) fn take_deltas(&self) -> Vec<TelemetryDelta> {
+        self.deltas.lock().unwrap().drain(..).collect()
+    }
+
+    pub(crate) fn anomaly_count(&self) -> u64 {
+        self.anomalies.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — the workspace's no-dependency seeded generator.
+    struct SplitMix64(u64);
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        let mut expect_lo = 0u64;
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(
+                lo,
+                expect_lo,
+                "bucket {i} starts where {} ended",
+                i.wrapping_sub(1)
+            );
+            assert!(hi >= lo);
+            expect_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expect_lo, 0, "last bucket ends at u64::MAX");
+    }
+
+    /// Property loop: every recorded value lands in a bucket whose
+    /// bounds contain it, and the quantile of a single-value histogram
+    /// is an upper bound for that value.
+    #[test]
+    fn recorded_values_stay_within_their_bucket() {
+        let mut rng = SplitMix64(0x5eed_0009);
+        for _ in 0..4096 {
+            // Bias toward interesting magnitudes: raw 64-bit, small,
+            // and power-of-two neighborhoods.
+            let raw = rng.next();
+            let v = match raw % 4 {
+                0 => raw,
+                1 => raw % 1024,
+                2 => 1u64 << (raw % 64),
+                _ => (1u64 << (raw % 63)).wrapping_sub(raw % 3),
+            };
+            let i = bucket_of(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                (lo..=hi).contains(&v),
+                "value {v} fell in bucket {i} [{lo}..={hi}]"
+            );
+            let h = LogHistogram::default();
+            h.record(v);
+            let snap = h.snapshot();
+            assert_eq!(snap.count(), 1);
+            assert_eq!(snap.sum, v);
+            assert!(snap.quantile(1.0) >= v, "quantile upper-bounds the value");
+            assert!(snap.p99() >= v);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut rng = SplitMix64(0xfeed_0009);
+        for _ in 0..256 {
+            let mk = |rng: &mut SplitMix64| {
+                let h = LogHistogram::default();
+                for _ in 0..(rng.next() % 32) {
+                    h.record(rng.next() % (1 << (rng.next() % 40)).max(1));
+                }
+                h.snapshot()
+            };
+            let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+            // (a + b) + c
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ab_c = ab;
+            ab_c.merge(&c);
+            // a + (b + c)
+            let mut bc = b;
+            bc.merge(&c);
+            let mut a_bc = a;
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc, "merge is associative");
+            // b + a == a + b
+            let mut ba = b;
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge is commutative");
+            assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+            assert_eq!(ab_c.sum, a.sum + b.sum + c.sum);
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let h = LogHistogram::default();
+        for _ in 0..90 {
+            h.record(100); // bucket [64..=127]
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket [524288..=1048575]
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.quantile(0.90), 127);
+        assert_eq!(s.p99(), 1048575);
+        assert_eq!(s.mean(), (90 * 100 + 10 * 1_000_000) / 100);
+        assert_eq!(s.quantile(1.0), 1048575);
+    }
+
+    fn base_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            at_ns: 0,
+            workers: 4,
+            alive_workers: 4,
+            stats: StatsSnapshot::default(),
+            slab_local_frees: 0,
+            slab_remote_frees: 0,
+            shed_engaged: false,
+            shed_delay: Duration::ZERO,
+            shed_transitions: (0, 0),
+            flight_dumps: 0,
+            queue_delay: HistSnapshot::default(),
+            body: HistSnapshot::default(),
+            job_e2e: HistSnapshot::default(),
+            tenants: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn trigger_rules_fire_on_their_signatures() {
+        let rules = TriggerRules {
+            p99_slo: Some(Duration::from_micros(100)),
+            ..TriggerRules::default()
+        };
+        let prev = base_snapshot();
+
+        // Wake storm: wakes ≈ completed.
+        let mut cur = base_snapshot();
+        cur.stats.completed = 1000;
+        cur.stats.spawned = 1000;
+        cur.stats.wakes = 950;
+        let found = detect(&prev, &cur, &rules);
+        assert!(matches!(
+            found.as_slice(),
+            [Anomaly::WakeStorm {
+                wakes: 950,
+                tasks: 1000
+            }]
+        ));
+
+        // Shed spike: more than half the arrivals rejected.
+        let mut cur = base_snapshot();
+        cur.stats.spawned = 100;
+        cur.stats.tasks_shed = 200;
+        let found = detect(&prev, &cur, &rules);
+        assert_eq!(found.len(), 1);
+        assert!(matches!(
+            found[0],
+            Anomaly::ShedSpike { rate_permille: 666 }
+        ));
+
+        // Deque starvation: empty sweeps dwarf hits.
+        let mut cur = base_snapshot();
+        cur.stats.completed = 1000;
+        cur.stats.steals_ok = 5;
+        cur.stats.steals_empty = 100;
+        let found = detect(&prev, &cur, &rules);
+        assert!(matches!(
+            found.as_slice(),
+            [Anomaly::DequeStarvation { empty: 100, ok: 5 }]
+        ));
+
+        // p99 over SLO: enough samples in a slow bucket.
+        let mut cur = base_snapshot();
+        for _ in 0..64 {
+            cur.queue_delay.buckets[bucket_of(1_000_000)] += 1; // ~1ms
+        }
+        let found = detect(&prev, &cur, &rules);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].label(), "p99-over-slo");
+
+        // Quiet tick: nothing fires.
+        let cur = base_snapshot();
+        assert!(detect(&prev, &cur, &rules).is_empty());
+    }
+
+    #[test]
+    fn detect_ignores_small_ticks() {
+        let rules = TriggerRules::default();
+        let prev = base_snapshot();
+        let mut cur = base_snapshot();
+        cur.stats.completed = 10;
+        cur.stats.wakes = 10; // 100% wakes/task, but only 10 tasks
+        assert!(detect(&prev, &cur, &rules).is_empty());
+    }
+
+    #[test]
+    fn hist_since_is_per_bucket_subtraction() {
+        let h = LogHistogram::default();
+        h.record(10);
+        h.record(10);
+        let early = h.snapshot();
+        h.record(10);
+        h.record(5000);
+        let late = h.snapshot();
+        let d = late.since(&early);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.buckets[bucket_of(10)], 1);
+        assert_eq!(d.buckets[bucket_of(5000)], 1);
+        assert_eq!(d.sum, 10 + 5000);
+    }
+}

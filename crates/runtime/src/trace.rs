@@ -513,22 +513,42 @@ impl Trace {
 }
 
 /// Fans task lifecycle notifications out to the tracer (if tracing is
-/// enabled) and the user's [`TaskObserver`] (if one is installed). This is
-/// what the execution path calls; both consumers are optional and the
-/// no-consumer fast path is two `Option` checks.
+/// enabled), the user's [`TaskObserver`] (if one is installed), and the
+/// [flight recorder](crate::flight::FlightRecorder) (if telemetry is
+/// on). This is what the execution path calls; every consumer is
+/// optional and the no-consumer fast path is three `Option` checks.
 pub struct TraceSession {
     tracer: Option<Arc<Tracer>>,
     observer: Option<Arc<dyn TaskObserver>>,
+    flight: Option<Arc<crate::flight::FlightRecorder>>,
 }
 
 impl TraceSession {
     pub fn new(tracer: Option<Arc<Tracer>>, observer: Option<Arc<dyn TaskObserver>>) -> Self {
-        TraceSession { tracer, observer }
+        TraceSession {
+            tracer,
+            observer,
+            flight: None,
+        }
     }
 
-    /// True when neither a tracer nor an observer is installed.
+    /// A session that also feeds the flight recorder's per-worker rings
+    /// (sampled for high-rate kinds; faults and skips always).
+    pub(crate) fn with_flight(
+        tracer: Option<Arc<Tracer>>,
+        observer: Option<Arc<dyn TaskObserver>>,
+        flight: Option<Arc<crate::flight::FlightRecorder>>,
+    ) -> Self {
+        TraceSession {
+            tracer,
+            observer,
+            flight,
+        }
+    }
+
+    /// True when no consumer at all is installed.
     pub fn is_idle(&self) -> bool {
-        self.tracer.is_none() && self.observer.is_none()
+        self.tracer.is_none() && self.observer.is_none() && self.flight.is_none()
     }
 
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
@@ -548,6 +568,11 @@ impl TraceSession {
         if let Some(o) = &self.observer {
             o.on_start(Self::worker(), task, critical);
         }
+        if let Some(f) = &self.flight {
+            if crate::flight::FlightRecorder::sampled(task) {
+                f.record(TraceEventKind::Start, task, slot, gen, critical as u64);
+            }
+        }
     }
 
     #[inline]
@@ -557,6 +582,11 @@ impl TraceSession {
         }
         if let Some(o) = &self.observer {
             o.on_complete(Self::worker(), task);
+        }
+        if let Some(f) = &self.flight {
+            if crate::flight::FlightRecorder::sampled(task) {
+                f.record(TraceEventKind::Complete, task, slot, gen, 0);
+            }
         }
     }
 
@@ -568,6 +598,9 @@ impl TraceSession {
         if let Some(o) = &self.observer {
             o.on_fault(Self::worker(), task);
         }
+        if let Some(f) = &self.flight {
+            f.record(TraceEventKind::Fault, task, slot, gen, 0);
+        }
     }
 
     #[inline]
@@ -577,6 +610,9 @@ impl TraceSession {
         }
         if let Some(o) = &self.observer {
             o.on_skipped(Self::worker(), task);
+        }
+        if let Some(f) = &self.flight {
+            f.record(TraceEventKind::Skipped, task, slot, gen, 0);
         }
     }
 }

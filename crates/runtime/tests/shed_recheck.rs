@@ -25,7 +25,11 @@ fn woken_blocking_spawn_rechecks_shed_watermark() {
     // s1 occupies the best-effort job's whole cap, gated. Load is 1,
     // below the watermark of 2 — admitted normally.
     let be = rt
-        .submit(JobSpec::new("be").qos(QosClass::BestEffort).max_in_flight(1))
+        .submit(
+            JobSpec::new("be")
+                .qos(QosClass::BestEffort)
+                .max_in_flight(1),
+        )
         .unwrap();
     let g = Arc::clone(&gate_s1);
     be.task("s1")
