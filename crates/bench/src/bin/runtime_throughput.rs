@@ -270,10 +270,24 @@ fn main() {
     // worker count. A healthy batched-spawn path stays well below 1.0;
     // a ratio near 1.0 means every task paid a futex wake (the storm
     // the sampler's `WakeStorm` trigger fires on).
+    let max_workers = workers.iter().copied().max().unwrap_or(1);
     for wl in &workloads {
-        let key = format!("{wl}@{}", workers.iter().copied().max().unwrap_or(1));
+        let key = format!("{wl}@{max_workers}");
         if let Some((_, s)) = counters.iter().find(|(k, _)| *k == key) {
             println!("SCALING {wl}_wakes_per_task {:.3}", s.wakes_per_task());
+            // The chain is the wake-storm litmus: each completion
+            // releases exactly one successor, and that successor lands
+            // on the completing worker's own deque — so no wake is due.
+            // A ratio creeping back toward 1.0 means every link paid a
+            // futex wake again.
+            if *wl == "chain" && max_workers > 1 {
+                assert!(
+                    s.wakes_per_task() < 0.5,
+                    "chain shape woke a worker per task (wake-storm regression): \
+                     wakes_per_task={:.3}",
+                    s.wakes_per_task()
+                );
+            }
         }
     }
     for (key, s) in &counters {

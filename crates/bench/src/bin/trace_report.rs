@@ -31,7 +31,7 @@ use raa_bench::telemetry_text::{
 };
 use raa_runtime::{
     chrome_trace_json, critical_path_attribution, MetricsReport, Runtime, RuntimeConfig,
-    SchedulerPolicy, TraceConfig, TraceEventKind,
+    SchedulerPolicy, Topology, TraceConfig, TraceEventKind,
 };
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -139,17 +139,31 @@ fn main() {
     }
     let target = env_usize("RAA_BENCH_TASKS", 20_000);
     let workers = env_usize("RAA_TRACE_WORKERS", 4).max(1);
+    // Cluster the pool for the per-cluster contention section:
+    // `RAA_TRACE_CLUSTERS` (default 2 once the pool is big enough),
+    // clamped down to the largest divisor of the worker count so the
+    // topology tiles the pool exactly.
+    let mut clusters =
+        env_usize("RAA_TRACE_CLUSTERS", if workers >= 4 { 2 } else { 1 }).clamp(1, workers);
+    while !workers.is_multiple_of(clusters) {
+        clusters -= 1;
+    }
+    let topology = Topology::new(clusters, workers / clusters);
     let iters = (target / raa_bench::CG_TASKS_PER_ITER).max(1);
 
     println!(
-        "trace_report — blocked-CG shape, {} tasks ({iters} iterations), {workers} workers",
+        "trace_report — blocked-CG shape, {} tasks ({iters} iterations), {workers} workers \
+         ({topology:?} topology)",
         iters * raa_bench::CG_TASKS_PER_ITER
     );
     raa_bench::rule(72);
 
     // Untraced reference for the overhead figure.
-    let rt =
-        Runtime::new(RuntimeConfig::with_workers(workers).policy(SchedulerPolicy::WorkStealing));
+    let rt = Runtime::new(
+        RuntimeConfig::with_workers(workers)
+            .policy(SchedulerPolicy::WorkStealing)
+            .topology(topology),
+    );
     let t0 = Instant::now();
     raa_bench::spawn_cg_shape(&rt, iters);
     rt.taskwait();
@@ -160,6 +174,7 @@ fn main() {
     let rt = Runtime::new(
         RuntimeConfig::with_workers(workers)
             .policy(SchedulerPolicy::WorkStealing)
+            .topology(topology)
             .record_graph(true)
             .tracing(TraceConfig::with_capacity(raa_bench::trace_capacity_for(
                 target,
@@ -233,6 +248,28 @@ fn main() {
                 s.ok,
                 s.empty,
                 s.hit_rate() * 100.0
+            );
+        }
+        println!("  per-cluster steals ({topology:?} topology; inter = balancer traffic):");
+        for (c, s) in contention.per_cluster.iter().enumerate() {
+            let share = if contention.dispatches > 0 {
+                s.injector_pushes as f64 / contention.dispatches as f64
+            } else {
+                0.0
+            };
+            println!(
+                "    cluster-{c:<2} intra {:>8} ok {:>8} empty ({:>5.1}%)  \
+                 inter {:>6} ok {:>6} empty ({:>5.1}%)  \
+                 migrated {:>6}  injector {:>7} pushes ({:>4.1}% of dispatches)",
+                s.intra_ok,
+                s.intra_empty,
+                s.intra_hit_rate() * 100.0,
+                s.inter_ok,
+                s.inter_empty,
+                s.inter_hit_rate() * 100.0,
+                s.migrated,
+                s.injector_pushes,
+                share * 100.0,
             );
         }
     }

@@ -21,7 +21,10 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use raa_core::system::RaaSystem;
-use raa_runtime::{Runtime, RuntimeConfig, SimReport, TaskId, TaskProgram};
+use raa_runtime::{
+    ClusterSchedule, CorePool, FlatSchedule, HierarchicalSchedule, Runtime, RuntimeConfig,
+    ScheduleSimulator, SimPolicy, SimReport, StealCosts, TaskId, TaskProgram, Topology,
+};
 use raa_sim::{HierarchyMode, Machine, MachineConfig, MachineReport};
 use raa_solver::cg::cg_tasks;
 use raa_solver::csr::Csr;
@@ -221,6 +224,101 @@ pub fn report(scale: Scale) -> String {
         }
     ));
     line(String::new());
+
+    // 2b. Where the schedule put the data: the Fig. 1 machine is 8
+    //     tiles of 8 cores, so fold the 64-core placement into the tile
+    //     map and count the reference-stream events each tile replays.
+    //     This is the placement the hierarchical scheduler below keeps
+    //     local — and flat stealing scatters.
+    let tile = Topology::new(8, 8);
+    let mut tile_events = vec![0u64; tile.clusters];
+    for (core, s) in streams.iter().enumerate() {
+        tile_events[tile.cluster_of(core)] += s.len() as u64;
+    }
+    line(format!(
+        "  per-tile stream placement ({:?} tiling): {}",
+        tile,
+        tile_events
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
+    ));
+    line(String::new());
+
+    // 3. Two-level scheduling replay: the same recorded program on the
+    //    same clustered machine at growing core counts, scheduled twice
+    //    — cluster-blind (flat stealing: every thief probes the whole
+    //    machine, placement ignores the tile map) and hierarchical
+    //    (thieves probe their 64-core cluster, tasks follow their
+    //    producers' cluster). Flat's per-dispatch probe grows with
+    //    log2(cores); hierarchy's stays at log2(64) — where flat falls
+    //    off and hierarchy holds.
+    let costs = StealCosts {
+        probe_cost: 2.0,
+        migrate_cost: 0.5,
+    };
+    const INTER_PENALTY: f64 = 4.0;
+    const WPC: usize = 64;
+    line(format!(
+        "hierarchical replay (flat vs clustered stealing, {WPC}-core clusters, \
+         probe {} / migrate {} / inter x{INTER_PENALTY}):",
+        costs.probe_cost, costs.migrate_cost,
+    ));
+    line(format!(
+        "  {:>6} {:>9} {:>14} {:>14} {:>10} {:>12}",
+        "cores", "clusters", "flat", "hierarchical", "flat/hier", "migrations"
+    ));
+    let mut ratios = Vec::new();
+    let mut eq64 = false;
+    for cores in [64usize, 256, 512, 1024] {
+        let clusters = cores / WPC;
+        let topo = Topology::new(clusters, WPC);
+        let run = |sched: Arc<dyn ClusterSchedule>| {
+            ScheduleSimulator::new(
+                replay.graph(),
+                CorePool::homogeneous(cores, 1.0),
+                SimPolicy::BottomLevel,
+            )
+            .with_comm_cost(8.0)
+            .with_cluster_schedule(sched, costs)
+            .run()
+        };
+        let flat = run(Arc::new(FlatSchedule {
+            topo,
+            inter_penalty: INTER_PENALTY,
+        }));
+        let hier = run(Arc::new(HierarchicalSchedule {
+            topo,
+            inter_penalty: INTER_PENALTY,
+        }));
+        let ratio = flat.makespan / hier.makespan;
+        if cores == WPC {
+            eq64 = flat.makespan.to_bits() == hier.makespan.to_bits();
+        } else {
+            ratios.push((cores, ratio, hier.makespan <= flat.makespan));
+        }
+        line(format!(
+            "  {:>6} {:>9} {:>14.0} {:>14.0} {:>10.3} {:>12}",
+            cores, clusters, flat.makespan, hier.makespan, ratio, hier.migrations,
+        ));
+    }
+    let monotone =
+        ratios.last().map(|l| l.1).unwrap_or(1.0) > ratios.first().map(|f| f.1).unwrap_or(1.0);
+    let hier_wins = ratios.iter().all(|&(_, _, ok)| ok);
+    line(format!(
+        "  one cluster at {WPC} cores replays flat byte-identically: {}",
+        if eq64 { "yes" } else { "NO" },
+    ));
+    line(format!(
+        "self-check hierarchical-vs-flat: {}",
+        if eq64 && hier_wins && monotone {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    ));
+    line(String::new());
     line("paper-vs-measured:".into());
     line("  paper : runtime knowledge serves both sides of the co-design loop —".into());
     line("          criticality drives DVFS (§3.1), access classes drive the hybrid".into());
@@ -247,6 +345,7 @@ mod tests {
         assert_eq!(a, b, "fig6 output must be byte-identical across runs");
         assert!(a.contains("self-check criticality-vs-static: PASS"), "{a}");
         assert!(a.contains("self-check hybrid-vs-cache-only: PASS"), "{a}");
+        assert!(a.contains("self-check hierarchical-vs-flat: PASS"), "{a}");
     }
 
     #[test]

@@ -750,6 +750,27 @@ fn hist_json(h: &HistSnapshot) -> String {
 /// exporter here — the workspace has no serde.
 pub fn telemetry_json(snap: &TelemetrySnapshot) -> String {
     let s = &snap.stats;
+    let mut clusters = String::new();
+    for (i, c) in snap.per_cluster.iter().enumerate() {
+        if !clusters.is_empty() {
+            clusters.push(',');
+        }
+        clusters.push_str(&format!(
+            "{{\"cluster\":{},\"intra_ok\":{},\"intra_empty\":{},\
+             \"inter_ok\":{},\"inter_empty\":{},\"migrated\":{},\
+             \"injector_pushes\":{},\
+             \"intra_hit_rate\":{:.4},\"inter_hit_rate\":{:.4}}}",
+            i,
+            c.intra_ok,
+            c.intra_empty,
+            c.inter_ok,
+            c.inter_empty,
+            c.migrated,
+            c.injector_pushes,
+            c.intra_hit_rate(),
+            c.inter_hit_rate(),
+        ));
+    }
     let mut tenants = String::new();
     for t in &snap.tenants {
         if !tenants.is_empty() {
@@ -796,6 +817,7 @@ pub fn telemetry_json(snap: &TelemetrySnapshot) -> String {
          \"recover_transitions\":{},\"rate\":{:.4}}},\
          \"flight_dumps\":{},\
          \"queue_delay\":{},\"body\":{},\"job_e2e\":{},\
+         \"clusters\":[{clusters}],\
          \"tenants\":[{tenants}]}}",
         snap.at_ns,
         snap.workers,
@@ -928,6 +950,33 @@ pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
         snap.shed_transitions.1
     ));
     counter(&mut out, "raa_flight_dumps_total", snap.flight_dumps);
+    if !snap.per_cluster.is_empty() {
+        out.push_str("# TYPE raa_cluster_steals_total counter\n");
+        for (i, c) in snap.per_cluster.iter().enumerate() {
+            for (kind, v) in [
+                ("intra_ok", c.intra_ok),
+                ("intra_empty", c.intra_empty),
+                ("inter_ok", c.inter_ok),
+                ("inter_empty", c.inter_empty),
+            ] {
+                out.push_str(&format!(
+                    "raa_cluster_steals_total{{cluster=\"{i}\",kind=\"{kind}\"}} {v}\n"
+                ));
+            }
+        }
+        out.push_str("# TYPE raa_cluster_migrations_total counter\n");
+        out.push_str("# TYPE raa_cluster_injector_pushes_total counter\n");
+        for (i, c) in snap.per_cluster.iter().enumerate() {
+            out.push_str(&format!(
+                "raa_cluster_migrations_total{{cluster=\"{i}\"}} {}\n",
+                c.migrated
+            ));
+            out.push_str(&format!(
+                "raa_cluster_injector_pushes_total{{cluster=\"{i}\"}} {}\n",
+                c.injector_pushes
+            ));
+        }
+    }
     prom_hist(&mut out, "raa_queue_delay_ns", &snap.queue_delay);
     prom_hist(&mut out, "raa_body_ns", &snap.body);
     prom_hist(&mut out, "raa_job_e2e_ns", &snap.job_e2e);

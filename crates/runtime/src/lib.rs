@@ -75,6 +75,7 @@ pub mod simsched;
 pub mod stats;
 pub mod task;
 pub mod telemetry;
+pub mod topology;
 pub mod trace;
 
 pub use blocked::Blocks;
@@ -97,10 +98,13 @@ pub use runtime::{
 };
 pub use scheduler::{QosClass, SchedulerPolicy};
 pub use simsched::{CorePool, ScheduleSimulator, SimPolicy, SimReport};
-pub use stats::{ContentionReport, StatsSnapshot, VictimSteals};
+pub use stats::{ClusterSteals, ContentionReport, StatsSnapshot, VictimSteals};
 pub use task::{Criticality, ExecBody, TaskId, TaskMeta};
 pub use telemetry::{
     Anomaly, HistSnapshot, LogHistogram, TelemetryDelta, TelemetrySnapshot, TenantTelemetry,
     TriggerRules,
+};
+pub use topology::{
+    ClusterSchedule, FlatSchedule, HierarchicalSchedule, StealCosts, Topology, NO_HOME,
 };
 pub use trace::{Trace, TraceConfig, TraceEvent, TraceEventKind, TraceSession, Tracer};

@@ -385,17 +385,18 @@ impl WorkerPool {
         self.wake_one();
     }
 
-    /// The calling thread's own deque, but only when it is a worker of
+    /// The calling thread's own deque (and worker index, for
+    /// cluster-aware spill routing), but only when it is a worker of
     /// *this* pool. A worker of some other pool (a task there spawning
     /// into this runtime) must not touch `deques[w]` — that deque's
     /// owner end belongs to this pool's worker `w`, and a concurrent
     /// owner-side push from a foreign thread is a data race. Such
     /// callers fall back to the shared injector (`None`).
-    fn own_deque(&self) -> Option<&WorkerDeque<ReadyTask>> {
+    fn own_deque(&self) -> Option<(&WorkerDeque<ReadyTask>, usize)> {
         CURRENT_WORKER
             .with(|c| c.get())
             .filter(|(pool, w)| *pool == self.shared.pool_id && *w < self.shared.deques.len())
-            .map(|(_, w)| &*self.shared.deques[w])
+            .map(|(_, w)| (&*self.shared.deques[w], w))
     }
 
     /// Push a ready task with spawn affinity: called from a worker
@@ -442,6 +443,13 @@ impl WorkerPool {
             overflow,
             dispatched,
         )
+    }
+
+    /// Per-cluster steal/balance counters (one entry per cluster of the
+    /// scheduler's topology), for `Runtime::contention_report` and the
+    /// telemetry snapshot.
+    pub fn cluster_data(&self) -> Vec<crate::stats::ClusterSteals> {
+        self.shared.queues.per_cluster_steals()
     }
 
     /// A cheap cloneable handle onto the pool's counters, for the
@@ -533,7 +541,7 @@ fn worker_loop(who: usize, shared: Arc<PoolShared>, client: Arc<dyn PoolClient>)
     CURRENT_WORKER.with(|c| c.set(Some((shared.pool_id, who))));
     // The deque is shared (Arc) so respawns inherit it, but only this
     // thread — the one registered as worker `who` — uses the owner end.
-    let local = Some(&*shared.deques[who]);
+    let local = Some((&*shared.deques[who], who));
     if let Some(t) = &shared.tracer {
         // Claim worker `who`'s SPSC trace ring. A watchdog respawn
         // re-binds the same ring — safe, because the previous producer
@@ -644,7 +652,7 @@ fn injected_death(who: usize, shared: &PoolShared) -> bool {
 fn run_one(
     task: ReadyTask,
     who: usize,
-    local: Option<&WorkerDeque<ReadyTask>>,
+    local: Option<(&WorkerDeque<ReadyTask>, usize)>,
     shared: &PoolShared,
     client: &Arc<dyn PoolClient>,
 ) {
@@ -666,8 +674,11 @@ fn run_one(
     shared.busy[who].store(false, Ordering::Relaxed);
     let completion = client.on_complete(id, slot, panicked, body);
     let n = completion.released.len();
+    let mut nonlocal = 0usize;
     for t in completion.released {
-        shared.queues.push(t, local);
+        if !shared.queues.push(t, local) {
+            nonlocal += 1;
+        }
     }
     if let Some((t, delay)) = completion.retry {
         shared.schedule_retry(t, delay);
@@ -676,9 +687,13 @@ fn run_one(
         // We will run one ourselves off the local deque; wake helpers for
         // the rest.
         shared.wake_all();
-    } else if n == 1 {
+    } else if nonlocal > 0 {
         shared.wake_one();
     }
+    // A single release that landed on our own deque needs no wake at
+    // all: we are awake and will pop it next iteration. This is the
+    // wake-storm fix — a dependency chain used to notify the condvar
+    // once per link (wakes ≈ tasks) just to have a sibling find nothing.
 }
 
 // ----------------------------------------------------------- retry timer
@@ -909,6 +924,7 @@ mod tests {
             priority: 0,
             critical: false,
             deadline_ns: crate::scheduler::NO_DEADLINE,
+            home: crate::scheduler::NO_HOME,
             seq: 0,
             body: ExecBody::once(body),
         }
@@ -974,6 +990,48 @@ mod tests {
         assert_eq!(client_a.done.load(Ordering::SeqCst), 1);
         let (pushes, _) = queues_b.injector_traffic();
         assert!(pushes >= 1, "cross-pool spawn must ride the injector");
+    }
+
+    #[test]
+    fn chained_release_on_own_deque_skips_the_wake() {
+        // A dependency chain releases exactly one task per completion,
+        // and that task lands on the completing worker's own deque. The
+        // old code notified the idle condvar once per link (wakes ≈
+        // tasks); now the completer just keeps running and siblings stay
+        // parked.
+        struct ChainClient {
+            done: AtomicU64,
+            target: u64,
+        }
+        impl PoolClient for ChainClient {
+            fn on_complete(
+                &self,
+                task: TaskId,
+                _slot: u32,
+                _panicked: Option<String>,
+                _body: ExecBody,
+            ) -> Completion {
+                let n = self.done.fetch_add(1, Ordering::SeqCst) + 1;
+                if n < self.target {
+                    Completion::released(vec![ready(task.0 + 1, || {})])
+                } else {
+                    Completion::released(Vec::new())
+                }
+            }
+        }
+        let queues = Arc::new(ReadyQueues::new(SchedulerPolicy::WorkStealing));
+        let client = Arc::new(ChainClient {
+            done: AtomicU64::new(0),
+            target: 200,
+        });
+        let pool = WorkerPool::new(2, queues, client.clone(), PoolOptions::default());
+        pool.push_external(ready(0, || {}));
+        wait_until(|| client.done.load(Ordering::SeqCst) == 200);
+        let (_parks, wakes) = pool.park_stats();
+        assert!(
+            (wakes as f64) < 0.5 * 200.0,
+            "chain completions must not wake per link (wakes={wakes})"
+        );
     }
 
     #[test]
@@ -1070,6 +1128,7 @@ mod tests {
                                 priority: 0,
                                 critical: false,
                                 deadline_ns: crate::scheduler::NO_DEADLINE,
+                                home: crate::scheduler::NO_HOME,
                                 seq: 0,
                                 body,
                             },
@@ -1096,6 +1155,7 @@ mod tests {
             priority: 0,
             critical: false,
             deadline_ns: crate::scheduler::NO_DEADLINE,
+            home: crate::scheduler::NO_HOME,
             seq: 0,
             body: ExecBody::retryable(move || {
                 if r.fetch_add(1, Ordering::SeqCst) == 0 {

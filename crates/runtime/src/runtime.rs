@@ -61,6 +61,7 @@ use crate::telemetry::{
     detect, SamplerShared, TelemetryDelta, TelemetrySnapshot, TenantTelemetry, TriggerRules,
     SAMPLE_INTERVAL,
 };
+use crate::topology::{Topology, NO_HOME};
 use crate::trace::{Trace, TraceConfig, TraceEventKind, TraceSession, Tracer};
 
 /// Node budget for the backward bottom-level relaxation at spawn. The
@@ -189,6 +190,14 @@ pub struct RuntimeConfig {
     pub workers: usize,
     /// Ready-task scheduling policy.
     pub policy: SchedulerPolicy,
+    /// Worker cluster topology for two-level work stealing (default:
+    /// flat — one cluster spanning the pool, which preserves the
+    /// pre-hierarchy scheduling behaviour exactly). When set, its
+    /// `workers()` must equal [`RuntimeConfig::workers`]: thieves then
+    /// steal intra-cluster first, an inter-cluster balancer moves
+    /// batches on sustained misses, and external spawns route to the
+    /// cluster owning the task's declared region/SPM footprint.
+    pub topology: Option<Topology>,
     /// Record the full TDG for later analysis / dot export (adds a clone
     /// of each task's metadata; off by default).
     pub record_graph: bool,
@@ -259,6 +268,7 @@ impl std::fmt::Debug for RuntimeConfig {
         f.debug_struct("RuntimeConfig")
             .field("workers", &self.workers)
             .field("policy", &self.policy)
+            .field("topology", &self.topology)
             .field("record_graph", &self.record_graph)
             .field("record_program", &self.record_program)
             .field("criticality_threshold", &self.criticality_threshold)
@@ -284,6 +294,7 @@ impl Default for RuntimeConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             policy: SchedulerPolicy::WorkStealing,
+            topology: None,
             record_graph: false,
             record_program: false,
             criticality_threshold: 0.9,
@@ -314,6 +325,16 @@ impl RuntimeConfig {
     /// Builder-style policy override.
     pub fn policy(mut self, policy: SchedulerPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Builder-style cluster topology: group the workers into
+    /// `topology.clusters` clusters for two-level work stealing. Also
+    /// sets the worker count to `topology.workers()` so the two can
+    /// never disagree.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.workers = topology.workers();
+        self.topology = Some(topology);
         self
     }
 
@@ -481,6 +502,16 @@ struct Shared {
     /// Time origin shared with [`ReadyQueues`]: task deadlines travel
     /// through the scheduler as nanoseconds since this instant.
     epoch: Instant,
+    /// Resolved worker cluster map (flat unless
+    /// [`RuntimeConfig::topology`] was set). `fill_slot` derives each
+    /// task's home cluster from it.
+    topology: Topology,
+    /// Declared SPM layout ranges `(base, bytes)` from
+    /// [`Runtime::declare_spm_ranges`], used to map a task's first
+    /// region onto the tile that owns it; empty until declared.
+    /// `spm_declared` gates the lock off the spawn hot path.
+    spm_map: Mutex<Vec<(u64, u64)>>,
+    spm_declared: AtomicBool,
     /// Tasks spawned but not yet settled. Incremented before a task is
     /// visible anywhere. Striped: completion touches only a local line
     /// and never notifies; quiescence waiters poll the stripe sum on a
@@ -771,6 +802,7 @@ impl Shared {
                     priority: st.priority,
                     critical: st.critical,
                     deadline_ns: st.deadline_ns,
+                    home: st.home,
                     seq: 0,
                     body,
                 });
@@ -915,6 +947,7 @@ fn assemble_snapshot(
         body,
         job_e2e,
         tenants,
+        per_cluster: queues.per_cluster_steals(),
     }
 }
 
@@ -1296,6 +1329,7 @@ impl PoolClient for Shared {
                     priority: st.priority,
                     critical: st.critical,
                     deadline_ns: st.deadline_ns,
+                    home: st.home,
                     seq: 0,
                     body,
                 };
@@ -1386,6 +1420,7 @@ impl PoolClient for Shared {
             priority: st.priority,
             critical: st.critical,
             deadline_ns: st.deadline_ns,
+            home: st.home,
             seq: 0,
             body,
         })
@@ -1418,8 +1453,20 @@ impl Runtime {
         // One epoch shared with the scheduler: task deadlines cross the
         // ready queues as nanoseconds since this instant.
         let epoch = Instant::now();
+        // The cluster topology defaults to flat (one cluster spanning the
+        // whole pool); an explicit topology must agree with the worker
+        // count the pool is actually built with.
+        let topology = config
+            .topology
+            .unwrap_or_else(|| Topology::flat(config.workers));
+        assert_eq!(
+            topology.workers(),
+            config.workers,
+            "topology worker count must match config.workers"
+        );
         let queues = Arc::new(ReadyQueues::with_tracer(
             config.policy,
+            topology,
             tracer.clone(),
             epoch,
         ));
@@ -1458,6 +1505,9 @@ impl Runtime {
             slab: TaskSlab::new(),
             tracker: crate::deps::ShardedDepTracker::new(),
             epoch,
+            topology,
+            spm_map: Mutex::new(Vec::new()),
+            spm_declared: AtomicBool::new(false),
             outstanding: StripedGauge::default(),
             wait: Mutex::new(()),
             wait_cv: Condvar::new(),
@@ -2053,6 +2103,7 @@ impl Runtime {
         st.exempt = exempt;
         st.job = (!exempt).then(|| Arc::clone(job));
         st.deadline_ns = deadline_ns;
+        st.home = self.home_cluster_for(meta);
         st.label.push_str(&meta.label);
         st.reads.extend(
             meta.accesses
@@ -2067,6 +2118,40 @@ impl Runtime {
                 .map(|a| a.region),
         );
         deadline_ns
+    }
+
+    /// Locality-aware placement: route a task to the cluster whose
+    /// declared data footprint it touches. The first written region (or
+    /// the first read, for read-only tasks) anchors the task; if SPM
+    /// ranges were declared via [`Runtime::declare_spm_ranges`], the
+    /// range containing the region's start address picks the cluster
+    /// (range index modulo cluster count — one scratchpad per tile
+    /// group, as in the paper's runtime-managed SPM hierarchy);
+    /// otherwise the region id hashes block-cyclically. Flat topologies
+    /// skip all of it: every task is homeless and lands round-robin.
+    fn home_cluster_for(&self, meta: &TaskMeta) -> u32 {
+        let shared = &*self.shared;
+        let k = shared.topology.clusters;
+        if k <= 1 {
+            return NO_HOME;
+        }
+        let anchor = meta
+            .accesses
+            .iter()
+            .find(|a| a.mode.writes())
+            .or_else(|| meta.accesses.first());
+        let Some(a) = anchor else {
+            return NO_HOME;
+        };
+        if shared.spm_declared.load(Ordering::Acquire) {
+            let map = shared.spm_map.lock();
+            if let Some(idx) = map.iter().position(|&(base, bytes)| {
+                a.region.range.start >= base && a.region.range.start < base.saturating_add(bytes)
+            }) {
+                return (idx % k) as u32;
+            }
+        }
+        shared.topology.home_cluster(a.region.id.0) as u32
     }
 
     /// The tail of the spawn protocol, shared by the single and batched
@@ -2109,9 +2194,11 @@ impl Runtime {
                 Criticality::Auto => shared.submit_criticality(&me, meta.cost.max(1), &preds),
             }
         };
+        let home;
         {
             let mut st = slot.state.lock();
             st.critical = critical;
+            home = st.home;
             st.preds.extend(preds.iter().map(|p| (p.slot, p.gen)));
         }
         if let Some(rec) = &shared.recorded {
@@ -2231,6 +2318,7 @@ impl Runtime {
                 priority: meta.priority,
                 critical,
                 deadline_ns,
+                home,
                 seq: 0,
                 body,
             });
@@ -2255,6 +2343,7 @@ impl Runtime {
                 priority: meta.priority,
                 critical,
                 deadline_ns,
+                home,
                 seq: 0,
                 body,
             });
@@ -2445,6 +2534,7 @@ impl Runtime {
         let (slab_local_frees, slab_remote_frees) = self.shared.slab.free_stats();
         ContentionReport {
             per_victim,
+            per_cluster: self.pool.cluster_data(),
             injector_pushes,
             injector_overflow,
             dispatches,
@@ -2603,13 +2693,24 @@ impl Runtime {
     /// Declare the SPM-mapped `(base, bytes)` ranges of the program's
     /// data layout, to be carried by the recorded [`TaskProgram`] (the
     /// machine-replay substrate needs them to route strided references).
-    /// No-op unless [`RuntimeConfig::record_program`] is on.
+    /// With a clustered [`Topology`] the ranges also drive locality-aware
+    /// placement: tasks spawned after this call are homed on the cluster
+    /// owning the SPM range their anchor region falls in (range index
+    /// modulo cluster count).
     pub fn declare_spm_ranges(&self, ranges: &[(u64, u64)]) {
         if let Some(cap) = &self.shared.capture {
             let mut r = cap.spm_ranges.lock();
             r.clear();
             r.extend_from_slice(ranges);
         }
+        {
+            let mut m = self.shared.spm_map.lock();
+            m.clear();
+            m.extend_from_slice(ranges);
+        }
+        self.shared
+            .spm_declared
+            .store(!ranges.is_empty(), Ordering::Release);
     }
 
     // ----------------------------------------------------- job layer

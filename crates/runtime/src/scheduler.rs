@@ -34,9 +34,12 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use crate::deque::{DequeStealer, Injector, Steal, WorkerDeque};
-use crate::stats::VictimSteals;
+use crate::stats::{ClusterSteals, VictimSteals};
 use crate::task::{ExecBody, TaskId};
+use crate::topology::Topology;
 use crate::trace::{TraceEventKind, Tracer, NO_TASK};
+
+pub use crate::topology::NO_HOME;
 
 /// Ring capacity of the shared injectors. Bursts beyond this spill to a
 /// mutex-protected overflow list (correct, slower) — sized so that only
@@ -64,11 +67,32 @@ pub const WORKER_DEQUE_CAP: usize = 1 << 13;
 /// only blurs the attribution, never the totals.
 pub const MAX_TRACKED_VICTIMS: usize = 64;
 
+/// Consecutive intra-cluster steal misses before a worker escalates to
+/// the inter-cluster balancer. One miss is noise (a thief racing us);
+/// two in a row means the cluster really is dry.
+pub const BALANCE_AFTER_MISSES: u64 = 2;
+
+/// Max tasks the balancer drains from a remote cluster's injector in one
+/// visit. Balancing moves batches, not single tasks — the whole point is
+/// to amortise the cross-cluster trip.
+pub const BALANCE_BATCH: usize = 32;
+
 /// Atomic cell of the per-victim steal table.
 #[derive(Default)]
 struct VictimCell {
     ok: AtomicU64,
     empty: AtomicU64,
+}
+
+/// Atomic cell of the per-cluster steal table: intra/inter hit rates and
+/// the balancer's migration volume, attributed to the *thief's* cluster.
+#[derive(Default)]
+struct ClusterCell {
+    intra_ok: AtomicU64,
+    intra_empty: AtomicU64,
+    inter_ok: AtomicU64,
+    inter_empty: AtomicU64,
+    migrated: AtomicU64,
 }
 
 /// Scheduling policy selector.
@@ -126,6 +150,11 @@ pub struct ReadyTask {
     /// ties earliest-deadline-first in the overflow heap and makes
     /// near-deadline tasks jump the injector.
     pub deadline_ns: u64,
+    /// Home cluster derived from the task's declared SPM/region
+    /// footprint ([`NO_HOME`] when it touches nothing, or the topology
+    /// is flat). External pushes land on this cluster's injector, so a
+    /// task starts next to the tile that owns its data.
+    pub home: u32,
     pub seq: u64,
     pub body: ExecBody,
 }
@@ -172,7 +201,17 @@ impl Ord for PrioEntry {
 /// Global scheduling structures (per-worker deques live in the pool).
 pub struct ReadyQueues {
     policy: SchedulerPolicy,
-    injector: Injector<ReadyTask>,
+    /// Worker cluster map: bounds the steal sweep, routes external
+    /// pushes, and gates the inter-cluster balancer. `Topology::flat`
+    /// keeps every path on its pre-hierarchy behaviour.
+    topology: Topology,
+    /// One injector per cluster (exactly one when flat): external
+    /// submissions and spill stay on the cluster that owns them, so
+    /// cross-cluster traffic is the balancer's decision, not an accident
+    /// of a shared MPMC queue.
+    injectors: Box<[Injector<ReadyTask>]>,
+    /// Round-robin cursor for external pushes with no home cluster.
+    next_cluster: AtomicUsize,
     critical: Injector<ReadyTask>,
     /// Work-stealing overflow for explicitly prioritised tasks,
     /// consulted only on steal-miss.
@@ -199,24 +238,40 @@ pub struct ReadyQueues {
     /// victim's deque, `empty` counts probes that found it bare. Feeds
     /// the contention report's hit-rate table.
     victim_steals: Box<[VictimCell]>,
+    /// Per-cluster steal outcomes (one cell per cluster).
+    cluster_steals: Box<[ClusterCell]>,
+    /// Consecutive intra-cluster steal misses per worker (indexed
+    /// `who % MAX_TRACKED_VICTIMS`, like the victim table); reaching
+    /// [`BALANCE_AFTER_MISSES`] arms the inter-cluster balancer.
+    balance_miss: Box<[AtomicU64]>,
     tracer: Option<Arc<Tracer>>,
 }
 
 impl ReadyQueues {
     pub fn new(policy: SchedulerPolicy) -> Self {
-        Self::with_tracer(policy, None, Instant::now())
+        Self::with_tracer(policy, Topology::flat(1), None, Instant::now())
+    }
+
+    /// Like [`ReadyQueues::new`] but clustered.
+    pub fn with_topology(policy: SchedulerPolicy, topology: Topology) -> Self {
+        Self::with_tracer(policy, topology, None, Instant::now())
     }
 
     /// `epoch` is the origin against which `ReadyTask::deadline_ns` is
     /// measured; the runtime passes its own so both sides agree.
     pub fn with_tracer(
         policy: SchedulerPolicy,
+        topology: Topology,
         tracer: Option<Arc<Tracer>>,
         epoch: Instant,
     ) -> Self {
         ReadyQueues {
             policy,
-            injector: Injector::new(INJECTOR_RING),
+            topology,
+            injectors: (0..topology.clusters)
+                .map(|_| Injector::new(INJECTOR_RING))
+                .collect(),
+            next_cluster: AtomicUsize::new(0),
             critical: Injector::new(INJECTOR_RING),
             overflow: Mutex::new(BinaryHeap::new()),
             overflow_len: AtomicUsize::new(0),
@@ -231,8 +286,19 @@ impl ReadyQueues {
             victim_steals: (0..MAX_TRACKED_VICTIMS)
                 .map(|_| VictimCell::default())
                 .collect(),
+            cluster_steals: (0..topology.clusters)
+                .map(|_| ClusterCell::default())
+                .collect(),
+            balance_miss: (0..MAX_TRACKED_VICTIMS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             tracer,
         }
+    }
+
+    /// The worker cluster map this scheduler routes by.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// `(steals_ok, steals_empty, injector_overflow)` — always-on relaxed
@@ -241,7 +307,11 @@ impl ReadyQueues {
         (
             self.steals_ok.load(Ordering::Relaxed),
             self.steals_empty.load(Ordering::Relaxed),
-            self.injector.overflow_events() + self.critical.overflow_events(),
+            self.injectors
+                .iter()
+                .map(|i| i.overflow_events())
+                .sum::<u64>()
+                + self.critical.overflow_events(),
         )
     }
 
@@ -263,9 +333,31 @@ impl ReadyQueues {
     /// signal.
     pub fn injector_traffic(&self) -> (u64, u64) {
         (
-            self.injector.push_events() + self.critical.push_events(),
-            self.injector.overflow_events() + self.critical.overflow_events(),
+            self.injectors.iter().map(|i| i.push_events()).sum::<u64>()
+                + self.critical.push_events(),
+            self.injectors
+                .iter()
+                .map(|i| i.overflow_events())
+                .sum::<u64>()
+                + self.critical.overflow_events(),
         )
+    }
+
+    /// Per-cluster steal/balance counters (one entry per cluster; a flat
+    /// topology yields a single entry covering the whole pool).
+    pub fn per_cluster_steals(&self) -> Vec<ClusterSteals> {
+        self.cluster_steals
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| ClusterSteals {
+                intra_ok: cell.intra_ok.load(Ordering::Relaxed),
+                intra_empty: cell.intra_empty.load(Ordering::Relaxed),
+                inter_ok: cell.inter_ok.load(Ordering::Relaxed),
+                inter_empty: cell.inter_empty.load(Ordering::Relaxed),
+                migrated: cell.migrated.load(Ordering::Relaxed),
+                injector_pushes: self.injectors[c].push_events(),
+            })
+            .collect()
     }
 
     /// Worker-only emission: scheduler events from unbound (external)
@@ -334,10 +426,40 @@ impl ReadyQueues {
         min != NO_DEADLINE && min <= self.now_ns().saturating_add(EDF_URGENT_WINDOW_NS)
     }
 
+    /// Cluster of worker `who`, free when the topology is flat.
+    #[inline]
+    fn cluster_index(&self, who: usize) -> usize {
+        if self.injectors.len() == 1 {
+            0
+        } else {
+            self.topology.cluster_of(who)
+        }
+    }
+
+    /// Injector an *external* (non-worker) push of `t` should land on:
+    /// the task's home cluster when it declared one, else round-robin
+    /// across clusters. Flat topologies skip both and pay nothing.
+    #[inline]
+    fn injector_for_home(&self, home: u32) -> &Injector<ReadyTask> {
+        let k = self.injectors.len();
+        if k == 1 {
+            return &self.injectors[0];
+        }
+        let c = if home == NO_HOME {
+            self.next_cluster.fetch_add(1, Ordering::Relaxed) % k
+        } else {
+            home as usize % k
+        };
+        &self.injectors[c]
+    }
+
     /// Push a ready task to the global structures. `local` is the current
-    /// worker's own deque when the push happens on a worker thread (used
-    /// by the work-stealing policy for locality).
-    pub fn push(&self, t: ReadyTask, local: Option<&WorkerDeque<ReadyTask>>) {
+    /// worker's own deque and index when the push happens on a worker
+    /// thread (used by the work-stealing policy for locality).
+    ///
+    /// Returns `true` iff the task landed on the *caller's own* deque —
+    /// the caller will pop it itself, so no wake is needed for it.
+    pub fn push(&self, t: ReadyTask, local: Option<(&WorkerDeque<ReadyTask>, usize)>) -> bool {
         // Enqueue events are emitted *before* the push: once the task is
         // visible another worker can start it, and its `start` must not
         // precede the enqueue record in the trace.
@@ -366,20 +488,24 @@ impl ReadyQueues {
                         gen,
                         t.priority as u64,
                     );
-                    return self.push_overflow(t);
+                    self.push_overflow(t);
+                    return false;
                 }
                 match local {
-                    Some(deque) => {
+                    Some((deque, who)) => {
                         self.trace(TraceEventKind::EnqueueLocal, id, slot, gen, 0);
                         if let Err(t) = deque.push(t) {
-                            // Spill: the task really lands on the injector.
+                            // Spill: the task really lands on the
+                            // pushing worker's own cluster injector.
                             self.trace(TraceEventKind::EnqueueInjector, id, slot, gen, 1);
-                            self.injector.push(t);
+                            self.injectors[self.cluster_index(who)].push(t);
+                            return false;
                         }
+                        return true;
                     }
                     None => {
                         self.trace(TraceEventKind::EnqueueInjector, id, slot, gen, 0);
-                        self.injector.push(t)
+                        self.injector_for_home(t.home).push(t)
                     }
                 }
             }
@@ -393,10 +519,11 @@ impl ReadyQueues {
                     self.critical.push(t);
                 } else {
                     self.trace(TraceEventKind::EnqueueInjector, id, slot, gen, 0);
-                    self.injector.push(t);
+                    self.injectors[0].push(t);
                 }
             }
         }
+        false
     }
 
     /// Pop a task for worker `who`, given its local deque and the stealers
@@ -405,7 +532,7 @@ impl ReadyQueues {
     pub fn pop(
         &self,
         who: usize,
-        local: Option<&WorkerDeque<ReadyTask>>,
+        local: Option<(&WorkerDeque<ReadyTask>, usize)>,
         stealers: &[DequeStealer<ReadyTask>],
     ) -> Option<ReadyTask> {
         match self.policy {
@@ -413,7 +540,7 @@ impl ReadyQueues {
             SchedulerPolicy::Lifo => self.lifo.lock().pop(),
             SchedulerPolicy::Priority => self.heap.lock().pop().map(|e| e.0),
             SchedulerPolicy::WorkStealing => {
-                if let Some(t) = local.and_then(|d| d.pop()) {
+                if let Some(t) = local.and_then(|(d, _)| d.pop()) {
                     return Some(t);
                 }
                 // A near-deadline task in the overflow heap outranks the
@@ -425,31 +552,39 @@ impl ReadyQueues {
                         return Some(t);
                     }
                 }
-                if let Some(t) = self.injector.pop() {
+                let n = stealers.len();
+                let k = self.injectors.len();
+                let c = self.cluster_index(who);
+                if let Some(t) = self.injectors[c].pop() {
                     return Some(t);
                 }
-                // Steal from siblings, starting after ourselves to spread
-                // contention. Each probe claims up to half the victim's
-                // queue in one CAS: the first task is returned, the rest
-                // land on our own deque (spilling to the injector only if
-                // we are somehow full). `Retry` means another thief holds
-                // the victim's claim window — moving on to the next
-                // victim beats spinning on a contended head word.
-                let n = stealers.len();
-                for off in 1..n.max(1) {
-                    let victim = (who + off) % n;
+                // Steal inside our own cluster first, starting after
+                // ourselves to spread contention. Each probe claims up to
+                // half the victim's queue in one CAS: the first task is
+                // returned, the rest land on our own deque (spilling to
+                // our cluster injector only if we are somehow full).
+                // `Retry` means another thief holds the victim's claim
+                // window — moving on to the next victim beats spinning
+                // on a contended head word. A flat topology's single
+                // cluster spans the whole pool, so this *is* the old
+                // global sweep in that case.
+                let (start, end) = self.topology.cluster_span(c, n);
+                let width = end.saturating_sub(start);
+                let ccell = &self.cluster_steals[c];
+                for off in 1..width.max(1) {
+                    let victim = start + (who - start + off) % width;
                     let cell = &self.victim_steals[victim % MAX_TRACKED_VICTIMS];
                     let mut extras = 0u64;
                     let got = {
                         let mut sink = |t: ReadyTask| {
                             extras += 1;
                             match local {
-                                Some(d) => {
+                                Some((d, _)) => {
                                     if let Err(t) = d.push(t) {
-                                        self.injector.push(t);
+                                        self.injectors[c].push(t);
                                     }
                                 }
-                                None => self.injector.push(t),
+                                None => self.injectors[c].push(t),
                             }
                         };
                         stealers[victim].steal_half_with(&mut sink)
@@ -458,12 +593,35 @@ impl ReadyQueues {
                         Steal::Success(t) => {
                             self.steals_ok.fetch_add(1 + extras, Ordering::Relaxed);
                             cell.ok.fetch_add(1 + extras, Ordering::Relaxed);
+                            ccell.intra_ok.fetch_add(1 + extras, Ordering::Relaxed);
+                            if k > 1 {
+                                self.balance_miss[who % MAX_TRACKED_VICTIMS]
+                                    .store(0, Ordering::Relaxed);
+                            }
                             self.trace(TraceEventKind::StealOk, t.id, t.slot, t.gen, victim as u64);
                             return Some(t);
                         }
                         Steal::Retry => continue,
                         Steal::Empty => {
                             cell.empty.fetch_add(1, Ordering::Relaxed);
+                            ccell.intra_empty.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Intra-cluster miss. After a few consecutive misses the
+                // cluster is genuinely dry: escalate to the inter-cluster
+                // balancer, which moves a *batch* from the fullest thing
+                // it finds elsewhere (remote injector first, then a
+                // steal-half of a remote deque). Single steals across
+                // clusters are exactly the random-victim traffic this
+                // refactor removes.
+                if k > 1 {
+                    let miss_cell = &self.balance_miss[who % MAX_TRACKED_VICTIMS];
+                    let misses = miss_cell.fetch_add(1, Ordering::Relaxed) + 1;
+                    if misses >= BALANCE_AFTER_MISSES {
+                        if let Some(t) = self.balance_from_remote(c, local, stealers) {
+                            miss_cell.store(0, Ordering::Relaxed);
+                            return Some(t);
                         }
                     }
                 }
@@ -480,13 +638,103 @@ impl ReadyQueues {
             SchedulerPolicy::CriticalityAware { fast_workers } => {
                 let fast = who < fast_workers;
                 let (first, second) = if fast {
-                    (&self.critical, &self.injector)
+                    (&self.critical, &self.injectors[0])
                 } else {
-                    (&self.injector, &self.critical)
+                    (&self.injectors[0], &self.critical)
                 };
                 first.pop().or_else(|| second.pop())
             }
         }
+    }
+
+    /// The inter-cluster balancer: called by a worker in cluster `c`
+    /// whose own cluster has been dry for [`BALANCE_AFTER_MISSES`]
+    /// consecutive sweeps. Visits the other clusters in ring order and
+    /// migrates a *batch* of work home — up to [`BALANCE_BATCH`] tasks
+    /// drained from a remote injector, or one steal-half claim from a
+    /// remote deque (itself up to half that deque in one CAS). Returns
+    /// the first migrated task; the rest land on the caller's deque.
+    fn balance_from_remote(
+        &self,
+        c: usize,
+        local: Option<(&WorkerDeque<ReadyTask>, usize)>,
+        stealers: &[DequeStealer<ReadyTask>],
+    ) -> Option<ReadyTask> {
+        let k = self.injectors.len();
+        let n = stealers.len();
+        let ccell = &self.cluster_steals[c];
+        for step in 1..k {
+            let rc = (c + step) % k;
+            // Spill parked on a remote injector is the cheapest thing to
+            // migrate: no deque owner to race with.
+            if let Some(first) = self.injectors[rc].pop() {
+                let mut moved = 1u64;
+                if let Some((d, _)) = local {
+                    while (moved as usize) < BALANCE_BATCH {
+                        match self.injectors[rc].pop() {
+                            Some(t) => {
+                                moved += 1;
+                                if let Err(t) = d.push(t) {
+                                    self.injectors[c].push(t);
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                ccell.inter_ok.fetch_add(moved, Ordering::Relaxed);
+                ccell.migrated.fetch_add(moved, Ordering::Relaxed);
+                self.trace(
+                    TraceEventKind::StealRemote,
+                    first.id,
+                    first.slot,
+                    first.gen,
+                    rc as u64,
+                );
+                return Some(first);
+            }
+            let (start, end) = self.topology.cluster_span(rc, n);
+            for (victim, stealer) in stealers.iter().enumerate().take(end).skip(start) {
+                let cell = &self.victim_steals[victim % MAX_TRACKED_VICTIMS];
+                let mut extras = 0u64;
+                let got = {
+                    let mut sink = |t: ReadyTask| {
+                        extras += 1;
+                        match local {
+                            Some((d, _)) => {
+                                if let Err(t) = d.push(t) {
+                                    self.injectors[c].push(t);
+                                }
+                            }
+                            None => self.injectors[c].push(t),
+                        }
+                    };
+                    stealer.steal_half_with(&mut sink)
+                };
+                match got {
+                    Steal::Success(t) => {
+                        self.steals_ok.fetch_add(1 + extras, Ordering::Relaxed);
+                        cell.ok.fetch_add(1 + extras, Ordering::Relaxed);
+                        ccell.inter_ok.fetch_add(1 + extras, Ordering::Relaxed);
+                        ccell.migrated.fetch_add(1 + extras, Ordering::Relaxed);
+                        self.trace(
+                            TraceEventKind::StealRemote,
+                            t.id,
+                            t.slot,
+                            t.gen,
+                            victim as u64,
+                        );
+                        return Some(t);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => {
+                        cell.empty.fetch_add(1, Ordering::Relaxed);
+                        ccell.inter_empty.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Best-effort emptiness check (for parking decisions).
@@ -496,10 +744,11 @@ impl ReadyQueues {
             SchedulerPolicy::Lifo => self.lifo.lock().is_empty(),
             SchedulerPolicy::Priority => self.heap.lock().is_empty(),
             SchedulerPolicy::WorkStealing => {
-                self.injector.is_empty() && self.overflow_len.load(Ordering::Acquire) == 0
+                self.injectors.iter().all(|i| i.is_empty())
+                    && self.overflow_len.load(Ordering::Acquire) == 0
             }
             SchedulerPolicy::CriticalityAware { .. } => {
-                self.injector.is_empty() && self.critical.is_empty()
+                self.injectors[0].is_empty() && self.critical.is_empty()
             }
         }
     }
@@ -517,6 +766,7 @@ mod tests {
             priority,
             critical,
             deadline_ns: NO_DEADLINE,
+            home: NO_HOME,
             seq: 0,
             body: ExecBody::once(|| {}),
         }
@@ -566,11 +816,11 @@ mod tests {
         let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
         let local = WorkerDeque::new(WORKER_DEQUE_CAP);
         let stealers = [local.stealer()];
-        q.push(rt(0, 0, false), None); // goes to injector
-        q.push(rt(1, 0, false), Some(&local)); // local
-        let first = q.pop(0, Some(&local), &stealers).unwrap();
+        assert!(!q.push(rt(0, 0, false), None)); // goes to injector
+        assert!(q.push(rt(1, 0, false), Some((&local, 0)))); // local
+        let first = q.pop(0, Some((&local, 0)), &stealers).unwrap();
         assert_eq!(first.id.0, 1, "local deque first");
-        let second = q.pop(0, Some(&local), &stealers).unwrap();
+        let second = q.pop(0, Some((&local, 0)), &stealers).unwrap();
         assert_eq!(second.id.0, 0);
     }
 
@@ -580,10 +830,10 @@ mod tests {
         let w0 = WorkerDeque::new(WORKER_DEQUE_CAP);
         let w1 = WorkerDeque::new(WORKER_DEQUE_CAP);
         let stealers = [w0.stealer(), w1.stealer()];
-        q.push(rt(7, 0, false), Some(&w1));
+        q.push(rt(7, 0, false), Some((&w1, 1)));
         // Worker 0 has nothing local and the injector is empty: it must
         // steal worker 1's task.
-        let got = q.pop(0, Some(&w0), &stealers).unwrap();
+        let got = q.pop(0, Some((&w0, 0)), &stealers).unwrap();
         assert_eq!(got.id.0, 7);
     }
 
@@ -592,14 +842,14 @@ mod tests {
         let q = ReadyQueues::new(SchedulerPolicy::WorkStealing);
         let local = WorkerDeque::new(WORKER_DEQUE_CAP);
         let stealers = [local.stealer()];
-        q.push(rt(0, 2, false), Some(&local)); // prioritised: overflow heap
-        q.push(rt(1, 5, false), Some(&local));
-        q.push(rt(2, 0, false), Some(&local)); // plain: local deque
+        q.push(rt(0, 2, false), Some((&local, 0))); // prioritised: overflow heap
+        q.push(rt(1, 5, false), Some((&local, 0)));
+        q.push(rt(2, 0, false), Some((&local, 0))); // plain: local deque
         assert_eq!(q.overflow_len.load(Ordering::Relaxed), 2);
         // Plain local work first; on steal-miss the heap serves by
         // priority.
         let ids: Vec<u32> = (0..3)
-            .map(|_| q.pop(0, Some(&local), &stealers).unwrap().id.0)
+            .map(|_| q.pop(0, Some((&local, 0)), &stealers).unwrap().id.0)
             .collect();
         assert_eq!(ids, vec![2, 1, 0]);
         assert!(q.looks_empty());
@@ -638,25 +888,25 @@ mod tests {
                 deadline_ns: 900,
                 ..rt(0, 3, false)
             },
-            Some(&local),
+            Some((&local, 0)),
         );
         q.push(
             ReadyTask {
                 deadline_ns: 100,
                 ..rt(1, 3, false)
             },
-            Some(&local),
+            Some((&local, 0)),
         );
-        q.push(rt(2, 3, false), Some(&local)); // NO_DEADLINE
+        q.push(rt(2, 3, false), Some((&local, 0))); // NO_DEADLINE
         q.push(
             ReadyTask {
                 deadline_ns: 500,
                 ..rt(3, 3, false)
             },
-            Some(&local),
+            Some((&local, 0)),
         );
         let ids: Vec<u32> = (0..4)
-            .map(|_| q.pop(0, Some(&local), &stealers).unwrap().id.0)
+            .map(|_| q.pop(0, Some((&local, 0)), &stealers).unwrap().id.0)
             .collect();
         assert_eq!(ids, vec![1, 3, 0, 2], "EDF within a priority tie");
     }
@@ -709,5 +959,99 @@ mod tests {
         let a = q.stamp(rt(0, 0, false));
         let b = q.stamp(rt(1, 0, false));
         assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn external_push_routes_to_home_cluster_injector() {
+        // Two clusters of one worker each; a task homed on cluster 1
+        // must land on worker 1's injector, not wherever the round-robin
+        // cursor points.
+        let q = ReadyQueues::with_topology(SchedulerPolicy::WorkStealing, Topology::new(2, 1));
+        let w0 = WorkerDeque::new(WORKER_DEQUE_CAP);
+        let w1 = WorkerDeque::new(WORKER_DEQUE_CAP);
+        let stealers = [w0.stealer(), w1.stealer()];
+        q.push(
+            ReadyTask {
+                home: 1,
+                ..rt(42, 0, false)
+            },
+            None,
+        );
+        q.push(
+            ReadyTask {
+                home: 0,
+                ..rt(7, 0, false)
+            },
+            None,
+        );
+        // Each worker finds its homed task on its own injector without
+        // needing to steal or balance.
+        assert_eq!(q.pop(1, Some((&w1, 1)), &stealers).unwrap().id.0, 42);
+        assert_eq!(q.pop(0, Some((&w0, 0)), &stealers).unwrap().id.0, 7);
+        assert!(q.looks_empty());
+    }
+
+    #[test]
+    fn steal_sweep_stays_intra_cluster_until_balancer_arms() {
+        // Two clusters of two workers; worker 3 (cluster 1) has work,
+        // worker 0 (cluster 0) is dry. The intra sweep must not see it;
+        // only after BALANCE_AFTER_MISSES consecutive misses does the
+        // balancer cross over and migrate it.
+        let q = ReadyQueues::with_topology(SchedulerPolicy::WorkStealing, Topology::new(2, 2));
+        let deques: Vec<_> = (0..4)
+            .map(|_| WorkerDeque::<ReadyTask>::new(WORKER_DEQUE_CAP))
+            .collect();
+        let stealers: Vec<_> = deques.iter().map(|d| d.stealer()).collect();
+        q.push(rt(9, 0, false), Some((&deques[3], 3)));
+        assert!(
+            q.pop(0, Some((&deques[0], 0)), &stealers).is_none(),
+            "first miss stays intra-cluster"
+        );
+        let got = q
+            .pop(0, Some((&deques[0], 0)), &stealers)
+            .expect("second miss arms the balancer");
+        assert_eq!(got.id.0, 9);
+        let pc = q.per_cluster_steals();
+        assert_eq!(pc.len(), 2);
+        assert_eq!(pc[0].inter_ok, 1, "migration attributed to the thief");
+        assert_eq!(pc[0].migrated, 1);
+        assert_eq!(pc[1].inter_ok, 0);
+        assert!(pc[0].intra_empty > 0, "intra probes missed first");
+    }
+
+    #[test]
+    fn balancer_drains_remote_injector_in_batches() {
+        // Two single-worker clusters: five tasks homed on cluster 1 pile
+        // up on its injector while its worker is absent. Worker 0's
+        // balancer must bring the whole batch home, not one task.
+        let q = ReadyQueues::with_topology(SchedulerPolicy::WorkStealing, Topology::new(2, 1));
+        let w0 = WorkerDeque::new(WORKER_DEQUE_CAP);
+        let w1 = WorkerDeque::new(WORKER_DEQUE_CAP);
+        let stealers = [w0.stealer(), w1.stealer()];
+        for i in 0..5 {
+            q.push(
+                ReadyTask {
+                    home: 1,
+                    ..rt(i, 0, false)
+                },
+                None,
+            );
+        }
+        // Single-worker cluster: the intra sweep has no victims, so each
+        // dry pop counts one miss.
+        assert!(q.pop(0, Some((&w0, 0)), &stealers).is_none());
+        let first = q
+            .pop(0, Some((&w0, 0)), &stealers)
+            .expect("balancer drains the remote injector");
+        assert_eq!(first.id.0, 0, "injector order preserved");
+        // The remaining four came along in the same visit and now sit on
+        // worker 0's own deque.
+        for _ in 1..5 {
+            assert!(w0.pop().is_some());
+        }
+        assert!(w0.pop().is_none());
+        let pc = q.per_cluster_steals();
+        assert_eq!(pc[0].migrated, 5, "batch moved in one balance visit");
+        assert!(q.looks_empty());
     }
 }

@@ -18,11 +18,13 @@
 use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::criticality;
 use crate::graph::TaskGraph;
 use crate::program::TaskProgram;
 use crate::task::{Criticality, TaskId};
+use crate::topology::{ClusterSchedule, StealCosts};
 
 /// A set of virtual cores with individual DVFS frequencies.
 #[derive(Clone, Debug)]
@@ -148,6 +150,12 @@ pub struct SimReport {
     pub reconfig_stall: f64,
     /// Total start-delay attributable to cross-core data transfers.
     pub comm_delay: f64,
+    /// Total dispatch overhead charged by the cluster schedule's victim
+    /// probing (zero without [`ScheduleSimulator::with_cluster_schedule`]).
+    pub probe_overhead: f64,
+    /// Tasks a cluster schedule had to place outside their preferred
+    /// cluster (every such placement also pays the migrate cost).
+    pub migrations: u64,
     /// Start time of each task, indexed by task id.
     pub start_times: Vec<f64>,
     /// Execution duration of each task (cost ÷ granted frequency).
@@ -220,6 +228,13 @@ pub struct ScheduleSimulator<'g> {
     /// on a different core (cache-to-cache / SPM-to-SPM move). Zero by
     /// default.
     pub comm_cost: f64,
+    /// Optional two-level cluster schedule (the flat-vs-hierarchical A/B
+    /// switch): charges per-dispatch probe overhead scaling with the
+    /// schedule's probe domain, steers tasks toward the cluster holding
+    /// their predecessors' data, and scales `comm_cost` by the
+    /// schedule's intra/inter factor. `None` reproduces the historic
+    /// behaviour exactly.
+    cluster: Option<(Arc<dyn ClusterSchedule>, StealCosts)>,
 }
 
 #[derive(PartialEq)]
@@ -276,6 +291,7 @@ impl<'g> ScheduleSimulator<'g> {
             power: PowerModel::default(),
             criticality_slack: 0,
             comm_cost: 0.0,
+            cluster: None,
         }
     }
 
@@ -294,6 +310,7 @@ impl<'g> ScheduleSimulator<'g> {
             power: PowerModel::default(),
             criticality_slack: 0,
             comm_cost: 0.0,
+            cluster: None,
         }
     }
 
@@ -311,6 +328,39 @@ impl<'g> ScheduleSimulator<'g> {
     /// Builder-style communication-cost override.
     pub fn with_comm_cost(mut self, comm_cost: f64) -> Self {
         self.comm_cost = comm_cost;
+        self
+    }
+
+    /// Attach a [`ClusterSchedule`] — flat or hierarchical over the same
+    /// simulated machine — turning the steal-policy comparison into an
+    /// A/B switch. Three effects, all deterministic:
+    ///
+    /// * every dispatch is delayed by `probe_cost · log2(probe domain)`
+    ///   — the victim sweep a thief pays before finding work (a flat
+    ///   schedule probes the whole machine, a hierarchical one its own
+    ///   cluster first);
+    /// * non-criticality policies place each task on the lowest idle
+    ///   core of the cluster its predecessors' data lives in (the
+    ///   schedule's [`ClusterSchedule::preferred_cluster`]); when that
+    ///   cluster has no idle core the task migrates — lowest idle core
+    ///   anywhere — and additionally pays `migrate_cost`;
+    /// * cross-core dependency transfers scale [`Self::comm_cost`] by
+    ///   [`ClusterSchedule::comm_factor`] (intra-cluster 1.0, inter
+    ///   the schedule's penalty).
+    ///
+    /// The schedule's topology must span exactly the simulated core
+    /// count.
+    pub fn with_cluster_schedule(
+        mut self,
+        schedule: Arc<dyn ClusterSchedule>,
+        costs: StealCosts,
+    ) -> Self {
+        assert_eq!(
+            schedule.topology().workers(),
+            self.cores.len(),
+            "cluster schedule topology must span the simulated cores"
+        );
+        self.cluster = Some((schedule, costs));
         self
     }
 
@@ -384,6 +434,8 @@ impl<'g> ScheduleSimulator<'g> {
         let mut finish_times = vec![0.0f64; n];
         let mut placements = vec![usize::MAX; n];
         let mut comm_delay_total = 0.0f64;
+        let mut probe_overhead_total = 0.0f64;
+        let mut migrations = 0u64;
         // Track current total dynamic power for the budget check:
         // sum over busy cores of c_dyn * f^3.
         let mut power_in_use = 0.0f64;
@@ -404,7 +456,48 @@ impl<'g> ScheduleSimulator<'g> {
                     self.policy,
                     SimPolicy::CriticalityDvfs { .. } | SimPolicy::CriticalityPlacement
                 );
-                let pick = if self.policy == SimPolicy::LocalityAware {
+                let mut migrated = false;
+                let pick = if let (false, Some((cs, _))) = (aware, self.cluster.as_ref()) {
+                    // Two-level placement: weigh each cluster by the cost
+                    // of the predecessors whose outputs live there, ask
+                    // the schedule which cluster to prefer, and take its
+                    // lowest idle core. No idle core there (or no
+                    // preference) → lowest idle core anywhere; the former
+                    // is a migration and pays the schedule's cost.
+                    let topo = cs.topology();
+                    let mut weights = vec![0u64; topo.clusters];
+                    for p in &node.preds {
+                        let pc = placements[p.index()];
+                        if pc != usize::MAX {
+                            weights[topo.cluster_of(pc)] += self.graph.node(*p).meta.cost;
+                        }
+                    }
+                    let global = idle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &c)| c)
+                        .map(|(i, _)| i)
+                        .expect("idle non-empty");
+                    match cs.preferred_cluster(&weights) {
+                        Some(want) => {
+                            let (lo, hi) = topo.cluster_span(want, ncores);
+                            match idle
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, &c)| c >= lo && c < hi)
+                                .min_by_key(|&(_, &c)| c)
+                                .map(|(i, _)| i)
+                            {
+                                Some(i) => i,
+                                None => {
+                                    migrated = true;
+                                    global
+                                }
+                            }
+                        }
+                        None => global,
+                    }
+                } else if self.policy == SimPolicy::LocalityAware {
                     // Affinity: cost-weighted predecessors resident per
                     // idle core.
                     idle.iter()
@@ -484,12 +577,34 @@ impl<'g> ScheduleSimulator<'g> {
                     }
                 }
 
+                // Dispatch overhead under a cluster schedule: the victim
+                // sweep a thief performs before finding this task, one
+                // log2 of its probe domain — the whole machine for a flat
+                // schedule, one cluster for a hierarchical one. This is
+                // the term that makes flat stealing fall off with core
+                // count while hierarchy holds.
+                if let Some((cs, costs)) = self.cluster.as_ref() {
+                    let domain = cs.probe_domain(core).max(1) as f64;
+                    let mut ovh = costs.probe_cost * domain.log2();
+                    if migrated {
+                        ovh += costs.migrate_cost;
+                        migrations += 1;
+                    }
+                    probe_overhead_total += ovh;
+                    start += ovh;
+                }
+
                 // Remote-producer transfers delay the start.
                 if self.comm_cost > 0.0 {
                     let mut earliest = start;
                     for p in &node.preds {
-                        if placements[p.index()] != core {
-                            let avail = finish_times[p.index()] + self.comm_cost;
+                        let pcore = placements[p.index()];
+                        if pcore != core {
+                            let factor = self
+                                .cluster
+                                .as_ref()
+                                .map_or(1.0, |(cs, _)| cs.comm_factor(pcore, core));
+                            let avail = finish_times[p.index()] + self.comm_cost * factor;
                             if avail > earliest {
                                 earliest = avail;
                             }
@@ -567,6 +682,8 @@ impl<'g> ScheduleSimulator<'g> {
             reconfigs,
             reconfig_stall,
             comm_delay: comm_delay_total,
+            probe_overhead: probe_overhead_total,
+            migrations,
             start_times,
             durations,
             placements,
@@ -885,5 +1002,103 @@ mod tests {
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.start_times, b.start_times);
         assert_eq!(a.placements, b.placements);
+    }
+
+    fn clustered_sim(
+        g: &TaskGraph,
+        sched: Arc<dyn ClusterSchedule>,
+        costs: StealCosts,
+        comm: f64,
+    ) -> SimReport {
+        let cores = sched.topology().workers();
+        ScheduleSimulator::new(g, CorePool::homogeneous(cores, 1.0), SimPolicy::BottomLevel)
+            .with_comm_cost(comm)
+            .with_cluster_schedule(sched, costs)
+            .run()
+    }
+
+    #[test]
+    fn single_cluster_hierarchy_is_byte_identical_to_flat() {
+        use crate::topology::{FlatSchedule, HierarchicalSchedule, Topology};
+        // The A/B switch must be a no-op when there is nothing to be
+        // aware of: one cluster spanning the machine. Byte-identical,
+        // not approximately equal — same picks, same times.
+        let g = generators::random_layered(10, 12, 5..90, 23);
+        let topo = Topology::flat(16);
+        let costs = StealCosts {
+            probe_cost: 2.0,
+            migrate_cost: 3.0,
+        };
+        let flat = clustered_sim(
+            &g,
+            Arc::new(FlatSchedule {
+                topo,
+                inter_penalty: 4.0,
+            }),
+            costs,
+            10.0,
+        );
+        let hier = clustered_sim(
+            &g,
+            Arc::new(HierarchicalSchedule {
+                topo,
+                inter_penalty: 4.0,
+            }),
+            costs,
+            10.0,
+        );
+        assert_eq!(flat.makespan.to_bits(), hier.makespan.to_bits());
+        assert_eq!(flat.start_times, hier.start_times);
+        assert_eq!(flat.placements, hier.placements);
+        assert_eq!(flat.probe_overhead.to_bits(), hier.probe_overhead.to_bits());
+        assert_eq!(flat.comm_delay.to_bits(), hier.comm_delay.to_bits());
+        assert_eq!(hier.migrations, 0);
+    }
+
+    #[test]
+    fn hierarchy_holds_where_flat_stealing_falls_off() {
+        use crate::topology::{FlatSchedule, HierarchicalSchedule, Topology};
+        // Same machine (4 clusters × 64 cores), same interconnect, same
+        // graph — the only difference is whether the scheduler sees the
+        // hierarchy. Flat thieves probe 256 victims (log2 = 8) on every
+        // dispatch and scatter producer-consumer chains across the
+        // interconnect; hierarchical thieves probe 64 (log2 = 6) and
+        // keep chains clustered.
+        let g = generators::random_layered(24, 48, 20..200, 31);
+        let topo = Topology::new(4, 64);
+        let costs = StealCosts {
+            probe_cost: 2.0,
+            migrate_cost: 1.0,
+        };
+        let flat = clustered_sim(
+            &g,
+            Arc::new(FlatSchedule {
+                topo,
+                inter_penalty: 4.0,
+            }),
+            costs,
+            15.0,
+        );
+        let hier = clustered_sim(
+            &g,
+            Arc::new(HierarchicalSchedule {
+                topo,
+                inter_penalty: 4.0,
+            }),
+            costs,
+            15.0,
+        );
+        assert!(
+            hier.makespan < flat.makespan,
+            "hierarchy must win on a clustered 256-core machine: {} vs {}",
+            hier.makespan,
+            flat.makespan
+        );
+        assert!(
+            hier.probe_overhead < flat.probe_overhead,
+            "cluster-bounded probing must cost less: {} vs {}",
+            hier.probe_overhead,
+            flat.probe_overhead
+        );
     }
 }

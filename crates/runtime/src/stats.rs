@@ -155,12 +155,57 @@ impl VictimSteals {
     }
 }
 
+/// Per-cluster steal and balance traffic under two-level scheduling,
+/// attributed to the *thief's* cluster. A flat topology reports a single
+/// entry covering the whole pool (all steals count as intra).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterSteals {
+    /// Tasks claimed from deques inside the thief's own cluster.
+    pub intra_ok: u64,
+    /// Intra-cluster probes that found the victim bare.
+    pub intra_empty: u64,
+    /// Tasks this cluster's balancer pulled in from other clusters
+    /// (remote injector drains + remote steal-half claims).
+    pub inter_ok: u64,
+    /// Balancer probes of remote queues that found nothing.
+    pub inter_empty: u64,
+    /// Tasks physically migrated across the cluster boundary by the
+    /// balancer (the batched cross-cluster traffic volume).
+    pub migrated: u64,
+    /// External submissions and spill routed to this cluster's injector.
+    pub injector_pushes: u64,
+}
+
+impl ClusterSteals {
+    /// Fraction of intra-cluster steal probes that found work.
+    pub fn intra_hit_rate(&self) -> f64 {
+        let total = self.intra_ok + self.intra_empty;
+        if total == 0 {
+            0.0
+        } else {
+            self.intra_ok as f64 / total as f64
+        }
+    }
+
+    /// Fraction of inter-cluster balance probes that found work.
+    pub fn inter_hit_rate(&self) -> f64 {
+        let total = self.inter_ok + self.inter_empty;
+        if total == 0 {
+            0.0
+        } else {
+            self.inter_ok as f64 / total as f64
+        }
+    }
+}
+
 /// Where the scheduler's cross-worker traffic actually went — the
 /// attribution summary behind `trace_report --contention`.
 #[derive(Clone, Debug, Default)]
 pub struct ContentionReport {
     /// Indexed by victim worker.
     pub per_victim: Vec<VictimSteals>,
+    /// Indexed by cluster (single entry when the topology is flat).
+    pub per_cluster: Vec<ClusterSteals>,
     /// Ready tasks routed through the shared injector (vs. worker-local
     /// deques).
     pub injector_pushes: u64,

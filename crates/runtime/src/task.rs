@@ -214,6 +214,11 @@ pub struct SlotState {
     /// onto every [`crate::scheduler::ReadyTask`] dispatched for this
     /// slot so the EDF tie-break survives retries and releases.
     pub deadline_ns: u64,
+    /// Home cluster derived from the task's declared region/SPM
+    /// footprint (`crate::scheduler::NO_HOME` when it has none or the
+    /// topology is flat); copied onto every dispatched `ReadyTask` so
+    /// locality routing survives retries, releases and hedges.
+    pub home: u32,
     /// A hedged duplicate has already been dispatched for this attempt;
     /// at most one hedge per task, ever.
     pub hedged: bool,
@@ -244,6 +249,7 @@ impl SlotState {
         self.job = None;
         self.cancelled = false;
         self.deadline_ns = crate::scheduler::NO_DEADLINE;
+        self.home = crate::scheduler::NO_HOME;
         self.hedged = false;
         self.hedge_body = None;
     }

@@ -309,6 +309,10 @@ pub struct TelemetrySnapshot {
     pub body: HistSnapshot,
     pub job_e2e: HistSnapshot,
     pub tenants: Vec<TenantTelemetry>,
+    /// Per-cluster steal/balance counters (one entry per cluster in the
+    /// pool's [`crate::topology::Topology`]; a single entry under the
+    /// default flat topology).
+    pub per_cluster: Vec<crate::stats::ClusterSteals>,
 }
 
 impl TelemetrySnapshot {
@@ -628,6 +632,7 @@ mod tests {
             body: HistSnapshot::default(),
             job_e2e: HistSnapshot::default(),
             tenants: Vec::new(),
+            per_cluster: Vec::new(),
         }
     }
 

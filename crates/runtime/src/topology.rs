@@ -1,0 +1,318 @@
+//! Cluster topology: the two-level scheduling map shared by the real
+//! pool and the schedule simulator.
+//!
+//! The paper's target machine (Fig. 1) is not a flat sea of cores but a
+//! tiled hierarchy: clusters of cores around local memory (SPM / an LLC
+//! slice), clusters stitched together by a slower interconnect. Myrmics
+//! and BDDT-SCC (see PAPERS.md) both found that flat work stealing
+//! collapses on such machines — every steal probe is a potential
+//! cross-chip miss — and that the surviving shape is *hierarchical*:
+//! steal within your cluster first, balance between clusters rarely and
+//! in batches.
+//!
+//! [`Topology`] is the pure data: how many clusters, how many workers
+//! each. The real scheduler ([`crate::scheduler::ReadyQueues`]) uses it
+//! to bound steal sweeps and route external pushes; the simulator
+//! ([`crate::simsched::ScheduleSimulator`]) consumes the same numbers
+//! through the [`ClusterSchedule`] trait, so flat-vs-hierarchical is an
+//! A/B switch over one shared vocabulary instead of two diverging
+//! policies.
+
+use std::fmt;
+
+/// Sentinel for "no home cluster declared" (task touches no regions, or
+/// the topology is flat).
+pub const NO_HOME: u32 = u32::MAX;
+
+/// A two-level worker map: `clusters × workers_per_cluster` workers.
+///
+/// `flat(n)` — one cluster spanning everything — is the degenerate case
+/// every pre-hierarchy code path reduces to: intra-cluster stealing
+/// sweeps the whole pool, the balancer never runs, and home-cluster
+/// routing collapses to injector 0.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    pub clusters: usize,
+    pub workers_per_cluster: usize,
+}
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.clusters, self.workers_per_cluster)
+    }
+}
+
+impl Topology {
+    /// `clusters` clusters of `workers_per_cluster` workers each.
+    pub fn new(clusters: usize, workers_per_cluster: usize) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(
+            workers_per_cluster >= 1,
+            "need at least one worker per cluster"
+        );
+        Topology {
+            clusters,
+            workers_per_cluster,
+        }
+    }
+
+    /// The flat (single-cluster) topology over `workers` workers.
+    pub fn flat(workers: usize) -> Self {
+        Topology {
+            clusters: 1,
+            workers_per_cluster: workers.max(1),
+        }
+    }
+
+    /// Total workers the topology describes.
+    pub fn workers(&self) -> usize {
+        self.clusters * self.workers_per_cluster
+    }
+
+    /// Cluster of worker `who`. Workers beyond `workers()` (possible
+    /// when a topology is paired with a larger ad-hoc pool in tests)
+    /// fold into the last cluster.
+    #[inline]
+    pub fn cluster_of(&self, who: usize) -> usize {
+        (who / self.workers_per_cluster).min(self.clusters - 1)
+    }
+
+    /// The half-open worker range `[start, end)` of cluster `c` in a
+    /// pool of `n` workers. The last cluster absorbs any remainder, and
+    /// a flat topology always spans the whole pool — so sweeps bounded
+    /// by this never strand a worker outside every cluster.
+    #[inline]
+    pub fn cluster_span(&self, c: usize, n: usize) -> (usize, usize) {
+        if self.clusters <= 1 {
+            return (0, n);
+        }
+        let start = (c * self.workers_per_cluster).min(n);
+        let end = if c + 1 >= self.clusters {
+            n
+        } else {
+            ((c + 1) * self.workers_per_cluster).min(n)
+        };
+        (start, end)
+    }
+
+    /// Home cluster for a data key (a region id, or an SPM-range index):
+    /// deterministic block-cyclic assignment of data onto clusters — the
+    /// simulated NUMA/tile map. The real scheduler routes a task's
+    /// external push to this cluster's injector; the simulator biases
+    /// placement the same way.
+    #[inline]
+    pub fn home_cluster(&self, key: u64) -> usize {
+        (key % self.clusters as u64) as usize
+    }
+}
+
+/// Virtual-time costs of the stealing machinery, charged by the
+/// simulator when a [`ClusterSchedule`] is installed. All in the same
+/// virtual time units as task costs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StealCosts {
+    /// Cost of probing one doubling of the steal domain: a task
+    /// dispatched on a machine where thieves scan `d` victims pays
+    /// `probe_cost · log2(d)` before it starts. This is the Myrmics
+    /// observation in one number — flat stealing's probe domain is the
+    /// whole machine, so its dispatch overhead grows with the core
+    /// count, while a cluster-bounded thief pays for its cluster only.
+    pub probe_cost: f64,
+    /// Charged when a task's preferred cluster is fully busy and the
+    /// balancer migrates it to another cluster (batched in the real
+    /// runtime, so per-task it is small).
+    pub migrate_cost: f64,
+}
+
+impl Default for StealCosts {
+    fn default() -> Self {
+        StealCosts {
+            probe_cost: 1.0,
+            migrate_cost: 0.0,
+        }
+    }
+}
+
+/// The policy half of two-level scheduling, shared by both engines:
+/// how far a thief probes, where a task would rather run, and what a
+/// cross-cluster edge costs. [`FlatSchedule`] and
+/// [`HierarchicalSchedule`] describe the *same physical machine* (same
+/// cluster map, same interconnect penalty) — they differ only in
+/// whether the scheduler is allowed to see it.
+pub trait ClusterSchedule: Send + Sync {
+    /// The physical cluster map.
+    fn topology(&self) -> Topology;
+
+    /// Number of victims a thief on `core` scans before giving up.
+    fn probe_domain(&self, core: usize) -> usize;
+
+    /// Preferred cluster given per-cluster affinity weights (e.g.
+    /// cost-weighted predecessor placements). `None` = no preference.
+    fn preferred_cluster(&self, weight_by_cluster: &[u64]) -> Option<usize>;
+
+    /// Multiplier on the communication cost of an edge whose producer
+    /// ran on `from` and consumer runs on `to`.
+    fn comm_factor(&self, from: usize, to: usize) -> f64;
+}
+
+/// Cluster-blind scheduling on a clustered machine: thieves probe the
+/// whole pool, placement ignores the cluster map, and cross-cluster
+/// edges still pay the interconnect (the machine does not get flatter
+/// because the scheduler pretends it is).
+#[derive(Clone, Copy, Debug)]
+pub struct FlatSchedule {
+    pub topo: Topology,
+    /// Communication multiplier for cross-cluster edges (≥ 1.0).
+    pub inter_penalty: f64,
+}
+
+impl ClusterSchedule for FlatSchedule {
+    fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    fn probe_domain(&self, _core: usize) -> usize {
+        self.topo.workers()
+    }
+
+    fn preferred_cluster(&self, _weight_by_cluster: &[u64]) -> Option<usize> {
+        None
+    }
+
+    fn comm_factor(&self, from: usize, to: usize) -> f64 {
+        if self.topo.cluster_of(from) == self.topo.cluster_of(to) {
+            1.0
+        } else {
+            self.inter_penalty
+        }
+    }
+}
+
+/// Two-level scheduling on the same machine: thieves probe their own
+/// cluster, placement prefers the cluster holding the task's inputs,
+/// and only the (rare, batched) balancer crosses clusters. With
+/// `clusters == 1` every method degenerates to [`FlatSchedule`]'s
+/// answer, which is the equivalence the simulator tests pin down.
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchicalSchedule {
+    pub topo: Topology,
+    /// Communication multiplier for cross-cluster edges (≥ 1.0).
+    pub inter_penalty: f64,
+}
+
+impl ClusterSchedule for HierarchicalSchedule {
+    fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    fn probe_domain(&self, _core: usize) -> usize {
+        self.topo.workers_per_cluster
+    }
+
+    fn preferred_cluster(&self, weight_by_cluster: &[u64]) -> Option<usize> {
+        let (best, &w) = weight_by_cluster
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        if w == 0 {
+            return None;
+        }
+        Some(best)
+    }
+
+    fn comm_factor(&self, from: usize, to: usize) -> f64 {
+        if self.topo.cluster_of(from) == self.topo.cluster_of(to) {
+            1.0
+        } else {
+            self.inter_penalty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_one_cluster_spanning_everything() {
+        let t = Topology::flat(7);
+        assert_eq!(t.clusters, 1);
+        assert_eq!(t.workers(), 7);
+        assert_eq!(t.cluster_of(0), 0);
+        assert_eq!(t.cluster_of(6), 0);
+        assert_eq!(t.cluster_span(0, 7), (0, 7));
+        // Even when paired with a differently sized pool, flat spans it.
+        assert_eq!(t.cluster_span(0, 3), (0, 3));
+    }
+
+    #[test]
+    fn cluster_of_blocks_workers() {
+        let t = Topology::new(4, 8);
+        assert_eq!(t.workers(), 32);
+        assert_eq!(t.cluster_of(0), 0);
+        assert_eq!(t.cluster_of(7), 0);
+        assert_eq!(t.cluster_of(8), 1);
+        assert_eq!(t.cluster_of(31), 3);
+        // Out-of-range workers fold into the last cluster.
+        assert_eq!(t.cluster_of(99), 3);
+    }
+
+    #[test]
+    fn spans_cover_the_pool_without_gaps() {
+        let t = Topology::new(3, 4);
+        // Exact pool.
+        let spans: Vec<_> = (0..3).map(|c| t.cluster_span(c, 12)).collect();
+        assert_eq!(spans, vec![(0, 4), (4, 8), (8, 12)]);
+        // Smaller pool: trailing clusters clamp, the union is still the
+        // whole pool.
+        let spans: Vec<_> = (0..3).map(|c| t.cluster_span(c, 10)).collect();
+        assert_eq!(spans, vec![(0, 4), (4, 8), (8, 10)]);
+        // Larger pool: the last cluster absorbs the remainder.
+        assert_eq!(t.cluster_span(2, 20), (8, 20));
+    }
+
+    #[test]
+    fn home_cluster_is_block_cyclic() {
+        let t = Topology::new(4, 2);
+        assert_eq!(t.home_cluster(0), 0);
+        assert_eq!(t.home_cluster(5), 1);
+        assert_eq!(t.home_cluster(7), 3);
+        assert_eq!(Topology::flat(8).home_cluster(5), 0);
+    }
+
+    #[test]
+    fn single_cluster_hierarchy_answers_like_flat() {
+        // The simsched equivalence test relies on this degeneracy.
+        let topo = Topology::new(1, 16);
+        let flat = FlatSchedule {
+            topo,
+            inter_penalty: 4.0,
+        };
+        let hier = HierarchicalSchedule {
+            topo,
+            inter_penalty: 4.0,
+        };
+        assert_eq!(flat.probe_domain(3), hier.probe_domain(3));
+        assert_eq!(hier.preferred_cluster(&[0]), None);
+        // A non-zero weight prefers the only cluster, which contains
+        // every core — the same pick flat's "no preference" makes.
+        assert_eq!(hier.preferred_cluster(&[10]), Some(0));
+        for (a, b) in [(0, 5), (3, 15)] {
+            assert_eq!(flat.comm_factor(a, b), 1.0);
+            assert_eq!(hier.comm_factor(a, b), 1.0);
+        }
+    }
+
+    #[test]
+    fn hierarchical_prefers_heaviest_cluster_lowest_index_ties() {
+        let h = HierarchicalSchedule {
+            topo: Topology::new(4, 8),
+            inter_penalty: 4.0,
+        };
+        assert_eq!(h.preferred_cluster(&[0, 5, 9, 9]), Some(2));
+        assert_eq!(h.preferred_cluster(&[0, 0, 0, 0]), None);
+        assert_eq!(h.probe_domain(0), 8);
+        assert_eq!(h.comm_factor(0, 7), 1.0, "same cluster");
+        assert_eq!(h.comm_factor(0, 8), 4.0, "cross cluster");
+    }
+}

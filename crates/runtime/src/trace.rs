@@ -59,6 +59,10 @@ pub enum TraceEventKind {
     StealOk,
     /// A full steal sweep found nothing. `arg` = number of workers swept.
     StealEmpty,
+    /// The inter-cluster balancer migrated work across a cluster
+    /// boundary. `arg` = the remote cluster (injector drain) or remote
+    /// victim worker (deque steal) the batch came from.
+    StealRemote,
     /// Worker went to sleep on the idle condvar.
     Park,
     /// Worker woke from the idle condvar.
@@ -89,6 +93,7 @@ impl TraceEventKind {
             TraceEventKind::EnqueueGlobal => "enqueue-global",
             TraceEventKind::StealOk => "steal-ok",
             TraceEventKind::StealEmpty => "steal-empty",
+            TraceEventKind::StealRemote => "steal-remote",
             TraceEventKind::Park => "park",
             TraceEventKind::Unpark => "unpark",
             TraceEventKind::Start => "start",

@@ -110,3 +110,69 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The clustered variant of the property above: home-cluster routed
+    /// injectors, cluster-bounded steal sweeps, and the inter-cluster
+    /// balancer must still never start a task before its oracle
+    /// predecessors complete — hierarchy changes *where* ready tasks
+    /// queue, never *when* they become ready.
+    #[test]
+    fn clustered_workstealing_respects_arbitrary_region_graphs(
+        specs in prop::collection::vec(task_strategy(3), 2..40),
+        clusters in 2usize..4,
+        per_cluster in 1usize..3,
+    ) {
+        let topology = raa_runtime::Topology::new(clusters, per_cluster);
+        let log = Arc::new(EventLog::default());
+        let rt = Runtime::new(
+            RuntimeConfig::with_workers(topology.workers())
+                .policy(SchedulerPolicy::WorkStealing)
+                .topology(topology)
+                .observer(log.clone()),
+        );
+        let handles: Vec<_> = (0..3)
+            .map(|d| rt.register(format!("d{d}"), vec![0u8; 256]))
+            .collect();
+
+        let mut oracle = DepTracker::new();
+        let mut expected: Vec<Vec<TaskId>> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let accesses: Vec<Access> = spec
+                .iter()
+                .map(|&(d, start, len, m)| Access {
+                    region: handles[d].sub(start, start + len),
+                    mode: mode_of(m),
+                })
+                .collect();
+            expected.push(oracle.submit(TaskId(i as u32), &accesses));
+
+            let mut b = rt.task(format!("t{i}"));
+            for a in &accesses {
+                b = b.region(a.region, a.mode);
+            }
+            let tid = b.body(|| {}).spawn();
+            prop_assert_eq!(tid, TaskId(i as u32));
+        }
+        rt.taskwait();
+
+        let events = log.events.lock().unwrap();
+        prop_assert_eq!(events.len(), 2 * specs.len());
+        let pos = |kind: u8, t: TaskId| {
+            events.iter().position(|&(k, id)| k == kind && id == t)
+        };
+        for (i, preds) in expected.iter().enumerate() {
+            let t = TaskId(i as u32);
+            let started = pos(0, t).expect("every task starts exactly once");
+            for &p in preds {
+                let completed = pos(1, p).expect("predecessors complete");
+                prop_assert!(
+                    completed < started,
+                    "task {t:?} started at {started} before predecessor {p:?} \
+                     completed at {completed} (topology {clusters}x{per_cluster})"
+                );
+            }
+        }
+    }
+}

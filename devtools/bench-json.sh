@@ -10,7 +10,9 @@
 # Each JSON file maps series name -> { "<key>": value }. A series records
 # one configuration of the runtime (e.g. the global-queue baseline vs the
 # lock-free hot path), so before/after comparisons stay in one committed
-# artifact. BENCH_runtime.json keys are "<workload>@<workers>" in
+# artifact. Recording the special series "after_hierarchy" additionally
+# guards empty@8 against the committed after_scaling reference (the
+# two-level scheduler must not slow the flat hot path). BENCH_runtime.json keys are "<workload>@<workers>" in
 # tasks/sec; BENCH_serving.json keys are "<metric>@<load>x" from the
 # open-loop serving bench (latency percentiles in ms, goodput in
 # requests/sec, shed/miss rates as fractions).
@@ -172,3 +174,24 @@ series="${1:-after_lock_free}"
 out=$(run_bench)
 echo "$out"
 echo "$out" | write_series "$json" "$series"
+
+# Recording the hierarchy series doubles as its own regression guard:
+# the two-level scheduler must not tax the flat (clusters=1) hot path,
+# so empty@8 may not drop more than the tolerance below the committed
+# after_scaling reference.
+if [ "$series" = "after_hierarchy" ]; then
+    python3 -c "
+import json, os, sys
+data = json.load(open('${json}'))
+ref = data.get('after_scaling', {}).get('empty@8')
+got = data.get('after_hierarchy', {}).get('empty@8')
+if ref is None or got is None:
+    sys.exit('bench-json: need empty@8 in both after_scaling and after_hierarchy')
+tol = float(os.environ.get('RAA_BENCH_TOLERANCE', '0.20'))
+floor = ref * (1 - tol)
+verdict = 'OK' if got >= floor else 'REGRESSION'
+print(f'bench-json: after_hierarchy empty@8 {got:.0f} tasks/s vs after_scaling {ref:.0f} '
+      f'(floor {floor:.0f}, tolerance {tol:.0%}) -> {verdict}')
+raise SystemExit(0 if got >= floor else 1)
+"
+fi
